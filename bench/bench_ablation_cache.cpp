@@ -1,0 +1,56 @@
+// Ablation: "a proper cache design is critical to good performance."
+//
+// Holds the CPU clock fixed and sweeps the cache geometry between the
+// paper's extremes (T3D's 8 KB direct-mapped to the 590's 256 KB 4-way),
+// reporting (a) trace-driven miss ratios on real sweep access patterns
+// and (b) the analytic model's effective MFLOPS for the V5 kernel.
+#include <cstdio>
+
+#include "arch/cache.hpp"
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace nsp;
+  bench::banner("Ablation: cache geometry at fixed clock");
+
+  const struct {
+    const char* label;
+    arch::CacheGeometry geom;
+  } geoms[] = {
+      {"8 KB direct-mapped (T3D)", {8 * 1024, 32, 1}},
+      {"8 KB 4-way", {8 * 1024, 32, 4}},
+      {"32 KB 2-way (SP node)", {32 * 1024, 64, 2}},
+      {"64 KB 4-way (560)", {64 * 1024, 128, 4}},
+      {"256 KB 4-way (590)", {256 * 1024, 256, 4}},
+  };
+
+  // Trace-driven miss ratios on the paper-size sweep pattern.
+  std::vector<std::uint64_t> good, bad;
+  arch::append_sweep_trace(good, 250, 100, 8, /*stride1=*/true);
+  arch::append_sweep_trace(bad, 250, 100, 8, /*stride1=*/false);
+
+  io::Table t({"Cache", "miss% (V3+ stride-1)", "miss% (V1 order)",
+               "model MFLOPS @150MHz", "model MFLOPS @50MHz"});
+  t.title("Cache design vs performance (Navier-Stokes V5 kernel)");
+  const auto profile = arch::KernelProfile::make(
+      arch::Equations::NavierStokes, arch::CodeVersion::V5_CommonCollapse);
+  for (const auto& g : geoms) {
+    arch::CacheSim cg(g.geom), cb(g.geom);
+    for (auto a : good) cg.access(a);
+    for (auto a : bad) cb.access(a);
+    arch::CpuModel fast = arch::CpuModel::alpha_t3d();
+    fast.dcache = g.geom;
+    arch::CpuModel slow = arch::CpuModel::rs6000_560();
+    slow.dcache = g.geom;
+    t.row({g.label, io::format_fixed(100 * cg.miss_ratio(), 1),
+           io::format_fixed(100 * cb.miss_ratio(), 1),
+           io::format_fixed(fast.effective_mflops(profile), 1),
+           io::format_fixed(slow.effective_mflops(profile), 1)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "Reading: giving the 150 MHz T3D node the 560's cache roughly matches\n"
+      "the whole machine-level reordering the paper observed — the \"fast\n"
+      "processor, small direct-mapped cache\" combination is the culprit.\n");
+  return 0;
+}

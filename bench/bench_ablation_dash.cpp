@@ -1,0 +1,55 @@
+// Ablation: the missing platform.
+//
+// Section 1: "One important architecture that has not been considered
+// in our study is cache-coherent, massively parallel processors
+// typified by the DASH architecture." This harness adds a DASH-style
+// cc-NUMA machine to the comparative study: communication happens
+// implicitly through remote cache misses on subdomain boundaries, so
+// the message-layer start-up tax disappears — but a 1992 research node
+// is slow, so where does it land?
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace nsp;
+  bench::banner("Ablation: DASH cc-NUMA joins the platform comparison");
+
+  const auto app = perf::AppModel::paper(arch::Equations::NavierStokes);
+  const auto dash = arch::Platform::dash();
+  std::printf("node: %s, %.1f effective MFLOPS on the V5 kernel\n\n",
+              dash.cpu.name.c_str(), dash.cpu.effective_mflops(app.profile));
+
+  std::vector<io::Series> series{
+      bench::exec_time_series(app, dash, "DASH (cc-NUMA)"),
+      bench::exec_time_series(app, arch::Platform::ibm_sp_mpl(), "IBM SP (MPL)"),
+      bench::exec_time_series(app, arch::Platform::lace560_allnode_s(),
+                              "ALLNODE-S"),
+      bench::exec_time_series(app, arch::Platform::cray_t3d(), "Cray T3D"),
+  };
+  bench::print_figure("Navier-Stokes with the DASH architecture included",
+                      "ablation_dash.csv", series);
+
+  io::Table t({"P", "exec (s)", "speedup", "efficiency", "coherence share"});
+  t.title("DASH scaling detail");
+  const double t1 = perf::replay(app, dash, 1).exec_time;
+  for (int p : {1, 2, 4, 8, 16}) {
+    const auto r = perf::replay(app, dash, p);
+    const double numa_s =
+        p > 1 ? 2.0 * app.nj * dash.numa_halo_lines_per_point *
+                    dash.numa_remote_miss_s * app.steps
+              : 0.0;
+    t.row({std::to_string(p), io::format_fixed(r.exec_time, 0),
+           io::format_fixed(t1 / r.exec_time, 2) + "x",
+           io::format_percent(t1 / r.exec_time / p),
+           io::format_percent(numa_s / r.exec_time)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "The coherence traffic is microseconds per step — cc-NUMA delivers\n"
+      "message-passing-free scaling — but the 33 MHz research node keeps\n"
+      "absolute performance behind the 1995 production machines. The\n"
+      "architecture's promise (seen again years later in SGI Origin and\n"
+      "modern multi-socket servers) is the near-perfect efficiency column.\n");
+  return 0;
+}

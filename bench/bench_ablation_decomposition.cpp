@@ -1,0 +1,55 @@
+// Ablation: decomposition geometry — the paper's future work, answered.
+//
+// Section 8: "We will then explore other problem decompositions such as
+// blocking along the radial direction." This harness compares, at 16
+// processors, every process-grid shape from the paper's pure axial cut
+// (16x1) through square blocks (4x4) to the pure radial cut (1x16), on
+// every message-passing platform.
+//
+// On the 250x100 grid an axial halo carries nj/py points and a radial
+// halo ni/px points, so shapes trade message count against message
+// size; and only the 2-D shapes add the radial-sweep exchange.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace nsp;
+  bench::banner("Ablation: decomposition geometry (axial / 2-D / radial)");
+
+  const struct {
+    int px, py;
+  } shapes[] = {{16, 1}, {8, 2}, {4, 4}, {2, 8}, {1, 16}};
+
+  for (auto eq : {arch::Equations::NavierStokes, arch::Equations::Euler}) {
+    io::Table t({"shape (px x py)", "start-ups/proc", "volume/proc (MB)",
+                 "Ethernet (s)", "ALLNODE-S (s)", "SP MPL (s)", "T3D (s)"});
+    t.title(to_string(eq) + " at 16 processors by decomposition shape");
+    for (const auto& sh : shapes) {
+      const perf::AppModel m =
+          sh.py == 1 ? perf::AppModel::paper(eq)
+                     : perf::AppModel::paper_grid(eq, sh.px, sh.py);
+      t.row({std::to_string(sh.px) + " x " + std::to_string(sh.py),
+             io::format_si(m.startups_per_proc(16)),
+             io::format_fixed(m.volume_per_proc(16) / 1e6, 0),
+             io::format_fixed(
+                 perf::replay(m, arch::Platform::lace560_ethernet(), 16).exec_time, 0),
+             io::format_fixed(
+                 perf::replay(m, arch::Platform::lace560_allnode_s(), 16).exec_time, 0),
+             io::format_fixed(
+                 perf::replay(m, arch::Platform::ibm_sp_mpl(), 16).exec_time, 0),
+             io::format_fixed(
+                 perf::replay(m, arch::Platform::cray_t3d(), 16).exec_time, 0)});
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+  std::printf(
+      "Shapes trade start-ups against volume: 2-D blocks halve the bytes\n"
+      "(shorter total perimeter) but nearly double the message count. On\n"
+      "bandwidth-starved Ethernet the 4x4 grid therefore wins outright; on\n"
+      "the start-up-dominated PVM switches the paper's pure axial cut stays\n"
+      "best; on lean-library machines (SP, T3D) the choice barely matters.\n"
+      "The pure radial cut loses everywhere on this elongated grid — the\n"
+      "answer to the paper's Section 8 question.\n");
+  return 0;
+}

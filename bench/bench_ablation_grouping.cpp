@@ -1,0 +1,60 @@
+// Ablation: message grouping granularity.
+//
+// Section 5: "One method to reduce the effect of startup cost is to
+// group data to be communicated into long vectors." This sweep moves
+// continuously between Version 5 (fully grouped) and beyond Version 7
+// (one message per column/variable), splitting every grouped message
+// into k pieces.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace nsp;
+
+perf::AppModel split_k(arch::Equations eq, int k) {
+  perf::AppModel m = perf::AppModel::paper(eq);
+  if (k <= 1) return m;
+  for (auto& ph : m.phases) {
+    std::vector<perf::MessageSpec> out;
+    for (const auto& s : ph.sends) {
+      for (int piece = 0; piece < k; ++piece) {
+        perf::MessageSpec p = s;
+        p.bytes = s.bytes / static_cast<std::size_t>(k);
+        p.inject_frac = 0.5 + 0.5 * (piece + 1) / k;
+        out.push_back(p);
+      }
+    }
+    ph.sends = out;
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: message grouping granularity (V5 -> V7 -> beyond)");
+
+  io::Table t({"Pieces per message", "Start-ups/proc", "Ethernet (s)",
+               "ALLNODE-S (s)", "SP MPL (s)", "T3D (s)"});
+  t.title("Navier-Stokes at 16 processors");
+  for (int k : {1, 2, 3, 4, 8}) {
+    const auto m = split_k(arch::Equations::NavierStokes, k);
+    t.row({std::to_string(k), io::format_si(m.startups_per_proc(16)),
+           io::format_fixed(
+               perf::replay(m, arch::Platform::lace560_ethernet(), 16).exec_time, 0),
+           io::format_fixed(
+               perf::replay(m, arch::Platform::lace560_allnode_s(), 16).exec_time, 0),
+           io::format_fixed(
+               perf::replay(m, arch::Platform::ibm_sp_mpl(), 16).exec_time, 0),
+           io::format_fixed(
+               perf::replay(m, arch::Platform::cray_t3d(), 16).exec_time, 0)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "Grouping wins everywhere start-up costs dominate (PVM networks); on\n"
+      "lean layers (MPL, Cray PVM) the penalty for splitting is milder —\n"
+      "the quantitative form of the paper's Section 5 guidance.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Ablation: programming models on the Cray T3D.
+//
+// Section 4.3: "Though the T3D supports multiple programming models, we
+// programmed the machine using the message passing paradigm" (Cray's
+// PVM). This ablation asks what the one-sided SHMEM model would have
+// bought: microsecond start-ups over the same torus, against the same
+// weak-cache node.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace nsp;
+  bench::banner("Ablation: T3D programming models (PVM vs SHMEM puts)");
+
+  for (auto eq : {arch::Equations::NavierStokes, arch::Equations::Euler}) {
+    const auto app = perf::AppModel::paper(eq);
+    io::Table t({"P", "PVM (s)", "SHMEM (s)", "gain", "ALLNODE-F (s)"});
+    t.title(to_string(eq) + " on the T3D by programming model");
+    for (int p : {2, 4, 8, 16}) {
+      const double pvm = perf::replay(app, arch::Platform::cray_t3d(), p).exec_time;
+      const double shm =
+          perf::replay(app, arch::Platform::cray_t3d_shmem(), p).exec_time;
+      const double anf =
+          perf::replay(app, arch::Platform::lace590_allnode_f(), p).exec_time;
+      t.row({std::to_string(p), io::format_fixed(pvm, 0),
+             io::format_fixed(shm, 0), io::format_percent(pvm / shm - 1.0),
+             io::format_fixed(anf, 0)});
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+  std::printf(
+      "Even free communication cannot rescue the T3D against ALLNODE-F at\n"
+      "these scales: the node's 8 KB direct-mapped cache, not the message\n"
+      "layer, is the binding constraint — the paper's core hardware lesson.\n");
+  return 0;
+}

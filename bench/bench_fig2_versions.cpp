@@ -1,0 +1,89 @@
+// Figure 2: Execution time on a single processor (RS6000/560) for the
+// paper's code Versions 1..5, Navier-Stokes and Euler.
+//
+// Two reproductions side by side:
+//   (a) the 1995 CPU model's predicted times on the RS6000/560 (the
+//       paper's 9.3 -> 16.0 MFLOPS ladder), and
+//   (b) real wall-clock measurements of this repository's actual
+//       Version-1..5 kernels on the host CPU (modern caches shrink the
+//       stride penalty; the pow()/divide penalties survive).
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/solver.hpp"
+
+namespace {
+
+using namespace nsp;
+
+double host_seconds_per_step(core::KernelVariant v, bool viscous) {
+  core::SolverConfig cfg;
+  cfg.grid = core::Grid::coarse(125, 50);  // quarter of the paper grid
+  cfg.viscous = viscous;
+  cfg.variant = v;
+  core::Solver s(cfg);
+  s.initialize();
+  s.run(2);  // warm up
+  const auto t0 = std::chrono::steady_clock::now();
+  const int steps = 12;
+  s.run(steps);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count() / steps;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 2: Execution time on a single processor (RS6000/560)");
+
+  const auto cpu = arch::CpuModel::rs6000_560();
+  io::Table t({"Version", "N-S model (s)", "N-S MFLOPS", "Euler model (s)",
+               "host N-S (ms/step)", "host speedup"});
+  t.title("Versions 1-5 on the paper's 5000-step run (model) and this host");
+
+  const double host_v1 = host_seconds_per_step(core::KernelVariant::V1, true);
+  std::vector<io::Series> series{{"N-S (model)", {}, {}}, {"Euler (model)", {}, {}}};
+  for (int v = 1; v <= 5; ++v) {
+    const auto cv = static_cast<arch::CodeVersion>(v);
+    const auto ns = arch::KernelProfile::make(arch::Equations::NavierStokes, cv);
+    const auto eu = arch::KernelProfile::make(arch::Equations::Euler, cv);
+    const double pts = 250.0 * 100 * 5000;
+    const double t_ns = cpu.seconds(ns, pts);
+    const double t_eu = cpu.seconds(eu, pts);
+    const double host =
+        host_seconds_per_step(static_cast<core::KernelVariant>(v), true);
+    t.row({"V" + std::to_string(v), io::format_fixed(t_ns, 0),
+           io::format_fixed(cpu.effective_mflops(ns), 1),
+           io::format_fixed(t_eu, 0), io::format_fixed(host * 1e3, 1),
+           io::format_fixed(host_v1 / host, 2) + "x"});
+    series[0].x.push_back(v);
+    series[0].y.push_back(t_ns);
+    series[1].x.push_back(v);
+    series[1].y.push_back(t_eu);
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  io::ChartOptions opts;
+  opts.log_x = false;
+  opts.log_y = false;
+  opts.title = "Figure 2: single-processor execution time by code version";
+  opts.x_label = "Version";
+  opts.y_label = "Execution time (s, modelled RS6000/560)";
+  io::LineChart chart(opts);
+  chart.add(series[0]);
+  chart.add(series[1]);
+  std::printf("%s\n", chart.str().c_str());
+  io::write_series_csv("fig2_versions.csv", series);
+  std::printf("[data written to fig2_versions.csv]\n\n");
+
+  const auto v1 = arch::KernelProfile::make(arch::Equations::NavierStokes,
+                                            arch::CodeVersion::V1_Original);
+  const auto v5 = arch::KernelProfile::make(arch::Equations::NavierStokes,
+                                            arch::CodeVersion::V5_CommonCollapse);
+  std::printf("paper: 9.3 -> 16.0 MFLOPS (~80%% improvement)\n");
+  std::printf("model: %.1f -> %.1f MFLOPS (%.0f%% improvement)\n",
+              cpu.effective_mflops(v1), cpu.effective_mflops(v5),
+              100.0 * (cpu.effective_mflops(v5) / cpu.effective_mflops(v1) - 1));
+  return 0;
+}

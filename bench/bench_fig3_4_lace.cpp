@@ -1,0 +1,47 @@
+// Figures 3 and 4: Navier-Stokes / Euler execution time on LACE.
+//
+// Curves for ALLNODE-F, ALLNODE-S, and the LACE/560 Ethernet, with the
+// ATM and FDDI networks included to demonstrate the paper's observation
+// that ATM tracks ALLNODE-F and FDDI tracks ALLNODE-S.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace nsp;
+  bench::banner("Figures 3-4: execution time on LACE networks");
+
+  for (auto eq : {arch::Equations::NavierStokes, arch::Equations::Euler}) {
+    const auto app = perf::AppModel::paper(eq);
+    const bool ns = eq == arch::Equations::NavierStokes;
+    std::vector<io::Series> series{
+        bench::exec_time_series(app, arch::Platform::lace590_allnode_f(),
+                                "ALLNODE-F"),
+        bench::exec_time_series(app, arch::Platform::lace560_allnode_s(),
+                                "ALLNODE-S"),
+        bench::exec_time_series(app, arch::Platform::lace560_ethernet(),
+                                "LACE/560 Ethernet"),
+        bench::exec_time_series(app, arch::Platform::lace590_atm(), "ATM (590)"),
+        bench::exec_time_series(app, arch::Platform::lace560_fddi(),
+                                "FDDI (560)"),
+    };
+    bench::print_figure(
+        std::string("Figure ") + (ns ? "3" : "4") + ": " + to_string(eq) +
+            " execution time on LACE",
+        ns ? "fig3_lace_ns.csv" : "fig4_lace_euler.csv", series);
+
+    // The saturation observation.
+    double best = 1e300;
+    int best_p = 0;
+    const auto& eth = series[2];
+    for (std::size_t k = 0; k < eth.x.size(); ++k) {
+      if (eth.y[k] < best) {
+        best = eth.y[k];
+        best_p = static_cast<int>(eth.x[k]);
+      }
+    }
+    std::printf("%s: Ethernet minimum at %d processors (paper: peak at %s)\n\n",
+                to_string(eq).c_str(), best_p, ns ? "8" : "10");
+  }
+  return 0;
+}

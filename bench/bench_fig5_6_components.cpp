@@ -1,0 +1,54 @@
+// Figures 5 and 6: components of execution time on LACE — processor
+// busy time vs non-overlapped communication time, for ALLNODE-F,
+// ALLNODE-S and Ethernet.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace nsp;
+  bench::banner("Figures 5-6: components of execution time (LACE)");
+
+  for (auto eq : {arch::Equations::NavierStokes, arch::Equations::Euler}) {
+    const auto app = perf::AppModel::paper(eq);
+    const bool ns = eq == arch::Equations::NavierStokes;
+
+    const struct {
+      arch::Platform plat;
+      const char* label;
+    } rows[] = {
+        {arch::Platform::lace590_allnode_f(), "ALLNODE-F"},
+        {arch::Platform::lace560_allnode_s(), "ALLNODE-S"},
+        {arch::Platform::lace560_ethernet(), "Ethernet"},
+    };
+
+    std::vector<io::Series> series;
+    for (const auto& row : rows) {
+      io::Series busy{std::string(row.label) + " busy", {}, {}};
+      io::Series comm{std::string(row.label) + " non-overlapped comm", {}, {}};
+      for (int p : bench::proc_sweep()) {
+        const auto r = perf::replay(app, row.plat, p);
+        busy.x.push_back(p);
+        busy.y.push_back(r.avg_busy());
+        if (p > 1) {
+          comm.x.push_back(p);
+          comm.y.push_back(r.avg_wait());
+        }
+      }
+      series.push_back(busy);
+      series.push_back(comm);
+    }
+    bench::print_figure(
+        std::string("Figure ") + (ns ? "5" : "6") + ": components (" +
+            to_string(eq) + "; LACE)",
+        ns ? "fig5_components_ns.csv" : "fig6_components_euler.csv", series);
+
+    const auto r16 = perf::replay(app, arch::Platform::lace560_allnode_s(), 16);
+    std::printf(
+        "%s at 16 procs on ALLNODE-S: busy %.0f s, non-overlapped comm %.0f s\n"
+        "(paper: \"communication time is comparable to the computation and\n"
+        "PVM setup time\" for Navier-Stokes at 16 processors)\n\n",
+        to_string(eq).c_str(), r16.avg_busy(), r16.avg_wait());
+  }
+  return 0;
+}

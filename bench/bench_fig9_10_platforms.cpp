@@ -1,0 +1,53 @@
+// Figures 9 and 10: comparative performance across all platforms —
+// Cray Y-MP, IBM SP (MPL), ALLNODE-S, Cray T3D, ALLNODE-F.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace nsp;
+  bench::banner("Figures 9-10: execution time across computing platforms");
+
+  for (auto eq : {arch::Equations::NavierStokes, arch::Equations::Euler}) {
+    const auto app = perf::AppModel::paper(eq);
+    const bool ns = eq == arch::Equations::NavierStokes;
+    std::vector<io::Series> series{
+        bench::exec_time_series(app, arch::Platform::cray_ymp(), "Cray Y-MP"),
+        bench::exec_time_series(app, arch::Platform::ibm_sp_mpl(),
+                                "IBM SP (RS6K/370)"),
+        bench::exec_time_series(app, arch::Platform::lace560_allnode_s(),
+                                "ALLNODE-S"),
+        bench::exec_time_series(app, arch::Platform::cray_t3d(), "Cray T3D"),
+        bench::exec_time_series(app, arch::Platform::lace590_allnode_f(),
+                                "ALLNODE-F"),
+    };
+    bench::print_figure(
+        std::string("Figure ") + (ns ? "9" : "10") + ": " + to_string(eq) +
+            " on computing platforms",
+        ns ? "fig9_platforms_ns.csv" : "fig10_platforms_euler.csv", series);
+
+    // The headline observations, quantified.
+    const double ymp1 = perf::replay(app, arch::Platform::cray_ymp(), 1).exec_time;
+    const double ymp8 = perf::replay(app, arch::Platform::cray_ymp(), 8).exec_time;
+    const double f16 =
+        perf::replay(app, arch::Platform::lace590_allnode_f(), 16).exec_time;
+    const double s16 =
+        perf::replay(app, arch::Platform::lace560_allnode_s(), 16).exec_time;
+    const double sp16 = perf::replay(app, arch::Platform::ibm_sp_mpl(), 16).exec_time;
+    const double t3d16 = perf::replay(app, arch::Platform::cray_t3d(), 16).exec_time;
+    const double t3d4 = perf::replay(app, arch::Platform::cray_t3d(), 4).exec_time;
+    const double s4 =
+        perf::replay(app, arch::Platform::lace560_allnode_s(), 4).exec_time;
+    std::printf("%s checkpoints:\n", to_string(eq).c_str());
+    std::printf("  Y-MP: %.0f s (1 proc) -> %.0f s (8 procs); best overall\n",
+                ymp1, ymp8);
+    std::printf("  LACE/590 x16 = %.0f s vs Y-MP x1 = %.0f s (paper: comparable)\n",
+                f16, ymp1);
+    std::printf("  ALLNODE-S x16 = %.0f s vs SP x16 = %.0f s (paper: LACE wins)\n",
+                s16, sp16);
+    std::printf("  T3D vs ALLNODE-S: %.0f vs %.0f at 4 procs; %.0f vs %.0f at\n"
+                "  16 procs (paper: crossover beyond 8 processors)\n\n",
+                t3d4, s4, t3d16, s16);
+  }
+  return 0;
+}

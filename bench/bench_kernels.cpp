@@ -1,0 +1,112 @@
+// google-benchmark microbenchmarks of the solver kernels on the host
+// CPU: the Version 1..5 ladder (measured, not modelled), the individual
+// kernels, and Navier-Stokes vs Euler cost.
+#include <benchmark/benchmark.h>
+
+#include "core/solver.hpp"
+
+namespace {
+
+using namespace nsp::core;
+
+SolverConfig make_cfg(KernelVariant v, bool viscous, int ni = 125, int nj = 50) {
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(ni, nj);
+  cfg.variant = v;
+  cfg.viscous = viscous;
+  return cfg;
+}
+
+void BM_StepByVersion(benchmark::State& state) {
+  const auto v = static_cast<KernelVariant>(state.range(0));
+  Solver s(make_cfg(v, true));
+  s.initialize();
+  for (auto _ : state) {
+    s.step();
+    benchmark::DoNotOptimize(s.state().rho(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * 125 * 50);
+  state.SetLabel("NS step, host, " + std::string("V") +
+                 std::to_string(state.range(0)));
+}
+BENCHMARK(BM_StepByVersion)->DenseRange(1, 5)->Unit(benchmark::kMillisecond);
+
+void BM_StepEuler(benchmark::State& state) {
+  Solver s(make_cfg(KernelVariant::V5, false));
+  s.initialize();
+  for (auto _ : state) s.step();
+  state.SetItemsProcessed(state.iterations() * 125 * 50);
+}
+BENCHMARK(BM_StepEuler)->Unit(benchmark::kMillisecond);
+
+void BM_Primitives(benchmark::State& state) {
+  const auto v = static_cast<KernelVariant>(state.range(0));
+  const Gas gas;
+  StateField q(250, 100);
+  for (int j = -kGhost; j < 100 + kGhost; ++j)
+    for (int i = -kGhost; i < 250 + kGhost; ++i) {
+      q.rho(i, j) = 1.0 + 0.01 * ((i + j) % 7);
+      q.mx(i, j) = 0.5;
+      q.mr(i, j) = 0.1;
+      q.e(i, j) = 2.0;
+    }
+  PrimitiveField w(250, 100);
+  for (auto _ : state) {
+    compute_primitives(gas, q, w, {0, 250}, 0, 100, v);
+    benchmark::DoNotOptimize(w.p(1, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * 250 * 100);
+}
+BENCHMARK(BM_Primitives)->Arg(1)->Arg(3)->Arg(5)->Unit(benchmark::kMicrosecond);
+
+void BM_Stresses(benchmark::State& state) {
+  Gas gas;
+  gas.mu = 2.5e-6;
+  const Grid grid = Grid::paper();
+  PrimitiveField w(250, 100);
+  for (int j = -kGhost; j < 100 + kGhost; ++j)
+    for (int i = -kGhost; i < 250 + kGhost; ++i) {
+      w.u(i, j) = 1.0 + 0.001 * i;
+      w.v(i, j) = 0.01 * j;
+      w.t(i, j) = 1.0;
+      w.p(i, j) = 0.7;
+    }
+  StressField s(250, 100);
+  for (auto _ : state) {
+    compute_stresses(gas, grid, w, s, {0, 250}, 0, 250);
+    benchmark::DoNotOptimize(s.txr(1, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * 250 * 100);
+}
+BENCHMARK(BM_Stresses)->Unit(benchmark::kMicrosecond);
+
+void BM_PredictorX(benchmark::State& state) {
+  StateField q(250, 100), f(250, 100), qp(250, 100);
+  for (int c = 0; c < 4; ++c) {
+    for (int j = -kGhost; j < 100 + kGhost; ++j)
+      for (int i = -kGhost; i < 250 + kGhost; ++i) {
+        q[c](i, j) = 1.0;
+        f[c](i, j) = 0.5 + 0.001 * i;
+      }
+  }
+  for (auto _ : state) {
+    predictor_x(q, f, qp, 0.01, SweepVariant::L1, {0, 250});
+    benchmark::DoNotOptimize(qp.rho(1, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * 250 * 100);
+}
+BENCHMARK(BM_PredictorX)->Unit(benchmark::kMicrosecond);
+
+void BM_DoallThreads(benchmark::State& state) {
+  SolverConfig cfg = make_cfg(KernelVariant::V5, true, 250, 100);
+  cfg.num_threads = static_cast<int>(state.range(0));
+  Solver s(cfg);
+  s.initialize();
+  for (auto _ : state) s.step();
+  state.SetLabel("paper grid, " + std::to_string(state.range(0)) + " threads");
+}
+BENCHMARK(BM_DoallThreads)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

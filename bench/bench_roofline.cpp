@@ -1,0 +1,52 @@
+// Roofline view of the 1995 CPUs: for each node, the memory-bandwidth
+// ceiling, the FP-issue ceiling, and where the application's kernels
+// actually land — the modern framing of the paper's "match the memory
+// bandwidth to the processor speed" lesson.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace nsp;
+  bench::banner("Roofline: 1995 nodes vs the application's kernels");
+
+  const arch::CpuModel cpus[] = {
+      arch::CpuModel::rs6000_560(), arch::CpuModel::rs6000_590(),
+      arch::CpuModel::rs6k_370(), arch::CpuModel::alpha_t3d()};
+
+  io::Table t({"CPU", "FP peak (MFLOPS)", "mem BW (MB/s)",
+               "balance (flops/byte)", "V5 achieved", "V5 % of peak",
+               "bound by"});
+  t.title("Navier-Stokes Version 5 kernel on each node");
+  const auto v5 = arch::KernelProfile::make(arch::Equations::NavierStokes,
+                                            arch::CodeVersion::V5_CommonCollapse);
+  // The kernel's arithmetic intensity: flops per byte of cache-miss
+  // traffic (misses x line size), from the analytic model's breakdown.
+  for (const auto& cpu : cpus) {
+    const double peak = cpu.clock_hz * cpu.flops_per_cycle / 1e6;
+    const double mem_bw =
+        cpu.bus_bytes_per_cycle * cpu.clock_hz / 1e6;  // MB/s refill
+    const auto cyc = cpu.cycles(v5, 1.0);
+    const double achieved = cpu.effective_mflops(v5);
+    const double traffic_bytes =
+        cyc.stall_cycles / cpu.miss_penalty_cycles() / 1.3 *
+        static_cast<double>(cpu.dcache.line_bytes);
+    const double intensity =
+        traffic_bytes > 0 ? v5.flops / traffic_bytes : 1e9;
+    const bool mem_bound = cyc.stall_cycles >
+                           cyc.flop_cycles + cyc.divide_cycles + cyc.pow_cycles;
+    t.row({cpu.name, io::format_fixed(peak, 0), io::format_fixed(mem_bw, 0),
+           io::format_fixed(intensity, 1), io::format_fixed(achieved, 1),
+           io::format_percent(achieved / peak),
+           mem_bound ? "memory" : "issue/divide"});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "The T3D node is the paper's cautionary tale: highest peak, lowest\n"
+      "fraction achieved, firmly memory-bound through its 8 KB direct-\n"
+      "mapped cache. The 590 pairs a modest peak with a wide bus and a\n"
+      "large cache — \"matching the memory bandwidth to the processor\n"
+      "speed\" — and achieves the highest fraction of peak.\n");
+  return 0;
+}

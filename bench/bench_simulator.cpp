@@ -1,0 +1,72 @@
+// google-benchmark microbenchmarks of the simulation substrate: DES
+// event throughput, network model transfer costs, and full platform
+// replays (the cost of regenerating one figure point).
+#include <benchmark/benchmark.h>
+
+#include "arch/network.hpp"
+#include "perf/replay.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace nsp;
+
+void BM_EventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+      if (++fired < 10000) s.after(1e-6, chain);
+    };
+    s.after(0.0, chain);
+    s.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventThroughput);
+
+void BM_EthernetContention(benchmark::State& state) {
+  const int senders = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    arch::EthernetBus net(s);
+    int delivered = 0;
+    for (int k = 0; k < senders; ++k) {
+      net.transmit(k, (k + 1) % senders, 3200, [&] { ++delivered; });
+    }
+    s.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+}
+BENCHMARK(BM_EthernetContention)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_TorusRouting(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    arch::Torus3D t(s);
+    int delivered = 0;
+    for (int src = 0; src < 16; ++src) {
+      t.transmit(src, (src + 5) % 16, 6400, [&] { ++delivered; });
+    }
+    s.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+}
+BENCHMARK(BM_TorusRouting);
+
+void BM_ReplayOneFigurePoint(benchmark::State& state) {
+  const auto app = perf::AppModel::paper(arch::Equations::NavierStokes);
+  const auto plat = arch::Platform::lace560_allnode_s();
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto r = perf::replay(app, plat, procs);
+    benchmark::DoNotOptimize(r.exec_time);
+  }
+  state.SetLabel(std::to_string(procs) + " ranks, 400 simulated steps");
+}
+BENCHMARK(BM_ReplayOneFigurePoint)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Table 2: Computation-Communication Ratios.
+//
+// FPs/byte and FPs/start-up per processor for P in {1, 2, 4, 8, 16},
+// exactly as the paper derives them from Table 1 (total work / P over
+// the fixed per-processor communication).
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace nsp;
+  bench::banner("Table 2: Computation-Communication Ratios");
+
+  const auto ns = perf::AppModel::paper(arch::Equations::NavierStokes);
+  const auto eu = perf::AppModel::paper(arch::Equations::Euler);
+
+  io::Table t({"No. of Procs.", "FPs/Byte N-S", "FPs/Byte Euler",
+               "FPs/Start-up N-S", "FPs/Start-up Euler"});
+  t.title("Table 2: Computation-Communication Ratios");
+  const double paper_fpb_ns[] = {0, 580, 290, 145, 73};
+  const double paper_fpb_eu[] = {0, 405, 203, 101, 51};
+  const double paper_fps_ns[] = {0, 906e3, 453e3, 227e3, 113e3};
+  const double paper_fps_eu[] = {0, 642e3, 321e3, 161e3, 80e3};
+  const int procs[] = {1, 2, 4, 8, 16};
+  for (int k = 0; k < 5; ++k) {
+    const int p = procs[k];
+    if (p == 1) {
+      t.row({"1", "inf", "inf", "inf", "inf"});
+      continue;
+    }
+    const double fpb_ns = ns.total_flops() / p / ns.volume_per_proc(16);
+    const double fpb_eu = eu.total_flops() / p / eu.volume_per_proc(16);
+    const double fps_ns = ns.total_flops() / p / ns.startups_per_proc(16);
+    const double fps_eu = eu.total_flops() / p / eu.startups_per_proc(16);
+    t.row({std::to_string(p),
+           io::format_fixed(fpb_ns, 0) + " (paper " +
+               io::format_fixed(paper_fpb_ns[k], 0) + ")",
+           io::format_fixed(fpb_eu, 0) + " (paper " +
+               io::format_fixed(paper_fpb_eu[k], 0) + ")",
+           io::format_si(fps_ns) + " (paper " + io::format_si(paper_fps_ns[k]) +
+               ")",
+           io::format_si(fps_eu) + " (paper " + io::format_si(paper_fps_eu[k]) +
+               ")"});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  // The paper's Ethernet saturation argument from Section 7.1.
+  const double mflops = 16.0;
+  const double fpb8 = ns.total_flops() / 8 / ns.volume_per_proc(16);
+  const double mbps = 8.0 * (mflops * 1e6 / fpb8) * 8.0 / 1e6;
+  std::printf(
+      "Section 7.1 saturation argument: at 8 processors and %.0f MFLOPS,\n"
+      "each processor emits a byte every %.0f FP ops -> all 8 offer %.1f\n"
+      "Mb/s against Ethernet's 10 Mb/s peak, so Ethernet saturates near 8\n"
+      "processors (the paper computes ~9 Mb/s with 20 MFLOPS nodes).\n",
+      mflops, fpb8, mbps);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Shared helpers for the figure-reproduction harnesses: processor-count
+// sweeps, paper-style log-log charts, and CSV output next to each chart.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "arch/platform.hpp"
+#include "io/chart.hpp"
+#include "io/table.hpp"
+#include "perf/app_model.hpp"
+#include "perf/replay.hpp"
+
+namespace nsp::bench {
+
+/// The processor counts the paper sweeps (bounded by the platform).
+inline std::vector<int> proc_sweep(int max_procs = 16) {
+  std::vector<int> ps;
+  for (int p : {1, 2, 4, 6, 8, 10, 12, 14, 16}) {
+    if (p <= max_procs) ps.push_back(p);
+  }
+  return ps;
+}
+
+/// Sweeps execution time over processor counts for one platform.
+inline io::Series exec_time_series(const perf::AppModel& app,
+                                   const arch::Platform& plat,
+                                   const std::string& label) {
+  io::Series s;
+  s.label = label;
+  for (int p : proc_sweep(plat.max_procs)) {
+    s.x.push_back(p);
+    s.y.push_back(perf::replay(app, plat, p).exec_time);
+  }
+  return s;
+}
+
+/// Prints a figure: title, ASCII log-log chart, and writes the CSV plus
+/// a gnuplot script that renders it ("gnuplot <name>.gp" -> PNG).
+inline void print_figure(const std::string& title, const std::string& csv_path,
+                         const std::vector<io::Series>& series) {
+  io::ChartOptions opts;
+  opts.title = title;
+  opts.x_label = "Number of Processors";
+  opts.y_label = "Execution time (s)";
+  io::LineChart chart(opts);
+  for (const auto& s : series) chart.add(s);
+  std::printf("%s\n", chart.str().c_str());
+  io::write_series_csv(csv_path, series);
+  std::string gp = csv_path;
+  const auto dot = gp.find_last_of('.');
+  if (dot != std::string::npos) gp.erase(dot);
+  gp += ".gp";
+  io::write_gnuplot_script(gp, csv_path, series.size(), opts);
+  std::printf("[data: %s; render with: gnuplot %s]\n\n", csv_path.c_str(),
+              gp.c_str());
+}
+
+/// Header banner shared by all harnesses.
+inline void banner(const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what.c_str());
+  std::printf("Jayasimha, Hayder, Pillay: \"Parallelizing Navier-Stokes\n");
+  std::printf("Computations on a Variety of Architectural Platforms\" (SC'95)\n");
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace nsp::bench

@@ -1,0 +1,109 @@
+// Jet noise: the paper's motivating application. The radiated sound of
+// a supersonic jet is computed from the time-accurate near field; this
+// example places "microphones" in the near field of the excited jet,
+// records the pressure history, and extracts the response at the
+// excitation Strouhal number — the quantity an acoustic-analogy
+// post-processor (Lighthill) would propagate to the far field.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "io/chart.hpp"
+#include "io/signal.hpp"
+#include "io/table.hpp"
+
+int main() {
+  using namespace nsp;
+
+  core::SolverConfig cfg;
+  cfg.grid = core::Grid::coarse(125, 50);
+  cfg.viscous = true;
+  cfg.jet.eps = 5e-3;    // stronger excitation for a short demo run
+  cfg.smoothing = 0.005; // stabilize the under-resolved saturated state
+  core::Solver solver(cfg);
+  solver.initialize();
+
+  // Microphones along the jet lip line (r = 1.5) at several stations.
+  struct Mic {
+    double x;
+    int i, j;
+    std::vector<double> p;
+  };
+  std::vector<Mic> mics;
+  const int j_mic = static_cast<int>(1.5 / cfg.grid.dr());
+  for (double x : {5.0, 10.0, 20.0, 35.0}) {
+    mics.push_back({x, static_cast<int>(x / cfg.grid.dx()), j_mic, {}});
+  }
+
+  const core::Gas& gas = cfg.jet.gas;
+  const int steps = 1200;
+  std::vector<double> time;
+  for (int k = 0; k < steps; ++k) {
+    solver.step();
+    time.push_back(solver.time());
+    for (auto& m : mics) {
+      const auto& q = solver.state();
+      m.p.push_back(gas.pressure(q.rho(m.i, m.j), q.mx(m.i, m.j),
+                                 q.mr(m.i, m.j), q.e(m.i, m.j)));
+    }
+  }
+  std::printf("ran %d steps to t = %.1f; solution %s\n\n", steps, solver.time(),
+              solver.finite() ? "finite" : "DIVERGED");
+
+  // Response at the excitation frequency (single-bin Fourier projection
+  // over the second half of each record, via io/signal).
+  const double omega = cfg.jet.omega();
+  io::Table t({"mic x/r_j", "mean p", "p' RMS", "|p'| at St", "dB re eps*p0"});
+  t.title("Near-field pressure response at the excitation Strouhal number");
+  const std::size_t half = time.size() / 2;
+  std::vector<io::Series> hist;
+  for (auto& m : mics) {
+    const std::span<const double> tail(m.p.data() + half, m.p.size() - half);
+    const double p_mean = io::mean(tail);
+    const double p_rms = io::rms(tail);
+    const double amp = io::project_tone(tail, solver.dt(), omega).amplitude;
+    const double ref = cfg.jet.eps * cfg.jet.mean_p();
+    t.row({io::format_fixed(m.x, 0), io::format_fixed(p_mean, 4),
+           io::format_sci(p_rms, 2), io::format_sci(amp, 2),
+           io::format_fixed(20.0 * std::log10(amp / ref + 1e-300), 1)});
+    io::Series s;
+    s.label = "x=" + io::format_fixed(m.x, 0);
+    for (std::size_t k = half; k < m.p.size(); k += 4) {
+      s.x.push_back(time[k]);
+      s.y.push_back(m.p[k] - p_mean);
+    }
+    hist.push_back(std::move(s));
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  // Full spectrum at the farthest microphone: the excited instability
+  // line should dominate.
+  {
+    const auto& m = mics.back();
+    const std::span<const double> tail(m.p.data() + half, m.p.size() - half);
+    const io::Spectrum spec = io::amplitude_spectrum(tail, solver.dt());
+    if (!spec.amplitude.empty()) {
+      const std::size_t peak = io::dominant_bin(spec);
+      const double f_exc = omega / (2.0 * 3.14159265358979323846);
+      std::printf("spectrum at x = %.0f: dominant frequency %.4f "
+                  "(excitation %.4f, St %.3f)\n\n",
+                  m.x, spec.frequency[peak], f_exc, cfg.jet.strouhal);
+    }
+  }
+
+  io::ChartOptions opts;
+  opts.log_x = false;
+  opts.log_y = false;
+  opts.title = "Pressure fluctuation histories along the lip line";
+  opts.x_label = "t (c_c / r_j units)";
+  io::LineChart chart(opts);
+  for (auto& s : hist) chart.add(s);
+  std::printf("%s", chart.str().c_str());
+  io::write_series_csv("jet_noise_pressure.csv", hist);
+  std::printf("\n[pressure histories written to jet_noise_pressure.csv]\n"
+              "The growth of |p'| downstream is the instability-wave\n"
+              "amplification the acoustic analogy converts to far-field "
+              "noise.\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+// nsplab_cli: command-line front end to the platform laboratory.
+//
+//   nsplab_cli list
+//   nsplab_cli replay <platform> [--euler] [--version N] [--procs P]
+//   nsplab_cli sweep  <platform> [--euler] [--version N]
+//   nsplab_cli solve  [--ni N] [--nj N] [--steps N] [--euler] [--threads T]
+//
+// Platform keys: ethernet, allnode-s, allnode-f, fddi, atm, sp-mpl,
+// sp-pvme, t3d, t3d-shmem, ymp.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "bench/bench_util.hpp"
+#include "core/solver.hpp"
+#include "io/chart.hpp"
+
+namespace {
+
+using namespace nsp;
+
+std::map<std::string, arch::Platform> platform_registry() {
+  return {
+      {"ethernet", arch::Platform::lace560_ethernet()},
+      {"allnode-s", arch::Platform::lace560_allnode_s()},
+      {"allnode-f", arch::Platform::lace590_allnode_f()},
+      {"fddi", arch::Platform::lace560_fddi()},
+      {"atm", arch::Platform::lace590_atm()},
+      {"sp-mpl", arch::Platform::ibm_sp_mpl()},
+      {"sp-pvme", arch::Platform::ibm_sp_pvme()},
+      {"t3d", arch::Platform::cray_t3d()},
+      {"t3d-shmem", arch::Platform::cray_t3d_shmem()},
+      {"ymp", arch::Platform::cray_ymp()},
+  };
+}
+
+int usage() {
+  std::printf(
+      "usage:\n"
+      "  nsplab_cli list\n"
+      "  nsplab_cli replay <platform> [--euler] [--version N] [--procs P]\n"
+      "  nsplab_cli sweep  <platform> [--euler] [--version N]\n"
+      "  nsplab_cli solve  [--ni N] [--nj N] [--steps N] [--euler] [--threads T]\n");
+  return 2;
+}
+
+struct Args {
+  bool euler = false;
+  int version = 5;
+  int procs = 16;
+  int ni = 100;
+  int nj = 40;
+  int steps = 200;
+  int threads = 1;
+};
+
+Args parse_flags(int argc, char** argv, int from) {
+  Args a;
+  for (int k = from; k < argc; ++k) {
+    const std::string flag = argv[k];
+    const auto next = [&]() { return k + 1 < argc ? std::atoi(argv[++k]) : 0; };
+    if (flag == "--euler") a.euler = true;
+    else if (flag == "--version") a.version = next();
+    else if (flag == "--procs") a.procs = next();
+    else if (flag == "--ni") a.ni = next();
+    else if (flag == "--nj") a.nj = next();
+    else if (flag == "--steps") a.steps = next();
+    else if (flag == "--threads") a.threads = next();
+  }
+  return a;
+}
+
+perf::AppModel make_app(const Args& a) {
+  return perf::AppModel::paper(
+      a.euler ? arch::Equations::Euler : arch::Equations::NavierStokes,
+      static_cast<arch::CodeVersion>(std::clamp(a.version, 1, 7)));
+}
+
+int cmd_list() {
+  io::Table t({"key", "platform", "CPU", "network", "library", "max procs"});
+  t.title("Available platforms");
+  for (const auto& [key, p] : platform_registry()) {
+    t.row({key, p.name, p.cpu.name, to_string(p.net), p.msglayer.name,
+           std::to_string(p.max_procs)});
+  }
+  std::printf("%s", t.str().c_str());
+  return 0;
+}
+
+int cmd_replay(const arch::Platform& plat, const Args& a) {
+  const auto app = make_app(a);
+  const int procs = std::min(a.procs, plat.max_procs);
+  const auto r = perf::replay(app, plat, procs);
+  std::printf("%s, %s, %d procs:\n", plat.name.c_str(), app.profile.name.c_str(),
+              procs);
+  std::printf("  execution time        %10.1f s\n", r.exec_time);
+  std::printf("  processor busy (avg)  %10.1f s\n", r.avg_busy());
+  std::printf("  non-overlapped comm   %10.1f s\n", r.avg_wait());
+  std::printf("  messages / bytes      %10.0f / %.1f MB\n", r.total_messages(),
+              r.total_bytes() / 1e6);
+  return 0;
+}
+
+int cmd_sweep(const arch::Platform& plat, const Args& a) {
+  const auto app = make_app(a);
+  const auto series = bench::exec_time_series(app, plat, plat.name);
+  io::ChartOptions opts;
+  opts.title = plat.name + " / " + app.profile.name;
+  opts.x_label = "Number of Processors";
+  opts.y_label = "Execution time (s)";
+  io::LineChart chart(opts);
+  chart.add(series);
+  std::printf("%s", chart.str().c_str());
+  return 0;
+}
+
+int cmd_solve(const Args& a) {
+  core::SolverConfig cfg;
+  cfg.grid = core::Grid::coarse(a.ni, a.nj);
+  cfg.viscous = !a.euler;
+  cfg.num_threads = std::max(1, a.threads);
+  core::Solver s(cfg);
+  s.initialize();
+  s.run(a.steps);
+  std::printf("%s %dx%d, %d steps (t = %.2f): %s, max Mach %.3f\n",
+              a.euler ? "Euler" : "Navier-Stokes", a.ni, a.nj, s.steps_taken(),
+              s.time(), s.finite() ? "finite" : "DIVERGED", s.max_mach());
+  const auto mx = s.axial_momentum();
+  std::printf("%s", io::contour_map(mx, a.ni, a.nj, 80, 16).c_str());
+  return s.finite() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "list") return cmd_list();
+  if (cmd == "solve") return cmd_solve(parse_flags(argc, argv, 2));
+  if (cmd == "replay" || cmd == "sweep") {
+    if (argc < 3) return usage();
+    const auto reg = platform_registry();
+    const auto it = reg.find(argv[2]);
+    if (it == reg.end()) {
+      std::printf("unknown platform '%s'; try: nsplab_cli list\n", argv[2]);
+      return 2;
+    }
+    const Args a = parse_flags(argc, argv, 3);
+    return cmd == "replay" ? cmd_replay(it->second, a) : cmd_sweep(it->second, a);
+  }
+  return usage();
+}

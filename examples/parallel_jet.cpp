@@ -1,0 +1,57 @@
+// SPMD parallel solve on the threads-backed message-passing runtime:
+// the paper's Section 5 parallelization, live. Decomposes the jet into
+// axial blocks, exchanges boundary primitives and flux columns each
+// sweep stage, verifies the result against the serial solver, and
+// reports the per-rank communication statistics behind Table 1.
+#include <cmath>
+#include <cstdio>
+
+#include "core/solver.hpp"
+#include "io/table.hpp"
+#include "par/subdomain_solver.hpp"
+
+int main() {
+  using namespace nsp;
+
+  core::SolverConfig cfg;
+  cfg.grid = core::Grid::coarse(96, 40);
+  cfg.viscous = true;
+  const int nprocs = 6;
+  const int steps = 40;
+
+  std::printf("decomposing %dx%d into %d axial blocks, %d steps...\n",
+              cfg.grid.ni, cfg.grid.nj, nprocs, steps);
+  std::vector<core::CommCounter> counters;
+  const core::StateField qpar = par::run_parallel_jet(cfg, nprocs, steps, &counters);
+
+  // Verify against the serial solver: the decomposition is exact.
+  core::Solver serial(cfg);
+  serial.initialize();
+  serial.run(steps);
+  double maxdiff = 0;
+  for (int c = 0; c < core::StateField::kComponents; ++c) {
+    for (int j = 0; j < cfg.grid.nj; ++j) {
+      for (int i = 0; i < cfg.grid.ni; ++i) {
+        maxdiff =
+            std::max(maxdiff, std::fabs(qpar[c](i, j) - serial.state()[c](i, j)));
+      }
+    }
+  }
+  std::printf("max |parallel - serial| over all fields: %.3g %s\n\n", maxdiff,
+              maxdiff == 0.0 ? "(bit-exact)" : "");
+
+  io::Table t({"rank", "sends", "recvs", "start-ups", "MB sent"});
+  t.title("Per-rank communication (the live numbers behind Table 1)");
+  for (std::size_t r = 0; r < counters.size(); ++r) {
+    const auto& c = counters[r];
+    t.row({std::to_string(r), std::to_string(c.sends), std::to_string(c.recvs),
+           std::to_string(c.startups()),
+           io::format_fixed(c.bytes_sent / 1e6, 2)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "Interior ranks exchange boundary primitives (u, v, T, p bundled into\n"
+      "one message) and two combined flux columns per sweep stage, exactly\n"
+      "the Version-5 grouping of Section 5. Edge ranks talk to one side.\n");
+  return 0;
+}

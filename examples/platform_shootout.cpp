@@ -1,0 +1,61 @@
+// Platform shootout: use the 1995 platform laboratory directly.
+//
+// Demonstrates the arch/perf public API: pick the paper's machines,
+// define a custom machine of your own, and ask where the application's
+// time would go on each. This is how the repository regenerates the
+// paper's Figures 3-12, exposed as a user-facing tool.
+#include <cstdio>
+
+#include "arch/platform.hpp"
+#include "io/table.hpp"
+#include "perf/replay.hpp"
+
+int main() {
+  using namespace nsp;
+
+  const auto app = perf::AppModel::paper(arch::Equations::NavierStokes);
+  std::printf("workload: %s, %.0f GFLOP total, %d steps on %dx%d\n\n",
+              app.profile.name.c_str(), app.total_flops() / 1e9, app.steps,
+              app.ni, app.nj);
+
+  // A custom platform: 1995's "dream cluster" — 590 nodes, the SP
+  // switch, and a lean message layer.
+  arch::Platform dream;
+  dream.name = "590 + SP switch + MPL-class library";
+  dream.cpu = arch::CpuModel::rs6000_590();
+  dream.msglayer = arch::MsgLayerModel::mpl_sp();
+  dream.msglayer.blocking_send = false;  // assume the constraint is fixed
+  dream.net = arch::NetKind::SpSwitch;
+  dream.max_procs = 16;
+
+  std::vector<arch::Platform> lineup = {
+      arch::Platform::cray_ymp(),          arch::Platform::lace590_allnode_f(),
+      arch::Platform::lace560_allnode_s(), arch::Platform::cray_t3d(),
+      arch::Platform::ibm_sp_mpl(),        arch::Platform::lace560_ethernet(),
+      dream,
+  };
+
+  io::Table t({"Platform", "procs", "exec (s)", "busy (s)", "wait (s)",
+               "speedup vs 1", "efficiency"});
+  t.title("Navier-Stokes, 5000 steps: where does the time go?");
+  for (const auto& plat : lineup) {
+    const int procs = plat.max_procs;
+    const auto r1 = perf::replay(app, plat, 1);
+    const auto rp = perf::replay(app, plat, procs);
+    const double speedup = r1.exec_time / rp.exec_time;
+    t.row({plat.name, std::to_string(procs), io::format_fixed(rp.exec_time, 0),
+           io::format_fixed(rp.avg_busy(), 0), io::format_fixed(rp.avg_wait(), 0),
+           io::format_fixed(speedup, 1) + "x",
+           io::format_percent(speedup / procs)});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  std::printf(
+      "Lessons the paper drew, visible above:\n"
+      "  * the vector Y-MP still wins outright at modest scale;\n"
+      "  * NOW hardware is viable when the network (ALLNODE-F) and the\n"
+      "    message layer are good: see the hypothetical last row;\n"
+      "  * a fast CPU cannot rescue a weak cache (T3D vs the 560s);\n"
+      "  * Ethernet is fine until the aggregate traffic saturates it.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "arch/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace nsp::arch {
+
+CacheSim::CacheSim(CacheGeometry geom) : geom_(geom) {
+  if (geom.line_bytes == 0 || (geom.line_bytes & (geom.line_bytes - 1)) != 0) {
+    throw std::invalid_argument("CacheSim: line size must be a power of two");
+  }
+  if (geom.associativity < 1) {
+    throw std::invalid_argument("CacheSim: associativity must be >= 1");
+  }
+  const std::size_t lines_total = geom.size_bytes / geom.line_bytes;
+  if (lines_total == 0 || lines_total % geom.associativity != 0) {
+    throw std::invalid_argument("CacheSim: size/line/assoc geometry invalid");
+  }
+  num_sets_ = static_cast<int>(lines_total / geom.associativity);
+  line_shift_ = std::countr_zero(geom.line_bytes);
+  lines_.assign(lines_total, Line{});
+}
+
+void CacheSim::clear() {
+  lines_.assign(lines_.size(), Line{});
+  stamp_ = hits_ = misses_ = writebacks_ = 0;
+}
+
+bool CacheSim::touch_line(std::uint64_t line_addr, bool write) {
+  const std::uint64_t set = line_addr % static_cast<std::uint64_t>(num_sets_);
+  const std::uint64_t tag = line_addr / static_cast<std::uint64_t>(num_sets_);
+  Line* set_base = &lines_[set * geom_.associativity];
+  ++stamp_;
+
+  Line* victim = set_base;
+  for (int w = 0; w < geom_.associativity; ++w) {
+    Line& l = set_base[w];
+    if (l.valid && l.tag == tag) {
+      l.lru = stamp_;
+      if (write) l.dirty = true;
+      ++hits_;
+      return true;
+    }
+    if (!victim->valid) continue;       // keep first invalid victim
+    if (!l.valid || l.lru < victim->lru) victim = &l;
+  }
+  ++misses_;
+  if (victim->valid && victim->dirty) ++writebacks_;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = stamp_;
+  victim->dirty = write;
+  return false;
+}
+
+bool CacheSim::access(std::uint64_t addr, unsigned bytes, bool write) {
+  const std::uint64_t first = addr >> line_shift_;
+  const std::uint64_t last = (addr + (bytes ? bytes - 1 : 0)) >> line_shift_;
+  bool all_hit = true;
+  for (std::uint64_t l = first; l <= last; ++l) {
+    all_hit = touch_line(l, write) && all_hit;
+  }
+  return all_hit;
+}
+
+void append_sweep_trace(std::vector<std::uint64_t>& out, int ni, int nj,
+                        int arrays, bool stride1_radial) {
+  // Arrays are laid out back to back, each ni x nj doubles, axial index
+  // fastest (Fortran column-major equivalent: A(i,j) at (j*ni + i)*8).
+  // A small odd pad between arrays avoids the pathological case where
+  // every array aliases to the same cache sets (real codes get this
+  // from unrelated COMMON block members).
+  constexpr std::uint64_t kPad = 264;
+  const auto addr = [&](int a, int i, int j) {
+    return static_cast<std::uint64_t>(a) *
+               (static_cast<std::uint64_t>(ni) * nj * 8 + kPad) +
+           (static_cast<std::uint64_t>(j) * ni + i) * 8;
+  };
+
+  // Axial sweep: for each j row, stream i with a 3-point stencil across
+  // all arrays. This is stride-1 in either code version.
+  for (int j = 0; j < nj; ++j) {
+    for (int i = 1; i + 1 < ni; ++i) {
+      for (int a = 0; a < arrays; ++a) {
+        out.push_back(addr(a, i - 1, j));
+        out.push_back(addr(a, i, j));
+        out.push_back(addr(a, i + 1, j));
+      }
+    }
+  }
+
+  // Radial sweep: the Version-1 code keeps the i-outer/j-inner loop
+  // order, so consecutive accesses hop ni doubles apart; the Version-3
+  // interchange walks j-outer/i-inner, recovering stride 1.
+  if (stride1_radial) {
+    for (int j = 1; j + 1 < nj; ++j) {
+      for (int i = 0; i < ni; ++i) {
+        for (int a = 0; a < arrays; ++a) {
+          out.push_back(addr(a, i, j - 1));
+          out.push_back(addr(a, i, j));
+          out.push_back(addr(a, i, j + 1));
+        }
+      }
+    }
+  } else {
+    for (int i = 0; i < ni; ++i) {
+      for (int j = 1; j + 1 < nj; ++j) {
+        for (int a = 0; a < arrays; ++a) {
+          out.push_back(addr(a, i, j - 1));
+          out.push_back(addr(a, i, j));
+          out.push_back(addr(a, i, j + 1));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace nsp::arch

@@ -1,0 +1,70 @@
+// A trace-driven set-associative cache simulator.
+//
+// The analytic miss model in CpuModel answers "how fast is this kernel
+// on this CPU"; this simulator answers "was the analytic model fair" —
+// the cache-design ablation bench replays actual sweep address traces
+// from the solver's access patterns through era-accurate geometries
+// (T3D 8 KB direct-mapped vs LACE 64/256 KB 4-way) and reports real
+// hit ratios.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/cpu_model.hpp"  // CacheGeometry
+
+namespace nsp::arch {
+
+/// LRU set-associative cache with write-allocate, write-back policy.
+class CacheSim {
+ public:
+  explicit CacheSim(CacheGeometry geom);
+
+  /// Simulates one access of `bytes` bytes at `addr`; accesses spanning
+  /// line boundaries touch each line. `write` marks lines dirty.
+  /// Returns true if every touched line hit.
+  bool access(std::uint64_t addr, unsigned bytes = 8, bool write = false);
+
+  /// Resets contents and statistics.
+  void clear();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t writebacks() const { return writebacks_; }
+  double miss_ratio() const {
+    const std::uint64_t n = hits_ + misses_;
+    return n ? static_cast<double>(misses_) / static_cast<double>(n) : 0.0;
+  }
+  const CacheGeometry& geometry() const { return geom_; }
+  int num_sets() const { return num_sets_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // last-use stamp
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  bool touch_line(std::uint64_t line_addr, bool write);
+
+  CacheGeometry geom_;
+  int num_sets_;
+  int line_shift_;
+  std::vector<Line> lines_;  // num_sets * associativity
+  std::uint64_t stamp_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+/// Generates the address trace of one axial+radial 2-4 MacCormack sweep
+/// pair over an ni x nj grid with `arrays` double arrays laid out
+/// consecutively, visiting arrays in a stencil pattern. `stride1_radial`
+/// selects the Version-3 loop order (radial sweeps access consecutive
+/// memory) versus the Version-1 order (radial sweeps hop by ni doubles).
+/// The trace is appended to `out` as byte addresses.
+void append_sweep_trace(std::vector<std::uint64_t>& out, int ni, int nj,
+                        int arrays, bool stride1_radial);
+
+}  // namespace nsp::arch

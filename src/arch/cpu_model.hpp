@@ -1,0 +1,95 @@
+// Analytic CPU + cache timing model for the 1995 processors in the paper.
+//
+// The paper's central single-processor claim is that this application is
+// memory-hierarchy-bound: "the bottleneck seems to be the performance of
+// the cache and the memory hierarchy. A proper cache design is critical."
+// The model therefore converts a KernelProfile into cycles as
+//
+//   cycles = flop_issue + divides + pow + memory_stalls
+//
+// with memory stalls computed from an analytic miss model that responds
+// to the three cache properties the paper calls out: capacity (8 KB T3D
+// vs 64/256 KB LACE), associativity (direct-mapped T3D vs 4-way LACE),
+// and memory-bus width (the 590's bus is "4 times wider" than the 560's).
+#pragma once
+
+#include <string>
+
+#include "arch/kernel_profile.hpp"
+
+namespace nsp::arch {
+
+/// First-level data-cache geometry.
+struct CacheGeometry {
+  std::size_t size_bytes = 64 * 1024;
+  std::size_t line_bytes = 128;
+  int associativity = 4;
+};
+
+/// Breakdown of where the cycles of a kernel invocation went.
+struct CycleBreakdown {
+  double flop_cycles = 0;
+  double divide_cycles = 0;
+  double pow_cycles = 0;
+  double stall_cycles = 0;
+  double total() const {
+    return flop_cycles + divide_cycles + pow_cycles + stall_cycles;
+  }
+};
+
+/// A scalar (or vector) CPU timing model.
+struct CpuModel {
+  std::string name;
+  double clock_hz = 50e6;
+  double flops_per_cycle = 2.0;  ///< peak FP issue width
+  CacheGeometry dcache;
+  double memory_latency_cycles = 12;   ///< miss latency before refill
+  double bus_bytes_per_cycle = 8;      ///< refill bandwidth (bus width)
+  double writeback_fraction = 0.3;     ///< dirty-line writeback share
+  double divide_cycles = 19;
+  double pow_cycles = 110;             ///< software exponentiation
+
+  // Vector machines (the Cray Y-MP) bypass the cache model entirely:
+  // the application vectorizes, so the effective rate is the asymptotic
+  // vector rate derated by the n-half startup law for finite vector
+  // lengths: rate(len) = vector_mflops * len / (len + vector_n_half).
+  bool vector = false;
+  double vector_mflops = 0;   ///< asymptotic (long-vector) rate
+  double vector_n_half = 0;   ///< vector length at half the asymptotic rate
+
+  /// Finite-vector-length efficiency factor in (0, 1].
+  double vector_efficiency(double length) const {
+    if (!vector || vector_n_half <= 0 || length <= 0) return 1.0;
+    return length / (length + vector_n_half);
+  }
+
+  /// Cycles to refill one line after a miss.
+  double miss_penalty_cycles() const {
+    return memory_latency_cycles +
+           static_cast<double>(dcache.line_bytes) / bus_bytes_per_cycle;
+  }
+
+  /// Effective cache capacity once conflict misses are accounted for:
+  /// direct-mapped caches lose roughly half their capacity to conflicts
+  /// on multi-array stencil codes; 4-way behaves nearly fully.
+  double effective_capacity_bytes() const;
+
+  /// Cycle breakdown for `points` grid points of the given profile.
+  CycleBreakdown cycles(const KernelProfile& p, double points = 1.0) const;
+
+  /// Seconds for `points` grid points of the profile.
+  double seconds(const KernelProfile& p, double points = 1.0) const;
+
+  /// Effective MFLOPS achieved on the profile (flops / time; the paper
+  /// quotes 9.3 MFLOPS for V1 and 16.0 MFLOPS for V5 on the RS6000/560).
+  double effective_mflops(const KernelProfile& p) const;
+
+  // ---- Presets for every CPU in the paper -------------------------------
+  static CpuModel rs6000_560();  ///< LACE lower half: 50 MHz, 64 KB 4-way
+  static CpuModel rs6000_590();  ///< LACE upper half: 66.5 MHz, 256 KB, wide bus
+  static CpuModel rs6k_370();    ///< IBM SP node: 62.5 MHz, 32 KB
+  static CpuModel alpha_t3d();   ///< Cray T3D node: 150 MHz, 8 KB direct-mapped
+  static CpuModel ymp_vector();  ///< Cray Y-MP processor (vector)
+};
+
+}  // namespace nsp::arch

@@ -1,0 +1,68 @@
+// Per-grid-point cost profiles of the application kernels.
+//
+// The paper optimizes a Fortran Navier-Stokes code through five
+// "Versions" (Section 6 / Figure 2):
+//   V1  original: radial sweeps access arrays with non-unit stride,
+//       exponentiation by pow(), division-heavy, many COMMON blocks
+//   V2  strength reduction: exponentiation replaced by multiplication
+//   V3  loop interchange: stride-1 access wherever possible (+50% speed)
+//   V4  division replaced by multiplication (5.5e9 -> 2.0e9 divisions)
+//   V5  COMMON blocks collapsed: better register use, fewer accesses
+// V6/V7 change the communication schedule only (same single-CPU cost).
+//
+// A KernelProfile carries the per-point, per-time-step operation mix the
+// CpuModel converts into cycles on a given 1995 CPU. The numbers are
+// anchored to the paper's Table 1 totals (Navier-Stokes: 145,000 MFLOP
+// over 5000 steps on a 250x100 grid = 1160 FP ops/point/step; Euler:
+// 77,000 MFLOP = 616) and to its division counts (5.5e9 before V4,
+// 2.0e9 after).
+#pragma once
+
+#include <string>
+
+namespace nsp::arch {
+
+/// Which governing equations a profile describes.
+enum class Equations { NavierStokes, Euler };
+
+/// The paper's single-processor code versions.
+enum class CodeVersion : int {
+  V1_Original = 1,
+  V2_StrengthReduction = 2,
+  V3_LoopInterchange = 3,
+  V4_DivisionToMultiply = 4,
+  V5_CommonCollapse = 5,
+  // Communication-schedule variants; identical per-point CPU cost to V5.
+  V6_OverlapComm = 6,
+  V7_UnbundledSends = 7,
+};
+
+/// Returns a human-readable name ("Version 3 (loop interchange)").
+std::string to_string(CodeVersion v);
+std::string to_string(Equations e);
+
+/// Per-grid-point per-time-step operation mix of one code version.
+struct KernelProfile {
+  std::string name;
+
+  // Floating-point work (per point per step).
+  double flops = 0;       ///< adds + multiplies
+  double divides = 0;     ///< FP divides (expensive on all 1995 CPUs)
+  double pow_calls = 0;   ///< library exponentiations (software, ~100 cyc)
+
+  // Memory behaviour (per point per step).
+  double mem_accesses = 0;          ///< executed loads + stores
+  double unique_bytes = 0;          ///< compulsory streamed bytes
+  double unit_stride_fraction = 1;  ///< share of accesses at stride 1
+  double temporal_reuse_fraction = 0.6;  ///< share of accesses that could
+                                         ///< hit if the sweep working set
+                                         ///< stays resident
+  double sweep_working_set_bytes = 0;    ///< bytes live across one sweep
+                                         ///< line (grid line x arrays)
+
+  /// Profile for the given equations and code version, for a grid with
+  /// `nj` radial points (the radial extent sets the sweep working set).
+  static KernelProfile make(Equations eq, CodeVersion v, int nj = 100);
+};
+
+}  // namespace nsp::arch

@@ -1,0 +1,69 @@
+#include "arch/msglayer.hpp"
+
+namespace nsp::arch {
+
+MsgLayerModel MsgLayerModel::pvm_lace() {
+  MsgLayerModel m;
+  m.name = "PVM 3.2.2";
+  m.send_overhead_s = 1.2e-3;
+  m.recv_overhead_s = 1.0e-3;
+  m.per_byte_cpu_s = 33e-9;  // ~2 copies at ~60 MB/s
+  // Daemon-routed UDP: application -> pvmd -> pvmd -> application, with
+  // fragmentation and acknowledgements. Multi-KB messages spend tens of
+  // milliseconds in the protocol path on a 1993 workstation.
+  m.inflight_latency_s = 18e-3;
+  m.blocking_send = false;
+  return m;
+}
+
+MsgLayerModel MsgLayerModel::pvme_sp() {
+  MsgLayerModel m;
+  m.name = "PVMe";
+  m.send_overhead_s = 7.0e-3;
+  m.recv_overhead_s = 5.5e-3;
+  m.per_byte_cpu_s = 40e-9;
+  m.inflight_latency_s = 0.8e-3;
+  m.blocking_send = false;
+  return m;
+}
+
+MsgLayerModel MsgLayerModel::mpl_sp() {
+  MsgLayerModel m;
+  m.name = "MPL";
+  m.send_overhead_s = 0.45e-3;
+  m.recv_overhead_s = 0.35e-3;
+  m.per_byte_cpu_s = 12e-9;
+  m.inflight_latency_s = 0.1e-3;
+  m.blocking_send = true;  // the paper could only use (constrained) blocking sends
+  return m;
+}
+
+MsgLayerModel MsgLayerModel::pvm_t3d() {
+  MsgLayerModel m;
+  m.name = "PVM (T3D)";
+  m.send_overhead_s = 0.25e-3;
+  m.recv_overhead_s = 0.20e-3;
+  m.per_byte_cpu_s = 8e-9;
+  m.inflight_latency_s = 0.05e-3;
+  m.blocking_send = false;
+  return m;
+}
+
+MsgLayerModel MsgLayerModel::shmem_t3d() {
+  MsgLayerModel m;
+  m.name = "SHMEM (T3D)";
+  m.send_overhead_s = 5e-6;   // one-sided put setup
+  m.recv_overhead_s = 2e-6;   // synchronization check
+  m.per_byte_cpu_s = 2e-9;
+  m.inflight_latency_s = 3e-6;
+  m.blocking_send = false;
+  return m;
+}
+
+MsgLayerModel MsgLayerModel::shared_memory() {
+  MsgLayerModel m;
+  m.name = "DOALL (shared memory)";
+  return m;
+}
+
+}  // namespace nsp::arch

@@ -1,0 +1,60 @@
+// Message-passing library cost models.
+//
+// The paper stresses that 1995 message-passing overheads came "mainly
+// from the multiple times that data to be communicated is copied and
+// from the context switching overheads ... in transferring a message
+// between the application level and the physical layer" (Section 7.2),
+// and compares PVM 3.2.2 on LACE, PVMe and MPL on the IBM SP, and Cray's
+// customized PVM on the T3D (Figs 11-12).
+//
+// The model charges the *sending CPU* send_overhead + per-byte copy
+// cost, the *receiving CPU* recv_overhead + per-byte copy cost (both are
+// part of "processor busy time" in the paper's decomposition), and the
+// *message* an in-flight protocol latency (daemon hops, fragmentation,
+// acknowledgements) that is not attributable to either CPU. A blocking
+// send additionally stalls the sender until the payload has left for
+// the destination (the constrained MPL send the authors were forced to
+// use).
+#pragma once
+
+#include <string>
+
+namespace nsp::arch {
+
+struct MsgLayerModel {
+  std::string name;
+  double send_overhead_s = 0;   ///< sender CPU time per send
+  double recv_overhead_s = 0;   ///< receiver CPU time per receive
+  double per_byte_cpu_s = 0;    ///< CPU copy cost per byte (each side)
+  double inflight_latency_s = 0;///< protocol latency in flight
+  bool blocking_send = false;   ///< sender stalls until network delivery
+
+  /// Sender CPU cost for one message of `bytes` payload.
+  double send_cpu_s(std::size_t bytes) const {
+    return send_overhead_s + per_byte_cpu_s * static_cast<double>(bytes);
+  }
+  /// Receiver CPU cost for one message of `bytes` payload.
+  double recv_cpu_s(std::size_t bytes) const {
+    return recv_overhead_s + per_byte_cpu_s * static_cast<double>(bytes);
+  }
+
+  /// "Off-the-shelf" PVM 3.2.2 as run on the LACE cluster: daemon-routed
+  /// UDP with multiple copies per message.
+  static MsgLayerModel pvm_lace();
+  /// IBM's PVMe on the SP: PVM 3.2 semantics over the switch; still
+  /// copy- and context-switch-heavy.
+  static MsgLayerModel pvme_sp();
+  /// IBM's native MPL: lean, but only (constrained) blocking sends were
+  /// usable for this communication pattern.
+  static MsgLayerModel mpl_sp();
+  /// Cray's customized PVM on the T3D: "a relatively small setup cost".
+  static MsgLayerModel pvm_t3d();
+  /// SHMEM-style one-sided puts on the T3D — the paper notes "the T3D
+  /// supports multiple programming models" but used message passing;
+  /// this is the road not taken (microsecond-class start-ups).
+  static MsgLayerModel shmem_t3d();
+  /// Shared-memory DOALL (Cray Y-MP): no messages at all.
+  static MsgLayerModel shared_memory();
+};
+
+}  // namespace nsp::arch

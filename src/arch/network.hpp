@@ -1,0 +1,198 @@
+// Interconnect models for every network in the paper.
+//
+//   EthernetBus    10 Mb/s shared medium (LACE "parallel" Ethernet)
+//   FddiRing       100 Mb/s token ring (LACE nodes 9-24)
+//   AtmSwitch      155 Mb/s point-to-point switch (LACE lower half)
+//   OmegaSwitch    IBM ALLNODE-F (64 Mb/s/link), ALLNODE-S (32 Mb/s/link),
+//                  and the SP High-Performance Switch (40 MB/s/link);
+//                  multistage Omega topology with multiple
+//                  contention-free internal paths, so contention happens
+//                  only at the node adapters
+//   Torus3D        Cray T3D 3-D torus, 150 MB/s links, dimension-order
+//                  routing
+//   PerfectNetwork zero-latency infinite-bandwidth reference (testing,
+//                  and the shared-memory Y-MP which passes no messages)
+//
+// All models are discrete-event: transmit() is called at the simulated
+// injection time and the `delivered` callback fires at the simulated
+// arrival time. Contention emerges from FIFO queueing on sim::Resource
+// objects (the Ethernet bus, the FDDI token, switch ports, torus links),
+// which is what produces the paper's Ethernet saturation beyond 8
+// processors.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace nsp::arch {
+
+/// Abstract interconnect. Node ids are 0-based ranks.
+class NetworkModel {
+ public:
+  explicit NetworkModel(sim::Simulator& s) : sim_(s) {}
+  virtual ~NetworkModel() = default;
+  NetworkModel(const NetworkModel&) = delete;
+  NetworkModel& operator=(const NetworkModel&) = delete;
+
+  /// Injects a message at sim.now(); `delivered` fires at arrival.
+  virtual void transmit(int src, int dst, std::size_t bytes,
+                        std::function<void()> delivered) = 0;
+
+  /// Display name ("ALLNODE-F").
+  virtual std::string name() const = 0;
+
+  /// Nominal per-path bandwidth in bytes/second (for reporting).
+  virtual double link_bandwidth_Bps() const = 0;
+
+  std::uint64_t messages_sent() const { return messages_; }
+  double bytes_sent() const { return bytes_; }
+
+ protected:
+  void count(std::size_t bytes) {
+    ++messages_;
+    bytes_ += static_cast<double>(bytes);
+  }
+
+  sim::Simulator& sim_;
+
+ private:
+  std::uint64_t messages_ = 0;
+  double bytes_ = 0;
+};
+
+/// Zero-latency, infinite-bandwidth network (tests; shared-memory runs).
+class PerfectNetwork final : public NetworkModel {
+ public:
+  using NetworkModel::NetworkModel;
+  void transmit(int src, int dst, std::size_t bytes,
+                std::function<void()> delivered) override;
+  std::string name() const override { return "perfect"; }
+  double link_bandwidth_Bps() const override { return 1e300; }
+};
+
+/// 10 Mb/s shared-bus Ethernet with framing overhead and FIFO medium
+/// arbitration. Offered load beyond ~10 Mb/s queues without bound —
+/// exactly the saturation the paper derives for >= 8 processors.
+class EthernetBus final : public NetworkModel {
+ public:
+  explicit EthernetBus(sim::Simulator& s, double bits_per_second = 10e6);
+  void transmit(int src, int dst, std::size_t bytes,
+                std::function<void()> delivered) override;
+  std::string name() const override { return "Ethernet"; }
+  double link_bandwidth_Bps() const override { return rate_bps_ / 8.0; }
+
+  /// Mean utilization of the medium so far (0..1).
+  double utilization() const;
+
+ private:
+  double rate_bps_;
+  sim::Resource bus_;
+  static constexpr double kFramePayload = 1460.0;   // bytes per frame
+  static constexpr double kFrameOverhead = 38.0;    // preamble+hdr+CRC+IFG
+  static constexpr double kBackoffSlot = 51.2e-6;   // CSMA/CD slot time
+};
+
+/// 100 Mb/s FDDI token ring: one token serializes transmissions; each
+/// message additionally pays a token-rotation latency that grows with
+/// the station count.
+class FddiRing final : public NetworkModel {
+ public:
+  FddiRing(sim::Simulator& s, int stations, double bits_per_second = 100e6);
+  void transmit(int src, int dst, std::size_t bytes,
+                std::function<void()> delivered) override;
+  std::string name() const override { return "FDDI"; }
+  double link_bandwidth_Bps() const override { return rate_bps_ / 8.0; }
+
+ private:
+  double rate_bps_;
+  int stations_;
+  sim::Resource token_;
+  static constexpr double kStationLatency = 1e-6;  // per-hop token delay
+};
+
+/// Output-port-contended point-to-point switch (used for ATM at
+/// 155 Mb/s with the 48/53 cell tax).
+class AtmSwitch final : public NetworkModel {
+ public:
+  AtmSwitch(sim::Simulator& s, int nodes, double bits_per_second = 155e6);
+  void transmit(int src, int dst, std::size_t bytes,
+                std::function<void()> delivered) override;
+  std::string name() const override { return "ATM"; }
+  double link_bandwidth_Bps() const override {
+    return rate_bps_ / 8.0 * (48.0 / 53.0);
+  }
+
+ private:
+  double rate_bps_;
+  std::vector<std::unique_ptr<sim::Resource>> out_port_;
+  std::vector<std::unique_ptr<sim::Resource>> in_port_;
+  static constexpr double kSwitchLatency = 10e-6;
+};
+
+/// Multistage Omega switch with multiple contention-free internal paths
+/// (IBM ALLNODE and the SP switch): messages contend only for the source
+/// and destination adapters.
+class OmegaSwitch final : public NetworkModel {
+ public:
+  /// `bits_per_second` is the per-link rate (ALLNODE-F 64e6, ALLNODE-S
+  /// 32e6, SP switch 320e6); `latency` the one-way switch latency.
+  OmegaSwitch(sim::Simulator& s, int nodes, double bits_per_second,
+              std::string name, double latency = 5e-6);
+  void transmit(int src, int dst, std::size_t bytes,
+                std::function<void()> delivered) override;
+  std::string name() const override { return name_; }
+  double link_bandwidth_Bps() const override { return rate_bps_ / 8.0; }
+
+  static std::unique_ptr<OmegaSwitch> allnode_f(sim::Simulator& s, int nodes);
+  static std::unique_ptr<OmegaSwitch> allnode_s(sim::Simulator& s, int nodes);
+  static std::unique_ptr<OmegaSwitch> sp_switch(sim::Simulator& s, int nodes);
+
+ private:
+  double rate_bps_;
+  std::string name_;
+  double latency_;
+  std::vector<std::unique_ptr<sim::Resource>> out_port_;
+  std::vector<std::unique_ptr<sim::Resource>> in_port_;
+};
+
+/// Cray T3D 3-D torus with dimension-order routing and store-and-forward
+/// per-hop link occupancy (a conservative wormhole approximation; the
+/// application's traffic is nearest-neighbour, 1-2 hops).
+class Torus3D final : public NetworkModel {
+ public:
+  /// The machine in the paper is 8 x 4 x 2 = 64 nodes.
+  Torus3D(sim::Simulator& s, int dim_x = 8, int dim_y = 4, int dim_z = 2,
+          double bytes_per_second = 150e6, double hop_latency = 2e-6);
+  void transmit(int src, int dst, std::size_t bytes,
+                std::function<void()> delivered) override;
+  std::string name() const override { return "T3D torus"; }
+  double link_bandwidth_Bps() const override { return rate_Bps_; }
+
+  /// Number of links traversed between two ranks (dimension-order).
+  int hops(int src, int dst) const;
+
+ private:
+  struct Coord {
+    int x, y, z;
+  };
+  Coord coord(int rank) const;
+  int rank_of(Coord c) const;
+  /// Resource index for the link leaving `node` along `dim` in `dir`.
+  int link_index(int node, int dim, int dir) const;
+  void hop(std::vector<int> path, std::size_t index, std::size_t bytes,
+           std::function<void()> delivered);
+
+  int dx_, dy_, dz_;
+  double rate_Bps_;
+  double hop_latency_;
+  std::vector<std::unique_ptr<sim::Resource>> links_;
+};
+
+}  // namespace nsp::arch

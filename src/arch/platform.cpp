@@ -1,0 +1,185 @@
+#include "arch/platform.hpp"
+
+namespace nsp::arch {
+
+std::string to_string(NetKind k) {
+  switch (k) {
+    case NetKind::Perfect: return "perfect";
+    case NetKind::Ethernet: return "Ethernet";
+    case NetKind::Fddi: return "FDDI";
+    case NetKind::Atm: return "ATM";
+    case NetKind::AllnodeF: return "ALLNODE-F";
+    case NetKind::AllnodeS: return "ALLNODE-S";
+    case NetKind::SpSwitch: return "SP switch";
+    case NetKind::Torus3D: return "T3D torus";
+  }
+  return "?";
+}
+
+std::unique_ptr<NetworkModel> Platform::make_network(sim::Simulator& s,
+                                                     int nodes) const {
+  if (link_bandwidth_override_bps > 0 &&
+      (net == NetKind::AllnodeF || net == NetKind::AllnodeS ||
+       net == NetKind::SpSwitch)) {
+    return std::make_unique<OmegaSwitch>(s, std::max(2, nodes),
+                                         link_bandwidth_override_bps,
+                                         "custom switch", 5e-6);
+  }
+  switch (net) {
+    case NetKind::Perfect:
+      return std::make_unique<PerfectNetwork>(s);
+    case NetKind::Ethernet:
+      return std::make_unique<EthernetBus>(s);
+    case NetKind::Fddi:
+      return std::make_unique<FddiRing>(s, std::max(2, nodes));
+    case NetKind::Atm:
+      return std::make_unique<AtmSwitch>(s, std::max(2, nodes));
+    case NetKind::AllnodeF:
+      return OmegaSwitch::allnode_f(s, std::max(2, nodes));
+    case NetKind::AllnodeS:
+      return OmegaSwitch::allnode_s(s, std::max(2, nodes));
+    case NetKind::SpSwitch:
+      return OmegaSwitch::sp_switch(s, std::max(2, nodes));
+    case NetKind::Torus3D:
+      return std::make_unique<Torus3D>(s);
+  }
+  return std::make_unique<PerfectNetwork>(s);
+}
+
+Platform Platform::lace560_ethernet() {
+  Platform p;
+  p.name = "LACE/560 Ethernet";
+  p.cpu = CpuModel::rs6000_560();
+  p.msglayer = MsgLayerModel::pvm_lace();
+  p.net = NetKind::Ethernet;
+  p.max_procs = 16;
+  return p;
+}
+
+Platform Platform::lace560_allnode_s() {
+  Platform p;
+  p.name = "LACE/560 ALLNODE-S";
+  p.cpu = CpuModel::rs6000_560();
+  p.msglayer = MsgLayerModel::pvm_lace();
+  p.net = NetKind::AllnodeS;
+  p.max_procs = 16;
+  return p;
+}
+
+Platform Platform::lace560_fddi() {
+  Platform p;
+  p.name = "LACE/560 FDDI";
+  p.cpu = CpuModel::rs6000_560();
+  p.msglayer = MsgLayerModel::pvm_lace();
+  p.net = NetKind::Fddi;
+  p.max_procs = 16;
+  return p;
+}
+
+Platform Platform::lace590_allnode_f() {
+  Platform p;
+  p.name = "LACE/590 ALLNODE-F";
+  p.cpu = CpuModel::rs6000_590();
+  p.msglayer = MsgLayerModel::pvm_lace();
+  p.sw_speed_factor = 0.64;  // PVM runs on the faster 590
+  p.net = NetKind::AllnodeF;
+  p.max_procs = 16;
+  return p;
+}
+
+Platform Platform::lace590_atm() {
+  Platform p;
+  p.name = "LACE/590 ATM";
+  p.cpu = CpuModel::rs6000_590();
+  p.msglayer = MsgLayerModel::pvm_lace();
+  p.sw_speed_factor = 0.64;
+  p.net = NetKind::Atm;
+  p.max_procs = 16;
+  return p;
+}
+
+Platform Platform::ibm_sp_mpl() {
+  Platform p;
+  p.name = "IBM SP (MPL)";
+  p.cpu = CpuModel::rs6k_370();
+  p.msglayer = MsgLayerModel::mpl_sp();
+  p.net = NetKind::SpSwitch;
+  p.max_procs = 16;
+  return p;
+}
+
+Platform Platform::ibm_sp_pvme() {
+  Platform p;
+  p.name = "IBM SP (PVMe)";
+  p.cpu = CpuModel::rs6k_370();
+  p.msglayer = MsgLayerModel::pvme_sp();
+  p.net = NetKind::SpSwitch;
+  p.max_procs = 16;
+  return p;
+}
+
+Platform Platform::cray_t3d() {
+  Platform p;
+  p.name = "Cray T3D";
+  p.cpu = CpuModel::alpha_t3d();
+  p.msglayer = MsgLayerModel::pvm_t3d();
+  p.net = NetKind::Torus3D;
+  p.max_procs = 16;  // 16 of 64 nodes were available in single-user mode
+  return p;
+}
+
+Platform Platform::cray_t3d_shmem() {
+  Platform p = cray_t3d();
+  p.name = "Cray T3D (SHMEM)";
+  p.msglayer = MsgLayerModel::shmem_t3d();
+  return p;
+}
+
+Platform Platform::cray_ymp() {
+  Platform p;
+  p.name = "Cray Y-MP";
+  p.cpu = CpuModel::ymp_vector();
+  p.msglayer = MsgLayerModel::shared_memory();
+  p.net = NetKind::Perfect;
+  p.max_procs = 8;
+  p.shared_memory = true;
+  // Partitioning orthogonal to the sweep keeps full 250-point vectors.
+  p.doall_vector_length = 250;
+  return p;
+}
+
+Platform Platform::dash() {
+  Platform p;
+  p.name = "DASH (cc-NUMA)";
+  // A 1992 DASH node: 33 MHz MIPS R3000 with a 64 KB + 256 KB cache
+  // hierarchy; modelled here as one effective first-level geometry.
+  CpuModel cpu;
+  cpu.name = "MIPS R3000 (DASH node)";
+  cpu.clock_hz = 33e6;
+  cpu.flops_per_cycle = 1.0;
+  cpu.dcache = {64 * 1024, 64, 1};
+  cpu.memory_latency_cycles = 10;  // local cluster memory
+  cpu.bus_bytes_per_cycle = 4;
+  cpu.divide_cycles = 19;
+  cpu.pow_cycles = 130;
+  p.cpu = cpu;
+  p.msglayer = MsgLayerModel::shared_memory();
+  p.net = NetKind::Perfect;
+  p.max_procs = 16;
+  p.shared_memory = true;
+  p.doall_parallel_fraction = 0.995;
+  p.doall_sync_s = 15e-6;  // hardware-supported synchronization
+  // ~3 us remote miss (100+ cycles through the directory + mesh) and
+  // roughly one line per halo point per live array.
+  p.numa_remote_miss_s = 3e-6;
+  p.numa_halo_lines_per_point = 20;
+  return p;
+}
+
+std::vector<Platform> Platform::all() {
+  return {lace560_ethernet(), lace560_allnode_s(), lace560_fddi(),
+          lace590_allnode_f(), lace590_atm(),      ibm_sp_mpl(),
+          ibm_sp_pvme(),       cray_t3d(),         cray_ymp()};
+}
+
+}  // namespace nsp::arch

@@ -1,0 +1,97 @@
+// Complete platform presets: one per machine/network/library combination
+// the paper measures. A Platform bundles the node CPU model, the message
+// layer model, and a network factory, plus the execution style (message
+// passing vs the Y-MP's shared-memory DOALL parallelization).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/cpu_model.hpp"
+#include "arch/msglayer.hpp"
+#include "arch/network.hpp"
+
+namespace nsp::arch {
+
+/// Which interconnect a platform instantiates.
+enum class NetKind {
+  Perfect,
+  Ethernet,
+  Fddi,
+  Atm,
+  AllnodeF,
+  AllnodeS,
+  SpSwitch,
+  Torus3D,
+};
+
+std::string to_string(NetKind k);
+
+/// A machine configuration the replay engine can execute on.
+struct Platform {
+  std::string name;
+  CpuModel cpu;
+  MsgLayerModel msglayer;
+  NetKind net = NetKind::Perfect;
+  int max_procs = 16;
+
+  // Shared-memory (Cray Y-MP) execution: DOALL loops instead of message
+  // passing. `doall_parallel_fraction` is the Amdahl fraction of the
+  // per-step work inside parallel loops; `doall_sync_s` the cost of one
+  // fork/join region; `doall_regions_per_step` how many parallel regions
+  // one time step executes.
+  bool shared_memory = false;
+  double doall_parallel_fraction = 0.995;
+  double doall_sync_s = 40e-6;
+  int doall_regions_per_step = 8;
+  /// Vector length the DOALL partitioning preserves (0 = not a vector
+  /// machine / ignore). The paper "partitioned the domain along the
+  /// orthogonal direction of the sweep to keep the vector lengths
+  /// large"; set doall_partition_along_sweep to model the bad choice,
+  /// where each processor's vectors shrink to length/P.
+  double doall_vector_length = 0;
+  bool doall_partition_along_sweep = false;
+
+  /// Cache-coherent NUMA (DASH-style) shared memory: communication
+  /// happens implicitly through remote cache misses on the subdomain
+  /// boundary lines instead of messages. Per step each processor takes
+  /// ~2 boundary columns x nj x halo-lines remote misses.
+  double numa_remote_miss_s = 0;          ///< latency of one remote miss
+  double numa_halo_lines_per_point = 0;   ///< cache lines per halo point
+
+  /// Stanford-DASH-style cache-coherent NUMA multiprocessor: the
+  /// architecture the paper explicitly left out of its study.
+  static Platform dash();
+
+  /// Message-layer software costs are CPU work; they scale with the node
+  /// CPU's scalar speed. 1.0 means "as measured on the RS6000/560"; the
+  /// 590 executes the same library code ~1.55x faster.
+  double sw_speed_factor = 1.0;
+
+  /// When > 0, overrides the per-link bit rate of switch-type networks
+  /// (ALLNODE-F/S, SP switch) — used by what-if sweeps such as the NOW
+  /// feasibility ablation.
+  double link_bandwidth_override_bps = 0;
+
+  /// Instantiates this platform's interconnect for `nodes` ranks.
+  std::unique_ptr<NetworkModel> make_network(sim::Simulator& s, int nodes) const;
+
+  // ---- Presets (Section 4 of the paper) ---------------------------------
+  static Platform lace560_ethernet();   ///< upper-half 560s on 10 Mb/s Ethernet
+  static Platform lace560_allnode_s();  ///< 560s on the ALLNODE prototype
+  static Platform lace560_fddi();       ///< nodes 9-24 on FDDI
+  static Platform lace590_allnode_f();  ///< 590s on the fast ALLNODE switch
+  static Platform lace590_atm();        ///< 590s on 155 Mb/s ATM
+  static Platform ibm_sp_mpl();         ///< SP with IBM's native MPL
+  static Platform ibm_sp_pvme();        ///< SP with PVMe
+  static Platform cray_t3d();           ///< T3D, Cray PVM, 3-D torus
+  static Platform cray_t3d_shmem();     ///< T3D with one-sided SHMEM puts
+  static Platform cray_ymp();           ///< Y-MP/8 shared-memory DOALL
+
+  /// The four platforms of the comparative study (Figs 9-10) plus the
+  /// LACE network variants (Figs 3-8).
+  static std::vector<Platform> all();
+};
+
+}  // namespace nsp::arch

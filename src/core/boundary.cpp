@@ -1,0 +1,101 @@
+#include "core/boundary.hpp"
+
+#include <cmath>
+
+namespace nsp::core {
+
+InflowBC::InflowBC(const Grid& grid, const JetConfig& jet)
+    : InflowBC(grid, jet, jet.analytic_mode()) {}
+
+InflowBC::InflowBC(const Grid& grid, const JetConfig& jet, EigenMode mode)
+    : grid_(grid), jet_(jet), mode_(std::move(mode)) {
+  mean_.resize(grid.nj + 2 * kGhost);
+  for (int j = -kGhost; j < grid.nj + kGhost; ++j) {
+    const double r = std::fabs(grid.r(j));
+    Primitive w;
+    w.rho = jet.mean_rho(r);
+    w.u = jet.mean_u(r);
+    w.v = 0.0;
+    w.p = jet.mean_p();
+    mean_[static_cast<std::size_t>(j + kGhost)] = w;
+  }
+}
+
+Primitive InflowBC::state(int j, double t) const {
+  Primitive w = mean_[static_cast<std::size_t>(j + kGhost)];
+  const double phi = jet_.omega() * t;
+  const Primitive d = mode_.perturbation(std::fabs(grid_.r(j)), phi);
+  w.rho += d.rho;
+  w.u += d.u;
+  w.v += d.v;
+  w.p += d.p;
+  return w;
+}
+
+void InflowBC::apply(StateField& q, int icol, double t) const {
+  const Gas& gas = jet_.gas;
+  for (int j = 0; j < grid_.nj; ++j) {
+    const Primitive w = state(j, t);
+    q.rho(icol, j) = w.rho;
+    q.mx(icol, j) = w.rho * w.u;
+    q.mr(icol, j) = w.rho * w.v;
+    q.e(icol, j) = gas.total_energy(w.rho, w.u, w.v, w.p);
+  }
+}
+
+void InflowBC::farfield_conserved(double out[4]) const {
+  const Gas& gas = jet_.gas;
+  const double r_far = grid_.r(grid_.nj + kGhost);
+  const double rho = jet_.mean_rho(r_far);
+  const double u = jet_.mean_u(r_far);
+  out[0] = rho;
+  out[1] = rho * u;
+  out[2] = 0.0;
+  out[3] = gas.total_energy(rho, u, 0.0, jet_.mean_p());
+}
+
+void OutflowBC::apply(StateField& q_new, const StateField& q_old, int icol,
+                      double dt) const {
+  const int nj = q_new.rho.nj();
+  const double gm1 = gas_.gamma - 1.0;
+  for (int j = 0; j < nj; ++j) {
+    const double rho = q_old.rho(icol, j);
+    const double u = q_old.mx(icol, j) / rho;
+    const double v = q_old.mr(icol, j) / rho;
+    const double p = gas_.pressure(rho, q_old.mx(icol, j), q_old.mr(icol, j),
+                                   q_old.e(icol, j));
+    const double c = gas_.sound_speed(p, rho);
+    if (u >= c) continue;  // supersonic outflow: scheme values stand
+
+    // Scheme-provided conservative time derivatives.
+    const double rho_t = (q_new.rho(icol, j) - q_old.rho(icol, j)) / dt;
+    const double mx_t = (q_new.mx(icol, j) - q_old.mx(icol, j)) / dt;
+    const double mr_t = (q_new.mr(icol, j) - q_old.mr(icol, j)) / dt;
+    const double e_t = (q_new.e(icol, j) - q_old.e(icol, j)) / dt;
+    const double u_t = (mx_t - u * rho_t) / rho;
+    const double v_t = (mr_t - v * rho_t) / rho;
+    const double p_t = gm1 * (e_t - 0.5 * (u * u + v * v) * rho_t -
+                              rho * (u * u_t + v * v_t));
+
+    // Characteristic combination: zero the incoming invariant, keep the
+    // outgoing ones at their Navier-Stokes values.
+    const double r2 = p_t + rho * c * u_t;
+    const double r3 = p_t - c * c * rho_t;
+    const double r4 = v_t;
+    const double p_t_c = 0.5 * r2;
+    const double u_t_c = 0.5 * r2 / (rho * c);
+    const double rho_t_c = (p_t_c - r3) / (c * c);
+    const double v_t_c = r4;
+
+    const double rho_n = rho + dt * rho_t_c;
+    const double u_n = u + dt * u_t_c;
+    const double v_n = v + dt * v_t_c;
+    const double p_n = p + dt * p_t_c;
+    q_new.rho(icol, j) = rho_n;
+    q_new.mx(icol, j) = rho_n * u_n;
+    q_new.mr(icol, j) = rho_n * v_n;
+    q_new.e(icol, j) = gas_.total_energy(rho_n, u_n, v_n, p_n);
+  }
+}
+
+}  // namespace nsp::core

@@ -1,0 +1,73 @@
+// Physical boundary conditions of the jet computation.
+//
+//  * Inflow (x = 0): Dirichlet mean jet profile plus the Strouhal-
+//    excited eigenmode (Section 3 of the paper).
+//  * Outflow (x = L): characteristic boundary condition (Hayder &
+//    Turkel). The scheme first advances the boundary column with
+//    extrapolated fluxes; the characteristic correction then rebuilds
+//    the time derivatives from
+//        p_t - rho c u_t = 0            (incoming, subsonic outflow)
+//        p_t + rho c u_t = R2           (outgoing acoustic, from NS)
+//        p_t - c^2 rho_t = R3           (entropy, from NS)
+//        v_t            = R4            (vorticity, from NS)
+//    where the R_i are the scheme's own (Navier-Stokes) values. For
+//    supersonic points every characteristic leaves the domain and the
+//    scheme values stand (computed "from the Navier-Stokes equations or
+//    by extrapolation", as the paper allows).
+//  * Axis (r = 0) and far field (r = 5): handled by the ghost-row fills
+//    in kernels.hpp (reflection / free stream).
+#pragma once
+
+#include <vector>
+
+#include "core/field.hpp"
+#include "core/gas.hpp"
+#include "core/grid.hpp"
+#include "core/jet.hpp"
+
+namespace nsp::core {
+
+/// Excited-jet inflow condition for the column i = icol (normally 0).
+class InflowBC {
+ public:
+  /// Uses the jet's analytic eigenmode for the excitation.
+  InflowBC(const Grid& grid, const JetConfig& jet);
+
+  /// Uses a caller-supplied eigenmode (e.g. a converged Rayleigh mode
+  /// from core/stability.hpp).
+  InflowBC(const Grid& grid, const JetConfig& jet, EigenMode mode);
+
+  /// Overwrites column `icol` of q with the mean profile plus the
+  /// excitation evaluated at time t.
+  void apply(StateField& q, int icol, double t) const;
+
+  /// The prescribed primitive state at radial index j and time t.
+  Primitive state(int j, double t) const;
+
+  /// Conserved free-stream state (also the radial far-field values).
+  void farfield_conserved(double out[4]) const;
+
+  const JetConfig& jet() const { return jet_; }
+
+ private:
+  Grid grid_;
+  JetConfig jet_;
+  EigenMode mode_;
+  std::vector<Primitive> mean_;  // per j
+};
+
+/// Characteristic outflow correction for the column i = icol.
+class OutflowBC {
+ public:
+  explicit OutflowBC(const Gas& gas) : gas_(gas) {}
+
+  /// Rebuilds q_new's column `icol` from the characteristic relations,
+  /// using (q_new - q_old) / dt as the scheme-provided time derivatives.
+  void apply(StateField& q_new, const StateField& q_old, int icol,
+             double dt) const;
+
+ private:
+  Gas gas_;
+};
+
+}  // namespace nsp::core

@@ -1,0 +1,61 @@
+// Operation accounting for the solver.
+//
+// The paper's Tables 1 and 2 are built from floating-point-operation
+// totals and message start-up/volume counts. Kernels credit this
+// counter in bulk (points * ops-per-point, with the per-point constants
+// written next to each loop), so accounting costs nothing per point and
+// stays auditable.
+#pragma once
+
+#include <cstdint>
+
+namespace nsp::core {
+
+struct FlopCounter {
+  double adds_muls = 0;   ///< additions, subtractions, multiplications
+  double divides = 0;     ///< divisions and reciprocals
+  double sqrts = 0;       ///< square roots
+  double pows = 0;        ///< library exponentiations (Version 1 only)
+
+  double total() const { return adds_muls + divides + sqrts + pows; }
+
+  void add(double flops, double div = 0, double sqrt = 0, double pw = 0) {
+    adds_muls += flops;
+    divides += div;
+    sqrts += sqrt;
+    pows += pw;
+  }
+
+  FlopCounter& operator+=(const FlopCounter& o) {
+    adds_muls += o.adds_muls;
+    divides += o.divides;
+    sqrts += o.sqrts;
+    pows += o.pows;
+    return *this;
+  }
+
+  void reset() { *this = FlopCounter{}; }
+};
+
+/// Message accounting for the parallel solver (per rank).
+struct CommCounter {
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  double bytes_sent = 0;
+  double bytes_received = 0;
+
+  /// "Start-ups" in the paper's Table 1 sense: sends + receives.
+  std::uint64_t startups() const { return sends + recvs; }
+
+  CommCounter& operator+=(const CommCounter& o) {
+    sends += o.sends;
+    recvs += o.recvs;
+    bytes_sent += o.bytes_sent;
+    bytes_received += o.bytes_received;
+    return *this;
+  }
+
+  void reset() { *this = CommCounter{}; }
+};
+
+}  // namespace nsp::core

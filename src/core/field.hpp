@@ -1,0 +1,107 @@
+// 2-D scalar and state fields with ghost cells.
+//
+// Layout: the axial index i is fastest (contiguous), matching the
+// original Fortran code's A(i,j) column-major layout; the radial index j
+// strides by the padded axial extent. Two ghost layers on every side
+// accommodate the 2-4 MacCormack stencil (reach +-2).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace nsp::core {
+
+/// Number of ghost layers every field carries on each side.
+inline constexpr int kGhost = 2;
+
+/// A dense 2-D double field over an ni x nj grid plus ghost layers.
+/// Valid index ranges: i in [-kGhost, ni+kGhost), j in [-kGhost, nj+kGhost).
+class Field2D {
+ public:
+  Field2D() = default;
+  Field2D(int ni, int nj, double init = 0.0)
+      : ni_(ni), nj_(nj), row_(ni + 2 * kGhost),
+        data_(static_cast<std::size_t>(ni + 2 * kGhost) * (nj + 2 * kGhost), init) {
+    assert(ni > 0 && nj > 0);
+  }
+
+  int ni() const { return ni_; }
+  int nj() const { return nj_; }
+
+  double& operator()(int i, int j) {
+    assert(in_range(i, j));
+    return data_[index(i, j)];
+  }
+  double operator()(int i, int j) const {
+    assert(in_range(i, j));
+    return data_[index(i, j)];
+  }
+
+  /// Raw row pointer for the given j (points at i = -kGhost).
+  double* row(int j) { return data_.data() + index(-kGhost, j); }
+  const double* row(int j) const { return data_.data() + index(-kGhost, j); }
+
+  /// Distance in doubles between (i, j) and (i, j+1).
+  std::size_t jstride() const { return row_; }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Sum over the interior (ghosts excluded).
+  double interior_sum() const {
+    double s = 0;
+    for (int j = 0; j < nj_; ++j)
+      for (int i = 0; i < ni_; ++i) s += (*this)(i, j);
+    return s;
+  }
+
+ private:
+  bool in_range(int i, int j) const {
+    return i >= -kGhost && i < ni_ + kGhost && j >= -kGhost && j < nj_ + kGhost;
+  }
+  std::size_t index(int i, int j) const {
+    return static_cast<std::size_t>(j + kGhost) * row_ +
+           static_cast<std::size_t>(i + kGhost);
+  }
+
+  int ni_ = 0;
+  int nj_ = 0;
+  std::size_t row_ = 0;
+  std::vector<double> data_;
+};
+
+/// The four conserved variables of the axisymmetric compressible
+/// equations: q = [rho, rho*u, rho*v, E] (E = total energy per volume).
+/// The paper's Q = r*q; the geometric factor r is applied inside the
+/// radial operator, so state fields store plain q.
+struct StateField {
+  Field2D rho, mx, mr, e;
+
+  StateField() = default;
+  StateField(int ni, int nj)
+      : rho(ni, nj), mx(ni, nj), mr(ni, nj), e(ni, nj) {}
+
+  int ni() const { return rho.ni(); }
+  int nj() const { return rho.nj(); }
+
+  Field2D& operator[](int c) {
+    switch (c) {
+      case 0: return rho;
+      case 1: return mx;
+      case 2: return mr;
+      default: return e;
+    }
+  }
+  const Field2D& operator[](int c) const {
+    switch (c) {
+      case 0: return rho;
+      case 1: return mx;
+      case 2: return mr;
+      default: return e;
+    }
+  }
+
+  static constexpr int kComponents = 4;
+};
+
+}  // namespace nsp::core

@@ -1,0 +1,83 @@
+// Perfect-gas relations and the nondimensionalization used throughout.
+//
+// Reference scales: jet radius r_j (length), centerline sound speed c_c
+// (velocity), centerline density rho_c and temperature T_c. Then the
+// centerline velocity is U_c = M_c = 1.5, the centerline pressure is
+// p_c = rho_c c_c^2 / gamma = 1/gamma, and the gas constant R = 1/gamma
+// so that p = rho R T holds with rho = T = 1 on the centerline.
+#pragma once
+
+#include <cmath>
+
+namespace nsp::core {
+
+/// Perfect-gas model plus transport coefficients (nondimensional).
+struct Gas {
+  double gamma = 1.4;  ///< ratio of specific heats
+  double mu = 0.0;     ///< dynamic viscosity at T = 1 (0 => Euler)
+  double prandtl = 0.72;
+
+  /// Sutherland's law: mu(T) = mu * T^(3/2) (1 + S) / (T + S) with S
+  /// the Sutherland constant over the reference (centerline)
+  /// temperature. Disabled (constant viscosity) by default, matching
+  /// the era's common simplification; S = 110.4 K / ~600 K jet core.
+  bool sutherland = false;
+  double sutherland_s = 0.18;
+
+  double gas_constant() const { return 1.0 / gamma; }
+  double cp() const { return gamma * gas_constant() / (gamma - 1.0); }
+
+  /// Dynamic viscosity at temperature T (nondimensional, T_c = 1).
+  double viscosity_at(double t) const {
+    if (!sutherland) return mu;
+    const double tt = t > 1e-12 ? t : 1e-12;
+    return mu * tt * std::sqrt(tt) * (1.0 + sutherland_s) /
+           (tt + sutherland_s);
+  }
+
+  /// Thermal conductivity k = mu * cp / Pr (at T = 1).
+  double conductivity() const { return mu * cp() / prandtl; }
+
+  /// Thermal conductivity at temperature T.
+  double conductivity_at(double t) const {
+    return viscosity_at(t) * cp() / prandtl;
+  }
+
+  /// Pressure from conserved state: p = (gamma-1)(E - 0.5 rho (u^2+v^2)).
+  double pressure(double rho, double mx, double mr, double e) const {
+    return (gamma - 1.0) * (e - 0.5 * (mx * mx + mr * mr) / rho);
+  }
+
+  /// Temperature from p and rho: T = p / (rho R).
+  double temperature(double p, double rho) const {
+    return p / (rho * gas_constant());
+  }
+
+  /// Speed of sound: c = sqrt(gamma p / rho).
+  double sound_speed(double p, double rho) const {
+    return std::sqrt(gamma * p / rho);
+  }
+
+  /// Total energy per volume from primitives.
+  double total_energy(double rho, double u, double v, double p) const {
+    return p / (gamma - 1.0) + 0.5 * rho * (u * u + v * v);
+  }
+};
+
+/// Primitive variables at a point.
+struct Primitive {
+  double rho, u, v, p;
+};
+
+/// Converts conserved -> primitive.
+inline Primitive to_primitive(const Gas& gas, double rho, double mx, double mr,
+                              double e) {
+  Primitive w;
+  w.rho = rho;
+  w.u = mx / rho;
+  w.v = mr / rho;
+  w.p = gas.pressure(rho, mx, mr, e);
+  return w;
+}
+
+}  // namespace nsp::core

@@ -1,0 +1,69 @@
+// Axisymmetric structured grid.
+//
+// The paper's domain is 50 jet radii in the axial (x) direction and 5 in
+// the radial (r) direction, on a 250 x 100 uniform grid. The first
+// radial point is offset half a cell from the axis (r_0 = dr/2), so the
+// geometric factor r never vanishes and axis conditions are imposed by
+// symmetry ghosts across r = 0.
+#pragma once
+
+#include <cassert>
+
+namespace nsp::core {
+
+struct Grid {
+  int ni = 250;      ///< axial points (local extent)
+  int nj = 100;      ///< radial points (local extent)
+  double x0 = 0.0;   ///< axial origin of the global domain
+  double lx = 50.0;  ///< axial extent in jet radii
+  double lr = 5.0;   ///< radial extent in jet radii
+
+  // Subdomain support. Coordinates are always computed from GLOBAL
+  // indices (local index + offset) and the GLOBAL spacing, so a
+  // subdomain grid produces bit-identical x(i)/r(j) to the full grid —
+  // which is what makes the domain-decomposed solver exactly match the
+  // serial one.
+  int i_offset = 0;        ///< global index of local i = 0
+  int j_offset = 0;        ///< global index of local j = 0
+  double spacing_dx = 0;   ///< explicit spacing (0: derive from lx/ni)
+  double spacing_dr = 0;   ///< explicit spacing (0: derive from lr/nj)
+
+  double dx() const { return spacing_dx > 0 ? spacing_dx : lx / ni; }
+  double dr() const { return spacing_dr > 0 ? spacing_dr : lr / nj; }
+
+  /// Axial coordinate of (local) point i (cell-centered).
+  double x(int i) const { return x0 + (i + i_offset + 0.5) * dx(); }
+
+  /// Radial coordinate of (local) point j; with j_offset = 0, ghost
+  /// indices give negative radii mirrored across the axis, which is
+  /// exactly what the reflected radial fluxes need.
+  double r(int j) const { return (j + j_offset + 0.5) * dr(); }
+
+  /// A subdomain covering local extents [i0, i0+ni_local) x
+  /// [j0, j0+nj_local) of this grid, with bit-identical coordinates.
+  Grid subgrid(int i0, int ni_local, int j0, int nj_local) const {
+    Grid g = *this;
+    g.ni = ni_local;
+    g.nj = nj_local;
+    g.i_offset = i_offset + i0;
+    g.j_offset = j_offset + j0;
+    g.spacing_dx = dx();
+    g.spacing_dr = dr();
+    g.lx = dx() * ni_local;
+    g.lr = dr() * nj_local;
+    return g;
+  }
+
+  /// The paper's production grid (250 x 100 over 50 x 5 radii).
+  static Grid paper() { return Grid{}; }
+
+  /// A small grid for tests.
+  static Grid coarse(int ni = 50, int nj = 20) {
+    Grid g;
+    g.ni = ni;
+    g.nj = nj;
+    return g;
+  }
+};
+
+}  // namespace nsp::core

@@ -1,0 +1,66 @@
+#include "core/jet.hpp"
+
+#include <cmath>
+
+namespace nsp::core {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+double JetConfig::shape(double r) const {
+  // Michalke profile: g = 1/2 [1 + tanh((1/r - r) / (4 theta))].
+  // As r -> 0 the argument diverges to +inf, so g -> 1 smoothly.
+  if (r <= 1e-12) return 1.0;
+  return 0.5 * (1.0 + std::tanh((1.0 / r - r) / (4.0 * theta)));
+}
+
+double JetConfig::mean_u(double r) const {
+  return u_coflow + (mach_c - u_coflow) * shape(r);
+}
+
+double JetConfig::mean_t(double r) const {
+  const double g = shape(r);
+  const double t_inf = t_ratio;  // T_c = 1
+  // Crocco-Busemann friction heating scales with the velocity difference
+  // across the shear layer (the paper's M_c^2 form assumes a quiescent
+  // free stream); velocities are already in centerline sound-speed units.
+  const double du = mach_c - u_coflow;
+  return t_inf + (1.0 - t_inf) * g +
+         0.5 * (gas.gamma - 1.0) * du * du * (1.0 - g) * g;
+}
+
+double JetConfig::mean_rho(double r) const {
+  return mean_p() / (gas.gas_constant() * mean_t(r));
+}
+
+double JetConfig::omega() const {
+  // f = St * U_c / D with D = 2 (two jet radii).
+  return 2.0 * kPi * strouhal * mach_c / 2.0;
+}
+
+EigenMode JetConfig::analytic_mode() const {
+  // Shear-layer mode: perturbations peak where dU/dr is largest (r = 1)
+  // with a radial width set by the momentum thickness. The axial
+  // velocity and pressure are in phase; the radial velocity lags by 90
+  // degrees (continuity), a structure shared by the true Rayleigh-mode
+  // solutions this stands in for.
+  const double width = 4.0 * theta;
+  const double e = eps;
+  const double rho0 = mean_rho(1.0);
+  const double u0 = mach_c;
+  const Gas g = gas;
+  const double t1 = mean_t(1.0);
+  return EigenMode{[=](double r, double phi) -> Primitive {
+    const double a = std::exp(-((r - 1.0) * (r - 1.0)) / (2.0 * width * width));
+    Primitive w;
+    w.u = e * a * std::cos(phi);
+    w.v = 0.5 * e * a * std::sin(phi);
+    w.p = e * a * rho0 * u0 * std::cos(phi);
+    const double c2 = g.gamma * g.gas_constant() * t1;  // c^2 = gamma R T
+    w.rho = w.p / c2;
+    return w;
+  }};
+}
+
+}  // namespace nsp::core

@@ -1,0 +1,71 @@
+// The excited axisymmetric supersonic jet problem (Section 3).
+//
+// Mean inflow: a Michalke-style tanh shear layer of momentum thickness
+// theta around r = 1 (the jet radius), with the Crocco-Busemann
+// temperature profile the paper writes as
+//   T = T_inf + (T_c - T_inf) g + (gamma-1)/2 M_c^2 (1 - g) g,
+// zero radial velocity and constant static pressure.
+//
+// Excitation: the inflow is perturbed at Strouhal number St with a
+// radially-structured eigenfunction at excitation level eps. The default
+// eigenfunction is an analytic shear-layer mode shape (a Gaussian hump
+// centred on the shear layer with the axial/radial components in
+// quadrature); the stability module can refine it with a shooting
+// solution of the compressible Rayleigh equation.
+//
+// Paper parameters: M_c = 1.5, T_inf/T_c = 1/2, Re_D = 1.2e6,
+// theta = 0.05 r_j, St = 1/8, eps = 1e-4 (the last three are our best
+// reading of the scan; all are configurable).
+#pragma once
+
+#include <functional>
+
+#include "core/gas.hpp"
+
+namespace nsp::core {
+
+/// One radial profile of the complex inflow eigenfunction, evaluated as
+/// amplitude and phase for each primitive variable.
+struct EigenMode {
+  /// Returns the perturbation of (rho, u, v, p) at radius r and phase
+  /// angle phi = omega * t, already scaled by the excitation level.
+  std::function<Primitive(double r, double phi)> perturbation;
+};
+
+struct JetConfig {
+  double mach_c = 1.5;     ///< jet centerline Mach number
+  double t_ratio = 0.5;    ///< T_inf / T_c
+  double theta = 0.05;     ///< shear-layer momentum thickness / r_j
+  double strouhal = 0.125; ///< excitation Strouhal number (f D / U_c)
+  double eps = 1e-4;       ///< excitation level
+  double u_coflow = 0.0;   ///< free-stream axial velocity
+  double reynolds_d = 1.2e6;  ///< Reynolds number based on jet diameter
+  Gas gas;                 ///< gamma / Pr; mu derived from reynolds_d
+
+  /// Nondimensional viscosity mu = rho_c U_c D / Re_D with D = 2 r_j.
+  double viscosity() const { return mach_c * 2.0 / reynolds_d; }
+
+  /// Shear-layer shape function g(r) = 1 on the axis, 1/2 at r = 1, 0 in
+  /// the free stream.
+  double shape(double r) const;
+
+  /// Mean axial velocity U(r).
+  double mean_u(double r) const;
+
+  /// Mean temperature T(r) (Crocco-Busemann).
+  double mean_t(double r) const;
+
+  /// Mean density from constant static pressure: rho = p / (R T).
+  double mean_rho(double r) const;
+
+  /// Constant static pressure p = 1/gamma.
+  double mean_p() const { return 1.0 / gas.gamma; }
+
+  /// Angular frequency of the excitation: omega = 2 pi St U_c / D.
+  double omega() const;
+
+  /// The analytic shear-layer eigenmode used by default.
+  EigenMode analytic_mode() const;
+};
+
+}  // namespace nsp::core

@@ -1,0 +1,493 @@
+#include "core/kernels.hpp"
+
+#include <cmath>
+
+namespace nsp::core {
+
+namespace {
+
+/// Forward-biased 2-4 difference: (8 f_{i+1} - 7 f_i - f_{i+2}) / (6h) ~ f'.
+/// The caller divides by 6h (folded into lambda).
+inline double fwd(const Field2D& f, int i, int j) {
+  return 8.0 * f(i + 1, j) - 7.0 * f(i, j) - f(i + 2, j);
+}
+inline double bwd(const Field2D& f, int i, int j) {
+  return 7.0 * f(i, j) - 8.0 * f(i - 1, j) + f(i - 2, j);
+}
+inline double fwd_r(const Field2D& f, int i, int j) {
+  return 8.0 * f(i, j + 1) - 7.0 * f(i, j) - f(i, j + 2);
+}
+inline double bwd_r(const Field2D& f, int i, int j) {
+  return 7.0 * f(i, j) - 8.0 * f(i, j - 1) + f(i, j - 2);
+}
+
+}  // namespace
+
+void compute_primitives(const Gas& gas, const StateField& q,
+                        PrimitiveField& w, Range irange, int jlo, int jhi,
+                        KernelVariant variant, FlopCounter* fc) {
+  const double gm1 = gas.gamma - 1.0;
+  const double rgas_inv = 1.0 / gas.gas_constant();
+  const long pts = static_cast<long>(irange.end - irange.begin) * (jhi - jlo);
+
+  switch (variant) {
+    case KernelVariant::V1:
+      // Original: radial-hopping loop order (j inner), library pow for
+      // squares, and a fresh division for every primitive.
+      for (int i = irange.begin; i < irange.end; ++i) {
+        for (int j = jlo; j < jhi; ++j) {
+          const double rho = q.rho(i, j);
+          w.u(i, j) = q.mx(i, j) / rho;
+          w.v(i, j) = q.mr(i, j) / rho;
+          const double ke =
+              0.5 * (std::pow(q.mx(i, j), 2.0) + std::pow(q.mr(i, j), 2.0)) / rho;
+          w.p(i, j) = gm1 * (q.e(i, j) - ke);
+          w.t(i, j) = w.p(i, j) / rho * rgas_inv;
+        }
+      }
+      if (fc) fc->add(6.0 * pts, 4.0 * pts, 0, 2.0 * pts);
+      return;
+    case KernelVariant::V2:
+      // Strength reduction: pow -> multiply; loop order still bad.
+      for (int i = irange.begin; i < irange.end; ++i) {
+        for (int j = jlo; j < jhi; ++j) {
+          const double rho = q.rho(i, j);
+          w.u(i, j) = q.mx(i, j) / rho;
+          w.v(i, j) = q.mr(i, j) / rho;
+          const double ke =
+              0.5 * (q.mx(i, j) * q.mx(i, j) + q.mr(i, j) * q.mr(i, j)) / rho;
+          w.p(i, j) = gm1 * (q.e(i, j) - ke);
+          w.t(i, j) = w.p(i, j) / rho * rgas_inv;
+        }
+      }
+      if (fc) fc->add(8.0 * pts, 4.0 * pts);
+      return;
+    case KernelVariant::V3:
+      // Loop interchange: stride-1 inner loop; divisions remain.
+      for (int j = jlo; j < jhi; ++j) {
+        for (int i = irange.begin; i < irange.end; ++i) {
+          const double rho = q.rho(i, j);
+          w.u(i, j) = q.mx(i, j) / rho;
+          w.v(i, j) = q.mr(i, j) / rho;
+          const double ke =
+              0.5 * (q.mx(i, j) * q.mx(i, j) + q.mr(i, j) * q.mr(i, j)) / rho;
+          w.p(i, j) = gm1 * (q.e(i, j) - ke);
+          w.t(i, j) = w.p(i, j) / rho * rgas_inv;
+        }
+      }
+      if (fc) fc->add(8.0 * pts, 4.0 * pts);
+      return;
+    case KernelVariant::V4:
+    case KernelVariant::V5:
+      // Division -> reciprocal multiply (V4) and fused single pass with
+      // collapsed locals (V5; the two share a loop body here — the
+      // COMMON-collapse part of V5 has no C++ analogue beyond what the
+      // fused loop already delivers).
+      for (int j = jlo; j < jhi; ++j) {
+        for (int i = irange.begin; i < irange.end; ++i) {
+          const double rinv = 1.0 / q.rho(i, j);
+          const double u = q.mx(i, j) * rinv;
+          const double v = q.mr(i, j) * rinv;
+          const double p = gm1 * (q.e(i, j) - 0.5 * (q.mx(i, j) * u + q.mr(i, j) * v));
+          w.u(i, j) = u;
+          w.v(i, j) = v;
+          w.p(i, j) = p;
+          w.t(i, j) = p * rinv * rgas_inv;
+        }
+      }
+      if (fc) fc->add(10.0 * pts, 1.0 * pts);
+      return;
+  }
+}
+
+void compute_stresses(const Gas& gas, const Grid& grid,
+                      const PrimitiveField& w, StressField& s, Range irange,
+                      int ilo_avail, int ihi_avail, FlopCounter* fc) {
+  const double mu_const = gas.mu;
+  const double k_const = gas.conductivity();
+  const double k_over_mu = gas.cp() / gas.prandtl;
+  const bool sutherland = gas.sutherland;
+  const double ddx = 1.0 / (2.0 * grid.dx());
+  const double ddr = 1.0 / (2.0 * grid.dr());
+  const int nj = w.u.nj();
+
+  // x-derivative: central where both neighbours are available, else
+  // second-order one-sided (only at physical inflow/outflow columns).
+  const auto dx_of = [&](const Field2D& f, int i, int j) {
+    if (i - 1 >= ilo_avail && i + 1 < ihi_avail) {
+      return (f(i + 1, j) - f(i - 1, j)) * ddx;
+    }
+    if (i - 1 < ilo_avail) {
+      return (-3.0 * f(i, j) + 4.0 * f(i + 1, j) - f(i + 2, j)) * ddx;
+    }
+    return (3.0 * f(i, j) - 4.0 * f(i - 1, j) + f(i - 2, j)) * ddx;
+  };
+  // r-derivative: ghost rows are always filled, so always central.
+  const auto dr_of = [&](const Field2D& f, int i, int j) {
+    return (f(i, j + 1) - f(i, j - 1)) * ddr;
+  };
+
+  for (int j = 0; j < nj; ++j) {
+    const double rinv = 1.0 / grid.r(j);
+    for (int i = irange.begin; i < irange.end; ++i) {
+      const double ux = dx_of(w.u, i, j);
+      const double vx = dx_of(w.v, i, j);
+      const double tx = dx_of(w.t, i, j);
+      const double ur = dr_of(w.u, i, j);
+      const double vr = dr_of(w.v, i, j);
+      const double tr = dr_of(w.t, i, j);
+      const double vor = w.v(i, j) * rinv;  // v / r
+      const double dil = ux + vr + vor;     // divergence
+      const double mu = sutherland ? gas.viscosity_at(w.t(i, j)) : mu_const;
+      const double k = sutherland ? mu * k_over_mu : k_const;
+      s.txx(i, j) = mu * (2.0 * ux - (2.0 / 3.0) * dil);
+      s.trr(i, j) = mu * (2.0 * vr - (2.0 / 3.0) * dil);
+      s.ttt(i, j) = mu * (2.0 * vor - (2.0 / 3.0) * dil);
+      s.txr(i, j) = mu * (ur + vx);
+      s.qx(i, j) = -k * tx;
+      s.qr(i, j) = -k * tr;
+    }
+  }
+  if (fc) {
+    const long pts = static_cast<long>(irange.end - irange.begin) * nj;
+    fc->add(36.0 * pts, 1.0 * pts);
+  }
+}
+
+void fill_stress_ghost_rows_axis(StressField& s, int ni_lo, int ni_hi) {
+  for (int g = 1; g <= kGhost; ++g) {
+    for (int i = ni_lo; i < ni_hi; ++i) {
+      // Axis reflection: txx, trr, ttt symmetric; txr, qr antisymmetric;
+      // qx symmetric.
+      s.txx(i, -g) = s.txx(i, g - 1);
+      s.trr(i, -g) = s.trr(i, g - 1);
+      s.ttt(i, -g) = s.ttt(i, g - 1);
+      s.txr(i, -g) = -s.txr(i, g - 1);
+      s.qx(i, -g) = s.qx(i, g - 1);
+      s.qr(i, -g) = -s.qr(i, g - 1);
+    }
+  }
+}
+
+void fill_stress_ghost_rows_far(StressField& s, int ni_lo, int ni_hi) {
+  const int nj = s.txx.nj();
+  for (int g = 1; g <= kGhost; ++g) {
+    for (int i = ni_lo; i < ni_hi; ++i) {
+      // Far field: copy the outermost interior row (stresses are ~0 there).
+      s.txx(i, nj - 1 + g) = s.txx(i, nj - 1);
+      s.trr(i, nj - 1 + g) = s.trr(i, nj - 1);
+      s.ttt(i, nj - 1 + g) = s.ttt(i, nj - 1);
+      s.txr(i, nj - 1 + g) = s.txr(i, nj - 1);
+      s.qx(i, nj - 1 + g) = s.qx(i, nj - 1);
+      s.qr(i, nj - 1 + g) = s.qr(i, nj - 1);
+    }
+  }
+}
+
+void fill_stress_ghost_rows(StressField& s, int ni_lo, int ni_hi) {
+  fill_stress_ghost_rows_axis(s, ni_lo, ni_hi);
+  fill_stress_ghost_rows_far(s, ni_lo, ni_hi);
+}
+
+void compute_flux_x(const Gas& gas, const StateField& q,
+                    const PrimitiveField& w, const StressField& s,
+                    bool viscous, StateField& f, Range irange,
+                    KernelVariant variant, FlopCounter* fc) {
+  (void)gas;  // pressure arrives precomputed in w
+  const int nj = q.rho.nj();
+  const bool bad_stride = variant == KernelVariant::V1 || variant == KernelVariant::V2;
+  const bool use_pow = variant == KernelVariant::V1;
+
+  const auto body = [&](int i, int j) {
+    const double u = w.u(i, j);
+    const double v = w.v(i, j);
+    const double p = w.p(i, j);
+    const double rho = q.rho(i, j);
+    const double rhou = q.mx(i, j);
+    const double uu = use_pow ? std::pow(u, 2.0) : u * u;
+    f.rho(i, j) = rhou;
+    f.mx(i, j) = rho * uu + p;
+    f.mr(i, j) = rhou * v;
+    f.e(i, j) = (q.e(i, j) + p) * u;
+    if (viscous) {
+      f.mx(i, j) -= s.txx(i, j);
+      f.mr(i, j) -= s.txr(i, j);
+      f.e(i, j) += -u * s.txx(i, j) - v * s.txr(i, j) + s.qx(i, j);
+    }
+  };
+
+  if (bad_stride) {
+    for (int i = irange.begin; i < irange.end; ++i)
+      for (int j = 0; j < nj; ++j) body(i, j);
+  } else {
+    for (int j = 0; j < nj; ++j)
+      for (int i = irange.begin; i < irange.end; ++i) body(i, j);
+  }
+  if (fc) {
+    const long pts = static_cast<long>(irange.end - irange.begin) * nj;
+    fc->add((viscous ? 14.0 : 7.0) * pts, 0, 0, use_pow ? pts : 0);
+  }
+}
+
+void compute_flux_r(const Gas& gas, const Grid& grid, const StateField& q,
+                    const PrimitiveField& w, const StressField& s,
+                    bool viscous, StateField& gt, Range irange, int jlo,
+                    int jhi, KernelVariant variant, FlopCounter* fc) {
+  (void)gas;
+  const bool bad_stride = variant == KernelVariant::V1 || variant == KernelVariant::V2;
+  const bool use_pow = variant == KernelVariant::V1;
+
+  const auto body = [&](int i, int j) {
+    const double r = grid.r(j);
+    const double u = w.u(i, j);
+    const double v = w.v(i, j);
+    const double p = w.p(i, j);
+    const double rhov = q.mr(i, j);
+    const double vv = use_pow ? std::pow(v, 2.0) : v * v;
+    double g0 = rhov;
+    double g1 = rhov * u;
+    double g2 = q.rho(i, j) * vv + p;
+    double g3 = (q.e(i, j) + p) * v;
+    if (viscous) {
+      g1 -= s.txr(i, j);
+      g2 -= s.trr(i, j);
+      g3 += -u * s.txr(i, j) - v * s.trr(i, j) + s.qr(i, j);
+    }
+    gt.rho(i, j) = r * g0;
+    gt.mx(i, j) = r * g1;
+    gt.mr(i, j) = r * g2;
+    gt.e(i, j) = r * g3;
+  };
+
+  if (bad_stride) {
+    for (int i = irange.begin; i < irange.end; ++i)
+      for (int j = jlo; j < jhi; ++j) body(i, j);
+  } else {
+    for (int j = jlo; j < jhi; ++j)
+      for (int i = irange.begin; i < irange.end; ++i) body(i, j);
+  }
+  if (fc) {
+    const long pts = static_cast<long>(irange.end - irange.begin) * (jhi - jlo);
+    fc->add((viscous ? 18.0 : 11.0) * pts, 0, 0, use_pow ? pts : 0);
+  }
+}
+
+void reflect_flux_r_axis(StateField& gt, Range irange) {
+  // Gt = r G: under r -> -r the components transform as [+, +, -, +].
+  for (int g = 1; g <= kGhost; ++g) {
+    for (int i = irange.begin; i < irange.end; ++i) {
+      gt.rho(i, -g) = gt.rho(i, g - 1);
+      gt.mx(i, -g) = gt.mx(i, g - 1);
+      gt.mr(i, -g) = -gt.mr(i, g - 1);
+      gt.e(i, -g) = gt.e(i, g - 1);
+    }
+  }
+}
+
+void extrapolate_flux_ghost_x(StateField& f, int ni, int side, FlopCounter* fc) {
+  const int nj = f.rho.nj();
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    Field2D& a = f[c];
+    if (side < 0) {
+      for (int j = 0; j < nj; ++j) {
+        a(-1, j) = 4.0 * a(0, j) - 6.0 * a(1, j) + 4.0 * a(2, j) - a(3, j);
+        a(-2, j) = 4.0 * a(-1, j) - 6.0 * a(0, j) + 4.0 * a(1, j) - a(2, j);
+      }
+    } else {
+      for (int j = 0; j < nj; ++j) {
+        a(ni, j) = 4.0 * a(ni - 1, j) - 6.0 * a(ni - 2, j) + 4.0 * a(ni - 3, j) -
+                   a(ni - 4, j);
+        a(ni + 1, j) = 4.0 * a(ni, j) - 6.0 * a(ni - 1, j) + 4.0 * a(ni - 2, j) -
+                       a(ni - 3, j);
+      }
+    }
+  }
+  if (fc) fc->add(14.0 * nj * StateField::kComponents);
+}
+
+void predictor_x(const StateField& q, const StateField& f, StateField& qp,
+                 double lambda, SweepVariant v, Range irange, FlopCounter* fc) {
+  const int nj = q.rho.nj();
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    const Field2D& qa = q[c];
+    const Field2D& fa = f[c];
+    Field2D& qpa = qp[c];
+    for (int j = 0; j < nj; ++j) {
+      if (v == SweepVariant::L1) {
+        for (int i = irange.begin; i < irange.end; ++i) {
+          qpa(i, j) = qa(i, j) - lambda * fwd(fa, i, j);
+        }
+      } else {
+        for (int i = irange.begin; i < irange.end; ++i) {
+          qpa(i, j) = qa(i, j) - lambda * bwd(fa, i, j);
+        }
+      }
+    }
+  }
+  if (fc) {
+    fc->add(6.0 * StateField::kComponents *
+            static_cast<long>(irange.end - irange.begin) * nj);
+  }
+}
+
+void corrector_x(const StateField& q, const StateField& qp,
+                 const StateField& fp, StateField& qn1, double lambda,
+                 SweepVariant v, Range irange, FlopCounter* fc) {
+  const int nj = q.rho.nj();
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    const Field2D& qa = q[c];
+    const Field2D& qpa = qp[c];
+    const Field2D& fpa = fp[c];
+    Field2D& out = qn1[c];
+    for (int j = 0; j < nj; ++j) {
+      if (v == SweepVariant::L1) {
+        for (int i = irange.begin; i < irange.end; ++i) {
+          out(i, j) = 0.5 * (qa(i, j) + qpa(i, j) - lambda * bwd(fpa, i, j));
+        }
+      } else {
+        for (int i = irange.begin; i < irange.end; ++i) {
+          out(i, j) = 0.5 * (qa(i, j) + qpa(i, j) - lambda * fwd(fpa, i, j));
+        }
+      }
+    }
+  }
+  if (fc) {
+    fc->add(8.0 * StateField::kComponents *
+            static_cast<long>(irange.end - irange.begin) * nj);
+  }
+}
+
+void predictor_r(const Grid& grid, const StateField& q, const StateField& gt,
+                 const Field2D& p, const Field2D& ttt, bool viscous,
+                 StateField& qp, double dt, SweepVariant v, Range irange,
+                 FlopCounter* fc) {
+  const int nj = q.rho.nj();
+  const double inv6dr = 1.0 / (6.0 * grid.dr());
+  for (int j = 0; j < nj; ++j) {
+    const double dt_r = dt / grid.r(j);
+    for (int i = irange.begin; i < irange.end; ++i) {
+      const double src = p(i, j) - (viscous ? ttt(i, j) : 0.0);
+      for (int c = 0; c < StateField::kComponents; ++c) {
+        const double diff = (v == SweepVariant::L1) ? fwd_r(gt[c], i, j)
+                                                    : bwd_r(gt[c], i, j);
+        const double s = (c == 2) ? src : 0.0;
+        qp[c](i, j) = q[c](i, j) + dt_r * (s - diff * inv6dr);
+      }
+    }
+  }
+  if (fc) {
+    fc->add(30.0 * static_cast<long>(irange.end - irange.begin) * nj,
+            1.0 * static_cast<long>(irange.end - irange.begin) * nj);
+  }
+}
+
+void corrector_r(const Grid& grid, const StateField& q, const StateField& qp,
+                 const StateField& gtp, const Field2D& pp, const Field2D& tttp,
+                 bool viscous, StateField& qn1, double dt, SweepVariant v,
+                 Range irange, FlopCounter* fc) {
+  const int nj = q.rho.nj();
+  const double inv6dr = 1.0 / (6.0 * grid.dr());
+  for (int j = 0; j < nj; ++j) {
+    const double dt_r = dt / grid.r(j);
+    for (int i = irange.begin; i < irange.end; ++i) {
+      const double src = pp(i, j) - (viscous ? tttp(i, j) : 0.0);
+      for (int c = 0; c < StateField::kComponents; ++c) {
+        const double diff = (v == SweepVariant::L1) ? bwd_r(gtp[c], i, j)
+                                                    : fwd_r(gtp[c], i, j);
+        const double s = (c == 2) ? src : 0.0;
+        qn1[c](i, j) =
+            0.5 * (q[c](i, j) + qp[c](i, j) + dt_r * (s - diff * inv6dr));
+      }
+    }
+  }
+  if (fc) {
+    fc->add(34.0 * static_cast<long>(irange.end - irange.begin) * nj,
+            1.0 * static_cast<long>(irange.end - irange.begin) * nj);
+  }
+}
+
+void fill_q_ghost_rows_axis(StateField& q, Range irange) {
+  for (int g = 1; g <= kGhost; ++g) {
+    for (int i = irange.begin; i < irange.end; ++i) {
+      q.rho(i, -g) = q.rho(i, g - 1);
+      q.mx(i, -g) = q.mx(i, g - 1);
+      q.mr(i, -g) = -q.mr(i, g - 1);
+      q.e(i, -g) = q.e(i, g - 1);
+    }
+  }
+}
+
+void fill_q_ghost_rows_far(StateField& q, Range irange,
+                           const double farfield[4]) {
+  const int nj = q.rho.nj();
+  for (int g = 1; g <= kGhost; ++g) {
+    for (int i = irange.begin; i < irange.end; ++i) {
+      q.rho(i, nj - 1 + g) = farfield[0];
+      q.mx(i, nj - 1 + g) = farfield[1];
+      q.mr(i, nj - 1 + g) = farfield[2];
+      q.e(i, nj - 1 + g) = farfield[3];
+    }
+  }
+}
+
+void fill_q_ghost_rows(StateField& q, Range irange, const double farfield[4]) {
+  fill_q_ghost_rows_axis(q, irange);
+  fill_q_ghost_rows_far(q, irange, farfield);
+}
+
+void fill_q_ghost_rows_far_zero_gradient(StateField& q, Range irange) {
+  const int nj = q.rho.nj();
+  for (int g = 1; g <= kGhost; ++g) {
+    for (int i = irange.begin; i < irange.end; ++i) {
+      for (int c = 0; c < StateField::kComponents; ++c) {
+        q[c](i, nj - 1 + g) = q[c](i, nj - 1);
+      }
+    }
+  }
+}
+
+void fill_primitive_ghost_rows_far_zero_gradient(PrimitiveField& w,
+                                                 Range irange) {
+  const int nj = w.u.nj();
+  for (int g = 1; g <= kGhost; ++g) {
+    for (int i = irange.begin; i < irange.end; ++i) {
+      w.u(i, nj - 1 + g) = w.u(i, nj - 1);
+      w.v(i, nj - 1 + g) = w.v(i, nj - 1);
+      w.t(i, nj - 1 + g) = w.t(i, nj - 1);
+      w.p(i, nj - 1 + g) = w.p(i, nj - 1);
+    }
+  }
+}
+
+void fill_primitive_ghost_rows_axis(PrimitiveField& w, Range irange) {
+  for (int g = 1; g <= kGhost; ++g) {
+    for (int i = irange.begin; i < irange.end; ++i) {
+      w.u(i, -g) = w.u(i, g - 1);
+      w.v(i, -g) = -w.v(i, g - 1);
+      w.t(i, -g) = w.t(i, g - 1);
+      w.p(i, -g) = w.p(i, g - 1);
+    }
+  }
+}
+
+void fill_primitive_ghost_rows_far(const Gas& gas, PrimitiveField& w,
+                                   Range irange, const Primitive& farfield) {
+  const int nj = w.u.nj();
+  const double t_far = gas.temperature(farfield.p, farfield.rho);
+  for (int g = 1; g <= kGhost; ++g) {
+    for (int i = irange.begin; i < irange.end; ++i) {
+      w.u(i, nj - 1 + g) = farfield.u;
+      w.v(i, nj - 1 + g) = farfield.v;
+      w.t(i, nj - 1 + g) = t_far;
+      w.p(i, nj - 1 + g) = farfield.p;
+    }
+  }
+}
+
+void fill_primitive_ghost_rows(const Gas& gas, PrimitiveField& w, Range irange,
+                               const Primitive& farfield) {
+  fill_primitive_ghost_rows_axis(w, irange);
+  fill_primitive_ghost_rows_far(gas, w, irange, farfield);
+}
+
+}  // namespace nsp::core

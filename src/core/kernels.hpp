@@ -1,0 +1,156 @@
+// Numerical kernels of the 2-4 MacCormack (Gottlieb-Turkel) solver.
+//
+// Everything here is a free function over fields with explicit index
+// ranges, so the serial Solver (full domain, extrapolated boundary
+// fluxes) and the parallel subdomain solver (halo-filled ghost columns)
+// orchestrate the same arithmetic. The parallel decomposition then
+// reproduces the serial solution exactly, which is the key correctness
+// property the tests assert.
+//
+// Sweep formulas (L1 = forward predictor / backward corrector; L2 the
+// symmetric variant), for q_t + F_x = 0 with lambda = dt/(6 dx):
+//   L1 predictor:  q*_i = q_i - lambda [7(F_{i+1} - F_i) - (F_{i+2} - F_{i+1})]
+//   L1 corrector:  q^{n+1}_i = 1/2 [q_i + q*_i
+//                              - lambda (7(F*_i - F*_{i-1}) - (F*_{i-1} - F*_{i-2}))]
+// Alternating L1/L2 over successive steps gives fourth-order spatial
+// accuracy (Gottlieb & Turkel 1976).
+#pragma once
+
+#include "core/counters.hpp"
+#include "core/field.hpp"
+#include "core/gas.hpp"
+#include "core/grid.hpp"
+
+namespace nsp::core {
+
+/// Which symmetric variant of the 2-4 scheme a sweep uses.
+enum class SweepVariant { L1, L2 };
+
+/// The paper's single-processor optimization stages, as real alternative
+/// implementations of the hot kernels (identical mathematics, different
+/// loop order and strength): see arch/kernel_profile.hpp for the story.
+enum class KernelVariant : int { V1 = 1, V2 = 2, V3 = 3, V4 = 4, V5 = 5 };
+
+/// Primitive-variable fields derived from the conserved state.
+struct PrimitiveField {
+  Field2D u, v, t, p;
+  PrimitiveField() = default;
+  PrimitiveField(int ni, int nj) : u(ni, nj), v(ni, nj), t(ni, nj), p(ni, nj) {}
+};
+
+/// Viscous stress and heat-flux fields (axisymmetric).
+struct StressField {
+  Field2D txx, trr, ttt, txr, qx, qr;
+  StressField() = default;
+  StressField(int ni, int nj)
+      : txx(ni, nj), trr(ni, nj), ttt(ni, nj), txr(ni, nj), qx(ni, nj),
+        qr(ni, nj) {}
+};
+
+/// Inclusive-exclusive index range [begin, end).
+struct Range {
+  int begin = 0;
+  int end = 0;
+};
+
+/// Computes u, v, T, p from q for i in `irange`, all j in
+/// [jlo, jhi) (ghost rows allowed). `variant` selects the paper's
+/// optimization stage (loop order / pow / division strategy); all
+/// variants agree to rounding. Flop costs are credited to `fc` if given.
+void compute_primitives(const Gas& gas, const StateField& q,
+                        PrimitiveField& w, Range irange, int jlo, int jhi,
+                        KernelVariant variant = KernelVariant::V5,
+                        FlopCounter* fc = nullptr);
+
+/// Computes the axisymmetric stresses and heat fluxes from u, v, T over
+/// i in `irange`, j in [0, nj). Derivatives are central where both
+/// neighbours exist inside [ilo_avail, ihi_avail) x [axis ghosts, far
+/// ghosts], one-sided at the extremes. Radial ghosts of u, v, T must be
+/// filled (axis reflection / far field) before the call.
+void compute_stresses(const Gas& gas, const Grid& grid,
+                      const PrimitiveField& w, StressField& s, Range irange,
+                      int ilo_avail, int ihi_avail, FlopCounter* fc = nullptr);
+
+/// Reflects the stress fields across the axis into ghost rows j = -1,-2
+/// and fills far-field ghost rows with a copy of the last interior row.
+void fill_stress_ghost_rows(StressField& s, int ni_lo, int ni_hi);
+
+/// Computes the axial flux F(q) (viscous terms included when
+/// `viscous`) for i in `irange`, j in [0, nj).
+void compute_flux_x(const Gas& gas, const StateField& q,
+                    const PrimitiveField& w, const StressField& s,
+                    bool viscous, StateField& f, Range irange,
+                    KernelVariant variant = KernelVariant::V5,
+                    FlopCounter* fc = nullptr);
+
+/// Computes the radial flux scaled by radius, Gt = r * G(q), for i in
+/// `irange`, j in [jlo, jhi) (ghost rows allowed; grid.r() supplies the
+/// signed radius for axis ghosts).
+void compute_flux_r(const Gas& gas, const Grid& grid, const StateField& q,
+                    const PrimitiveField& w, const StressField& s,
+                    bool viscous, StateField& gt, Range irange, int jlo,
+                    int jhi, KernelVariant variant = KernelVariant::V5,
+                    FlopCounter* fc = nullptr);
+
+/// Reflects Gt = r*G across the axis into ghost rows j = -1, -2.
+/// Component symmetry under r -> -r is [+, +, -, +].
+void reflect_flux_r_axis(StateField& gt, Range irange);
+
+/// Cubically extrapolates flux columns into the two ghost columns on
+/// the given side (side < 0: i = -1, -2; side > 0: i = ni, ni+1), as the
+/// paper does at physical x boundaries:
+///   F(-1) = 4 F(0) - 6 F(1) + 4 F(2) - F(3), applied recursively.
+void extrapolate_flux_ghost_x(StateField& f, int ni, int side,
+                              FlopCounter* fc = nullptr);
+
+/// x-direction predictor: qp = q - lambda * D(F), D one-sided per the
+/// variant, for i in `irange`, j in [0, nj). lambda = dt / (6 dx).
+void predictor_x(const StateField& q, const StateField& f, StateField& qp,
+                 double lambda, SweepVariant v, Range irange,
+                 FlopCounter* fc = nullptr);
+
+/// x-direction corrector: qn1 = 1/2 (q + qp - lambda * D'(Fp)).
+void corrector_x(const StateField& q, const StateField& qp,
+                 const StateField& fp, StateField& qn1, double lambda,
+                 SweepVariant v, Range irange, FlopCounter* fc = nullptr);
+
+/// r-direction predictor with the geometric source:
+///   qp = q + dt/r * (S - D(Gt)/(6 dr)),  S = [0, 0, p - t_theta, 0].
+void predictor_r(const Grid& grid, const StateField& q, const StateField& gt,
+                 const Field2D& p, const Field2D& ttt, bool viscous,
+                 StateField& qp, double dt, SweepVariant v, Range irange,
+                 FlopCounter* fc = nullptr);
+
+/// r-direction corrector.
+void corrector_r(const Grid& grid, const StateField& q, const StateField& qp,
+                 const StateField& gtp, const Field2D& pp, const Field2D& tttp,
+                 bool viscous, StateField& qn1, double dt, SweepVariant v,
+                 Range irange, FlopCounter* fc = nullptr);
+
+/// Fills radial ghost rows of q: axis side by reflection (rho, rho*u, E
+/// symmetric; rho*v antisymmetric), far side with the supplied
+/// free-stream conserved state. The _axis/_far variants fill one side
+/// only (radial subdomains own at most one physical radial boundary).
+void fill_q_ghost_rows(StateField& q, Range irange, const double farfield[4]);
+void fill_q_ghost_rows_axis(StateField& q, Range irange);
+void fill_q_ghost_rows_far(StateField& q, Range irange, const double farfield[4]);
+
+/// Fills radial ghost rows of the primitive fields consistently
+/// (u, T, p symmetric; v antisymmetric; far side free stream).
+void fill_primitive_ghost_rows(const Gas& gas, PrimitiveField& w, Range irange,
+                               const Primitive& farfield);
+void fill_primitive_ghost_rows_axis(PrimitiveField& w, Range irange);
+void fill_primitive_ghost_rows_far(const Gas& gas, PrimitiveField& w,
+                                   Range irange, const Primitive& farfield);
+
+/// One-sided variants of fill_stress_ghost_rows.
+void fill_stress_ghost_rows_axis(StressField& s, int ni_lo, int ni_hi);
+void fill_stress_ghost_rows_far(StressField& s, int ni_lo, int ni_hi);
+
+/// Zero-gradient far-side ghost rows (copy of the outermost interior
+/// row) — for non-jet problems such as the shock-tube validation where
+/// a fixed free stream would drive spurious radial waves.
+void fill_q_ghost_rows_far_zero_gradient(StateField& q, Range irange);
+void fill_primitive_ghost_rows_far_zero_gradient(PrimitiveField& w, Range irange);
+
+}  // namespace nsp::core

@@ -1,0 +1,144 @@
+#include "core/riemann.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nsp::core {
+
+double RiemannSolution::sound_speed(const RiemannState& s) const {
+  return std::sqrt(gas_.gamma * s.p / s.rho);
+}
+
+// Toro's f_K(p): velocity change across the left/right wave as a
+// function of the star pressure.
+double RiemannSolution::f_side(double p, const RiemannState& s) const {
+  const double g = gas_.gamma;
+  const double c = sound_speed(s);
+  if (p > s.p) {
+    // Shock: Rankine-Hugoniot.
+    const double a = 2.0 / ((g + 1.0) * s.rho);
+    const double b = (g - 1.0) / (g + 1.0) * s.p;
+    return (p - s.p) * std::sqrt(a / (p + b));
+  }
+  // Rarefaction: isentropic relation.
+  return 2.0 * c / (g - 1.0) *
+         (std::pow(p / s.p, (g - 1.0) / (2.0 * g)) - 1.0);
+}
+
+double RiemannSolution::df_side(double p, const RiemannState& s) const {
+  const double g = gas_.gamma;
+  const double c = sound_speed(s);
+  if (p > s.p) {
+    const double a = 2.0 / ((g + 1.0) * s.rho);
+    const double b = (g - 1.0) / (g + 1.0) * s.p;
+    const double root = std::sqrt(a / (p + b));
+    return root * (1.0 - 0.5 * (p - s.p) / (p + b));
+  }
+  return std::pow(p / s.p, -(g + 1.0) / (2.0 * g)) / (s.rho * c);
+}
+
+RiemannSolution::RiemannSolution(const Gas& gas, RiemannState left,
+                                 RiemannState right)
+    : gas_(gas), left_(left), right_(right) {
+  if (left.rho <= 0 || right.rho <= 0 || left.p <= 0 || right.p <= 0) {
+    throw std::invalid_argument("RiemannSolution: nonpositive state");
+  }
+  const double du = right.u - left.u;
+  // Two-rarefaction initial guess (robust for moderate ratios).
+  const double g = gas.gamma;
+  const double cl = sound_speed(left), cr = sound_speed(right);
+  const double z = (g - 1.0) / (2.0 * g);
+  double p = std::pow(
+      (cl + cr - 0.5 * (g - 1.0) * du) /
+          (cl / std::pow(left.p, z) + cr / std::pow(right.p, z)),
+      1.0 / z);
+  p = std::max(p, 1e-10);
+  for (int it = 0; it < 60; ++it) {
+    iterations_ = it + 1;
+    const double f = f_side(p, left_) + f_side(p, right_) + du;
+    const double df = df_side(p, left_) + df_side(p, right_);
+    const double dp = f / df;
+    const double p_new = std::max(1e-12, p - dp);
+    const double change = 2.0 * std::fabs(p_new - p) / (p_new + p);
+    p = p_new;
+    if (change < 1e-12) {
+      converged_ = true;
+      break;
+    }
+  }
+  p_star_ = p;
+  u_star_ = 0.5 * (left.u + right.u) +
+            0.5 * (f_side(p, right_) - f_side(p, left_));
+}
+
+double RiemannSolution::right_shock_speed() const {
+  const double g = gas_.gamma;
+  const double cr = sound_speed(right_);
+  return right_.u +
+         cr * std::sqrt((g + 1.0) / (2.0 * g) * p_star_ / right_.p +
+                        (g - 1.0) / (2.0 * g));
+}
+
+double RiemannSolution::left_shock_speed() const {
+  const double g = gas_.gamma;
+  const double cl = sound_speed(left_);
+  return left_.u -
+         cl * std::sqrt((g + 1.0) / (2.0 * g) * p_star_ / left_.p +
+                        (g - 1.0) / (2.0 * g));
+}
+
+RiemannState RiemannSolution::sample(double xi) const {
+  const double g = gas_.gamma;
+  if (xi <= u_star_) {
+    // Left of the contact.
+    const RiemannState& s = left_;
+    const double c = sound_speed(s);
+    if (left_is_shock()) {
+      const double sp = left_shock_speed();
+      if (xi <= sp) return s;
+      const double pr = p_star_ / s.p;
+      const double gr = (g - 1.0) / (g + 1.0);
+      return RiemannState{s.rho * (pr + gr) / (gr * pr + 1.0), u_star_, p_star_};
+    }
+    const double c_star = c * std::pow(p_star_ / s.p, (g - 1.0) / (2.0 * g));
+    const double head = s.u - c;
+    const double tail = u_star_ - c_star;
+    if (xi <= head) return s;
+    if (xi >= tail) {
+      return RiemannState{s.rho * std::pow(p_star_ / s.p, 1.0 / g), u_star_,
+                          p_star_};
+    }
+    // Inside the left fan.
+    const double u = 2.0 / (g + 1.0) * (c + 0.5 * (g - 1.0) * s.u + xi);
+    const double cf = 2.0 / (g + 1.0) * (c + 0.5 * (g - 1.0) * (s.u - xi));
+    const double rho = s.rho * std::pow(cf / c, 2.0 / (g - 1.0));
+    const double p = s.p * std::pow(cf / c, 2.0 * g / (g - 1.0));
+    return RiemannState{rho, u, p};
+  }
+  // Right of the contact.
+  const RiemannState& s = right_;
+  const double c = sound_speed(s);
+  if (right_is_shock()) {
+    const double sp = right_shock_speed();
+    if (xi >= sp) return s;
+    const double pr = p_star_ / s.p;
+    const double gr = (g - 1.0) / (g + 1.0);
+    return RiemannState{s.rho * (pr + gr) / (gr * pr + 1.0), u_star_, p_star_};
+  }
+  const double c_star = c * std::pow(p_star_ / s.p, (g - 1.0) / (2.0 * g));
+  const double head = s.u + c;
+  const double tail = u_star_ + c_star;
+  if (xi >= head) return s;
+  if (xi <= tail) {
+    return RiemannState{s.rho * std::pow(p_star_ / s.p, 1.0 / g), u_star_,
+                        p_star_};
+  }
+  const double u = 2.0 / (g + 1.0) * (-c + 0.5 * (g - 1.0) * s.u + xi);
+  const double cf = 2.0 / (g + 1.0) * (c - 0.5 * (g - 1.0) * (s.u - xi));
+  const double rho = s.rho * std::pow(cf / c, 2.0 / (g - 1.0));
+  const double p = s.p * std::pow(cf / c, 2.0 * g / (g - 1.0));
+  return RiemannState{rho, u, p};
+}
+
+}  // namespace nsp::core

@@ -1,0 +1,55 @@
+// Exact Riemann solver for the 1-D ideal-gas Euler equations (Toro's
+// classic construction): the analytic reference the shock-tube
+// validation tests compare the 2-4 MacCormack solver against, and a
+// useful standalone utility.
+#pragma once
+
+#include "core/gas.hpp"
+
+namespace nsp::core {
+
+/// One side of a Riemann problem (primitive variables).
+struct RiemannState {
+  double rho = 1.0;
+  double u = 0.0;
+  double p = 1.0;
+};
+
+/// The self-similar solution of a Riemann problem. Query with
+/// sample(x/t).
+class RiemannSolution {
+ public:
+  RiemannSolution(const Gas& gas, RiemannState left, RiemannState right);
+
+  /// Star-region pressure and velocity.
+  double p_star() const { return p_star_; }
+  double u_star() const { return u_star_; }
+  bool converged() const { return converged_; }
+  int iterations() const { return iterations_; }
+
+  /// True if the left (right) nonlinear wave is a shock.
+  bool left_is_shock() const { return p_star_ > left_.p; }
+  bool right_is_shock() const { return p_star_ > right_.p; }
+
+  /// Speed of the right shock (only meaningful if right_is_shock()).
+  double right_shock_speed() const;
+  /// Speed of the left shock (only meaningful if left_is_shock()).
+  double left_shock_speed() const;
+
+  /// Solution state along the ray x/t = xi.
+  RiemannState sample(double xi) const;
+
+ private:
+  double f_side(double p, const RiemannState& s) const;
+  double df_side(double p, const RiemannState& s) const;
+  double sound_speed(const RiemannState& s) const;
+
+  Gas gas_;
+  RiemannState left_, right_;
+  double p_star_ = 0;
+  double u_star_ = 0;
+  bool converged_ = false;
+  int iterations_ = 0;
+};
+
+}  // namespace nsp::core

@@ -1,0 +1,285 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/stability.hpp"
+
+namespace nsp::core {
+
+Solver::Solver(SolverConfig cfg)
+    : cfg_(std::move(cfg)),
+      inflow_(cfg_.grid, cfg_.jet),
+      outflow_(cfg_.jet.gas),
+      q_(cfg_.grid.ni, cfg_.grid.nj),
+      qp_(cfg_.grid.ni, cfg_.grid.nj),
+      qn_(cfg_.grid.ni, cfg_.grid.nj),
+      w_(cfg_.grid.ni, cfg_.grid.nj),
+      s_(cfg_.grid.ni, cfg_.grid.nj),
+      flux_(cfg_.grid.ni, cfg_.grid.nj) {
+  // Transport properties follow the jet Reynolds number.
+  cfg_.jet.gas.mu = cfg_.viscous ? cfg_.jet.viscosity() : 0.0;
+  if (cfg_.rayleigh_inflow) {
+    const auto mode = stability::solve(cfg_.jet, cfg_.jet.omega());
+    inflow_ =
+        InflowBC(cfg_.grid, cfg_.jet, stability::to_eigenmode(mode, cfg_.jet));
+  } else {
+    inflow_ = InflowBC(cfg_.grid, cfg_.jet);
+  }
+  outflow_ = OutflowBC(cfg_.jet.gas);
+  inflow_.farfield_conserved(far_q_);
+  far_w_ = to_primitive(cfg_.jet.gas, far_q_[0], far_q_[1], far_q_[2], far_q_[3]);
+}
+
+void Solver::initialize() {
+  const Grid& g = cfg_.grid;
+  const Gas& gas = cfg_.jet.gas;
+  double max_x_speed = 0, max_r_speed = 0;
+  for (int j = -kGhost; j < g.nj + kGhost; ++j) {
+    const double r = std::fabs(g.r(j));
+    const double rho = cfg_.jet.mean_rho(r);
+    const double u = cfg_.jet.mean_u(r);
+    const double p = cfg_.jet.mean_p();
+    const double e = gas.total_energy(rho, u, 0.0, p);
+    const double c = gas.sound_speed(p, rho);
+    max_x_speed = std::max(max_x_speed, std::fabs(u) + c);
+    max_r_speed = std::max(max_r_speed, c);
+    for (int i = -kGhost; i < g.ni + kGhost; ++i) {
+      q_.rho(i, j) = rho;
+      q_.mx(i, j) = rho * u;
+      q_.mr(i, j) = 0.0;
+      q_.e(i, j) = e;
+    }
+  }
+  // Headroom for the excitation-driven velocity growth downstream.
+  dt_ = cfg_.cfl * std::min(g.dx() / (1.3 * max_x_speed),
+                            g.dr() / (1.3 * max_r_speed));
+  t_ = 0;
+  steps_ = 0;
+  flops_.reset();
+}
+
+void Solver::fill_radial_ghosts(StateField& q_stage) const {
+  const Range full{0, cfg_.grid.ni};
+  fill_q_ghost_rows_axis(q_stage, full);
+  if (cfg_.far_field == RBoundary::FreeStream) {
+    fill_q_ghost_rows_far(q_stage, full, far_q_);
+  } else {
+    fill_q_ghost_rows_far_zero_gradient(q_stage, full);
+  }
+}
+
+void Solver::fill_radial_prim_ghosts(PrimitiveField& w) const {
+  const Range full{0, cfg_.grid.ni};
+  fill_primitive_ghost_rows_axis(w, full);
+  if (cfg_.far_field == RBoundary::FreeStream) {
+    fill_primitive_ghost_rows_far(cfg_.jet.gas, w, full, far_w_);
+  } else {
+    fill_primitive_ghost_rows_far_zero_gradient(w, full);
+  }
+}
+
+void Solver::restore(const StateField& q, double time, int steps) {
+  if (q.ni() != cfg_.grid.ni || q.nj() != cfg_.grid.nj) {
+    throw std::invalid_argument("Solver::restore: dimension mismatch");
+  }
+  if (dt_ <= 0) initialize();  // recompute dt and allocate work arrays
+  q_ = q;
+  t_ = time;
+  steps_ = steps;
+}
+
+void Solver::apply_x_boundaries(StateField& q_stage, double stage_dt) {
+  if (cfg_.left == XBoundary::Inflow) {
+    inflow_.apply(q_stage, 0, t_ + dt_);
+  }
+  if (cfg_.right == XBoundary::CharacteristicOutflow) {
+    outflow_.apply(q_stage, q_, cfg_.grid.ni - 1, stage_dt);
+  }
+}
+
+void Solver::doall(const std::function<void(Range)>& body) const {
+  const int n = cfg_.grid.ni;
+  const int threads = cfg_.num_threads;
+  if (threads <= 1) {
+    body(Range{0, n});
+    return;
+  }
+  const int chunks = std::min(threads, n);
+#ifdef _OPENMP
+#pragma omp parallel for num_threads(threads) schedule(static)
+#endif
+  for (int c = 0; c < chunks; ++c) {
+    const int lo = n * c / chunks;
+    const int hi = n * (c + 1) / chunks;
+    body(Range{lo, hi});
+  }
+}
+
+void Solver::sweep_x(SweepVariant v) {
+  const Grid& g = cfg_.grid;
+  const Gas& gas = cfg_.jet.gas;
+  FlopCounter* fc =
+      (cfg_.count_flops && cfg_.num_threads <= 1) ? &flops_ : nullptr;
+  const Range full{0, g.ni};
+  const double lambda = dt_ / (6.0 * g.dx());
+
+  for (int stage = 0; stage < 2; ++stage) {
+    const StateField& qs = stage == 0 ? q_ : qp_;
+    doall([&](Range r) {
+      compute_primitives(gas, qs, w_, r, 0, g.nj, cfg_.variant, fc);
+    });
+    if (cfg_.viscous) {
+      fill_radial_prim_ghosts(w_);
+      doall([&](Range r) {
+        compute_stresses(gas, g, w_, s_, r, 0, g.ni, fc);
+      });
+    }
+    doall([&](Range r) {
+      compute_flux_x(gas, qs, w_, s_, cfg_.viscous, flux_, r, cfg_.variant, fc);
+    });
+    extrapolate_flux_ghost_x(flux_, g.ni, -1, fc);
+    extrapolate_flux_ghost_x(flux_, g.ni, +1, fc);
+    if (stage == 0) {
+      doall([&](Range r) { predictor_x(q_, flux_, qp_, lambda, v, r, fc); });
+      apply_x_boundaries(qp_, dt_);
+    } else {
+      doall([&](Range r) { corrector_x(q_, qp_, flux_, qn_, lambda, v, r, fc); });
+      apply_x_boundaries(qn_, dt_);
+    }
+  }
+  std::swap(q_, qn_);
+}
+
+void Solver::sweep_r(SweepVariant v) {
+  const Grid& g = cfg_.grid;
+  const Gas& gas = cfg_.jet.gas;
+  FlopCounter* fc =
+      (cfg_.count_flops && cfg_.num_threads <= 1) ? &flops_ : nullptr;
+  const Range full{0, g.ni};
+
+  for (int stage = 0; stage < 2; ++stage) {
+    StateField& qs = stage == 0 ? q_ : qp_;
+    fill_radial_ghosts(qs);
+    doall([&](Range r) {
+      compute_primitives(gas, qs, w_, r, -kGhost, g.nj + kGhost, cfg_.variant, fc);
+    });
+    if (cfg_.viscous) {
+      doall([&](Range r) {
+        compute_stresses(gas, g, w_, s_, r, 0, g.ni, fc);
+      });
+      fill_stress_ghost_rows(s_, full.begin, full.end);
+    }
+    doall([&](Range r) {
+      compute_flux_r(gas, g, qs, w_, s_, cfg_.viscous, flux_, r, 0,
+                     g.nj + kGhost, cfg_.variant, fc);
+    });
+    reflect_flux_r_axis(flux_, full);
+    if (stage == 0) {
+      doall([&](Range r) {
+        predictor_r(g, q_, flux_, w_.p, s_.ttt, cfg_.viscous, qp_, dt_, v, r, fc);
+      });
+      apply_x_boundaries(qp_, dt_);
+    } else {
+      doall([&](Range r) {
+        corrector_r(g, q_, qp_, flux_, w_.p, s_.ttt, cfg_.viscous, qn_, dt_, v,
+                    r, fc);
+      });
+      apply_x_boundaries(qn_, dt_);
+    }
+  }
+  std::swap(q_, qn_);
+}
+
+void Solver::apply_smoothing() {
+  const double sigma = cfg_.smoothing;
+  if (sigma <= 0) return;
+  const Grid& g = cfg_.grid;
+  fill_radial_ghosts(q_);
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    Field2D& a = q_[c];
+    Field2D& out = qn_[c];
+    for (int j = 0; j < g.nj; ++j) {
+      for (int i = 0; i < g.ni; ++i) {
+        const int il = std::max(i - 1, 0), ill = std::max(i - 2, 0);
+        const int ir = std::min(i + 1, g.ni - 1), irr = std::min(i + 2, g.ni - 1);
+        const double d4x = a(ill, j) - 4.0 * a(il, j) + 6.0 * a(i, j) -
+                           4.0 * a(ir, j) + a(irr, j);
+        const double d4r = a(i, j - 2) - 4.0 * a(i, j - 1) + 6.0 * a(i, j) -
+                           4.0 * a(i, std::min(j + 1, g.nj - 1)) +
+                           a(i, std::min(j + 2, g.nj - 1));
+        out(i, j) = a(i, j) - sigma * (d4x + d4r);
+      }
+    }
+  }
+  std::swap(q_, qn_);
+}
+
+void Solver::step() {
+  if (dt_ <= 0) initialize();
+  if (steps_ % 2 == 0) {
+    sweep_r(SweepVariant::L1);
+    sweep_x(SweepVariant::L1);
+  } else {
+    sweep_x(SweepVariant::L2);
+    sweep_r(SweepVariant::L2);
+  }
+  apply_smoothing();
+  ++steps_;
+  t_ += dt_;
+}
+
+void Solver::run(int n) {
+  for (int k = 0; k < n; ++k) step();
+}
+
+bool Solver::finite() const {
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    const Field2D& a = q_[c];
+    for (int j = 0; j < cfg_.grid.nj; ++j) {
+      for (int i = 0; i < cfg_.grid.ni; ++i) {
+        if (!std::isfinite(a(i, j))) return false;
+      }
+    }
+  }
+  return true;
+}
+
+double Solver::max_mach() const {
+  const Gas& gas = cfg_.jet.gas;
+  double m = 0;
+  for (int j = 0; j < cfg_.grid.nj; ++j) {
+    for (int i = 0; i < cfg_.grid.ni; ++i) {
+      const Primitive w =
+          to_primitive(gas, q_.rho(i, j), q_.mx(i, j), q_.mr(i, j), q_.e(i, j));
+      if (w.p <= 0 || w.rho <= 0) return std::nan("");
+      const double c = gas.sound_speed(w.p, w.rho);
+      m = std::max(m, std::sqrt(w.u * w.u + w.v * w.v) / c);
+    }
+  }
+  return m;
+}
+
+std::vector<double> Solver::axial_momentum() const {
+  std::vector<double> out(static_cast<std::size_t>(cfg_.grid.ni) * cfg_.grid.nj);
+  for (int i = 0; i < cfg_.grid.ni; ++i) {
+    for (int j = 0; j < cfg_.grid.nj; ++j) {
+      out[static_cast<std::size_t>(i) * cfg_.grid.nj + j] = q_.mx(i, j);
+    }
+  }
+  return out;
+}
+
+double Solver::conserved_integral(int component) const {
+  const Grid& g = cfg_.grid;
+  double s = 0;
+  const Field2D& a = q_[component];
+  for (int j = 0; j < g.nj; ++j) {
+    const double r = g.r(j);
+    for (int i = 0; i < g.ni; ++i) s += r * a(i, j);
+  }
+  return s * g.dx() * g.dr();
+}
+
+}  // namespace nsp::core

@@ -1,0 +1,138 @@
+// Serial solver driver: the full excited-jet computation on one domain.
+//
+// One time step applies a radial and an axial 2-4 MacCormack operator;
+// successive steps alternate the symmetric variants exactly as the
+// paper arranges them:
+//   Q^{n+1} = L1x L1r Q^n        (r first, then x, both L1)
+//   Q^{n+2} = L2r L2x Q^{n+1}    (x first, then r, both L2)
+// which makes the scheme fourth-order accurate in space.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/boundary.hpp"
+#include "core/counters.hpp"
+#include "core/field.hpp"
+#include "core/grid.hpp"
+#include "core/jet.hpp"
+#include "core/kernels.hpp"
+
+namespace nsp::core {
+
+/// What the solver does at each axial end of its domain.
+enum class XBoundary {
+  Inflow,                  ///< excited-jet Dirichlet inflow
+  CharacteristicOutflow,   ///< characteristic non-reflecting outflow
+  Halo,                    ///< ghost data supplied externally (parallel)
+};
+
+/// Treatment of the radial far-field boundary.
+enum class RBoundary {
+  FreeStream,    ///< fixed jet free-stream ghosts (the paper's problem)
+  ZeroGradient,  ///< copy the outermost row (generic problems)
+};
+
+struct SolverConfig {
+  Grid grid;
+  JetConfig jet;
+  bool viscous = true;               ///< Navier-Stokes (true) or Euler
+  KernelVariant variant = KernelVariant::V5;
+  double cfl = 0.5;
+  bool count_flops = false;
+  XBoundary left = XBoundary::Inflow;
+  XBoundary right = XBoundary::CharacteristicOutflow;
+  RBoundary far_field = RBoundary::FreeStream;
+  /// Optional fourth-difference smoothing coefficient (0 disables). The
+  /// 2-4 scheme is dissipative by construction; this is a safety net for
+  /// very coarse test grids.
+  double smoothing = 0.0;
+  /// Shared-memory DOALL parallelization (the paper's Cray Y-MP route:
+  /// "convert some loops to parallel loops, used the DOALL directive").
+  /// Each kernel call is chunked over the axial index and run under
+  /// OpenMP when > 1. Flop counting is disabled in DOALL mode.
+  int num_threads = 1;
+  /// Excite the inflow with a converged compressible-Rayleigh
+  /// eigenmode (core/stability.hpp) instead of the analytic shape —
+  /// the paper's actual "eigenfunctions of the linearized equations".
+  /// Falls back to the analytic mode if the eigensolve fails.
+  bool rayleigh_inflow = false;
+  /// Live Version 6 (parallel solver only): overlap communication and
+  /// computation by computing interior columns while halo messages are
+  /// in flight, exactly as Section 6 describes. Numerically identical
+  /// to the non-overlapped schedule.
+  bool overlap_comm = false;
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverConfig cfg);
+
+  /// Fills the domain with the parallel mean jet flow and computes dt.
+  void initialize();
+
+  /// Restores a previously saved state (checkpoint restart): the step
+  /// counter and clock continue from the saved values, so
+  /// run(a); restore-at-a; run(b) is bit-identical to run(a + b).
+  /// Throws std::invalid_argument on dimension mismatch.
+  void restore(const StateField& q, double time, int steps);
+
+  /// Advances one full time step (both directional sweeps).
+  void step();
+
+  /// Runs n steps.
+  void run(int n);
+
+  const StateField& state() const { return q_; }
+  StateField& mutable_state() { return q_; }
+  const SolverConfig& config() const { return cfg_; }
+  double dt() const { return dt_; }
+  double time() const { return t_; }
+  int steps_taken() const { return steps_; }
+  const FlopCounter& flops() const { return flops_; }
+
+  /// True if every interior value is finite.
+  bool finite() const;
+
+  /// Maximum interior Mach number (diagnostic).
+  double max_mach() const;
+
+  /// The Figure 1 quantity: interior axial momentum rho*u, row-major
+  /// with j fastest (for io::contour_map: index = i * nj + j).
+  std::vector<double> axial_momentum() const;
+
+  /// Interior integral of a conserved component weighted by r (the
+  /// conserved quantity of the axisymmetric equations), for
+  /// conservation tests.
+  double conserved_integral(int component) const;
+
+ private:
+  void sweep_x(SweepVariant v);
+  void sweep_r(SweepVariant v);
+  void apply_x_boundaries(StateField& q_stage, double stage_dt);
+  void apply_smoothing();
+  /// Runs body(Range) over the axial extent: one call when
+  /// num_threads <= 1, otherwise chunked under an OpenMP parallel-for.
+  void doall(const std::function<void(Range)>& body) const;
+  /// Fills radial ghost rows of a state per cfg_.far_field.
+  void fill_radial_ghosts(StateField& q_stage) const;
+  void fill_radial_prim_ghosts(PrimitiveField& w) const;
+
+  SolverConfig cfg_;
+  InflowBC inflow_;
+  OutflowBC outflow_;
+  double far_q_[4] = {0, 0, 0, 0};
+  Primitive far_w_{};
+
+  StateField q_, qp_, qn_;
+  PrimitiveField w_;
+  StressField s_;
+  StateField flux_;
+  double dt_ = 0;
+  double t_ = 0;
+  int steps_ = 0;
+  FlopCounter flops_;
+};
+
+}  // namespace nsp::core

@@ -1,0 +1,328 @@
+#include "core/stability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nsp::core::stability {
+
+namespace {
+
+/// Mean-profile bundle with numerical radial derivatives.
+struct MeanFlow {
+  const JetConfig* jet;
+  double u(double r) const { return jet->mean_u(r); }
+  double t(double r) const { return jet->mean_t(r); }
+  double rho(double r) const { return jet->mean_rho(r); }
+  double du(double r) const {
+    const double h = 1e-6;
+    return (jet->mean_u(r + h) - jet->mean_u(std::max(0.0, r - h))) /
+           (r < h ? r + h : 2 * h);
+  }
+  double drho(double r) const {
+    const double h = 1e-6;
+    return (jet->mean_rho(r + h) - jet->mean_rho(std::max(0.0, r - h))) /
+           (r < h ? r + h : 2 * h);
+  }
+};
+
+struct State {
+  Complex p, q;  // pressure amplitude and its radial derivative
+};
+
+/// Right-hand side of the Pridmore-Brown system at radius r (azimuthal
+/// mode number n adds the -n^2/r^2 centrifugal term).
+State rhs(const MeanFlow& m, double omega, Complex alpha, int n, double r,
+          const State& y) {
+  const double u = m.u(r);
+  const double t = m.t(r);
+  const double rho = m.rho(r);
+  const Complex w = omega - alpha * u;
+  const Complex a_coef =
+      1.0 / r - m.drho(r) / rho + 2.0 * alpha * m.du(r) / w;
+  const Complex b_coef =
+      w * w / t - alpha * alpha - static_cast<double>(n) * n / (r * r);
+  return State{y.q, -a_coef * y.q - b_coef * y.p};
+}
+
+/// Far-field decay rate with Re(lambda) > 0.
+Complex decay_rate(const JetConfig& jet, double omega, Complex alpha) {
+  const double u_inf = jet.u_coflow;
+  const double t_inf = jet.mean_t(1e9);
+  const Complex w = omega - alpha * u_inf;
+  Complex lam = std::sqrt(alpha * alpha - w * w / t_inf);
+  if (lam.real() < 0) lam = -lam;
+  return lam;
+}
+
+/// RK4 integration of the Pridmore-Brown system from r_from to r_to
+/// (either direction) with periodic renormalization (the logarithmic
+/// derivative q/p is scale-free). Optionally records the trajectory.
+State integrate_between(const MeanFlow& m, double omega, Complex alpha,
+                        int az, double r_from, double r_to, int steps,
+                        State y, std::vector<double>* r_out = nullptr,
+                        std::vector<State>* y_out = nullptr) {
+  const double h = (r_to - r_from) / steps;
+  double r = r_from;
+  if (r_out) {
+    r_out->push_back(r);
+    y_out->push_back(y);
+  }
+  for (int k = 0; k < steps; ++k) {
+    const State k1 = rhs(m, omega, alpha, az, r, y);
+    const State k2 = rhs(m, omega, alpha, az, r + 0.5 * h,
+                         State{y.p + 0.5 * h * k1.p, y.q + 0.5 * h * k1.q});
+    const State k3 = rhs(m, omega, alpha, az, r + 0.5 * h,
+                         State{y.p + 0.5 * h * k2.p, y.q + 0.5 * h * k2.q});
+    const State k4 = rhs(m, omega, alpha, az, r + h,
+                         State{y.p + h * k3.p, y.q + h * k3.q});
+    y.p += h / 6.0 * (k1.p + 2.0 * k2.p + 2.0 * k3.p + k4.p);
+    y.q += h / 6.0 * (k1.q + 2.0 * k2.q + 2.0 * k3.q + k4.q);
+    r += h;
+    const double mag = std::abs(y.p) + std::abs(y.q);
+    if (mag > 1e30) {
+      const double inv = 1.0 / mag;
+      y.p *= inv;
+      y.q *= inv;
+      if (y_out) {
+        for (auto& s : *y_out) {
+          s.p *= inv;
+          s.q *= inv;
+        }
+      }
+    }
+    if (r_out) {
+      r_out->push_back(r);
+      y_out->push_back(y);
+    }
+  }
+  return y;
+}
+
+/// Regular-branch starting state just off the axis.
+State axis_start(const MeanFlow& m, double omega, Complex alpha, int az,
+                 double r_eps) {
+  if (az > 0) {
+    // p ~ r^n, p' ~ n r^(n-1).
+    const double pn = std::pow(r_eps, az);
+    return State{Complex{pn, 0}, Complex{az * pn / r_eps, 0}};
+  }
+  // n = 0 series: p = 1 - B r^2 / 4.
+  const Complex w0 = omega - alpha * m.u(r_eps);
+  const Complex b0 = w0 * w0 / m.t(r_eps) - alpha * alpha;
+  return State{1.0, -0.5 * b0 * r_eps};
+}
+
+/// The shear-layer matching radius for the double shooting, and the
+/// near-axis starting radius of the regular branch.
+constexpr double kMatchRadius = 1.0;
+constexpr double kAxisEps = 0.01;
+
+}  // namespace
+
+Complex farfield_mismatch(const JetConfig& jet, double omega, Complex alpha,
+                          const Options& opts) {
+  // Double shooting: single-direction integration is swamped by the
+  // dominant branch (exp(+lambda r) outward; r^-n toward the axis for
+  // helical modes), so integrate the regular branch outward from the
+  // axis and the decaying branch inward from the far field, and match
+  // the scale-free logarithmic derivatives q/p in the shear layer.
+  const MeanFlow m{&jet};
+  const int n = std::max(50, opts.nr);
+  const int az = opts.azimuthal_n;
+
+  const State out =
+      integrate_between(m, omega, alpha, az, kAxisEps, kMatchRadius, n / 2,
+                        axis_start(m, omega, alpha, az, kAxisEps));
+  const State in =
+      integrate_between(m, omega, alpha, az, opts.r_max, kMatchRadius, n,
+                        State{1.0, -decay_rate(jet, omega, alpha)});
+  if (std::abs(out.p) < 1e-300 || std::abs(in.p) < 1e-300 ||
+      !std::isfinite(std::abs(out.p)) || !std::isfinite(std::abs(in.p))) {
+    return Complex{1e30, 0};
+  }
+  return out.q / out.p - in.q / in.p;
+}
+
+namespace {
+
+/// One secant run from a given starting alpha.
+struct SecantResult {
+  Complex alpha;
+  double residual;
+  int iterations;
+};
+
+SecantResult secant_from(const JetConfig& jet, double omega, Complex a0,
+                         const Options& opts) {
+  Complex a1 = a0 * Complex{1.02, 0.0};
+  Complex f0 = farfield_mismatch(jet, omega, a0, opts);
+  Complex f1 = farfield_mismatch(jet, omega, a1, opts);
+  int iters = 0;
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    iters = it + 1;
+    if (std::abs(f1) < opts.tolerance) break;
+    const Complex denom = f1 - f0;
+    if (std::abs(denom) < 1e-300) break;
+    Complex a2 = a1 - f1 * (a1 - a0) / denom;
+    // Damp wild secant steps.
+    const double max_step = 0.5 * std::abs(a1);
+    if (std::abs(a2 - a1) > max_step && std::abs(a2 - a1) > 0) {
+      a2 = a1 + (a2 - a1) * (max_step / std::abs(a2 - a1));
+    }
+    a0 = a1;
+    f0 = f1;
+    a1 = a2;
+    f1 = farfield_mismatch(jet, omega, a1, opts);
+  }
+  return SecantResult{a1, std::abs(f1), iters};
+}
+
+}  // namespace
+
+Mode solve(const JetConfig& jet, double omega, const Options& opts) {
+  Mode mode;
+  mode.omega = omega;
+
+  // Starting guesses: the caller's, then a grid of convected waves at
+  // 40-90% of the centerline speed with a range of growth guesses (the
+  // classic jet shear-layer mode lives in this box).
+  std::vector<Complex> guesses;
+  if (opts.alpha_guess != Complex{0, 0}) guesses.push_back(opts.alpha_guess);
+  const double uc = std::max(jet.mach_c, 0.3);
+  for (double cr_frac : {0.60, 0.45, 0.75, 0.90}) {
+    for (double gi : {-0.12, -0.30, -0.05}) {
+      const double ar = omega / (cr_frac * uc);
+      guesses.push_back(Complex{ar, gi * ar});
+    }
+  }
+
+  // Spatial roots come in downstream-growing (Im < 0) and decaying
+  // branches; prefer the physically interesting growing root.
+  SecantResult best{Complex{0, 0}, 1e300, 0};
+  bool best_growing = false;
+  for (const Complex& g : guesses) {
+    const SecantResult r = secant_from(jet, omega, g, opts);
+    if (!std::isfinite(r.residual)) continue;
+    // Reject spurious roots far outside the physical band (phase speed
+    // in (0.05 c, 3 Uc), downstream-travelling).
+    const double cr = r.alpha.real() != 0 ? omega / r.alpha.real() : 0;
+    if (cr < 0.05 || cr > 3.0 * uc) continue;
+    const bool growing = r.alpha.imag() < 0;
+    const bool converged_r = r.residual < 100.0 * opts.tolerance;
+    if ((growing && converged_r && !best_growing) ||
+        (growing == best_growing && r.residual < best.residual) ||
+        (growing && converged_r && best.residual >= 100.0 * opts.tolerance)) {
+      best = r;
+      best_growing = growing && converged_r;
+    }
+    if (best_growing && best.residual < opts.tolerance) break;
+  }
+  mode.alpha = best.alpha;
+  mode.residual = best.residual;
+  mode.iterations = best.iterations;
+  mode.converged =
+      mode.residual < 100.0 * opts.tolerance && std::isfinite(mode.residual);
+  if (!mode.converged) return mode;
+
+  // Rebuild the eigenfunctions: outward leg (axis -> match) and inward
+  // leg (far field -> match), stitched continuously at the match point.
+  const MeanFlow m{&jet};
+  const int nsteps = std::max(50, opts.nr);
+  const int az = opts.azimuthal_n;
+  std::vector<double> r_out_leg, r_in_leg;
+  std::vector<State> y_out_leg, y_in_leg;
+  const State out_end = integrate_between(
+      m, omega, mode.alpha, az, kAxisEps, kMatchRadius, nsteps / 2,
+      axis_start(m, omega, mode.alpha, az, kAxisEps), &r_out_leg, &y_out_leg);
+  const State in_end = integrate_between(
+      m, omega, mode.alpha, az, opts.r_max, kMatchRadius, nsteps,
+      State{1.0, -decay_rate(jet, omega, mode.alpha)}, &r_in_leg, &y_in_leg);
+  // Scale the outer leg so p is continuous at the match point.
+  if (std::abs(out_end.p) > 1e-300) {
+    const Complex scale_leg = in_end.p / out_end.p;
+    for (auto& s : y_out_leg) {
+      s.p *= scale_leg;
+      s.q *= scale_leg;
+    }
+  }
+  // Assemble the ascending-r trajectory: outward leg + reversed inward.
+  std::vector<double> r;
+  std::vector<State> y;
+  for (std::size_t k = 0; k < r_out_leg.size(); ++k) {
+    r.push_back(r_out_leg[k]);
+    y.push_back(y_out_leg[k]);
+  }
+  for (std::size_t k = r_in_leg.size(); k-- > 0;) {
+    if (r_in_leg[k] <= kMatchRadius + 1e-12) continue;  // avoid duplicates
+    r.push_back(r_in_leg[k]);
+    y.push_back(y_in_leg[k]);
+  }
+
+  const Complex i_unit{0.0, 1.0};
+  mode.r = r;
+  mode.p.resize(r.size());
+  mode.u.resize(r.size());
+  mode.v.resize(r.size());
+  mode.rho.resize(r.size());
+  double u_max = 0;
+  for (std::size_t k = 0; k < r.size(); ++k) {
+    const double rr = r[k];
+    const double rho_bar = m.rho(rr);
+    const double t_bar = m.t(rr);
+    const Complex w = omega - mode.alpha * m.u(rr);
+    const Complex p = y[k].p;
+    const Complex q = y[k].q;
+    // v^ from the linearized r-momentum: i rho (alpha U - omega) v^ = -q.
+    const Complex v = -i_unit * q / (rho_bar * w);
+    // u^ from the linearized x-momentum equation.
+    const Complex u = (-i_unit * mode.alpha * p - rho_bar * m.du(rr) * v) /
+                      (i_unit * rho_bar * (mode.alpha * m.u(rr) - omega));
+    // rho^: isentropic part + advected mean-density gradient.
+    const Complex rho_hat = p / t_bar + v * m.drho(rr) / (i_unit * w);
+    mode.p[k] = p;
+    mode.u[k] = u;
+    mode.v[k] = v;
+    mode.rho[k] = rho_hat;
+    u_max = std::max(u_max, std::abs(u));
+  }
+  if (u_max > 0) {
+    const Complex scale{1.0 / u_max, 0.0};
+    for (std::size_t k = 0; k < r.size(); ++k) {
+      mode.p[k] *= scale;
+      mode.u[k] *= scale;
+      mode.v[k] *= scale;
+      mode.rho[k] *= scale;
+    }
+  }
+  return mode;
+}
+
+EigenMode to_eigenmode(const Mode& mode, const JetConfig& jet) {
+  if (!mode.converged || mode.r.size() < 2) return jet.analytic_mode();
+
+  // Copy the amplitude tables into the closure.
+  const std::vector<double> r = mode.r;
+  const std::vector<Complex> pu = mode.u, pv = mode.v, pp = mode.p,
+                             prho = mode.rho;
+  const double eps = jet.eps;
+  const auto sample = [r](const std::vector<Complex>& a, double rr) -> Complex {
+    if (rr <= r.front()) return a.front();
+    if (rr >= r.back()) return Complex{0, 0};  // decayed
+    const auto it = std::lower_bound(r.begin(), r.end(), rr);
+    const std::size_t hi = static_cast<std::size_t>(it - r.begin());
+    const std::size_t lo = hi - 1;
+    const double f = (rr - r[lo]) / (r[hi] - r[lo]);
+    return a[lo] * (1.0 - f) + a[hi] * f;
+  };
+  return EigenMode{[=](double rr, double phi) -> Primitive {
+    const Complex rot{std::cos(phi), -std::sin(phi)};  // e^{-i omega t}
+    Primitive d;
+    d.u = eps * (sample(pu, rr) * rot).real();
+    d.v = eps * (sample(pv, rr) * rot).real();
+    d.p = eps * (sample(pp, rr) * rot).real();
+    d.rho = eps * (sample(prho, rr) * rot).real();
+    return d;
+  }};
+}
+
+}  // namespace nsp::core::stability

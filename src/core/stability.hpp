@@ -1,0 +1,90 @@
+// Linear stability of the compressible jet: the inflow eigenfunctions.
+//
+// The paper excites the inflow with "the eigenfunctions of the
+// linearized equations with the same mean flow profile" (Section 3,
+// following Scott et al.). For axisymmetric (n = 0) disturbances
+// q'(x, r, t) = Re{ q^(r) exp(i(alpha x - omega t)) } of a parallel
+// compressible mean flow U(r), rho(r), T(r), the pressure amplitude
+// obeys the Pridmore-Brown (compressible Rayleigh) equation
+//
+//   p^'' + [ 1/r - rho'/rho + 2 alpha U' / (omega - alpha U) ] p^'
+//        + [ (omega - alpha U)^2 / T - alpha^2 ] p^ = 0
+//
+// (nondimensionalized as in core/gas.hpp, where c^2 = T), with
+// regularity p^'(0) = 0 on the axis and exponential decay
+// p^ ~ exp(-lambda r), lambda^2 = alpha^2 - (omega - alpha U_inf)^2/T_inf
+// in the free stream. For the spatial problem the frequency omega is
+// real (set by the Strouhal number) and the axial wavenumber alpha is
+// the complex eigenvalue; Im(alpha) < 0 is an instability growing in x.
+//
+// The solver integrates the ODE with complex RK4 from the axis outward,
+// and drives the far-field mismatch  p^'/p^ + lambda  to zero with a
+// secant iteration in alpha. Velocity and density amplitudes follow
+// from the linearized momentum and energy equations:
+//
+//   u^ = [ alpha p^ - i rho U' v^ ] / ( rho (omega - alpha U) )
+//   v^ = -i p^' / ( rho (omega - alpha U) )
+//   rho^ = p^ / T + rho' v^ / ( i (omega - alpha U) )      (entropy layer)
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "core/jet.hpp"
+
+namespace nsp::core::stability {
+
+using Complex = std::complex<double>;
+
+/// One converged eigensolution of the spatial stability problem.
+struct Mode {
+  bool converged = false;
+  double omega = 0;          ///< real excitation frequency
+  Complex alpha;             ///< complex axial wavenumber (eigenvalue)
+  std::vector<double> r;     ///< radial grid of the amplitude functions
+  std::vector<Complex> p;    ///< pressure amplitude (normalized)
+  std::vector<Complex> u;    ///< axial velocity amplitude
+  std::vector<Complex> v;    ///< radial velocity amplitude
+  std::vector<Complex> rho;  ///< density amplitude
+  int iterations = 0;
+  double residual = 0;       ///< |far-field mismatch| at convergence
+
+  /// Spatial growth rate -Im(alpha); positive means unstable.
+  double growth_rate() const { return -alpha.imag(); }
+
+  /// Phase speed omega / Re(alpha) in centerline sound-speed units.
+  double phase_speed() const {
+    return alpha.real() != 0 ? omega / alpha.real() : 0;
+  }
+};
+
+/// Solver options.
+struct Options {
+  int nr = 400;            ///< radial integration points
+  double r_max = 8.0;      ///< outer integration radius (jet radii)
+  int max_iterations = 60; ///< secant iterations on alpha
+  double tolerance = 1e-8; ///< far-field mismatch tolerance
+  Complex alpha_guess{0, 0};  ///< 0 -> use a convected-wave estimate
+  /// Azimuthal mode number: 0 = axisymmetric (what the axisymmetric
+  /// solver can be excited with), 1 = the helical mode that often
+  /// dominates round jets. The n^2/r^2 centrifugal term enters the
+  /// Pridmore-Brown equation and the axis condition becomes p ~ r^n.
+  int azimuthal_n = 0;
+};
+
+/// Solves the spatial eigenvalue problem for the jet's mean profile at
+/// the given angular frequency (defaults to the excitation frequency).
+Mode solve(const JetConfig& jet, double omega, const Options& opts = {});
+
+/// Evaluates the Pridmore-Brown residual of a candidate (alpha, p)
+/// solution at the shooting end: p'/p + lambda (0 when matched).
+Complex farfield_mismatch(const JetConfig& jet, double omega, Complex alpha,
+                          const Options& opts);
+
+/// Wraps a converged mode as an inflow EigenMode for the solver: the
+/// perturbation of (rho, u, v, p) at radius r and phase phi, scaled by
+/// the jet's excitation level. Falls back to JetConfig::analytic_mode()
+/// when the mode is not converged.
+EigenMode to_eigenmode(const Mode& mode, const JetConfig& jet);
+
+}  // namespace nsp::core::stability

@@ -1,0 +1,82 @@
+#include "core/verification.hpp"
+
+#include <cmath>
+
+namespace nsp::core {
+
+double observed_order(double e1, double h1, double e2, double h2) {
+  if (e1 <= 0 || e2 <= 0 || h1 <= h2 || h2 <= 0) return 0;
+  return std::log(e1 / e2) / std::log(h1 / h2);
+}
+
+ConvergenceReport analyze_convergence(const GridLevel& coarse,
+                                      const GridLevel& medium,
+                                      const GridLevel& fine, double safety) {
+  ConvergenceReport rep;
+  if (!(coarse.h > medium.h && medium.h > fine.h) || fine.h <= 0) return rep;
+
+  const double r12 = medium.h / fine.h;    // refinement fine <- medium
+  const double r23 = coarse.h / medium.h;  // refinement medium <- coarse
+  const double e12 = medium.value - fine.value;
+  const double e23 = coarse.value - medium.value;
+  if (e12 == 0 || e23 == 0) return rep;
+  // Oscillatory convergence (sign change) leaves the order undefined.
+  if ((e12 > 0) != (e23 > 0)) return rep;
+
+  double p;
+  if (std::fabs(r12 - r23) < 1e-12) {
+    p = std::log(std::fabs(e23 / e12)) / std::log(r12);
+  } else {
+    // Fixed-point iteration for unequal refinement ratios (Roache).
+    p = std::log(std::fabs(e23 / e12)) / std::log(r12);
+    for (int it = 0; it < 50; ++it) {
+      const double q = std::log((std::pow(r12, p) - 1.0) /
+                                (std::pow(r23, p) - 1.0));
+      const double p_new =
+          std::fabs(std::log(std::fabs(e23 / e12)) + q) / std::log(r12);
+      if (std::fabs(p_new - p) < 1e-12) {
+        p = p_new;
+        break;
+      }
+      p = p_new;
+    }
+  }
+  if (!std::isfinite(p) || p <= 0) return rep;
+
+  rep.observed_order = p;
+  rep.extrapolated =
+      fine.value + (fine.value - medium.value) / (std::pow(r12, p) - 1.0);
+  const double denom12 = std::pow(r12, p) - 1.0;
+  const double denom23 = std::pow(r23, p) - 1.0;
+  const double rel = std::fabs(fine.value) > 1e-300 ? std::fabs(fine.value) : 1.0;
+  rep.gci_fine = safety * std::fabs(e12 / rel) / denom12;
+  rep.gci_coarse = safety * std::fabs(e23 / rel) / denom23;
+  // In the asymptotic range GCI_coarse ~ r^p GCI_fine.
+  rep.asymptotic_ratio =
+      rep.gci_fine > 0 ? rep.gci_coarse / (std::pow(r12, p) * rep.gci_fine)
+                       : 0;
+  rep.valid = true;
+  return rep;
+}
+
+double fit_order(const std::vector<GridLevel>& errors) {
+  // Least squares on log e = log C + p log h.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (const GridLevel& g : errors) {
+    if (g.h <= 0 || g.value <= 0) continue;
+    const double x = std::log(g.h);
+    const double y = std::log(g.value);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 2) return 0;
+  const double denom = n * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-300) return 0;
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace nsp::core

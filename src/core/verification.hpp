@@ -1,0 +1,43 @@
+// Solution-verification utilities: observed order of accuracy,
+// Richardson extrapolation, and the Grid Convergence Index (GCI) of
+// Roache — the standard machinery for demonstrating that a CFD code
+// converges at its design order.
+#pragma once
+
+#include <vector>
+
+namespace nsp::core {
+
+/// One grid level of a convergence study.
+struct GridLevel {
+  double h = 0;      ///< representative spacing
+  double value = 0;  ///< a scalar functional (error norm, probe value...)
+};
+
+/// Result of a three-grid convergence analysis (h must decrease).
+struct ConvergenceReport {
+  bool valid = false;
+  double observed_order = 0;    ///< p from the three-grid formula
+  double extrapolated = 0;      ///< Richardson-extrapolated value
+  double gci_fine = 0;          ///< GCI of the finest pair (fractional)
+  double gci_coarse = 0;        ///< GCI of the coarser pair (fractional)
+  double asymptotic_ratio = 0;  ///< ~1 when in the asymptotic range
+};
+
+/// Observed order from two error norms on grids h1 > h2 (errors against
+/// an exact solution): p = log(e1/e2) / log(h1/h2).
+double observed_order(double e1, double h1, double e2, double h2);
+
+/// Three-grid analysis of a functional f(h) on h1 > h2 > h3. Uses the
+/// constant-ratio formula when r12 == r23 and a fixed-point iteration
+/// otherwise; `safety` is the GCI factor of safety (1.25 for 3+ grids).
+ConvergenceReport analyze_convergence(const GridLevel& coarse,
+                                      const GridLevel& medium,
+                                      const GridLevel& fine,
+                                      double safety = 1.25);
+
+/// Least-squares observed order over many (h, error) pairs:
+/// log e = log C + p log h.
+double fit_order(const std::vector<GridLevel>& errors);
+
+}  // namespace nsp::core

@@ -1,0 +1,250 @@
+#include "io/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace nsp::io {
+
+namespace {
+
+constexpr const char kGlyphs[] = {'o', 'x', '+', '*', '#', '@', '%', '&'};
+
+double tx(double v, bool logscale) { return logscale ? std::log10(v) : v; }
+
+bool usable(double v, bool logscale) {
+  return std::isfinite(v) && (!logscale || v > 0.0);
+}
+
+std::string tick_label(double v) {
+  char buf[32];
+  if (v != 0.0 && (std::fabs(v) >= 1e5 || std::fabs(v) < 1e-2)) {
+    std::snprintf(buf, sizeof(buf), "%.1e", v);
+  } else if (std::fabs(v - std::round(v)) < 1e-9) {
+    std::snprintf(buf, sizeof(buf), "%g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+LineChart::LineChart(ChartOptions opts) : opts_(std::move(opts)) {}
+
+LineChart& LineChart::add(Series s) {
+  series_.push_back(std::move(s));
+  return *this;
+}
+
+std::string LineChart::str() const {
+  const int W = std::max(16, opts_.width);
+  const int H = std::max(8, opts_.height);
+
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      if (!usable(s.x[i], opts_.log_x) || !usable(s.y[i], opts_.log_y)) continue;
+      xmin = std::min(xmin, tx(s.x[i], opts_.log_x));
+      xmax = std::max(xmax, tx(s.x[i], opts_.log_x));
+      ymin = std::min(ymin, tx(s.y[i], opts_.log_y));
+      ymax = std::max(ymax, tx(s.y[i], opts_.log_y));
+    }
+  }
+  std::ostringstream os;
+  if (!opts_.title.empty()) os << opts_.title << '\n';
+  if (!std::isfinite(xmin) || !std::isfinite(ymin)) {
+    os << "(no plottable points)\n";
+    return os.str();
+  }
+  if (xmax - xmin < 1e-12) { xmin -= 0.5; xmax += 0.5; }
+  if (ymax - ymin < 1e-12) { ymin -= 0.5; ymax += 0.5; }
+
+  std::vector<std::string> canvas(H, std::string(W, ' '));
+  auto plot = [&](double xv, double yv, char g) {
+    const int c = static_cast<int>(std::lround((tx(xv, opts_.log_x) - xmin) /
+                                               (xmax - xmin) * (W - 1)));
+    const int r = static_cast<int>(std::lround((tx(yv, opts_.log_y) - ymin) /
+                                               (ymax - ymin) * (H - 1)));
+    if (c < 0 || c >= W || r < 0 || r >= H) return;
+    char& cell = canvas[H - 1 - r][c];
+    cell = (cell == ' ' || cell == g) ? g : '?';  // '?' marks overlap
+  };
+
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char g = kGlyphs[si % sizeof(kGlyphs)];
+    const auto& s = series_[si];
+    // Draw line segments by dense parametric sampling between points so
+    // slopes are visible, then overdraw the data points.
+    for (std::size_t i = 0; i + 1 < s.x.size() && i + 1 < s.y.size(); ++i) {
+      if (!usable(s.x[i], opts_.log_x) || !usable(s.y[i], opts_.log_y) ||
+          !usable(s.x[i + 1], opts_.log_x) || !usable(s.y[i + 1], opts_.log_y)) {
+        continue;
+      }
+      const int steps = 2 * W;
+      for (int k = 0; k <= steps; ++k) {
+        const double t = static_cast<double>(k) / steps;
+        const double lx = tx(s.x[i], opts_.log_x) * (1 - t) + tx(s.x[i + 1], opts_.log_x) * t;
+        const double ly = tx(s.y[i], opts_.log_y) * (1 - t) + tx(s.y[i + 1], opts_.log_y) * t;
+        const int c = static_cast<int>(std::lround((lx - xmin) / (xmax - xmin) * (W - 1)));
+        const int r = static_cast<int>(std::lround((ly - ymin) / (ymax - ymin) * (H - 1)));
+        if (c < 0 || c >= W || r < 0 || r >= H) continue;
+        char& cell = canvas[H - 1 - r][c];
+        if (cell == ' ') cell = '.';
+      }
+    }
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      if (usable(s.x[i], opts_.log_x) && usable(s.y[i], opts_.log_y)) {
+        plot(s.x[i], s.y[i], g);
+      }
+    }
+  }
+
+  auto untx = [](double v, bool logscale) { return logscale ? std::pow(10.0, v) : v; };
+  if (!opts_.y_label.empty()) os << opts_.y_label << '\n';
+  for (int r = 0; r < H; ++r) {
+    std::string lbl;
+    if (r == 0) {
+      lbl = tick_label(untx(ymax, opts_.log_y));
+    } else if (r == H - 1) {
+      lbl = tick_label(untx(ymin, opts_.log_y));
+    } else if (r == H / 2) {
+      lbl = tick_label(untx((ymin + ymax) / 2, opts_.log_y));
+    }
+    os << (lbl.size() < 9 ? std::string(9 - lbl.size(), ' ') + lbl : lbl) << " |"
+       << canvas[r] << '\n';
+  }
+  os << std::string(10, ' ') << '+' << std::string(W, '-') << '\n';
+  {
+    const std::string lo = tick_label(untx(xmin, opts_.log_x));
+    const std::string mid = tick_label(untx((xmin + xmax) / 2, opts_.log_x));
+    const std::string hi = tick_label(untx(xmax, opts_.log_x));
+    std::string axis(11 + W, ' ');
+    auto put = [&](std::size_t pos, const std::string& s) {
+      for (std::size_t i = 0; i < s.size() && pos + i < axis.size(); ++i) axis[pos + i] = s[i];
+    };
+    put(11, lo);
+    put(11 + W / 2 - mid.size() / 2, mid);
+    put(std::max<std::size_t>(11, 11 + W - hi.size()), hi);
+    os << axis << '\n';
+  }
+  if (!opts_.x_label.empty()) {
+    os << std::string(11 + std::max(0, W / 2 - static_cast<int>(opts_.x_label.size()) / 2), ' ')
+       << opts_.x_label << '\n';
+  }
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    os << "    " << kGlyphs[si % sizeof(kGlyphs)] << "  " << series_[si].label << '\n';
+  }
+  return os.str();
+}
+
+std::string bar_chart(const std::string& title, const std::vector<std::string>& labels,
+                      const std::vector<double>& values, int max_width,
+                      const std::string& unit) {
+  std::ostringstream os;
+  if (!title.empty()) os << title << '\n';
+  double vmax = 0.0;
+  for (double v : values) vmax = std::max(vmax, v);
+  if (vmax <= 0.0) vmax = 1.0;
+  std::size_t lw = 0;
+  for (const auto& l : labels) lw = std::max(lw, l.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::string l = i < labels.size() ? labels[i] : std::string();
+    const int n = static_cast<int>(std::lround(values[i] / vmax * max_width));
+    os << l << std::string(lw - l.size() + 1, ' ') << '|'
+       << std::string(std::max(0, n), '#') << ' ' << tick_label(values[i]);
+    if (!unit.empty()) os << ' ' << unit;
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string contour_map(const std::vector<double>& field, std::size_t nx,
+                        std::size_t ny, int width, int height) {
+  static constexpr const char* kShades = " .:-=+*#%@";
+  const int W = std::min<std::size_t>(width, nx);
+  const int H = std::min<std::size_t>(height, ny);
+  double vmin = std::numeric_limits<double>::infinity(), vmax = -vmin;
+  for (double v : field) {
+    if (!std::isfinite(v)) continue;
+    vmin = std::min(vmin, v);
+    vmax = std::max(vmax, v);
+  }
+  if (!std::isfinite(vmin) || vmax - vmin < 1e-300) { vmin = 0; vmax = 1; }
+  std::ostringstream os;
+  for (int r = H - 1; r >= 0; --r) {
+    const std::size_t j = static_cast<std::size_t>(r) * (ny - 1) / std::max(1, H - 1);
+    for (int c = 0; c < W; ++c) {
+      const std::size_t i = static_cast<std::size_t>(c) * (nx - 1) / std::max(1, W - 1);
+      const double v = field[i * ny + j];
+      int shade = static_cast<int>((v - vmin) / (vmax - vmin) * 9.999);
+      shade = std::clamp(shade, 0, 9);
+      os << kShades[shade];
+    }
+    os << '\n';
+  }
+  os << "min=" << tick_label(vmin) << " max=" << tick_label(vmax) << '\n';
+  return os.str();
+}
+
+bool write_gnuplot_script(const std::string& script_path,
+                          const std::string& csv_path, std::size_t num_series,
+                          const ChartOptions& opts) {
+  std::ofstream f(script_path);
+  if (!f) return false;
+  std::string png = csv_path;
+  const auto dot = png.find_last_of('.');
+  if (dot != std::string::npos) png.erase(dot);
+  png += ".png";
+  f << "# generated by nsp::io::write_gnuplot_script\n"
+    << "set terminal pngcairo size 900,600\n"
+    << "set output '" << png << "'\n"
+    << "set datafile separator ','\n"
+    << "set key outside right\n"
+    << "set grid\n";
+  if (!opts.title.empty()) f << "set title '" << opts.title << "'\n";
+  if (!opts.x_label.empty()) f << "set xlabel '" << opts.x_label << "'\n";
+  if (!opts.y_label.empty()) f << "set ylabel '" << opts.y_label << "'\n";
+  if (opts.log_x) f << "set logscale x\n";
+  if (opts.log_y) f << "set logscale y\n";
+  f << "plot ";
+  for (std::size_t s = 0; s < num_series; ++s) {
+    if (s) f << ", \\\n     ";
+    f << "'" << csv_path << "' using 1:" << (s + 2)
+      << " with linespoints title columnheader(" << (s + 2) << ")";
+  }
+  f << '\n';
+  return f.good();
+}
+
+void write_series_csv(const std::string& path, const std::vector<Series>& series) {
+  std::ofstream f(path);
+  if (!f) return;
+  f << "x";
+  for (const auto& s : series) f << ',' << s.label;
+  f << '\n';
+  std::size_t n = 0;
+  for (const auto& s : series) n = std::max(n, s.x.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    bool have_x = false;
+    for (const auto& s : series) {
+      if (i < s.x.size()) {
+        f << s.x[i];
+        have_x = true;
+        break;
+      }
+    }
+    if (!have_x) f << "";
+    for (const auto& s : series) {
+      f << ',';
+      if (i < s.y.size()) f << s.y[i];
+    }
+    f << '\n';
+  }
+}
+
+}  // namespace nsp::io

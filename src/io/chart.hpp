@@ -1,0 +1,77 @@
+// ASCII chart rendering so the benchmark binaries can draw the paper's
+// figures (log-log execution-time curves, bar charts, flow contours)
+// directly in a terminal, alongside machine-readable CSV output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nsp::io {
+
+/// One plotted curve: a label and (x, y) points.
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Options for LineChart rendering.
+struct ChartOptions {
+  int width = 72;        ///< plot-area columns
+  int height = 24;       ///< plot-area rows
+  bool log_x = true;     ///< log10 x axis (the paper plots log-log)
+  bool log_y = true;     ///< log10 y axis
+  std::string x_label;   ///< axis caption under the chart
+  std::string y_label;   ///< axis caption left of the chart (printed above)
+  std::string title;
+};
+
+/// Renders one or more series as an ASCII line chart. Each series is
+/// drawn with its own glyph (o, x, +, *, #, @, %, &) and listed in a
+/// legend. Points with non-positive coordinates are skipped on log axes.
+class LineChart {
+ public:
+  explicit LineChart(ChartOptions opts = {});
+
+  /// Adds a curve; returns *this for chaining.
+  LineChart& add(Series s);
+
+  /// Renders to a string (multi-line, trailing newline).
+  std::string str() const;
+
+ private:
+  ChartOptions opts_;
+  std::vector<Series> series_;
+};
+
+/// Renders a labelled horizontal bar chart (used for Figure 13's
+/// per-processor busy times). Bars are scaled to max_width columns.
+std::string bar_chart(const std::string& title,
+                      const std::vector<std::string>& labels,
+                      const std::vector<double>& values, int max_width = 56,
+                      const std::string& unit = "");
+
+/// Renders a 2-D scalar field as an ASCII contour/intensity map (used to
+/// preview the Figure 1 axial-momentum contours). `field` is row-major
+/// with `nx` columns (axial) and `ny` rows (radial); row 0 prints at the
+/// bottom (the jet axis).
+std::string contour_map(const std::vector<double>& field, std::size_t nx,
+                        std::size_t ny, int width = 100, int height = 26);
+
+/// Writes series as CSV: header "x,label1,label2,..." with one row per
+/// distinct x (series sampled at matching x indices must align).
+void write_series_csv(const std::string& path, const std::vector<Series>& series);
+
+/// Writes a ready-to-run gnuplot script that renders the CSV written by
+/// write_series_csv into a PNG, using the given axis options (log-log by
+/// default, like the paper's figures). Returns false on I/O failure.
+///
+///   io::write_series_csv("fig3.csv", series);
+///   io::write_gnuplot_script("fig3.gp", "fig3.csv", series.size(), opts);
+///   // then: gnuplot fig3.gp  ->  fig3.png
+bool write_gnuplot_script(const std::string& script_path,
+                          const std::string& csv_path, std::size_t num_series,
+                          const ChartOptions& opts = {});
+
+}  // namespace nsp::io

@@ -1,0 +1,93 @@
+#include "io/signal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nsp::io {
+
+namespace {
+constexpr double kTwoPi = 6.28318530717958647692528676655900577;
+}
+
+double mean(std::span<const double> samples) {
+  if (samples.empty()) return 0;
+  double s = 0;
+  for (double v : samples) s += v;
+  return s / static_cast<double>(samples.size());
+}
+
+double rms(std::span<const double> samples) {
+  if (samples.empty()) return 0;
+  const double m = mean(samples);
+  double s = 0;
+  for (double v : samples) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(samples.size()));
+}
+
+Spectrum amplitude_spectrum(std::span<const double> samples, double dt_sample,
+                            bool hann_window) {
+  Spectrum out;
+  const std::size_t n = samples.size();
+  if (n < 4 || dt_sample <= 0) return out;
+  const double m = mean(samples);
+
+  std::vector<double> x(n);
+  double window_gain = 1.0;
+  if (hann_window) {
+    double wsum = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double w =
+          0.5 * (1.0 - std::cos(kTwoPi * static_cast<double>(k) /
+                                static_cast<double>(n - 1)));
+      x[k] = (samples[k] - m) * w;
+      wsum += w;
+    }
+    window_gain = wsum / static_cast<double>(n);  // amplitude correction
+  } else {
+    for (std::size_t k = 0; k < n; ++k) x[k] = samples[k] - m;
+  }
+
+  const std::size_t nbins = n / 2;
+  out.frequency.reserve(nbins);
+  out.amplitude.reserve(nbins);
+  for (std::size_t b = 1; b <= nbins; ++b) {
+    double re = 0, im = 0;
+    const double w = kTwoPi * static_cast<double>(b) / static_cast<double>(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      re += x[k] * std::cos(w * static_cast<double>(k));
+      im -= x[k] * std::sin(w * static_cast<double>(k));
+    }
+    const double amp = 2.0 * std::hypot(re, im) /
+                       (static_cast<double>(n) * window_gain);
+    out.frequency.push_back(static_cast<double>(b) /
+                            (static_cast<double>(n) * dt_sample));
+    out.amplitude.push_back(amp);
+  }
+  return out;
+}
+
+ToneEstimate project_tone(std::span<const double> samples, double dt_sample,
+                          double omega) {
+  ToneEstimate t;
+  const std::size_t n = samples.size();
+  if (n == 0) return t;
+  const double m = mean(samples);
+  double re = 0, im = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ph = omega * dt_sample * static_cast<double>(k);
+    re += (samples[k] - m) * std::cos(ph);
+    im += (samples[k] - m) * std::sin(ph);
+  }
+  t.amplitude = 2.0 * std::hypot(re, im) / static_cast<double>(n);
+  t.phase = std::atan2(im, re);
+  return t;
+}
+
+std::size_t dominant_bin(const Spectrum& s) {
+  if (s.amplitude.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::max_element(s.amplitude.begin(), s.amplitude.end()) -
+      s.amplitude.begin());
+}
+
+}  // namespace nsp::io

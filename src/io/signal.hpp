@@ -1,0 +1,43 @@
+// Time-series analysis for the jet-noise workflow: the paper's
+// application exists to produce time-accurate near-field histories that
+// an acoustic analogy converts to radiated sound, so the natural
+// post-processing is spectra of pressure probes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace nsp::io {
+
+/// Single-sided amplitude spectrum of a uniformly sampled record.
+struct Spectrum {
+  std::vector<double> frequency;  ///< cyclic frequency (1/time-unit)
+  std::vector<double> amplitude;  ///< amplitude of each bin
+};
+
+/// Mean of a record.
+double mean(std::span<const double> samples);
+
+/// Root-mean-square of a record about its mean.
+double rms(std::span<const double> samples);
+
+/// Computes the single-sided amplitude spectrum (mean removed,
+/// optionally Hann-windowed with amplitude correction). `dt_sample` is
+/// the sampling interval. Bins run from 1/(N dt) to Nyquist.
+Spectrum amplitude_spectrum(std::span<const double> samples, double dt_sample,
+                            bool hann_window = true);
+
+/// Amplitude and phase of the component at angular frequency `omega`
+/// (single-bin Fourier projection over the whole record).
+struct ToneEstimate {
+  double amplitude = 0;
+  double phase = 0;  ///< radians, cos convention
+};
+ToneEstimate project_tone(std::span<const double> samples, double dt_sample,
+                          double omega);
+
+/// Index of the largest-amplitude bin.
+std::size_t dominant_bin(const Spectrum& s);
+
+}  // namespace nsp::io

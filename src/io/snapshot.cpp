@@ -1,0 +1,106 @@
+#include "io/snapshot.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace nsp::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'N', 'S', 'P', 'S', 'N', 'A', 'P', '1'};
+
+struct Header {
+  char magic[8];
+  std::int32_t ni;
+  std::int32_t nj;
+  std::int32_t steps;
+  std::int32_t viscous;
+  double time;
+  double dt;
+};
+
+bool write_component(std::ofstream& f, const core::Field2D& a) {
+  const int ni = a.ni(), nj = a.nj();
+  for (int j = -core::kGhost; j < nj + core::kGhost; ++j) {
+    for (int i = -core::kGhost; i < ni + core::kGhost; ++i) {
+      const double v = a(i, j);
+      f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    }
+  }
+  return f.good();
+}
+
+bool read_component(std::ifstream& f, core::Field2D& a) {
+  const int ni = a.ni(), nj = a.nj();
+  for (int j = -core::kGhost; j < nj + core::kGhost; ++j) {
+    for (int i = -core::kGhost; i < ni + core::kGhost; ++i) {
+      double v;
+      f.read(reinterpret_cast<char*>(&v), sizeof(v));
+      if (!f.good()) return false;
+      a(i, j) = v;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_snapshot(const std::string& path, const core::StateField& q,
+                    const SnapshotInfo& info) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  Header h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.ni = q.ni();
+  h.nj = q.nj();
+  h.steps = info.steps;
+  h.viscous = info.viscous ? 1 : 0;
+  h.time = info.time;
+  h.dt = info.dt;
+  f.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  for (int c = 0; c < core::StateField::kComponents; ++c) {
+    if (!write_component(f, q[c])) return false;
+  }
+  return f.good();
+}
+
+bool read_snapshot(const std::string& path, core::StateField& q,
+                   SnapshotInfo& info) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  Header h{};
+  f.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!f.good() || std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
+    return false;
+  }
+  if (h.ni <= 0 || h.nj <= 0 || h.ni > (1 << 20) || h.nj > (1 << 20)) {
+    return false;
+  }
+  q = core::StateField(h.ni, h.nj);
+  for (int c = 0; c < core::StateField::kComponents; ++c) {
+    if (!read_component(f, q[c])) return false;
+  }
+  info.ni = h.ni;
+  info.nj = h.nj;
+  info.steps = h.steps;
+  info.viscous = h.viscous != 0;
+  info.time = h.time;
+  info.dt = h.dt;
+  return true;
+}
+
+bool write_field_csv(const std::string& path, const core::Grid& grid,
+                     const core::Field2D& f) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "x,r,value\n";
+  for (int j = 0; j < grid.nj; ++j) {
+    for (int i = 0; i < grid.ni; ++i) {
+      out << grid.x(i) << ',' << grid.r(j) << ',' << f(i, j) << '\n';
+    }
+  }
+  return out.good();
+}
+
+}  // namespace nsp::io

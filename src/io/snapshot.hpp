@@ -1,0 +1,40 @@
+// Flow-field snapshots: binary checkpoint/restart for long runs (the
+// paper's production computation was 16000 steps — hours of 1995 CPU
+// time) and portable CSV export of fields for plotting.
+#pragma once
+
+#include <string>
+
+#include "core/field.hpp"
+#include "core/grid.hpp"
+
+namespace nsp::io {
+
+/// Snapshot header metadata.
+struct SnapshotInfo {
+  int ni = 0;
+  int nj = 0;
+  int steps = 0;
+  double time = 0;
+  double dt = 0;
+  bool viscous = true;
+};
+
+/// Writes q (interior + ghost cells) and metadata to a binary file.
+/// Returns false on I/O failure. The format is a fixed little-endian
+/// header ("NSPSNAP1") followed by the four component arrays.
+bool write_snapshot(const std::string& path, const core::StateField& q,
+                    const SnapshotInfo& info);
+
+/// Reads a snapshot written by write_snapshot. On success q is resized
+/// to the stored dimensions and info is filled. Returns false on any
+/// mismatch (bad magic, truncated file).
+bool read_snapshot(const std::string& path, core::StateField& q,
+                   SnapshotInfo& info);
+
+/// Writes one scalar field as CSV: header "x,r,value", one row per
+/// interior point (axial fastest), using the grid for coordinates.
+bool write_field_csv(const std::string& path, const core::Grid& grid,
+                     const core::Field2D& f);
+
+}  // namespace nsp::io

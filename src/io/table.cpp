@@ -1,0 +1,150 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace nsp::io {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  aligns_.assign(headers_.size(), Align::Right);
+  if (!aligns_.empty()) aligns_[0] = Align::Left;
+}
+
+Table& Table::title(std::string t) {
+  title_ = std::move(t);
+  return *this;
+}
+
+Table& Table::align(std::vector<Align> aligns) {
+  for (std::size_t i = 0; i < aligns.size() && i < aligns_.size(); ++i) {
+    aligns_[i] = aligns[i];
+  }
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  assert(cells.size() <= headers_.size());
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::rule() {
+  rows_.emplace_back();  // empty row encodes a rule
+  return *this;
+}
+
+std::size_t Table::rows() const {
+  std::size_t n = 0;
+  for (const auto& r : rows_) n += r.empty() ? 0 : 1;
+  return n;
+}
+
+namespace {
+
+std::string pad(const std::string& s, std::size_t w, Align a) {
+  if (s.size() >= w) return s;
+  const std::size_t space = w - s.size();
+  switch (a) {
+    case Align::Left:
+      return s + std::string(space, ' ');
+    case Align::Right:
+      return std::string(space, ' ') + s;
+    case Align::Center: {
+      const std::size_t l = space / 2;
+      return std::string(l, ' ') + s + std::string(space - l, ' ');
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w;
+  total += headers_.empty() ? 0 : 3 * (headers_.size() - 1);
+
+  std::ostringstream os;
+  if (!title_.empty()) {
+    os << title_ << '\n' << std::string(std::max(total, title_.size()), '=') << '\n';
+  }
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << " | ";
+    os << pad(headers_[c], width[c], aligns_[c]);
+  }
+  os << '\n' << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) {
+    if (r.empty()) {
+      os << std::string(total, '-') << '\n';
+      continue;
+    }
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << " | ";
+      os << pad(r[c], width[c], aligns_[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) { return os << t.str(); }
+
+std::string format_fixed(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string format_sci(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", prec, v);
+  return buf;
+}
+
+std::string format_si(double v) {
+  const double a = std::fabs(v);
+  char buf[64];
+  if (a >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fG", v / 1e9);
+  } else if (a >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", v / 1e6);
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fK", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  }
+  return buf;
+}
+
+std::string format_seconds(double s) {
+  char buf[64];
+  if (s >= 1e5 || (s > 0 && s < 1e-2)) {
+    std::snprintf(buf, sizeof(buf), "%.3e s", s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f s", s);
+  }
+  return buf;
+}
+
+std::string format_percent(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", 100.0 * ratio);
+  return buf;
+}
+
+}  // namespace nsp::io

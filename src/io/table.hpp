@@ -1,0 +1,77 @@
+// Fixed-width table formatting used by the benchmark harnesses to print
+// paper-style tables (Table 1, Table 2) and paper-vs-measured summaries.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nsp::io {
+
+/// Horizontal alignment of a cell within its column.
+enum class Align { Left, Right, Center };
+
+/// A simple monospace table builder.
+///
+/// Columns are sized to the widest cell; numeric cells should be
+/// preformatted with format_fixed()/format_sci()/format_si(). The table
+/// renders with a header rule and an optional title, e.g.
+///
+///   Table 1: Application Characteristics
+///   ------------------------------------
+///   Appln   Total Comp (MFLOP)   Start-ups   Volume (MB)
+///   N-S     145000               80000       125
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Sets a title line printed above the table.
+  Table& title(std::string t);
+
+  /// Sets per-column alignment; default is Left for column 0 and Right
+  /// for the rest. Missing entries keep the default.
+  Table& align(std::vector<Align> aligns);
+
+  /// Appends a data row. Rows shorter than the header are padded with
+  /// empty cells; longer rows are an error (asserted in debug builds).
+  Table& row(std::vector<std::string> cells);
+
+  /// Appends a separator rule between data rows.
+  Table& rule();
+
+  /// Number of data rows added so far (rules excluded).
+  std::size_t rows() const;
+
+  /// Renders the table to a string (trailing newline included).
+  std::string str() const;
+
+  /// Streams the rendered table.
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  // Empty vector encodes a rule row.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats v with `prec` digits after the decimal point ("12.35").
+std::string format_fixed(double v, int prec);
+
+/// Formats v in scientific notation with `prec` mantissa digits.
+std::string format_sci(double v, int prec);
+
+/// Formats a count with SI-style suffixes as the paper does for
+/// FPs/start-up ("906K", "1.2M"); values below 1000 print as integers.
+std::string format_si(double v);
+
+/// Formats seconds either as "123.4 s" or "1.23e+04 s" for large values.
+std::string format_seconds(double s);
+
+/// Formats a ratio as a percentage ("75%").
+std::string format_percent(double ratio);
+
+}  // namespace nsp::io

@@ -1,0 +1,214 @@
+#include "mp/comm.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace nsp::mp {
+
+// ------------------------------------------------------------------ Comm
+
+void Comm::send(int dst, int tag, std::span<const double> data) {
+  if (dst < 0 || dst >= size_) throw std::out_of_range("Comm::send: bad rank");
+  Message m;
+  m.src = rank_;
+  m.tag = tag;
+  m.data.assign(data.begin(), data.end());
+  ++counters_.sends;
+  counters_.bytes_sent += static_cast<double>(data.size_bytes());
+  cluster_->deliver(dst, std::move(m));
+}
+
+Message Comm::recv(int src, int tag) {
+  auto m = cluster_->match(rank_, src, tag, /*block=*/true);
+  ++counters_.recvs;
+  counters_.bytes_received += static_cast<double>(m->data.size() * sizeof(double));
+  return std::move(*m);
+}
+
+void Comm::recv_into(int src, int tag, std::span<double> out) {
+  Message m = recv(src, tag);
+  if (m.data.size() != out.size()) {
+    throw std::runtime_error("Comm::recv_into: length mismatch");
+  }
+  std::copy(m.data.begin(), m.data.end(), out.begin());
+}
+
+std::optional<Message> Comm::try_recv(int src, int tag) {
+  auto m = cluster_->match(rank_, src, tag, /*block=*/false);
+  if (m) {
+    ++counters_.recvs;
+    counters_.bytes_received +=
+        static_cast<double>(m->data.size() * sizeof(double));
+  }
+  return m;
+}
+
+void Comm::barrier() {
+  std::unique_lock<std::mutex> lk(cluster_->bar_m_);
+  const std::uint64_t gen = cluster_->bar_generation_;
+  if (++cluster_->bar_count_ == size_) {
+    cluster_->bar_count_ = 0;
+    ++cluster_->bar_generation_;
+    cluster_->bar_cv_.notify_all();
+  } else {
+    cluster_->bar_cv_.wait(lk, [&] { return cluster_->bar_generation_ != gen; });
+  }
+}
+
+namespace {
+constexpr int kReduceTag = -1000;
+constexpr int kBcastTag = -1001;
+}  // namespace
+
+double Comm::allreduce_sum(double v) {
+  if (size_ == 1) return v;
+  if (rank_ == 0) {
+    double acc = v;
+    for (int r = 1; r < size_; ++r) acc += recv(r, kReduceTag).data.at(0);
+    for (int r = 1; r < size_; ++r) send(r, kBcastTag, std::span(&acc, 1));
+    return acc;
+  }
+  send(0, kReduceTag, std::span(&v, 1));
+  return recv(0, kBcastTag).data.at(0);
+}
+
+double Comm::allreduce_max(double v) {
+  if (size_ == 1) return v;
+  if (rank_ == 0) {
+    double acc = v;
+    for (int r = 1; r < size_; ++r) acc = std::max(acc, recv(r, kReduceTag).data.at(0));
+    for (int r = 1; r < size_; ++r) send(r, kBcastTag, std::span(&acc, 1));
+    return acc;
+  }
+  send(0, kReduceTag, std::span(&v, 1));
+  return recv(0, kBcastTag).data.at(0);
+}
+
+namespace {
+constexpr int kBcastTag2 = -1002;
+constexpr int kGatherTag = -1003;
+constexpr int kVecReduceTag = -1004;
+constexpr int kVecResultTag = -1005;
+}  // namespace
+
+void Comm::broadcast(std::vector<double>& data, int root) {
+  if (size_ == 1) return;
+  if (rank_ == root) {
+    for (int r = 0; r < size_; ++r) {
+      if (r != root) send(r, kBcastTag2, data);
+    }
+  } else {
+    data = recv(root, kBcastTag2).data;
+  }
+}
+
+std::vector<double> Comm::gather(std::span<const double> data, int root) {
+  if (rank_ != root) {
+    send(root, kGatherTag, data);
+    return {};
+  }
+  std::vector<double> out;
+  for (int r = 0; r < size_; ++r) {
+    if (r == rank_) {
+      out.insert(out.end(), data.begin(), data.end());
+    } else {
+      const Message m = recv(r, kGatherTag);
+      out.insert(out.end(), m.data.begin(), m.data.end());
+    }
+  }
+  return out;
+}
+
+void Comm::allreduce_sum_vec(std::vector<double>& data) {
+  if (size_ == 1) return;
+  if (rank_ == 0) {
+    for (int r = 1; r < size_; ++r) {
+      const Message m = recv(r, kVecReduceTag);
+      if (m.data.size() != data.size()) {
+        throw std::runtime_error("allreduce_sum_vec: length mismatch");
+      }
+      for (std::size_t k = 0; k < data.size(); ++k) data[k] += m.data[k];
+    }
+    for (int r = 1; r < size_; ++r) send(r, kVecResultTag, data);
+  } else {
+    send(0, kVecReduceTag, data);
+    data = recv(0, kVecResultTag).data;
+  }
+}
+
+// --------------------------------------------------------------- Cluster
+
+Cluster::Cluster(int size) : size_(size), boxes_(size) {
+  if (size < 1) throw std::invalid_argument("Cluster: size must be >= 1");
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::deliver(int dst, Message msg) {
+  Mailbox& box = boxes_.at(dst);
+  {
+    std::lock_guard<std::mutex> lk(box.m);
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+std::optional<Message> Cluster::match(int dst, int src, int tag, bool block) {
+  Mailbox& box = boxes_.at(dst);
+  std::unique_lock<std::mutex> lk(box.m);
+  const auto find = [&]() -> std::deque<Message>::iterator {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if ((src == kAny || it->src == src) && (tag == kAny || it->tag == tag)) {
+        return it;
+      }
+    }
+    return box.queue.end();
+  };
+  auto it = find();
+  if (it == box.queue.end()) {
+    if (!block) return std::nullopt;
+    box.cv.wait(lk, [&] {
+      it = find();
+      return it != box.queue.end();
+    });
+  }
+  Message m = std::move(*it);
+  box.queue.erase(it);
+  return m;
+}
+
+void Cluster::run(const std::function<void(Comm&)>& fn) {
+  for (auto& box : boxes_) {
+    std::lock_guard<std::mutex> lk(box.m);
+    box.queue.clear();
+  }
+  bar_count_ = 0;
+
+  std::vector<Comm> comms;
+  comms.reserve(size_);
+  for (int r = 0; r < size_; ++r) comms.push_back(Comm(*this, r, size_));
+
+  std::exception_ptr first_error;
+  std::mutex err_m;
+  std::vector<std::thread> threads;
+  threads.reserve(size_);
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r]() {
+      try {
+        fn(comms[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_m);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  last_counters_.clear();
+  for (const auto& c : comms) last_counters_.push_back(c.counters());
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace nsp::mp

@@ -1,0 +1,137 @@
+// A small threads-backed message-passing runtime in the spirit of PVM.
+//
+// The paper parallelizes the solver in SPMD style with explicit message
+// passing (PVM on LACE and the T3D, MPL/PVMe on the SP). This runtime
+// provides the same programming model on threads of one process: each
+// rank runs the SPMD function on its own thread, sends are buffered and
+// asynchronous, receives block with (source, tag) matching, and every
+// rank keeps start-up/volume counters so the live solver can report the
+// paper's Table 1 quantities.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/counters.hpp"
+
+namespace nsp::mp {
+
+/// Wildcard for Comm::recv source/tag matching.
+inline constexpr int kAny = -1;
+
+/// A typed message of doubles.
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::vector<double> data;
+};
+
+class Cluster;
+
+/// Per-rank communication endpoint handed to the SPMD function.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  /// Sends a copy of `data` to `dst` with the given tag (asynchronous,
+  /// buffered: never blocks).
+  void send(int dst, int tag, std::span<const double> data);
+
+  /// Receives the oldest matching message (blocking). Use kAny to match
+  /// any source and/or tag.
+  Message recv(int src = kAny, int tag = kAny);
+
+  /// Receives a matching message into `out`; the message length must
+  /// equal out.size().
+  void recv_into(int src, int tag, std::span<double> out);
+
+  /// Non-blocking probe-and-receive.
+  std::optional<Message> try_recv(int src = kAny, int tag = kAny);
+
+  /// Synchronizes all ranks of the cluster.
+  void barrier();
+
+  /// Global reductions (implemented with messages through rank 0, so
+  /// they show up in the communication counters like any other traffic).
+  double allreduce_sum(double v);
+  double allreduce_max(double v);
+
+  /// Broadcasts `data` from `root` to every rank (in place).
+  void broadcast(std::vector<double>& data, int root = 0);
+
+  /// Gathers each rank's `data` onto `root`, concatenated in rank
+  /// order. Returns the concatenation on root, an empty vector
+  /// elsewhere. Contributions may differ in length.
+  std::vector<double> gather(std::span<const double> data, int root = 0);
+
+  /// Element-wise sum reduction of equal-length vectors across all
+  /// ranks; every rank receives the result (in place).
+  void allreduce_sum_vec(std::vector<double>& data);
+
+  /// Message accounting for this rank.
+  const core::CommCounter& counters() const { return counters_; }
+
+ private:
+  friend class Cluster;
+  Comm(Cluster& cluster, int rank, int size)
+      : cluster_(&cluster), rank_(rank), size_(size) {}
+
+  Cluster* cluster_;
+  int rank_;
+  int size_;
+  core::CommCounter counters_;
+};
+
+/// A virtual cluster: runs one SPMD function on `size` ranks (threads)
+/// and joins them. Mailboxes live for the duration of run().
+class Cluster {
+ public:
+  explicit Cluster(int size);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int size() const { return size_; }
+
+  /// Runs fn(comm) on every rank; returns when all ranks finish.
+  /// Exceptions thrown by any rank are rethrown (first one wins) after
+  /// all threads have been joined.
+  void run(const std::function<void(Comm&)>& fn);
+
+  /// Per-rank counters of the last run().
+  const std::vector<core::CommCounter>& last_counters() const {
+    return last_counters_;
+  }
+
+ private:
+  friend class Comm;
+
+  struct Mailbox {
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  void deliver(int dst, Message msg);
+  std::optional<Message> match(int dst, int src, int tag, bool block);
+
+  int size_;
+  std::vector<Mailbox> boxes_;
+
+  // barrier state
+  std::mutex bar_m_;
+  std::condition_variable bar_cv_;
+  int bar_count_ = 0;
+  std::uint64_t bar_generation_ = 0;
+
+  std::vector<core::CommCounter> last_counters_;
+};
+
+}  // namespace nsp::mp

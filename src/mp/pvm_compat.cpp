@@ -1,0 +1,87 @@
+#include "mp/pvm_compat.hpp"
+
+namespace nsp::mp::pvm {
+
+int Session::initsend() {
+  send_buf_.clear();
+  send_active_ = true;
+  return 1;
+}
+
+int Session::pkdouble(const double* data, int n, int stride) {
+  if (!send_active_) return PvmNoBuf;
+  for (int k = 0; k < n; ++k) send_buf_.push_back(data[k * stride]);
+  return PvmOk;
+}
+
+int Session::pkint(const int* data, int n, int stride) {
+  if (!send_active_) return PvmNoBuf;
+  // PVM encoded ints natively; doubles hold 32-bit ints exactly.
+  for (int k = 0; k < n; ++k) {
+    send_buf_.push_back(static_cast<double>(data[k * stride]));
+  }
+  return PvmOk;
+}
+
+int Session::send(int tid, int tag) {
+  if (!send_active_) return PvmNoBuf;
+  comm_->send(tid, tag, send_buf_);
+  return PvmOk;
+}
+
+int Session::mcast(const std::vector<int>& tids, int tag) {
+  if (!send_active_) return PvmNoBuf;
+  for (int tid : tids) comm_->send(tid, tag, send_buf_);
+  return PvmOk;
+}
+
+int Session::recv(int tid, int tag) {
+  const Message m = comm_->recv(tid < 0 ? kAny : tid, tag < 0 ? kAny : tag);
+  recv_buf_ = std::move(m.data);
+  recv_pos_ = 0;
+  recv_active_ = true;
+  recv_tag_ = m.tag;
+  recv_src_ = m.src;
+  return 1;
+}
+
+int Session::nrecv(int tid, int tag) {
+  auto m = comm_->try_recv(tid < 0 ? kAny : tid, tag < 0 ? kAny : tag);
+  if (!m) return 0;
+  recv_buf_ = std::move(m->data);
+  recv_pos_ = 0;
+  recv_active_ = true;
+  recv_tag_ = m->tag;
+  recv_src_ = m->src;
+  return 1;
+}
+
+int Session::bufinfo(int* bytes, int* tag, int* tid) const {
+  if (!recv_active_) return PvmNoBuf;
+  if (bytes) *bytes = static_cast<int>(recv_buf_.size() * sizeof(double));
+  if (tag) *tag = recv_tag_;
+  if (tid) *tid = recv_src_;
+  return PvmOk;
+}
+
+int Session::upkdouble(double* data, int n, int stride) {
+  if (!recv_active_) return PvmNoBuf;
+  if (recv_pos_ + static_cast<std::size_t>(n) > recv_buf_.size()) {
+    return PvmNoData;
+  }
+  for (int k = 0; k < n; ++k) data[k * stride] = recv_buf_[recv_pos_++];
+  return PvmOk;
+}
+
+int Session::upkint(int* data, int n, int stride) {
+  if (!recv_active_) return PvmNoBuf;
+  if (recv_pos_ + static_cast<std::size_t>(n) > recv_buf_.size()) {
+    return PvmNoData;
+  }
+  for (int k = 0; k < n; ++k) {
+    data[k * stride] = static_cast<int>(recv_buf_[recv_pos_++]);
+  }
+  return PvmOk;
+}
+
+}  // namespace nsp::mp::pvm

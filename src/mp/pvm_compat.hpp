@@ -1,0 +1,91 @@
+// A PVM 3.x-flavoured compatibility layer over the mp runtime.
+//
+// The paper parallelized the solver with PVM ("we have used the popular
+// PVM message passing library (version 3.2.2)"), whose idiom is pack
+// buffers: pvm_initsend / pvm_pkdouble / pvm_send on one side,
+// pvm_recv / pvm_upkdouble on the other. This shim reproduces that API
+// (minus the daemon) so 1995-style code ports onto nsp::mp::Cluster
+// nearly verbatim:
+//
+//   nsp::mp::pvm::Session pvm(comm);
+//   pvm.initsend();
+//   pvm.pkdouble(boundary.data(), n, 1);
+//   pvm.send(left_tid, kTagPrim);
+//   ...
+//   pvm.recv(right_tid, kTagPrim);
+//   pvm.upkdouble(ghost.data(), n, 1);
+//
+// Task ids ("tids") are ranks; pvm_mytid/pvm_gsize map onto the Comm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mp/comm.hpp"
+
+namespace nsp::mp::pvm {
+
+/// Per-task PVM session bound to a Comm endpoint. Not thread-shared:
+/// each rank owns its own Session (as each PVM task owned its buffers).
+class Session {
+ public:
+  explicit Session(Comm& comm) : comm_(&comm) {}
+
+  /// pvm_mytid: this task's id (the rank).
+  int mytid() const { return comm_->rank(); }
+
+  /// pvm_gsize: number of tasks in the (static) group.
+  int gsize() const { return comm_->size(); }
+
+  /// pvm_initsend: clears the active send buffer. Returns a buffer id
+  /// (always 1; kept for signature familiarity).
+  int initsend();
+
+  /// pvm_pkdouble / pvm_pkint: append n items with the given stride
+  /// (stride 1 = contiguous, as in PVM).
+  int pkdouble(const double* data, int n, int stride = 1);
+  int pkint(const int* data, int n, int stride = 1);
+
+  /// pvm_send: ships the active send buffer to task `tid` with `tag`.
+  /// The buffer stays intact (PVM allowed multicasting the same buffer).
+  int send(int tid, int tag);
+
+  /// pvm_mcast: ships the active buffer to several tasks.
+  int mcast(const std::vector<int>& tids, int tag);
+
+  /// pvm_recv: blocks for a message from `tid` (-1 = any) with `tag`
+  /// (-1 = any) and makes it the active receive buffer.
+  int recv(int tid = -1, int tag = -1);
+
+  /// pvm_nrecv: non-blocking probe-receive; returns 0 when no message
+  /// is pending, 1 when a buffer was received.
+  int nrecv(int tid = -1, int tag = -1);
+
+  /// pvm_bufinfo: length (in doubles-equivalent items packed), tag and
+  /// source of the active receive buffer.
+  int bufinfo(int* bytes, int* tag, int* tid) const;
+
+  /// pvm_upkdouble / pvm_upkint: unpack n items with stride from the
+  /// active receive buffer; items are consumed in pack order.
+  int upkdouble(double* data, int n, int stride = 1);
+  int upkint(int* data, int n, int stride = 1);
+
+  /// Remaining unread items in the receive buffer.
+  std::size_t unread() const { return recv_buf_.size() - recv_pos_; }
+
+  static constexpr int PvmOk = 0;
+  static constexpr int PvmNoData = -5;   ///< unpack past end of buffer
+  static constexpr int PvmNoBuf = -12;   ///< no active buffer
+
+ private:
+  Comm* comm_;
+  std::vector<double> send_buf_;
+  bool send_active_ = false;
+  std::vector<double> recv_buf_;
+  std::size_t recv_pos_ = 0;
+  bool recv_active_ = false;
+  int recv_tag_ = -1;
+  int recv_src_ = -1;
+};
+
+}  // namespace nsp::mp::pvm

@@ -1,0 +1,32 @@
+// 1-D axial block decomposition (Section 5: "we chose to decompose the
+// domain by blocks along the axial direction only").
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/kernels.hpp"
+
+namespace nsp::par {
+
+/// Contiguous axial blocks, remainder cells spread over the first
+/// ranks so widths differ by at most one (the near-perfect load balance
+/// of the paper's Figure 13).
+inline std::vector<core::Range> axial_blocks(int ni, int nprocs) {
+  if (nprocs < 1 || ni < nprocs) {
+    throw std::invalid_argument("axial_blocks: need 1 <= nprocs <= ni");
+  }
+  std::vector<core::Range> blocks;
+  blocks.reserve(nprocs);
+  const int base = ni / nprocs;
+  const int rem = ni % nprocs;
+  int start = 0;
+  for (int r = 0; r < nprocs; ++r) {
+    const int w = base + (r < rem ? 1 : 0);
+    blocks.push_back(core::Range{start, start + w});
+    start += w;
+  }
+  return blocks;
+}
+
+}  // namespace nsp::par

@@ -1,0 +1,381 @@
+#include "par/subdomain_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nsp::par {
+
+using core::Field2D;
+using core::kGhost;
+using core::PrimitiveField;
+using core::Range;
+using core::StateField;
+using core::SweepVariant;
+
+namespace {
+constexpr int kTagPrim = 101;
+constexpr int kTagFlux = 102;
+constexpr int kTagGather = 103;
+
+core::Grid make_local_grid(const core::Grid& g, Range r) {
+  return g.subgrid(r.begin, r.end - r.begin, 0, g.nj);
+}
+}  // namespace
+
+SubdomainSolver::SubdomainSolver(const core::SolverConfig& cfg, mp::Comm& comm)
+    : global_cfg_(cfg),
+      comm_(&comm),
+      range_(axial_blocks(cfg.grid.ni, comm.size())[comm.rank()]),
+      width_(range_.end - range_.begin),
+      local_grid_(make_local_grid(cfg.grid, range_)),
+      inflow_(local_grid_, cfg.jet),
+      outflow_(cfg.jet.gas),
+      q_(width_, cfg.grid.nj),
+      qp_(width_, cfg.grid.nj),
+      qn_(width_, cfg.grid.nj),
+      w_(width_, cfg.grid.nj),
+      s_(width_, cfg.grid.nj),
+      flux_(width_, cfg.grid.nj) {
+  if (cfg.smoothing != 0.0) {
+    throw std::invalid_argument(
+        "SubdomainSolver: smoothing is not decomposition-invariant");
+  }
+  if (width_ < 2 * kGhost) {
+    throw std::invalid_argument("SubdomainSolver: subdomain too narrow");
+  }
+  global_cfg_.jet.gas.mu = cfg.viscous ? cfg.jet.viscosity() : 0.0;
+  inflow_ = core::InflowBC(local_grid_, global_cfg_.jet);
+  outflow_ = core::OutflowBC(global_cfg_.jet.gas);
+  inflow_.farfield_conserved(far_q_);
+  far_w_ = core::to_primitive(global_cfg_.jet.gas, far_q_[0], far_q_[1],
+                              far_q_[2], far_q_[3]);
+  leftmost_ = comm.rank() == 0;
+  rightmost_ = comm.rank() == comm.size() - 1;
+}
+
+void SubdomainSolver::initialize() {
+  const core::Gas& gas = global_cfg_.jet.gas;
+  const core::Grid& g = global_cfg_.grid;
+  double max_x_speed = 0, max_r_speed = 0;
+  for (int j = -kGhost; j < g.nj + kGhost; ++j) {
+    const double r = std::fabs(g.r(j));
+    const double rho = global_cfg_.jet.mean_rho(r);
+    const double u = global_cfg_.jet.mean_u(r);
+    const double p = global_cfg_.jet.mean_p();
+    const double e = gas.total_energy(rho, u, 0.0, p);
+    const double c = gas.sound_speed(p, rho);
+    max_x_speed = std::max(max_x_speed, std::fabs(u) + c);
+    max_r_speed = std::max(max_r_speed, c);
+    for (int i = -kGhost; i < width_ + kGhost; ++i) {
+      q_.rho(i, j) = rho;
+      q_.mx(i, j) = rho * u;
+      q_.mr(i, j) = 0.0;
+      q_.e(i, j) = e;
+    }
+  }
+  // Identical expression (over the full radial extent) to the serial
+  // solver, so dt matches to the bit.
+  dt_ = global_cfg_.cfl * std::min(g.dx() / (1.3 * max_x_speed),
+                                   g.dr() / (1.3 * max_r_speed));
+  t_ = 0;
+  steps_ = 0;
+}
+
+namespace {
+/// Bundles u, v, T, p of one boundary column into a single message
+/// ("packaged into a single send").
+std::vector<double> pack_prim_col(const PrimitiveField& w, int i, int nj) {
+  std::vector<double> buf(static_cast<std::size_t>(4) * nj);
+  for (int j = 0; j < nj; ++j) {
+    buf[0 * nj + j] = w.u(i, j);
+    buf[1 * nj + j] = w.v(i, j);
+    buf[2 * nj + j] = w.t(i, j);
+    buf[3 * nj + j] = w.p(i, j);
+  }
+  return buf;
+}
+
+void unpack_prim_col(PrimitiveField& w, int i, int nj,
+                     const std::vector<double>& buf) {
+  for (int j = 0; j < nj; ++j) {
+    w.u(i, j) = buf[0 * nj + j];
+    w.v(i, j) = buf[1 * nj + j];
+    w.t(i, j) = buf[2 * nj + j];
+    w.p(i, j) = buf[3 * nj + j];
+  }
+}
+}  // namespace
+
+void SubdomainSolver::send_primitives() {
+  const int nj = global_cfg_.grid.nj;
+  const int rank = comm_->rank();
+  if (!leftmost_) comm_->send(rank - 1, kTagPrim, pack_prim_col(w_, 0, nj));
+  if (!rightmost_) {
+    comm_->send(rank + 1, kTagPrim, pack_prim_col(w_, width_ - 1, nj));
+  }
+}
+
+void SubdomainSolver::recv_primitives() {
+  const int nj = global_cfg_.grid.nj;
+  const int rank = comm_->rank();
+  if (!leftmost_) {
+    unpack_prim_col(w_, -1, nj, comm_->recv(rank - 1, kTagPrim).data);
+  }
+  if (!rightmost_) {
+    unpack_prim_col(w_, width_, nj, comm_->recv(rank + 1, kTagPrim).data);
+  }
+}
+
+void SubdomainSolver::compute_stresses_with_halo() {
+  const core::Gas& gas = global_cfg_.jet.gas;
+  const int ilo_avail = leftmost_ ? 0 : -1;
+  const int ihi_avail = rightmost_ ? width_ : width_ + 1;
+  if (!global_cfg_.overlap_comm) {
+    exchange_primitives();
+    core::compute_stresses(gas, local_grid_, w_, s_, Range{0, width_},
+                           ilo_avail, ihi_avail);
+    return;
+  }
+  // Live Version 6: interior stress columns proceed while the halo
+  // primitives are in flight; the boundary columns follow the receive.
+  send_primitives();
+  const int a = leftmost_ ? 0 : 1;
+  const int b = rightmost_ ? width_ : width_ - 1;
+  core::compute_stresses(gas, local_grid_, w_, s_, Range{a, b}, ilo_avail,
+                         ihi_avail);
+  recv_primitives();
+  if (!leftmost_) {
+    core::compute_stresses(gas, local_grid_, w_, s_, Range{0, 1}, ilo_avail,
+                           ihi_avail);
+  }
+  if (!rightmost_) {
+    core::compute_stresses(gas, local_grid_, w_, s_, Range{width_ - 1, width_},
+                           ilo_avail, ihi_avail);
+  }
+}
+
+namespace {
+/// Two flux columns, all four components, in one message ("the two flux
+/// columns nearest each boundary are combined into a single send").
+std::vector<double> pack_flux_cols(const StateField& f, int i0, int i1, int nj) {
+  std::vector<double> buf(static_cast<std::size_t>(8) * nj);
+  std::size_t k = 0;
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    for (int j = 0; j < nj; ++j) buf[k++] = f[c](i0, j);
+    for (int j = 0; j < nj; ++j) buf[k++] = f[c](i1, j);
+  }
+  return buf;
+}
+
+void unpack_flux_cols(StateField& f, int i0, int i1, int nj,
+                      const std::vector<double>& buf) {
+  std::size_t k = 0;
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    for (int j = 0; j < nj; ++j) f[c](i0, j) = buf[k++];
+    for (int j = 0; j < nj; ++j) f[c](i1, j) = buf[k++];
+  }
+}
+}  // namespace
+
+void SubdomainSolver::send_flux(const StateField& f, bool from_right) {
+  const int nj = global_cfg_.grid.nj;
+  const int rank = comm_->rank();
+  if (from_right) {
+    // Forward differences need F(width), F(width+1) from the right
+    // neighbour's first two columns; symmetric send to our left.
+    if (!leftmost_) {
+      comm_->send(rank - 1, kTagFlux, pack_flux_cols(f, 0, 1, nj));
+    }
+  } else {
+    // Backward differences need F(-1), F(-2) from the left neighbour's
+    // last two columns.
+    if (!rightmost_) {
+      comm_->send(rank + 1, kTagFlux,
+                  pack_flux_cols(f, width_ - 1, width_ - 2, nj));
+    }
+  }
+}
+
+void SubdomainSolver::recv_flux(StateField& f, bool from_right) {
+  const int nj = global_cfg_.grid.nj;
+  const int rank = comm_->rank();
+  if (from_right) {
+    if (!rightmost_) {
+      unpack_flux_cols(f, width_, width_ + 1, nj,
+                       comm_->recv(rank + 1, kTagFlux).data);
+    } else {
+      core::extrapolate_flux_ghost_x(f, width_, +1);
+    }
+    if (leftmost_) core::extrapolate_flux_ghost_x(f, width_, -1);
+  } else {
+    if (!leftmost_) {
+      unpack_flux_cols(f, -1, -2, nj, comm_->recv(rank - 1, kTagFlux).data);
+    } else {
+      core::extrapolate_flux_ghost_x(f, width_, -1);
+    }
+    if (rightmost_) core::extrapolate_flux_ghost_x(f, width_, +1);
+  }
+}
+
+void SubdomainSolver::apply_x_boundaries(StateField& q_stage) {
+  if (leftmost_ && global_cfg_.left == core::XBoundary::Inflow) {
+    inflow_.apply(q_stage, 0, t_ + dt_);
+  }
+  if (rightmost_ && global_cfg_.right == core::XBoundary::CharacteristicOutflow) {
+    outflow_.apply(q_stage, q_, width_ - 1, dt_);
+  }
+}
+
+void SubdomainSolver::sweep_x(SweepVariant v) {
+  const core::Gas& gas = global_cfg_.jet.gas;
+  const Range full{0, width_};
+  const double lambda = dt_ / (6.0 * local_grid_.dx());
+  const bool visc = global_cfg_.viscous;
+  const bool overlap = global_cfg_.overlap_comm;
+
+  for (int stage = 0; stage < 2; ++stage) {
+    const StateField& qs = stage == 0 ? q_ : qp_;
+    core::compute_primitives(gas, qs, w_, full, 0, local_grid_.nj,
+                             global_cfg_.variant);
+    if (visc) {
+      core::fill_primitive_ghost_rows(gas, w_, full, far_w_);
+      compute_stresses_with_halo();
+    }
+    core::compute_flux_x(gas, qs, w_, s_, visc, flux_, full,
+                         global_cfg_.variant);
+    // L1 predictor and L2 corrector use forward differences.
+    const bool forward = (v == SweepVariant::L1) == (stage == 0);
+    send_flux(flux_, forward);
+    // Version 6: update the columns that need no ghost fluxes while the
+    // halo is in flight, then finish the boundary-adjacent columns.
+    const Range interior = forward ? Range{0, width_ - 2} : Range{2, width_};
+    const Range edge = forward ? Range{width_ - 2, width_} : Range{0, 2};
+    const auto update = [&](Range r) {
+      if (stage == 0) {
+        core::predictor_x(q_, flux_, qp_, lambda, v, r);
+      } else {
+        core::corrector_x(q_, qp_, flux_, qn_, lambda, v, r);
+      }
+    };
+    if (overlap) {
+      update(interior);
+      recv_flux(flux_, forward);
+      update(edge);
+    } else {
+      recv_flux(flux_, forward);
+      update(full);
+    }
+    apply_x_boundaries(stage == 0 ? qp_ : qn_);
+  }
+  std::swap(q_, qn_);
+}
+
+void SubdomainSolver::sweep_r(SweepVariant v) {
+  const core::Gas& gas = global_cfg_.jet.gas;
+  const Range full{0, width_};
+  const bool visc = global_cfg_.viscous;
+  const int nj = local_grid_.nj;
+
+  for (int stage = 0; stage < 2; ++stage) {
+    StateField& qs = stage == 0 ? q_ : qp_;
+    core::fill_q_ghost_rows(qs, full, far_q_);
+    core::compute_primitives(gas, qs, w_, full, -kGhost, nj + kGhost,
+                             global_cfg_.variant);
+    if (visc) {
+      // The radial flux's txr needs d(u)/dx: exchange boundary
+      // primitives so the x-derivative stays central at interior
+      // subdomain edges (with Version 6 the interior stress columns
+      // overlap the exchange).
+      compute_stresses_with_halo();
+      core::fill_stress_ghost_rows(s_, full.begin, full.end);
+    }
+    core::compute_flux_r(gas, local_grid_, qs, w_, s_, visc, flux_, full, 0,
+                         nj + kGhost, global_cfg_.variant);
+    core::reflect_flux_r_axis(flux_, full);
+    if (stage == 0) {
+      core::predictor_r(local_grid_, q_, flux_, w_.p, s_.ttt, visc, qp_, dt_,
+                        v, full);
+      apply_x_boundaries(qp_);
+    } else {
+      core::corrector_r(local_grid_, q_, qp_, flux_, w_.p, s_.ttt, visc, qn_,
+                        dt_, v, full);
+      apply_x_boundaries(qn_);
+    }
+  }
+  std::swap(q_, qn_);
+}
+
+void SubdomainSolver::step() {
+  if (dt_ <= 0) initialize();
+  if (steps_ % 2 == 0) {
+    sweep_r(SweepVariant::L1);
+    sweep_x(SweepVariant::L1);
+  } else {
+    sweep_x(SweepVariant::L2);
+    sweep_r(SweepVariant::L2);
+  }
+  ++steps_;
+  t_ += dt_;
+}
+
+void SubdomainSolver::run(int n) {
+  for (int k = 0; k < n; ++k) step();
+}
+
+std::optional<StateField> SubdomainSolver::gather() {
+  const int nj = global_cfg_.grid.nj;
+  if (comm_->rank() != 0) {
+    std::vector<double> buf(static_cast<std::size_t>(4) * width_ * nj);
+    std::size_t k = 0;
+    for (int c = 0; c < StateField::kComponents; ++c) {
+      for (int i = 0; i < width_; ++i) {
+        for (int j = 0; j < nj; ++j) buf[k++] = q_[c](i, j);
+      }
+    }
+    comm_->send(0, kTagGather, buf);
+    return std::nullopt;
+  }
+  StateField out(global_cfg_.grid.ni, nj);
+  const auto blocks = axial_blocks(global_cfg_.grid.ni, comm_->size());
+  // Rank 0's own block.
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    for (int i = 0; i < width_; ++i) {
+      for (int j = 0; j < nj; ++j) out[c](range_.begin + i, j) = q_[c](i, j);
+    }
+  }
+  for (int r = 1; r < comm_->size(); ++r) {
+    const mp::Message m = comm_->recv(r, kTagGather);
+    const Range br = blocks[static_cast<std::size_t>(r)];
+    const int bw = br.end - br.begin;
+    std::size_t k = 0;
+    for (int c = 0; c < StateField::kComponents; ++c) {
+      for (int i = 0; i < bw; ++i) {
+        for (int j = 0; j < nj; ++j) out[c](br.begin + i, j) = m.data[k++];
+      }
+    }
+  }
+  return out;
+}
+
+core::StateField run_parallel_jet(const core::SolverConfig& cfg, int nprocs,
+                                  int nsteps,
+                                  std::vector<core::CommCounter>* counters) {
+  mp::Cluster cluster(nprocs);
+  core::StateField result;
+  std::mutex m;
+  cluster.run([&](mp::Comm& comm) {
+    SubdomainSolver s(cfg, comm);
+    s.initialize();
+    s.run(nsteps);
+    auto gathered = s.gather();
+    if (gathered) {
+      std::lock_guard<std::mutex> lk(m);
+      result = std::move(*gathered);
+    }
+  });
+  if (counters) *counters = cluster.last_counters();
+  return result;
+}
+
+}  // namespace nsp::par

@@ -1,0 +1,388 @@
+#include "par/subdomain_solver2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+
+namespace nsp::par {
+
+using core::Field2D;
+using core::kGhost;
+using core::PrimitiveField;
+using core::Range;
+using core::StateField;
+using core::SweepVariant;
+
+namespace {
+constexpr int kTagPrimCol = 201;
+constexpr int kTagPrimRow = 202;
+constexpr int kTagFluxX = 203;
+constexpr int kTagFluxR = 204;
+constexpr int kTagGather = 205;
+
+core::Grid make_local_grid(const core::Grid& g, Range xr, Range jr) {
+  return g.subgrid(xr.begin, xr.end - xr.begin, jr.begin, jr.end - jr.begin);
+}
+}  // namespace
+
+SubdomainSolver2D::SubdomainSolver2D(const core::SolverConfig& cfg,
+                                     mp::Comm& comm, int px, int py)
+    : global_cfg_(cfg),
+      comm_(&comm),
+      px_(px),
+      py_(py),
+      rx_(comm.rank() % px),
+      ry_(comm.rank() / px),
+      xrange_(axial_blocks(cfg.grid.ni, px)[static_cast<std::size_t>(rx_)]),
+      jrange_(axial_blocks(cfg.grid.nj, py)[static_cast<std::size_t>(ry_)]),
+      width_(xrange_.end - xrange_.begin),
+      height_(jrange_.end - jrange_.begin),
+      local_grid_(make_local_grid(cfg.grid, xrange_, jrange_)),
+      inflow_(local_grid_, cfg.jet),
+      outflow_(cfg.jet.gas),
+      q_(width_, height_),
+      qp_(width_, height_),
+      qn_(width_, height_),
+      w_(width_, height_),
+      s_(width_, height_),
+      flux_(width_, height_) {
+  if (comm.size() != px * py) {
+    throw std::invalid_argument("SubdomainSolver2D: size != px*py");
+  }
+  if (cfg.smoothing != 0.0) {
+    throw std::invalid_argument(
+        "SubdomainSolver2D: smoothing is not decomposition-invariant");
+  }
+  if (width_ < 2 * kGhost || height_ < 2 * kGhost) {
+    throw std::invalid_argument("SubdomainSolver2D: subdomain too small");
+  }
+  global_cfg_.jet.gas.mu = cfg.viscous ? cfg.jet.viscosity() : 0.0;
+  inflow_ = core::InflowBC(local_grid_, global_cfg_.jet);
+  outflow_ = core::OutflowBC(global_cfg_.jet.gas);
+  // Far-field state is defined at the GLOBAL outer radius, exactly as
+  // the serial solver computes it.
+  const core::InflowBC global_bc(global_cfg_.grid, global_cfg_.jet);
+  global_bc.farfield_conserved(far_q_);
+  far_w_ = core::to_primitive(global_cfg_.jet.gas, far_q_[0], far_q_[1],
+                              far_q_[2], far_q_[3]);
+  leftmost_ = rx_ == 0;
+  rightmost_ = rx_ == px_ - 1;
+  bottom_ = ry_ == 0;
+  top_ = ry_ == py_ - 1;
+}
+
+void SubdomainSolver2D::initialize() {
+  const core::Gas& gas = global_cfg_.jet.gas;
+  const core::Grid& g = global_cfg_.grid;
+  double max_x_speed = 0, max_r_speed = 0;
+  // Identical dt expression to the serial solver (full radial extent).
+  for (int j = -kGhost; j < g.nj + kGhost; ++j) {
+    const double r = std::fabs(g.r(j));
+    const double u = global_cfg_.jet.mean_u(r);
+    const double p = global_cfg_.jet.mean_p();
+    const double rho = global_cfg_.jet.mean_rho(r);
+    const double c = gas.sound_speed(p, rho);
+    max_x_speed = std::max(max_x_speed, std::fabs(u) + c);
+    max_r_speed = std::max(max_r_speed, c);
+  }
+  dt_ = global_cfg_.cfl * std::min(g.dx() / (1.3 * max_x_speed),
+                                   g.dr() / (1.3 * max_r_speed));
+  for (int j = -kGhost; j < height_ + kGhost; ++j) {
+    const double r = std::fabs(local_grid_.r(j));
+    const double rho = global_cfg_.jet.mean_rho(r);
+    const double u = global_cfg_.jet.mean_u(r);
+    const double e = gas.total_energy(rho, u, 0.0, global_cfg_.jet.mean_p());
+    for (int i = -kGhost; i < width_ + kGhost; ++i) {
+      q_.rho(i, j) = rho;
+      q_.mx(i, j) = rho * u;
+      q_.mr(i, j) = 0.0;
+      q_.e(i, j) = e;
+    }
+  }
+  t_ = 0;
+  steps_ = 0;
+}
+
+void SubdomainSolver2D::exchange_primitives() {
+  const int h = height_, w = width_;
+  const auto pack_col = [&](int i) {
+    std::vector<double> buf(static_cast<std::size_t>(4) * h);
+    for (int j = 0; j < h; ++j) {
+      buf[0 * h + j] = w_.u(i, j);
+      buf[1 * h + j] = w_.v(i, j);
+      buf[2 * h + j] = w_.t(i, j);
+      buf[3 * h + j] = w_.p(i, j);
+    }
+    return buf;
+  };
+  const auto unpack_col = [&](int i, const std::vector<double>& buf) {
+    for (int j = 0; j < h; ++j) {
+      w_.u(i, j) = buf[0 * h + j];
+      w_.v(i, j) = buf[1 * h + j];
+      w_.t(i, j) = buf[2 * h + j];
+      w_.p(i, j) = buf[3 * h + j];
+    }
+  };
+  const auto pack_row = [&](int j) {
+    std::vector<double> buf(static_cast<std::size_t>(4) * w);
+    for (int i = 0; i < w; ++i) {
+      buf[0 * w + i] = w_.u(i, j);
+      buf[1 * w + i] = w_.v(i, j);
+      buf[2 * w + i] = w_.t(i, j);
+      buf[3 * w + i] = w_.p(i, j);
+    }
+    return buf;
+  };
+  const auto unpack_row = [&](int j, const std::vector<double>& buf) {
+    for (int i = 0; i < w; ++i) {
+      w_.u(i, j) = buf[0 * w + i];
+      w_.v(i, j) = buf[1 * w + i];
+      w_.t(i, j) = buf[2 * w + i];
+      w_.p(i, j) = buf[3 * w + i];
+    }
+  };
+
+  if (!leftmost_) comm_->send(rank_of(rx_ - 1, ry_), kTagPrimCol, pack_col(0));
+  if (!rightmost_)
+    comm_->send(rank_of(rx_ + 1, ry_), kTagPrimCol, pack_col(w - 1));
+  if (!bottom_) comm_->send(rank_of(rx_, ry_ - 1), kTagPrimRow, pack_row(0));
+  if (!top_) comm_->send(rank_of(rx_, ry_ + 1), kTagPrimRow, pack_row(h - 1));
+  if (!leftmost_) unpack_col(-1, comm_->recv(rank_of(rx_ - 1, ry_), kTagPrimCol).data);
+  if (!rightmost_) unpack_col(w, comm_->recv(rank_of(rx_ + 1, ry_), kTagPrimCol).data);
+  if (!bottom_) unpack_row(-1, comm_->recv(rank_of(rx_, ry_ - 1), kTagPrimRow).data);
+  if (!top_) unpack_row(h, comm_->recv(rank_of(rx_, ry_ + 1), kTagPrimRow).data);
+}
+
+void SubdomainSolver2D::exchange_flux_x(StateField& f, bool from_right) {
+  const int h = height_, w = width_;
+  const auto pack = [&](int i0, int i1) {
+    std::vector<double> buf(static_cast<std::size_t>(8) * h);
+    std::size_t k = 0;
+    for (int c = 0; c < StateField::kComponents; ++c) {
+      for (int j = 0; j < h; ++j) buf[k++] = f[c](i0, j);
+      for (int j = 0; j < h; ++j) buf[k++] = f[c](i1, j);
+    }
+    return buf;
+  };
+  const auto unpack = [&](int i0, int i1, const std::vector<double>& buf) {
+    std::size_t k = 0;
+    for (int c = 0; c < StateField::kComponents; ++c) {
+      for (int j = 0; j < h; ++j) f[c](i0, j) = buf[k++];
+      for (int j = 0; j < h; ++j) f[c](i1, j) = buf[k++];
+    }
+  };
+  if (from_right) {
+    if (!leftmost_) comm_->send(rank_of(rx_ - 1, ry_), kTagFluxX, pack(0, 1));
+    if (!rightmost_) {
+      unpack(w, w + 1, comm_->recv(rank_of(rx_ + 1, ry_), kTagFluxX).data);
+    } else {
+      core::extrapolate_flux_ghost_x(f, w, +1);
+    }
+    if (leftmost_) core::extrapolate_flux_ghost_x(f, w, -1);
+  } else {
+    if (!rightmost_)
+      comm_->send(rank_of(rx_ + 1, ry_), kTagFluxX, pack(w - 1, w - 2));
+    if (!leftmost_) {
+      unpack(-1, -2, comm_->recv(rank_of(rx_ - 1, ry_), kTagFluxX).data);
+    } else {
+      core::extrapolate_flux_ghost_x(f, w, -1);
+    }
+    if (rightmost_) core::extrapolate_flux_ghost_x(f, w, +1);
+  }
+}
+
+void SubdomainSolver2D::exchange_flux_r(StateField& f, bool from_up) {
+  const int h = height_, w = width_;
+  const auto pack = [&](int j0, int j1) {
+    std::vector<double> buf(static_cast<std::size_t>(8) * w);
+    std::size_t k = 0;
+    for (int c = 0; c < StateField::kComponents; ++c) {
+      for (int i = 0; i < w; ++i) buf[k++] = f[c](i, j0);
+      for (int i = 0; i < w; ++i) buf[k++] = f[c](i, j1);
+    }
+    return buf;
+  };
+  const auto unpack = [&](int j0, int j1, const std::vector<double>& buf) {
+    std::size_t k = 0;
+    for (int c = 0; c < StateField::kComponents; ++c) {
+      for (int i = 0; i < w; ++i) f[c](i, j0) = buf[k++];
+      for (int i = 0; i < w; ++i) f[c](i, j1) = buf[k++];
+    }
+  };
+  if (from_up) {
+    // Forward radial differences need rows h, h+1 from above; the top
+    // ranks computed their far-field ghost rows locally.
+    if (!bottom_) comm_->send(rank_of(rx_, ry_ - 1), kTagFluxR, pack(0, 1));
+    if (!top_) {
+      unpack(h, h + 1, comm_->recv(rank_of(rx_, ry_ + 1), kTagFluxR).data);
+    }
+  } else {
+    // Backward differences need rows -1, -2 from below; the bottom
+    // ranks already reflected across the axis.
+    if (!top_) comm_->send(rank_of(rx_, ry_ + 1), kTagFluxR, pack(h - 1, h - 2));
+    if (!bottom_) {
+      unpack(-1, -2, comm_->recv(rank_of(rx_, ry_ - 1), kTagFluxR).data);
+    }
+  }
+}
+
+void SubdomainSolver2D::apply_x_boundaries(StateField& q_stage) {
+  if (leftmost_ && global_cfg_.left == core::XBoundary::Inflow) {
+    inflow_.apply(q_stage, 0, t_ + dt_);
+  }
+  if (rightmost_ && global_cfg_.right == core::XBoundary::CharacteristicOutflow) {
+    outflow_.apply(q_stage, q_, width_ - 1, dt_);
+  }
+}
+
+void SubdomainSolver2D::sweep_x(SweepVariant v) {
+  const core::Gas& gas = global_cfg_.jet.gas;
+  const Range full{0, width_};
+  const double lambda = dt_ / (6.0 * local_grid_.dx());
+  const int ilo_avail = leftmost_ ? 0 : -1;
+  const int ihi_avail = rightmost_ ? width_ : width_ + 1;
+  const bool visc = global_cfg_.viscous;
+
+  for (int stage = 0; stage < 2; ++stage) {
+    const StateField& qs = stage == 0 ? q_ : qp_;
+    core::compute_primitives(gas, qs, w_, full, 0, height_, global_cfg_.variant);
+    if (visc) {
+      exchange_primitives();
+      const Range avail{ilo_avail, ihi_avail};
+      if (bottom_) core::fill_primitive_ghost_rows_axis(w_, avail);
+      if (top_) core::fill_primitive_ghost_rows_far(gas, w_, avail, far_w_);
+      core::compute_stresses(gas, local_grid_, w_, s_, full, ilo_avail,
+                             ihi_avail);
+    }
+    core::compute_flux_x(gas, qs, w_, s_, visc, flux_, full, global_cfg_.variant);
+    // L1 predictor and L2 corrector use forward differences.
+    const bool forward = (v == SweepVariant::L1) == (stage == 0);
+    exchange_flux_x(flux_, forward);
+    if (stage == 0) {
+      core::predictor_x(q_, flux_, qp_, lambda, v, full);
+      apply_x_boundaries(qp_);
+    } else {
+      core::corrector_x(q_, qp_, flux_, qn_, lambda, v, full);
+      apply_x_boundaries(qn_);
+    }
+  }
+  std::swap(q_, qn_);
+}
+
+void SubdomainSolver2D::sweep_r(SweepVariant v) {
+  const core::Gas& gas = global_cfg_.jet.gas;
+  const Range full{0, width_};
+  const int ilo_avail = leftmost_ ? 0 : -1;
+  const int ihi_avail = rightmost_ ? width_ : width_ + 1;
+  const bool visc = global_cfg_.viscous;
+  const int h = height_;
+
+  for (int stage = 0; stage < 2; ++stage) {
+    StateField& qs = stage == 0 ? q_ : qp_;
+    if (bottom_) core::fill_q_ghost_rows_axis(qs, full);
+    if (top_) core::fill_q_ghost_rows_far(qs, full, far_q_);
+    const int jlo = bottom_ ? -kGhost : 0;
+    const int jhi = top_ ? h + kGhost : h;
+    core::compute_primitives(gas, qs, w_, full, jlo, jhi, global_cfg_.variant);
+    if (visc) {
+      exchange_primitives();
+      core::compute_stresses(gas, local_grid_, w_, s_, full, ilo_avail,
+                             ihi_avail);
+      if (top_) core::fill_stress_ghost_rows_far(s_, full.begin, full.end);
+    }
+    // (Euler radial sweeps need no halo primitives: the flux rows are
+    // exchanged directly and the stresses are absent.)
+    core::compute_flux_r(gas, local_grid_, qs, w_, s_, visc, flux_, full, 0,
+                         top_ ? h + kGhost : h, global_cfg_.variant);
+    if (bottom_) core::reflect_flux_r_axis(flux_, full);
+    const bool forward = (v == SweepVariant::L1) == (stage == 0);
+    exchange_flux_r(flux_, forward);
+    if (stage == 0) {
+      core::predictor_r(local_grid_, q_, flux_, w_.p, s_.ttt, visc, qp_, dt_,
+                        v, full);
+      apply_x_boundaries(qp_);
+    } else {
+      core::corrector_r(local_grid_, q_, qp_, flux_, w_.p, s_.ttt, visc, qn_,
+                        dt_, v, full);
+      apply_x_boundaries(qn_);
+    }
+  }
+  std::swap(q_, qn_);
+}
+
+void SubdomainSolver2D::step() {
+  if (dt_ <= 0) initialize();
+  if (steps_ % 2 == 0) {
+    sweep_r(SweepVariant::L1);
+    sweep_x(SweepVariant::L1);
+  } else {
+    sweep_x(SweepVariant::L2);
+    sweep_r(SweepVariant::L2);
+  }
+  ++steps_;
+  t_ += dt_;
+}
+
+void SubdomainSolver2D::run(int n) {
+  for (int k = 0; k < n; ++k) step();
+}
+
+std::optional<StateField> SubdomainSolver2D::gather() {
+  if (comm_->rank() != 0) {
+    std::vector<double> buf(
+        static_cast<std::size_t>(4) * width_ * height_);
+    std::size_t k = 0;
+    for (int c = 0; c < StateField::kComponents; ++c) {
+      for (int i = 0; i < width_; ++i) {
+        for (int j = 0; j < height_; ++j) buf[k++] = q_[c](i, j);
+      }
+    }
+    comm_->send(0, kTagGather, buf);
+    return std::nullopt;
+  }
+  StateField out(global_cfg_.grid.ni, global_cfg_.grid.nj);
+  const auto xb = axial_blocks(global_cfg_.grid.ni, px_);
+  const auto jb = axial_blocks(global_cfg_.grid.nj, py_);
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    for (int i = 0; i < width_; ++i) {
+      for (int j = 0; j < height_; ++j) {
+        out[c](xrange_.begin + i, jrange_.begin + j) = q_[c](i, j);
+      }
+    }
+  }
+  for (int r = 1; r < comm_->size(); ++r) {
+    const mp::Message m = comm_->recv(r, kTagGather);
+    const Range bx = xb[static_cast<std::size_t>(r % px_)];
+    const Range bj = jb[static_cast<std::size_t>(r / px_)];
+    std::size_t k = 0;
+    for (int c = 0; c < StateField::kComponents; ++c) {
+      for (int i = bx.begin; i < bx.end; ++i) {
+        for (int j = bj.begin; j < bj.end; ++j) out[c](i, j) = m.data[k++];
+      }
+    }
+  }
+  return out;
+}
+
+core::StateField run_parallel_jet_2d(const core::SolverConfig& cfg, int px,
+                                     int py, int nsteps,
+                                     std::vector<core::CommCounter>* counters) {
+  mp::Cluster cluster(px * py);
+  core::StateField result;
+  std::mutex m;
+  cluster.run([&](mp::Comm& comm) {
+    SubdomainSolver2D s(cfg, comm, px, py);
+    s.initialize();
+    s.run(nsteps);
+    auto gathered = s.gather();
+    if (gathered) {
+      std::lock_guard<std::mutex> lk(m);
+      result = std::move(*gathered);
+    }
+  });
+  if (counters) *counters = cluster.last_counters();
+  return result;
+}
+
+}  // namespace nsp::par

@@ -1,0 +1,76 @@
+// Two-dimensional (axial x radial) block decomposition: the paper's
+// future work ("We will then explore other problem decompositions such
+// as blocking along the radial direction") made live.
+//
+// Ranks form a px x py grid (rank = ry*px + rx). Axial halo exchange
+// works exactly as in the 1-D solver; radially, interior ranks exchange
+// boundary primitive rows and the two radial-flux rows the one-sided
+// differences need, while the bottom row of ranks owns the axis
+// (reflection ghosts) and the top row owns the far field. As in the
+// 1-D case, ghost fluxes are the neighbour's own computed values, so
+// the decomposition reproduces the serial solution bit-for-bit.
+#pragma once
+
+#include <optional>
+
+#include "core/solver.hpp"
+#include "mp/comm.hpp"
+#include "par/decomposition.hpp"
+
+namespace nsp::par {
+
+class SubdomainSolver2D {
+ public:
+  /// `cfg` describes the global problem; the rank grid is px x py and
+  /// comm.size() must equal px * py. cfg.smoothing must be 0.
+  SubdomainSolver2D(const core::SolverConfig& cfg, mp::Comm& comm, int px,
+                    int py);
+
+  void initialize();
+  void step();
+  void run(int n);
+
+  double dt() const { return dt_; }
+  int steps_taken() const { return steps_; }
+  core::Range x_range() const { return xrange_; }
+  core::Range r_range() const { return jrange_; }
+
+  /// Gathers the interior of all ranks onto rank 0 (collective).
+  std::optional<core::StateField> gather();
+
+ private:
+  void sweep_x(core::SweepVariant v);
+  void sweep_r(core::SweepVariant v);
+  void exchange_primitives();
+  void exchange_flux_x(core::StateField& f, bool from_right);
+  void exchange_flux_r(core::StateField& f, bool from_up);
+  void apply_x_boundaries(core::StateField& q_stage);
+  int rank_of(int rx, int ry) const { return ry * px_ + rx; }
+
+  core::SolverConfig global_cfg_;
+  mp::Comm* comm_;
+  int px_, py_, rx_, ry_;
+  core::Range xrange_, jrange_;
+  int width_, height_;
+  core::Grid local_grid_;
+  core::InflowBC inflow_;
+  core::OutflowBC outflow_;
+  double far_q_[4] = {0, 0, 0, 0};
+  core::Primitive far_w_{};
+  bool leftmost_ = false, rightmost_ = false, bottom_ = false, top_ = false;
+
+  core::StateField q_, qp_, qn_;
+  core::PrimitiveField w_;
+  core::StressField s_;
+  core::StateField flux_;
+  double dt_ = 0;
+  double t_ = 0;
+  int steps_ = 0;
+};
+
+/// Convenience driver mirroring run_parallel_jet for the 2-D case.
+core::StateField run_parallel_jet_2d(const core::SolverConfig& cfg, int px,
+                                     int py, int nsteps,
+                                     std::vector<core::CommCounter>* counters = nullptr);
+
+}  // namespace nsp::par

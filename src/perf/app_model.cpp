@@ -1,0 +1,186 @@
+#include "perf/app_model.hpp"
+
+#include <cmath>
+
+namespace nsp::perf {
+
+namespace {
+
+/// Splits a grouped message into `n` pieces injected progressively
+/// through the phase (Version 7's one-column-at-a-time sends).
+void split_message(std::vector<MessageSpec>& out, const MessageSpec& m, int n) {
+  for (int k = 0; k < n; ++k) {
+    MessageSpec piece = m;
+    piece.bytes = m.bytes / n;
+    piece.inject_frac = 0.5 + 0.5 * (k + 1) / n;
+    out.push_back(piece);
+  }
+}
+
+}  // namespace
+
+AppModel AppModel::paper(arch::Equations eq, arch::CodeVersion v, int ni,
+                         int nj, int steps) {
+  AppModel m;
+  m.eq = eq;
+  m.version = v;
+  m.ni = ni;
+  m.nj = nj;
+  m.steps = steps;
+  m.profile = arch::KernelProfile::make(eq, v, nj);
+
+  const bool ns = eq == arch::Equations::NavierStokes;
+  // Message sizes in bytes per radial point (doubles are 8 bytes):
+  // grouped velocity+temperature columns and the two combined flux
+  // columns. At nj = 100 these give the Table 1 volumes exactly.
+  const double scale = static_cast<double>(nj);
+  const std::size_t prim_bytes =
+      static_cast<std::size_t>((ns ? 24.0 : 17.28) * scale);
+  const std::size_t flux_bytes = static_cast<std::size_t>(40.0 * scale);
+
+  // Three phases: x-predictor, x-corrector, radial sweep + boundaries.
+  PhaseSpec ph0, ph1, ph2;
+  ph0.compute_fraction = 0.30;
+  ph1.compute_fraction = 0.30;
+  ph2.compute_fraction = 0.40;
+
+  std::vector<MessageSpec> grouped0, grouped1;
+  if (ns) {
+    grouped0 = {{-1, prim_bytes, 1.0}, {+1, prim_bytes, 1.0},
+                {-1, flux_bytes, 1.0}, {+1, flux_bytes, 1.0}};
+    grouped1 = grouped0;
+  } else {
+    grouped0 = {{-1, flux_bytes, 1.0}, {+1, flux_bytes, 1.0},
+                {-1, prim_bytes, 1.0}};
+    grouped1 = {{-1, flux_bytes, 1.0}, {+1, flux_bytes, 1.0},
+                {+1, prim_bytes, 1.0}};
+  }
+
+  const bool unbundled = v == arch::CodeVersion::V7_UnbundledSends;
+  const auto emit = [&](PhaseSpec& ph, const std::vector<MessageSpec>& msgs) {
+    for (const MessageSpec& g : msgs) {
+      if (unbundled) {
+        // Primitives split into three per-variable sends, fluxes into
+        // one send per column.
+        split_message(ph.sends, g, g.bytes == flux_bytes ? 2 : 3);
+      } else {
+        ph.sends.push_back(g);
+      }
+    }
+  };
+  emit(ph0, grouped0);
+  emit(ph1, grouped1);
+
+  m.phases = {ph0, ph1, ph2};
+
+  if (v == arch::CodeVersion::V6_OverlapComm) {
+    // Only a modest slice of the next phase is boundary-independent once
+    // the loops are split, and the split costs busy time through loop
+    // setup and lost temporal locality — which is why the paper found
+    // Version 6 "very close to" (or worse than) Version 5.
+    m.overlap_fraction = 0.15;
+    m.busy_penalty = 0.06;
+  }
+  return m;
+}
+
+AppModel AppModel::paper_grid(arch::Equations eq, int px, int py,
+                              arch::CodeVersion v, int ni, int nj, int steps) {
+  AppModel m = paper(eq, v, ni, nj, steps);
+  m.proc_grid_px = px;
+  const bool ns = eq == arch::Equations::NavierStokes;
+  // Per-point message weights as in paper(): 24 B/point for the bundled
+  // primitives, 40 B/point for the two combined flux columns/rows.
+  const double x_pts = static_cast<double>(nj) / py;
+  const double r_pts = static_cast<double>(ni) / px;
+  const auto bytes_prim_x = static_cast<std::size_t>((ns ? 24.0 : 17.28) * x_pts);
+  const auto bytes_flux_x = static_cast<std::size_t>(40.0 * x_pts);
+  const auto bytes_prim_r = static_cast<std::size_t>((ns ? 24.0 : 17.28) * r_pts);
+  const auto bytes_flux_r = static_cast<std::size_t>(40.0 * r_pts);
+
+  PhaseSpec ph0, ph1, ph2;
+  ph0.compute_fraction = 0.30;
+  ph1.compute_fraction = 0.30;
+  ph2.compute_fraction = 0.40;
+  for (PhaseSpec* ph : {&ph0, &ph1}) {
+    ph->sends.push_back({-1, bytes_prim_x, 1.0});
+    ph->sends.push_back({+1, bytes_prim_x, 1.0});
+    if (ns) {
+      // Viscous stresses need radial halos during the axial sweep too.
+      ph->sends.push_back({-2, bytes_prim_r, 1.0});
+      ph->sends.push_back({+2, bytes_prim_r, 1.0});
+    }
+    ph->sends.push_back({-1, bytes_flux_x, 1.0});
+    ph->sends.push_back({+1, bytes_flux_x, 1.0});
+  }
+  // The radial sweep, local under a 1-D axial cut, now exchanges its
+  // own flux rows.
+  ph2.sends.push_back({-2, bytes_flux_r, 1.0});
+  ph2.sends.push_back({+2, bytes_flux_r, 1.0});
+  m.phases = {ph0, ph1, ph2};
+  return m;
+}
+
+int AppModel::peer(int nprocs, int rank, int dir) const {
+  if (proc_grid_px <= 0) {
+    if (dir != -1 && dir != +1) return -1;
+    const int p = rank + dir;
+    return (p >= 0 && p < nprocs) ? p : -1;
+  }
+  const int px = proc_grid_px;
+  const int py = nprocs / px;
+  const int rx = rank % px;
+  const int ry = rank / px;
+  switch (dir) {
+    case -1: return rx > 0 ? rank - 1 : -1;
+    case +1: return rx < px - 1 ? rank + 1 : -1;
+    case -2: return ry > 0 ? rank - px : -1;
+    case +2: return ry < py - 1 ? rank + px : -1;
+    default: return -1;
+  }
+}
+
+int AppModel::sends_per_step(int nprocs, int rank) const {
+  int n = 0;
+  for (const PhaseSpec& ph : phases) {
+    for (const MessageSpec& s : ph.sends) {
+      if (peer(nprocs, rank, s.dir) >= 0) ++n;
+    }
+  }
+  return n;
+}
+
+double AppModel::bytes_per_step(int nprocs, int rank) const {
+  double b = 0;
+  for (const PhaseSpec& ph : phases) {
+    for (const MessageSpec& s : ph.sends) {
+      if (peer(nprocs, rank, s.dir) >= 0) b += static_cast<double>(s.bytes);
+    }
+  }
+  return b;
+}
+
+int AppModel::interior_rank(int nprocs) const {
+  if (proc_grid_px <= 0) return nprocs > 2 ? 1 : 0;
+  // The most connected rank of the grid: center-ish.
+  const int px = proc_grid_px;
+  const int py = nprocs / px;
+  const int rx = px > 2 ? 1 : 0;
+  const int ry = py > 2 ? 1 : 0;
+  return ry * px + rx;
+}
+
+double AppModel::startups_per_proc(int nprocs) const {
+  if (nprocs < 2) return 0;
+  const int rank = interior_rank(nprocs);
+  // Interior ranks receive as many messages as they send (symmetric
+  // schedule), so start-ups = 2 * sends.
+  return 2.0 * sends_per_step(nprocs, rank) * steps;
+}
+
+double AppModel::volume_per_proc(int nprocs) const {
+  if (nprocs < 2) return 0;
+  return bytes_per_step(nprocs, interior_rank(nprocs)) * steps;
+}
+
+}  // namespace nsp::perf

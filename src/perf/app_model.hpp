@@ -1,0 +1,107 @@
+// The application performance model: what one time step of the
+// decomposed jet solver costs and communicates, per rank.
+//
+// The numbers are anchored to the paper's Table 1 (for the 250 x 100
+// grid, 5000 steps, 16 processors):
+//   Navier-Stokes: 145,000e6 total FP ops; per processor 80,000
+//     start-ups (sends + receives) and 125 MB volume
+//   Euler: 77,000e6 FP ops; 60,000 start-ups; 95 MB
+// which per step and interior rank means 8 sends (16 start-ups) of
+// 25.6 KB for Navier-Stokes and 6 sends (12) of 19.456 KB for Euler.
+//
+// A step is modelled as three compute phases (x-predictor, x-corrector,
+// radial sweep + boundary work); the message exchanges of Section 5
+// hang off the first two. Version 5 groups messages and sends at phase
+// end; Version 6 overlaps interior computation with the waits; Version
+// 7 unbundles the grouped sends into per-column messages injected as
+// they are produced (less bursty, more start-ups).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/kernel_profile.hpp"
+
+namespace nsp::perf {
+
+/// One message posted by a rank during a phase.
+struct MessageSpec {
+  /// Direction: -1/+1 = axial left/right neighbour; -2/+2 = radial
+  /// down/up neighbour (2-D process grids only).
+  int dir = +1;
+  std::size_t bytes = 0;
+  double inject_frac = 1.0;  ///< position within the phase's compute
+                             ///< where the send is issued (V7 staggers)
+};
+
+/// One compute phase of a time step.
+struct PhaseSpec {
+  double compute_fraction = 0;  ///< share of the per-step CPU work
+  std::vector<MessageSpec> sends;
+};
+
+struct AppModel {
+  arch::Equations eq = arch::Equations::NavierStokes;
+  arch::CodeVersion version = arch::CodeVersion::V5_CommonCollapse;
+  int ni = 250;
+  int nj = 100;
+  int steps = 5000;
+  arch::KernelProfile profile;   ///< per-point per-step operation mix
+  std::vector<PhaseSpec> phases; ///< interior-rank schedule per step
+
+  // Version 6 parameters: fraction of the next phase's compute that is
+  // interior work executable before the halo arrives, and the loop/cache
+  // penalty the paper blames for V6's lack of gain.
+  double overlap_fraction = 0.0;
+  double busy_penalty = 0.0;
+
+  /// Process-grid width for 2-D decompositions (0 = 1-D axial chain,
+  /// the paper's choice). With px > 0, ranks form a px x (nprocs/px)
+  /// grid and MessageSpec::dir = +-2 addresses radial neighbours.
+  int proc_grid_px = 0;
+
+  /// Paper-anchored model for the given equations and code version.
+  static AppModel paper(arch::Equations eq,
+                        arch::CodeVersion v = arch::CodeVersion::V5_CommonCollapse,
+                        int ni = 250, int nj = 100, int steps = 5000);
+
+  /// 2-D (axial x radial) decomposition over a px x py process grid —
+  /// the paper's future-work variant. Message sizes follow the block
+  /// boundary lengths (axial halos carry nj/py points, radial halos
+  /// ni/px points); the radial sweep gains its own exchange phase.
+  static AppModel paper_grid(arch::Equations eq, int px, int py,
+                             arch::CodeVersion v = arch::CodeVersion::V5_CommonCollapse,
+                             int ni = 250, int nj = 100, int steps = 5000);
+
+  /// Neighbour of `rank` in direction `dir` (see MessageSpec), or -1 if
+  /// that side is a physical boundary.
+  int peer(int nprocs, int rank, int dir) const;
+
+  double points() const { return static_cast<double>(ni) * nj; }
+
+  /// Total FP operations of the whole run (all ranks).
+  double total_flops() const {
+    return (profile.flops + profile.divides + profile.pow_calls) * points() *
+           steps;
+  }
+
+  /// Sends per step issued by `rank` of `nprocs` (edge ranks skip the
+  /// messages pointing outside).
+  int sends_per_step(int nprocs, int rank) const;
+
+  /// Bytes sent per step by `rank`.
+  double bytes_per_step(int nprocs, int rank) const;
+
+  /// A maximally-connected ("interior") rank of the decomposition.
+  int interior_rank(int nprocs) const;
+
+  /// Paper-style per-processor start-ups for the whole run (sends +
+  /// receives, interior rank).
+  double startups_per_proc(int nprocs) const;
+
+  /// Paper-style per-processor communication volume in bytes (sent,
+  /// interior rank).
+  double volume_per_proc(int nprocs) const;
+};
+
+}  // namespace nsp::perf

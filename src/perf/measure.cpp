@@ -1,0 +1,81 @@
+#include "perf/measure.hpp"
+
+#include <algorithm>
+
+#include "par/subdomain_solver.hpp"
+
+namespace nsp::perf {
+
+LiveMeasurement measure_live(const core::SolverConfig& cfg, int probe_steps) {
+  LiveMeasurement m;
+  m.probe_steps = std::max(1, probe_steps);
+
+  // Serial instrumented run for the arithmetic.
+  core::SolverConfig scfg = cfg;
+  scfg.count_flops = true;
+  scfg.num_threads = 1;
+  core::Solver s(scfg);
+  s.initialize();
+  s.run(m.probe_steps);
+  const double pts = static_cast<double>(cfg.grid.ni) * cfg.grid.nj;
+  m.flops_per_point_step = s.flops().total() / (pts * m.probe_steps);
+  m.divides_per_point_step = s.flops().divides / (pts * m.probe_steps);
+
+  // Small live parallel run for the message schedule. Use 4 ranks so
+  // rank 1 is interior; subtract its single gather message.
+  const int nprocs = 4;
+  if (cfg.grid.ni >= nprocs * 2 * core::kGhost) {
+    std::vector<core::CommCounter> ctr;
+    par::run_parallel_jet(cfg, nprocs, m.probe_steps, &ctr);
+    const auto blocks = par::axial_blocks(cfg.grid.ni, nprocs);
+    const double gather_bytes =
+        static_cast<double>(blocks[1].end - blocks[1].begin) * cfg.grid.nj *
+        core::StateField::kComponents * sizeof(double);
+    m.sends_per_step_interior = static_cast<int>(
+        (static_cast<double>(ctr[1].sends) - 1.0) / m.probe_steps);
+    m.bytes_per_step_interior =
+        (ctr[1].bytes_sent - gather_bytes) / m.probe_steps;
+  }
+  return m;
+}
+
+AppModel model_from_measurement(const core::SolverConfig& cfg,
+                                const LiveMeasurement& m, int steps) {
+  AppModel app;
+  app.eq = cfg.viscous ? arch::Equations::NavierStokes : arch::Equations::Euler;
+  app.version = static_cast<arch::CodeVersion>(cfg.variant);
+  app.ni = cfg.grid.ni;
+  app.nj = cfg.grid.nj;
+  app.steps = steps;
+
+  // Memory-behaviour shape from the matching paper profile, scaled to
+  // the measured arithmetic density.
+  app.profile = arch::KernelProfile::make(app.eq, app.version, cfg.grid.nj);
+  const double base = app.profile.flops + app.profile.divides + app.profile.pow_calls;
+  const double scale = base > 0 ? m.flops_per_point_step / base : 1.0;
+  app.profile.flops *= scale;
+  app.profile.divides = m.divides_per_point_step;
+  app.profile.pow_calls *= scale;
+  app.profile.mem_accesses *= scale;
+  app.profile.name += " (measured live)";
+
+  // Message schedule: distribute the measured sends over the two x
+  // phases symmetrically; the radial phase carries the remainder (the
+  // live Navier-Stokes solver exchanges primitives there too).
+  const int sends = std::max(0, m.sends_per_step_interior);
+  const std::size_t bytes_each =
+      sends > 0 ? static_cast<std::size_t>(m.bytes_per_step_interior / sends)
+                : 0;
+  PhaseSpec ph0, ph1, ph2;
+  ph0.compute_fraction = 0.30;
+  ph1.compute_fraction = 0.30;
+  ph2.compute_fraction = 0.40;
+  for (int k = 0; k < sends; ++k) {
+    MessageSpec msg{k % 2 == 0 ? -1 : +1, bytes_each, 1.0};
+    (k % 3 == 0 ? ph0 : (k % 3 == 1 ? ph1 : ph2)).sends.push_back(msg);
+  }
+  app.phases = {ph0, ph1, ph2};
+  return app;
+}
+
+}  // namespace nsp::perf

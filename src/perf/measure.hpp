@@ -1,0 +1,35 @@
+// Builds an AppModel from *measured* behaviour of the live C++ solver,
+// so a user can put their own workload (their grid, their equations,
+// their kernel version) on the 1995 platforms instead of the paper's
+// published Table 1 numbers.
+#pragma once
+
+#include "core/solver.hpp"
+#include "perf/app_model.hpp"
+
+namespace nsp::perf {
+
+/// Result of instrumenting the live solver.
+struct LiveMeasurement {
+  double flops_per_point_step = 0;   ///< total FP ops / (ni*nj*steps)
+  double divides_per_point_step = 0;
+  int sends_per_step_interior = 0;   ///< interior-rank sends per step
+  double bytes_per_step_interior = 0;
+  int probe_steps = 0;
+};
+
+/// Runs a short instrumented serial solve plus a small live parallel
+/// run and extracts the per-step costs. `probe_steps` controls the
+/// measurement length (the schedule is periodic, so a few steps
+/// suffice).
+LiveMeasurement measure_live(const core::SolverConfig& cfg, int probe_steps = 4);
+
+/// Converts a measurement into an AppModel for `steps` total steps on
+/// the measured grid: the compute profile keeps the paper's memory-
+/// behaviour shape (stride, working set) scaled to the measured flops;
+/// the message schedule mirrors the live solver's (per-stage primitive
+/// and flux exchanges).
+AppModel model_from_measurement(const core::SolverConfig& cfg,
+                                const LiveMeasurement& m, int steps);
+
+}  // namespace nsp::perf

@@ -1,0 +1,368 @@
+#include "perf/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "par/decomposition.hpp"
+#include "sim/simulator.hpp"
+
+namespace nsp::perf {
+
+double ReplayResult::avg_busy() const {
+  double s = 0;
+  for (const auto& r : ranks) s += r.busy();
+  return ranks.empty() ? 0 : s / static_cast<double>(ranks.size());
+}
+
+double ReplayResult::max_busy() const {
+  double m = 0;
+  for (const auto& r : ranks) m = std::max(m, r.busy());
+  return m;
+}
+
+double ReplayResult::avg_wait() const {
+  double s = 0;
+  for (const auto& r : ranks) s += r.wait;
+  return ranks.empty() ? 0 : s / static_cast<double>(ranks.size());
+}
+
+double ReplayResult::total_messages() const {
+  double s = 0;
+  for (const auto& r : ranks) s += static_cast<double>(r.sends);
+  return s;
+}
+
+double ReplayResult::total_bytes() const {
+  double s = 0;
+  for (const auto& r : ranks) s += r.bytes_sent;
+  return s;
+}
+
+namespace {
+
+/// Shared-memory DOALL execution (the Cray Y-MP): Amdahl scaling of the
+/// vectorized step plus fork/join synchronization per parallel region.
+ReplayResult replay_shared_memory(const AppModel& app,
+                                  const arch::Platform& plat, int nprocs) {
+  ReplayResult res;
+  res.platform = plat.name;
+  res.nprocs = nprocs;
+  // Finite-vector-length derating: partitioning orthogonal to the
+  // sweep keeps full-length vectors; partitioning along the sweep cuts
+  // each processor's vectors to length/P.
+  double vec_eff = 1.0;
+  if (plat.doall_vector_length > 0) {
+    const double len = plat.doall_partition_along_sweep
+                           ? plat.doall_vector_length / nprocs
+                           : plat.doall_vector_length;
+    vec_eff = plat.cpu.vector_efficiency(len);
+  }
+  const double step_serial =
+      plat.cpu.seconds(app.profile, app.points()) / vec_eff;
+  const double f = plat.doall_parallel_fraction;
+  const double sync = plat.doall_sync_s * plat.doall_regions_per_step;
+  // DASH-style cc-NUMA: implicit communication through remote cache
+  // misses on the two boundary columns of each processor's block.
+  double numa = 0;
+  if (plat.numa_remote_miss_s > 0 && nprocs > 1) {
+    numa = 2.0 * app.nj * plat.numa_halo_lines_per_point *
+           plat.numa_remote_miss_s;
+  }
+  const double step_par = step_serial * ((1.0 - f) + f / nprocs) + sync + numa;
+  res.exec_time = step_par * app.steps;
+  res.ranks.assign(static_cast<std::size_t>(nprocs), RankStats{});
+  for (auto& r : res.ranks) {
+    r.compute = (step_serial * f / nprocs + step_serial * (1.0 - f)) * app.steps;
+    r.sw_overhead = sync * app.steps;
+    r.finish = res.exec_time;
+  }
+  return res;
+}
+
+struct Msg {
+  int peer;
+  std::size_t bytes;
+};
+
+struct Segment {
+  double compute_s = 0;
+  std::vector<Msg> sends;
+};
+
+constexpr int kPhases = 3;
+
+struct Rank {
+  int id = 0;
+  std::vector<std::vector<Segment>> segments;       // per phase
+  std::vector<int> expected_count;                  // per phase
+  std::vector<std::vector<std::size_t>> expected_bytes;  // per phase
+  double phase_compute[kPhases] = {0, 0, 0};
+
+  int step = 0;
+  int phase = 0;
+  std::size_t seg = 0;
+  double next_phase_reduction = 0;  // V6 overlap credit already spent
+  std::map<long, int> arrived;
+  bool blocked = false;
+  long blocked_key = 0;
+  double blocked_since = 0;
+  bool done = false;
+  RankStats stats;
+};
+
+class Engine {
+ public:
+  Engine(const AppModel& app, const arch::Platform& plat, int nprocs,
+         int sim_steps)
+      : app_(app), plat_(plat), nprocs_(nprocs), sim_steps_(sim_steps) {
+    net_ = plat.make_network(sim_, std::max(2, nprocs));
+    build_ranks();
+  }
+
+  ReplayResult run() {
+    for (auto& r : ranks_) begin_phase(r);
+    sim_.run();
+    ReplayResult res;
+    res.platform = plat_.name;
+    res.nprocs = nprocs_;
+    const double scale =
+        static_cast<double>(app_.steps) / static_cast<double>(sim_steps_);
+    for (auto& r : ranks_) {
+      RankStats s = r.stats;
+      s.compute *= scale;
+      s.sw_overhead *= scale;
+      s.wait *= scale;
+      s.finish *= scale;
+      s.sends = static_cast<std::uint64_t>(std::llround(
+          static_cast<double>(s.sends) * scale));
+      s.recvs = static_cast<std::uint64_t>(std::llround(
+          static_cast<double>(s.recvs) * scale));
+      s.bytes_sent *= scale;
+      res.exec_time = std::max(res.exec_time, s.finish);
+      res.ranks.push_back(s);
+    }
+    return res;
+  }
+
+ private:
+  /// Points owned by rank r under the model's decomposition.
+  double rank_points(int r) const {
+    if (app_.proc_grid_px > 0) {
+      const int px = app_.proc_grid_px;
+      const auto xb = par::axial_blocks(app_.ni, px);
+      const auto jb = par::axial_blocks(app_.nj, nprocs_ / px);
+      const auto& bx = xb[static_cast<std::size_t>(r % px)];
+      const auto& bj = jb[static_cast<std::size_t>(r / px)];
+      return static_cast<double>(bx.end - bx.begin) * (bj.end - bj.begin);
+    }
+    const auto blocks = par::axial_blocks(app_.ni, nprocs_);
+    return static_cast<double>(blocks[static_cast<std::size_t>(r)].end -
+                               blocks[static_cast<std::size_t>(r)].begin) *
+           app_.nj;
+  }
+
+  void build_ranks() {
+    ranks_.resize(static_cast<std::size_t>(nprocs_));
+    for (int r = 0; r < nprocs_; ++r) {
+      Rank& rk = ranks_[static_cast<std::size_t>(r)];
+      rk.id = r;
+      const double pts = rank_points(r);
+      const double step_s =
+          plat_.cpu.seconds(app_.profile, pts) * (1.0 + app_.busy_penalty);
+      rk.segments.resize(kPhases);
+      rk.expected_count.assign(kPhases, 0);
+      rk.expected_bytes.resize(kPhases);
+      for (int ph = 0; ph < kPhases; ++ph) {
+        const PhaseSpec& spec = app_.phases[static_cast<std::size_t>(ph)];
+        rk.phase_compute[ph] = spec.compute_fraction * step_s;
+        // Partition the phase compute at the injection fractions.
+        std::vector<double> cuts{0.0};
+        for (const MessageSpec& m : spec.sends) cuts.push_back(m.inject_frac);
+        cuts.push_back(1.0);
+        std::sort(cuts.begin(), cuts.end());
+        cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+        for (std::size_t k = 0; k + 1 < cuts.size(); ++k) {
+          Segment seg;
+          seg.compute_s = (cuts[k + 1] - cuts[k]) * rk.phase_compute[ph];
+          for (const MessageSpec& m : spec.sends) {
+            const int peer = app_.peer(nprocs_, r, m.dir);
+            if (m.inject_frac == cuts[k + 1] && peer >= 0) {
+              seg.sends.push_back(Msg{peer, m.bytes});
+            }
+          }
+          rk.segments[static_cast<std::size_t>(ph)].push_back(seg);
+        }
+        // Expected arrivals: neighbours' messages pointing at us in the
+        // same phase.
+        for (int d : {-1, +1, -2, +2}) {
+          const int nb = app_.peer(nprocs_, r, d);
+          if (nb < 0) continue;
+          for (const MessageSpec& m : spec.sends) {
+            if (app_.peer(nprocs_, nb, m.dir) == r) {
+              rk.expected_count[ph] += 1;
+              rk.expected_bytes[static_cast<std::size_t>(ph)].push_back(m.bytes);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  static long key_of(int step, int phase) { return long{step} * kPhases + phase; }
+
+  void begin_phase(Rank& r) {
+    r.seg = 0;
+    run_segment(r);
+  }
+
+  void run_segment(Rank& r) {
+    auto& segs = r.segments[static_cast<std::size_t>(r.phase)];
+    if (r.seg >= segs.size()) {
+      end_phase(r);
+      return;
+    }
+    double c = segs[r.seg].compute_s;
+    if (r.next_phase_reduction > 0) {
+      const double used = std::min(c, r.next_phase_reduction);
+      c -= used;
+      r.next_phase_reduction -= used;
+    }
+    sim_.after(c, [this, &r, c]() {
+      r.stats.compute += c;
+      issue_sends(r, 0);
+    });
+  }
+
+  void issue_sends(Rank& r, std::size_t idx) {
+    auto& seg = r.segments[static_cast<std::size_t>(r.phase)][r.seg];
+    if (idx >= seg.sends.size()) {
+      ++r.seg;
+      run_segment(r);
+      return;
+    }
+    const Msg m = seg.sends[idx];
+    const double cpu = plat_.msglayer.send_cpu_s(m.bytes) * plat_.sw_speed_factor;
+    sim_.after(cpu, [this, &r, m, idx, cpu]() {
+      r.stats.sw_overhead += cpu;
+      ++r.stats.sends;
+      r.stats.bytes_sent += static_cast<double>(m.bytes);
+      const long key = key_of(r.step, r.phase);
+      const int dst = m.peer;
+      const double sent_at = sim_.now();
+      auto delivered = [this, dst, key, bytes = m.bytes]() {
+        sim_.after(plat_.msglayer.inflight_latency_s * plat_.sw_speed_factor,
+                   [this, dst, key, bytes]() { on_arrival(dst, key, bytes); });
+      };
+      if (plat_.msglayer.blocking_send) {
+        // The constrained MPL blocking send: the CPU stalls until the
+        // payload has been delivered to the destination adapter.
+        net_->transmit(r.id, dst, m.bytes, [this, &r, idx, sent_at,
+                                            delivered]() {
+          r.stats.wait += sim_.now() - sent_at;
+          delivered();
+          issue_sends(r, idx + 1);
+        });
+      } else {
+        net_->transmit(r.id, dst, m.bytes, delivered);
+        issue_sends(r, idx + 1);
+      }
+    });
+  }
+
+  void end_phase(Rank& r) {
+    const long key = key_of(r.step, r.phase);
+    const int expected = r.expected_count[static_cast<std::size_t>(r.phase)];
+    if (expected == 0) {
+      advance_phase(r);
+      return;
+    }
+    // Version 6: compute the interior part of the next phase before
+    // blocking on the halos.
+    if (app_.overlap_fraction > 0 && r.next_phase_reduction == 0) {
+      const int nph = (r.phase + 1) % kPhases;
+      const double credit = app_.overlap_fraction * r.phase_compute[nph];
+      r.next_phase_reduction = credit;
+      sim_.after(credit, [this, &r, key, expected, credit]() {
+        r.stats.compute += credit;
+        wait_for(r, key, expected);
+      });
+      return;
+    }
+    wait_for(r, key, expected);
+  }
+
+  void wait_for(Rank& r, long key, int expected) {
+    if (r.arrived[key] >= expected) {
+      r.arrived.erase(key);
+      consume_recvs(r, 0);
+      return;
+    }
+    r.blocked = true;
+    r.blocked_key = key;
+    r.blocked_since = sim_.now();
+  }
+
+  void consume_recvs(Rank& r, std::size_t idx) {
+    const auto& bytes = r.expected_bytes[static_cast<std::size_t>(r.phase)];
+    if (idx >= bytes.size()) {
+      advance_phase(r);
+      return;
+    }
+    const double cpu =
+        plat_.msglayer.recv_cpu_s(bytes[idx]) * plat_.sw_speed_factor;
+    sim_.after(cpu, [this, &r, cpu, idx]() {
+      r.stats.sw_overhead += cpu;
+      ++r.stats.recvs;
+      consume_recvs(r, idx + 1);
+    });
+  }
+
+  void advance_phase(Rank& r) {
+    ++r.phase;
+    if (r.phase == kPhases) {
+      r.phase = 0;
+      ++r.step;
+      if (r.step >= sim_steps_) {
+        r.done = true;
+        r.stats.finish = sim_.now();
+        return;
+      }
+    }
+    begin_phase(r);
+  }
+
+  void on_arrival(int dst, long key, std::size_t /*bytes*/) {
+    Rank& r = ranks_[static_cast<std::size_t>(dst)];
+    ++r.arrived[key];
+    if (r.blocked && r.blocked_key == key &&
+        r.arrived[key] >= r.expected_count[static_cast<std::size_t>(r.phase)]) {
+      r.blocked = false;
+      r.stats.wait += sim_.now() - r.blocked_since;
+      r.arrived.erase(key);
+      consume_recvs(r, 0);
+    }
+  }
+
+  const AppModel& app_;
+  const arch::Platform& plat_;
+  int nprocs_;
+  int sim_steps_;
+  sim::Simulator sim_;
+  std::unique_ptr<arch::NetworkModel> net_;
+  std::vector<Rank> ranks_;
+};
+
+}  // namespace
+
+ReplayResult replay(const AppModel& app, const arch::Platform& platform,
+                    int nprocs, const ReplayOptions& opts) {
+  if (platform.shared_memory) {
+    return replay_shared_memory(app, platform, nprocs);
+  }
+  Engine engine(app, platform, nprocs, opts.sim_steps);
+  return engine.run();
+}
+
+}  // namespace nsp::perf

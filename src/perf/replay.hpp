@@ -1,0 +1,58 @@
+// Replays the application model through the discrete-event platform
+// simulator and reports the two additive components the paper plots:
+// processor busy time (computation + message-layer software overheads)
+// and non-overlapped communication time (time blocked waiting for
+// messages, including blocking-send stalls).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/platform.hpp"
+#include "perf/app_model.hpp"
+
+namespace nsp::perf {
+
+/// Per-rank outcome of a replay.
+struct RankStats {
+  double compute = 0;      ///< pure computation seconds
+  double sw_overhead = 0;  ///< message-layer CPU cost (send + recv)
+  double wait = 0;         ///< blocked on messages (non-overlapped comm)
+  double finish = 0;       ///< completion time of the rank
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  double bytes_sent = 0;
+
+  /// The paper's "processor busy time".
+  double busy() const { return compute + sw_overhead; }
+};
+
+struct ReplayResult {
+  std::string platform;
+  int nprocs = 1;
+  double exec_time = 0;  ///< max rank finish time (total execution time)
+  std::vector<RankStats> ranks;
+
+  double avg_busy() const;
+  double max_busy() const;
+  double avg_wait() const;
+  double total_messages() const;
+  double total_bytes() const;
+};
+
+struct ReplayOptions {
+  /// Steps actually simulated; results are scaled to app.steps. The
+  /// schedule is periodic, so a few hundred steps capture the steady
+  /// state (including sustained network overload, whose cost is linear
+  /// in steps).
+  int sim_steps = 400;
+};
+
+/// Runs the model on `nprocs` ranks of the platform. Shared-memory
+/// platforms (the Y-MP) are evaluated with the DOALL analytic model;
+/// message-passing platforms run through the event simulator.
+ReplayResult replay(const AppModel& app, const arch::Platform& platform,
+                    int nprocs, const ReplayOptions& opts = {});
+
+}  // namespace nsp::perf

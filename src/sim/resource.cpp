@@ -1,0 +1,58 @@
+#include "sim/resource.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace nsp::sim {
+
+Resource::Resource(Simulator& s, int servers, std::string name)
+    : sim_(s), servers_(servers), name_(std::move(name)) {
+  if (servers < 1) throw std::invalid_argument("Resource: servers must be >= 1");
+}
+
+void Resource::account() {
+  busy_integral_ += busy_ * (sim_.now() - last_change_);
+  last_change_ = sim_.now();
+}
+
+double Resource::busy_time_integral() const {
+  return busy_integral_ + busy_ * (sim_.now() - last_change_);
+}
+
+void Resource::acquire(std::function<void()> granted) {
+  if (busy_ < servers_) {
+    account();
+    ++busy_;
+    ++grants_;
+    granted();
+  } else {
+    waiters_.push_back(Waiter{std::move(granted), sim_.now()});
+  }
+}
+
+void Resource::release() {
+  assert(busy_ > 0 && "Resource::release without matching acquire");
+  if (waiters_.empty()) {
+    account();
+    --busy_;
+    return;
+  }
+  // Hand the server directly to the oldest waiter at the current time.
+  Waiter w = std::move(waiters_.front());
+  waiters_.pop_front();
+  total_wait_ += sim_.now() - w.enqueued;
+  ++grants_;
+  sim_.after(0.0, std::move(w.fn));
+}
+
+void Resource::use(Time hold, std::function<void()> done) {
+  acquire([this, hold, done = std::move(done)]() mutable {
+    sim_.after(hold, [this, done = std::move(done)]() {
+      release();
+      if (done) done();
+    });
+  });
+}
+
+}  // namespace nsp::sim

@@ -1,0 +1,81 @@
+// FIFO queueing resources for the DES kernel: the building block for
+// modelling shared network media (an Ethernet bus is a 1-server resource,
+// an ALLNODE switch with k contention-free paths is a k-server resource,
+// a torus link is a 1-server resource per direction).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace nsp::sim {
+
+/// A k-server FIFO resource.
+///
+/// `acquire(fn)` grants a server immediately (synchronously) when one is
+/// free, otherwise enqueues the request; `release()` hands the server to
+/// the oldest waiter, resuming it via an event at the current time.
+/// `use(hold, done)` wraps acquire → hold → release → done.
+///
+/// The resource also integrates utilization statistics so models can
+/// report how loaded a medium was (used for the Ethernet-saturation
+/// analysis of Figs 3-6).
+class Resource {
+ public:
+  /// `servers` must be >= 1. `name` appears in diagnostics only.
+  Resource(Simulator& s, int servers = 1, std::string name = {});
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// Requests a server; `granted` runs synchronously if one is free, or
+  /// later (as a simulator event) when it becomes available.
+  void acquire(std::function<void()> granted);
+
+  /// Releases one server (must balance a granted acquire).
+  void release();
+
+  /// Convenience: acquire a server, hold it for `hold` seconds, release
+  /// it, then invoke `done` (may be null).
+  void use(Time hold, std::function<void()> done = nullptr);
+
+  int servers() const { return servers_; }
+  int busy() const { return busy_; }
+  std::size_t queue_length() const { return waiters_.size(); }
+  const std::string& name() const { return name_; }
+
+  /// Integral of busy-server count over time, in server-seconds; divide
+  /// by (servers * elapsed) for mean utilization.
+  double busy_time_integral() const;
+
+  /// Total time requests spent waiting in the queue (request-seconds).
+  double total_wait_time() const { return total_wait_; }
+
+  /// Number of acquisitions granted so far.
+  std::uint64_t grants() const { return grants_; }
+
+ private:
+  struct Waiter {
+    std::function<void()> fn;
+    Time enqueued;
+  };
+
+  void account();
+
+  Simulator& sim_;
+  int servers_;
+  int busy_ = 0;
+  std::string name_;
+  std::deque<Waiter> waiters_;
+
+  // statistics
+  Time last_change_ = 0.0;
+  double busy_integral_ = 0.0;
+  double total_wait_ = 0.0;
+  std::uint64_t grants_ = 0;
+};
+
+}  // namespace nsp::sim

@@ -1,0 +1,25 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+
+namespace nsp::sim {
+
+double Rng::exponential(double mean) {
+  // Inverse-CDF sampling; clamp away from 0 to avoid log(0).
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal() {
+  // Box-Muller transform. We intentionally do not cache the second
+  // variate: simulation reproducibility is easier to reason about when
+  // each call consumes a fixed amount of the stream.
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+}  // namespace nsp::sim

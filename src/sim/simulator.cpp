@@ -1,0 +1,48 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace nsp::sim {
+
+EventId Simulator::at(Time t, std::function<void()> fn) {
+  if (t < now_) throw std::invalid_argument("Simulator::at: time in the past");
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  // Cancelled events stay in the priority queue (removal from the middle
+  // of a binary heap is not supported) and are skipped when popped.
+  return live_.erase(id) != 0;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (live_.erase(ev.id) == 0) continue;  // was cancelled
+    assert(ev.t >= now_);
+    now_ = ev.t;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run(Time until) {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    // Drop cancelled entries so the time-bound check sees a live event.
+    while (!queue_.empty() && live_.count(queue_.top().id) == 0) queue_.pop();
+    if (queue_.empty() || queue_.top().t > until) break;
+    if (!step()) break;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace nsp::sim

@@ -1,0 +1,87 @@
+// A small deterministic discrete-event simulation (DES) kernel.
+//
+// This is the substrate under the 1995-platform performance models: the
+// network models, message-layer models, and the application replay engine
+// all schedule work through one Simulator. Events at equal timestamps are
+// delivered in scheduling order (stable FIFO), which makes every run
+// bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace nsp::sim {
+
+/// Simulation time in seconds.
+using Time = double;
+
+/// Opaque handle identifying a scheduled event (usable for cancellation).
+using EventId = std::uint64_t;
+
+/// A deterministic event-driven simulator.
+///
+/// Usage:
+///   Simulator s;
+///   s.after(1.0, []{ ... });
+///   s.run();
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time. 0 before any event has run.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()). Returns an
+  /// id that can be passed to cancel().
+  EventId at(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` at now() + dt (dt >= 0).
+  EventId after(Time dt, std::function<void()> fn) {
+    return at(now_ + dt, std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns false if the event already ran,
+  /// was cancelled before, or never existed.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue is empty or the clock passes `until`.
+  /// Returns the number of events executed.
+  std::uint64_t run(Time until = kForever);
+
+  /// Executes the single earliest pending event. Returns false if none.
+  bool step();
+
+  /// Number of events still scheduled (cancelled events excluded).
+  std::size_t pending() const { return live_.size(); }
+
+  /// Total events executed since construction.
+  std::uint64_t executed() const { return executed_; }
+
+  static constexpr Time kForever = 1e300;
+
+ private:
+  struct Event {
+    Time t;
+    EventId id;  // also provides FIFO order at equal t
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.id > b.id;
+    }
+  };
+
+  Time now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> live_;  // scheduled and not yet run/cancelled
+};
+
+}  // namespace nsp::sim

@@ -1,0 +1,167 @@
+#include "perf/app_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nsp::perf {
+namespace {
+
+using arch::CodeVersion;
+using arch::Equations;
+
+TEST(AppModel, Table1TotalsNavierStokes) {
+  const auto m = AppModel::paper(Equations::NavierStokes);
+  EXPECT_NEAR(m.total_flops(), 145000e6, 0.06 * 145000e6);
+  EXPECT_DOUBLE_EQ(m.startups_per_proc(16), 80000.0);
+  EXPECT_NEAR(m.volume_per_proc(16), 125e6, 0.05 * 125e6);
+}
+
+TEST(AppModel, Table1TotalsEuler) {
+  const auto m = AppModel::paper(Equations::Euler);
+  EXPECT_NEAR(m.total_flops(), 77000e6, 0.06 * 77000e6);
+  EXPECT_DOUBLE_EQ(m.startups_per_proc(16), 60000.0);
+  EXPECT_NEAR(m.volume_per_proc(16), 95e6, 0.05 * 95e6);
+}
+
+TEST(AppModel, EulerCommunicationIsThreeQuartersOfNs) {
+  // "Euler has ... roughly 75% of the communication of Navier-Stokes."
+  const auto ns = AppModel::paper(Equations::NavierStokes);
+  const auto eu = AppModel::paper(Equations::Euler);
+  EXPECT_NEAR(eu.volume_per_proc(16) / ns.volume_per_proc(16), 0.76, 0.03);
+  EXPECT_NEAR(eu.startups_per_proc(16) / ns.startups_per_proc(16), 0.75, 0.01);
+}
+
+TEST(AppModel, PhaseFractionsSumToOne) {
+  for (auto eq : {Equations::NavierStokes, Equations::Euler}) {
+    const auto m = AppModel::paper(eq);
+    double sum = 0;
+    for (const auto& ph : m.phases) sum += ph.compute_fraction;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(AppModel, EdgeRanksSendLess) {
+  const auto m = AppModel::paper(Equations::NavierStokes);
+  EXPECT_LT(m.sends_per_step(16, 0), m.sends_per_step(16, 1));
+  EXPECT_LT(m.sends_per_step(16, 15), m.sends_per_step(16, 1));
+  EXPECT_EQ(m.sends_per_step(16, 1), m.sends_per_step(16, 8));
+}
+
+TEST(AppModel, InteriorRankSendsEightTimesPerStepNs) {
+  const auto m = AppModel::paper(Equations::NavierStokes);
+  EXPECT_EQ(m.sends_per_step(16, 5), 8);  // 16 start-ups = 8 sends + 8 recvs
+}
+
+TEST(AppModel, SingleProcessorHasNoCommunication) {
+  const auto m = AppModel::paper(Equations::NavierStokes);
+  EXPECT_EQ(m.sends_per_step(1, 0), 0);
+  EXPECT_DOUBLE_EQ(m.volume_per_proc(1), 0.0);
+}
+
+TEST(AppModel, Version7MultipliesStartupsSameVolume) {
+  // "Version 7 attempts to reduce bursty communication at the cost of
+  // increased number of communication startups."
+  const auto v5 = AppModel::paper(Equations::NavierStokes,
+                                  CodeVersion::V5_CommonCollapse);
+  const auto v7 = AppModel::paper(Equations::NavierStokes,
+                                  CodeVersion::V7_UnbundledSends);
+  EXPECT_GT(v7.startups_per_proc(16), 2.0 * v5.startups_per_proc(16));
+  EXPECT_NEAR(v7.volume_per_proc(16), v5.volume_per_proc(16),
+              0.05 * v5.volume_per_proc(16));
+}
+
+TEST(AppModel, Version7SendsAreStaggered) {
+  const auto v7 = AppModel::paper(Equations::NavierStokes,
+                                  CodeVersion::V7_UnbundledSends);
+  bool found_early = false;
+  for (const auto& ph : v7.phases) {
+    for (const auto& s : ph.sends) {
+      if (s.inject_frac < 0.999) found_early = true;
+    }
+  }
+  EXPECT_TRUE(found_early);
+}
+
+TEST(AppModel, Version6EnablesOverlapWithBusyPenalty) {
+  const auto v6 = AppModel::paper(Equations::NavierStokes,
+                                  CodeVersion::V6_OverlapComm);
+  EXPECT_GT(v6.overlap_fraction, 0.0);
+  EXPECT_GT(v6.busy_penalty, 0.0);
+  const auto v5 = AppModel::paper(Equations::NavierStokes);
+  EXPECT_EQ(v5.overlap_fraction, 0.0);
+}
+
+TEST(AppModel, VolumeScalesWithRadialPoints) {
+  const auto a = AppModel::paper(Equations::NavierStokes,
+                                 CodeVersion::V5_CommonCollapse, 250, 100);
+  const auto b = AppModel::paper(Equations::NavierStokes,
+                                 CodeVersion::V5_CommonCollapse, 250, 200);
+  EXPECT_NEAR(b.volume_per_proc(16) / a.volume_per_proc(16), 2.0, 0.01);
+}
+
+TEST(AppModel, FlopsScaleWithGridAndSteps) {
+  const auto a = AppModel::paper(Equations::Euler);
+  auto b = AppModel::paper(Equations::Euler, CodeVersion::V5_CommonCollapse,
+                           250, 100, 10000);
+  EXPECT_NEAR(b.total_flops() / a.total_flops(), 2.0, 1e-9);
+}
+
+TEST(AppModel, PeerTopology1D) {
+  const auto m = AppModel::paper(Equations::NavierStokes);
+  EXPECT_EQ(m.peer(4, 0, -1), -1);
+  EXPECT_EQ(m.peer(4, 0, +1), 1);
+  EXPECT_EQ(m.peer(4, 3, +1), -1);
+  EXPECT_EQ(m.peer(4, 2, -1), 1);
+  EXPECT_EQ(m.peer(4, 1, +2), -1);  // no radial neighbours in a chain
+}
+
+TEST(AppModel, PeerTopology2D) {
+  const auto m = AppModel::paper_grid(Equations::NavierStokes, 4, 4);
+  // rank 5 = (1, 1) of a 4x4 grid.
+  EXPECT_EQ(m.peer(16, 5, -1), 4);
+  EXPECT_EQ(m.peer(16, 5, +1), 6);
+  EXPECT_EQ(m.peer(16, 5, -2), 1);
+  EXPECT_EQ(m.peer(16, 5, +2), 9);
+  // rank 3 = (3, 0): right and bottom edges.
+  EXPECT_EQ(m.peer(16, 3, +1), -1);
+  EXPECT_EQ(m.peer(16, 3, -2), -1);
+  EXPECT_EQ(m.peer(16, 3, +2), 7);
+}
+
+TEST(AppModel, GridDegeneratesToChainAtPyOne) {
+  const auto chain = AppModel::paper(Equations::NavierStokes);
+  const auto grid = AppModel::paper_grid(Equations::NavierStokes, 16, 1);
+  EXPECT_EQ(grid.sends_per_step(16, 5), chain.sends_per_step(16, 5));
+  EXPECT_NEAR(grid.volume_per_proc(16), chain.volume_per_proc(16),
+              0.01 * chain.volume_per_proc(16));
+}
+
+TEST(AppModel, RadialCutMovesMoreBytesOnElongatedGrid) {
+  const auto axial = AppModel::paper(Equations::NavierStokes);
+  const auto radial = AppModel::paper_grid(Equations::NavierStokes, 1, 16);
+  EXPECT_GT(radial.volume_per_proc(16), 1.5 * axial.volume_per_proc(16));
+}
+
+TEST(AppModel, SquareGridInteriorRankHasMoreStartups) {
+  const auto grid = AppModel::paper_grid(Equations::NavierStokes, 4, 4);
+  const auto chain = AppModel::paper(Equations::NavierStokes);
+  EXPECT_GT(grid.startups_per_proc(16), chain.startups_per_proc(16));
+}
+
+TEST(AppModel, Table2RatiosMatchPaper) {
+  // Table 2: FPs/byte and FPs/start-up at P = 2..16 are the Table 1
+  // totals divided by P and the per-processor communication.
+  const auto ns = AppModel::paper(Equations::NavierStokes);
+  const double fp_per_byte_p2 = ns.total_flops() / 2 / ns.volume_per_proc(16);
+  const double fp_per_startup_p2 =
+      ns.total_flops() / 2 / ns.startups_per_proc(16);
+  EXPECT_NEAR(fp_per_byte_p2, 580.0, 0.12 * 580.0);
+  EXPECT_NEAR(fp_per_startup_p2, 906e3, 0.12 * 906e3);
+  const auto eu = AppModel::paper(Equations::Euler);
+  EXPECT_NEAR(eu.total_flops() / 2 / eu.volume_per_proc(16), 405.0,
+              0.12 * 405.0);
+  EXPECT_NEAR(eu.total_flops() / 2 / eu.startups_per_proc(16), 642e3,
+              0.12 * 642e3);
+}
+
+}  // namespace
+}  // namespace nsp::perf

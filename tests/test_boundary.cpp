@@ -1,0 +1,176 @@
+#include "core/boundary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nsp::core {
+namespace {
+
+TEST(InflowBC, ImposesMeanProfileAtZeroExcitation) {
+  Grid grid = Grid::coarse(10, 20);
+  JetConfig jet;
+  jet.eps = 0.0;
+  InflowBC bc(grid, jet);
+  StateField q(10, 20);
+  bc.apply(q, 0, /*t=*/3.7);
+  for (int j = 0; j < 20; ++j) {
+    const double r = grid.r(j);
+    EXPECT_NEAR(q.rho(0, j), jet.mean_rho(r), 1e-12);
+    EXPECT_NEAR(q.mx(0, j) / q.rho(0, j), jet.mean_u(r), 1e-12);
+    EXPECT_NEAR(q.mr(0, j), 0.0, 1e-15);
+  }
+}
+
+TEST(InflowBC, ExcitationOscillatesInTime) {
+  Grid grid = Grid::coarse(10, 40);
+  JetConfig jet;  // eps = 1e-4
+  InflowBC bc(grid, jet);
+  // Find the radial index nearest the shear layer r = 1.
+  int js = 0;
+  double best = 1e9;
+  for (int j = 0; j < 40; ++j) {
+    if (std::fabs(grid.r(j) - 1.0) < best) {
+      best = std::fabs(grid.r(j) - 1.0);
+      js = j;
+    }
+  }
+  const double period = 2.0 * 3.14159265358979323846 / jet.omega();
+  const Primitive a = bc.state(js, 0.0);
+  const Primitive b = bc.state(js, period / 2.0);
+  const Primitive c = bc.state(js, period);
+  EXPECT_GT(std::fabs(a.u - b.u), 1e-6);   // half period flips the sign
+  EXPECT_NEAR(a.u, c.u, 1e-9);             // full period returns
+  EXPECT_NEAR(a.u + b.u, 2.0 * jet.mean_u(grid.r(js)), 1e-9);
+}
+
+TEST(InflowBC, FarfieldMatchesFreeStream) {
+  Grid grid = Grid::coarse(10, 20);
+  JetConfig jet;
+  InflowBC bc(grid, jet);
+  double far[4];
+  bc.farfield_conserved(far);
+  EXPECT_NEAR(far[0], 2.0, 1e-3);  // rho_inf = 2 at T_inf/T_c = 1/2
+  EXPECT_NEAR(far[2], 0.0, 1e-15);
+}
+
+// ---- Characteristic outflow ----
+
+StateField column_state(const Gas& gas, const Primitive& w, int ni, int nj) {
+  StateField q(ni, nj);
+  for (int j = -kGhost; j < nj + kGhost; ++j)
+    for (int i = -kGhost; i < ni + kGhost; ++i) {
+      q.rho(i, j) = w.rho;
+      q.mx(i, j) = w.rho * w.u;
+      q.mr(i, j) = w.rho * w.v;
+      q.e(i, j) = gas.total_energy(w.rho, w.u, w.v, w.p);
+    }
+  return q;
+}
+
+TEST(OutflowBC, SupersonicPointsPassThrough) {
+  Gas gas;
+  const Primitive w{1.0, 1.8, 0.0, 1.0 / gas.gamma};  // M = 1.8
+  StateField q_old = column_state(gas, w, 4, 6);
+  StateField q_new = q_old;
+  // Perturb the scheme update at the outflow column.
+  q_new.rho(3, 2) += 0.01;
+  q_new.e(3, 2) += 0.02;
+  OutflowBC bc(gas);
+  bc.apply(q_new, q_old, 3, 0.1);
+  // Scheme values stand untouched for supersonic outflow.
+  EXPECT_DOUBLE_EQ(q_new.rho(3, 2), w.rho + 0.01);
+}
+
+TEST(OutflowBC, SteadySubsonicStateIsFixedPoint) {
+  Gas gas;
+  const Primitive w{1.0, 0.5, 0.0, 1.0 / gas.gamma};
+  StateField q_old = column_state(gas, w, 4, 6);
+  StateField q_new = q_old;
+  OutflowBC bc(gas);
+  bc.apply(q_new, q_old, 3, 0.1);
+  for (int j = 0; j < 6; ++j) {
+    EXPECT_NEAR(q_new.rho(3, j), w.rho, 1e-13);
+    EXPECT_NEAR(q_new.e(3, j), gas.total_energy(w.rho, w.u, w.v, w.p), 1e-13);
+  }
+}
+
+TEST(OutflowBC, IncomingInvariantIsZeroed) {
+  // After the correction, p_t - rho c u_t = 0 must hold exactly.
+  Gas gas;
+  const Primitive w{1.0, 0.5, 0.0, 1.0 / gas.gamma};
+  const double dt = 0.05;
+  StateField q_old = column_state(gas, w, 4, 6);
+  StateField q_new = q_old;
+  // A "scheme update" that raises pressure and velocity arbitrarily.
+  for (int j = 0; j < 6; ++j) {
+    const double rho = 1.02, u = 0.53, v = 0.01, p = w.p * 1.04;
+    q_new.rho(3, j) = rho;
+    q_new.mx(3, j) = rho * u;
+    q_new.mr(3, j) = rho * v;
+    q_new.e(3, j) = gas.total_energy(rho, u, v, p);
+  }
+  OutflowBC bc(gas);
+  bc.apply(q_new, q_old, 3, dt);
+  const double c = gas.sound_speed(w.p, w.rho);
+  for (int j = 0; j < 6; ++j) {
+    const Primitive a = to_primitive(gas, q_new.rho(3, j), q_new.mx(3, j),
+                                     q_new.mr(3, j), q_new.e(3, j));
+    const double p_t = (a.p - w.p) / dt;
+    const double u_t = (a.u - w.u) / dt;
+    EXPECT_NEAR(p_t - w.rho * c * u_t, 0.0, 1e-9 / dt);
+  }
+}
+
+TEST(OutflowBC, OutgoingInformationPreserved) {
+  // The outgoing invariants R2 = p_t + rho c u_t and R4 = v_t keep their
+  // scheme values.
+  Gas gas;
+  const Primitive w{1.0, 0.5, 0.0, 1.0 / gas.gamma};
+  const double dt = 0.05;
+  StateField q_old = column_state(gas, w, 4, 6);
+  StateField q_new = q_old;
+  const double rho1 = 1.01, u1 = 0.52, v1 = 0.015, p1 = w.p * 1.02;
+  for (int j = 0; j < 6; ++j) {
+    q_new.rho(3, j) = rho1;
+    q_new.mx(3, j) = rho1 * u1;
+    q_new.mr(3, j) = rho1 * v1;
+    q_new.e(3, j) = gas.total_energy(rho1, u1, v1, p1);
+  }
+  const double c = gas.sound_speed(w.p, w.rho);
+  const double r2_scheme = (p1 - w.p) / dt + w.rho * c * (u1 - w.u) / dt;
+  const double r4_scheme = (v1 - 0.0) / dt;
+  OutflowBC bc(gas);
+  bc.apply(q_new, q_old, 3, dt);
+  const Primitive a = to_primitive(gas, q_new.rho(3, 0), q_new.mx(3, 0),
+                                   q_new.mr(3, 0), q_new.e(3, 0));
+  // The correction works with linearized (chain-rule) time derivatives,
+  // so the invariants are preserved to first order in the update size.
+  const double r2_after = (a.p - w.p) / dt + w.rho * c * (a.u - w.u) / dt;
+  EXPECT_NEAR(r2_after, r2_scheme, 0.05 * std::fabs(r2_scheme));
+  EXPECT_NEAR((a.v - 0.0) / dt, r4_scheme, 0.05 * std::fabs(r4_scheme));
+}
+
+TEST(OutflowBC, MixedColumnOnlyCorrectsSubsonicPoints) {
+  Gas gas;
+  StateField q_old(4, 6), q_new(4, 6);
+  for (int j = -kGhost; j < 6 + kGhost; ++j) {
+    for (int i = -kGhost; i < 4 + kGhost; ++i) {
+      const bool fast = j < 3;
+      const Primitive w{1.0, fast ? 1.6 : 0.4, 0.0, 1.0 / gas.gamma};
+      q_old.rho(i, j) = w.rho;
+      q_old.mx(i, j) = w.rho * w.u;
+      q_old.mr(i, j) = 0.0;
+      q_old.e(i, j) = gas.total_energy(w.rho, w.u, 0.0, w.p);
+    }
+  }
+  q_new = q_old;
+  for (int j = 0; j < 6; ++j) q_new.rho(3, j) += 0.01;
+  OutflowBC bc(gas);
+  bc.apply(q_new, q_old, 3, 0.1);
+  EXPECT_DOUBLE_EQ(q_new.rho(3, 0), q_old.rho(3, 0) + 0.01);  // supersonic row
+  EXPECT_NE(q_new.rho(3, 5), q_old.rho(3, 5) + 0.01);         // subsonic fixed
+}
+
+}  // namespace
+}  // namespace nsp::core

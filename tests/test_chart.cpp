@@ -1,0 +1,149 @@
+#include "io/chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace nsp::io {
+namespace {
+
+TEST(LineChart, RendersSeriesGlyphsAndLegend) {
+  ChartOptions o;
+  o.title = "Execution time";
+  LineChart c(o);
+  c.add({"ALLNODE-F", {1, 2, 4, 8, 16}, {5604, 2953, 1583, 888, 539}});
+  c.add({"Ethernet", {1, 2, 4, 8, 16}, {8787, 4684, 2620, 1672, 2261}});
+  const std::string s = c.str();
+  EXPECT_NE(s.find("Execution time"), std::string::npos);
+  EXPECT_NE(s.find("ALLNODE-F"), std::string::npos);
+  EXPECT_NE(s.find("Ethernet"), std::string::npos);
+  EXPECT_NE(s.find('o'), std::string::npos);  // first series glyph
+  EXPECT_NE(s.find('x'), std::string::npos);  // second series glyph
+}
+
+TEST(LineChart, EmptySeriesProducesPlaceholder) {
+  LineChart c;
+  EXPECT_NE(c.str().find("no plottable points"), std::string::npos);
+}
+
+TEST(LineChart, NonPositiveValuesSkippedOnLogAxes) {
+  LineChart c;
+  c.add({"s", {0.0, 1.0, 2.0}, {-5.0, 10.0, 20.0}});
+  EXPECT_NO_THROW(c.str());
+}
+
+TEST(LineChart, LinearAxesSupported) {
+  ChartOptions o;
+  o.log_x = false;
+  o.log_y = false;
+  LineChart c(o);
+  c.add({"lin", {0, 1, 2}, {0, 1, 2}});
+  EXPECT_NO_THROW(c.str());
+}
+
+TEST(LineChart, ConstantSeriesDoesNotDivideByZero) {
+  LineChart c;
+  c.add({"flat", {1, 2, 4}, {7, 7, 7}});
+  EXPECT_NO_THROW(c.str());
+}
+
+TEST(BarChart, BarsScaleWithValues) {
+  const std::string s =
+      bar_chart("busy", {"p0", "p1"}, {100.0, 50.0}, 40, "s");
+  // p0's bar should be about twice p1's.
+  const auto count_hashes = [&](const std::string& label) {
+    const auto pos = s.find(label);
+    const auto eol = s.find('\n', pos);
+    int n = 0;
+    for (auto i = pos; i < eol; ++i) n += s[i] == '#';
+    return n;
+  };
+  EXPECT_NEAR(count_hashes("p0"), 2 * count_hashes("p1"), 1);
+}
+
+TEST(BarChart, ZeroValuesHandled) {
+  EXPECT_NO_THROW(bar_chart("", {"a"}, {0.0}));
+}
+
+TEST(ContourMap, RendersFieldWithMinMax) {
+  std::vector<double> f(20 * 10);
+  for (int i = 0; i < 20; ++i)
+    for (int j = 0; j < 10; ++j) f[i * 10 + j] = i + j;
+  const std::string s = contour_map(f, 20, 10, 20, 10);
+  EXPECT_NE(s.find("min="), std::string::npos);
+  EXPECT_NE(s.find("max="), std::string::npos);
+  // Bottom-left (row 0 prints last) is the minimum -> lightest shade ' '.
+  // Top-right is densest '@'.
+  EXPECT_NE(s.find('@'), std::string::npos);
+}
+
+TEST(ContourMap, ConstantFieldDoesNotCrash) {
+  std::vector<double> f(16, 3.0);
+  EXPECT_NO_THROW(contour_map(f, 4, 4));
+}
+
+TEST(SeriesCsv, WritesHeaderAndAlignedRows) {
+  const std::string path = "/tmp/nsp_test_series.csv";
+  write_series_csv(path, {{"a", {1, 2}, {10, 20}}, {"b", {1, 2}, {30, 40}}});
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "x,a,b");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,10,30");
+  std::getline(f, line);
+  EXPECT_EQ(line, "2,20,40");
+  std::remove(path.c_str());
+}
+
+TEST(Gnuplot, ScriptReferencesCsvAndAllSeries) {
+  const std::string gp = "/tmp/nsp_test_fig.gp";
+  ChartOptions o;
+  o.title = "Figure 3";
+  o.x_label = "Number of Processors";
+  write_gnuplot_script(gp, "fig3.csv", 3, o);
+  std::ifstream f(gp);
+  std::string all((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("fig3.csv"), std::string::npos);
+  EXPECT_NE(all.find("fig3.png"), std::string::npos);
+  EXPECT_NE(all.find("using 1:2"), std::string::npos);
+  EXPECT_NE(all.find("using 1:4"), std::string::npos);
+  EXPECT_EQ(all.find("using 1:5"), std::string::npos);
+  EXPECT_NE(all.find("set logscale x"), std::string::npos);
+  EXPECT_NE(all.find("set title 'Figure 3'"), std::string::npos);
+  std::remove(gp.c_str());
+}
+
+TEST(Gnuplot, LinearAxesOmitLogscale) {
+  const std::string gp = "/tmp/nsp_test_fig2.gp";
+  ChartOptions o;
+  o.log_x = false;
+  o.log_y = false;
+  write_gnuplot_script(gp, "a.csv", 1, o);
+  std::ifstream f(gp);
+  std::string all((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(all.find("logscale"), std::string::npos);
+  std::remove(gp.c_str());
+}
+
+TEST(Gnuplot, UnwritablePathReturnsFalse) {
+  EXPECT_FALSE(write_gnuplot_script("/nonexistent-dir/x.gp", "a.csv", 1));
+}
+
+TEST(SeriesCsv, RaggedSeriesLeaveBlanks) {
+  const std::string path = "/tmp/nsp_test_series2.csv";
+  write_series_csv(path, {{"a", {1, 2, 3}, {1, 2, 3}}, {"b", {1}, {9}}});
+  std::ifstream f(path);
+  std::string all((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("3,3,"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nsp::io

@@ -1,0 +1,179 @@
+#include "arch/cpu_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nsp::arch {
+namespace {
+
+KernelProfile ns(CodeVersion v) {
+  return KernelProfile::make(Equations::NavierStokes, v);
+}
+
+// ---- The paper's measured single-processor anchors (Section 6) ----
+
+TEST(CpuModel, Rs560Version1Near9MFlops) {
+  // "from 9.3 MFLOPS" before optimization on the RS6000/560.
+  const double m = CpuModel::rs6000_560().effective_mflops(ns(CodeVersion::V1_Original));
+  EXPECT_NEAR(m, 9.3, 0.9);
+}
+
+TEST(CpuModel, Rs560Version5Near16MFlops) {
+  // "...to 16.0 MFLOPS" with all optimizations.
+  const double m = CpuModel::rs6000_560().effective_mflops(
+      ns(CodeVersion::V5_CommonCollapse));
+  EXPECT_NEAR(m, 16.0, 1.6);
+}
+
+TEST(CpuModel, OverallImprovementRoughly80Percent) {
+  const auto cpu = CpuModel::rs6000_560();
+  const double v1 = cpu.effective_mflops(ns(CodeVersion::V1_Original));
+  const double v5 = cpu.effective_mflops(ns(CodeVersion::V5_CommonCollapse));
+  EXPECT_GT(v5 / v1, 1.5);
+  EXPECT_LT(v5 / v1, 2.2);
+}
+
+TEST(CpuModel, LoopInterchangeIsTheBiggestSingleWin) {
+  // "the modified program ... resulted in this version running faster by
+  // approximately 50% compared to Version 2."
+  const auto cpu = CpuModel::rs6000_560();
+  const double t2 = cpu.seconds(ns(CodeVersion::V2_StrengthReduction));
+  const double t3 = cpu.seconds(ns(CodeVersion::V3_LoopInterchange));
+  EXPECT_GT(t2 / t3, 1.25);
+  EXPECT_LT(t2 / t3, 1.7);
+  // and it is the largest step of the ladder
+  const double t1 = cpu.seconds(ns(CodeVersion::V1_Original));
+  const double t4 = cpu.seconds(ns(CodeVersion::V4_DivisionToMultiply));
+  const double t5 = cpu.seconds(ns(CodeVersion::V5_CommonCollapse));
+  EXPECT_GT(t2 / t3, t1 / t2);
+  EXPECT_GT(t2 / t3, t3 / t4);
+  EXPECT_GT(t2 / t3, t4 / t5);
+}
+
+TEST(CpuModel, VersionLadderMonotonicallyImproves) {
+  const auto cpu = CpuModel::rs6000_560();
+  double prev = 0;
+  for (int v = 1; v <= 5; ++v) {
+    const double m = cpu.effective_mflops(ns(static_cast<CodeVersion>(v)));
+    EXPECT_GT(m, prev) << "version " << v;
+    prev = m;
+  }
+}
+
+// ---- Cross-platform ordering (Section 7.2) ----
+
+TEST(CpuModel, Model590FasterThan560ByAboutHalf) {
+  // "33% faster clock, 4x bigger caches, 4x wider memory bus."
+  const double m560 =
+      CpuModel::rs6000_560().effective_mflops(ns(CodeVersion::V5_CommonCollapse));
+  const double m590 =
+      CpuModel::rs6000_590().effective_mflops(ns(CodeVersion::V5_CommonCollapse));
+  EXPECT_GT(m590 / m560, 1.35);
+  EXPECT_LT(m590 / m560, 1.9);
+}
+
+TEST(CpuModel, SpNodeSlowerThan560DespiteFasterClock) {
+  // The paper attributes the SP's poor showing partly to its 32 KB cache.
+  const double m560 =
+      CpuModel::rs6000_560().effective_mflops(ns(CodeVersion::V5_CommonCollapse));
+  const double m370 =
+      CpuModel::rs6k_370().effective_mflops(ns(CodeVersion::V5_CommonCollapse));
+  EXPECT_LT(m370, m560);
+  EXPECT_GT(CpuModel::rs6k_370().clock_hz, CpuModel::rs6000_560().clock_hz);
+}
+
+TEST(CpuModel, T3dNodeSlowerThan560DespiteTripleClockRating) {
+  // "The T3D's CPU has a peak rating ... 3x the 560. We attribute the
+  // T3D's poor performance to the small direct-mapped cache."
+  const double m560 =
+      CpuModel::rs6000_560().effective_mflops(ns(CodeVersion::V5_CommonCollapse));
+  const double t3d =
+      CpuModel::alpha_t3d().effective_mflops(ns(CodeVersion::V5_CommonCollapse));
+  EXPECT_LT(t3d, m560);
+  EXPECT_GE(CpuModel::alpha_t3d().clock_hz / CpuModel::rs6000_560().clock_hz, 3.0);
+}
+
+TEST(CpuModel, YmpVectorDominatesEveryRiscNode) {
+  const double ymp =
+      CpuModel::ymp_vector().effective_mflops(ns(CodeVersion::V5_CommonCollapse));
+  for (const auto& cpu : {CpuModel::rs6000_560(), CpuModel::rs6000_590(),
+                          CpuModel::rs6k_370(), CpuModel::alpha_t3d()}) {
+    EXPECT_GT(ymp, 5.0 * cpu.effective_mflops(ns(CodeVersion::V5_CommonCollapse)));
+  }
+}
+
+// ---- Model structure ----
+
+TEST(CpuModel, BiggerCacheNeverSlower) {
+  CpuModel a = CpuModel::rs6k_370();
+  CpuModel b = a;
+  b.dcache.size_bytes *= 8;
+  for (int v = 1; v <= 5; ++v) {
+    const auto p = ns(static_cast<CodeVersion>(v));
+    EXPECT_LE(b.seconds(p), a.seconds(p)) << "version " << v;
+  }
+}
+
+TEST(CpuModel, HigherAssociativityNeverSlower) {
+  CpuModel a = CpuModel::alpha_t3d();
+  CpuModel b = a;
+  b.dcache.associativity = 4;
+  const auto p = ns(CodeVersion::V5_CommonCollapse);
+  EXPECT_LE(b.seconds(p), a.seconds(p));
+}
+
+TEST(CpuModel, WiderBusReducesMissPenalty) {
+  CpuModel a = CpuModel::rs6000_560();
+  CpuModel b = a;
+  b.bus_bytes_per_cycle *= 4;
+  EXPECT_LT(b.miss_penalty_cycles(), a.miss_penalty_cycles());
+}
+
+TEST(CpuModel, DirectMappedLosesEffectiveCapacity) {
+  CpuModel dm = CpuModel::alpha_t3d();
+  EXPECT_NEAR(dm.effective_capacity_bytes(), 0.5 * dm.dcache.size_bytes, 1.0);
+  CpuModel sa = CpuModel::rs6000_560();
+  EXPECT_GT(sa.effective_capacity_bytes(), 0.85 * sa.dcache.size_bytes);
+}
+
+TEST(CpuModel, CycleBreakdownComponentsSumToTotal) {
+  const auto cpu = CpuModel::rs6000_560();
+  const auto b = cpu.cycles(ns(CodeVersion::V1_Original), 10.0);
+  EXPECT_DOUBLE_EQ(
+      b.total(), b.flop_cycles + b.divide_cycles + b.pow_cycles + b.stall_cycles);
+  EXPECT_GT(b.pow_cycles, 0.0);
+  EXPECT_GT(b.stall_cycles, 0.0);
+}
+
+TEST(CpuModel, SecondsScaleLinearlyWithPoints) {
+  const auto cpu = CpuModel::rs6000_560();
+  const auto p = ns(CodeVersion::V5_CommonCollapse);
+  EXPECT_NEAR(cpu.seconds(p, 2000.0), 2.0 * cpu.seconds(p, 1000.0), 1e-12);
+}
+
+TEST(CpuModel, VectorEfficiencyFollowsNHalfLaw) {
+  const auto ymp = CpuModel::ymp_vector();
+  EXPECT_NEAR(ymp.vector_efficiency(ymp.vector_n_half), 0.5, 1e-12);
+  EXPECT_GT(ymp.vector_efficiency(250), 0.8);
+  EXPECT_LT(ymp.vector_efficiency(10), ymp.vector_efficiency(100));
+  EXPECT_DOUBLE_EQ(ymp.vector_efficiency(0), 1.0);  // degenerate guard
+  // Scalar CPUs are unaffected.
+  EXPECT_DOUBLE_EQ(CpuModel::rs6000_560().vector_efficiency(4), 1.0);
+}
+
+TEST(CpuModel, YmpSustained220AtPaperVectorLength) {
+  const auto ymp = CpuModel::ymp_vector();
+  const auto p = ns(CodeVersion::V5_CommonCollapse);
+  const double sustained =
+      ymp.effective_mflops(p) * ymp.vector_efficiency(250.0);
+  EXPECT_NEAR(sustained, 220.0, 10.0);
+}
+
+TEST(CpuModel, VectorModelIgnoresStride) {
+  const auto ymp = CpuModel::ymp_vector();
+  const double bad = ymp.effective_mflops(ns(CodeVersion::V2_StrengthReduction));
+  const double good = ymp.effective_mflops(ns(CodeVersion::V3_LoopInterchange));
+  EXPECT_NEAR(bad, good, 1e-9);
+}
+
+}  // namespace
+}  // namespace nsp::arch

@@ -1,0 +1,56 @@
+#include "par/decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nsp::par {
+namespace {
+
+TEST(Decomposition, CoversDomainWithoutOverlap) {
+  const auto b = axial_blocks(250, 16);
+  ASSERT_EQ(b.size(), 16u);
+  EXPECT_EQ(b.front().begin, 0);
+  EXPECT_EQ(b.back().end, 250);
+  for (std::size_t k = 1; k < b.size(); ++k) {
+    EXPECT_EQ(b[k].begin, b[k - 1].end);
+  }
+}
+
+TEST(Decomposition, WidthsDifferByAtMostOne) {
+  // The near-perfect load balance of Figure 13.
+  for (int p : {2, 3, 5, 7, 11, 16}) {
+    const auto b = axial_blocks(250, p);
+    int wmin = 1 << 30, wmax = 0;
+    for (const auto& r : b) {
+      wmin = std::min(wmin, r.end - r.begin);
+      wmax = std::max(wmax, r.end - r.begin);
+    }
+    EXPECT_LE(wmax - wmin, 1) << "p=" << p;
+  }
+}
+
+TEST(Decomposition, ExactDivisionGivesEqualBlocks) {
+  const auto b = axial_blocks(256, 16);
+  for (const auto& r : b) EXPECT_EQ(r.end - r.begin, 16);
+}
+
+TEST(Decomposition, SingleProcessorOwnsEverything) {
+  const auto b = axial_blocks(100, 1);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0].begin, 0);
+  EXPECT_EQ(b[0].end, 100);
+}
+
+TEST(Decomposition, RemainderGoesToLeadingRanks) {
+  const auto b = axial_blocks(10, 3);  // 4, 3, 3
+  EXPECT_EQ(b[0].end - b[0].begin, 4);
+  EXPECT_EQ(b[1].end - b[1].begin, 3);
+  EXPECT_EQ(b[2].end - b[2].begin, 3);
+}
+
+TEST(Decomposition, InvalidArgumentsThrow) {
+  EXPECT_THROW(axial_blocks(10, 0), std::invalid_argument);
+  EXPECT_THROW(axial_blocks(4, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nsp::par

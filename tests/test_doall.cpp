@@ -1,0 +1,83 @@
+// The shared-memory DOALL path (the paper's Cray Y-MP parallelization)
+// must be numerically identical to the sequential solver for any thread
+// count: chunking only partitions loop ranges.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/solver.hpp"
+
+namespace nsp::core {
+namespace {
+
+class DoallEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(DoallEquivalence, MatchesSequentialBitwise) {
+  SolverConfig seq_cfg;
+  seq_cfg.grid = Grid::coarse(56, 20);
+  Solver seq(seq_cfg);
+  seq.initialize();
+  seq.run(12);
+
+  SolverConfig par_cfg = seq_cfg;
+  par_cfg.num_threads = GetParam();
+  Solver par(par_cfg);
+  par.initialize();
+  par.run(12);
+
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    for (int j = 0; j < 20; ++j) {
+      for (int i = 0; i < 56; ++i) {
+        ASSERT_EQ(par.state()[c](i, j), seq.state()[c](i, j))
+            << "c=" << c << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, DoallEquivalence, ::testing::Values(2, 3, 4, 8),
+                         [](const auto& info) {
+                           return "T" + std::to_string(info.param);
+                         });
+
+TEST(Doall, MoreThreadsThanColumnsStillCorrect) {
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(24, 10);
+  cfg.num_threads = 64;
+  Solver s(cfg);
+  s.initialize();
+  s.run(5);
+  EXPECT_TRUE(s.finite());
+}
+
+TEST(Doall, EulerModeAlsoEquivalent) {
+  SolverConfig a;
+  a.grid = Grid::coarse(40, 16);
+  a.viscous = false;
+  SolverConfig b = a;
+  b.num_threads = 4;
+  Solver sa(a), sb(b);
+  sa.initialize();
+  sb.initialize();
+  sa.run(10);
+  sb.run(10);
+  double m = 0;
+  for (int j = 0; j < 16; ++j)
+    for (int i = 0; i < 40; ++i)
+      m = std::max(m, std::fabs(sa.state().rho(i, j) - sb.state().rho(i, j)));
+  EXPECT_EQ(m, 0.0);
+}
+
+TEST(Doall, FlopCountingDisabledUnderThreads) {
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(24, 10);
+  cfg.num_threads = 4;
+  cfg.count_flops = true;
+  Solver s(cfg);
+  s.initialize();
+  s.run(2);
+  EXPECT_EQ(s.flops().total(), 0.0);
+}
+
+}  // namespace
+}  // namespace nsp::core

@@ -1,0 +1,72 @@
+#include "core/field.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nsp::core {
+namespace {
+
+TEST(Field2D, InitializesToGivenValue) {
+  Field2D f(4, 3, 7.5);
+  for (int j = -kGhost; j < 3 + kGhost; ++j)
+    for (int i = -kGhost; i < 4 + kGhost; ++i) EXPECT_DOUBLE_EQ(f(i, j), 7.5);
+}
+
+TEST(Field2D, GhostIndicesAreAddressable) {
+  Field2D f(4, 3);
+  f(-kGhost, -kGhost) = 1.0;
+  f(4 + kGhost - 1, 3 + kGhost - 1) = 2.0;
+  EXPECT_DOUBLE_EQ(f(-kGhost, -kGhost), 1.0);
+  EXPECT_DOUBLE_EQ(f(4 + kGhost - 1, 3 + kGhost - 1), 2.0);
+}
+
+TEST(Field2D, AxialIndexIsContiguous) {
+  Field2D f(8, 4);
+  f(0, 0) = 1.0;
+  f(1, 0) = 2.0;
+  const double* p = f.row(0) + kGhost;
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[1], 2.0);
+}
+
+TEST(Field2D, JStrideSeparatesRows) {
+  Field2D f(8, 4);
+  f(3, 1) = 5.0;
+  const double* base = f.row(0) + kGhost;
+  EXPECT_DOUBLE_EQ(base[f.jstride() + 3], 5.0);
+}
+
+TEST(Field2D, InteriorSumExcludesGhosts) {
+  Field2D f(3, 2, 0.0);
+  for (int j = -kGhost; j < 2 + kGhost; ++j)
+    for (int i = -kGhost; i < 3 + kGhost; ++i) f(i, j) = 1.0;
+  EXPECT_DOUBLE_EQ(f.interior_sum(), 6.0);
+}
+
+TEST(Field2D, FillSetsEverything) {
+  Field2D f(3, 3, 1.0);
+  f.fill(-2.0);
+  EXPECT_DOUBLE_EQ(f(-kGhost, -kGhost), -2.0);
+  EXPECT_DOUBLE_EQ(f.interior_sum(), -18.0);
+}
+
+TEST(StateField, ComponentAccessorsAlias) {
+  StateField q(3, 3);
+  q.rho(1, 1) = 1.0;
+  q.mx(1, 1) = 2.0;
+  q.mr(1, 1) = 3.0;
+  q.e(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(q[0](1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(q[1](1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(q[2](1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(q[3](1, 1), 4.0);
+}
+
+TEST(StateField, DimensionsPropagate) {
+  StateField q(7, 5);
+  EXPECT_EQ(q.ni(), 7);
+  EXPECT_EQ(q.nj(), 5);
+  EXPECT_EQ(StateField::kComponents, 4);
+}
+
+}  // namespace
+}  // namespace nsp::core

@@ -1,0 +1,142 @@
+// Randomized property tests: seeds drive the deterministic sim RNG, so
+// every "fuzz" case is reproducible.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/riemann.hpp"
+#include "core/solver.hpp"
+#include "mp/comm.hpp"
+#include "par/subdomain_solver.hpp"
+#include "sim/rng.hpp"
+
+namespace nsp {
+namespace {
+
+class FuzzSeed : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSeed, RiemannSolutionsAreInternallyConsistent) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const core::Gas gas;
+  for (int k = 0; k < 40; ++k) {
+    const core::RiemannState L{rng.uniform(0.3, 3.0), rng.uniform(-0.8, 0.8),
+                               rng.uniform(0.3, 3.0)};
+    const core::RiemannState R{rng.uniform(0.3, 3.0), rng.uniform(-0.8, 0.8),
+                               rng.uniform(0.3, 3.0)};
+    // Avoid near-vacuum cases (strongly diverging streams).
+    const double cl = std::sqrt(gas.gamma * L.p / L.rho);
+    const double cr = std::sqrt(gas.gamma * R.p / R.rho);
+    if (R.u - L.u > 0.8 * (cl + cr)) continue;
+    const core::RiemannSolution sol(gas, L, R);
+    ASSERT_TRUE(sol.converged()) << "seed case " << k;
+    EXPECT_GT(sol.p_star(), 0.0);
+    // Far samples recover the inputs.
+    EXPECT_NEAR(sol.sample(-100.0).rho, L.rho, 1e-10);
+    EXPECT_NEAR(sol.sample(+100.0).rho, R.rho, 1e-10);
+    // Pressure and velocity are continuous across the contact.
+    const double us = sol.u_star();
+    EXPECT_NEAR(sol.sample(us - 1e-7).p, sol.sample(us + 1e-7).p, 1e-4);
+    EXPECT_NEAR(sol.sample(us - 1e-7).u, sol.sample(us + 1e-7).u, 1e-4);
+    // Density stays positive along a fan of rays.
+    for (double xi = -3.0; xi <= 3.0; xi += 0.37) {
+      const auto w = sol.sample(xi);
+      EXPECT_GT(w.rho, 0.0);
+      EXPECT_GT(w.p, 0.0);
+    }
+  }
+}
+
+TEST_P(FuzzSeed, RandomUniformStatesArePreservedByTheSolver) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 5);
+  core::SolverConfig cfg;
+  cfg.grid = core::Grid::coarse(32, 12);
+  cfg.viscous = rng.uniform() < 0.5;
+  cfg.jet.mach_c = cfg.jet.u_coflow = rng.uniform(0.1, 1.8);
+  cfg.jet.t_ratio = 1.0;
+  cfg.jet.eps = 0.0;
+  core::Solver s(cfg);
+  s.initialize();
+  s.run(15);
+  ASSERT_TRUE(s.finite());
+  const double rho0 = 1.0;
+  double dev = 0;
+  for (int j = 0; j < 12; ++j) {
+    for (int i = 0; i < 32; ++i) {
+      dev = std::max(dev, std::fabs(s.state().rho(i, j) - rho0));
+    }
+  }
+  EXPECT_LT(dev, 1e-11) << "Mach " << cfg.jet.mach_c;
+}
+
+TEST_P(FuzzSeed, RandomDecompositionsStayExact) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 17);
+  core::SolverConfig cfg;
+  const int ni = 36 + static_cast<int>(rng.below(40));
+  const int nj = 12 + static_cast<int>(rng.below(16));
+  cfg.grid = core::Grid::coarse(ni, nj);
+  cfg.viscous = rng.uniform() < 0.7;
+  cfg.overlap_comm = rng.uniform() < 0.5;
+  const int max_p = std::max(1, ni / (2 * core::kGhost));
+  const int nprocs = 1 + static_cast<int>(rng.below(
+                             static_cast<std::uint64_t>(std::min(8, max_p))));
+  const int steps = 4 + static_cast<int>(rng.below(6));
+
+  core::Solver serial(cfg);
+  serial.initialize();
+  serial.run(steps);
+  const core::StateField qpar = par::run_parallel_jet(cfg, nprocs, steps);
+  double m = 0;
+  for (int c = 0; c < core::StateField::kComponents; ++c) {
+    for (int j = 0; j < nj; ++j) {
+      for (int i = 0; i < ni; ++i) {
+        m = std::max(m, std::fabs(qpar[c](i, j) - serial.state()[c](i, j)));
+      }
+    }
+  }
+  EXPECT_EQ(m, 0.0) << ni << "x" << nj << " P=" << nprocs
+                    << " visc=" << cfg.viscous
+                    << " overlap=" << cfg.overlap_comm;
+}
+
+TEST_P(FuzzSeed, RandomMessageStormIsLossless) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 997 + 3);
+  const int nranks = 2 + static_cast<int>(rng.below(5));
+  const int msgs_per_rank = 50;
+  // Deterministic per-rank plan derived from the seed.
+  std::vector<std::vector<std::pair<int, double>>> plan(
+      static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    for (int k = 0; k < msgs_per_rank; ++k) {
+      int dst = static_cast<int>(rng.below(static_cast<std::uint64_t>(nranks)));
+      plan[static_cast<std::size_t>(r)].push_back({dst, rng.uniform()});
+    }
+  }
+  mp::Cluster cluster(nranks);
+  std::vector<double> received(static_cast<std::size_t>(nranks), 0.0);
+  cluster.run([&](mp::Comm& comm) {
+    const int me = comm.rank();
+    for (const auto& [dst, val] : plan[static_cast<std::size_t>(me)]) {
+      comm.send(dst, 1, std::vector<double>{val});
+    }
+    comm.barrier();  // all sends delivered to mailboxes before draining
+    double sum = 0;
+    while (auto m = comm.try_recv(mp::kAny, 1)) sum += m->data.at(0);
+    received[static_cast<std::size_t>(me)] = sum;
+  });
+  double sent_total = 0, recv_total = 0;
+  for (int r = 0; r < nranks; ++r) {
+    for (const auto& [dst, val] : plan[static_cast<std::size_t>(r)]) {
+      sent_total += val;
+    }
+    recv_total += received[static_cast<std::size_t>(r)];
+  }
+  EXPECT_NEAR(recv_total, sent_total, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed, ::testing::Range(1, 9),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace nsp

@@ -1,0 +1,97 @@
+#include "core/gas.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nsp::core {
+namespace {
+
+TEST(Gas, CenterlineNondimensionalization) {
+  // With rho = T = 1 at the centerline, p = 1/gamma and c = 1.
+  Gas g;
+  const double p = 1.0 / g.gamma;
+  EXPECT_DOUBLE_EQ(g.temperature(p, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(g.sound_speed(p, 1.0), 1.0);
+}
+
+TEST(Gas, PressureFromConservedRoundTrip) {
+  Gas g;
+  const double rho = 1.7, u = 0.8, v = -0.2, p = 0.9;
+  const double e = g.total_energy(rho, u, v, p);
+  EXPECT_NEAR(g.pressure(rho, rho * u, rho * v, e), p, 1e-14);
+}
+
+TEST(Gas, TotalEnergySplitsIntoInternalAndKinetic) {
+  Gas g;
+  const double rho = 2.0, u = 1.0, v = 0.5, p = 0.7;
+  const double e = g.total_energy(rho, u, v, p);
+  EXPECT_NEAR(e, p / (g.gamma - 1.0) + 0.5 * rho * (u * u + v * v), 1e-14);
+}
+
+TEST(Gas, SoundSpeedScalesWithSqrtT) {
+  Gas g;
+  const double rho = 1.0;
+  const double c1 = g.sound_speed(g.gas_constant() * rho * 1.0, rho);
+  const double c4 = g.sound_speed(g.gas_constant() * rho * 4.0, rho);
+  EXPECT_NEAR(c4, 2.0 * c1, 1e-14);
+}
+
+TEST(Gas, ConductivityFollowsPrandtl) {
+  Gas g;
+  g.mu = 1e-3;
+  EXPECT_NEAR(g.conductivity(), g.mu * g.cp() / g.prandtl, 1e-18);
+  EXPECT_NEAR(g.cp(), 1.0 / (g.gamma - 1.0), 1e-14);
+}
+
+TEST(Gas, ToPrimitiveInvertsConservatives) {
+  Gas g;
+  const Primitive w0{1.3, 0.4, -0.6, 0.8};
+  const double e = g.total_energy(w0.rho, w0.u, w0.v, w0.p);
+  const Primitive w = to_primitive(g, w0.rho, w0.rho * w0.u, w0.rho * w0.v, e);
+  EXPECT_NEAR(w.rho, w0.rho, 1e-14);
+  EXPECT_NEAR(w.u, w0.u, 1e-14);
+  EXPECT_NEAR(w.v, w0.v, 1e-14);
+  EXPECT_NEAR(w.p, w0.p, 1e-14);
+}
+
+TEST(Gas, SutherlandLawAnchoredAtUnitTemperature) {
+  Gas g;
+  g.mu = 2.5e-6;
+  g.sutherland = true;
+  EXPECT_NEAR(g.viscosity_at(1.0), g.mu, 1e-18);
+}
+
+TEST(Gas, SutherlandViscosityGrowsWithTemperature) {
+  Gas g;
+  g.mu = 1e-3;
+  g.sutherland = true;
+  EXPECT_GT(g.viscosity_at(2.0), g.viscosity_at(1.0));
+  EXPECT_GT(g.viscosity_at(1.0), g.viscosity_at(0.5));
+  // Roughly T^0.7-0.8 power law over the jet's range.
+  const double ratio = g.viscosity_at(2.0) / g.viscosity_at(1.0);
+  EXPECT_GT(ratio, 1.4);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(Gas, SutherlandOffIsConstantViscosity) {
+  Gas g;
+  g.mu = 1e-3;
+  EXPECT_DOUBLE_EQ(g.viscosity_at(0.5), g.mu);
+  EXPECT_DOUBLE_EQ(g.viscosity_at(3.0), g.mu);
+}
+
+TEST(Gas, SutherlandConductivityTracksViscosity) {
+  Gas g;
+  g.mu = 1e-3;
+  g.sutherland = true;
+  EXPECT_NEAR(g.conductivity_at(2.0) / g.viscosity_at(2.0),
+              g.cp() / g.prandtl, 1e-12);
+}
+
+TEST(Gas, EulerModeHasZeroTransport) {
+  Gas g;  // default mu = 0
+  EXPECT_DOUBLE_EQ(g.mu, 0.0);
+  EXPECT_DOUBLE_EQ(g.conductivity(), 0.0);
+}
+
+}  // namespace
+}  // namespace nsp::core

@@ -1,0 +1,52 @@
+#include "core/grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nsp::core {
+namespace {
+
+TEST(Grid, PaperGridIs250x100Over50x5Radii) {
+  const Grid g = Grid::paper();
+  EXPECT_EQ(g.ni, 250);
+  EXPECT_EQ(g.nj, 100);
+  EXPECT_DOUBLE_EQ(g.lx, 50.0);
+  EXPECT_DOUBLE_EQ(g.lr, 5.0);
+  EXPECT_DOUBLE_EQ(g.dx(), 0.2);
+  EXPECT_DOUBLE_EQ(g.dr(), 0.05);
+}
+
+TEST(Grid, RadialPointsOffsetHalfCellFromAxis) {
+  const Grid g = Grid::paper();
+  EXPECT_DOUBLE_EQ(g.r(0), 0.025);
+  EXPECT_GT(g.r(0), 0.0);
+}
+
+TEST(Grid, GhostRadiiMirrorAcrossAxis) {
+  const Grid g = Grid::paper();
+  EXPECT_DOUBLE_EQ(g.r(-1), -g.r(0));
+  EXPECT_DOUBLE_EQ(g.r(-2), -g.r(1));
+}
+
+TEST(Grid, AxialCoordinatesCellCentered) {
+  const Grid g = Grid::paper();
+  EXPECT_DOUBLE_EQ(g.x(0), 0.1);
+  EXPECT_DOUBLE_EQ(g.x(249), 50.0 - 0.1);
+}
+
+TEST(Grid, CoarseFactorySetsDimensions) {
+  const Grid g = Grid::coarse(40, 16);
+  EXPECT_EQ(g.ni, 40);
+  EXPECT_EQ(g.nj, 16);
+  // Same physical domain, coarser spacing.
+  EXPECT_DOUBLE_EQ(g.lx, 50.0);
+  EXPECT_DOUBLE_EQ(g.dx(), 1.25);
+}
+
+TEST(Grid, OutermostRadiusBelowDomainEdge) {
+  const Grid g = Grid::paper();
+  EXPECT_LT(g.r(g.nj - 1), g.lr);
+  EXPECT_NEAR(g.r(g.nj - 1), g.lr - 0.5 * g.dr(), 1e-12);
+}
+
+}  // namespace
+}  // namespace nsp::core

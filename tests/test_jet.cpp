@@ -1,0 +1,109 @@
+#include "core/jet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nsp::core {
+namespace {
+
+TEST(Jet, ShapeFunctionLimits) {
+  JetConfig jet;
+  EXPECT_NEAR(jet.shape(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(jet.shape(0.2), 1.0, 1e-6);   // deep in the core
+  EXPECT_NEAR(jet.shape(1.0), 0.5, 1e-12);  // shear-layer center
+  EXPECT_NEAR(jet.shape(5.0), 0.0, 1e-6);   // free stream
+}
+
+TEST(Jet, ShapeMonotonicallyDecreases) {
+  JetConfig jet;
+  double prev = 2.0;
+  for (double r = 0.05; r < 4.0; r += 0.05) {
+    const double g = jet.shape(r);
+    EXPECT_LE(g, prev + 1e-12);
+    prev = g;
+  }
+}
+
+TEST(Jet, MeanVelocityIsMachOnCenterlineZeroFar) {
+  JetConfig jet;
+  EXPECT_NEAR(jet.mean_u(0.0), jet.mach_c, 1e-9);
+  EXPECT_NEAR(jet.mean_u(5.0), jet.u_coflow, 1e-5);
+}
+
+TEST(Jet, TemperatureProfileEndsAtRatioLimits) {
+  // T = 1 on the centerline, T_inf = t_ratio in the free stream, with a
+  // Crocco-Busemann bump in the shear layer.
+  JetConfig jet;
+  EXPECT_NEAR(jet.mean_t(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(jet.mean_t(5.0), jet.t_ratio, 1e-5);
+  // The friction-heating term peaks at g = 1/2 (r = 1).
+  const double bump = jet.mean_t(1.0) - (jet.t_ratio + 0.5 * (1.0 - jet.t_ratio));
+  EXPECT_NEAR(bump, 0.5 * (jet.gas.gamma - 1.0) * jet.mach_c * jet.mach_c * 0.25,
+              1e-9);
+}
+
+TEST(Jet, DensityFromConstantPressure) {
+  JetConfig jet;
+  // rho = p / (R T); with T_inf = 1/2, the free-stream density is 2.
+  EXPECT_NEAR(jet.mean_rho(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(jet.mean_rho(5.0), 2.0, 1e-4);
+}
+
+TEST(Jet, ViscosityMatchesReynoldsNumber) {
+  JetConfig jet;
+  // mu = rho_c U_c D / Re = 1 * 1.5 * 2 / 1.2e6.
+  EXPECT_NEAR(jet.viscosity(), 2.5e-6, 1e-12);
+}
+
+TEST(Jet, ExcitationFrequencyFromStrouhal) {
+  JetConfig jet;
+  // omega = 2 pi St U_c / D = 2 pi * 0.125 * 1.5 / 2.
+  EXPECT_NEAR(jet.omega(), 2.0 * 3.14159265358979 * 0.09375, 1e-9);
+}
+
+TEST(Jet, AnalyticModePeaksInShearLayer) {
+  JetConfig jet;
+  const EigenMode mode = jet.analytic_mode();
+  const double at_shear = std::fabs(mode.perturbation(1.0, 0.0).u);
+  const double at_axis = std::fabs(mode.perturbation(0.05, 0.0).u);
+  const double at_far = std::fabs(mode.perturbation(3.0, 0.0).u);
+  EXPECT_GT(at_shear, 10.0 * at_axis);
+  EXPECT_GT(at_shear, 10.0 * at_far);
+}
+
+TEST(Jet, AnalyticModeScalesWithEpsilon) {
+  JetConfig a, b;
+  a.eps = 1e-4;
+  b.eps = 2e-4;
+  const double ua = a.analytic_mode().perturbation(1.0, 0.3).u;
+  const double ub = b.analytic_mode().perturbation(1.0, 0.3).u;
+  EXPECT_NEAR(ub, 2.0 * ua, 1e-15);
+}
+
+TEST(Jet, RadialComponentInQuadrature) {
+  JetConfig jet;
+  const EigenMode mode = jet.analytic_mode();
+  // At phase 0 the radial perturbation vanishes; at pi/2 the axial does.
+  EXPECT_NEAR(mode.perturbation(1.0, 0.0).v, 0.0, 1e-15);
+  EXPECT_NEAR(mode.perturbation(1.0, 1.5707963267948966).u, 0.0, 1e-12);
+}
+
+TEST(Jet, PerturbationIsSmallRelativeToMean) {
+  JetConfig jet;
+  const EigenMode mode = jet.analytic_mode();
+  const Primitive d = mode.perturbation(1.0, 0.7);
+  EXPECT_LT(std::fabs(d.u), 1e-3 * jet.mach_c);
+  EXPECT_LT(std::fabs(d.p), 1e-3 * jet.mean_p());
+}
+
+TEST(Jet, PaperParametersAreDefaults) {
+  JetConfig jet;
+  EXPECT_DOUBLE_EQ(jet.mach_c, 1.5);
+  EXPECT_DOUBLE_EQ(jet.t_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(jet.reynolds_d, 1.2e6);
+  EXPECT_DOUBLE_EQ(jet.strouhal, 0.125);
+}
+
+}  // namespace
+}  // namespace nsp::core

@@ -1,0 +1,104 @@
+#include "arch/kernel_profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nsp::arch {
+namespace {
+
+TEST(KernelProfile, NavierStokesFlopsMatchTable1Anchor) {
+  // Table 1: 145,000e6 FP ops over 5000 steps on 250x100 = 1160/pt/step.
+  const auto p = KernelProfile::make(Equations::NavierStokes,
+                                     CodeVersion::V5_CommonCollapse);
+  const double per_point = p.flops + p.divides + p.pow_calls;
+  EXPECT_NEAR(per_point, 1160.0, 0.06 * 1160.0);
+}
+
+TEST(KernelProfile, EulerFlopsMatchTable1Anchor) {
+  const auto p =
+      KernelProfile::make(Equations::Euler, CodeVersion::V5_CommonCollapse);
+  const double per_point = p.flops + p.divides + p.pow_calls;
+  EXPECT_NEAR(per_point, 616.0, 0.06 * 616.0);
+}
+
+TEST(KernelProfile, EulerRoughlyHalfOfNavierStokes) {
+  // "Euler has roughly 50% of the computation of Navier-Stokes."
+  const auto ns = KernelProfile::make(Equations::NavierStokes,
+                                      CodeVersion::V5_CommonCollapse);
+  const auto eu =
+      KernelProfile::make(Equations::Euler, CodeVersion::V5_CommonCollapse);
+  EXPECT_NEAR(eu.flops / ns.flops, 0.5, 0.1);
+}
+
+TEST(KernelProfile, DivisionCountsMatchPaper) {
+  // 5.5e9 divisions before V4, 2.0e9 after (whole NS run: x 1.25e8
+  // point-steps) -> 44 and 16 per point-step.
+  const auto before =
+      KernelProfile::make(Equations::NavierStokes, CodeVersion::V3_LoopInterchange);
+  const auto after = KernelProfile::make(Equations::NavierStokes,
+                                         CodeVersion::V4_DivisionToMultiply);
+  EXPECT_DOUBLE_EQ(before.divides, 44.0);
+  EXPECT_DOUBLE_EQ(after.divides, 16.0);
+}
+
+TEST(KernelProfile, StrengthReductionRemovesPows) {
+  const auto v1 =
+      KernelProfile::make(Equations::NavierStokes, CodeVersion::V1_Original);
+  const auto v2 = KernelProfile::make(Equations::NavierStokes,
+                                      CodeVersion::V2_StrengthReduction);
+  EXPECT_GT(v1.pow_calls, 0.0);
+  EXPECT_DOUBLE_EQ(v2.pow_calls, 0.0);
+  EXPECT_GT(v2.flops, v1.flops);  // pow replaced by multiplies
+}
+
+TEST(KernelProfile, InterchangeFixesStride) {
+  const auto v2 = KernelProfile::make(Equations::NavierStokes,
+                                      CodeVersion::V2_StrengthReduction);
+  const auto v3 = KernelProfile::make(Equations::NavierStokes,
+                                      CodeVersion::V3_LoopInterchange);
+  EXPECT_LT(v2.unit_stride_fraction, 0.7);
+  EXPECT_GT(v3.unit_stride_fraction, 0.9);
+}
+
+TEST(KernelProfile, CommonCollapseReducesAccesses) {
+  const auto v4 = KernelProfile::make(Equations::NavierStokes,
+                                      CodeVersion::V4_DivisionToMultiply);
+  const auto v5 = KernelProfile::make(Equations::NavierStokes,
+                                      CodeVersion::V5_CommonCollapse);
+  EXPECT_LT(v5.mem_accesses, v4.mem_accesses);
+}
+
+TEST(KernelProfile, V6V7ShareV5CpuCost) {
+  const auto v5 = KernelProfile::make(Equations::NavierStokes,
+                                      CodeVersion::V5_CommonCollapse);
+  for (auto v : {CodeVersion::V6_OverlapComm, CodeVersion::V7_UnbundledSends}) {
+    const auto p = KernelProfile::make(Equations::NavierStokes, v);
+    EXPECT_DOUBLE_EQ(p.flops, v5.flops);
+    EXPECT_DOUBLE_EQ(p.divides, v5.divides);
+    EXPECT_DOUBLE_EQ(p.mem_accesses, v5.mem_accesses);
+  }
+}
+
+TEST(KernelProfile, WorkingSetScalesWithRadialExtent) {
+  const auto small = KernelProfile::make(Equations::NavierStokes,
+                                         CodeVersion::V5_CommonCollapse, 50);
+  const auto big = KernelProfile::make(Equations::NavierStokes,
+                                       CodeVersion::V5_CommonCollapse, 200);
+  EXPECT_DOUBLE_EQ(big.sweep_working_set_bytes,
+                   4.0 * small.sweep_working_set_bytes);
+}
+
+TEST(KernelProfile, InvalidNjThrows) {
+  EXPECT_THROW(KernelProfile::make(Equations::Euler,
+                                   CodeVersion::V5_CommonCollapse, 0),
+               std::invalid_argument);
+}
+
+TEST(KernelProfile, NamesIncludeEquationAndVersion) {
+  const auto p =
+      KernelProfile::make(Equations::Euler, CodeVersion::V3_LoopInterchange);
+  EXPECT_NE(p.name.find("Euler"), std::string::npos);
+  EXPECT_NE(p.name.find("3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nsp::arch

@@ -1,0 +1,267 @@
+#include "core/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/grid.hpp"
+
+namespace nsp::core {
+namespace {
+
+/// Builds a state field with a uniform primitive state.
+StateField uniform_state(int ni, int nj, const Gas& gas, const Primitive& w) {
+  StateField q(ni, nj);
+  for (int j = -kGhost; j < nj + kGhost; ++j) {
+    for (int i = -kGhost; i < ni + kGhost; ++i) {
+      q.rho(i, j) = w.rho;
+      q.mx(i, j) = w.rho * w.u;
+      q.mr(i, j) = w.rho * w.v;
+      q.e(i, j) = gas.total_energy(w.rho, w.u, w.v, w.p);
+    }
+  }
+  return q;
+}
+
+TEST(Kernels, PrimitivesRecoverKnownState) {
+  Gas gas;
+  const Primitive w0{1.5, 0.7, -0.3, 0.9};
+  StateField q = uniform_state(6, 4, gas, w0);
+  PrimitiveField w(6, 4);
+  compute_primitives(gas, q, w, {0, 6}, 0, 4);
+  EXPECT_NEAR(w.u(2, 2), w0.u, 1e-14);
+  EXPECT_NEAR(w.v(2, 2), w0.v, 1e-14);
+  EXPECT_NEAR(w.p(2, 2), w0.p, 1e-14);
+  EXPECT_NEAR(w.t(2, 2), gas.temperature(w0.p, w0.rho), 1e-14);
+}
+
+TEST(Kernels, AllVariantsAgreeToRounding) {
+  Gas gas;
+  StateField q(8, 6);
+  // A non-trivial smooth state.
+  for (int j = -kGhost; j < 6 + kGhost; ++j) {
+    for (int i = -kGhost; i < 8 + kGhost; ++i) {
+      const double rho = 1.0 + 0.1 * std::sin(0.3 * i) + 0.05 * j / 6.0;
+      const double u = 0.5 + 0.2 * std::cos(0.4 * j);
+      const double v = 0.1 * std::sin(0.2 * i + 0.1 * j);
+      const double p = 0.7 + 0.05 * std::cos(0.25 * i);
+      q.rho(i, j) = rho;
+      q.mx(i, j) = rho * u;
+      q.mr(i, j) = rho * v;
+      q.e(i, j) = gas.total_energy(rho, u, v, p);
+    }
+  }
+  PrimitiveField ref(8, 6);
+  compute_primitives(gas, q, ref, {0, 8}, 0, 6, KernelVariant::V5);
+  for (auto v : {KernelVariant::V1, KernelVariant::V2, KernelVariant::V3,
+                 KernelVariant::V4}) {
+    PrimitiveField w(8, 6);
+    compute_primitives(gas, q, w, {0, 8}, 0, 6, v);
+    for (int j = 0; j < 6; ++j) {
+      for (int i = 0; i < 8; ++i) {
+        EXPECT_NEAR(w.u(i, j), ref.u(i, j), 1e-12);
+        EXPECT_NEAR(w.p(i, j), ref.p(i, j), 1e-12);
+        EXPECT_NEAR(w.t(i, j), ref.t(i, j), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Kernels, InviscidFluxMatchesHandValues) {
+  Gas gas;
+  const Primitive w0{2.0, 1.2, 0.4, 0.8};
+  StateField q = uniform_state(5, 3, gas, w0);
+  PrimitiveField w(5, 3);
+  compute_primitives(gas, q, w, {0, 5}, 0, 3);
+  StressField s(5, 3);
+  StateField f(5, 3);
+  compute_flux_x(gas, q, w, s, /*viscous=*/false, f, {0, 5});
+  const double e = gas.total_energy(w0.rho, w0.u, w0.v, w0.p);
+  EXPECT_NEAR(f.rho(2, 1), w0.rho * w0.u, 1e-14);
+  EXPECT_NEAR(f.mx(2, 1), w0.rho * w0.u * w0.u + w0.p, 1e-14);
+  EXPECT_NEAR(f.mr(2, 1), w0.rho * w0.u * w0.v, 1e-14);
+  EXPECT_NEAR(f.e(2, 1), (e + w0.p) * w0.u, 1e-14);
+}
+
+TEST(Kernels, RadialFluxCarriesRadiusFactor) {
+  Gas gas;
+  Grid grid = Grid::coarse(5, 6);
+  const Primitive w0{1.0, 0.5, 0.25, 1.0 / gas.gamma};
+  StateField q = uniform_state(5, 6, gas, w0);
+  PrimitiveField w(5, 6);
+  compute_primitives(gas, q, w, {0, 5}, -kGhost, 6 + kGhost);
+  StressField s(5, 6);
+  StateField gt(5, 6);
+  compute_flux_r(gas, grid, q, w, s, false, gt, {0, 5}, 0, 6);
+  // Gt_rho = r * rho * v at each radius.
+  for (int j = 0; j < 6; ++j) {
+    EXPECT_NEAR(gt.rho(2, j), grid.r(j) * w0.rho * w0.v, 1e-13);
+  }
+}
+
+TEST(Kernels, StressesVanishForUniformFlow) {
+  Gas gas;
+  gas.mu = 1e-3;
+  Grid grid = Grid::coarse(8, 8);
+  const Primitive w0{1.0, 0.9, 0.0, 0.7};
+  StateField q = uniform_state(8, 8, gas, w0);
+  PrimitiveField w(8, 8);
+  compute_primitives(gas, q, w, {0, 8}, -kGhost, 8 + kGhost);
+  StressField s(8, 8);
+  compute_stresses(gas, grid, w, s, {0, 8}, 0, 8);
+  for (int j = 0; j < 8; ++j) {
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_NEAR(s.txx(i, j), 0.0, 1e-15);
+      EXPECT_NEAR(s.txr(i, j), 0.0, 1e-15);
+      EXPECT_NEAR(s.qx(i, j), 0.0, 1e-15);
+    }
+  }
+}
+
+TEST(Kernels, ShearFlowGivesTxr) {
+  Gas gas;
+  gas.mu = 2e-3;
+  Grid grid = Grid::coarse(8, 8);
+  StateField q(8, 8);
+  const double dudr = 0.3;  // u = dudr * r
+  for (int j = -kGhost; j < 8 + kGhost; ++j) {
+    for (int i = -kGhost; i < 8 + kGhost; ++i) {
+      const double u = dudr * grid.r(j);
+      q.rho(i, j) = 1.0;
+      q.mx(i, j) = u;
+      q.mr(i, j) = 0.0;
+      q.e(i, j) = gas.total_energy(1.0, u, 0.0, 0.7);
+    }
+  }
+  PrimitiveField w(8, 8);
+  compute_primitives(gas, q, w, {0, 8}, -kGhost, 8 + kGhost);
+  StressField s(8, 8);
+  compute_stresses(gas, grid, w, s, {0, 8}, 0, 8);
+  EXPECT_NEAR(s.txr(4, 4), gas.mu * dudr, 1e-12);
+  EXPECT_NEAR(s.txx(4, 4), 0.0, 1e-14);
+}
+
+TEST(Kernels, CubicExtrapolationExactForCubics) {
+  // F(-1) = 4F0 - 6F1 + 4F2 - F3 reproduces cubic polynomials exactly.
+  StateField f(8, 4);
+  const auto poly = [](double x) { return 2.0 + x + 0.5 * x * x - 0.25 * x * x * x; };
+  for (int c = 0; c < 4; ++c)
+    for (int j = 0; j < 4; ++j)
+      for (int i = 0; i < 8; ++i) f[c](i, j) = poly(i);
+  extrapolate_flux_ghost_x(f, 8, -1);
+  extrapolate_flux_ghost_x(f, 8, +1);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_NEAR(f.rho(-1, j), poly(-1), 1e-11);
+    EXPECT_NEAR(f.rho(-2, j), poly(-2), 1e-11);
+    EXPECT_NEAR(f.rho(8, j), poly(8), 1e-11);
+    EXPECT_NEAR(f.rho(9, j), poly(9), 1e-11);
+  }
+}
+
+TEST(Kernels, QGhostRowsReflectWithAntisymmetricMr) {
+  StateField q(4, 6);
+  for (int j = 0; j < 6; ++j)
+    for (int i = 0; i < 4; ++i) {
+      q.rho(i, j) = 1.0 + j;
+      q.mr(i, j) = 0.1 * (j + 1);
+      q.mx(i, j) = 2.0 + j;
+      q.e(i, j) = 3.0 + j;
+    }
+  const double far[4] = {9.0, 8.0, 0.0, 7.0};
+  fill_q_ghost_rows(q, {0, 4}, far);
+  EXPECT_DOUBLE_EQ(q.rho(1, -1), q.rho(1, 0));
+  EXPECT_DOUBLE_EQ(q.rho(1, -2), q.rho(1, 1));
+  EXPECT_DOUBLE_EQ(q.mr(1, -1), -q.mr(1, 0));
+  EXPECT_DOUBLE_EQ(q.mr(1, -2), -q.mr(1, 1));
+  EXPECT_DOUBLE_EQ(q.rho(1, 6), 9.0);
+  EXPECT_DOUBLE_EQ(q.e(1, 7), 7.0);
+}
+
+TEST(Kernels, RadialFluxAxisReflectionSigns) {
+  StateField gt(4, 6);
+  for (int j = 0; j < 6; ++j)
+    for (int i = 0; i < 4; ++i) {
+      gt.rho(i, j) = 1.0 + j;
+      gt.mx(i, j) = 2.0 + j;
+      gt.mr(i, j) = 3.0 + j;
+      gt.e(i, j) = 4.0 + j;
+    }
+  reflect_flux_r_axis(gt, {0, 4});
+  // Component symmetry [+, +, -, +].
+  EXPECT_DOUBLE_EQ(gt.rho(2, -1), gt.rho(2, 0));
+  EXPECT_DOUBLE_EQ(gt.mx(2, -1), gt.mx(2, 0));
+  EXPECT_DOUBLE_EQ(gt.mr(2, -1), -gt.mr(2, 0));
+  EXPECT_DOUBLE_EQ(gt.e(2, -1), gt.e(2, 0));
+  EXPECT_DOUBLE_EQ(gt.mr(2, -2), -gt.mr(2, 1));
+}
+
+TEST(Kernels, PredictorLeavesConstantStateUnchanged) {
+  // With a constant flux field, the one-sided differences vanish.
+  StateField q(8, 4), f(8, 4), qp(8, 4);
+  for (int c = 0; c < 4; ++c) {
+    for (int j = -kGhost; j < 4 + kGhost; ++j)
+      for (int i = -kGhost; i < 8 + kGhost; ++i) {
+        q[c](i, j) = 2.0;
+        f[c](i, j) = 5.0;
+      }
+  }
+  predictor_x(q, f, qp, 0.1, SweepVariant::L1, {0, 8});
+  for (int j = 0; j < 4; ++j)
+    for (int i = 0; i < 8; ++i) EXPECT_NEAR(qp.rho(i, j), 2.0, 1e-14);
+}
+
+TEST(Kernels, PredictorAdvectionSignCorrect) {
+  // q_t = -dF/dx: a positive flux gradient must decrease q.
+  StateField q(8, 2), f(8, 2), qp(8, 2);
+  for (int j = -kGhost; j < 2 + kGhost; ++j)
+    for (int i = -kGhost; i < 8 + kGhost; ++i) {
+      q.rho(i, j) = 1.0;
+      f.rho(i, j) = 0.5 * i;  // dF/dx = 0.5 per cell
+    }
+  const double lambda = 0.1;  // dt/(6 dx)
+  predictor_x(q, f, qp, lambda, SweepVariant::L1, {0, 8});
+  // Forward difference of linear F: 8F(i+1)-7F(i)-F(i+2) = 6*dF.
+  EXPECT_NEAR(qp.rho(3, 0), 1.0 - lambda * 6.0 * 0.5, 1e-13);
+  predictor_x(q, f, qp, lambda, SweepVariant::L2, {0, 8});
+  EXPECT_NEAR(qp.rho(3, 0), 1.0 - lambda * 6.0 * 0.5, 1e-13);
+}
+
+TEST(Kernels, CorrectorAveragesStates) {
+  StateField q(6, 2), qp(6, 2), f(6, 2), qn(6, 2);
+  for (int j = -kGhost; j < 2 + kGhost; ++j)
+    for (int i = -kGhost; i < 6 + kGhost; ++i) {
+      q.rho(i, j) = 1.0;
+      qp.rho(i, j) = 3.0;
+      f.rho(i, j) = 0.0;
+    }
+  corrector_x(q, qp, f, qn, 0.1, SweepVariant::L1, {0, 6});
+  EXPECT_NEAR(qn.rho(2, 0), 2.0, 1e-14);
+}
+
+TEST(Kernels, FlopCounterAccumulates) {
+  Gas gas;
+  StateField q = uniform_state(10, 10, gas, {1.0, 0.5, 0.0, 0.7});
+  PrimitiveField w(10, 10);
+  FlopCounter fc;
+  compute_primitives(gas, q, w, {0, 10}, 0, 10, KernelVariant::V5, &fc);
+  EXPECT_GT(fc.adds_muls, 0.0);
+  EXPECT_GT(fc.divides, 0.0);
+  const double t1 = fc.total();
+  compute_primitives(gas, q, w, {0, 10}, 0, 10, KernelVariant::V5, &fc);
+  EXPECT_NEAR(fc.total(), 2.0 * t1, 1e-9);
+}
+
+TEST(Kernels, V1CountsPowsAndMoreDivides) {
+  Gas gas;
+  StateField q = uniform_state(10, 10, gas, {1.0, 0.5, 0.0, 0.7});
+  PrimitiveField w(10, 10);
+  FlopCounter v1, v5;
+  compute_primitives(gas, q, w, {0, 10}, 0, 10, KernelVariant::V1, &v1);
+  compute_primitives(gas, q, w, {0, 10}, 0, 10, KernelVariant::V5, &v5);
+  EXPECT_GT(v1.pows, 0.0);
+  EXPECT_EQ(v5.pows, 0.0);
+  EXPECT_GT(v1.divides, 2.0 * v5.divides);
+}
+
+}  // namespace
+}  // namespace nsp::core

@@ -1,0 +1,72 @@
+#include "perf/measure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perf/replay.hpp"
+
+namespace nsp::perf {
+namespace {
+
+core::SolverConfig small_cfg(bool viscous = true) {
+  core::SolverConfig cfg;
+  cfg.grid = core::Grid::coarse(64, 24);
+  cfg.viscous = viscous;
+  return cfg;
+}
+
+TEST(Measure, CapturesArithmeticDensity) {
+  const LiveMeasurement m = measure_live(small_cfg());
+  EXPECT_GT(m.flops_per_point_step, 100.0);
+  EXPECT_LT(m.flops_per_point_step, 3000.0);
+  EXPECT_GT(m.divides_per_point_step, 0.0);
+}
+
+TEST(Measure, CapturesMessageSchedule) {
+  const LiveMeasurement m = measure_live(small_cfg());
+  // The live NS solver sends 10 messages per step from interior ranks.
+  EXPECT_EQ(m.sends_per_step_interior, 10);
+  EXPECT_GT(m.bytes_per_step_interior, 0.0);
+}
+
+TEST(Measure, EulerSchedulesAreLeaner) {
+  const LiveMeasurement ns = measure_live(small_cfg(true));
+  const LiveMeasurement eu = measure_live(small_cfg(false));
+  EXPECT_LT(eu.sends_per_step_interior, ns.sends_per_step_interior);
+  EXPECT_LT(eu.flops_per_point_step, 0.8 * ns.flops_per_point_step);
+}
+
+TEST(Measure, ModelTotalsMatchMeasurement) {
+  const auto cfg = small_cfg();
+  const LiveMeasurement m = measure_live(cfg);
+  const AppModel app = model_from_measurement(cfg, m, 1000);
+  const double expected_flops = m.flops_per_point_step *
+                                cfg.grid.ni * cfg.grid.nj * 1000.0;
+  EXPECT_NEAR(app.total_flops(), expected_flops, 0.02 * expected_flops);
+  // Interior per-step sends survive into the schedule.
+  EXPECT_EQ(app.sends_per_step(8, 4), m.sends_per_step_interior);
+}
+
+TEST(Measure, MeasuredModelReplays) {
+  const auto cfg = small_cfg();
+  const LiveMeasurement m = measure_live(cfg);
+  const AppModel app = model_from_measurement(cfg, m, 1000);
+  const auto r = replay(app, arch::Platform::lace560_allnode_s(), 8);
+  EXPECT_GT(r.exec_time, 0.0);
+  EXPECT_GT(r.ranks[3].sends, 0u);
+  // Sanity: this small problem on 8 ranks finishes far faster than the
+  // paper's production run.
+  const auto paper = replay(AppModel::paper(arch::Equations::NavierStokes),
+                            arch::Platform::lace560_allnode_s(), 8);
+  EXPECT_LT(r.exec_time, paper.exec_time);
+}
+
+TEST(Measure, PhaseFractionsStillSumToOne) {
+  const auto cfg = small_cfg();
+  const AppModel app = model_from_measurement(cfg, measure_live(cfg), 10);
+  double sum = 0;
+  for (const auto& ph : app.phases) sum += ph.compute_fraction;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace nsp::perf

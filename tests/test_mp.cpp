@@ -1,0 +1,264 @@
+#include "mp/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace nsp::mp {
+namespace {
+
+TEST(Cluster, RunsOneFunctionPerRank) {
+  Cluster c(4);
+  std::atomic<int> mask{0};
+  c.run([&](Comm& comm) { mask |= 1 << comm.rank(); });
+  EXPECT_EQ(mask.load(), 0b1111);
+}
+
+TEST(Cluster, SizeOneWorks) {
+  Cluster c(1);
+  c.run([](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+  });
+}
+
+TEST(Cluster, InvalidSizeThrows) {
+  EXPECT_THROW(Cluster(0), std::invalid_argument);
+}
+
+TEST(Comm, PingPong) {
+  Cluster c(2);
+  c.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<double> v{1.0, 2.0, 3.0};
+      comm.send(1, 7, v);
+      const Message back = comm.recv(1, 8);
+      EXPECT_EQ(back.data, (std::vector<double>{6.0}));
+    } else {
+      const Message m = comm.recv(0, 7);
+      EXPECT_EQ(m.src, 0);
+      EXPECT_EQ(m.tag, 7);
+      const double sum = std::accumulate(m.data.begin(), m.data.end(), 0.0);
+      comm.send(0, 8, std::vector<double>{sum});
+    }
+  });
+}
+
+TEST(Comm, TagMatchingSkipsOtherTags) {
+  Cluster c(2);
+  c.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, std::vector<double>{1.0});
+      comm.send(1, 2, std::vector<double>{2.0});
+    } else {
+      // Receive tag 2 first even though tag 1 arrived first.
+      const Message m2 = comm.recv(0, 2);
+      const Message m1 = comm.recv(0, 1);
+      EXPECT_EQ(m2.data[0], 2.0);
+      EXPECT_EQ(m1.data[0], 1.0);
+    }
+  });
+}
+
+TEST(Comm, FifoOrderWithinSameSourceAndTag) {
+  Cluster c(2);
+  c.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int k = 0; k < 20; ++k) {
+        comm.send(1, 5, std::vector<double>{static_cast<double>(k)});
+      }
+    } else {
+      for (int k = 0; k < 20; ++k) {
+        EXPECT_EQ(comm.recv(0, 5).data[0], k);
+      }
+    }
+  });
+}
+
+TEST(Comm, WildcardSourceAndTag) {
+  Cluster c(3);
+  c.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      int got = 0;
+      for (int k = 0; k < 2; ++k) {
+        const Message m = comm.recv(kAny, kAny);
+        got += m.src;
+      }
+      EXPECT_EQ(got, 3);  // ranks 1 and 2
+    } else {
+      comm.send(0, comm.rank(), std::vector<double>{1.0});
+    }
+  });
+}
+
+TEST(Comm, RecvIntoValidatesLength) {
+  Cluster c(2);
+  EXPECT_THROW(
+      c.run([](Comm& comm) {
+        if (comm.rank() == 0) {
+          comm.send(1, 1, std::vector<double>{1.0, 2.0});
+        } else {
+          std::vector<double> out(3);
+          comm.recv_into(0, 1, out);
+        }
+      }),
+      std::runtime_error);
+}
+
+TEST(Comm, TryRecvReturnsNulloptWhenEmpty) {
+  Cluster c(1);
+  c.run([](Comm& comm) { EXPECT_FALSE(comm.try_recv().has_value()); });
+}
+
+TEST(Comm, SendToInvalidRankThrows) {
+  Cluster c(2);
+  EXPECT_THROW(c.run([](Comm& comm) {
+    if (comm.rank() == 0) comm.send(5, 0, std::vector<double>{1.0});
+  }),
+               std::out_of_range);
+}
+
+TEST(Comm, BarrierSynchronizesPhases) {
+  Cluster c(4);
+  std::atomic<int> phase1{0};
+  std::vector<int> seen(4, -1);
+  c.run([&](Comm& comm) {
+    ++phase1;
+    comm.barrier();
+    // After the barrier every rank must observe all increments.
+    seen[static_cast<std::size_t>(comm.rank())] = phase1.load();
+  });
+  for (int v : seen) EXPECT_EQ(v, 4);
+}
+
+TEST(Comm, RepeatedBarriers) {
+  Cluster c(3);
+  c.run([](Comm& comm) {
+    for (int k = 0; k < 50; ++k) comm.barrier();
+  });
+  SUCCEED();
+}
+
+TEST(Comm, AllreduceSum) {
+  Cluster c(5);
+  c.run([](Comm& comm) {
+    const double total = comm.allreduce_sum(comm.rank() + 1.0);
+    EXPECT_DOUBLE_EQ(total, 15.0);
+  });
+}
+
+TEST(Comm, AllreduceMax) {
+  Cluster c(4);
+  c.run([](Comm& comm) {
+    const double m = comm.allreduce_max(static_cast<double>(comm.rank() * 10));
+    EXPECT_DOUBLE_EQ(m, 30.0);
+  });
+}
+
+TEST(Comm, BroadcastReachesEveryRank) {
+  Cluster c(5);
+  c.run([](Comm& comm) {
+    std::vector<double> data;
+    if (comm.rank() == 2) data = {3.0, 1.0, 4.0};
+    comm.broadcast(data, 2);
+    ASSERT_EQ(data.size(), 3u);
+    EXPECT_EQ(data[2], 4.0);
+  });
+}
+
+TEST(Comm, BroadcastSingleRankIsNoop) {
+  Cluster c(1);
+  c.run([](Comm& comm) {
+    std::vector<double> data{1.0};
+    comm.broadcast(data, 0);
+    EXPECT_EQ(data[0], 1.0);
+  });
+}
+
+TEST(Comm, GatherConcatenatesInRankOrder) {
+  Cluster c(4);
+  c.run([](Comm& comm) {
+    // Rank r contributes r+1 copies of its rank id.
+    const std::vector<double> mine(static_cast<std::size_t>(comm.rank() + 1),
+                                   comm.rank());
+    const std::vector<double> all = comm.gather(mine, 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all.size(), 1u + 2 + 3 + 4);
+      EXPECT_EQ(all[0], 0.0);
+      EXPECT_EQ(all[1], 1.0);
+      EXPECT_EQ(all[3], 2.0);
+      EXPECT_EQ(all[9], 3.0);
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(Comm, AllreduceSumVecElementwise) {
+  Cluster c(3);
+  c.run([](Comm& comm) {
+    std::vector<double> v{static_cast<double>(comm.rank()), 1.0};
+    comm.allreduce_sum_vec(v);
+    EXPECT_DOUBLE_EQ(v[0], 0.0 + 1.0 + 2.0);
+    EXPECT_DOUBLE_EQ(v[1], 3.0);
+  });
+}
+
+TEST(Comm, CountersTrackTraffic) {
+  Cluster c(2);
+  c.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, std::vector<double>(100, 0.0));
+    } else {
+      comm.recv(0, 1);
+    }
+  });
+  const auto& ctr = c.last_counters();
+  EXPECT_EQ(ctr[0].sends, 1u);
+  EXPECT_DOUBLE_EQ(ctr[0].bytes_sent, 800.0);
+  EXPECT_EQ(ctr[1].recvs, 1u);
+  EXPECT_DOUBLE_EQ(ctr[1].bytes_received, 800.0);
+  EXPECT_EQ(ctr[1].startups(), 1u);
+}
+
+TEST(Comm, ExceptionInOneRankPropagates) {
+  Cluster c(3);
+  EXPECT_THROW(c.run([](Comm& comm) {
+    if (comm.rank() == 1) throw std::runtime_error("rank 1 failed");
+    // Other ranks finish normally (no blocking recv here).
+  }),
+               std::runtime_error);
+}
+
+TEST(Comm, HeavyTrafficStress) {
+  Cluster c(4);
+  c.run([](Comm& comm) {
+    const int n = 200;
+    const int right = (comm.rank() + 1) % comm.size();
+    const int left = (comm.rank() + comm.size() - 1) % comm.size();
+    for (int k = 0; k < n; ++k) {
+      comm.send(right, k, std::vector<double>{static_cast<double>(k)});
+      const Message m = comm.recv(left, k);
+      EXPECT_EQ(m.data[0], k);
+    }
+  });
+}
+
+TEST(Cluster, ReusableAcrossRuns) {
+  Cluster c(2);
+  for (int round = 0; round < 3; ++round) {
+    c.run([round](Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.send(1, round, std::vector<double>{static_cast<double>(round)});
+      } else {
+        EXPECT_EQ(comm.recv(0, round).data[0], round);
+      }
+    });
+  }
+}
+
+}  // namespace
+}  // namespace nsp::mp

@@ -1,0 +1,73 @@
+#include "arch/msglayer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nsp::arch {
+namespace {
+
+TEST(MsgLayer, MplLeanerThanPvme) {
+  // Figures 11-12: MPL consistently faster than PVMe on the SP.
+  const auto mpl = MsgLayerModel::mpl_sp();
+  const auto pvme = MsgLayerModel::pvme_sp();
+  EXPECT_LT(mpl.send_overhead_s, pvme.send_overhead_s);
+  EXPECT_LT(mpl.recv_overhead_s, pvme.recv_overhead_s);
+  EXPECT_LT(mpl.per_byte_cpu_s, pvme.per_byte_cpu_s);
+}
+
+TEST(MsgLayer, MplIsBlockingSendOnly) {
+  // "we were forced to use either blocking send or a constrained form
+  // of non-blocking send."
+  EXPECT_TRUE(MsgLayerModel::mpl_sp().blocking_send);
+  EXPECT_FALSE(MsgLayerModel::pvme_sp().blocking_send);
+  EXPECT_FALSE(MsgLayerModel::pvm_lace().blocking_send);
+}
+
+TEST(MsgLayer, CrayPvmHasSmallSetupCost) {
+  // "the T3D ... a relatively small setup cost."
+  const auto t3d = MsgLayerModel::pvm_t3d();
+  const auto lace = MsgLayerModel::pvm_lace();
+  EXPECT_LT(t3d.send_overhead_s, 0.3 * lace.send_overhead_s);
+  EXPECT_LT(t3d.inflight_latency_s, 0.1 * lace.inflight_latency_s);
+}
+
+TEST(MsgLayer, SharedMemoryHasNoMessageCosts) {
+  const auto sm = MsgLayerModel::shared_memory();
+  EXPECT_EQ(sm.send_overhead_s, 0.0);
+  EXPECT_EQ(sm.recv_overhead_s, 0.0);
+  EXPECT_EQ(sm.send_cpu_s(100000), 0.0);
+}
+
+TEST(MsgLayer, PerMessageCostGrowsWithSize) {
+  const auto pvm = MsgLayerModel::pvm_lace();
+  EXPECT_GT(pvm.send_cpu_s(10000), pvm.send_cpu_s(100));
+  EXPECT_DOUBLE_EQ(pvm.send_cpu_s(0), pvm.send_overhead_s);
+  EXPECT_DOUBLE_EQ(pvm.recv_cpu_s(0), pvm.recv_overhead_s);
+}
+
+TEST(MsgLayer, StartupDominatesPerWordCost) {
+  // Section 5: "the startup cost is 2-3 orders of magnitude higher than
+  // the per word transfer cost."
+  for (const auto& m : {MsgLayerModel::pvm_lace(), MsgLayerModel::pvme_sp(),
+                        MsgLayerModel::mpl_sp(), MsgLayerModel::pvm_t3d()}) {
+    const double per_word = m.per_byte_cpu_s * 8.0;
+    EXPECT_GT(m.send_overhead_s, 100.0 * per_word) << m.name;
+  }
+}
+
+TEST(MsgLayer, ShmemIsMicrosecondClass) {
+  // The T3D programming model the paper did not use: one-sided puts.
+  const auto shm = MsgLayerModel::shmem_t3d();
+  const auto pvm = MsgLayerModel::pvm_t3d();
+  EXPECT_LT(shm.send_overhead_s, 1e-5);
+  EXPECT_LT(shm.send_overhead_s, 0.1 * pvm.send_overhead_s);
+  EXPECT_FALSE(shm.blocking_send);
+}
+
+TEST(MsgLayer, NamesArePaperNames) {
+  EXPECT_EQ(MsgLayerModel::mpl_sp().name, "MPL");
+  EXPECT_EQ(MsgLayerModel::pvme_sp().name, "PVMe");
+  EXPECT_NE(MsgLayerModel::pvm_lace().name.find("PVM"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nsp::arch

@@ -1,0 +1,221 @@
+#include "arch/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nsp::arch {
+namespace {
+
+/// Runs one transfer and returns its delivery time.
+template <typename Net, typename... Args>
+double one_transfer(std::size_t bytes, int src, int dst, Args&&... args) {
+  sim::Simulator s;
+  Net net(s, std::forward<Args>(args)...);
+  double delivered = -1;
+  net.transmit(src, dst, bytes, [&] { delivered = s.now(); });
+  s.run();
+  return delivered;
+}
+
+TEST(PerfectNetwork, DeliversInstantly) {
+  sim::Simulator s;
+  PerfectNetwork net(s);
+  double t = -1;
+  net.transmit(0, 1, 1 << 20, [&] { t = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(t, 0.0);
+  EXPECT_EQ(net.messages_sent(), 1u);
+}
+
+TEST(Ethernet, TransferTimeMatchesWireRate) {
+  // 1460 payload bytes + 38 overhead at 10 Mb/s x 0.70 CSMA efficiency.
+  const double t = one_transfer<EthernetBus>(1460, 0, 1);
+  EXPECT_NEAR(t, (1460 + 38) * 8.0 / (10e6 * 0.70), 1e-9);
+}
+
+TEST(Ethernet, LargerMessagesPayMoreFrameOverhead) {
+  const double t1 = one_transfer<EthernetBus>(1460, 0, 1);
+  const double t2 = one_transfer<EthernetBus>(2920, 0, 1);
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-9);
+}
+
+TEST(Ethernet, SharedMediumSerializesAllPairs) {
+  // Transfers between disjoint pairs still contend: it is one bus.
+  sim::Simulator s;
+  EthernetBus net(s);
+  double t01 = -1, t23 = -1;
+  net.transmit(0, 1, 1460, [&] { t01 = s.now(); });
+  net.transmit(2, 3, 1460, [&] { t23 = s.now(); });
+  s.run();
+  EXPECT_NEAR(t23, 2.0 * t01, 1e-9);
+}
+
+TEST(Ethernet, UtilizationReported) {
+  sim::Simulator s;
+  EthernetBus net(s);
+  double unused = 0;
+  net.transmit(0, 1, 14600, [&] { unused = s.now(); });
+  s.run();
+  (void)unused;
+  EXPECT_NEAR(net.utilization(), 1.0, 1e-9);  // busy the whole elapsed time
+  EXPECT_GT(net.bytes_sent(), 0.0);
+}
+
+TEST(Fddi, TokenSerializesButFasterThanEthernet) {
+  sim::Simulator s1, s2;
+  FddiRing fddi(s1, 16);
+  EthernetBus eth(s2);
+  double tf = -1, te = -1;
+  fddi.transmit(0, 1, 8000, [&] { tf = s1.now(); });
+  eth.transmit(0, 1, 8000, [&] { te = s2.now(); });
+  s1.run();
+  s2.run();
+  EXPECT_LT(tf, te);
+}
+
+TEST(Fddi, TokenRotationGrowsWithStations) {
+  const double small = one_transfer<FddiRing>(100, 0, 1, 4);
+  const double big = one_transfer<FddiRing>(100, 0, 1, 64);
+  EXPECT_GT(big, small);
+}
+
+TEST(Fddi, RequiresTwoStations) {
+  sim::Simulator s;
+  EXPECT_THROW(FddiRing(s, 1), std::invalid_argument);
+}
+
+TEST(Atm, CellTaxAppliedTo48of53) {
+  const double t = one_transfer<AtmSwitch>(4800, 0, 1, 16);
+  const double wire = 4800.0 * (53.0 / 48.0) * 8.0 / 155e6;
+  EXPECT_NEAR(t, wire + 10e-6, 1e-9);
+}
+
+TEST(Atm, DisjointPairsDoNotContend) {
+  sim::Simulator s;
+  AtmSwitch net(s, 4);
+  double t01 = -1, t23 = -1;
+  net.transmit(0, 1, 48000, [&] { t01 = s.now(); });
+  net.transmit(2, 3, 48000, [&] { t23 = s.now(); });
+  s.run();
+  EXPECT_NEAR(t01, t23, 1e-12);  // full crossbar: parallel transfers
+}
+
+TEST(Atm, SameDestinationSerializes) {
+  sim::Simulator s;
+  AtmSwitch net(s, 4);
+  double first = -1, second = -1;
+  net.transmit(0, 3, 48000, [&] { first = s.now(); });
+  net.transmit(1, 3, 48000, [&] { second = s.now(); });
+  s.run();
+  EXPECT_GT(second, 1.9 * first);
+}
+
+TEST(Omega, AllnodeFTwiceAsFastAsAllnodeS) {
+  sim::Simulator s1, s2;
+  auto f = OmegaSwitch::allnode_f(s1, 16);
+  auto sw = OmegaSwitch::allnode_s(s2, 16);
+  double tf = -1, ts = -1;
+  f->transmit(0, 1, 64000, [&] { tf = s1.now(); });
+  sw->transmit(0, 1, 64000, [&] { ts = s2.now(); });
+  s1.run();
+  s2.run();
+  EXPECT_NEAR(ts / tf, 2.0, 0.05);
+}
+
+TEST(Omega, MultiplePathsMeanNoInternalContention) {
+  sim::Simulator s;
+  auto net = OmegaSwitch::allnode_s(s, 8);
+  std::vector<double> done(4, -1);
+  // Four disjoint pairs transmit simultaneously.
+  for (int k = 0; k < 4; ++k) {
+    net->transmit(2 * k, 2 * k + 1, 32000,
+                  [&done, k, &s] { done[static_cast<std::size_t>(k)] = s.now(); });
+  }
+  s.run();
+  for (int k = 1; k < 4; ++k) {
+    EXPECT_NEAR(done[static_cast<std::size_t>(k)], done[0], 1e-12);
+  }
+}
+
+TEST(Omega, SpSwitchFasterThanAllnode) {
+  sim::Simulator s1, s2;
+  auto sp = OmegaSwitch::sp_switch(s1, 16);
+  auto an = OmegaSwitch::allnode_f(s2, 16);
+  EXPECT_GT(sp->link_bandwidth_Bps(), an->link_bandwidth_Bps());
+}
+
+TEST(Torus, HopCountsFollowDimensionOrderRouting) {
+  sim::Simulator s;
+  Torus3D t(s, 8, 4, 2);
+  EXPECT_EQ(t.hops(0, 0), 0);
+  EXPECT_EQ(t.hops(0, 1), 1);   // +x
+  EXPECT_EQ(t.hops(0, 8), 1);   // +y
+  EXPECT_EQ(t.hops(0, 32), 1);  // +z
+  EXPECT_EQ(t.hops(0, 7), 1);   // x wraps around: 8-ring
+  EXPECT_EQ(t.hops(0, 4), 4);   // half way around the x ring
+  EXPECT_EQ(t.hops(0, 9), 2);   // +x then +y
+}
+
+TEST(Torus, TransferTimeIncludesPerHopLatency) {
+  sim::Simulator s;
+  Torus3D t(s, 8, 4, 2, 150e6, 2e-6);
+  double one = -1, two = -1;
+  t.transmit(0, 1, 15000, [&] { one = s.now(); });
+  s.run();
+  sim::Simulator s2;
+  Torus3D t2(s2, 8, 4, 2, 150e6, 2e-6);
+  t2.transmit(0, 9, 15000, [&] { two = s2.now(); });
+  s2.run();
+  EXPECT_NEAR(one, 2e-6 + 15000 / 150e6, 1e-9);
+  EXPECT_NEAR(two, 2.0 * one, 1e-9);  // store-and-forward over 2 hops
+}
+
+TEST(Torus, OppositeDirectionsDoNotContend) {
+  sim::Simulator s;
+  Torus3D t(s, 8, 4, 2);
+  double a = -1, b = -1;
+  t.transmit(0, 1, 150000, [&] { a = s.now(); });
+  t.transmit(1, 0, 150000, [&] { b = s.now(); });
+  s.run();
+  EXPECT_NEAR(a, b, 1e-12);  // full-duplex links
+}
+
+TEST(Torus, SameLinkSerializes) {
+  sim::Simulator s;
+  Torus3D t(s, 8, 4, 2);
+  double a = -1, b = -1;
+  t.transmit(0, 1, 150000, [&] { a = s.now(); });
+  t.transmit(0, 1, 150000, [&] { b = s.now(); });
+  s.run();
+  EXPECT_GT(b, 1.9 * a);
+}
+
+TEST(Torus, SelfSendDeliversImmediately) {
+  sim::Simulator s;
+  Torus3D t(s, 8, 4, 2);
+  double a = -1;
+  t.transmit(3, 3, 1000, [&] { a = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(a, 0.0);
+}
+
+TEST(Torus, PaperMachineIs8x4x2) {
+  sim::Simulator s;
+  Torus3D t(s);  // defaults
+  // rank 63 = (7,3,1): each coordinate is one wrap-hop from the origin.
+  EXPECT_EQ(t.hops(0, 63), 3);
+  // The true antipode (4,2,1) is 4+2+1 hops away.
+  EXPECT_EQ(t.hops(0, 4 + 2 * 8 + 1 * 32), 7);
+}
+
+TEST(NetworkStats, MessageAndByteCountersAccumulate) {
+  sim::Simulator s;
+  auto net = OmegaSwitch::allnode_f(s, 4);
+  net->transmit(0, 1, 100, [] {});
+  net->transmit(1, 2, 200, [] {});
+  s.run();
+  EXPECT_EQ(net->messages_sent(), 2u);
+  EXPECT_DOUBLE_EQ(net->bytes_sent(), 300.0);
+}
+
+}  // namespace
+}  // namespace nsp::arch

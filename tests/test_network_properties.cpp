@@ -1,0 +1,142 @@
+// Property tests over every interconnect model: exactly-once delivery,
+// causality, work conservation, and determinism, under randomized
+// traffic generated with the deterministic sim RNG.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "arch/network.hpp"
+#include "arch/platform.hpp"
+#include "sim/rng.hpp"
+
+namespace nsp::arch {
+namespace {
+
+struct NetCase {
+  const char* name;
+  NetKind kind;
+};
+
+class NetworkProperties : public ::testing::TestWithParam<NetCase> {
+ protected:
+  static std::unique_ptr<NetworkModel> make(sim::Simulator& s, NetKind k) {
+    Platform p = Platform::lace560_allnode_s();
+    p.net = k;
+    return p.make_network(s, 16);
+  }
+};
+
+TEST_P(NetworkProperties, EveryMessageDeliveredExactlyOnce) {
+  sim::Simulator s;
+  auto net = make(s, GetParam().kind);
+  sim::Rng rng(2024);
+  const int n = 200;
+  int delivered = 0;
+  for (int k = 0; k < n; ++k) {
+    const int src = static_cast<int>(rng.below(16));
+    int dst = static_cast<int>(rng.below(16));
+    if (dst == src) dst = (dst + 1) % 16;
+    const auto bytes = 64 + rng.below(8000);
+    s.at(rng.uniform(0.0, 0.01), [&net, src, dst, bytes, &delivered] {
+      net->transmit(src, dst, bytes, [&delivered] { ++delivered; });
+    });
+  }
+  s.run();
+  EXPECT_EQ(delivered, n);
+  EXPECT_EQ(net->messages_sent(), static_cast<std::uint64_t>(n));
+}
+
+TEST_P(NetworkProperties, DeliveryNeverPrecedesInjection) {
+  sim::Simulator s;
+  auto net = make(s, GetParam().kind);
+  sim::Rng rng(7);
+  bool ok = true;
+  for (int k = 0; k < 50; ++k) {
+    const double inject_at = rng.uniform(0.0, 0.05);
+    const int src = static_cast<int>(rng.below(16));
+    const int dst = (src + 1 + static_cast<int>(rng.below(14))) % 16;
+    s.at(inject_at, [&, inject_at, src, dst] {
+      net->transmit(src, dst, 1000, [&, inject_at] {
+        if (s.now() < inject_at) ok = false;
+      });
+    });
+  }
+  s.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST_P(NetworkProperties, MoreBytesNeverFaster) {
+  // A single transfer's latency is monotone in its size.
+  double t_small = 0, t_big = 0;
+  {
+    sim::Simulator s;
+    auto net = make(s, GetParam().kind);
+    net->transmit(0, 1, 100, [&] { t_small = s.now(); });
+    s.run();
+  }
+  {
+    sim::Simulator s;
+    auto net = make(s, GetParam().kind);
+    net->transmit(0, 1, 100000, [&] { t_big = s.now(); });
+    s.run();
+  }
+  EXPECT_GE(t_big, t_small);
+}
+
+TEST_P(NetworkProperties, DeterministicAcrossRuns) {
+  const auto run_once = [&] {
+    sim::Simulator s;
+    auto net = make(s, GetParam().kind);
+    sim::Rng rng(99);
+    double last = 0;
+    for (int k = 0; k < 100; ++k) {
+      const int src = static_cast<int>(rng.below(16));
+      const int dst = (src + 1) % 16;
+      s.at(rng.uniform(0.0, 0.01),
+           [&net, &s, &last, src, dst] {
+             net->transmit(src, dst, 2000, [&s, &last] { last = s.now(); });
+           });
+    }
+    s.run();
+    return last;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST_P(NetworkProperties, ThroughputBoundedByBandwidth) {
+  // Pushing far more traffic than one link-second carries must take at
+  // least bytes / (nodes * bandwidth) of simulated time.
+  if (GetParam().kind == NetKind::Perfect) {
+    GTEST_SKIP() << "infinite bandwidth by construction";
+  }
+  sim::Simulator s;
+  auto net = make(s, GetParam().kind);
+  const double bw = net->link_bandwidth_Bps();
+  const std::size_t bytes = 50000;
+  const int n = 64;
+  int done = 0;
+  for (int k = 0; k < n; ++k) {
+    net->transmit(k % 16, (k + 1) % 16, bytes, [&done] { ++done; });
+  }
+  s.run();
+  EXPECT_EQ(done, n);
+  const double lower_bound =
+      static_cast<double>(n) * static_cast<double>(bytes) / (16.0 * bw);
+  EXPECT_GE(s.now(), 0.5 * lower_bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNetworks, NetworkProperties,
+    ::testing::Values(NetCase{"ethernet", NetKind::Ethernet},
+                      NetCase{"fddi", NetKind::Fddi},
+                      NetCase{"atm", NetKind::Atm},
+                      NetCase{"allnode_f", NetKind::AllnodeF},
+                      NetCase{"allnode_s", NetKind::AllnodeS},
+                      NetCase{"sp_switch", NetKind::SpSwitch},
+                      NetCase{"torus", NetKind::Torus3D},
+                      NetCase{"perfect", NetKind::Perfect}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+}  // namespace
+}  // namespace nsp::arch

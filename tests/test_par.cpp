@@ -1,0 +1,215 @@
+// Parallel correctness: the SPMD decomposition must reproduce the serial
+// solver exactly (the ghost fluxes are the neighbour's own values, so
+// interior arithmetic is identical).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/solver.hpp"
+#include "par/subdomain_solver.hpp"
+
+namespace nsp::par {
+namespace {
+
+using core::Grid;
+using core::KernelVariant;
+using core::Solver;
+using core::SolverConfig;
+using core::StateField;
+
+double max_interior_diff(const StateField& a, const StateField& b, int ni,
+                         int nj) {
+  double m = 0;
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    for (int j = 0; j < nj; ++j) {
+      for (int i = 0; i < ni; ++i) {
+        m = std::max(m, std::fabs(a[c](i, j) - b[c](i, j)));
+      }
+    }
+  }
+  return m;
+}
+
+struct ParCase {
+  int nprocs;
+  bool viscous;
+};
+
+class ParallelEquivalence : public ::testing::TestWithParam<ParCase> {};
+
+TEST_P(ParallelEquivalence, MatchesSerialBitwise) {
+  const auto [nprocs, viscous] = GetParam();
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(64, 24);
+  cfg.viscous = viscous;
+  Solver serial(cfg);
+  serial.initialize();
+  serial.run(16);
+  const StateField qpar = run_parallel_jet(cfg, nprocs, 16);
+  EXPECT_EQ(max_interior_diff(serial.state(), qpar, 64, 24), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid64, ParallelEquivalence,
+    ::testing::Values(ParCase{1, true}, ParCase{2, true}, ParCase{4, true},
+                      ParCase{8, true}, ParCase{2, false}, ParCase{4, false},
+                      ParCase{8, false}),
+    [](const auto& info) {
+      return std::string(info.param.viscous ? "NS" : "Euler") + "_P" +
+             std::to_string(info.param.nprocs);
+    });
+
+TEST(ParallelEquivalence, UnevenBlocksStillExact) {
+  // 50 columns over 7 ranks: widths 8 and 7.
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(50, 16);
+  Solver serial(cfg);
+  serial.initialize();
+  serial.run(10);
+  const StateField qpar = run_parallel_jet(cfg, 7, 10);
+  EXPECT_EQ(max_interior_diff(serial.state(), qpar, 50, 16), 0.0);
+}
+
+TEST(ParallelEquivalence, NonDefaultVariantAlsoExact) {
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(48, 16);
+  cfg.variant = KernelVariant::V3;
+  Solver serial(cfg);
+  serial.initialize();
+  serial.run(8);
+  const StateField qpar = run_parallel_jet(cfg, 4, 8);
+  EXPECT_EQ(max_interior_diff(serial.state(), qpar, 48, 16), 0.0);
+}
+
+TEST(SubdomainSolver, Version6OverlapIsNumericallyIdentical) {
+  // Live Version 6 reorders the schedule (interior columns advance
+  // while halos are in flight) without changing a single value.
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(64, 24);
+  const StateField v5 = run_parallel_jet(cfg, 4, 14);
+  cfg.overlap_comm = true;
+  const StateField v6 = run_parallel_jet(cfg, 4, 14);
+  EXPECT_EQ(max_interior_diff(v5, v6, 64, 24), 0.0);
+}
+
+TEST(SubdomainSolver, Version6MatchesSerialToo) {
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(64, 24);
+  cfg.overlap_comm = true;
+  Solver serial(cfg);
+  serial.initialize();
+  serial.run(14);
+  const StateField v6 = run_parallel_jet(cfg, 8, 14);
+  EXPECT_EQ(max_interior_diff(serial.state(), v6, 64, 24), 0.0);
+}
+
+TEST(SubdomainSolver, Version6EulerIdentical) {
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(64, 24);
+  cfg.viscous = false;
+  const StateField v5 = run_parallel_jet(cfg, 4, 14);
+  cfg.overlap_comm = true;
+  const StateField v6 = run_parallel_jet(cfg, 4, 14);
+  EXPECT_EQ(max_interior_diff(v5, v6, 64, 24), 0.0);
+}
+
+TEST(SubdomainSolver, Version6SameMessageCounts) {
+  // Overlap changes scheduling, not the communication volume.
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(64, 24);
+  std::vector<core::CommCounter> v5, v6;
+  run_parallel_jet(cfg, 4, 8, &v5);
+  cfg.overlap_comm = true;
+  run_parallel_jet(cfg, 4, 8, &v6);
+  for (std::size_t r = 0; r < v5.size(); ++r) {
+    EXPECT_EQ(v5[r].sends, v6[r].sends);
+    EXPECT_DOUBLE_EQ(v5[r].bytes_sent, v6[r].bytes_sent);
+  }
+}
+
+TEST(SubdomainSolver, RejectsSmoothing) {
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(40, 16);
+  cfg.smoothing = 0.01;
+  mp::Cluster cluster(2);
+  EXPECT_THROW(cluster.run([&](mp::Comm& comm) { SubdomainSolver s(cfg, comm); }),
+               std::invalid_argument);
+}
+
+TEST(SubdomainSolver, RejectsTooNarrowSubdomains) {
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(16, 8);  // 16/8 = 2 columns < 2*kGhost
+  mp::Cluster cluster(8);
+  EXPECT_THROW(cluster.run([&](mp::Comm& comm) { SubdomainSolver s(cfg, comm); }),
+               std::invalid_argument);
+}
+
+TEST(SubdomainSolver, DtMatchesSerialExactly) {
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(40, 16);
+  Solver serial(cfg);
+  serial.initialize();
+  mp::Cluster cluster(4);
+  cluster.run([&](mp::Comm& comm) {
+    SubdomainSolver s(cfg, comm);
+    s.initialize();
+    EXPECT_EQ(s.dt(), serial.dt());
+  });
+}
+
+TEST(SubdomainSolver, MessageCountsFollowSection5Schedule) {
+  // Navier-Stokes, interior rank: per step 6 primitive-halo sends (two
+  // per x stage, two across the radial stages) + 2 flux sends = 10; the
+  // paper's Table 1 counts "start-ups" as sends + receives.
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(64, 16);
+  std::vector<core::CommCounter> ctr;
+  const int steps = 12;
+  run_parallel_jet(cfg, 4, steps, &ctr);
+  const auto& interior = ctr[1];
+  EXPECT_EQ(interior.sends, 10u * steps + 1u);  // +1 gather message
+  EXPECT_EQ(interior.recvs, 10u * steps);
+  // Edge ranks communicate on one side only (about half the sends).
+  EXPECT_LT(ctr[0].sends, interior.sends);
+}
+
+TEST(SubdomainSolver, EulerNeedsOnlyFluxExchanges) {
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(64, 16);
+  cfg.viscous = false;
+  std::vector<core::CommCounter> ctr;
+  const int steps = 12;
+  run_parallel_jet(cfg, 4, steps, &ctr);
+  EXPECT_EQ(ctr[1].sends, 2u * steps + 1u);  // two flux sends per step + gather
+}
+
+TEST(SubdomainSolver, CommVolumeScalesWithRadialPoints) {
+  SolverConfig small, big;
+  small.grid = Grid::coarse(64, 16);
+  big.grid = Grid::coarse(64, 32);
+  std::vector<core::CommCounter> cs, cb;
+  run_parallel_jet(small, 4, 4, &cs);
+  run_parallel_jet(big, 4, 4, &cb);
+  // Same message count, double the bytes.
+  const double gather_small = 4.0 * 16 * 16 * 8;  // rank1 interior block
+  const double gather_big = 4.0 * 16 * 32 * 8;
+  EXPECT_NEAR((cb[1].bytes_sent - gather_big) /
+                  (cs[1].bytes_sent - gather_small),
+              2.0, 0.01);
+}
+
+TEST(SubdomainSolver, LongerRunStaysFiniteInParallel) {
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(60, 20);
+  const StateField q = run_parallel_jet(cfg, 6, 60);
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    for (int j = 0; j < 20; ++j) {
+      for (int i = 0; i < 60; ++i) {
+        ASSERT_TRUE(std::isfinite(q[c](i, j)));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nsp::par

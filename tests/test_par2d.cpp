@@ -1,0 +1,157 @@
+// The 2-D (axial x radial) decomposition — the paper's future work —
+// must also reproduce the serial solution exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/solver.hpp"
+#include "par/subdomain_solver2d.hpp"
+
+namespace nsp::par {
+namespace {
+
+using core::Grid;
+using core::Solver;
+using core::SolverConfig;
+using core::StateField;
+
+double max_interior_diff(const StateField& a, const StateField& b, int ni,
+                         int nj) {
+  double m = 0;
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    for (int j = 0; j < nj; ++j) {
+      for (int i = 0; i < ni; ++i) {
+        m = std::max(m, std::fabs(a[c](i, j) - b[c](i, j)));
+      }
+    }
+  }
+  return m;
+}
+
+struct GridCase {
+  int px, py;
+  bool viscous;
+};
+
+class Par2DEquivalence : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(Par2DEquivalence, MatchesSerialBitwise) {
+  const auto [px, py, viscous] = GetParam();
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(48, 32);
+  cfg.viscous = viscous;
+  Solver serial(cfg);
+  serial.initialize();
+  serial.run(12);
+  const StateField qpar = run_parallel_jet_2d(cfg, px, py, 12);
+  EXPECT_EQ(max_interior_diff(serial.state(), qpar, 48, 32), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid48x32, Par2DEquivalence,
+    ::testing::Values(GridCase{1, 2, true}, GridCase{1, 4, true},
+                      GridCase{2, 2, true}, GridCase{4, 2, true},
+                      GridCase{2, 4, true}, GridCase{3, 3, true},
+                      GridCase{1, 4, false}, GridCase{2, 2, false},
+                      GridCase{4, 4, false}),
+    [](const auto& info) {
+      return std::string(info.param.viscous ? "NS" : "Euler") + "_" +
+             std::to_string(info.param.px) + "x" +
+             std::to_string(info.param.py);
+    });
+
+TEST(Par2D, DegeneratesToOneDAtPyOne) {
+  // px x 1 must agree with the dedicated 1-D solver (and serial).
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(48, 20);
+  Solver serial(cfg);
+  serial.initialize();
+  serial.run(10);
+  const StateField q2d = run_parallel_jet_2d(cfg, 4, 1, 10);
+  EXPECT_EQ(max_interior_diff(serial.state(), q2d, 48, 20), 0.0);
+}
+
+TEST(Par2D, UnevenBlocksExact) {
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(50, 30);  // 50/3 and 30/4 are uneven
+  Solver serial(cfg);
+  serial.initialize();
+  serial.run(8);
+  const StateField qpar = run_parallel_jet_2d(cfg, 3, 4, 8);
+  EXPECT_EQ(max_interior_diff(serial.state(), qpar, 50, 30), 0.0);
+}
+
+TEST(Par2D, SubgridCoordinatesBitIdentical) {
+  const Grid g = Grid::coarse(48, 32);
+  const Grid sub = g.subgrid(13, 10, 7, 9);
+  for (int i = -2; i < 12; ++i) {
+    ASSERT_EQ(sub.x(i), g.x(13 + i));
+  }
+  for (int j = -2; j < 11; ++j) {
+    ASSERT_EQ(sub.r(j), g.r(7 + j));
+  }
+  ASSERT_EQ(sub.dx(), g.dx());
+  ASSERT_EQ(sub.dr(), g.dr());
+}
+
+TEST(Par2D, RejectsMismatchedRankGrid) {
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(48, 32);
+  mp::Cluster cluster(4);
+  EXPECT_THROW(
+      cluster.run([&](mp::Comm& comm) { SubdomainSolver2D s(cfg, comm, 3, 2); }),
+      std::invalid_argument);
+}
+
+TEST(Par2D, RejectsTooShallowSubdomains) {
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(48, 12);  // 12/4 = 3 rows < 2*kGhost
+  mp::Cluster cluster(4);
+  EXPECT_THROW(
+      cluster.run([&](mp::Comm& comm) { SubdomainSolver2D s(cfg, comm, 1, 4); }),
+      std::invalid_argument);
+}
+
+TEST(Par2D, RadialCutsCostMoreVolumeThanAxial) {
+  // The model-level claim behind bench_ablation_decomposition, measured
+  // live: with the same rank count, pure radial cuts move more bytes
+  // (boundary rows of 48 points vs columns of 32).
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(48, 32);
+  std::vector<core::CommCounter> axial, radial;
+  run_parallel_jet_2d(cfg, 4, 1, 6, &axial);
+  run_parallel_jet_2d(cfg, 1, 4, 6, &radial);
+  double axial_bytes = 0, radial_bytes = 0;
+  for (const auto& c : axial) axial_bytes += c.bytes_sent;
+  for (const auto& c : radial) radial_bytes += c.bytes_sent;
+  EXPECT_GT(radial_bytes, 1.2 * axial_bytes);
+}
+
+TEST(Par2D, DtMatchesSerial) {
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(48, 32);
+  Solver serial(cfg);
+  serial.initialize();
+  mp::Cluster cluster(4);
+  cluster.run([&](mp::Comm& comm) {
+    SubdomainSolver2D s(cfg, comm, 2, 2);
+    s.initialize();
+    EXPECT_EQ(s.dt(), serial.dt());
+  });
+}
+
+TEST(Par2D, LongerRunStaysFinite) {
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(40, 24);
+  const StateField q = run_parallel_jet_2d(cfg, 2, 3, 40);
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    for (int j = 0; j < 24; ++j) {
+      for (int i = 0; i < 40; ++i) {
+        ASSERT_TRUE(std::isfinite(q[c](i, j)));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nsp::par

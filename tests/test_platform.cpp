@@ -1,0 +1,84 @@
+#include "arch/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nsp::arch {
+namespace {
+
+TEST(Platform, AllPresetsInstantiateTheirNetworks) {
+  for (const Platform& p : Platform::all()) {
+    sim::Simulator s;
+    auto net = p.make_network(s, 16);
+    ASSERT_NE(net, nullptr) << p.name;
+    double t = -1;
+    net->transmit(0, 1, 1000, [&] { t = s.now(); });
+    s.run();
+    EXPECT_GE(t, 0.0) << p.name;
+  }
+}
+
+TEST(Platform, YmpIsTheOnlySharedMemoryPlatform) {
+  int shared = 0;
+  for (const Platform& p : Platform::all()) shared += p.shared_memory;
+  EXPECT_EQ(shared, 1);
+  EXPECT_TRUE(Platform::cray_ymp().shared_memory);
+}
+
+TEST(Platform, YmpLimitedToEightProcessors) {
+  EXPECT_EQ(Platform::cray_ymp().max_procs, 8);
+}
+
+TEST(Platform, MessagePassingPlatformsAllowSixteen) {
+  for (const Platform& p : Platform::all()) {
+    if (!p.shared_memory) EXPECT_EQ(p.max_procs, 16) << p.name;
+  }
+}
+
+TEST(Platform, LaceUpperAndLowerHalvesUseTheRightCpus) {
+  EXPECT_EQ(Platform::lace560_allnode_s().cpu.name, "RS6000/560");
+  EXPECT_EQ(Platform::lace590_allnode_f().cpu.name, "RS6000/590");
+  EXPECT_EQ(Platform::lace560_ethernet().cpu.name, "RS6000/560");
+}
+
+TEST(Platform, SpVariantsShareNodeAndNetworkDifferOnlyInLibrary) {
+  const auto mpl = Platform::ibm_sp_mpl();
+  const auto pvme = Platform::ibm_sp_pvme();
+  EXPECT_EQ(mpl.cpu.name, pvme.cpu.name);
+  EXPECT_EQ(mpl.net, pvme.net);
+  EXPECT_NE(mpl.msglayer.name, pvme.msglayer.name);
+}
+
+TEST(Platform, T3dUsesTorusAndCrayPvm) {
+  const auto t = Platform::cray_t3d();
+  EXPECT_EQ(t.net, NetKind::Torus3D);
+  EXPECT_NE(t.msglayer.name.find("T3D"), std::string::npos);
+}
+
+TEST(Platform, Model590PlatformsScaleLibraryCosts) {
+  // PVM software overhead runs faster on the faster 590 node.
+  EXPECT_LT(Platform::lace590_allnode_f().sw_speed_factor, 1.0);
+  EXPECT_DOUBLE_EQ(Platform::lace560_allnode_s().sw_speed_factor, 1.0);
+}
+
+TEST(Platform, NetKindNamesReadable) {
+  EXPECT_EQ(to_string(NetKind::AllnodeF), "ALLNODE-F");
+  EXPECT_EQ(to_string(NetKind::Ethernet), "Ethernet");
+  EXPECT_EQ(to_string(NetKind::Torus3D), "T3D torus");
+}
+
+TEST(Platform, AllReturnsNineConfigurations) {
+  // The nine configurations the paper itself measured; extension
+  // platforms (T3D SHMEM, DASH) are separate presets.
+  EXPECT_EQ(Platform::all().size(), 9u);
+}
+
+TEST(Platform, DashIsSharedMemoryNuma) {
+  const auto d = Platform::dash();
+  EXPECT_TRUE(d.shared_memory);
+  EXPECT_GT(d.numa_remote_miss_s, 0.0);
+  EXPECT_EQ(d.max_procs, 16);
+  EXPECT_NE(d.cpu.name.find("R3000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nsp::arch

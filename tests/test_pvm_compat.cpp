@@ -1,0 +1,215 @@
+#include "mp/pvm_compat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace nsp::mp::pvm {
+namespace {
+
+TEST(PvmCompat, TidAndGroupSize) {
+  Cluster c(3);
+  c.run([](Comm& comm) {
+    Session pvm(comm);
+    EXPECT_EQ(pvm.mytid(), comm.rank());
+    EXPECT_EQ(pvm.gsize(), 3);
+  });
+}
+
+TEST(PvmCompat, PackSendRecvUnpackRoundTrip) {
+  Cluster c(2);
+  c.run([](Comm& comm) {
+    Session pvm(comm);
+    if (comm.rank() == 0) {
+      std::vector<double> u{1.0, 2.0, 3.0};
+      std::vector<int> meta{42, 7};
+      pvm.initsend();
+      EXPECT_EQ(pvm.pkdouble(u.data(), 3), Session::PvmOk);
+      EXPECT_EQ(pvm.pkint(meta.data(), 2), Session::PvmOk);
+      EXPECT_EQ(pvm.send(1, 99), Session::PvmOk);
+    } else {
+      EXPECT_EQ(pvm.recv(0, 99), 1);
+      double u[3];
+      int meta[2];
+      EXPECT_EQ(pvm.upkdouble(u, 3), Session::PvmOk);
+      EXPECT_EQ(pvm.upkint(meta, 2), Session::PvmOk);
+      EXPECT_DOUBLE_EQ(u[2], 3.0);
+      EXPECT_EQ(meta[0], 42);
+      EXPECT_EQ(meta[1], 7);
+      EXPECT_EQ(pvm.unread(), 0u);
+    }
+  });
+}
+
+TEST(PvmCompat, StridedPackAndUnpack) {
+  Cluster c(2);
+  c.run([](Comm& comm) {
+    Session pvm(comm);
+    if (comm.rank() == 0) {
+      // Pack every other element of a 6-vector (a PVM idiom for
+      // extracting a boundary column from a 2-D array).
+      std::vector<double> a{0, 10, 1, 11, 2, 12};
+      pvm.initsend();
+      pvm.pkdouble(a.data() + 1, 3, 2);  // 10, 11, 12
+      pvm.send(1, 5);
+    } else {
+      pvm.recv(0, 5);
+      std::vector<double> out(6, -1);
+      pvm.upkdouble(out.data(), 3, 2);  // scatter back with stride 2
+      EXPECT_DOUBLE_EQ(out[0], 10);
+      EXPECT_DOUBLE_EQ(out[2], 11);
+      EXPECT_DOUBLE_EQ(out[4], 12);
+      EXPECT_DOUBLE_EQ(out[1], -1);
+    }
+  });
+}
+
+TEST(PvmCompat, BufinfoReportsTagSourceLength) {
+  Cluster c(2);
+  c.run([](Comm& comm) {
+    Session pvm(comm);
+    if (comm.rank() == 0) {
+      const double x = 3.5;
+      pvm.initsend();
+      pvm.pkdouble(&x, 1);
+      pvm.send(1, 77);
+    } else {
+      pvm.recv(-1, -1);
+      int bytes = 0, tag = 0, tid = -2;
+      EXPECT_EQ(pvm.bufinfo(&bytes, &tag, &tid), Session::PvmOk);
+      EXPECT_EQ(bytes, 8);
+      EXPECT_EQ(tag, 77);
+      EXPECT_EQ(tid, 0);
+    }
+  });
+}
+
+TEST(PvmCompat, McastReachesAllListedTasks) {
+  Cluster c(4);
+  c.run([](Comm& comm) {
+    Session pvm(comm);
+    if (comm.rank() == 0) {
+      const double v = 9.0;
+      pvm.initsend();
+      pvm.pkdouble(&v, 1);
+      pvm.mcast({1, 2, 3}, 4);
+    } else {
+      pvm.recv(0, 4);
+      double v = 0;
+      pvm.upkdouble(&v, 1);
+      EXPECT_DOUBLE_EQ(v, 9.0);
+    }
+  });
+}
+
+TEST(PvmCompat, SendBufferSurvivesForResend) {
+  // PVM semantics: pvm_send does not consume the buffer.
+  Cluster c(3);
+  c.run([](Comm& comm) {
+    Session pvm(comm);
+    if (comm.rank() == 0) {
+      const double v = 1.5;
+      pvm.initsend();
+      pvm.pkdouble(&v, 1);
+      pvm.send(1, 2);
+      pvm.send(2, 2);  // same buffer again
+    } else {
+      pvm.recv(0, 2);
+      double v = 0;
+      pvm.upkdouble(&v, 1);
+      EXPECT_DOUBLE_EQ(v, 1.5);
+    }
+  });
+}
+
+TEST(PvmCompat, ErrorsWithoutActiveBuffers) {
+  Cluster c(1);
+  c.run([](Comm& comm) {
+    Session pvm(comm);
+    const double x = 1.0;
+    double y = 0;
+    EXPECT_EQ(pvm.pkdouble(&x, 1), Session::PvmNoBuf);
+    EXPECT_EQ(pvm.send(0, 1), Session::PvmNoBuf);
+    EXPECT_EQ(pvm.upkdouble(&y, 1), Session::PvmNoBuf);
+    EXPECT_EQ(pvm.bufinfo(nullptr, nullptr, nullptr), Session::PvmNoBuf);
+  });
+}
+
+TEST(PvmCompat, UnpackPastEndReturnsNoData) {
+  Cluster c(2);
+  c.run([](Comm& comm) {
+    Session pvm(comm);
+    if (comm.rank() == 0) {
+      const double v[2] = {1, 2};
+      pvm.initsend();
+      pvm.pkdouble(v, 2);
+      pvm.send(1, 1);
+    } else {
+      pvm.recv(0, 1);
+      double out[3];
+      EXPECT_EQ(pvm.upkdouble(out, 3), Session::PvmNoData);
+      // Partial reads still work afterwards.
+      EXPECT_EQ(pvm.upkdouble(out, 2), Session::PvmOk);
+    }
+  });
+}
+
+TEST(PvmCompat, NrecvPollsWithoutBlocking) {
+  Cluster c(2);
+  c.run([](Comm& comm) {
+    Session pvm(comm);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(pvm.nrecv(1, 9), 0);  // nothing yet
+      comm.barrier();
+      // After the barrier the message must be there.
+      while (pvm.nrecv(1, 9) == 0) {
+      }
+      double v = 0;
+      pvm.upkdouble(&v, 1);
+      EXPECT_DOUBLE_EQ(v, 4.0);
+    } else {
+      const double v = 4.0;
+      pvm.initsend();
+      pvm.pkdouble(&v, 1);
+      pvm.send(0, 9);
+      comm.barrier();
+    }
+  });
+}
+
+TEST(PvmCompat, HaloExchangeIdiomMatchesPaperStyle) {
+  // The paper's Version-5 pattern written in PVM style: every task
+  // packs its boundary column and exchanges with both neighbours.
+  const int n = 16;
+  Cluster c(4);
+  c.run([n](Comm& comm) {
+    Session pvm(comm);
+    const int me = pvm.mytid();
+    std::vector<double> mine(n, static_cast<double>(me));
+    std::vector<double> from_left(n, -1), from_right(n, -1);
+    if (me > 0) {
+      pvm.initsend();
+      pvm.pkdouble(mine.data(), n);
+      pvm.send(me - 1, 11);
+    }
+    if (me < pvm.gsize() - 1) {
+      pvm.initsend();
+      pvm.pkdouble(mine.data(), n);
+      pvm.send(me + 1, 11);
+    }
+    if (me > 0) {
+      pvm.recv(me - 1, 11);
+      pvm.upkdouble(from_left.data(), n);
+      EXPECT_DOUBLE_EQ(from_left[0], me - 1);
+    }
+    if (me < pvm.gsize() - 1) {
+      pvm.recv(me + 1, 11);
+      pvm.upkdouble(from_right.data(), n);
+      EXPECT_DOUBLE_EQ(from_right[n - 1], me + 1);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace nsp::mp::pvm

@@ -1,0 +1,140 @@
+// Mechanics of the replay engine (the paper-claim assertions live in
+// test_paper_claims.cpp).
+#include "perf/replay.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nsp::perf {
+namespace {
+
+using arch::Equations;
+using arch::Platform;
+
+AppModel ns() { return AppModel::paper(Equations::NavierStokes); }
+
+TEST(Replay, SingleProcessorTimeIsPureCompute) {
+  const auto r = replay(ns(), Platform::lace560_allnode_s(), 1);
+  EXPECT_NEAR(r.exec_time, r.ranks[0].compute, 1e-6);
+  EXPECT_EQ(r.ranks[0].sends, 0u);
+  EXPECT_DOUBLE_EQ(r.ranks[0].wait, 0.0);
+}
+
+TEST(Replay, SingleProcessorMatchesCpuModel) {
+  const auto app = ns();
+  const auto plat = Platform::lace560_allnode_s();
+  const auto r = replay(app, plat, 1);
+  const double expected = plat.cpu.seconds(app.profile, app.points()) * app.steps;
+  EXPECT_NEAR(r.exec_time, expected, 1e-6 * expected);
+}
+
+TEST(Replay, ExecTimeIsMaxOfRankFinishTimes) {
+  const auto r = replay(ns(), Platform::lace560_allnode_s(), 8);
+  double m = 0;
+  for (const auto& rk : r.ranks) m = std::max(m, rk.finish);
+  EXPECT_DOUBLE_EQ(r.exec_time, m);
+  EXPECT_EQ(r.ranks.size(), 8u);
+}
+
+TEST(Replay, MessageCountsMatchSchedule) {
+  const auto app = ns();
+  const auto r = replay(app, Platform::lace560_allnode_s(), 16);
+  // Interior rank: 8 sends/step.
+  EXPECT_NEAR(static_cast<double>(r.ranks[7].sends), 8.0 * app.steps, 8.0);
+  // Edge rank sends only inward.
+  EXPECT_LT(r.ranks[0].sends, r.ranks[7].sends);
+}
+
+TEST(Replay, ByteCountsMatchTable1) {
+  const auto app = ns();
+  const auto r = replay(app, Platform::lace560_allnode_s(), 16);
+  EXPECT_NEAR(r.ranks[7].bytes_sent, app.volume_per_proc(16),
+              0.01 * app.volume_per_proc(16));
+}
+
+TEST(Replay, ScalingFromSimStepsIsConsistent) {
+  // Simulating 200 vs 400 steps and scaling must agree closely (the
+  // schedule is periodic).
+  ReplayOptions a, b;
+  a.sim_steps = 200;
+  b.sim_steps = 400;
+  const auto ra = replay(ns(), Platform::lace560_allnode_s(), 8, a);
+  const auto rb = replay(ns(), Platform::lace560_allnode_s(), 8, b);
+  EXPECT_NEAR(ra.exec_time, rb.exec_time, 0.02 * rb.exec_time);
+}
+
+TEST(Replay, BusySplitsIntoComputeAndOverhead) {
+  const auto r = replay(ns(), Platform::lace560_allnode_s(), 8);
+  const auto& rk = r.ranks[3];
+  EXPECT_GT(rk.compute, 0.0);
+  EXPECT_GT(rk.sw_overhead, 0.0);
+  EXPECT_DOUBLE_EQ(rk.busy(), rk.compute + rk.sw_overhead);
+  EXPECT_LT(rk.busy() + rk.wait, rk.finish * 1.01);
+}
+
+TEST(Replay, PerfectNetworkStillPaysSoftwareOverheads) {
+  auto plat = Platform::lace560_allnode_s();
+  plat.net = arch::NetKind::Perfect;
+  const auto r = replay(ns(), plat, 8);
+  EXPECT_GT(r.ranks[3].sw_overhead, 0.0);
+}
+
+TEST(Replay, SharedMemoryPathHasNoMessages) {
+  const auto r = replay(ns(), Platform::cray_ymp(), 8);
+  for (const auto& rk : r.ranks) {
+    EXPECT_EQ(rk.sends, 0u);
+    EXPECT_DOUBLE_EQ(rk.wait, 0.0);
+  }
+  EXPECT_EQ(r.nprocs, 8);
+}
+
+TEST(Replay, SharedMemoryAmdahlScaling) {
+  const auto r1 = replay(ns(), Platform::cray_ymp(), 1);
+  const auto r8 = replay(ns(), Platform::cray_ymp(), 8);
+  const double speedup = r1.exec_time / r8.exec_time;
+  EXPECT_GT(speedup, 6.5);
+  EXPECT_LT(speedup, 8.0);  // Amdahl + sync keep it under ideal
+}
+
+TEST(Replay, DeterministicAcrossRuns) {
+  const auto a = replay(ns(), Platform::cray_t3d(), 16);
+  const auto b = replay(ns(), Platform::cray_t3d(), 16);
+  EXPECT_DOUBLE_EQ(a.exec_time, b.exec_time);
+  EXPECT_DOUBLE_EQ(a.avg_wait(), b.avg_wait());
+}
+
+TEST(Replay, AggregatesConsistent) {
+  const auto r = replay(ns(), Platform::ibm_sp_mpl(), 8);
+  EXPECT_GT(r.total_messages(), 0.0);
+  EXPECT_GT(r.total_bytes(), 0.0);
+  EXPECT_GE(r.max_busy(), r.avg_busy());
+}
+
+TEST(Replay, DashScalesAlmostPerfectly) {
+  // Implicit cc-NUMA communication removes the start-up tax: efficiency
+  // at 16 processors stays high despite the slow node.
+  const auto r1 = replay(ns(), Platform::dash(), 1);
+  const auto r16 = replay(ns(), Platform::dash(), 16);
+  const double eff = r1.exec_time / r16.exec_time / 16.0;
+  EXPECT_GT(eff, 0.8);
+  // But the 33 MHz node keeps absolute time behind the T3D at 16.
+  EXPECT_GT(r16.exec_time, replay(ns(), Platform::cray_t3d(), 16).exec_time);
+}
+
+TEST(Replay, DashCoherenceCostIsVisibleButSmall) {
+  const auto p1 = replay(ns(), Platform::dash(), 8);
+  auto no_numa = Platform::dash();
+  no_numa.numa_remote_miss_s = 0;
+  const auto p2 = replay(ns(), no_numa, 8);
+  EXPECT_GT(p1.exec_time, p2.exec_time);
+  EXPECT_LT(p1.exec_time, 1.15 * p2.exec_time);
+}
+
+TEST(Replay, TwoProcessorsHalveComputeTime) {
+  const auto r1 = replay(ns(), Platform::lace590_allnode_f(), 1);
+  const auto r2 = replay(ns(), Platform::lace590_allnode_f(), 2);
+  EXPECT_NEAR(r2.ranks[0].compute, r1.ranks[0].compute / 2.0,
+              0.02 * r1.ranks[0].compute);
+}
+
+}  // namespace
+}  // namespace nsp::perf

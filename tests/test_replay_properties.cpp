@@ -1,0 +1,109 @@
+// Property sweeps of the replay engine across every (platform,
+// equations, processor-count) combination: sanity invariants that must
+// hold regardless of calibration values.
+#include <gtest/gtest.h>
+
+#include "perf/replay.hpp"
+
+namespace nsp::perf {
+namespace {
+
+using arch::Equations;
+using arch::Platform;
+
+struct Combo {
+  std::size_t platform_index;
+  Equations eq;
+};
+
+class ReplaySweep : public ::testing::TestWithParam<Combo> {
+ protected:
+  Platform platform() const {
+    return Platform::all()[GetParam().platform_index];
+  }
+  AppModel app() const { return AppModel::paper(GetParam().eq); }
+};
+
+TEST_P(ReplaySweep, BusyTimeFallsMonotonicallyWithP) {
+  const auto plat = platform();
+  const auto a = app();
+  double prev = 1e300;
+  for (int p : {1, 2, 4, 8}) {
+    if (p > plat.max_procs) break;
+    const auto r = replay(a, plat, p);
+    EXPECT_LT(r.avg_busy(), prev) << plat.name << " P=" << p;
+    prev = r.avg_busy();
+  }
+}
+
+TEST_P(ReplaySweep, ComputeWorkIsConserved) {
+  // Total compute seconds across ranks ~ P-independent (same points).
+  const auto plat = platform();
+  const auto a = app();
+  if (plat.shared_memory) GTEST_SKIP() << "analytic path";
+  const auto r1 = replay(a, plat, 1);
+  const auto r8 = replay(a, plat, 8);
+  double total8 = 0;
+  for (const auto& rk : r8.ranks) total8 += rk.compute;
+  EXPECT_NEAR(total8, r1.ranks[0].compute, 0.02 * r1.ranks[0].compute)
+      << plat.name;
+}
+
+TEST_P(ReplaySweep, ExecAtLeastBusiestRank) {
+  const auto r = replay(app(), platform(), std::min(8, platform().max_procs));
+  EXPECT_GE(r.exec_time * 1.0001, r.max_busy());
+}
+
+TEST_P(ReplaySweep, WaitsAreNonNegative) {
+  const auto r = replay(app(), platform(), std::min(8, platform().max_procs));
+  for (const auto& rk : r.ranks) {
+    EXPECT_GE(rk.wait, 0.0);
+    EXPECT_GE(rk.compute, 0.0);
+    EXPECT_GE(rk.sw_overhead, 0.0);
+  }
+}
+
+TEST_P(ReplaySweep, FinishTimesWithinExec) {
+  const auto r = replay(app(), platform(), std::min(8, platform().max_procs));
+  for (const auto& rk : r.ranks) {
+    EXPECT_LE(rk.finish, r.exec_time + 1e-9);
+    EXPECT_GT(rk.finish, 0.0);
+  }
+}
+
+TEST_P(ReplaySweep, EdgeRanksNeverBusierThanInterior) {
+  const auto plat = platform();
+  if (plat.shared_memory) GTEST_SKIP();
+  const auto r = replay(app(), plat, 8);
+  // Edge ranks do the same compute but fewer sends; with equal block
+  // widths (250/8 is not integral, so allow width effects) their busy
+  // time must not exceed the busiest interior rank by more than one
+  // column's worth.
+  const double interior_max =
+      std::max(r.ranks[3].busy(), r.ranks[4].busy());
+  EXPECT_LE(r.ranks[0].busy(), interior_max * 1.10);
+}
+
+std::vector<Combo> all_combos() {
+  std::vector<Combo> cs;
+  for (std::size_t k = 0; k < Platform::all().size(); ++k) {
+    cs.push_back({k, Equations::NavierStokes});
+    cs.push_back({k, Equations::Euler});
+  }
+  return cs;
+}
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  std::string n = Platform::all()[info.param.platform_index].name + "_" +
+                  (info.param.eq == Equations::NavierStokes ? "NS" : "Euler");
+  for (char& c : n) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, ReplaySweep,
+                         ::testing::ValuesIn(all_combos()), combo_name);
+
+}  // namespace
+}  // namespace nsp::perf

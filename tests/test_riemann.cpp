@@ -1,0 +1,174 @@
+#include "core/riemann.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/solver.hpp"
+
+namespace nsp::core {
+namespace {
+
+Gas gas() { return Gas{}; }  // gamma = 1.4
+
+TEST(Riemann, TrivialProblemStaysUniform) {
+  const RiemannState s{1.2, 0.4, 0.9};
+  RiemannSolution sol(gas(), s, s);
+  ASSERT_TRUE(sol.converged());
+  EXPECT_NEAR(sol.p_star(), 0.9, 1e-10);
+  EXPECT_NEAR(sol.u_star(), 0.4, 1e-10);
+  const RiemannState a = sol.sample(0.0);
+  EXPECT_NEAR(a.rho, 1.2, 1e-10);
+}
+
+TEST(Riemann, SodProblemStarValues) {
+  // Toro, Table 4.2, Test 1: p* = 0.30313, u* = 0.92745.
+  RiemannSolution sol(gas(), RiemannState{1.0, 0.0, 1.0},
+                      RiemannState{0.125, 0.0, 0.1});
+  ASSERT_TRUE(sol.converged());
+  EXPECT_NEAR(sol.p_star(), 0.30313, 2e-4);
+  EXPECT_NEAR(sol.u_star(), 0.92745, 2e-4);
+  EXPECT_FALSE(sol.left_is_shock());
+  EXPECT_TRUE(sol.right_is_shock());
+}
+
+TEST(Riemann, TwoShockCollision) {
+  // Toro Test 5-like: two streams colliding -> two shocks.
+  RiemannSolution sol(gas(), RiemannState{1.0, 2.0, 1.0},
+                      RiemannState{1.0, -2.0, 1.0});
+  ASSERT_TRUE(sol.converged());
+  EXPECT_TRUE(sol.left_is_shock());
+  EXPECT_TRUE(sol.right_is_shock());
+  EXPECT_NEAR(sol.u_star(), 0.0, 1e-10);  // symmetric
+  EXPECT_GT(sol.p_star(), 1.0);
+}
+
+TEST(Riemann, TwoRarefactions) {
+  RiemannSolution sol(gas(), RiemannState{1.0, -0.5, 1.0},
+                      RiemannState{1.0, 0.5, 1.0});
+  ASSERT_TRUE(sol.converged());
+  EXPECT_FALSE(sol.left_is_shock());
+  EXPECT_FALSE(sol.right_is_shock());
+  EXPECT_LT(sol.p_star(), 1.0);
+}
+
+TEST(Riemann, ContactPreservesPressureAndVelocity) {
+  RiemannSolution sol(gas(), RiemannState{1.0, 0.3, 0.7},
+                      RiemannState{2.0, 0.3, 0.7});
+  ASSERT_TRUE(sol.converged());
+  // Pure contact: no waves, p and u unchanged, density jumps advect.
+  EXPECT_NEAR(sol.p_star(), 0.7, 1e-9);
+  EXPECT_NEAR(sol.u_star(), 0.3, 1e-9);
+  EXPECT_NEAR(sol.sample(0.29).rho, 1.0, 1e-6);
+  EXPECT_NEAR(sol.sample(0.31).rho, 2.0, 1e-6);
+}
+
+TEST(Riemann, SampleIsPiecewiseConsistent) {
+  RiemannSolution sol(gas(), RiemannState{1.0, 0.0, 1.0},
+                      RiemannState{0.125, 0.0, 0.1});
+  // Far left/right recover the inputs.
+  EXPECT_NEAR(sol.sample(-10.0).rho, 1.0, 1e-12);
+  EXPECT_NEAR(sol.sample(+10.0).rho, 0.125, 1e-12);
+  // Pressure is continuous across the contact.
+  EXPECT_NEAR(sol.sample(sol.u_star() - 1e-9).p,
+              sol.sample(sol.u_star() + 1e-9).p, 1e-6);
+  // Monotone pressure through the left rarefaction.
+  double prev = 1.0;
+  for (double xi = -1.2; xi < sol.u_star(); xi += 0.01) {
+    const double p = sol.sample(xi).p;
+    EXPECT_LE(p, prev + 1e-9);
+    prev = p;
+  }
+}
+
+TEST(Riemann, InvalidStatesThrow) {
+  EXPECT_THROW(RiemannSolution(gas(), RiemannState{-1, 0, 1},
+                               RiemannState{1, 0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(RiemannSolution(gas(), RiemannState{1, 0, 0},
+                               RiemannState{1, 0, 1}),
+               std::invalid_argument);
+}
+
+// ---- Shock-tube validation of the 2-4 MacCormack solver ----
+
+/// Runs a mild Riemann problem through the full axisymmetric solver
+/// (uniform in r, so the problem is purely axial) and returns the L1
+/// density error against the exact solution.
+double shock_tube_l1_error(double p_ratio, int ni, double* shock_pos_err) {
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(ni, 6);
+  cfg.viscous = false;
+  cfg.left = XBoundary::Halo;   // free (extrapolated-flux) ends;
+  cfg.right = XBoundary::Halo;  // the waves stay interior
+  cfg.far_field = RBoundary::ZeroGradient;  // not a jet problem
+  cfg.jet.eps = 0.0;
+  cfg.smoothing = 0.004;  // the 2-4 scheme needs smoothing at shocks
+  Solver s(cfg);
+  s.initialize();
+
+  const Gas g = cfg.jet.gas;
+  const double x_mid = 25.0;
+  const RiemannState L{1.0, 0.0, p_ratio * 1.0 / g.gamma};
+  const RiemannState R{0.8, 0.0, 1.0 / g.gamma};
+  StateField& q = s.mutable_state();
+  for (int j = -kGhost; j < cfg.grid.nj + kGhost; ++j) {
+    for (int i = -kGhost; i < cfg.grid.ni + kGhost; ++i) {
+      const RiemannState& w = cfg.grid.x(i) < x_mid ? L : R;
+      q.rho(i, j) = w.rho;
+      q.mx(i, j) = w.rho * w.u;
+      q.mr(i, j) = 0.0;
+      q.e(i, j) = g.total_energy(w.rho, w.u, 0.0, w.p);
+    }
+  }
+  const double t_final = 8.0;
+  s.run(static_cast<int>(std::ceil(t_final / s.dt())));
+  const double t = s.time();
+
+  RiemannSolution exact(g, L, R);
+  double err = 0;
+  for (int i = 0; i < cfg.grid.ni; ++i) {
+    const double xi = (cfg.grid.x(i) - x_mid) / t;
+    err += std::fabs(s.state().rho(i, 2) - exact.sample(xi).rho);
+  }
+  err /= cfg.grid.ni;
+
+  if (shock_pos_err) {
+    // Locate the numerical shock as the steepest density drop right of
+    // the contact and compare with the exact shock position.
+    const double exact_pos = x_mid + exact.right_shock_speed() * t;
+    int best_i = 0;
+    double best_drop = 0;
+    for (int i = 1; i < cfg.grid.ni - 1; ++i) {
+      if (cfg.grid.x(i) < x_mid + exact.u_star() * t) continue;
+      const double drop = s.state().rho(i - 1, 2) - s.state().rho(i + 1, 2);
+      if (drop > best_drop) {
+        best_drop = drop;
+        best_i = i;
+      }
+    }
+    *shock_pos_err = std::fabs(cfg.grid.x(best_i) - exact_pos);
+  }
+  return err;
+}
+
+TEST(ShockTube, MildShockMatchesExactSolution) {
+  double pos_err = 0;
+  const double l1 = shock_tube_l1_error(2.0, 200, &pos_err);
+  EXPECT_LT(l1, 0.02);             // ~1-2% mean density error
+  EXPECT_LT(pos_err, 3 * 50.0 / 200);  // shock within ~3 cells
+}
+
+TEST(ShockTube, ErrorShrinksWithResolution) {
+  const double coarse = shock_tube_l1_error(2.0, 100, nullptr);
+  const double fine = shock_tube_l1_error(2.0, 300, nullptr);
+  EXPECT_LT(fine, 0.7 * coarse);
+}
+
+TEST(ShockTube, StrongerShockStillBounded) {
+  const double l1 = shock_tube_l1_error(3.0, 200, nullptr);
+  EXPECT_LT(l1, 0.05);
+}
+
+}  // namespace
+}  // namespace nsp::core

@@ -1,0 +1,97 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace nsp::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int k = 0; k < 100; ++k) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int k = 0; k < 64; ++k) same += a.next_u64() == b.next_u64();
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const auto x0 = a.next_u64();
+  a.next_u64();
+  a.reseed(7);
+  EXPECT_EQ(a.next_u64(), x0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(3);
+  for (int k = 0; k < 10000; ++k) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(5);
+  double s = 0;
+  const int n = 100000;
+  for (int k = 0; k < n; ++k) s += r.uniform();
+  EXPECT_NEAR(s / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(11);
+  for (int k = 0; k < 1000; ++k) {
+    const double u = r.uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(13);
+  for (int k = 0; k < 1000; ++k) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng r(17);
+  double s = 0;
+  const int n = 100000;
+  for (int k = 0; k < n; ++k) s += r.exponential(2.5);
+  EXPECT_NEAR(s / n, 2.5, 0.05);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng r(19);
+  for (int k = 0; k < 1000; ++k) EXPECT_GE(r.exponential(1.0), 0.0);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(23);
+  double s = 0, s2 = 0;
+  const int n = 200000;
+  for (int k = 0; k < n; ++k) {
+    const double x = r.normal();
+    s += x;
+    s2 += x * x;
+  }
+  EXPECT_NEAR(s / n, 0.0, 0.01);
+  EXPECT_NEAR(s2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaleAndShift) {
+  Rng r(29);
+  double s = 0;
+  const int n = 50000;
+  for (int k = 0; k < n; ++k) s += r.normal(10.0, 0.5);
+  EXPECT_NEAR(s / n, 10.0, 0.02);
+}
+
+}  // namespace
+}  // namespace nsp::sim

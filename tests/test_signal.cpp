@@ -1,0 +1,101 @@
+#include "io/signal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace nsp::io {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+std::vector<double> sine(double amp, double freq, double dt, int n,
+                         double offset = 0.0, double phase = 0.0) {
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    x[static_cast<std::size_t>(k)] =
+        offset + amp * std::cos(kTwoPi * freq * k * dt + phase);
+  }
+  return x;
+}
+
+TEST(Signal, MeanAndRms) {
+  const auto x = sine(2.0, 1.0, 0.01, 1000, 5.0);
+  EXPECT_NEAR(mean(x), 5.0, 0.01);
+  EXPECT_NEAR(rms(x), 2.0 / std::sqrt(2.0), 0.01);
+}
+
+TEST(Signal, EmptyRecordSafe) {
+  std::vector<double> x;
+  EXPECT_EQ(mean(x), 0.0);
+  EXPECT_EQ(rms(x), 0.0);
+  EXPECT_TRUE(amplitude_spectrum(x, 0.1).amplitude.empty());
+  EXPECT_EQ(project_tone(x, 0.1, 1.0).amplitude, 0.0);
+}
+
+TEST(Signal, SpectrumPeaksAtInputFrequency) {
+  // A 3 Hz tone sampled at 100 Hz for an integer number of periods.
+  const double dt = 0.01;
+  const int n = 300;  // 9 full periods of 3 Hz
+  const auto x = sine(1.5, 3.0, dt, n);
+  const Spectrum s = amplitude_spectrum(x, dt, /*hann=*/false);
+  const std::size_t peak = dominant_bin(s);
+  EXPECT_NEAR(s.frequency[peak], 3.0, 0.2);
+  EXPECT_NEAR(s.amplitude[peak], 1.5, 0.05);
+}
+
+TEST(Signal, HannWindowRecoversAmplitudeOffBin) {
+  // Non-integer periods: the Hann window controls leakage and the
+  // corrected amplitude stays near the truth.
+  const double dt = 0.01;
+  const auto x = sine(1.0, 3.37, dt, 512);
+  const Spectrum s = amplitude_spectrum(x, dt, /*hann=*/true);
+  const std::size_t peak = dominant_bin(s);
+  EXPECT_NEAR(s.frequency[peak], 3.37, 0.3);
+  EXPECT_NEAR(s.amplitude[peak], 1.0, 0.2);
+}
+
+TEST(Signal, TwoTonesBothVisible) {
+  const double dt = 0.005;
+  const int n = 800;
+  auto x = sine(1.0, 5.0, dt, n);
+  const auto y = sine(0.4, 20.0, dt, n);
+  for (int k = 0; k < n; ++k) x[static_cast<std::size_t>(k)] += y[static_cast<std::size_t>(k)];
+  const Spectrum s = amplitude_spectrum(x, dt, false);
+  double a5 = 0, a20 = 0;
+  for (std::size_t b = 0; b < s.frequency.size(); ++b) {
+    if (std::fabs(s.frequency[b] - 5.0) < 0.3) a5 = std::max(a5, s.amplitude[b]);
+    if (std::fabs(s.frequency[b] - 20.0) < 0.3) a20 = std::max(a20, s.amplitude[b]);
+  }
+  EXPECT_NEAR(a5, 1.0, 0.1);
+  EXPECT_NEAR(a20, 0.4, 0.1);
+}
+
+TEST(Signal, ProjectToneAmplitudeAndPhase) {
+  const double dt = 0.002;
+  const double f = 7.0;
+  const double phase = 0.6;
+  const auto x = sine(0.8, f, dt, 2000, /*offset=*/3.0, phase);
+  const ToneEstimate t = project_tone(x, dt, kTwoPi * f);
+  EXPECT_NEAR(t.amplitude, 0.8, 0.01);
+  // cos(wt + phase) = cos(phase)cos(wt) - sin(phase)sin(wt):
+  // projection convention gives atan2(im, re) = -phase.
+  EXPECT_NEAR(std::fabs(t.phase), phase, 0.05);
+}
+
+TEST(Signal, ProjectToneIgnoresOtherFrequencies) {
+  const double dt = 0.002;
+  const auto x = sine(1.0, 7.0, dt, 3500);  // integer periods of 7 Hz
+  const ToneEstimate t = project_tone(x, dt, kTwoPi * 19.0);
+  EXPECT_LT(t.amplitude, 0.02);
+}
+
+TEST(Signal, SpectrumFrequencyAxisEndsNearNyquist) {
+  const double dt = 0.01;
+  const Spectrum s = amplitude_spectrum(sine(1.0, 3.0, dt, 256), dt, true);
+  EXPECT_NEAR(s.frequency.back(), 0.5 / dt, 1.0 / (256 * dt) + 1e-12);
+}
+
+}  // namespace
+}  // namespace nsp::io

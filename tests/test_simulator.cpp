@@ -1,0 +1,143 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace nsp::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.at(3.0, [&] { order.push_back(3); });
+  s.at(1.0, [&] { order.push_back(1); });
+  s.at(2.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 3.0);
+}
+
+TEST(Simulator, EqualTimestampsAreFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int k = 0; k < 10; ++k) s.at(1.0, [&order, k] { order.push_back(k); });
+  s.run();
+  for (int k = 0; k < 10; ++k) EXPECT_EQ(order[static_cast<std::size_t>(k)], k);
+}
+
+TEST(Simulator, AfterSchedulesRelativeToNow) {
+  Simulator s;
+  double fired_at = -1;
+  s.at(5.0, [&] {
+    s.after(2.5, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator s;
+  s.at(10.0, [] {});
+  s.run();
+  EXPECT_THROW(s.at(5.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool ran = false;
+  const EventId id = s.at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelOfExecutedEventReturnsFalse) {
+  Simulator s;
+  const EventId id = s.at(1.0, [] {});
+  s.run();
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Simulator, DoubleCancelReturnsFalse) {
+  Simulator s;
+  const EventId id = s.at(1.0, [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Simulator, CancelUnknownIdReturnsFalse) {
+  Simulator s;
+  EXPECT_FALSE(s.cancel(12345));
+  EXPECT_FALSE(s.cancel(0));
+}
+
+TEST(Simulator, RunUntilStopsAtBound) {
+  Simulator s;
+  int count = 0;
+  for (int k = 1; k <= 10; ++k) s.at(k, [&] { ++count; });
+  s.run(5.0);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.pending(), 5u);
+  s.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator s;
+  int count = 0;
+  s.at(1.0, [&] { ++count; });
+  s.at(2.0, [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, EventsCanScheduleCascades) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) s.after(0.1, recurse);
+  };
+  s.after(0.0, recurse);
+  const std::uint64_t n = s.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(n, 100u);
+  EXPECT_NEAR(s.now(), 9.9, 1e-9);
+}
+
+TEST(Simulator, ExecutedCounterAccumulates) {
+  Simulator s;
+  for (int k = 0; k < 7; ++k) s.at(k, [] {});
+  s.run();
+  EXPECT_EQ(s.executed(), 7u);
+}
+
+TEST(Simulator, PendingExcludesCancelled) {
+  Simulator s;
+  const EventId a = s.at(1.0, [] {});
+  s.at(2.0, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Simulator, ZeroDelayEventRunsAtCurrentTime) {
+  Simulator s;
+  double t = -1;
+  s.at(4.0, [&] { s.after(0.0, [&] { t = s.now(); }); });
+  s.run();
+  EXPECT_DOUBLE_EQ(t, 4.0);
+}
+
+}  // namespace
+}  // namespace nsp::sim

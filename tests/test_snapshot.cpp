@@ -1,0 +1,152 @@
+#include "io/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/solver.hpp"
+
+namespace nsp::io {
+namespace {
+
+using core::Grid;
+using core::Solver;
+using core::SolverConfig;
+using core::StateField;
+
+std::string tmp_path(const char* name) {
+  return std::string("/tmp/nsp_snap_") + name;
+}
+
+TEST(Snapshot, RoundTripPreservesEverything) {
+  StateField q(12, 7);
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    for (int j = -core::kGhost; j < 7 + core::kGhost; ++j) {
+      for (int i = -core::kGhost; i < 12 + core::kGhost; ++i) {
+        q[c](i, j) = c * 1000.0 + i * 10.0 + j * 0.1;
+      }
+    }
+  }
+  SnapshotInfo out{12, 7, 42, 3.25, 0.01, false};
+  const std::string path = tmp_path("roundtrip.bin");
+  ASSERT_TRUE(write_snapshot(path, q, out));
+
+  StateField r;
+  SnapshotInfo in;
+  ASSERT_TRUE(read_snapshot(path, r, in));
+  EXPECT_EQ(in.ni, 12);
+  EXPECT_EQ(in.nj, 7);
+  EXPECT_EQ(in.steps, 42);
+  EXPECT_DOUBLE_EQ(in.time, 3.25);
+  EXPECT_DOUBLE_EQ(in.dt, 0.01);
+  EXPECT_FALSE(in.viscous);
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    for (int j = -core::kGhost; j < 7 + core::kGhost; ++j) {
+      for (int i = -core::kGhost; i < 12 + core::kGhost; ++i) {
+        ASSERT_EQ(r[c](i, j), q[c](i, j));
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, MissingFileFails) {
+  StateField q;
+  SnapshotInfo info;
+  EXPECT_FALSE(read_snapshot("/tmp/nsp_definitely_missing.bin", q, info));
+}
+
+TEST(Snapshot, BadMagicRejected) {
+  const std::string path = tmp_path("badmagic.bin");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "NOTASNAPSHOT and then some padding to exceed the header size....";
+  }
+  StateField q;
+  SnapshotInfo info;
+  EXPECT_FALSE(read_snapshot(path, q, info));
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, TruncatedFileRejected) {
+  StateField q(8, 8);
+  const std::string path = tmp_path("trunc.bin");
+  ASSERT_TRUE(write_snapshot(path, q, SnapshotInfo{8, 8, 0, 0, 0, true}));
+  // Truncate to half.
+  std::ifstream in(path, std::ios::binary);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(all.data(), static_cast<std::streamsize>(all.size() / 2));
+  out.close();
+  StateField r;
+  SnapshotInfo info;
+  EXPECT_FALSE(read_snapshot(path, r, info));
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, CheckpointRestartIsBitExact) {
+  // run(24) == run(12); checkpoint; restore; run(12).
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(48, 20);
+  Solver a(cfg);
+  a.initialize();
+  a.run(24);
+
+  Solver b(cfg);
+  b.initialize();
+  b.run(12);
+  const std::string path = tmp_path("restart.bin");
+  ASSERT_TRUE(write_snapshot(
+      path, b.state(),
+      SnapshotInfo{48, 20, b.steps_taken(), b.time(), b.dt(), true}));
+
+  StateField saved;
+  SnapshotInfo info;
+  ASSERT_TRUE(read_snapshot(path, saved, info));
+  Solver c(cfg);
+  c.restore(saved, info.time, info.steps);
+  c.run(12);
+
+  for (int c_idx = 0; c_idx < StateField::kComponents; ++c_idx) {
+    for (int j = 0; j < 20; ++j) {
+      for (int i = 0; i < 48; ++i) {
+        ASSERT_EQ(c.state()[c_idx](i, j), a.state()[c_idx](i, j))
+            << "c=" << c_idx << " i=" << i << " j=" << j;
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, RestoreRejectsWrongDimensions) {
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(40, 16);
+  Solver s(cfg);
+  s.initialize();
+  StateField wrong(10, 10);
+  EXPECT_THROW(s.restore(wrong, 0.0, 0), std::invalid_argument);
+}
+
+TEST(Snapshot, FieldCsvHasCoordinatesAndValues) {
+  Grid g = Grid::coarse(4, 2);
+  core::Field2D f(4, 2);
+  f(0, 0) = 7.5;
+  const std::string path = tmp_path("field.csv");
+  ASSERT_TRUE(write_field_csv(path, g, f));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,r,value");
+  std::getline(in, line);
+  EXPECT_NE(line.find("7.5"), std::string::npos);
+  int rows = 1;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 4 * 2);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nsp::io

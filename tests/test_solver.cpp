@@ -1,0 +1,191 @@
+#include "core/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nsp::core {
+namespace {
+
+SolverConfig jet_config(int ni = 60, int nj = 24) {
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(ni, nj);
+  cfg.viscous = true;
+  return cfg;
+}
+
+TEST(Solver, InitializeSetsMeanFlowAndPositiveDt) {
+  Solver s(jet_config());
+  s.initialize();
+  EXPECT_GT(s.dt(), 0.0);
+  EXPECT_EQ(s.steps_taken(), 0);
+  EXPECT_NEAR(s.state().rho(10, 0), 1.0, 0.05);       // jet core
+  EXPECT_NEAR(s.state().rho(10, 23), 2.0, 0.05);      // cold free stream
+  EXPECT_NEAR(s.max_mach(), 1.5, 0.05);
+}
+
+TEST(Solver, StepAdvancesTimeAndCounters) {
+  Solver s(jet_config());
+  s.initialize();
+  s.step();
+  EXPECT_EQ(s.steps_taken(), 1);
+  EXPECT_NEAR(s.time(), s.dt(), 1e-15);
+  s.run(3);
+  EXPECT_EQ(s.steps_taken(), 4);
+}
+
+TEST(Solver, StableOverManyStepsNavierStokes) {
+  Solver s(jet_config());
+  s.initialize();
+  s.run(200);
+  EXPECT_TRUE(s.finite());
+  EXPECT_LT(s.max_mach(), 2.5);
+  EXPECT_GT(s.max_mach(), 1.0);
+}
+
+TEST(Solver, StableOverManyStepsEuler) {
+  SolverConfig cfg = jet_config();
+  cfg.viscous = false;
+  Solver s(cfg);
+  s.initialize();
+  s.run(200);
+  EXPECT_TRUE(s.finite());
+}
+
+TEST(Solver, PaperGridRunsStably) {
+  SolverConfig cfg;
+  cfg.grid = Grid::paper();
+  Solver s(cfg);
+  s.initialize();
+  s.run(50);
+  EXPECT_TRUE(s.finite());
+  EXPECT_LT(s.max_mach(), 2.0);
+}
+
+TEST(Solver, ExcitationPerturbsTheFlow) {
+  // With excitation the flow must depart from the steady mean near the
+  // inflow; without it the departure is much smaller.
+  SolverConfig excited = jet_config(80, 32);
+  SolverConfig quiet = excited;
+  quiet.jet.eps = 0.0;
+  Solver se(excited), sq(quiet);
+  se.initialize();
+  sq.initialize();
+  se.run(100);
+  sq.run(100);
+  double dev_e = 0, dev_q = 0;
+  for (int j = 0; j < 32; ++j) {
+    for (int i = 0; i < 20; ++i) {  // near-nozzle region
+      dev_e = std::max(dev_e, std::fabs(se.state().mr(i, j)));
+      dev_q = std::max(dev_q, std::fabs(sq.state().mr(i, j)));
+    }
+  }
+  EXPECT_GT(dev_e, 1e-7);  // the excitation injects radial momentum
+}
+
+TEST(Solver, FlopCountingScalesWithWork) {
+  SolverConfig cfg = jet_config(40, 16);
+  cfg.count_flops = true;
+  Solver s(cfg);
+  s.initialize();
+  s.run(2);
+  const double f2 = s.flops().total();
+  s.run(2);
+  EXPECT_NEAR(s.flops().total(), 2.0 * f2, 0.01 * f2);
+  EXPECT_GT(f2, 100.0 * 40 * 16);  // hundreds of flops per point per step
+}
+
+TEST(Solver, EulerCheaperThanNavierStokes) {
+  // Table 1: Euler has roughly 50% of the computation.
+  SolverConfig ns = jet_config(40, 16);
+  ns.count_flops = true;
+  SolverConfig eu = ns;
+  eu.viscous = false;
+  Solver a(ns), b(eu);
+  a.initialize();
+  b.initialize();
+  a.run(5);
+  b.run(5);
+  const double ratio = b.flops().total() / a.flops().total();
+  EXPECT_LT(ratio, 0.8);
+  EXPECT_GT(ratio, 0.3);
+}
+
+TEST(Solver, AxialMomentumFieldShapedLikeAJet) {
+  Solver s(jet_config(60, 24));
+  s.initialize();
+  s.run(20);
+  const auto mx = s.axial_momentum();
+  ASSERT_EQ(mx.size(), 60u * 24u);
+  // Core momentum ~ rho u = 1.5; free stream ~ 0.
+  EXPECT_GT(mx[30 * 24 + 0], 1.0);
+  EXPECT_LT(std::fabs(mx[30 * 24 + 23]), 0.1);
+}
+
+TEST(Solver, SmoothingKeepsUniformFlowUniform) {
+  SolverConfig cfg = jet_config(40, 16);
+  cfg.jet.u_coflow = cfg.jet.mach_c = 0.5;
+  cfg.jet.t_ratio = 1.0;
+  cfg.jet.eps = 0.0;
+  cfg.viscous = false;
+  cfg.smoothing = 0.01;
+  Solver s(cfg);
+  s.initialize();
+  s.run(10);
+  EXPECT_TRUE(s.finite());
+  EXPECT_NEAR(s.state().rho(20, 8), 1.0, 1e-10);
+}
+
+TEST(Solver, SutherlandViscosityRunsStably) {
+  SolverConfig cfg = jet_config(60, 24);
+  cfg.jet.gas.sutherland = true;
+  Solver s(cfg);
+  s.initialize();
+  s.run(100);
+  EXPECT_TRUE(s.finite());
+  EXPECT_LT(s.max_mach(), 2.5);
+}
+
+TEST(Solver, SutherlandChangesTheViscousSolution) {
+  SolverConfig a = jet_config(50, 20);
+  SolverConfig b = a;
+  b.jet.gas.sutherland = true;
+  Solver sa(a), sb(b);
+  sa.initialize();
+  sb.initialize();
+  sa.run(40);
+  sb.run(40);
+  double diff = 0;
+  for (int j = 0; j < 20; ++j) {
+    for (int i = 0; i < 50; ++i) {
+      diff = std::max(diff, std::fabs(sa.state().e(i, j) - sb.state().e(i, j)));
+    }
+  }
+  EXPECT_GT(diff, 0.0);   // the transport model matters...
+  EXPECT_LT(diff, 1e-2);  // ...but only through the thin shear layer
+}
+
+TEST(Solver, StepWithoutInitializeSelfInitializes) {
+  Solver s(jet_config(40, 16));
+  s.step();
+  EXPECT_EQ(s.steps_taken(), 1);
+  EXPECT_TRUE(s.finite());
+}
+
+TEST(Solver, ConservedIntegralPositive) {
+  Solver s(jet_config());
+  s.initialize();
+  EXPECT_GT(s.conserved_integral(0), 0.0);  // mass
+  EXPECT_GT(s.conserved_integral(3), 0.0);  // energy
+}
+
+TEST(Solver, DtScalesWithGridSpacing) {
+  Solver coarse(jet_config(40, 16));
+  Solver fine(jet_config(80, 32));
+  coarse.initialize();
+  fine.initialize();
+  EXPECT_NEAR(fine.dt() / coarse.dt(), 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace nsp::core

@@ -1,0 +1,220 @@
+#include "core/stability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/solver.hpp"
+
+namespace nsp::core::stability {
+namespace {
+
+Mode paper_mode() {
+  static const Mode mode = [] {
+    JetConfig jet;  // the paper's case: Mc=1.5, T ratio 1/2, St=1/8
+    return solve(jet, jet.omega());
+  }();
+  return mode;
+}
+
+TEST(Stability, ConvergesForThePaperCase) {
+  const Mode m = paper_mode();
+  ASSERT_TRUE(m.converged);
+  EXPECT_LT(m.residual, 1e-6);
+  EXPECT_LT(m.iterations, 60);
+}
+
+TEST(Stability, ShearLayerModeIsUnstable) {
+  // The excited jet column is convectively unstable: Im(alpha) < 0.
+  const Mode m = paper_mode();
+  ASSERT_TRUE(m.converged);
+  EXPECT_GT(m.growth_rate(), 0.0);
+  EXPECT_LT(m.growth_rate(), 1.0);  // but not absurdly so
+}
+
+TEST(Stability, PhaseSpeedBetweenStreams) {
+  // A Kelvin-Helmholtz-type mode convects between the free-stream and
+  // centerline speeds (allowing some compressible leeway).
+  const Mode m = paper_mode();
+  ASSERT_TRUE(m.converged);
+  EXPECT_GT(m.phase_speed(), 0.2);
+  EXPECT_LT(m.phase_speed(), 1.6);
+}
+
+TEST(Stability, EigenfunctionPeaksInShearLayer) {
+  const Mode m = paper_mode();
+  ASSERT_TRUE(m.converged);
+  double best = 0, r_peak = 0;
+  for (std::size_t k = 0; k < m.r.size(); ++k) {
+    if (std::abs(m.u[k]) > best) {
+      best = std::abs(m.u[k]);
+      r_peak = m.r[k];
+    }
+  }
+  EXPECT_NEAR(r_peak, 1.0, 0.3);
+}
+
+TEST(Stability, EigenfunctionDecaysInFarField) {
+  const Mode m = paper_mode();
+  ASSERT_TRUE(m.converged);
+  double u_far = 0;
+  for (std::size_t k = 0; k < m.r.size(); ++k) {
+    if (m.r[k] > 0.8 * m.r.back()) u_far = std::max(u_far, std::abs(m.u[k]));
+  }
+  EXPECT_LT(u_far, 0.05);  // vs the unit peak
+}
+
+TEST(Stability, MismatchVanishesAtTheEigenvalue) {
+  const Mode m = paper_mode();
+  ASSERT_TRUE(m.converged);
+  JetConfig jet;
+  const Options opts;
+  EXPECT_LT(std::abs(farfield_mismatch(jet, m.omega, m.alpha, opts)), 1e-6);
+  // And is O(1) away from it.
+  const Complex off = m.alpha * Complex{1.3, 0.0};
+  EXPECT_GT(std::abs(farfield_mismatch(jet, m.omega, off, opts)), 1e-3);
+}
+
+TEST(Stability, SatisfiesTheOdeAlongTheTrajectory) {
+  // Finite-difference the converged p(r) and plug it back into the
+  // Pridmore-Brown equation at mid-shear-layer points.
+  const Mode m = paper_mode();
+  ASSERT_TRUE(m.converged);
+  JetConfig jet;
+  const double gamma_r = 1e-6;
+  for (std::size_t k = m.r.size() / 4; k < 3 * m.r.size() / 4; k += 37) {
+    const double r = m.r[k];
+    const double h = m.r[k + 1] - m.r[k];
+    const Complex p = m.p[k];
+    const Complex dp = (m.p[k + 1] - m.p[k - 1]) / (2 * h);
+    const Complex d2p = (m.p[k + 1] - 2.0 * m.p[k] + m.p[k - 1]) / (h * h);
+    const double u = jet.mean_u(r);
+    const double t = jet.mean_t(r);
+    const double rho = jet.mean_rho(r);
+    const double du = (jet.mean_u(r + gamma_r) - jet.mean_u(r - gamma_r)) / (2 * gamma_r);
+    const double drho =
+        (jet.mean_rho(r + gamma_r) - jet.mean_rho(r - gamma_r)) / (2 * gamma_r);
+    const Complex w = m.omega - m.alpha * u;
+    const Complex res = d2p +
+                        (1.0 / r - drho / rho + 2.0 * m.alpha * du / w) * dp +
+                        (w * w / t - m.alpha * m.alpha) * p;
+    // Relative to the local solution scale.
+    const double scale = std::abs(p) * std::norm(m.alpha) + 1e-12;
+    EXPECT_LT(std::abs(res) / scale, 0.2) << "r=" << r;
+  }
+}
+
+TEST(Stability, GrowthRateVariesWithFrequency) {
+  JetConfig jet;
+  jet.strouhal = 0.0625;
+  const Mode low = solve(jet, jet.omega());
+  jet.strouhal = 0.125;
+  const Mode mid = solve(jet, jet.omega());
+  ASSERT_TRUE(low.converged);
+  ASSERT_TRUE(mid.converged);
+  EXPECT_GT(mid.growth_rate(), low.growth_rate());
+}
+
+TEST(Stability, CallerGuessIsHonoured) {
+  JetConfig jet;
+  const Mode ref = paper_mode();
+  ASSERT_TRUE(ref.converged);
+  Options opts;
+  opts.alpha_guess = ref.alpha * Complex{1.01, 0.0};
+  const Mode m = solve(jet, jet.omega(), opts);
+  ASSERT_TRUE(m.converged);
+  EXPECT_NEAR(m.alpha.real(), ref.alpha.real(), 1e-6);
+  EXPECT_NEAR(m.alpha.imag(), ref.alpha.imag(), 1e-6);
+  EXPECT_LE(m.iterations, ref.iterations);
+}
+
+TEST(Stability, ToEigenmodeScalesWithEpsilon) {
+  JetConfig jet;
+  const Mode m = paper_mode();
+  ASSERT_TRUE(m.converged);
+  jet.eps = 1e-4;
+  const EigenMode e1 = to_eigenmode(m, jet);
+  jet.eps = 2e-4;
+  const EigenMode e2 = to_eigenmode(m, jet);
+  const double u1 = e1.perturbation(1.0, 0.4).u;
+  const double u2 = e2.perturbation(1.0, 0.4).u;
+  EXPECT_NEAR(u2, 2.0 * u1, 1e-12);
+}
+
+TEST(Stability, ToEigenmodeFallsBackWhenNotConverged) {
+  JetConfig jet;
+  Mode bad;
+  bad.converged = false;
+  const EigenMode e = to_eigenmode(bad, jet);
+  // Must behave like the analytic mode (nonzero in the shear layer).
+  EXPECT_NE(e.perturbation(1.0, 0.0).u, 0.0);
+}
+
+TEST(Stability, ToEigenmodeOscillatesAtOmega) {
+  JetConfig jet;
+  const Mode m = paper_mode();
+  ASSERT_TRUE(m.converged);
+  const EigenMode e = to_eigenmode(m, jet);
+  constexpr double kTwoPi = 6.283185307179586;
+  const double a = e.perturbation(1.0, 0.0).u;
+  const double b = e.perturbation(1.0, kTwoPi).u;
+  EXPECT_NEAR(a, b, 1e-9);
+}
+
+TEST(Stability, HelicalModeConverges) {
+  // n = 1: the helical mode that often dominates round jets. The
+  // axisymmetric solver cannot be excited with it, but the eigenvalue
+  // tool handles it (the -n^2/r^2 term + r^n axis behaviour).
+  JetConfig jet;
+  Options opts;
+  opts.azimuthal_n = 1;
+  const Mode m = solve(jet, jet.omega(), opts);
+  ASSERT_TRUE(m.converged);
+  EXPECT_GT(m.growth_rate(), 0.0);
+  EXPECT_GT(m.phase_speed(), 0.2);
+  EXPECT_LT(m.phase_speed(), 1.6);
+}
+
+TEST(Stability, HelicalPressureVanishesOnAxis) {
+  JetConfig jet;
+  Options opts;
+  opts.azimuthal_n = 1;
+  const Mode m = solve(jet, jet.omega(), opts);
+  ASSERT_TRUE(m.converged);
+  // p ~ r^n near the axis: the innermost amplitude is far below the peak.
+  double pmax = 0;
+  for (const auto& p : m.p) pmax = std::max(pmax, std::abs(p));
+  EXPECT_LT(std::abs(m.p.front()), 0.1 * pmax);
+}
+
+TEST(Stability, HelicalDiffersFromAxisymmetric) {
+  JetConfig jet;
+  Options o0, o1;
+  o1.azimuthal_n = 1;
+  const Mode m0 = solve(jet, jet.omega(), o0);
+  const Mode m1 = solve(jet, jet.omega(), o1);
+  ASSERT_TRUE(m0.converged);
+  ASSERT_TRUE(m1.converged);
+  EXPECT_GT(std::abs(m1.alpha - m0.alpha), 1e-3);
+}
+
+TEST(Stability, SolverRunsWithRayleighInflow) {
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(60, 24);
+  cfg.rayleigh_inflow = true;
+  Solver s(cfg);
+  s.initialize();
+  s.run(60);
+  EXPECT_TRUE(s.finite());
+  // The eigenmode excitation injects radial momentum near the inflow.
+  double vmax = 0;
+  for (int j = 0; j < 24; ++j) {
+    for (int i = 0; i < 12; ++i) {
+      vmax = std::max(vmax, std::fabs(s.state().mr(i, j)));
+    }
+  }
+  EXPECT_GT(vmax, 1e-8);
+}
+
+}  // namespace
+}  // namespace nsp::core::stability

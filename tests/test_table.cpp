@@ -1,0 +1,107 @@
+#include "io/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nsp::io {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"Appln", "MFLOP", "Start-ups"});
+  t.row({"N-S", "145000", "80000"});
+  t.row({"Euler", "77000", "60000"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("Appln"), std::string::npos);
+  EXPECT_NE(s.find("N-S"), std::string::npos);
+  EXPECT_NE(s.find("145000"), std::string::npos);
+  EXPECT_NE(s.find("Euler"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, TitleAppearsAboveTable) {
+  Table t({"a"});
+  t.title("Table 1: Application Characteristics");
+  t.row({"x"});
+  const std::string s = t.str();
+  const auto title_pos = s.find("Table 1");
+  const auto header_pos = s.find("a");
+  ASSERT_NE(title_pos, std::string::npos);
+  EXPECT_LT(title_pos, header_pos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.row({"only"});
+  EXPECT_NO_THROW(t.str());
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, RuleSeparatesRowsWithoutCountingAsRow) {
+  Table t({"a"});
+  t.row({"1"});
+  t.rule();
+  t.row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+  // Rendered output has at least two all-dash rule lines (header + mid).
+  const std::string s = t.str();
+  int rules = 0;
+  std::istringstream is(s);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.find_first_not_of('-') == std::string::npos) ++rules;
+  }
+  EXPECT_GE(rules, 2);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"h", "value"});
+  t.row({"xxxxxxxx", "1"});
+  t.row({"y", "22"});
+  std::istringstream is(t.str());
+  std::string l1, l2, l3, l4;
+  std::getline(is, l1);  // header
+  std::getline(is, l2);  // rule
+  std::getline(is, l3);
+  std::getline(is, l4);
+  EXPECT_EQ(l3.size(), l4.size());
+}
+
+TEST(Table, StreamOperatorMatchesStr) {
+  Table t({"a"});
+  t.row({"1"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.str());
+}
+
+TEST(TableFormat, Fixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 0), "-1");
+}
+
+TEST(TableFormat, Scientific) {
+  EXPECT_EQ(format_sci(145000e6, 2), "1.45e+11");
+}
+
+TEST(TableFormat, SiSuffixesMatchPaperStyle) {
+  // Table 2 prints 906K, 113K etc.
+  EXPECT_EQ(format_si(906000), "906K");
+  EXPECT_EQ(format_si(113000), "113K");
+  EXPECT_EQ(format_si(1.2e6), "1.2M");
+  EXPECT_EQ(format_si(2.5e9), "2.50G");
+  EXPECT_EQ(format_si(42), "42");
+}
+
+TEST(TableFormat, Seconds) {
+  EXPECT_EQ(format_seconds(123.4), "123.4 s");
+  EXPECT_NE(format_seconds(1.0e6).find("e+"), std::string::npos);
+}
+
+TEST(TableFormat, Percent) {
+  EXPECT_EQ(format_percent(0.75), "75%");
+  EXPECT_EQ(format_percent(1.8), "180%");
+}
+
+}  // namespace
+}  // namespace nsp::io

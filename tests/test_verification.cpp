@@ -1,0 +1,76 @@
+#include "core/verification.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nsp::core {
+namespace {
+
+TEST(Verification, ObservedOrderExactForPowerLaw) {
+  // e = C h^3.
+  const double c = 2.5;
+  EXPECT_NEAR(observed_order(c * std::pow(0.2, 3), 0.2, c * std::pow(0.1, 3), 0.1),
+              3.0, 1e-12);
+}
+
+TEST(Verification, ObservedOrderInvalidInputs) {
+  EXPECT_EQ(observed_order(0.0, 0.2, 1.0, 0.1), 0.0);
+  EXPECT_EQ(observed_order(1.0, 0.1, 1.0, 0.2), 0.0);  // h not decreasing
+}
+
+TEST(Verification, ThreeGridRecoversOrderAndExact) {
+  // f(h) = f* + C h^p with p = 2, f* = 10.
+  const double p = 2.0, fstar = 10.0, c = 3.0;
+  const auto f = [&](double h) { return fstar + c * std::pow(h, p); };
+  const ConvergenceReport rep = analyze_convergence(
+      {0.4, f(0.4)}, {0.2, f(0.2)}, {0.1, f(0.1)});
+  ASSERT_TRUE(rep.valid);
+  EXPECT_NEAR(rep.observed_order, 2.0, 1e-9);
+  EXPECT_NEAR(rep.extrapolated, fstar, 1e-9);
+  EXPECT_NEAR(rep.asymptotic_ratio, 1.0, 1e-9);
+  EXPECT_GT(rep.gci_fine, 0.0);
+  EXPECT_GT(rep.gci_coarse, rep.gci_fine);
+}
+
+TEST(Verification, UnequalRefinementRatios) {
+  const double p = 4.0, fstar = -2.0, c = 1.0;
+  const auto f = [&](double h) { return fstar + c * std::pow(h, p); };
+  const ConvergenceReport rep = analyze_convergence(
+      {0.3, f(0.3)}, {0.2, f(0.2)}, {0.1, f(0.1)});
+  ASSERT_TRUE(rep.valid);
+  EXPECT_NEAR(rep.observed_order, 4.0, 0.01);
+  EXPECT_NEAR(rep.extrapolated, fstar, 1e-6);
+}
+
+TEST(Verification, OscillatoryConvergenceRejected) {
+  const ConvergenceReport rep =
+      analyze_convergence({0.4, 1.0}, {0.2, 3.0}, {0.1, 2.0});
+  EXPECT_FALSE(rep.valid);
+}
+
+TEST(Verification, BadOrderingRejected) {
+  EXPECT_FALSE(analyze_convergence({0.1, 1.0}, {0.2, 2.0}, {0.4, 3.0}).valid);
+  EXPECT_FALSE(analyze_convergence({0.4, 1.0}, {0.4, 2.0}, {0.1, 3.0}).valid);
+}
+
+TEST(Verification, FitOrderLeastSquares) {
+  std::vector<GridLevel> e;
+  for (double h : {0.4, 0.2, 0.1, 0.05}) {
+    e.push_back({h, 7.0 * std::pow(h, 2.5)});
+  }
+  EXPECT_NEAR(fit_order(e), 2.5, 1e-9);
+}
+
+TEST(Verification, FitOrderIgnoresDegenerateEntries) {
+  std::vector<GridLevel> e{{0.2, 1.0}, {0.1, 0.25}, {0.0, 5.0}, {0.05, 0.0}};
+  EXPECT_NEAR(fit_order(e), 2.0, 1e-9);
+}
+
+TEST(Verification, FitOrderNeedsTwoPoints) {
+  EXPECT_EQ(fit_order({{0.1, 1.0}}), 0.0);
+  EXPECT_EQ(fit_order({}), 0.0);
+}
+
+}  // namespace
+}  // namespace nsp::core

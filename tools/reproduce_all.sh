@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Builds everything, runs the full test suite, and regenerates every
+# table and figure of the paper into results/.
+#
+#   tools/reproduce_all.sh [build-dir]
+set -eu
+
+BUILD=${1:-build}
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$ROOT"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+echo "== tests =="
+ctest --test-dir "$BUILD" --output-on-failure
+
+mkdir -p results
+cd results
+echo "== benches =="
+for b in "$ROOT/$BUILD"/bench/*; do
+  name=$(basename "$b")
+  echo "--- $name"
+  "$b" > "$name.txt" 2>&1 || echo "    ($name exited nonzero)"
+done
+
+echo
+echo "Reports written to results/*.txt (CSV series alongside)."
