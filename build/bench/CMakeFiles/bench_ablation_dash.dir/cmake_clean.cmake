@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dash.dir/bench_ablation_dash.cpp.o"
+  "CMakeFiles/bench_ablation_dash.dir/bench_ablation_dash.cpp.o.d"
+  "bench_ablation_dash"
+  "bench_ablation_dash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_now_feasibility.dir/bench_ablation_now_feasibility.cpp.o"
+  "CMakeFiles/bench_ablation_now_feasibility.dir/bench_ablation_now_feasibility.cpp.o.d"
+  "bench_ablation_now_feasibility"
+  "bench_ablation_now_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_now_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

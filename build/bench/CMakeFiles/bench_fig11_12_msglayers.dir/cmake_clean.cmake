@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_12_msglayers.dir/bench_fig11_12_msglayers.cpp.o"
+  "CMakeFiles/bench_fig11_12_msglayers.dir/bench_fig11_12_msglayers.cpp.o.d"
+  "bench_fig11_12_msglayers"
+  "bench_fig11_12_msglayers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_12_msglayers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

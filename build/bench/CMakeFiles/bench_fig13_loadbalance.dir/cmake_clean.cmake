@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_loadbalance.dir/bench_fig13_loadbalance.cpp.o"
+  "CMakeFiles/bench_fig13_loadbalance.dir/bench_fig13_loadbalance.cpp.o.d"
+  "bench_fig13_loadbalance"
+  "bench_fig13_loadbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_contour.dir/bench_fig1_contour.cpp.o"
+  "CMakeFiles/bench_fig1_contour.dir/bench_fig1_contour.cpp.o.d"
+  "bench_fig1_contour"
+  "bench_fig1_contour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_contour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

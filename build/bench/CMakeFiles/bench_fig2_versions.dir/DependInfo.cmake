@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_versions.cpp" "bench/CMakeFiles/bench_fig2_versions.dir/bench_fig2_versions.cpp.o" "gcc" "bench/CMakeFiles/bench_fig2_versions.dir/bench_fig2_versions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/nsp_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/nsp_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/nsp_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/nsp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/nsp_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

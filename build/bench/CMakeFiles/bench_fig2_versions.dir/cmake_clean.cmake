@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_versions.dir/bench_fig2_versions.cpp.o"
+  "CMakeFiles/bench_fig2_versions.dir/bench_fig2_versions.cpp.o.d"
+  "bench_fig2_versions"
+  "bench_fig2_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

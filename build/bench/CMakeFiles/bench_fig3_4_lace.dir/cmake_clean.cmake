@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_4_lace.dir/bench_fig3_4_lace.cpp.o"
+  "CMakeFiles/bench_fig3_4_lace.dir/bench_fig3_4_lace.cpp.o.d"
+  "bench_fig3_4_lace"
+  "bench_fig3_4_lace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_4_lace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_6_components.dir/bench_fig5_6_components.cpp.o"
+  "CMakeFiles/bench_fig5_6_components.dir/bench_fig5_6_components.cpp.o.d"
+  "bench_fig5_6_components"
+  "bench_fig5_6_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_6_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_8_commopt.dir/bench_fig7_8_commopt.cpp.o"
+  "CMakeFiles/bench_fig7_8_commopt.dir/bench_fig7_8_commopt.cpp.o.d"
+  "bench_fig7_8_commopt"
+  "bench_fig7_8_commopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_8_commopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

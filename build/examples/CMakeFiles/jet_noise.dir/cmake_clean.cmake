@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jet_noise.dir/jet_noise.cpp.o"
+  "CMakeFiles/jet_noise.dir/jet_noise.cpp.o.d"
+  "jet_noise"
+  "jet_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jet_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsplab_cli.dir/nsplab_cli.cpp.o"
+  "CMakeFiles/nsplab_cli.dir/nsplab_cli.cpp.o.d"
+  "nsplab_cli"
+  "nsplab_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsplab_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

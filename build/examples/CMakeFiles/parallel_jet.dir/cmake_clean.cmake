@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_jet.dir/parallel_jet.cpp.o"
+  "CMakeFiles/parallel_jet.dir/parallel_jet.cpp.o.d"
+  "parallel_jet"
+  "parallel_jet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_jet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

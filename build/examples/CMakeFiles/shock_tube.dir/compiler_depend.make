@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shock_tube.
+# This may be replaced when dependencies are built.

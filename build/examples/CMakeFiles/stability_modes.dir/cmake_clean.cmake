@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stability_modes.dir/stability_modes.cpp.o"
+  "CMakeFiles/stability_modes.dir/stability_modes.cpp.o.d"
+  "stability_modes"
+  "stability_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stability_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cache.cpp" "src/arch/CMakeFiles/nsp_arch.dir/cache.cpp.o" "gcc" "src/arch/CMakeFiles/nsp_arch.dir/cache.cpp.o.d"
+  "/root/repo/src/arch/cpu_model.cpp" "src/arch/CMakeFiles/nsp_arch.dir/cpu_model.cpp.o" "gcc" "src/arch/CMakeFiles/nsp_arch.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/arch/kernel_profile.cpp" "src/arch/CMakeFiles/nsp_arch.dir/kernel_profile.cpp.o" "gcc" "src/arch/CMakeFiles/nsp_arch.dir/kernel_profile.cpp.o.d"
+  "/root/repo/src/arch/msglayer.cpp" "src/arch/CMakeFiles/nsp_arch.dir/msglayer.cpp.o" "gcc" "src/arch/CMakeFiles/nsp_arch.dir/msglayer.cpp.o.d"
+  "/root/repo/src/arch/network.cpp" "src/arch/CMakeFiles/nsp_arch.dir/network.cpp.o" "gcc" "src/arch/CMakeFiles/nsp_arch.dir/network.cpp.o.d"
+  "/root/repo/src/arch/platform.cpp" "src/arch/CMakeFiles/nsp_arch.dir/platform.cpp.o" "gcc" "src/arch/CMakeFiles/nsp_arch.dir/platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nsp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsp_arch.dir/cache.cpp.o"
+  "CMakeFiles/nsp_arch.dir/cache.cpp.o.d"
+  "CMakeFiles/nsp_arch.dir/cpu_model.cpp.o"
+  "CMakeFiles/nsp_arch.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/nsp_arch.dir/kernel_profile.cpp.o"
+  "CMakeFiles/nsp_arch.dir/kernel_profile.cpp.o.d"
+  "CMakeFiles/nsp_arch.dir/msglayer.cpp.o"
+  "CMakeFiles/nsp_arch.dir/msglayer.cpp.o.d"
+  "CMakeFiles/nsp_arch.dir/network.cpp.o"
+  "CMakeFiles/nsp_arch.dir/network.cpp.o.d"
+  "CMakeFiles/nsp_arch.dir/platform.cpp.o"
+  "CMakeFiles/nsp_arch.dir/platform.cpp.o.d"
+  "libnsp_arch.a"
+  "libnsp_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsp_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/boundary.cpp" "src/core/CMakeFiles/nsp_core.dir/boundary.cpp.o" "gcc" "src/core/CMakeFiles/nsp_core.dir/boundary.cpp.o.d"
+  "/root/repo/src/core/jet.cpp" "src/core/CMakeFiles/nsp_core.dir/jet.cpp.o" "gcc" "src/core/CMakeFiles/nsp_core.dir/jet.cpp.o.d"
+  "/root/repo/src/core/kernels.cpp" "src/core/CMakeFiles/nsp_core.dir/kernels.cpp.o" "gcc" "src/core/CMakeFiles/nsp_core.dir/kernels.cpp.o.d"
+  "/root/repo/src/core/riemann.cpp" "src/core/CMakeFiles/nsp_core.dir/riemann.cpp.o" "gcc" "src/core/CMakeFiles/nsp_core.dir/riemann.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/core/CMakeFiles/nsp_core.dir/solver.cpp.o" "gcc" "src/core/CMakeFiles/nsp_core.dir/solver.cpp.o.d"
+  "/root/repo/src/core/stability.cpp" "src/core/CMakeFiles/nsp_core.dir/stability.cpp.o" "gcc" "src/core/CMakeFiles/nsp_core.dir/stability.cpp.o.d"
+  "/root/repo/src/core/verification.cpp" "src/core/CMakeFiles/nsp_core.dir/verification.cpp.o" "gcc" "src/core/CMakeFiles/nsp_core.dir/verification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

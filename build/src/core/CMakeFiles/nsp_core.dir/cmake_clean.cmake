@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsp_core.dir/boundary.cpp.o"
+  "CMakeFiles/nsp_core.dir/boundary.cpp.o.d"
+  "CMakeFiles/nsp_core.dir/jet.cpp.o"
+  "CMakeFiles/nsp_core.dir/jet.cpp.o.d"
+  "CMakeFiles/nsp_core.dir/kernels.cpp.o"
+  "CMakeFiles/nsp_core.dir/kernels.cpp.o.d"
+  "CMakeFiles/nsp_core.dir/riemann.cpp.o"
+  "CMakeFiles/nsp_core.dir/riemann.cpp.o.d"
+  "CMakeFiles/nsp_core.dir/solver.cpp.o"
+  "CMakeFiles/nsp_core.dir/solver.cpp.o.d"
+  "CMakeFiles/nsp_core.dir/stability.cpp.o"
+  "CMakeFiles/nsp_core.dir/stability.cpp.o.d"
+  "CMakeFiles/nsp_core.dir/verification.cpp.o"
+  "CMakeFiles/nsp_core.dir/verification.cpp.o.d"
+  "libnsp_core.a"
+  "libnsp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/chart.cpp" "src/io/CMakeFiles/nsp_io.dir/chart.cpp.o" "gcc" "src/io/CMakeFiles/nsp_io.dir/chart.cpp.o.d"
+  "/root/repo/src/io/signal.cpp" "src/io/CMakeFiles/nsp_io.dir/signal.cpp.o" "gcc" "src/io/CMakeFiles/nsp_io.dir/signal.cpp.o.d"
+  "/root/repo/src/io/snapshot.cpp" "src/io/CMakeFiles/nsp_io.dir/snapshot.cpp.o" "gcc" "src/io/CMakeFiles/nsp_io.dir/snapshot.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/io/CMakeFiles/nsp_io.dir/table.cpp.o" "gcc" "src/io/CMakeFiles/nsp_io.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

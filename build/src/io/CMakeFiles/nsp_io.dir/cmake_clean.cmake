@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsp_io.dir/chart.cpp.o"
+  "CMakeFiles/nsp_io.dir/chart.cpp.o.d"
+  "CMakeFiles/nsp_io.dir/signal.cpp.o"
+  "CMakeFiles/nsp_io.dir/signal.cpp.o.d"
+  "CMakeFiles/nsp_io.dir/snapshot.cpp.o"
+  "CMakeFiles/nsp_io.dir/snapshot.cpp.o.d"
+  "CMakeFiles/nsp_io.dir/table.cpp.o"
+  "CMakeFiles/nsp_io.dir/table.cpp.o.d"
+  "libnsp_io.a"
+  "libnsp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

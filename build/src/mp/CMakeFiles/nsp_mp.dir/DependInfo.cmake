@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mp/comm.cpp" "src/mp/CMakeFiles/nsp_mp.dir/comm.cpp.o" "gcc" "src/mp/CMakeFiles/nsp_mp.dir/comm.cpp.o.d"
+  "/root/repo/src/mp/pvm_compat.cpp" "src/mp/CMakeFiles/nsp_mp.dir/pvm_compat.cpp.o" "gcc" "src/mp/CMakeFiles/nsp_mp.dir/pvm_compat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nsp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsp_mp.dir/comm.cpp.o"
+  "CMakeFiles/nsp_mp.dir/comm.cpp.o.d"
+  "CMakeFiles/nsp_mp.dir/pvm_compat.cpp.o"
+  "CMakeFiles/nsp_mp.dir/pvm_compat.cpp.o.d"
+  "libnsp_mp.a"
+  "libnsp_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsp_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

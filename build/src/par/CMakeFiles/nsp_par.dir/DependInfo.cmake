@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/par/subdomain_solver.cpp" "src/par/CMakeFiles/nsp_par.dir/subdomain_solver.cpp.o" "gcc" "src/par/CMakeFiles/nsp_par.dir/subdomain_solver.cpp.o.d"
+  "/root/repo/src/par/subdomain_solver2d.cpp" "src/par/CMakeFiles/nsp_par.dir/subdomain_solver2d.cpp.o" "gcc" "src/par/CMakeFiles/nsp_par.dir/subdomain_solver2d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/nsp_mp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

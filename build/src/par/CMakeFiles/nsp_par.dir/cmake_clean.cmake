@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsp_par.dir/subdomain_solver.cpp.o"
+  "CMakeFiles/nsp_par.dir/subdomain_solver.cpp.o.d"
+  "CMakeFiles/nsp_par.dir/subdomain_solver2d.cpp.o"
+  "CMakeFiles/nsp_par.dir/subdomain_solver2d.cpp.o.d"
+  "libnsp_par.a"
+  "libnsp_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsp_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsp_perf.dir/app_model.cpp.o"
+  "CMakeFiles/nsp_perf.dir/app_model.cpp.o.d"
+  "CMakeFiles/nsp_perf.dir/measure.cpp.o"
+  "CMakeFiles/nsp_perf.dir/measure.cpp.o.d"
+  "CMakeFiles/nsp_perf.dir/replay.cpp.o"
+  "CMakeFiles/nsp_perf.dir/replay.cpp.o.d"
+  "libnsp_perf.a"
+  "libnsp_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsp_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

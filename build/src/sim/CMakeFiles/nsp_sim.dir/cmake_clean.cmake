@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsp_sim.dir/resource.cpp.o"
+  "CMakeFiles/nsp_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/nsp_sim.dir/rng.cpp.o"
+  "CMakeFiles/nsp_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/nsp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/nsp_sim.dir/simulator.cpp.o.d"
+  "libnsp_sim.a"
+  "libnsp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnsp_sim.a"
+)

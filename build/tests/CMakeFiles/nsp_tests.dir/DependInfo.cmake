@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_app_model.cpp" "tests/CMakeFiles/nsp_tests.dir/test_app_model.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_app_model.cpp.o.d"
+  "/root/repo/tests/test_boundary.cpp" "tests/CMakeFiles/nsp_tests.dir/test_boundary.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_boundary.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/nsp_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_chart.cpp" "tests/CMakeFiles/nsp_tests.dir/test_chart.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_chart.cpp.o.d"
+  "/root/repo/tests/test_cpu_model.cpp" "tests/CMakeFiles/nsp_tests.dir/test_cpu_model.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_cpu_model.cpp.o.d"
+  "/root/repo/tests/test_decomposition.cpp" "tests/CMakeFiles/nsp_tests.dir/test_decomposition.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_decomposition.cpp.o.d"
+  "/root/repo/tests/test_doall.cpp" "tests/CMakeFiles/nsp_tests.dir/test_doall.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_doall.cpp.o.d"
+  "/root/repo/tests/test_field.cpp" "tests/CMakeFiles/nsp_tests.dir/test_field.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_field.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/nsp_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_gas.cpp" "tests/CMakeFiles/nsp_tests.dir/test_gas.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_gas.cpp.o.d"
+  "/root/repo/tests/test_grid.cpp" "tests/CMakeFiles/nsp_tests.dir/test_grid.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_grid.cpp.o.d"
+  "/root/repo/tests/test_jet.cpp" "tests/CMakeFiles/nsp_tests.dir/test_jet.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_jet.cpp.o.d"
+  "/root/repo/tests/test_kernel_profile.cpp" "tests/CMakeFiles/nsp_tests.dir/test_kernel_profile.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_kernel_profile.cpp.o.d"
+  "/root/repo/tests/test_kernels.cpp" "tests/CMakeFiles/nsp_tests.dir/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_kernels.cpp.o.d"
+  "/root/repo/tests/test_measure.cpp" "tests/CMakeFiles/nsp_tests.dir/test_measure.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_measure.cpp.o.d"
+  "/root/repo/tests/test_mp.cpp" "tests/CMakeFiles/nsp_tests.dir/test_mp.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_mp.cpp.o.d"
+  "/root/repo/tests/test_msglayer.cpp" "tests/CMakeFiles/nsp_tests.dir/test_msglayer.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_msglayer.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/nsp_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_network_properties.cpp" "tests/CMakeFiles/nsp_tests.dir/test_network_properties.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_network_properties.cpp.o.d"
+  "/root/repo/tests/test_paper_claims.cpp" "tests/CMakeFiles/nsp_tests.dir/test_paper_claims.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_paper_claims.cpp.o.d"
+  "/root/repo/tests/test_par.cpp" "tests/CMakeFiles/nsp_tests.dir/test_par.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_par.cpp.o.d"
+  "/root/repo/tests/test_par2d.cpp" "tests/CMakeFiles/nsp_tests.dir/test_par2d.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_par2d.cpp.o.d"
+  "/root/repo/tests/test_platform.cpp" "tests/CMakeFiles/nsp_tests.dir/test_platform.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_platform.cpp.o.d"
+  "/root/repo/tests/test_pvm_compat.cpp" "tests/CMakeFiles/nsp_tests.dir/test_pvm_compat.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_pvm_compat.cpp.o.d"
+  "/root/repo/tests/test_replay.cpp" "tests/CMakeFiles/nsp_tests.dir/test_replay.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_replay.cpp.o.d"
+  "/root/repo/tests/test_replay_properties.cpp" "tests/CMakeFiles/nsp_tests.dir/test_replay_properties.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_replay_properties.cpp.o.d"
+  "/root/repo/tests/test_resource.cpp" "tests/CMakeFiles/nsp_tests.dir/test_resource.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_resource.cpp.o.d"
+  "/root/repo/tests/test_riemann.cpp" "tests/CMakeFiles/nsp_tests.dir/test_riemann.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_riemann.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/nsp_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_scheme.cpp" "tests/CMakeFiles/nsp_tests.dir/test_scheme.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_scheme.cpp.o.d"
+  "/root/repo/tests/test_signal.cpp" "tests/CMakeFiles/nsp_tests.dir/test_signal.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_signal.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/nsp_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_snapshot.cpp" "tests/CMakeFiles/nsp_tests.dir/test_snapshot.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_snapshot.cpp.o.d"
+  "/root/repo/tests/test_solver.cpp" "tests/CMakeFiles/nsp_tests.dir/test_solver.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_solver.cpp.o.d"
+  "/root/repo/tests/test_stability.cpp" "tests/CMakeFiles/nsp_tests.dir/test_stability.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_stability.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/nsp_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_verification.cpp" "tests/CMakeFiles/nsp_tests.dir/test_verification.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_verification.cpp.o.d"
+  "/root/repo/tests/test_versions.cpp" "tests/CMakeFiles/nsp_tests.dir/test_versions.cpp.o" "gcc" "tests/CMakeFiles/nsp_tests.dir/test_versions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/nsp_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/nsp_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/nsp_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/nsp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/nsp_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
