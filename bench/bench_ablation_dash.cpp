@@ -20,29 +20,34 @@ int main() {
   std::printf("node: %s, %.1f effective MFLOPS on the V5 kernel\n\n",
               dash.cpu.name.c_str(), dash.cpu.effective_mflops(app.profile));
 
-  std::vector<io::Series> series{
-      bench::exec_time_series(app, dash, "DASH (cc-NUMA)"),
-      bench::exec_time_series(app, arch::Platform::ibm_sp_mpl(), "IBM SP (MPL)"),
-      bench::exec_time_series(app, arch::Platform::lace560_allnode_s(),
-                              "ALLNODE-S"),
-      bench::exec_time_series(app, arch::Platform::cray_t3d(), "Cray T3D"),
-  };
+  const auto base = Scenario::jet250x100();
   bench::print_figure("Navier-Stokes with the DASH architecture included",
-                      "ablation_dash.csv", series);
+                      "ablation_dash.csv",
+                      bench::exec_time_sweep({
+                          {Scenario(base).platform("dash"), "DASH (cc-NUMA)"},
+                          {Scenario(base).platform("sp-mpl"), "IBM SP (MPL)"},
+                          {Scenario(base).platform("lace-allnode-s"),
+                           "ALLNODE-S"},
+                          {Scenario(base).platform("t3d"), "Cray T3D"},
+                      }));
 
   io::Table t({"P", "exec (s)", "speedup", "efficiency", "coherence share"});
   t.title("DASH scaling detail");
-  const double t1 = perf::replay(app, dash, 1).exec_time;
+  const double t1 =
+      bench::run_cell(Scenario(base).platform("dash").threads(1))
+          .metric("exec_s");
   for (int p : {1, 2, 4, 8, 16}) {
-    const auto r = perf::replay(app, dash, p);
+    const double texec =
+        bench::run_cell(Scenario(base).platform("dash").threads(p))
+            .metric("exec_s");
     const double numa_s =
         p > 1 ? 2.0 * app.nj * dash.numa_halo_lines_per_point *
                     dash.numa_remote_miss_s * app.steps
               : 0.0;
-    t.row({std::to_string(p), io::format_fixed(r.exec_time, 0),
-           io::format_fixed(t1 / r.exec_time, 2) + "x",
-           io::format_percent(t1 / r.exec_time / p),
-           io::format_percent(numa_s / r.exec_time)});
+    t.row({std::to_string(p), io::format_fixed(texec, 0),
+           io::format_fixed(t1 / texec, 2) + "x",
+           io::format_percent(t1 / texec / p),
+           io::format_percent(numa_s / texec)});
   }
   std::printf("%s\n", t.str().c_str());
   std::printf(
@@ -51,5 +56,6 @@ int main() {
       "absolute performance behind the 1995 production machines. The\n"
       "architecture's promise (seen again years later in SGI Origin and\n"
       "modern multi-socket servers) is the near-perfect efficiency column.\n");
+  bench::print_engine_counters();
   return 0;
 }

@@ -1,5 +1,8 @@
 // Figures 11 and 12: MPL vs PVMe on the IBM SP — processor busy time and
 // non-overlapped communication for each message-passing library.
+//
+// Both library sweeps execute concurrently through the exec engine; the
+// busy/comm series and the totals table read the same RunResult cells.
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
@@ -8,22 +11,33 @@ int main() {
   using namespace nsp;
   bench::banner("Figures 11-12: comparison of MPL and PVMe (IBM SP)");
 
+  exec::ResultSet all;
   for (auto eq : {arch::Equations::NavierStokes, arch::Equations::Euler}) {
-    const auto app = perf::AppModel::paper(eq);
     const bool ns = eq == arch::Equations::NavierStokes;
+    const auto base = Scenario::jet250x100().equations(eq);
+
+    // One engine run for the whole figure: both libraries, all procs.
+    std::vector<exec::Scenario> cells;
+    for (const char* plat : {"sp-mpl", "sp-pvme"}) {
+      for (int p : bench::proc_sweep()) {
+        cells.push_back(Scenario(base).platform(plat).threads(p));
+      }
+    }
+    const exec::ResultSet rs = bench::engine().run(cells);
+    all.results.insert(all.results.end(), rs.results.begin(), rs.results.end());
 
     std::vector<io::Series> series;
-    for (const auto& plat :
-         {arch::Platform::ibm_sp_mpl(), arch::Platform::ibm_sp_pvme()}) {
-      io::Series busy{"busy time with " + plat.msglayer.name, {}, {}};
-      io::Series comm{"non-overlapped comm with " + plat.msglayer.name, {}, {}};
+    for (const char* plat : {"sp-mpl", "sp-pvme"}) {
+      const std::string lib = exec::make_platform(plat).msglayer.name;
+      io::Series busy{"busy time with " + lib, {}, {}};
+      io::Series comm{"non-overlapped comm with " + lib, {}, {}};
       for (int p : bench::proc_sweep()) {
-        const auto r = perf::replay(app, plat, p);
+        const auto* r = rs.find(Scenario(base).platform(plat).threads(p).key());
         busy.x.push_back(p);
-        busy.y.push_back(r.avg_busy());
-        if (p > 1 && r.avg_wait() > 0) {
+        busy.y.push_back(r->metric("busy_avg_s"));
+        if (p > 1 && r->metric("wait_avg_s") > 0) {
           comm.x.push_back(p);
-          comm.y.push_back(r.avg_wait());
+          comm.y.push_back(r->metric("wait_avg_s"));
         }
       }
       series.push_back(busy);
@@ -37,9 +51,12 @@ int main() {
     io::Table t({"Procs", "MPL total (s)", "PVMe total (s)", "PVMe/MPL - 1"});
     t.title(to_string(eq) + ": total execution time by library");
     for (int p : {2, 4, 8, 16}) {
-      const double mpl = perf::replay(app, arch::Platform::ibm_sp_mpl(), p).exec_time;
+      const double mpl =
+          rs.find(Scenario(base).platform("sp-mpl").threads(p).key())
+              ->metric("exec_s");
       const double pvme =
-          perf::replay(app, arch::Platform::ibm_sp_pvme(), p).exec_time;
+          rs.find(Scenario(base).platform("sp-pvme").threads(p).key())
+              ->metric("exec_s");
       t.row({std::to_string(p), io::format_fixed(mpl, 0),
              io::format_fixed(pvme, 0), io::format_percent(pvme / mpl - 1.0)});
     }
@@ -49,5 +66,7 @@ int main() {
         "and decreasing with processors (reproduced: see the comm series).\n\n",
         ns ? "75% for Navier-Stokes" : "40% for Euler");
   }
+  bench::write_resultset(all, "fig11_12_msglayers.json");
+  bench::print_engine_counters();
   return 0;
 }

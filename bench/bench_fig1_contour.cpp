@@ -9,6 +9,7 @@
 
 #include "bench/bench_util.hpp"
 #include "core/solver.hpp"
+#include "io/artifacts.hpp"
 #include "io/chart.hpp"
 
 int main(int argc, char** argv) {
@@ -71,7 +72,7 @@ int main(int argc, char** argv) {
   chart.add(center);
   chart.add(lip);
   std::printf("%s\n", chart.str().c_str());
-  io::write_series_csv("fig1_axial_momentum.csv", {center, lip});
+  io::write_series_csv(io::artifact_path("fig1_axial_momentum.csv"), {center, lip});
   std::printf("[data written to fig1_axial_momentum.csv]\n");
   std::printf("max Mach %.3f; mass integral %.4f\n", solver.max_mach(),
               solver.conserved_integral(0));

@@ -74,7 +74,7 @@ int main() {
   chart.add(series[0]);
   chart.add(series[1]);
   std::printf("%s\n", chart.str().c_str());
-  io::write_series_csv("fig2_versions.csv", series);
+  io::write_series_csv(io::artifact_path("fig2_versions.csv"), series);
   std::printf("[data written to fig2_versions.csv]\n\n");
 
   const auto v1 = arch::KernelProfile::make(arch::Equations::NavierStokes,

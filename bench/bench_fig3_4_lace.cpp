@@ -2,7 +2,8 @@
 //
 // Curves for ALLNODE-F, ALLNODE-S, and the LACE/560 Ethernet, with the
 // ATM and FDDI networks included to demonstrate the paper's observation
-// that ATM tracks ALLNODE-F and FDDI tracks ALLNODE-S.
+// that ATM tracks ALLNODE-F and FDDI tracks ALLNODE-S. All five network
+// sweeps run concurrently through the exec engine.
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
@@ -11,20 +12,17 @@ int main() {
   using namespace nsp;
   bench::banner("Figures 3-4: execution time on LACE networks");
 
+  exec::ResultSet all;
   for (auto eq : {arch::Equations::NavierStokes, arch::Equations::Euler}) {
-    const auto app = perf::AppModel::paper(eq);
     const bool ns = eq == arch::Equations::NavierStokes;
-    std::vector<io::Series> series{
-        bench::exec_time_series(app, arch::Platform::lace590_allnode_f(),
-                                "ALLNODE-F"),
-        bench::exec_time_series(app, arch::Platform::lace560_allnode_s(),
-                                "ALLNODE-S"),
-        bench::exec_time_series(app, arch::Platform::lace560_ethernet(),
-                                "LACE/560 Ethernet"),
-        bench::exec_time_series(app, arch::Platform::lace590_atm(), "ATM (590)"),
-        bench::exec_time_series(app, arch::Platform::lace560_fddi(),
-                                "FDDI (560)"),
-    };
+    const auto base = Scenario::jet250x100().equations(eq);
+    const auto series = bench::exec_time_sweep({
+        {Scenario(base).platform("lace-allnode-f"), "ALLNODE-F"},
+        {Scenario(base).platform("lace-allnode-s"), "ALLNODE-S"},
+        {Scenario(base).platform("lace-ethernet"), "LACE/560 Ethernet"},
+        {Scenario(base).platform("lace-atm"), "ATM (590)"},
+        {Scenario(base).platform("lace-fddi"), "FDDI (560)"},
+    });
     bench::print_figure(
         std::string("Figure ") + (ns ? "3" : "4") + ": " + to_string(eq) +
             " execution time on LACE",
@@ -42,6 +40,18 @@ int main() {
     }
     std::printf("%s: Ethernet minimum at %d processors (paper: peak at %s)\n\n",
                 to_string(eq).c_str(), best_p, ns ? "8" : "10");
+
+    std::vector<exec::Scenario> cells;
+    for (const char* plat : {"lace-allnode-f", "lace-allnode-s",
+                             "lace-ethernet", "lace-atm", "lace-fddi"}) {
+      for (int p : bench::proc_sweep()) {
+        cells.push_back(Scenario(base).platform(plat).threads(p));
+      }
+    }
+    auto rs = bench::engine().run(cells);  // cache hits from the sweep
+    all.results.insert(all.results.end(), rs.results.begin(), rs.results.end());
   }
+  bench::write_resultset(all, "fig3_4_lace.json");
+  bench::print_engine_counters();
   return 0;
 }

@@ -1,6 +1,7 @@
 // Figures 5 and 6: components of execution time on LACE — processor
 // busy time vs non-overlapped communication time, for ALLNODE-F,
-// ALLNODE-S and Ethernet.
+// ALLNODE-S and Ethernet. The three network sweeps run concurrently
+// through the exec engine.
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
@@ -10,29 +11,38 @@ int main() {
   bench::banner("Figures 5-6: components of execution time (LACE)");
 
   for (auto eq : {arch::Equations::NavierStokes, arch::Equations::Euler}) {
-    const auto app = perf::AppModel::paper(eq);
     const bool ns = eq == arch::Equations::NavierStokes;
+    const auto base = Scenario::jet250x100().equations(eq);
 
     const struct {
-      arch::Platform plat;
+      const char* key;
       const char* label;
     } rows[] = {
-        {arch::Platform::lace590_allnode_f(), "ALLNODE-F"},
-        {arch::Platform::lace560_allnode_s(), "ALLNODE-S"},
-        {arch::Platform::lace560_ethernet(), "Ethernet"},
+        {"lace-allnode-f", "ALLNODE-F"},
+        {"lace-allnode-s", "ALLNODE-S"},
+        {"lace-ethernet", "Ethernet"},
     };
+
+    std::vector<exec::Scenario> cells;
+    for (const auto& row : rows) {
+      for (int p : bench::proc_sweep()) {
+        cells.push_back(Scenario(base).platform(row.key).threads(p));
+      }
+    }
+    const exec::ResultSet rs = bench::engine().run(cells);
 
     std::vector<io::Series> series;
     for (const auto& row : rows) {
       io::Series busy{std::string(row.label) + " busy", {}, {}};
       io::Series comm{std::string(row.label) + " non-overlapped comm", {}, {}};
       for (int p : bench::proc_sweep()) {
-        const auto r = perf::replay(app, row.plat, p);
+        const auto* r =
+            rs.find(Scenario(base).platform(row.key).threads(p).key());
         busy.x.push_back(p);
-        busy.y.push_back(r.avg_busy());
+        busy.y.push_back(r->metric("busy_avg_s"));
         if (p > 1) {
           comm.x.push_back(p);
-          comm.y.push_back(r.avg_wait());
+          comm.y.push_back(r->metric("wait_avg_s"));
         }
       }
       series.push_back(busy);
@@ -43,12 +53,15 @@ int main() {
             to_string(eq) + "; LACE)",
         ns ? "fig5_components_ns.csv" : "fig6_components_euler.csv", series);
 
-    const auto r16 = perf::replay(app, arch::Platform::lace560_allnode_s(), 16);
+    const auto r16 =
+        rs.find(Scenario(base).platform("lace-allnode-s").threads(16).key());
     std::printf(
         "%s at 16 procs on ALLNODE-S: busy %.0f s, non-overlapped comm %.0f s\n"
         "(paper: \"communication time is comparable to the computation and\n"
         "PVM setup time\" for Navier-Stokes at 16 processors)\n\n",
-        to_string(eq).c_str(), r16.avg_busy(), r16.avg_wait());
+        to_string(eq).c_str(), r16->metric("busy_avg_s"),
+        r16->metric("wait_avg_s"));
   }
+  bench::print_engine_counters();
   return 0;
 }

@@ -4,6 +4,10 @@
 //   Version 5: grouped sends at phase boundaries (baseline)
 //   Version 6: overlapped communication and computation
 //   Version 7: unbundled, staggered sends (less bursty, more start-ups)
+//
+// Six curves per figure (3 versions x 2 networks), all cells scheduled
+// concurrently by the exec engine; the 16-processor table reuses the
+// sweep's cells via the memo cache.
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
@@ -18,33 +22,36 @@ int main() {
 
   for (auto eq : {arch::Equations::NavierStokes, arch::Equations::Euler}) {
     const bool ns = eq == arch::Equations::NavierStokes;
-    std::vector<io::Series> series;
+    std::vector<bench::SweepSpec> specs;
     for (auto v : versions) {
-      const auto app = perf::AppModel::paper(eq, v);
+      const auto base = Scenario::jet250x100().equations(eq).version(v);
       const int vn = static_cast<int>(v);
-      series.push_back(bench::exec_time_series(
-          app, arch::Platform::lace560_allnode_s(),
-          "Version " + std::to_string(vn) + " ALLNODE-S"));
-      series.push_back(bench::exec_time_series(
-          app, arch::Platform::lace560_ethernet(),
-          "Version " + std::to_string(vn) + " Ethernet"));
+      specs.push_back({Scenario(base).platform("lace-allnode-s"),
+                       "Version " + std::to_string(vn) + " ALLNODE-S"});
+      specs.push_back({Scenario(base).platform("lace-ethernet"),
+                       "Version " + std::to_string(vn) + " Ethernet"});
     }
     bench::print_figure(
         std::string("Figure ") + (ns ? "7" : "8") +
             ": communication optimization (" + to_string(eq) + "; LACE)",
-        ns ? "fig7_commopt_ns.csv" : "fig8_commopt_euler.csv", series);
+        ns ? "fig7_commopt_ns.csv" : "fig8_commopt_euler.csv",
+        bench::exec_time_sweep(specs));
 
     io::Table t({"Network", "V5 (s)", "V6 (s)", "V7 (s)", "V6/V5", "V7/V5"});
     t.title(to_string(eq) + " at 16 processors");
-    for (const auto& plat : {arch::Platform::lace560_allnode_s(),
-                             arch::Platform::lace560_ethernet()}) {
+    for (const char* plat : {"lace-allnode-s", "lace-ethernet"}) {
       double tv[3];
       for (int k = 0; k < 3; ++k) {
-        tv[k] = perf::replay(perf::AppModel::paper(eq, versions[k]), plat, 16)
-                    .exec_time;
+        tv[k] = bench::run_cell(Scenario::jet250x100()
+                                    .equations(eq)
+                                    .version(versions[k])
+                                    .platform(plat)
+                                    .threads(16))
+                    .metric("exec_s");
       }
-      t.row({plat.name, io::format_fixed(tv[0], 0), io::format_fixed(tv[1], 0),
-             io::format_fixed(tv[2], 0), io::format_fixed(tv[1] / tv[0], 2),
+      t.row({exec::make_platform(plat).name, io::format_fixed(tv[0], 0),
+             io::format_fixed(tv[1], 0), io::format_fixed(tv[2], 0),
+             io::format_fixed(tv[1] / tv[0], 2),
              io::format_fixed(tv[2] / tv[0], 2)});
     }
     std::printf("%s\n", t.str().c_str());
@@ -53,5 +60,6 @@ int main() {
       "paper: V6 is \"very close to\" V5 on both networks (overheads offset\n"
       "the overlap); V7 hurts ALLNODE-S appreciably because the extra\n"
       "start-ups dominate once the network can absorb the bursts.\n");
+  bench::print_engine_counters();
   return 0;
 }

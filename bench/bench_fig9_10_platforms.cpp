@@ -1,5 +1,8 @@
 // Figures 9 and 10: comparative performance across all platforms —
 // Cray Y-MP, IBM SP (MPL), ALLNODE-S, Cray T3D, ALLNODE-F.
+//
+// All cells run concurrently through the exec engine; the checkpoint
+// numbers below are memo-cache hits on the same sweep.
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
@@ -8,36 +11,35 @@ int main() {
   using namespace nsp;
   bench::banner("Figures 9-10: execution time across computing platforms");
 
+  exec::ResultSet all;
   for (auto eq : {arch::Equations::NavierStokes, arch::Equations::Euler}) {
-    const auto app = perf::AppModel::paper(eq);
     const bool ns = eq == arch::Equations::NavierStokes;
-    std::vector<io::Series> series{
-        bench::exec_time_series(app, arch::Platform::cray_ymp(), "Cray Y-MP"),
-        bench::exec_time_series(app, arch::Platform::ibm_sp_mpl(),
-                                "IBM SP (RS6K/370)"),
-        bench::exec_time_series(app, arch::Platform::lace560_allnode_s(),
-                                "ALLNODE-S"),
-        bench::exec_time_series(app, arch::Platform::cray_t3d(), "Cray T3D"),
-        bench::exec_time_series(app, arch::Platform::lace590_allnode_f(),
-                                "ALLNODE-F"),
-    };
+    const auto base = Scenario::jet250x100().equations(eq);
+    const auto series = bench::exec_time_sweep({
+        {Scenario(base).platform("ymp"), "Cray Y-MP"},
+        {Scenario(base).platform("sp-mpl"), "IBM SP (RS6K/370)"},
+        {Scenario(base).platform("lace-allnode-s"), "ALLNODE-S"},
+        {Scenario(base).platform("t3d"), "Cray T3D"},
+        {Scenario(base).platform("lace-allnode-f"), "ALLNODE-F"},
+    });
     bench::print_figure(
         std::string("Figure ") + (ns ? "9" : "10") + ": " + to_string(eq) +
             " on computing platforms",
         ns ? "fig9_platforms_ns.csv" : "fig10_platforms_euler.csv", series);
 
-    // The headline observations, quantified.
-    const double ymp1 = perf::replay(app, arch::Platform::cray_ymp(), 1).exec_time;
-    const double ymp8 = perf::replay(app, arch::Platform::cray_ymp(), 8).exec_time;
-    const double f16 =
-        perf::replay(app, arch::Platform::lace590_allnode_f(), 16).exec_time;
-    const double s16 =
-        perf::replay(app, arch::Platform::lace560_allnode_s(), 16).exec_time;
-    const double sp16 = perf::replay(app, arch::Platform::ibm_sp_mpl(), 16).exec_time;
-    const double t3d16 = perf::replay(app, arch::Platform::cray_t3d(), 16).exec_time;
-    const double t3d4 = perf::replay(app, arch::Platform::cray_t3d(), 4).exec_time;
-    const double s4 =
-        perf::replay(app, arch::Platform::lace560_allnode_s(), 4).exec_time;
+    // The headline observations, quantified (engine cache hits).
+    const auto cell = [&](const char* plat, int p) {
+      return bench::run_cell(Scenario(base).platform(plat).threads(p))
+          .metric("exec_s");
+    };
+    const double ymp1 = cell("ymp", 1);
+    const double ymp8 = cell("ymp", 8);
+    const double f16 = cell("lace-allnode-f", 16);
+    const double s16 = cell("lace-allnode-s", 16);
+    const double sp16 = cell("sp-mpl", 16);
+    const double t3d16 = cell("t3d", 16);
+    const double t3d4 = cell("t3d", 4);
+    const double s4 = cell("lace-allnode-s", 4);
     std::printf("%s checkpoints:\n", to_string(eq).c_str());
     std::printf("  Y-MP: %.0f s (1 proc) -> %.0f s (8 procs); best overall\n",
                 ymp1, ymp8);
@@ -48,6 +50,20 @@ int main() {
     std::printf("  T3D vs ALLNODE-S: %.0f vs %.0f at 4 procs; %.0f vs %.0f at\n"
                 "  16 procs (paper: crossover beyond 8 processors)\n\n",
                 t3d4, s4, t3d16, s16);
+
+    // Collect the sweep for the reproducibility artifact.
+    std::vector<exec::Scenario> cells;
+    for (const char* plat :
+         {"ymp", "sp-mpl", "lace-allnode-s", "t3d", "lace-allnode-f"}) {
+      const int maxp = exec::make_platform(plat).max_procs;
+      for (int p : bench::proc_sweep(maxp)) {
+        cells.push_back(Scenario(base).platform(plat).threads(p));
+      }
+    }
+    auto rs = bench::engine().run(cells);  // all cache hits
+    all.results.insert(all.results.end(), rs.results.begin(), rs.results.end());
   }
+  bench::write_resultset(all, "fig9_10_platforms.json");
+  bench::print_engine_counters();
   return 0;
 }

@@ -1,74 +1,48 @@
 // Network-model microbenchmarks: ping-pong-style latency and streaming
 // bandwidth for every 1995 interconnect, the numbers a systems person
 // would check first against the published machine specs.
+//
+// Each interconnect probe is a Workload::NetProbe scenario; all probes
+// run concurrently through the exec engine and report their numbers as
+// named RunResult metrics (the local NetResult struct this file used to
+// define is gone).
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
-#include "sim/simulator.hpp"
-
-namespace {
-
-using namespace nsp;
-
-struct NetResult {
-  double latency_us;       // 8-byte transfer time
-  double bw_1k_MBps;       // effective bandwidth at 1 KB
-  double bw_64k_MBps;      // effective bandwidth at 64 KB
-  double bisection_MBps;   // 8 simultaneous pair streams, aggregate
-};
-
-double one_transfer_s(const arch::Platform& plat, std::size_t bytes) {
-  sim::Simulator s;
-  auto net = plat.make_network(s, 16);
-  double done = -1;
-  net->transmit(0, 1, bytes, [&] { done = s.now(); });
-  s.run();
-  return done;
-}
-
-NetResult measure(const arch::Platform& plat) {
-  NetResult r{};
-  r.latency_us = one_transfer_s(plat, 8) * 1e6;
-  r.bw_1k_MBps = 1024.0 / one_transfer_s(plat, 1024) / 1e6;
-  r.bw_64k_MBps = 65536.0 / one_transfer_s(plat, 65536) / 1e6;
-  // Aggregate throughput: 8 disjoint pairs streaming 64 KB each.
-  sim::Simulator s;
-  auto net = plat.make_network(s, 16);
-  int done = 0;
-  for (int k = 0; k < 8; ++k) {
-    net->transmit(2 * k, 2 * k + 1, 65536, [&done] { ++done; });
-  }
-  s.run();
-  r.bisection_MBps = 8.0 * 65536.0 / s.now() / 1e6;
-  return r;
-}
-
-}  // namespace
 
 int main() {
+  using namespace nsp;
   bench::banner("Network-model microbenchmarks (wire level, no msg layer)");
+
+  const struct {
+    const char* key;
+    const char* name;
+    const char* spec;
+  } rows[] = {
+      {"lace-ethernet", "Ethernet", "10 Mb/s shared"},
+      {"lace-fddi", "FDDI", "100 Mb/s token ring"},
+      {"lace-atm", "ATM", "155 Mb/s switched"},
+      {"lace-allnode-s", "ALLNODE-S", "32 Mb/s/link"},
+      {"lace-allnode-f", "ALLNODE-F", "64 Mb/s/link"},
+      {"sp-mpl", "SP switch", "40 MB/s/link"},
+      {"t3d", "T3D torus", "150 MB/s/link"},
+  };
+
+  std::vector<exec::Scenario> probes;
+  for (const auto& row : rows) {
+    probes.push_back(Scenario::net_probe(row.key).label(row.name));
+  }
+  const exec::ResultSet rs = bench::engine().run(probes);
 
   io::Table t({"network", "8B latency (us)", "BW @1KB (MB/s)",
                "BW @64KB (MB/s)", "8-pair aggregate (MB/s)", "spec"});
   t.title("Simulated interconnects, 16 nodes");
-  const struct {
-    arch::Platform plat;
-    const char* name;
-    const char* spec;
-  } rows[] = {
-      {arch::Platform::lace560_ethernet(), "Ethernet", "10 Mb/s shared"},
-      {arch::Platform::lace560_fddi(), "FDDI", "100 Mb/s token ring"},
-      {arch::Platform::lace590_atm(), "ATM", "155 Mb/s switched"},
-      {arch::Platform::lace560_allnode_s(), "ALLNODE-S", "32 Mb/s/link"},
-      {arch::Platform::lace590_allnode_f(), "ALLNODE-F", "64 Mb/s/link"},
-      {arch::Platform::ibm_sp_mpl(), "SP switch", "40 MB/s/link"},
-      {arch::Platform::cray_t3d(), "T3D torus", "150 MB/s/link"},
-  };
   for (const auto& row : rows) {
-    const NetResult r = measure(row.plat);
-    t.row({row.name, io::format_fixed(r.latency_us, 1),
-           io::format_fixed(r.bw_1k_MBps, 2), io::format_fixed(r.bw_64k_MBps, 2),
-           io::format_fixed(r.bisection_MBps, 2), row.spec});
+    const exec::RunResult* r = rs.find_label(row.name);
+    t.row({row.name, io::format_fixed(r->metric("latency_us"), 1),
+           io::format_fixed(r->metric("bw_1k_MBps"), 2),
+           io::format_fixed(r->metric("bw_64k_MBps"), 2),
+           io::format_fixed(r->metric("aggregate_MBps"), 2), row.spec});
   }
   std::printf("%s\n", t.str().c_str());
   std::printf(
@@ -76,5 +50,7 @@ int main() {
       "bandwidth; switches and the torus scale with disjoint pairs. The\n"
       "message-layer software costs (PVM/MPL/PVMe) sit on top of these\n"
       "wire numbers — see docs/MODELS.md section 3.\n");
+  bench::write_resultset(rs, "networks.json");
+  bench::print_engine_counters();
   return 0;
 }

@@ -1,16 +1,13 @@
 // Shared helpers for the figure-reproduction harnesses: processor-count
-// sweeps, paper-style log-log charts, and CSV output next to each chart.
+// sweeps run through the batch experiment engine, paper-style log-log
+// charts, and CSV/JSON artifacts routed through io::results_dir().
 #pragma once
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "arch/platform.hpp"
-#include "io/chart.hpp"
-#include "io/table.hpp"
-#include "perf/app_model.hpp"
-#include "perf/replay.hpp"
+#include "nsp.hpp"
 
 namespace nsp::bench {
 
@@ -23,22 +20,69 @@ inline std::vector<int> proc_sweep(int max_procs = 16) {
   return ps;
 }
 
-/// Sweeps execution time over processor counts for one platform.
-inline io::Series exec_time_series(const perf::AppModel& app,
-                                   const arch::Platform& plat,
-                                   const std::string& label) {
-  io::Series s;
-  s.label = label;
-  for (int p : proc_sweep(plat.max_procs)) {
-    s.x.push_back(p);
-    s.y.push_back(perf::replay(app, plat, p).exec_time);
+/// The engine shared by one harness binary. Thread count comes from
+/// NSP_EXEC_THREADS (default: hardware concurrency); the memo cache
+/// makes repeated cells (figure curve + checkpoint table) free.
+inline exec::Engine& engine() {
+  static exec::Engine eng;
+  return eng;
+}
+
+/// Runs one scenario through the shared engine (a cache hit if any
+/// earlier sweep already computed the cell).
+inline exec::RunResult run_cell(const exec::Scenario& s) {
+  auto rs = engine().run({s});
+  return rs.results.front();
+}
+
+/// A labelled curve: one base scenario swept over processor counts.
+struct SweepSpec {
+  exec::Scenario base;
+  std::string label;
+};
+
+/// Expands every spec over its platform's processor sweep, executes all
+/// cells concurrently through the shared engine, and returns one
+/// execution-time series per spec (deterministic regardless of worker
+/// completion order).
+inline std::vector<io::Series> exec_time_sweep(
+    const std::vector<SweepSpec>& specs) {
+  std::vector<exec::Scenario> cells;
+  std::vector<std::vector<std::string>> keys(specs.size());
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    const int maxp =
+        exec::make_platform(specs[k].base.platform_key()).max_procs;
+    for (int p : proc_sweep(maxp)) {
+      exec::Scenario s = specs[k].base;
+      s.threads(p).label(specs[k].label);
+      keys[k].push_back(s.key());
+      cells.push_back(s);
+    }
   }
-  return s;
+  const exec::ResultSet rs = engine().run(cells);
+  std::vector<io::Series> series(specs.size());
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    series[k].label = specs[k].label;
+    for (const std::string& key : keys[k]) {
+      const exec::RunResult* r = rs.find(key);
+      if (r == nullptr) continue;  // cancelled cell
+      series[k].x.push_back(r->nprocs);
+      series[k].y.push_back(r->metric("exec_s"));
+    }
+  }
+  return series;
+}
+
+/// Single-curve convenience wrapper.
+inline io::Series exec_time_series(const exec::Scenario& base,
+                                   const std::string& label) {
+  return exec_time_sweep({{base, label}}).front();
 }
 
 /// Prints a figure: title, ASCII log-log chart, and writes the CSV plus
-/// a gnuplot script that renders it ("gnuplot <name>.gp" -> PNG).
-inline void print_figure(const std::string& title, const std::string& csv_path,
+/// a gnuplot script that renders it ("gnuplot <name>.gp" -> PNG). The
+/// file name lands in io::results_dir() (honours NSP_RESULTS_DIR).
+inline void print_figure(const std::string& title, const std::string& csv_name,
                          const std::vector<io::Series>& series) {
   io::ChartOptions opts;
   opts.title = title;
@@ -47,6 +91,7 @@ inline void print_figure(const std::string& title, const std::string& csv_path,
   io::LineChart chart(opts);
   for (const auto& s : series) chart.add(s);
   std::printf("%s\n", chart.str().c_str());
+  const std::string csv_path = io::artifact_path(csv_name);
   io::write_series_csv(csv_path, series);
   std::string gp = csv_path;
   const auto dot = gp.find_last_of('.');
@@ -55,6 +100,28 @@ inline void print_figure(const std::string& title, const std::string& csv_path,
   io::write_gnuplot_script(gp, csv_path, series.size(), opts);
   std::printf("[data: %s; render with: gnuplot %s]\n\n", csv_path.c_str(),
               gp.c_str());
+}
+
+/// Writes the engine's ResultSet artifact for a harness (JSON, into
+/// io::results_dir()) — the file tools/reproduce_all.sh diffs between
+/// serial and parallel engine runs to guard bit-reproducibility.
+inline void write_resultset(const exec::ResultSet& rs,
+                            const std::string& json_name) {
+  rs.write_json(io::artifact_path(json_name));
+  std::printf("[resultset: %s]\n", io::artifact_path(json_name).c_str());
+}
+
+/// Prints the engine's own counters: how fast the harness itself ran.
+inline void print_engine_counters() {
+  const auto& c = engine().counters();
+  std::printf(
+      "[engine: %llu scenarios (%llu computed, %llu cache hits) on %d "
+      "threads; wall %.3f s, work %.3f s, harness speedup %.2fx, "
+      "utilization %.0f%%]\n",
+      static_cast<unsigned long long>(c.submitted),
+      static_cast<unsigned long long>(c.executed),
+      static_cast<unsigned long long>(c.cache_hits), c.threads, c.wall_s,
+      c.task_s, c.speedup(), 100.0 * c.utilization());
 }
 
 /// Header banner shared by all harnesses.

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/solver.hpp"
+#include "io/artifacts.hpp"
 #include "io/chart.hpp"
 #include "io/signal.hpp"
 #include "io/table.hpp"
@@ -100,7 +101,7 @@ int main() {
   io::LineChart chart(opts);
   for (auto& s : hist) chart.add(s);
   std::printf("%s", chart.str().c_str());
-  io::write_series_csv("jet_noise_pressure.csv", hist);
+  io::write_series_csv(io::artifact_path("jet_noise_pressure.csv"), hist);
   std::printf("\n[pressure histories written to jet_noise_pressure.csv]\n"
               "The growth of |p'| downstream is the instability-wave\n"
               "amplification the acoustic analogy converts to far-field "

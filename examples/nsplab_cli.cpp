@@ -1,40 +1,26 @@
-// nsplab_cli: command-line front end to the platform laboratory.
+// nsplab_cli: command-line front end to the platform laboratory,
+// built on the nsp:: facade and the exec engine.
 //
 //   nsplab_cli list
 //   nsplab_cli replay <platform> [--euler] [--version N] [--procs P]
 //   nsplab_cli sweep  <platform> [--euler] [--version N]
+//   nsplab_cli batch  <platform> [<platform>...] [--euler] [--version N]
 //   nsplab_cli solve  [--ni N] [--nj N] [--steps N] [--euler] [--threads T]
 //
-// Platform keys: ethernet, allnode-s, allnode-f, fddi, atm, sp-mpl,
-// sp-pvme, t3d, t3d-shmem, ymp.
+// Platform keys come from the exec registry (see `list`); any key takes
+// a "-<procs>" suffix, e.g. "t3d-64". `batch` runs the platforms'
+// processor sweeps concurrently through the engine and writes a JSON
+// ResultSet into $NSP_RESULTS_DIR (default: the current directory).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <map>
 #include <string>
 
 #include "bench/bench_util.hpp"
-#include "core/solver.hpp"
-#include "io/chart.hpp"
 
 namespace {
 
 using namespace nsp;
-
-std::map<std::string, arch::Platform> platform_registry() {
-  return {
-      {"ethernet", arch::Platform::lace560_ethernet()},
-      {"allnode-s", arch::Platform::lace560_allnode_s()},
-      {"allnode-f", arch::Platform::lace590_allnode_f()},
-      {"fddi", arch::Platform::lace560_fddi()},
-      {"atm", arch::Platform::lace590_atm()},
-      {"sp-mpl", arch::Platform::ibm_sp_mpl()},
-      {"sp-pvme", arch::Platform::ibm_sp_pvme()},
-      {"t3d", arch::Platform::cray_t3d()},
-      {"t3d-shmem", arch::Platform::cray_t3d_shmem()},
-      {"ymp", arch::Platform::cray_ymp()},
-  };
-}
 
 int usage() {
   std::printf(
@@ -42,7 +28,9 @@ int usage() {
       "  nsplab_cli list\n"
       "  nsplab_cli replay <platform> [--euler] [--version N] [--procs P]\n"
       "  nsplab_cli sweep  <platform> [--euler] [--version N]\n"
-      "  nsplab_cli solve  [--ni N] [--nj N] [--steps N] [--euler] [--threads T]\n");
+      "  nsplab_cli batch  <platform> [<platform>...] [--euler] [--version N]\n"
+      "  nsplab_cli solve  [--ni N] [--nj N] [--steps N] [--euler] "
+      "[--threads T]\n");
   return 2;
 }
 
@@ -54,6 +42,7 @@ struct Args {
   int nj = 40;
   int steps = 200;
   int threads = 1;
+  std::vector<std::string> names;  ///< non-flag positionals
 };
 
 Args parse_flags(int argc, char** argv, int from) {
@@ -68,20 +57,23 @@ Args parse_flags(int argc, char** argv, int from) {
     else if (flag == "--nj") a.nj = next();
     else if (flag == "--steps") a.steps = next();
     else if (flag == "--threads") a.threads = next();
+    else if (!flag.empty() && flag[0] != '-') a.names.push_back(flag);
   }
   return a;
 }
 
-perf::AppModel make_app(const Args& a) {
-  return perf::AppModel::paper(
-      a.euler ? arch::Equations::Euler : arch::Equations::NavierStokes,
-      static_cast<arch::CodeVersion>(std::clamp(a.version, 1, 7)));
+Scenario make_base(const Args& a) {
+  return Scenario::jet250x100()
+      .equations(a.euler ? arch::Equations::Euler
+                         : arch::Equations::NavierStokes)
+      .version(static_cast<arch::CodeVersion>(std::clamp(a.version, 1, 7)));
 }
 
 int cmd_list() {
   io::Table t({"key", "platform", "CPU", "network", "library", "max procs"});
-  t.title("Available platforms");
-  for (const auto& [key, p] : platform_registry()) {
+  t.title("Available platforms (append -<procs> to resize, e.g. t3d-64)");
+  for (const auto& key : exec::platform_names()) {
+    const auto p = exec::make_platform(key);
     t.row({key, p.name, p.cpu.name, to_string(p.net), p.msglayer.name,
            std::to_string(p.max_procs)});
   }
@@ -89,30 +81,64 @@ int cmd_list() {
   return 0;
 }
 
-int cmd_replay(const arch::Platform& plat, const Args& a) {
-  const auto app = make_app(a);
+int cmd_replay(const std::string& key, const Args& a) {
+  const auto plat = exec::make_platform(key);
   const int procs = std::min(a.procs, plat.max_procs);
-  const auto r = perf::replay(app, plat, procs);
-  std::printf("%s, %s, %d procs:\n", plat.name.c_str(), app.profile.name.c_str(),
-              procs);
-  std::printf("  execution time        %10.1f s\n", r.exec_time);
-  std::printf("  processor busy (avg)  %10.1f s\n", r.avg_busy());
-  std::printf("  non-overlapped comm   %10.1f s\n", r.avg_wait());
-  std::printf("  messages / bytes      %10.0f / %.1f MB\n", r.total_messages(),
-              r.total_bytes() / 1e6);
+  const auto r =
+      bench::run_cell(make_base(a).platform(key).threads(procs));
+  std::printf("%s, %d procs:\n", r.platform.c_str(), r.nprocs);
+  std::printf("  execution time        %10.1f s\n", r.metric("exec_s"));
+  std::printf("  processor busy (avg)  %10.1f s\n", r.metric("busy_avg_s"));
+  std::printf("  non-overlapped comm   %10.1f s\n", r.metric("wait_avg_s"));
+  std::printf("  messages / bytes      %10.0f / %.1f MB\n",
+              r.metric("messages"), r.metric("bytes") / 1e6);
   return 0;
 }
 
-int cmd_sweep(const arch::Platform& plat, const Args& a) {
-  const auto app = make_app(a);
-  const auto series = bench::exec_time_series(app, plat, plat.name);
+int cmd_sweep(const std::string& key, const Args& a) {
+  const auto plat = exec::make_platform(key);
+  const auto series =
+      bench::exec_time_series(make_base(a).platform(key), plat.name);
   io::ChartOptions opts;
-  opts.title = plat.name + " / " + app.profile.name;
+  opts.title = plat.name;
   opts.x_label = "Number of Processors";
   opts.y_label = "Execution time (s)";
   io::LineChart chart(opts);
   chart.add(series);
   std::printf("%s", chart.str().c_str());
+  return 0;
+}
+
+int cmd_batch(const Args& a) {
+  if (a.names.empty()) return usage();
+  std::vector<bench::SweepSpec> specs;
+  for (const auto& key : a.names) {
+    if (!exec::has_platform(key)) {
+      std::printf("unknown platform '%s'; try: nsplab_cli list\n", key.c_str());
+      return 2;
+    }
+  }
+  for (const auto& key : a.names) {
+    specs.push_back({make_base(a).platform(key), exec::make_platform(key).name});
+  }
+  io::ChartOptions opts;
+  opts.title = "Batch sweep";
+  opts.x_label = "Number of Processors";
+  opts.y_label = "Execution time (s)";
+  io::LineChart chart(opts);
+  for (auto& s : bench::exec_time_sweep(specs)) chart.add(s);
+  std::printf("%s", chart.str().c_str());
+
+  // Re-run the cells (all cache hits) to collect the JSON artifact.
+  std::vector<Scenario> cells;
+  for (const auto& spec : specs) {
+    const int maxp = exec::make_platform(spec.base.platform_key()).max_procs;
+    for (int p : bench::proc_sweep(maxp)) {
+      cells.push_back(Scenario(spec.base).threads(p));
+    }
+  }
+  bench::write_resultset(bench::engine().run(cells), "nsplab_batch.json");
+  bench::print_engine_counters();
   return 0;
 }
 
@@ -139,16 +165,17 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "list") return cmd_list();
   if (cmd == "solve") return cmd_solve(parse_flags(argc, argv, 2));
+  if (cmd == "batch") return cmd_batch(parse_flags(argc, argv, 2));
   if (cmd == "replay" || cmd == "sweep") {
     if (argc < 3) return usage();
-    const auto reg = platform_registry();
-    const auto it = reg.find(argv[2]);
-    if (it == reg.end()) {
-      std::printf("unknown platform '%s'; try: nsplab_cli list\n", argv[2]);
+    const std::string key = argv[2];
+    if (!exec::has_platform(key)) {
+      std::printf("unknown platform '%s'; try: nsplab_cli list\n",
+                  key.c_str());
       return 2;
     }
     const Args a = parse_flags(argc, argv, 3);
-    return cmd == "replay" ? cmd_replay(it->second, a) : cmd_sweep(it->second, a);
+    return cmd == "replay" ? cmd_replay(key, a) : cmd_sweep(key, a);
   }
   return usage();
 }

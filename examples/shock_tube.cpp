@@ -7,6 +7,7 @@
 
 #include "core/riemann.hpp"
 #include "core/solver.hpp"
+#include "io/artifacts.hpp"
 #include "io/chart.hpp"
 #include "io/table.hpp"
 
@@ -82,7 +83,7 @@ int main() {
   std::printf("L1 density error: %.4f (%.2f%% of the jump)\n",
               l1 / cfg.grid.ni,
               100.0 * (l1 / cfg.grid.ni) / (left.rho - right.rho));
-  io::write_series_csv("shock_tube_density.csv", {num, ana});
+  io::write_series_csv(io::artifact_path("shock_tube_density.csv"), {num, ana});
   std::printf("[profiles written to shock_tube_density.csv]\n");
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "core/stability.hpp"
+#include "io/artifacts.hpp"
 #include "io/chart.hpp"
 #include "io/table.hpp"
 
@@ -75,7 +76,7 @@ int main() {
     echart.add(up);
     echart.add(pp);
     std::printf("%s", echart.str().c_str());
-    io::write_series_csv("stability_eigenfunctions.csv", {up, pp});
+    io::write_series_csv(io::artifact_path("stability_eigenfunctions.csv"), {up, pp});
     std::printf("\n[eigenfunctions written to stability_eigenfunctions.csv]\n");
     std::printf(
         "Use cfg.rayleigh_inflow = true in SolverConfig to excite the jet\n"

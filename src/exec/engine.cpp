@@ -1,0 +1,271 @@
+#include "exec/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "core/solver.hpp"
+#include "exec/pool.hpp"
+#include "perf/replay.hpp"
+#include "sim/simulator.hpp"
+
+namespace nsp::exec {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// CPU time of the calling thread. Unlike wall time this does not count
+/// time spent descheduled, so summing it across tasks gives the true
+/// serial work even when the pool oversubscribes the host's cores (and
+/// speedup() cannot over-report on a small machine).
+double thread_cpu_seconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+  }
+#endif
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("NSP_EXEC_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 1;
+}
+
+void run_replay(const Scenario& s, RunResult* out) {
+  perf::ReplayOptions opts;
+  opts.sim_steps = s.sim_step_count();
+  const auto r =
+      perf::replay(s.app_model(), s.platform_model(), s.resolved_procs(), opts);
+  out->platform = r.platform;
+  out->nprocs = r.nprocs;
+  set_replay_metrics(*out, r);
+}
+
+/// Runs the live solver in chunks so cancellation can interrupt a long
+/// solve between chunks (the result is dropped in that case).
+bool run_solve(const Scenario& s, const std::atomic<bool>* cancel,
+               RunResult* out) {
+  auto cfg = s.solver_config();
+  cfg.count_flops = true;
+  core::Solver solver(cfg);
+  solver.initialize();
+  const int total = s.step_count();
+  const int chunk = std::max(1, total / 16);
+  for (int done = 0; done < total;) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return false;
+    }
+    const int n = std::min(chunk, total - done);
+    solver.run(n);
+    done += n;
+  }
+  out->platform = "live solver";
+  out->nprocs = 1;
+  out->set("steps", solver.steps_taken());
+  out->set("sim_time_s", solver.time());
+  out->set("dt_s", solver.dt());
+  out->set("max_mach", solver.max_mach());
+  out->set("finite", solver.finite() ? 1 : 0);
+  out->set("mass_integral", solver.conserved_integral(0));
+  out->set("flops", solver.flops().total());
+  return true;
+}
+
+double one_transfer_s(const arch::Platform& plat, int nodes,
+                      std::size_t bytes) {
+  sim::Simulator sim;
+  auto net = plat.make_network(sim, nodes);
+  double done = -1;
+  net->transmit(0, 1, bytes, [&] { done = sim.now(); });
+  sim.run();
+  return done;
+}
+
+void run_net_probe(const Scenario& s, RunResult* out) {
+  const arch::Platform plat = s.platform_model();
+  const int nodes = std::max(2, s.resolved_procs());
+  out->platform = plat.name;
+  out->nprocs = nodes;
+  out->set("latency_us", one_transfer_s(plat, nodes, 8) * 1e6);
+  out->set("bw_1k_MBps", 1024.0 / one_transfer_s(plat, nodes, 1024) / 1e6);
+  out->set("bw_64k_MBps", 65536.0 / one_transfer_s(plat, nodes, 65536) / 1e6);
+  // Aggregate throughput: disjoint pairs streaming 64 KB each.
+  sim::Simulator sim;
+  auto net = plat.make_network(sim, nodes);
+  const int pairs = nodes / 2;
+  int done = 0;
+  for (int k = 0; k < pairs; ++k) {
+    net->transmit(2 * k, 2 * k + 1, 65536, [&done] { ++done; });
+  }
+  sim.run();
+  out->set("aggregate_MBps", pairs * 65536.0 / sim.now() / 1e6);
+}
+
+/// The task kernel: executes one scenario. Returns nullopt if cancelled
+/// mid-computation.
+std::optional<RunResult> run_one(const Scenario& s,
+                                 const std::atomic<bool>* cancel) {
+  RunResult out;
+  out.key = s.key();
+  out.label = s.label_text();
+  out.seed = s.derived_seed();
+  const auto t0 = std::chrono::steady_clock::now();
+  switch (s.workload()) {
+    case Workload::Replay:
+      run_replay(s, &out);
+      break;
+    case Workload::Solve:
+      if (!run_solve(s, cancel, &out)) return std::nullopt;
+      break;
+    case Workload::NetProbe:
+      run_net_probe(s, &out);
+      break;
+  }
+  out.wall_s = seconds_since(t0);
+  return out;
+}
+
+}  // namespace
+
+struct Engine::Impl {
+  EngineOptions opts;
+  WorkStealingPool pool;
+  std::mutex cache_mu;
+  std::unordered_map<std::string, RunResult> cache;
+  std::atomic<bool> cancel{false};
+  std::mutex hook_mu;
+  std::mutex counters_mu;
+  std::uint64_t stolen_before = 0;
+
+  explicit Impl(EngineOptions o)
+      : opts([&o] {
+          o.threads = resolve_threads(o.threads);
+          return o;
+        }()),
+        pool(opts.threads) {}
+};
+
+Engine::Engine(EngineOptions opts) : impl_(new Impl(opts)) {
+  counters_.threads = impl_->opts.threads;
+}
+
+Engine::~Engine() { delete impl_; }
+
+void Engine::cancel() { impl_->cancel.store(true, std::memory_order_relaxed); }
+
+bool Engine::cancelled() const {
+  return impl_->cancel.load(std::memory_order_relaxed);
+}
+
+std::size_t Engine::cache_size() const {
+  std::lock_guard<std::mutex> lock(impl_->cache_mu);
+  return impl_->cache.size();
+}
+
+void Engine::clear_cache() {
+  std::lock_guard<std::mutex> lock(impl_->cache_mu);
+  impl_->cache.clear();
+}
+
+RunResult Engine::run_scenario(const Scenario& s) {
+  auto r = run_one(s, nullptr);
+  return *r;  // never cancelled without a flag
+}
+
+ResultSet Engine::run(const std::vector<Scenario>& sweep,
+                      const RunHooks& hooks) {
+  Impl& im = *impl_;
+  im.cancel.store(false, std::memory_order_relaxed);
+  counters_.submitted += sweep.size();
+
+  const std::size_t total = sweep.size();
+  std::vector<std::optional<RunResult>> slots(total);
+  std::atomic<std::size_t> done{0};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < total; ++i) {
+    im.pool.submit([this, &im, &sweep, &slots, &done, &hooks, total, i] {
+      const Scenario& s = sweep[i];
+      if (im.cancel.load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> lock(im.counters_mu);
+        ++counters_.cancelled;
+        return;
+      }
+      const std::string cache_key = s.cache_key();
+      if (im.opts.cache) {
+        std::lock_guard<std::mutex> lock(im.cache_mu);
+        const auto it = im.cache.find(cache_key);
+        if (it != im.cache.end()) {
+          slots[i] = it->second;
+          // The cache is content-addressed: metrics are label-independent,
+          // so restamp the requesting scenario's identity.
+          slots[i]->key = s.key();
+          slots[i]->label = s.label_text();
+          slots[i]->from_cache = true;
+          slots[i]->wall_s = 0;
+          std::lock_guard<std::mutex> clock(im.counters_mu);
+          ++counters_.cache_hits;
+        }
+      }
+      if (!slots[i].has_value()) {
+        const double cpu0 = thread_cpu_seconds();
+        auto r = run_one(s, &im.cancel);
+        const double cpu_s = thread_cpu_seconds() - cpu0;
+        if (!r.has_value()) {  // cancelled mid-solve
+          std::lock_guard<std::mutex> lock(im.counters_mu);
+          ++counters_.cancelled;
+          return;
+        }
+        slots[i] = std::move(r);
+        {
+          std::lock_guard<std::mutex> lock(im.counters_mu);
+          ++counters_.executed;
+          counters_.task_s += cpu_s;
+        }
+        if (im.opts.cache) {
+          std::lock_guard<std::mutex> lock(im.cache_mu);
+          im.cache.emplace(cache_key, *slots[i]);
+        }
+      }
+      if (hooks.on_result) {
+        std::lock_guard<std::mutex> lock(im.hook_mu);
+        hooks.on_result(*slots[i], done.fetch_add(1) + 1, total);
+      } else {
+        done.fetch_add(1);
+      }
+    });
+  }
+  im.pool.wait_idle();
+  counters_.wall_s += seconds_since(t0);
+
+  const auto pool_stats = im.pool.stats();
+  counters_.stolen = pool_stats.stolen;
+
+  ResultSet rs;
+  for (auto& slot : slots) {
+    if (slot.has_value()) rs.results.push_back(std::move(*slot));
+  }
+  std::sort(rs.results.begin(), rs.results.end(),
+            [](const RunResult& a, const RunResult& b) { return a.key < b.key; });
+  return rs;
+}
+
+}  // namespace nsp::exec

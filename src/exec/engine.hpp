@@ -1,0 +1,97 @@
+// The batch experiment engine: runs a set of Scenarios concurrently on
+// a work-stealing pool, memoizes completed cells, and aggregates a
+// deterministic ResultSet.
+//
+// Guarantees:
+//   * Determinism — every workload is a pure function of its scenario,
+//     each task owns its own simulator/solver, and the ResultSet is
+//     sorted by scenario key, so 1-thread and N-thread runs produce
+//     bit-identical results (and byte-identical JSON/CSV).
+//   * Memoization — results are cached by scenario content hash; a
+//     re-run of a sweep with one changed axis recomputes only the
+//     changed cells.
+//   * Cancellation — cancel() (callable from a progress hook or another
+//     thread) stops unstarted scenarios and interrupts solver runs
+//     between step chunks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "exec/run_result.hpp"
+#include "exec/scenario.hpp"
+
+namespace nsp::exec {
+
+struct EngineOptions {
+  /// Worker threads. 0 = $NSP_EXEC_THREADS if set, else the hardware
+  /// concurrency; 1 = serial reference mode.
+  int threads = 0;
+  /// Memoize completed scenarios across run() calls.
+  bool cache = true;
+};
+
+/// Counters accumulated across an Engine's lifetime.
+struct EngineCounters {
+  std::uint64_t submitted = 0;   ///< scenarios handed to run()
+  std::uint64_t executed = 0;    ///< scenarios actually computed
+  std::uint64_t cache_hits = 0;  ///< scenarios served from the memo cache
+  std::uint64_t cancelled = 0;   ///< scenarios skipped by cancellation
+  std::uint64_t stolen = 0;      ///< pool tasks taken from another worker
+  int threads = 1;               ///< pool width
+  double wall_s = 0;  ///< wall clock summed over run() calls
+  double task_s = 0;  ///< summed per-scenario CPU time (true serial work)
+
+  /// Harness speedup: serial work time / engine wall time.
+  double speedup() const { return wall_s > 0 ? task_s / wall_s : 0; }
+
+  /// Fraction of the pool's capacity that did useful work.
+  double utilization() const {
+    return wall_s > 0 && threads > 0 ? task_s / (wall_s * threads) : 0;
+  }
+};
+
+/// Hooks observed during a run. Callbacks fire on worker threads but
+/// are serialized by the engine (never concurrently).
+struct RunHooks {
+  /// After each scenario completes: the result plus progress counts.
+  std::function<void(const RunResult&, std::size_t done, std::size_t total)>
+      on_result;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions opts = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs the sweep; blocks until all scenarios finished (or were
+  /// cancelled). Cancelled scenarios are absent from the ResultSet.
+  ResultSet run(const std::vector<Scenario>& sweep, const RunHooks& hooks = {});
+
+  /// Requests cancellation of the in-flight run(); safe from hooks and
+  /// other threads. Cleared when the next run() starts.
+  void cancel();
+
+  /// True if cancel() has been called during the current run.
+  bool cancelled() const;
+
+  const EngineCounters& counters() const { return counters_; }
+
+  std::size_t cache_size() const;
+  void clear_cache();
+
+  /// Executes one scenario synchronously (no pool, no cache) — the
+  /// kernel each engine task runs; exposed for tests and one-off cells.
+  static RunResult run_scenario(const Scenario& s);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  EngineCounters counters_;
+};
+
+}  // namespace nsp::exec

@@ -1,0 +1,114 @@
+#include "exec/pool.hpp"
+
+#include <chrono>
+
+namespace nsp::exec {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+WorkStealingPool::WorkStealingPool(int threads) {
+  int n = threads;
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  if (n <= 0) n = 1;
+  if (n == 1) return;  // inline mode: no workers, submit() executes
+  queues_.resize(static_cast<std::size_t>(n));
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    workers_.emplace_back([this, w] { worker_main(static_cast<std::size_t>(w)); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void WorkStealingPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Serial reference mode: run here, count like a worker would.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.queued;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    task();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.executed;
+    stats_.busy_s += seconds_since(t0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.queued;
+    ++pending_;
+    queues_[next_queue_].deque.push_back(std::move(task));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  work_cv_.notify_one();
+}
+
+void WorkStealingPool::wait_idle() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+WorkStealingPool::Stats WorkStealingPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+// Called with mu_ held.
+bool WorkStealingPool::try_get(std::size_t self, std::function<void()>* out) {
+  auto& own = queues_[self].deque;
+  if (!own.empty()) {
+    *out = std::move(own.back());
+    own.pop_back();
+    return true;
+  }
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    auto& victim = queues_[(self + k) % queues_.size()].deque;
+    if (!victim.empty()) {
+      *out = std::move(victim.front());
+      victim.pop_front();
+      ++stats_.stolen;
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkStealingPool::worker_main(std::size_t self) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    std::function<void()> task;
+    if (try_get(self, &task)) {
+      lock.unlock();
+      const auto t0 = std::chrono::steady_clock::now();
+      task();
+      task = nullptr;  // release captures outside the next wait
+      const double busy = seconds_since(t0);
+      lock.lock();
+      ++stats_.executed;
+      stats_.busy_s += busy;
+      if (--pending_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    if (stop_) return;
+    work_cv_.wait(lock);
+  }
+}
+
+}  // namespace nsp::exec

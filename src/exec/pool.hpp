@@ -1,0 +1,70 @@
+// A work-stealing thread pool for the experiment engine.
+//
+// Each worker owns a deque: it pushes and pops work at the back and
+// victims are robbed from the front, so long scenario chains stay warm
+// on their worker while idle workers drain the sweep from the other
+// end. The pool exposes the counters the engine reports (queued,
+// executed, stolen, per-worker busy seconds).
+//
+// With `threads <= 1` the pool runs tasks inline on the caller's thread
+// at submit() time — the serial reference mode the determinism tests
+// compare against.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nsp::exec {
+
+class WorkStealingPool {
+ public:
+  /// `threads` = 0 picks std::thread::hardware_concurrency().
+  explicit WorkStealingPool(int threads = 0);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Enqueues a task (round-robin across worker deques). Tasks must not
+  /// throw; exceptions escaping a task terminate.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Worker count (1 when running inline).
+  int threads() const { return static_cast<int>(workers_.size() ? workers_.size() : 1); }
+
+  struct Stats {
+    std::uint64_t queued = 0;    ///< tasks accepted by submit()
+    std::uint64_t executed = 0;  ///< tasks completed
+    std::uint64_t stolen = 0;    ///< tasks taken from another worker
+    double busy_s = 0;           ///< summed task wall time, all workers
+  };
+  Stats stats() const;
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> deque;
+  };
+
+  bool try_get(std::size_t self, std::function<void()>* out);
+  void worker_main(std::size_t self);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::vector<Worker> queues_;
+  std::vector<std::thread> workers_;
+  std::size_t next_queue_ = 0;
+  std::uint64_t pending_ = 0;  ///< queued or running
+  bool stop_ = false;
+  Stats stats_;
+};
+
+}  // namespace nsp::exec

@@ -1,0 +1,157 @@
+#include "exec/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace nsp::exec {
+
+namespace {
+
+using Factory = arch::Platform (*)();
+
+const std::map<std::string, Factory>& builtin_platforms() {
+  static const std::map<std::string, Factory> kBuiltins = {
+      {"lace-ethernet", &arch::Platform::lace560_ethernet},
+      {"lace-allnode-s", &arch::Platform::lace560_allnode_s},
+      {"lace-fddi", &arch::Platform::lace560_fddi},
+      {"lace-allnode-f", &arch::Platform::lace590_allnode_f},
+      {"lace-atm", &arch::Platform::lace590_atm},
+      {"sp-mpl", &arch::Platform::ibm_sp_mpl},
+      {"sp-pvme", &arch::Platform::ibm_sp_pvme},
+      {"t3d", &arch::Platform::cray_t3d},
+      {"t3d-shmem", &arch::Platform::cray_t3d_shmem},
+      {"ymp", &arch::Platform::cray_ymp},
+      {"dash", &arch::Platform::dash},
+  };
+  return kBuiltins;
+}
+
+std::mutex& user_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, arch::Platform>& user_platforms() {
+  static std::map<std::string, arch::Platform> reg;
+  return reg;
+}
+
+/// Splits "base-32" into ("base", 32); procs = 0 when no suffix.
+void split_proc_suffix(const std::string& key, std::string* base, int* procs) {
+  *base = key;
+  *procs = 0;
+  const auto dash = key.find_last_of('-');
+  if (dash == std::string::npos || dash + 1 >= key.size()) return;
+  int value = 0;
+  for (std::size_t i = dash + 1; i < key.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(key[i]))) return;
+    value = value * 10 + (key[i] - '0');
+  }
+  if (value <= 0) return;
+  *base = key.substr(0, dash);
+  *procs = value;
+}
+
+bool find_base(const std::string& base, arch::Platform* out) {
+  const auto& builtins = builtin_platforms();
+  if (const auto it = builtins.find(base); it != builtins.end()) {
+    if (out != nullptr) *out = it->second();
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(user_mutex());
+  const auto& users = user_platforms();
+  if (const auto it = users.find(base); it != users.end()) {
+    if (out != nullptr) *out = it->second;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> platform_names() {
+  std::vector<std::string> names;
+  for (const auto& kv : builtin_platforms()) names.push_back(kv.first);
+  {
+    std::lock_guard<std::mutex> lock(user_mutex());
+    for (const auto& kv : user_platforms()) names.push_back(kv.first);
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+bool has_platform(const std::string& key) {
+  std::string base;
+  int procs = 0;
+  if (find_base(key, nullptr)) return true;
+  split_proc_suffix(key, &base, &procs);
+  return procs > 0 && find_base(base, nullptr);
+}
+
+arch::Platform make_platform(const std::string& key) {
+  arch::Platform p;
+  // Exact match first, so registered names containing "-<digits>" and
+  // the builtin "t3d" (vs "t3d-shmem") resolve without surprises.
+  if (find_base(key, &p)) return p;
+  std::string base;
+  int procs = 0;
+  split_proc_suffix(key, &base, &procs);
+  if (procs > 0 && find_base(base, &p)) {
+    p.max_procs = procs;
+    return p;
+  }
+  std::string msg = "unknown platform '" + key + "'; known:";
+  for (const auto& n : platform_names()) msg += " " + n;
+  throw std::invalid_argument(msg);
+}
+
+void register_platform(const std::string& key, const arch::Platform& platform) {
+  if (key.empty()) throw std::invalid_argument("empty platform key");
+  std::string base;
+  int procs = 0;
+  split_proc_suffix(key, &base, &procs);
+  if (procs > 0) {
+    throw std::invalid_argument("platform key '" + key +
+                                "' ends in a proc-count suffix");
+  }
+  std::lock_guard<std::mutex> lock(user_mutex());
+  user_platforms()[key] = platform;
+}
+
+namespace {
+
+using MsgFactory = arch::MsgLayerModel (*)();
+
+const std::map<std::string, MsgFactory>& msglayers() {
+  static const std::map<std::string, MsgFactory> kLayers = {
+      {"pvm", &arch::MsgLayerModel::pvm_lace},
+      {"pvme", &arch::MsgLayerModel::pvme_sp},
+      {"mpl", &arch::MsgLayerModel::mpl_sp},
+      {"cray-pvm", &arch::MsgLayerModel::pvm_t3d},
+      {"shmem", &arch::MsgLayerModel::shmem_t3d},
+      {"shared-memory", &arch::MsgLayerModel::shared_memory},
+  };
+  return kLayers;
+}
+
+}  // namespace
+
+std::vector<std::string> msglayer_names() {
+  std::vector<std::string> names;
+  for (const auto& kv : msglayers()) names.push_back(kv.first);
+  return names;
+}
+
+arch::MsgLayerModel make_msglayer(const std::string& key) {
+  const auto& layers = msglayers();
+  if (const auto it = layers.find(key); it != layers.end()) return it->second();
+  std::string msg = "unknown message layer '" + key + "'; known:";
+  for (const auto& n : msglayer_names()) msg += " " + n;
+  throw std::invalid_argument(msg);
+}
+
+}  // namespace nsp::exec

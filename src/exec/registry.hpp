@@ -1,0 +1,45 @@
+// Name-keyed construction of platforms and message layers.
+//
+// Scenarios refer to machines by string key instead of calling the
+// arch::Platform preset constructors directly, so sweeps can be written
+// as data ("lace-fddi-8", "t3d-64") and user-defined machines join the
+// zoo at runtime via register_platform().
+//
+// A platform key is a base name with an optional "-<procs>" suffix that
+// overrides max_procs: "t3d" is the paper's 16-PE partition, "t3d-64"
+// the full machine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/msglayer.hpp"
+#include "arch/platform.hpp"
+
+namespace nsp::exec {
+
+/// All registered base platform keys, sorted (built-ins plus anything
+/// added with register_platform()).
+std::vector<std::string> platform_names();
+
+/// True if `key` resolves (including a "-<procs>" suffix).
+bool has_platform(const std::string& key);
+
+/// Builds the platform for `key`; throws std::invalid_argument with the
+/// list of known keys on an unknown name.
+arch::Platform make_platform(const std::string& key);
+
+/// Registers (or replaces) a user-defined machine under `key`. The key
+/// must be non-empty and must not end in "-<digits>" (that form is
+/// reserved for the proc-count suffix).
+void register_platform(const std::string& key, const arch::Platform& platform);
+
+/// All message-layer keys, sorted.
+std::vector<std::string> msglayer_names();
+
+/// Builds the message-layer model for `key` ("pvm", "mpl", "pvme",
+/// "cray-pvm", "shmem", "shared-memory"); throws std::invalid_argument
+/// on an unknown name.
+arch::MsgLayerModel make_msglayer(const std::string& key);
+
+}  // namespace nsp::exec

@@ -1,0 +1,163 @@
+#include "exec/run_result.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/table.hpp"
+
+namespace nsp::exec {
+
+void RunResult::set(std::string name, double value) {
+  for (auto& [k, v] : metrics) {
+    if (k == name) {
+      v = value;
+      return;
+    }
+  }
+  metrics.emplace_back(std::move(name), value);
+}
+
+bool RunResult::has(std::string_view name) const {
+  for (const auto& kv : metrics) {
+    if (kv.first == name) return true;
+  }
+  return false;
+}
+
+double RunResult::metric(std::string_view name) const {
+  for (const auto& kv : metrics) {
+    if (kv.first == name) return kv.second;
+  }
+  throw std::out_of_range("RunResult: no metric named '" + std::string(name) +
+                          "' in " + key);
+}
+
+bool operator==(const RunResult& a, const RunResult& b) {
+  return a.key == b.key && a.label == b.label && a.platform == b.platform &&
+         a.nprocs == b.nprocs && a.seed == b.seed && a.metrics == b.metrics;
+}
+
+const RunResult* ResultSet::find(std::string_view key) const {
+  for (const auto& r : results) {
+    if (r.key == key) return &r;
+  }
+  return nullptr;
+}
+
+const RunResult* ResultSet::find_label(std::string_view label) const {
+  for (const auto& r : results) {
+    if (r.label == label) return &r;
+  }
+  return nullptr;
+}
+
+std::string ResultSet::to_csv() const {
+  std::set<std::string> names;
+  for (const auto& r : results) {
+    for (const auto& kv : r.metrics) names.insert(kv.first);
+  }
+  std::ostringstream os;
+  os << "key,label,platform,nprocs,seed";
+  for (const auto& n : names) os << ',' << io::csv_escape(n);
+  os << '\n';
+  for (const auto& r : results) {
+    os << io::csv_escape(r.key) << ',' << io::csv_escape(r.label) << ','
+       << io::csv_escape(r.platform) << ',' << r.nprocs << ',' << r.seed;
+    for (const auto& n : names) {
+      os << ',';
+      if (r.has(n)) os << io::format_exact(r.metric(n));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string ResultSet::to_json() const {
+  std::vector<io::JsonRecord> records;
+  records.reserve(results.size());
+  for (const auto& r : results) {
+    io::JsonRecord rec;
+    rec.emplace_back("key", "\"" + io::json_escape(r.key) + "\"");
+    rec.emplace_back("label", "\"" + io::json_escape(r.label) + "\"");
+    rec.emplace_back("platform", "\"" + io::json_escape(r.platform) + "\"");
+    rec.emplace_back("nprocs", std::to_string(r.nprocs));
+    rec.emplace_back("seed", std::to_string(r.seed));
+    std::string m = "{";
+    for (std::size_t k = 0; k < r.metrics.size(); ++k) {
+      if (k) m += ", ";
+      m += "\"" + io::json_escape(r.metrics[k].first) +
+           "\": " + io::format_exact(r.metrics[k].second);
+    }
+    m += "}";
+    rec.emplace_back("metrics", m);
+    records.push_back(std::move(rec));
+  }
+  return io::json_records(records);
+}
+
+namespace {
+
+void write_text(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+void ResultSet::write_csv(const std::string& path) const {
+  write_text(path, to_csv());
+}
+
+void ResultSet::write_json(const std::string& path) const {
+  write_text(path, to_json());
+}
+
+bool operator==(const ResultSet& a, const ResultSet& b) {
+  return a.results == b.results;
+}
+
+double avg_busy(const perf::ReplayResult& r) {
+  double s = 0;
+  for (const auto& k : r.ranks) s += k.busy();
+  return r.ranks.empty() ? 0 : s / static_cast<double>(r.ranks.size());
+}
+
+double max_busy(const perf::ReplayResult& r) {
+  double m = 0;
+  for (const auto& k : r.ranks) m = std::max(m, k.busy());
+  return m;
+}
+
+double avg_wait(const perf::ReplayResult& r) {
+  double s = 0;
+  for (const auto& k : r.ranks) s += k.wait;
+  return r.ranks.empty() ? 0 : s / static_cast<double>(r.ranks.size());
+}
+
+double total_messages(const perf::ReplayResult& r) {
+  double s = 0;
+  for (const auto& k : r.ranks) s += static_cast<double>(k.sends);
+  return s;
+}
+
+double total_bytes(const perf::ReplayResult& r) {
+  double s = 0;
+  for (const auto& k : r.ranks) s += k.bytes_sent;
+  return s;
+}
+
+void set_replay_metrics(RunResult& out, const perf::ReplayResult& r) {
+  out.set("exec_s", r.exec_time);
+  out.set("busy_avg_s", avg_busy(r));
+  out.set("busy_max_s", max_busy(r));
+  out.set("wait_avg_s", avg_wait(r));
+  out.set("messages", total_messages(r));
+  out.set("bytes", total_bytes(r));
+}
+
+}  // namespace nsp::exec

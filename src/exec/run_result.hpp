@@ -1,0 +1,98 @@
+// The one result record of the experiment engine.
+//
+// Every workload the engine can execute — platform replays, live solver
+// runs, network probes — reports its outcome as a RunResult: the
+// scenario's canonical key plus an ordered list of named metrics. This
+// replaces the ad-hoc result structs that used to be scattered across
+// the harnesses (bench_util's series assembly, bench_networks'
+// NetResult, the aggregate accessors on perf::ReplayResult).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "perf/replay.hpp"
+
+namespace nsp::exec {
+
+/// One completed scenario: identity plus named metrics.
+struct RunResult {
+  std::string key;       ///< canonical scenario key (sort/cache identity)
+  std::string label;     ///< user-facing label ("" = none)
+  std::string platform;  ///< platform display name
+  int nprocs = 1;
+  std::uint64_t seed = 0;  ///< the derived per-scenario seed
+
+  /// Named metrics in insertion order ("exec_s", "busy_avg_s", ...).
+  std::vector<std::pair<std::string, double>> metrics;
+
+  // Execution bookkeeping — *not* part of the result's identity: these
+  // vary run to run, so equality, CSV, and JSON all exclude them.
+  double wall_s = 0;        ///< host wall-clock spent computing this cell
+  bool from_cache = false;  ///< served from the engine's memo cache
+
+  /// Sets (or overwrites) a metric.
+  void set(std::string name, double value);
+
+  /// True if the metric exists.
+  bool has(std::string_view name) const;
+
+  /// Metric value; throws std::out_of_range if absent.
+  double metric(std::string_view name) const;
+};
+
+/// Identity comparison: key, label, platform, nprocs, seed, and the
+/// exact metric bits. wall_s / from_cache are excluded.
+bool operator==(const RunResult& a, const RunResult& b);
+inline bool operator!=(const RunResult& a, const RunResult& b) {
+  return !(a == b);
+}
+
+/// Results of a sweep in a stable order (sorted by key, then label):
+/// independent of the completion order of the pool's workers, so a
+/// parallel run serializes byte-identically to a serial one.
+struct ResultSet {
+  std::vector<RunResult> results;
+
+  /// First result whose key equals `key`, or nullptr.
+  const RunResult* find(std::string_view key) const;
+
+  /// First result whose label equals `label`, or nullptr.
+  const RunResult* find_label(std::string_view label) const;
+
+  /// Deterministic CSV: identity columns plus the union of metric names
+  /// (sorted) as columns; doubles serialized exactly.
+  std::string to_csv() const;
+
+  /// Deterministic JSON array of objects (insertion-ordered metrics).
+  std::string to_json() const;
+
+  /// Writes to_csv()/to_json() through io (path taken literally).
+  void write_csv(const std::string& path) const;
+  void write_json(const std::string& path) const;
+};
+
+bool operator==(const ResultSet& a, const ResultSet& b);
+inline bool operator!=(const ResultSet& a, const ResultSet& b) {
+  return !(a == b);
+}
+
+// ---- Replay aggregates -------------------------------------------------
+// The paper-level summary statistics of a replay, formerly duplicated as
+// methods on perf::ReplayResult; RunResult's metric set is built from
+// these.
+
+double avg_busy(const perf::ReplayResult& r);
+double max_busy(const perf::ReplayResult& r);
+double avg_wait(const perf::ReplayResult& r);
+double total_messages(const perf::ReplayResult& r);
+double total_bytes(const perf::ReplayResult& r);
+
+/// Standard metric set for a replay outcome: exec_s, busy_avg_s,
+/// busy_max_s, wait_avg_s, messages, bytes.
+void set_replay_metrics(RunResult& out, const perf::ReplayResult& r);
+
+}  // namespace nsp::exec

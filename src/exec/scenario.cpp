@@ -1,0 +1,166 @@
+#include "exec/scenario.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "exec/registry.hpp"
+
+namespace nsp::exec {
+
+std::string to_string(Workload w) {
+  switch (w) {
+    case Workload::Replay: return "replay";
+    case Workload::Solve: return "solve";
+    case Workload::NetProbe: return "netprobe";
+  }
+  return "?";
+}
+
+Scenario Scenario::jet250x100() { return Scenario{}; }
+
+Scenario Scenario::jet(int ni, int nj, int steps) {
+  Scenario s;
+  s.ni_ = ni;
+  s.nj_ = nj;
+  s.steps_ = steps;
+  return s;
+}
+
+Scenario Scenario::solve(int ni, int nj, int steps) {
+  Scenario s;
+  s.workload_ = Workload::Solve;
+  s.ni_ = ni;
+  s.nj_ = nj;
+  s.steps_ = steps;
+  return s;
+}
+
+Scenario Scenario::net_probe(const std::string& platform_key) {
+  Scenario s;
+  s.workload_ = Workload::NetProbe;
+  s.platform_ = platform_key;
+  return s;
+}
+
+Scenario& Scenario::platform(const std::string& registry_key) {
+  platform_ = registry_key;
+  return *this;
+}
+
+Scenario& Scenario::msglayer(const std::string& registry_key) {
+  msglayer_ = registry_key;
+  return *this;
+}
+
+Scenario& Scenario::network(arch::NetKind kind) {
+  net_override_ = true;
+  net_ = kind;
+  return *this;
+}
+
+Scenario& Scenario::threads(int nprocs) {
+  nprocs_ = nprocs;
+  return *this;
+}
+
+Scenario& Scenario::equations(arch::Equations eq) {
+  eq_ = eq;
+  return *this;
+}
+
+Scenario& Scenario::version(arch::CodeVersion v) {
+  version_ = v;
+  return *this;
+}
+
+Scenario& Scenario::grid2d(int px) {
+  proc_grid_px_ = px;
+  return *this;
+}
+
+Scenario& Scenario::steps(int n) {
+  steps_ = n;
+  return *this;
+}
+
+Scenario& Scenario::sim_steps(int n) {
+  sim_steps_ = n;
+  return *this;
+}
+
+Scenario& Scenario::seed(std::uint64_t base_seed) {
+  seed_ = base_seed;
+  return *this;
+}
+
+Scenario& Scenario::label(const std::string& text) {
+  label_ = text;
+  return *this;
+}
+
+int Scenario::resolved_procs() const {
+  if (workload_ == Workload::Solve) return 1;
+  if (nprocs_ > 0) return nprocs_;
+  return make_platform(platform_).max_procs;
+}
+
+std::string Scenario::cache_key() const {
+  std::ostringstream os;
+  os << to_string(workload_) << '|' << arch::to_string(eq_) << "|v"
+     << static_cast<int>(version_) << '|' << ni_ << 'x' << nj_ << 'x' << steps_
+     << "|px" << proc_grid_px_ << '|' << platform_ << '|'
+     << (msglayer_.empty() ? "default" : msglayer_) << '|'
+     << (net_override_ ? arch::to_string(net_) : "default") << "|p"
+     << nprocs_ << "|ss" << sim_steps_ << "|seed" << seed_;
+  return os.str();
+}
+
+std::string Scenario::key() const {
+  std::string k = cache_key();
+  if (!label_.empty()) k += '|' + label_;
+  return k;
+}
+
+std::uint64_t Scenario::content_hash() const {
+  // FNV-1a over the computational content.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : cache_key()) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t Scenario::derived_seed() const {
+  // splitmix64 finalizer over (content hash ^ base seed).
+  std::uint64_t z = content_hash() ^ seed_;
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+arch::Platform Scenario::platform_model() const {
+  arch::Platform p = make_platform(platform_);
+  if (!msglayer_.empty()) p.msglayer = make_msglayer(msglayer_);
+  if (net_override_) p.net = net_;
+  return p;
+}
+
+perf::AppModel Scenario::app_model() const {
+  if (proc_grid_px_ > 0) {
+    const int py = std::max(1, resolved_procs() / proc_grid_px_);
+    return perf::AppModel::paper_grid(eq_, proc_grid_px_, py, version_, ni_,
+                                      nj_, steps_);
+  }
+  return perf::AppModel::paper(eq_, version_, ni_, nj_, steps_);
+}
+
+core::SolverConfig Scenario::solver_config() const {
+  core::SolverConfig cfg;
+  cfg.grid = core::Grid::coarse(ni_, nj_);
+  cfg.viscous = eq_ == arch::Equations::NavierStokes;
+  return cfg;
+}
+
+}  // namespace nsp::exec

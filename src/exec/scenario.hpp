@@ -1,0 +1,129 @@
+// One cell of an experiment sweep, described as data.
+//
+// A Scenario names everything the paper varies — governing equations,
+// code version, grid, decomposition, platform, network, message layer,
+// processor count — plus the workload kind, and builds the legacy
+// structs (perf::AppModel, arch::Platform, core::SolverConfig) on
+// demand. The fluent setters make sweeps read like the paper's axes:
+//
+//   Scenario::jet250x100().platform("t3d-64").msglayer("cray-pvm").threads(4)
+//
+// Scenarios are value types; copy one and change an axis to get the
+// neighbouring cell.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arch/kernel_profile.hpp"
+#include "arch/platform.hpp"
+#include "core/solver.hpp"
+#include "perf/app_model.hpp"
+
+namespace nsp::exec {
+
+/// What the engine executes for a scenario.
+enum class Workload {
+  Replay,    ///< discrete-event platform replay of the app model
+  Solve,     ///< live core::Solver run (serial, deterministic)
+  NetProbe,  ///< raw network latency/bandwidth microbenchmark
+};
+
+std::string to_string(Workload w);
+
+class Scenario {
+ public:
+  // ---- Presets ----------------------------------------------------------
+
+  /// The paper's workload: 250x100 grid, 5000 steps, Version 5, replayed
+  /// on the IBM SP with MPL unless other axes are set.
+  static Scenario jet250x100();
+
+  /// Replay of a custom grid/step count (same per-point model).
+  static Scenario jet(int ni, int nj, int steps);
+
+  /// Live serial solve on a coarse grid (ni x nj, `steps` steps).
+  static Scenario solve(int ni, int nj, int steps);
+
+  /// Wire-level network probe of a platform's interconnect.
+  static Scenario net_probe(const std::string& platform_key);
+
+  // ---- Fluent axes ------------------------------------------------------
+
+  Scenario& platform(const std::string& registry_key);
+  Scenario& msglayer(const std::string& registry_key);  ///< override layer
+  Scenario& network(arch::NetKind kind);                ///< override wire
+  Scenario& threads(int nprocs);  ///< ranks/threads (0 = platform max)
+  Scenario& procs(int nprocs) { return threads(nprocs); }
+  Scenario& equations(arch::Equations eq);
+  Scenario& euler() { return equations(arch::Equations::Euler); }
+  Scenario& navier_stokes() { return equations(arch::Equations::NavierStokes); }
+  Scenario& version(arch::CodeVersion v);
+  Scenario& grid2d(int px);  ///< 2-D process grid, px columns (0 = 1-D)
+  Scenario& steps(int n);
+  Scenario& sim_steps(int n);  ///< replay fidelity (default 400)
+  Scenario& seed(std::uint64_t base_seed);
+  Scenario& label(const std::string& text);
+
+  // ---- Introspection ----------------------------------------------------
+
+  Workload workload() const { return workload_; }
+  const std::string& platform_key() const { return platform_; }
+  const std::string& msglayer_key() const { return msglayer_; }
+  const std::string& label_text() const { return label_; }
+  arch::Equations equations() const { return eq_; }
+  int requested_procs() const { return nprocs_; }
+  int step_count() const { return steps_; }
+  int sim_step_count() const { return sim_steps_; }
+
+  /// Processor count this scenario resolves to (platform max when the
+  /// threads axis was left at 0).
+  int resolved_procs() const;
+
+  /// Canonical identity string; equal scenarios produce equal keys, any
+  /// changed axis changes the key. Used for result ordering.
+  std::string key() const;
+
+  /// The computational content of the scenario: key() minus the display
+  /// label. Two scenarios with equal cache keys produce identical
+  /// metrics, so the engine's memo cache is indexed by this.
+  std::string cache_key() const;
+
+  /// 64-bit FNV-1a hash of cache_key() — the content hash the cache
+  /// indexes.
+  std::uint64_t content_hash() const;
+
+  /// Deterministic per-scenario seed: content hash mixed with the base
+  /// seed, so a sweep reseeds reproducibly regardless of worker order.
+  std::uint64_t derived_seed() const;
+
+  // ---- Bridges to the legacy structs ------------------------------------
+
+  /// The platform, with any msglayer/network overrides applied.
+  arch::Platform platform_model() const;
+
+  /// The replay application model for the configured axes.
+  perf::AppModel app_model() const;
+
+  /// A solver configuration for Workload::Solve (coarse grid, serial).
+  core::SolverConfig solver_config() const;
+
+ private:
+  Workload workload_ = Workload::Replay;
+  arch::Equations eq_ = arch::Equations::NavierStokes;
+  arch::CodeVersion version_ = arch::CodeVersion::V5_CommonCollapse;
+  int ni_ = 250;
+  int nj_ = 100;
+  int steps_ = 5000;
+  int proc_grid_px_ = 0;
+  int sim_steps_ = 400;
+  std::string platform_ = "sp-mpl";
+  std::string msglayer_;  ///< "" = platform default
+  bool net_override_ = false;
+  arch::NetKind net_ = arch::NetKind::Perfect;
+  int nprocs_ = 0;  ///< 0 = platform max
+  std::uint64_t seed_ = 0;
+  std::string label_;
+};
+
+}  // namespace nsp::exec

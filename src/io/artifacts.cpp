@@ -1,0 +1,23 @@
+#include "io/artifacts.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace nsp::io {
+
+std::string results_dir() {
+  const char* env = std::getenv("NSP_RESULTS_DIR");
+  if (env == nullptr || *env == '\0') return ".";
+  std::error_code ec;
+  std::filesystem::create_directories(env, ec);  // best effort
+  return env;
+}
+
+std::string artifact_path(const std::string& name) {
+  if (!name.empty() && name.front() == '/') return name;
+  const std::string dir = results_dir();
+  if (dir == ".") return name;
+  return dir + "/" + name;
+}
+
+}  // namespace nsp::io

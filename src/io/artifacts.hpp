@@ -1,0 +1,22 @@
+// Where generated artifacts (CSV, JSON, gnuplot scripts) land.
+//
+// The bench and example binaries historically wrote output paths
+// relative to whatever directory they were launched from; every
+// artifact write is now routed through results_dir(), which honours the
+// NSP_RESULTS_DIR environment variable and falls back to the current
+// directory (preserving the old behaviour when the variable is unset).
+#pragma once
+
+#include <string>
+
+namespace nsp::io {
+
+/// The artifact output directory: $NSP_RESULTS_DIR if set (created on
+/// demand), otherwise "." — the launch directory, as before.
+std::string results_dir();
+
+/// Joins `name` onto results_dir(). Names that are already absolute
+/// paths are returned unchanged so callers can still opt out.
+std::string artifact_path(const std::string& name);
+
+}  // namespace nsp::io

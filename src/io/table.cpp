@@ -147,4 +147,89 @@ std::string format_percent(double ratio) {
   return buf;
 }
 
+std::string format_exact(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    std::fprintf(f, "%s%s", c ? "," : "", csv_escape(header[c]).c_str());
+  }
+  std::fprintf(f, "\n");
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < header.size(); ++c) {
+      const std::string cell = c < row.size() ? row[c] : std::string();
+      std::fprintf(f, "%s%s", c ? "," : "", csv_escape(cell).c_str());
+    }
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+}
+
+std::string json_records(const std::vector<JsonRecord>& records) {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    os << "  {";
+    for (std::size_t k = 0; k < records[r].size(); ++k) {
+      if (k) os << ", ";
+      os << '"' << json_escape(records[r][k].first)
+         << "\": " << records[r][k].second;
+    }
+    os << '}' << (r + 1 < records.size() ? "," : "") << '\n';
+  }
+  os << "]\n";
+  return os.str();
+}
+
+void write_json_records(const std::string& path,
+                        const std::vector<JsonRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  const std::string body = json_records(records);
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+}
+
 }  // namespace nsp::io

@@ -74,4 +74,38 @@ std::string format_seconds(double s);
 /// Formats a ratio as a percentage ("75%").
 std::string format_percent(double ratio);
 
+// ---- Machine-readable record emission ----------------------------------
+//
+// One CSV and one JSON writer shared by everything that persists result
+// records (the exec engine's ResultSet, the bench harnesses); the
+// per-bench ad-hoc row assembly used to live next to each binary.
+
+/// Formats a double so that parsing the text recovers the exact bit
+/// pattern ("%.17g"); non-finite values render as "nan"/"inf"/"-inf".
+std::string format_exact(double v);
+
+/// RFC-4180-style escaping: quotes the cell if it contains a comma,
+/// quote, or newline.
+std::string csv_escape(const std::string& cell);
+
+/// JSON string-literal escaping (without the surrounding quotes).
+std::string json_escape(const std::string& s);
+
+/// Writes header + rows as CSV. Cells are escaped; rows shorter than the
+/// header are padded with empty cells.
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+/// A flat record: ordered (name, already-serialized JSON value) pairs.
+/// Values must be valid JSON fragments ("\"text\"", "42", "{...}").
+using JsonRecord = std::vector<std::pair<std::string, std::string>>;
+
+/// Renders records as a stable, deterministic JSON array of objects
+/// (two-space indentation, fields in the given order, trailing newline).
+std::string json_records(const std::vector<JsonRecord>& records);
+
+/// Writes json_records(records) to `path`.
+void write_json_records(const std::string& path,
+                        const std::vector<JsonRecord>& records);
+
 }  // namespace nsp::io

@@ -1,0 +1,53 @@
+// nsp.hpp — the single public facade of the platform laboratory.
+//
+// Include this one header to get the whole stack: the CFD solver
+// (core), the 1995 machine zoo (arch), the discrete-event simulator
+// (sim), the replay performance models (perf), terminal/CSV/JSON output
+// (io), and the batch experiment engine (exec).
+//
+// The experiment-facing types are lifted into the nsp namespace, so a
+// complete sweep reads:
+//
+//   #include "nsp.hpp"
+//
+//   nsp::Engine engine;
+//   auto results = engine.run({
+//       nsp::Scenario::jet250x100().platform("t3d-64").threads(16),
+//       nsp::Scenario::jet250x100().platform("lace-fddi-8").msglayer("pvm"),
+//   });
+//   results.write_json(nsp::io::artifact_path("sweep.json"));
+//
+// The legacy structs (core::SolverConfig, arch::Platform,
+// perf::AppModel) remain fully supported; Scenario builds them via
+// app_model() / platform_model() / solver_config().
+#pragma once
+
+#include "arch/cpu_model.hpp"
+#include "arch/kernel_profile.hpp"
+#include "arch/msglayer.hpp"
+#include "arch/network.hpp"
+#include "arch/platform.hpp"
+#include "core/solver.hpp"
+#include "exec/engine.hpp"
+#include "exec/registry.hpp"
+#include "exec/run_result.hpp"
+#include "exec/scenario.hpp"
+#include "io/artifacts.hpp"
+#include "io/chart.hpp"
+#include "io/table.hpp"
+#include "perf/app_model.hpp"
+#include "perf/replay.hpp"
+#include "sim/simulator.hpp"
+
+namespace nsp {
+
+using exec::Engine;
+using exec::EngineCounters;
+using exec::EngineOptions;
+using exec::ResultSet;
+using exec::RunHooks;
+using exec::RunResult;
+using exec::Scenario;
+using exec::Workload;
+
+}  // namespace nsp

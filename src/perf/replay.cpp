@@ -10,36 +10,6 @@
 
 namespace nsp::perf {
 
-double ReplayResult::avg_busy() const {
-  double s = 0;
-  for (const auto& r : ranks) s += r.busy();
-  return ranks.empty() ? 0 : s / static_cast<double>(ranks.size());
-}
-
-double ReplayResult::max_busy() const {
-  double m = 0;
-  for (const auto& r : ranks) m = std::max(m, r.busy());
-  return m;
-}
-
-double ReplayResult::avg_wait() const {
-  double s = 0;
-  for (const auto& r : ranks) s += r.wait;
-  return ranks.empty() ? 0 : s / static_cast<double>(ranks.size());
-}
-
-double ReplayResult::total_messages() const {
-  double s = 0;
-  for (const auto& r : ranks) s += static_cast<double>(r.sends);
-  return s;
-}
-
-double ReplayResult::total_bytes() const {
-  double s = 0;
-  for (const auto& r : ranks) s += r.bytes_sent;
-  return s;
-}
-
 namespace {
 
 /// Shared-memory DOALL execution (the Cray Y-MP): Amdahl scaling of the

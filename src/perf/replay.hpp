@@ -28,17 +28,14 @@ struct RankStats {
   double busy() const { return compute + sw_overhead; }
 };
 
+/// The raw per-rank outcome of one replay. Aggregate summary statistics
+/// (average busy time, total messages, ...) live in exec::RunResult's
+/// named metrics — see exec/run_result.hpp.
 struct ReplayResult {
   std::string platform;
   int nprocs = 1;
   double exec_time = 0;  ///< max rank finish time (total execution time)
   std::vector<RankStats> ranks;
-
-  double avg_busy() const;
-  double max_busy() const;
-  double avg_wait() const;
-  double total_messages() const;
-  double total_bytes() const;
 };
 
 struct ReplayOptions {

@@ -1,0 +1,419 @@
+// The batch experiment engine: scenario identity, platform registry
+// round-trips, work-stealing pool mechanics, memo-cache semantics,
+// cancellation, and the headline guarantee — a parallel sweep is
+// bit-identical to the serial reference run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/pool.hpp"
+#include "nsp.hpp"
+
+namespace nsp::exec {
+namespace {
+
+/// A cheap sweep: small grid, low replay fidelity, several platforms
+/// and processor counts so the pool has real work to shuffle.
+std::vector<Scenario> small_sweep() {
+  std::vector<Scenario> sweep;
+  for (const char* key : {"lace-allnode-s", "lace-ethernet", "sp-mpl", "t3d"}) {
+    for (int p : {1, 2, 4, 8}) {
+      sweep.push_back(Scenario::jet(50, 20, 100).sim_steps(25).platform(key)
+                          .threads(p));
+    }
+  }
+  return sweep;
+}
+
+// ---- Scenario identity -------------------------------------------------
+
+TEST(Scenario, KeyChangesWithEveryAxis) {
+  const auto base = Scenario::jet250x100();
+  std::set<std::string> keys;
+  keys.insert(base.key());
+  keys.insert(Scenario(base).euler().key());
+  keys.insert(Scenario(base).version(arch::CodeVersion::V7_UnbundledSends).key());
+  keys.insert(Scenario(base).platform("t3d").key());
+  keys.insert(Scenario(base).msglayer("pvm").key());
+  keys.insert(Scenario(base).network(arch::NetKind::Fddi).key());
+  keys.insert(Scenario(base).threads(4).key());
+  keys.insert(Scenario(base).grid2d(2).key());
+  keys.insert(Scenario(base).steps(1234).key());
+  keys.insert(Scenario(base).sim_steps(50).key());
+  keys.insert(Scenario(base).seed(99).key());
+  EXPECT_EQ(keys.size(), 11u);  // every axis distinct
+}
+
+TEST(Scenario, LabelChangesKeyButNotCacheKey) {
+  const auto plain = Scenario::jet250x100();
+  const auto tagged = Scenario(plain).label("curve A");
+  EXPECT_NE(plain.key(), tagged.key());
+  EXPECT_EQ(plain.cache_key(), tagged.cache_key());
+  EXPECT_EQ(plain.content_hash(), tagged.content_hash());
+  EXPECT_EQ(plain.derived_seed(), tagged.derived_seed());
+}
+
+TEST(Scenario, DerivedSeedMixesBaseSeed) {
+  const auto a = Scenario::jet250x100();
+  const auto b = Scenario(a).seed(1);
+  EXPECT_NE(a.derived_seed(), b.derived_seed());
+  EXPECT_EQ(a.derived_seed(), Scenario(a).derived_seed());  // stable
+}
+
+TEST(Scenario, BuilderProducesLegacyStructs) {
+  const auto s = Scenario::jet250x100().platform("t3d-64").msglayer("cray-pvm")
+                     .threads(32);
+  const arch::Platform p = s.platform_model();
+  EXPECT_EQ(p.max_procs, 64);
+  EXPECT_EQ(p.msglayer.name, arch::MsgLayerModel::pvm_t3d().name);
+  EXPECT_EQ(s.resolved_procs(), 32);
+
+  const perf::AppModel app = s.app_model();
+  EXPECT_EQ(app.ni, 250);
+  EXPECT_EQ(app.nj, 100);
+  EXPECT_EQ(app.steps, 5000);
+
+  const auto sv = Scenario::solve(60, 24, 10);
+  const core::SolverConfig cfg = sv.solver_config();
+  EXPECT_EQ(cfg.grid.ni, 60);
+  EXPECT_EQ(cfg.grid.nj, 24);
+}
+
+TEST(Scenario, ThreadsZeroResolvesToPlatformMax) {
+  EXPECT_EQ(Scenario::jet250x100().platform("t3d").resolved_procs(),
+            make_platform("t3d").max_procs);
+  EXPECT_EQ(Scenario::jet250x100().platform("t3d-64").resolved_procs(), 64);
+}
+
+// ---- Platform registry -------------------------------------------------
+
+TEST(Registry, RoundTripsEveryBuiltinName) {
+  const auto names = platform_names();
+  ASSERT_FALSE(names.empty());
+  for (const auto& key : names) {
+    ASSERT_TRUE(has_platform(key)) << key;
+    const arch::Platform p = make_platform(key);
+    EXPECT_FALSE(p.name.empty()) << key;
+    EXPECT_GE(p.max_procs, 1) << key;
+    // The "-<procs>" suffix resizes any platform.
+    const arch::Platform p8 = make_platform(key + "-8");
+    EXPECT_EQ(p8.max_procs, 8) << key;
+    EXPECT_EQ(p8.name, p.name) << key;
+  }
+}
+
+TEST(Registry, UnknownNameThrowsWithKnownKeys) {
+  EXPECT_FALSE(has_platform("connection-machine"));
+  try {
+    make_platform("connection-machine");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("t3d"), std::string::npos);
+  }
+}
+
+TEST(Registry, UserPlatformsJoinTheZoo) {
+  arch::Platform mine = make_platform("sp-mpl");
+  mine.name = "my cluster";
+  mine.max_procs = 12;
+  register_platform("my-cluster", mine);
+  ASSERT_TRUE(has_platform("my-cluster"));
+  EXPECT_EQ(make_platform("my-cluster").name, "my cluster");
+  EXPECT_EQ(make_platform("my-cluster-4").max_procs, 4);
+  // Keys ending in "-<digits>" are reserved for the procs suffix.
+  EXPECT_THROW(register_platform("bad-16", mine), std::invalid_argument);
+  EXPECT_THROW(register_platform("", mine), std::invalid_argument);
+}
+
+TEST(Registry, MsgLayerRoundTrip) {
+  for (const auto& key : msglayer_names()) {
+    EXPECT_FALSE(make_msglayer(key).name.empty()) << key;
+  }
+  EXPECT_THROW(make_msglayer("smoke-signals"), std::invalid_argument);
+}
+
+// ---- Work-stealing pool ------------------------------------------------
+
+TEST(Pool, RunsEveryTaskOnce) {
+  WorkStealingPool pool(4);
+  std::atomic<int> hits{0};
+  for (int k = 0; k < 200; ++k) pool.submit([&] { ++hits; });
+  pool.wait_idle();
+  EXPECT_EQ(hits.load(), 200);
+  const auto st = pool.stats();
+  EXPECT_EQ(st.queued, 200u);
+  EXPECT_EQ(st.executed, 200u);
+}
+
+TEST(Pool, InlineModeExecutesOnCaller) {
+  WorkStealingPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran;
+  pool.submit([&] { ran = std::this_thread::get_id(); });
+  pool.wait_idle();
+  EXPECT_EQ(ran, caller);
+  EXPECT_EQ(pool.threads(), 1);
+}
+
+// ---- Engine: determinism ----------------------------------------------
+
+TEST(Engine, ParallelRunIsBitIdenticalToSerial) {
+  const auto sweep = small_sweep();
+
+  EngineOptions serial;
+  serial.threads = 1;
+  Engine ref(serial);
+  const ResultSet a = ref.run(sweep);
+
+  EngineOptions wide;
+  wide.threads = 8;  // oversubscribed on small hosts; determinism holds
+  Engine par(wide);
+  const ResultSet b = par.run(sweep);
+
+  ASSERT_EQ(a.results.size(), sweep.size());
+  EXPECT_TRUE(a == b);              // exact double bits, all cells
+  EXPECT_EQ(a.to_json(), b.to_json());  // and byte-identical artifacts
+  EXPECT_EQ(a.to_csv(), b.to_csv());
+}
+
+TEST(Engine, ResultSetIsSortedByKey) {
+  Engine eng;
+  const ResultSet rs = eng.run(small_sweep());
+  for (std::size_t k = 1; k < rs.results.size(); ++k) {
+    EXPECT_LE(rs.results[k - 1].key, rs.results[k].key);
+  }
+}
+
+TEST(Engine, RunScenarioMatchesEngineCell) {
+  const auto s = Scenario::jet(50, 20, 100).sim_steps(25).platform("t3d")
+                     .threads(4);
+  Engine eng;
+  const ResultSet rs = eng.run({s});
+  const RunResult* cell = rs.find(s.key());
+  ASSERT_NE(cell, nullptr);
+  EXPECT_TRUE(*cell == Engine::run_scenario(s));
+}
+
+// ---- Engine: memo cache ------------------------------------------------
+
+TEST(Engine, SecondRunIsAllCacheHits) {
+  const auto sweep = small_sweep();
+  Engine eng;
+  const ResultSet first = eng.run(sweep);
+  EXPECT_EQ(eng.counters().executed, sweep.size());
+  EXPECT_EQ(eng.counters().cache_hits, 0u);
+
+  const ResultSet second = eng.run(sweep);
+  EXPECT_EQ(eng.counters().executed, sweep.size());  // nothing recomputed
+  EXPECT_EQ(eng.counters().cache_hits, sweep.size());
+  EXPECT_TRUE(first == second);
+  for (const auto& r : second.results) EXPECT_TRUE(r.from_cache);
+}
+
+TEST(Engine, ChangedAxisRecomputesOnlyChangedCells) {
+  auto sweep = small_sweep();
+  Engine eng;
+  eng.run(sweep);
+  const auto computed = eng.counters().executed;
+
+  sweep[5] = Scenario(sweep[5]).sim_steps(31);  // nudge one axis of one cell
+  eng.run(sweep);
+  EXPECT_EQ(eng.counters().executed, computed + 1);
+  EXPECT_EQ(eng.counters().cache_hits, sweep.size() - 1);
+}
+
+TEST(Engine, CacheIsContentAddressedAcrossLabels) {
+  const auto plain = Scenario::jet(50, 20, 100).sim_steps(25).platform("ymp");
+  Engine eng;
+  eng.run({plain});
+  const ResultSet rs = eng.run({Scenario(plain).label("curve A")});
+  EXPECT_EQ(eng.counters().cache_hits, 1u);  // same content, new label
+  ASSERT_EQ(rs.results.size(), 1u);
+  EXPECT_EQ(rs.results[0].label, "curve A");  // identity restamped
+  EXPECT_TRUE(rs.results[0].from_cache);
+}
+
+TEST(Engine, CacheCanBeDisabledAndCleared) {
+  const auto s = Scenario::jet(50, 20, 100).sim_steps(25);
+  EngineOptions no_cache;
+  no_cache.cache = false;
+  Engine eng(no_cache);
+  eng.run({s});
+  eng.run({s});
+  EXPECT_EQ(eng.counters().executed, 2u);
+  EXPECT_EQ(eng.counters().cache_hits, 0u);
+  EXPECT_EQ(eng.cache_size(), 0u);
+
+  Engine cached;
+  cached.run({s});
+  EXPECT_EQ(cached.cache_size(), 1u);
+  cached.clear_cache();
+  EXPECT_EQ(cached.cache_size(), 0u);
+  cached.run({s});
+  EXPECT_EQ(cached.counters().executed, 2u);
+}
+
+// ---- Engine: hooks and cancellation ------------------------------------
+
+TEST(Engine, HooksReportMonotonicProgress) {
+  const auto sweep = small_sweep();
+  Engine eng;
+  std::size_t calls = 0, last_done = 0;
+  RunHooks hooks;
+  hooks.on_result = [&](const RunResult&, std::size_t done, std::size_t total) {
+    EXPECT_EQ(total, sweep.size());
+    EXPECT_GT(done, last_done);  // hooks are serialized
+    last_done = done;
+    ++calls;
+  };
+  eng.run(sweep, hooks);
+  EXPECT_EQ(calls, sweep.size());
+  EXPECT_EQ(last_done, sweep.size());
+}
+
+TEST(Engine, CancelMidSweepSkipsRemainingScenarios) {
+  const auto sweep = small_sweep();
+  EngineOptions serial;  // serial: deterministic cancellation point
+  serial.threads = 1;
+  Engine eng(serial);
+  RunHooks hooks;
+  hooks.on_result = [&](const RunResult&, std::size_t done, std::size_t) {
+    if (done == 3) eng.cancel();
+  };
+  const ResultSet rs = eng.run(sweep, hooks);
+  EXPECT_EQ(rs.results.size(), 3u);
+  EXPECT_EQ(eng.counters().cancelled, sweep.size() - 3);
+  EXPECT_TRUE(eng.cancelled());
+
+  // The engine recovers: the next run() clears the flag and finishes.
+  const ResultSet again = eng.run(sweep);
+  EXPECT_FALSE(eng.cancelled());
+  EXPECT_EQ(again.results.size(), sweep.size());
+}
+
+TEST(Engine, CancelInterruptsLiveSolves) {
+  // Solve workloads poll cancellation between step chunks, so a sweep
+  // of live solver runs stops promptly too.
+  std::vector<Scenario> sweep;
+  for (int k = 0; k < 4; ++k) {
+    sweep.push_back(Scenario::solve(40, 16, 60).seed(k));
+  }
+  EngineOptions serial;
+  serial.threads = 1;
+  Engine eng(serial);
+  RunHooks hooks;
+  hooks.on_result = [&](const RunResult&, std::size_t, std::size_t) {
+    eng.cancel();
+  };
+  const ResultSet rs = eng.run(sweep, hooks);
+  EXPECT_LT(rs.results.size(), sweep.size());
+  EXPECT_GT(eng.counters().cancelled, 0u);
+}
+
+// ---- Engine: counters --------------------------------------------------
+
+TEST(Engine, CountersAccumulateAcrossRuns) {
+  const auto sweep = small_sweep();
+  Engine eng;
+  eng.run(sweep);
+  eng.run(sweep);
+  const auto& c = eng.counters();
+  EXPECT_EQ(c.submitted, 2 * sweep.size());
+  EXPECT_EQ(c.executed, sweep.size());
+  EXPECT_EQ(c.cache_hits, sweep.size());
+  EXPECT_GT(c.wall_s, 0.0);
+  EXPECT_GT(c.task_s, 0.0);
+  EXPECT_GE(c.threads, 1);
+  EXPECT_GE(c.utilization(), 0.0);
+  EXPECT_LE(c.utilization(), 1.05);  // small timer slack
+}
+
+// ---- RunResult / ResultSet ---------------------------------------------
+
+TEST(RunResult, MetricAccessAndIdentity) {
+  RunResult r;
+  r.key = "k";
+  r.set("exec_s", 1.5);
+  r.set("exec_s", 2.5);  // overwrite, not append
+  ASSERT_EQ(r.metrics.size(), 1u);
+  EXPECT_TRUE(r.has("exec_s"));
+  EXPECT_FALSE(r.has("bytes"));
+  EXPECT_DOUBLE_EQ(r.metric("exec_s"), 2.5);
+  EXPECT_THROW(r.metric("bytes"), std::out_of_range);
+
+  RunResult s = r;
+  s.wall_s = 123.0;
+  s.from_cache = true;
+  EXPECT_TRUE(r == s);  // bookkeeping excluded from identity
+  s.set("exec_s", 2.5000001);
+  EXPECT_FALSE(r == s);
+}
+
+TEST(RunResult, ReplayAggregatesMatchDefinition) {
+  const auto app = perf::AppModel::paper(arch::Equations::NavierStokes);
+  const auto rr = perf::replay(app, arch::Platform::lace560_allnode_s(), 4);
+  double busy = 0, wait = 0, mx = 0;
+  for (const auto& rank : rr.ranks) {
+    busy += rank.busy();  // compute + message-layer software overhead
+    wait += rank.wait;
+    mx = std::max(mx, rank.busy());
+  }
+  EXPECT_DOUBLE_EQ(avg_busy(rr), busy / 4.0);
+  EXPECT_DOUBLE_EQ(avg_wait(rr), wait / 4.0);
+  EXPECT_DOUBLE_EQ(max_busy(rr), mx);
+  EXPECT_GT(total_messages(rr), 0.0);
+  EXPECT_GT(total_bytes(rr), 0.0);
+
+  RunResult out;
+  set_replay_metrics(out, rr);
+  EXPECT_DOUBLE_EQ(out.metric("exec_s"), rr.exec_time);
+  EXPECT_DOUBLE_EQ(out.metric("busy_avg_s"), avg_busy(rr));
+  EXPECT_DOUBLE_EQ(out.metric("wait_avg_s"), avg_wait(rr));
+}
+
+TEST(ResultSet, FindAndSerializationAreStable) {
+  Engine eng;
+  const auto s1 = Scenario::jet(50, 20, 100).sim_steps(25).platform("ymp")
+                      .label("Y-MP");
+  const auto s2 = Scenario::jet(50, 20, 100).sim_steps(25).platform("t3d");
+  const ResultSet rs = eng.run({s1, s2});
+  ASSERT_NE(rs.find(s1.key()), nullptr);
+  ASSERT_NE(rs.find_label("Y-MP"), nullptr);
+  EXPECT_EQ(rs.find("nope"), nullptr);
+  EXPECT_EQ(rs.find_label("nope"), nullptr);
+
+  const std::string json = rs.to_json();
+  EXPECT_NE(json.find("\"exec_s\""), std::string::npos);
+  EXPECT_NE(json.find("Y-MP"), std::string::npos);
+  const std::string csv = rs.to_csv();
+  EXPECT_NE(csv.find("key,"), std::string::npos);
+  // Serialization is a pure function of the results.
+  EXPECT_EQ(json, rs.to_json());
+  EXPECT_EQ(csv, rs.to_csv());
+}
+
+// ---- Workloads beyond replay -------------------------------------------
+
+TEST(Engine, SolveWorkloadProducesSolverMetrics) {
+  const auto s = Scenario::solve(40, 16, 12);
+  const RunResult r = Engine::run_scenario(s);
+  EXPECT_DOUBLE_EQ(r.metric("steps"), 12.0);
+  EXPECT_EQ(r.metric("finite"), 1.0);
+  EXPECT_GT(r.metric("sim_time_s"), 0.0);
+  EXPECT_TRUE(r.has("max_mach"));
+}
+
+TEST(Engine, NetProbeWorkloadProducesNetworkMetrics) {
+  const RunResult r = Engine::run_scenario(Scenario::net_probe("lace-fddi-8"));
+  EXPECT_GT(r.metric("latency_us"), 0.0);
+  EXPECT_GT(r.metric("bw_64k_MBps"), r.metric("bw_1k_MBps"));
+  EXPECT_GT(r.metric("aggregate_MBps"), 0.0);
+}
+
+}  // namespace
+}  // namespace nsp::exec

@@ -5,6 +5,8 @@
 
 #include "perf/replay.hpp"
 
+#include "exec/run_result.hpp"
+
 namespace nsp::perf {
 namespace {
 
@@ -86,7 +88,7 @@ TEST(PaperClaims, ProcessorBusyTimeFallsLinearly) {
   const auto app = ns();
   const auto r4 = replay(app, p, 4);
   const auto r16 = replay(app, p, 16);
-  EXPECT_NEAR(r4.avg_busy() / r16.avg_busy(), 4.0, 0.8);
+  EXPECT_NEAR(exec::avg_busy(r4) / exec::avg_busy(r16), 4.0, 0.8);
 }
 
 TEST(PaperClaims, EthernetNonOverlappedCommGrowsSuperlinearly) {
@@ -94,9 +96,9 @@ TEST(PaperClaims, EthernetNonOverlappedCommGrowsSuperlinearly) {
   // superlinearly with processors.
   const auto p = Platform::lace560_ethernet();
   const auto app = ns();
-  const double w4 = replay(app, p, 4).avg_wait();
-  const double w8 = replay(app, p, 8).avg_wait();
-  const double w16 = replay(app, p, 16).avg_wait();
+  const double w4 = exec::avg_wait(replay(app, p, 4));
+  const double w8 = exec::avg_wait(replay(app, p, 8));
+  const double w16 = exec::avg_wait(replay(app, p, 16));
   EXPECT_GT(w8, w4);
   EXPECT_GT(w16, 2.0 * w8);  // accelerating growth
 }
@@ -107,11 +109,11 @@ TEST(PaperClaims, AllnodeCommStaysModestThenComparableAt16) {
   const auto p = Platform::lace560_allnode_s();
   const auto app = ns();
   const auto r16 = replay(app, p, 16);
-  EXPECT_GT(r16.avg_wait(), 0.1 * r16.avg_busy());
-  EXPECT_LT(r16.avg_wait(), 1.5 * r16.avg_busy());
+  EXPECT_GT(exec::avg_wait(r16), 0.1 * exec::avg_busy(r16));
+  EXPECT_LT(exec::avg_wait(r16), 1.5 * exec::avg_busy(r16));
   // And far below Ethernet's wait at 16.
   const auto e16 = replay(app, Platform::lace560_ethernet(), 16);
-  EXPECT_LT(r16.avg_wait(), 0.3 * e16.avg_wait());
+  EXPECT_LT(exec::avg_wait(r16), 0.3 * exec::avg_wait(e16));
 }
 
 // ---- Versions 5/6/7 (Figures 7-8) ----
@@ -263,9 +265,9 @@ TEST(PaperClaims, SpNonOverlappedCommIsNegligible) {
   // small but decreases with the number of processors."
   const auto app = ns();
   const auto r8 = replay(app, Platform::ibm_sp_mpl(), 8);
-  EXPECT_LT(r8.avg_wait(), 0.1 * r8.avg_busy());
+  EXPECT_LT(exec::avg_wait(r8), 0.1 * exec::avg_busy(r8));
   const auto r16 = replay(app, Platform::ibm_sp_mpl(), 16);
-  EXPECT_LT(r16.avg_wait(), 0.15 * r16.avg_busy());
+  EXPECT_LT(exec::avg_wait(r16), 0.15 * exec::avg_busy(r16));
 }
 
 // ---- Section 7.4: load balancing (Figure 13) ----
@@ -339,7 +341,7 @@ TEST(PaperClaims, EulerEthernetAlsoSaturates) {
 TEST(PaperClaims, EulerCommRoughly60PercentOfBusyAtSixteen) {
   // "...while the ratio is about 60% for Euler" (ALLNODE-S, 16 procs).
   const auto r = replay(euler(), Platform::lace560_allnode_s(), 16);
-  const double ratio = r.avg_wait() / r.avg_busy();
+  const double ratio = exec::avg_wait(r) / exec::avg_busy(r);
   EXPECT_GT(ratio, 0.2);
   EXPECT_LT(ratio, 1.0);
 }

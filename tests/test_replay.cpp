@@ -2,6 +2,8 @@
 // test_paper_claims.cpp).
 #include "perf/replay.hpp"
 
+#include "exec/run_result.hpp"
+
 #include <gtest/gtest.h>
 
 namespace nsp::perf {
@@ -99,14 +101,14 @@ TEST(Replay, DeterministicAcrossRuns) {
   const auto a = replay(ns(), Platform::cray_t3d(), 16);
   const auto b = replay(ns(), Platform::cray_t3d(), 16);
   EXPECT_DOUBLE_EQ(a.exec_time, b.exec_time);
-  EXPECT_DOUBLE_EQ(a.avg_wait(), b.avg_wait());
+  EXPECT_DOUBLE_EQ(exec::avg_wait(a), exec::avg_wait(b));
 }
 
 TEST(Replay, AggregatesConsistent) {
   const auto r = replay(ns(), Platform::ibm_sp_mpl(), 8);
-  EXPECT_GT(r.total_messages(), 0.0);
-  EXPECT_GT(r.total_bytes(), 0.0);
-  EXPECT_GE(r.max_busy(), r.avg_busy());
+  EXPECT_GT(exec::total_messages(r), 0.0);
+  EXPECT_GT(exec::total_bytes(r), 0.0);
+  EXPECT_GE(exec::max_busy(r), exec::avg_busy(r));
 }
 
 TEST(Replay, DashScalesAlmostPerfectly) {

@@ -5,6 +5,8 @@
 
 #include "perf/replay.hpp"
 
+#include "exec/run_result.hpp"
+
 namespace nsp::perf {
 namespace {
 
@@ -31,8 +33,8 @@ TEST_P(ReplaySweep, BusyTimeFallsMonotonicallyWithP) {
   for (int p : {1, 2, 4, 8}) {
     if (p > plat.max_procs) break;
     const auto r = replay(a, plat, p);
-    EXPECT_LT(r.avg_busy(), prev) << plat.name << " P=" << p;
-    prev = r.avg_busy();
+    EXPECT_LT(exec::avg_busy(r), prev) << plat.name << " P=" << p;
+    prev = exec::avg_busy(r);
   }
 }
 
@@ -51,7 +53,7 @@ TEST_P(ReplaySweep, ComputeWorkIsConserved) {
 
 TEST_P(ReplaySweep, ExecAtLeastBusiestRank) {
   const auto r = replay(app(), platform(), std::min(8, platform().max_procs));
-  EXPECT_GE(r.exec_time * 1.0001, r.max_busy());
+  EXPECT_GE(r.exec_time * 1.0001, exec::max_busy(r));
 }
 
 TEST_P(ReplaySweep, WaitsAreNonNegative) {

@@ -23,6 +23,28 @@ for b in "$ROOT/$BUILD"/bench/*; do
   echo "--- $name"
   "$b" > "$name.txt" 2>&1 || echo "    ($name exited nonzero)"
 done
+cd "$ROOT"
+
+# The engine's determinism guarantee: a sweep run on one thread and on a
+# wide pool must serialize byte-identically. Re-run the engine-backed
+# harnesses both ways into separate results dirs and diff the JSON.
+echo
+echo "== engine determinism (serial vs 8 threads) =="
+rm -rf results/engine_serial results/engine_parallel
+for h in bench/bench_fig9_10_platforms bench/bench_fig11_12_msglayers \
+         bench/bench_fig3_4_lace bench/bench_networks \
+         examples/platform_shootout; do
+  name=$(basename "$h")
+  echo "--- $name"
+  NSP_EXEC_THREADS=1 NSP_RESULTS_DIR="$ROOT/results/engine_serial" \
+    "$ROOT/$BUILD/$h" > /dev/null
+  NSP_EXEC_THREADS=8 NSP_RESULTS_DIR="$ROOT/results/engine_parallel" \
+    "$ROOT/$BUILD/$h" > /dev/null
+done
+for f in results/engine_serial/*.json; do
+  diff -q "$f" "results/engine_parallel/$(basename "$f")"
+done
+echo "engine JSON artifacts are bit-identical serial vs parallel"
 
 echo
 echo "Reports written to results/*.txt (CSV series alongside)."
