@@ -28,9 +28,14 @@ int usage() {
       "  nsplab_cli list\n"
       "  nsplab_cli replay <platform> [--euler] [--version N] [--procs P]\n"
       "  nsplab_cli sweep  <platform> [--euler] [--version N]\n"
-      "  nsplab_cli batch  <platform> [<platform>...] [--euler] [--version N]\n"
+      "  nsplab_cli batch  <platform> [<platform>...] [--euler] [--version N]"
+      " [--audit]\n"
       "  nsplab_cli solve  [--ni N] [--nj N] [--steps N] [--euler] "
-      "[--threads T]\n");
+      "[--threads T]\n"
+      "\n"
+      "  --audit  determinism audit: run the batch cells through a\n"
+      "           1-thread and an N-thread engine and diff per-cell\n"
+      "           trace hashes (exit 1 on any mismatch)\n");
   return 2;
 }
 
@@ -42,6 +47,7 @@ struct Args {
   int nj = 40;
   int steps = 200;
   int threads = 1;
+  bool audit = false;
   std::vector<std::string> names;  ///< non-flag positionals
 };
 
@@ -57,6 +63,7 @@ Args parse_flags(int argc, char** argv, int from) {
     else if (flag == "--nj") a.nj = next();
     else if (flag == "--steps") a.steps = next();
     else if (flag == "--threads") a.threads = next();
+    else if (flag == "--audit") a.audit = true;
     else if (!flag.empty() && flag[0] != '-') a.names.push_back(flag);
   }
   return a;
@@ -120,6 +127,21 @@ int cmd_batch(const Args& a) {
   }
   for (const auto& key : a.names) {
     specs.push_back({make_base(a).platform(key), exec::make_platform(key).name});
+  }
+  if (a.audit) {
+    // Determinism audit instead of the sweep chart: every batch cell is
+    // run through a serial and a parallel engine and the per-cell trace
+    // hashes are diffed.
+    std::vector<Scenario> cells;
+    for (const auto& spec : specs) {
+      const int maxp = exec::make_platform(spec.base.platform_key()).max_procs;
+      for (int p : bench::proc_sweep(maxp)) {
+        cells.push_back(Scenario(spec.base).threads(p));
+      }
+    }
+    const auto report = exec::audit(cells, a.threads);
+    std::printf("%s", report.str().c_str());
+    return report.clean() ? 0 : 1;
   }
   io::ChartOptions opts;
   opts.title = "Batch sweep";

@@ -1,0 +1,93 @@
+#include "check/check.hpp"
+
+#include <algorithm>
+
+namespace nsp::check {
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+    case Severity::Fatal: return "fatal";
+  }
+  return "?";
+}
+
+namespace {
+std::string describe(const Site& site) {
+  std::string msg = "NSP_CHECK violated [";
+  msg += site.id;
+  msg += "] ";
+  msg += site.expr;
+  msg += " at ";
+  msg += site.file;
+  msg += ":";
+  msg += std::to_string(site.line);
+  return msg;
+}
+}  // namespace
+
+Violation::Violation(const Site& site)
+    : std::runtime_error(describe(site)), id_(site.id) {}
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+void Registry::violate(Site& site) {
+  site.count.fetch_add(1, std::memory_order_relaxed);
+  if (!site.listed.exchange(true, std::memory_order_acq_rel)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sites_.push_back(&site);
+  }
+  if (site.severity == Severity::Fatal ||
+      (site.severity == Severity::Error &&
+       throw_on_error_.load(std::memory_order_relaxed))) {
+    throw Violation(site);
+  }
+}
+
+std::uint64_t Registry::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const Site* s : sites_) n += s->count.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t Registry::count(std::string_view id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const Site* s : sites_) {
+    if (id == s->id) n += s->count.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Site* s : sites_) s->count.store(0, std::memory_order_relaxed);
+}
+
+bool Registry::set_throw_on_error(bool enabled) {
+  return throw_on_error_.exchange(enabled, std::memory_order_relaxed);
+}
+
+bool Registry::throw_on_error() const {
+  return throw_on_error_.load(std::memory_order_relaxed);
+}
+
+std::vector<const Site*> Registry::sites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Site*> out(sites_.begin(), sites_.end());
+  std::sort(out.begin(), out.end(), [](const Site* a, const Site* b) {
+    const int c = std::string_view(a->id).compare(b->id);
+    if (c != 0) return c < 0;
+    return a->line < b->line;
+  });
+  return out;
+}
+
+void fail(Site& site) { Registry::instance().violate(site); }
+
+}  // namespace nsp::check

@@ -1,0 +1,155 @@
+// nsp::check — the runtime invariant layer.
+//
+// Every library in the stack states its invariants through the
+// NSP_CHECK* macros below. A violated check is counted in a global
+// registry (and, for fatal checks, throws), so a run can end with a
+// uniform report of everything that went wrong instead of a scatter of
+// debug-only asserts. The whole layer compiles away at
+// NSP_CHECK_LEVEL=0: each macro expands to ((void)0) and the condition
+// is never evaluated, so release builds pay nothing.
+//
+// Levels (set the NSP_CHECK_LEVEL CMake cache variable, default 1):
+//   0  off — zero cost, conditions not evaluated
+//   1  cheap invariants on the control path (O(1) per event/step)
+//   2  exhaustive — adds per-point scans (finite fields, index range
+//      checks in Field2D) that slow the solver by integer factors
+//
+// Macro severity:
+//   NSP_CHECK(cond, id)        error: counted; throws only in
+//                              throw-on-error mode (tests)
+//   NSP_CHECK_WARN(cond, id)   warning: counted, never throws
+//   NSP_CHECK_FATAL(cond, id)  fatal: counted, always throws Violation
+//   NSP_CHECK_FINITE(val, id)  error-severity std::isfinite check
+//   NSP_CHECK_SLOW(...)        level-2 variants of CHECK / FATAL
+//   NSP_CHECK_SLOW_FATAL(...)
+//
+// The `id` is a stable dotted name ("sim.resource.release_matched")
+// used for counter lookup and reporting; keep it unique per site.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef NSP_CHECK_LEVEL
+#define NSP_CHECK_LEVEL 1
+#endif
+
+namespace nsp::check {
+
+enum class Severity { Warning, Error, Fatal };
+
+std::string_view to_string(Severity s);
+
+/// One static check site: identity plus a violation counter. Sites are
+/// defined by the macros as function-local statics, so a site costs one
+/// branch when the condition holds and registers itself with the
+/// Registry on its first violation.
+struct Site {
+  const char* id;    ///< stable dotted name, unique per site
+  const char* expr;  ///< stringified condition
+  const char* file;
+  int line;
+  Severity severity;
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<bool> listed{false};  ///< registered with the Registry
+};
+
+/// Thrown by fatal checks (and by error checks in throw-on-error mode).
+class Violation : public std::runtime_error {
+ public:
+  explicit Violation(const Site& site);
+  const char* id() const { return id_; }
+
+ private:
+  const char* id_;
+};
+
+/// The process-wide table of violated check sites. Thread-safe.
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Records one violation of `site`. Throws Violation for Fatal sites,
+  /// and for Error sites when throw-on-error mode is enabled.
+  void violate(Site& site);
+
+  /// Total violations across all sites (warnings included).
+  std::uint64_t total() const;
+
+  /// Violations of the site(s) with the given id (0 if never violated).
+  std::uint64_t count(std::string_view id) const;
+
+  /// Zeroes every counter (sites stay known). For tests.
+  void reset();
+
+  /// When enabled, Error-severity violations throw like Fatal ones.
+  /// Returns the previous value. Warnings still only count.
+  bool set_throw_on_error(bool enabled);
+  bool throw_on_error() const;
+
+  /// Every site that has ever been violated (count may be 0 again after
+  /// reset()). Pointers are to function-local statics: always valid.
+  std::vector<const Site*> sites() const;
+
+ private:
+  Registry() = default;
+  mutable std::mutex mu_;
+  std::vector<Site*> sites_;
+  std::atomic<bool> throw_on_error_{false};
+};
+
+/// Slow path taken when a check's condition is false.
+void fail(Site& site);
+
+/// Builds a Site prvalue (guaranteed elision: the non-movable aggregate
+/// is constructed in place). Exists so the macros below contain no
+/// top-level commas outside parentheses — a brace-initializer in the
+/// expansion would split the argument lists of enclosing macros like
+/// EXPECT_NO_THROW(NSP_CHECK(...)).
+inline Site make_site(const char* id, const char* expr, const char* file,
+                      int line, Severity sev) {
+  return Site{id, expr, file, line, sev, {}, {}};
+}
+
+}  // namespace nsp::check
+
+// ---- Macros ------------------------------------------------------------
+
+#define NSP_CHECK_SITE_(cond, id_str, sev)                                 \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      static ::nsp::check::Site nsp_check_site_ =                          \
+          ::nsp::check::make_site(id_str, #cond, __FILE__, __LINE__, sev); \
+      ::nsp::check::fail(nsp_check_site_);                                 \
+    }                                                                      \
+  } while (0)
+
+#if NSP_CHECK_LEVEL >= 1
+#define NSP_CHECK(cond, id) \
+  NSP_CHECK_SITE_(cond, id, ::nsp::check::Severity::Error)
+#define NSP_CHECK_WARN(cond, id) \
+  NSP_CHECK_SITE_(cond, id, ::nsp::check::Severity::Warning)
+#define NSP_CHECK_FATAL(cond, id) \
+  NSP_CHECK_SITE_(cond, id, ::nsp::check::Severity::Fatal)
+#define NSP_CHECK_FINITE(val, id) \
+  NSP_CHECK_SITE_(std::isfinite(val), id, ::nsp::check::Severity::Error)
+#else
+#define NSP_CHECK(...) ((void)0)
+#define NSP_CHECK_WARN(...) ((void)0)
+#define NSP_CHECK_FATAL(...) ((void)0)
+#define NSP_CHECK_FINITE(...) ((void)0)
+#endif
+
+#if NSP_CHECK_LEVEL >= 2
+#define NSP_CHECK_SLOW(cond, id) NSP_CHECK(cond, id)
+#define NSP_CHECK_SLOW_FATAL(cond, id) NSP_CHECK_FATAL(cond, id)
+#else
+#define NSP_CHECK_SLOW(...) ((void)0)
+#define NSP_CHECK_SLOW_FATAL(...) ((void)0)
+#endif

@@ -1,0 +1,97 @@
+// nsp::check::Report — a serializable snapshot of the check registry.
+//
+// snapshot() captures every violated site with its current count; the
+// report renders as an io::Table for terminals and as CSV/JSON records
+// for artifacts, matching the rest of the laboratory's output formats.
+//
+// Implemented inline on top of io/table.hpp so nsp_check itself stays
+// dependency-free (io uses the check macros, check's report uses io's
+// formatting — keeping this header-only breaks the library cycle).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "io/table.hpp"
+
+namespace nsp::check {
+
+struct Report {
+  struct Entry {
+    std::string id;
+    std::string expr;
+    std::string file;
+    int line = 0;
+    Severity severity = Severity::Error;
+    std::uint64_t count = 0;
+  };
+
+  /// Violated sites sorted by id (entries with count 0 — violated once
+  /// but reset since — are dropped at snapshot time).
+  std::vector<Entry> entries;
+
+  std::uint64_t total() const {
+    std::uint64_t n = 0;
+    for (const Entry& e : entries) n += e.count;
+    return n;
+  }
+
+  bool clean() const { return entries.empty(); }
+
+  /// Human-readable table ("all invariants held" when clean).
+  std::string str() const {
+    if (clean()) return "check: all invariants held\n";
+    io::Table t({"check", "severity", "count", "condition", "site"});
+    t.title("Invariant violations");
+    for (const Entry& e : entries) {
+      t.row({e.id, std::string(to_string(e.severity)), std::to_string(e.count),
+             e.expr, e.file + ":" + std::to_string(e.line)});
+    }
+    return t.str();
+  }
+
+  /// CSV with one row per violated site (header included).
+  std::string to_csv() const {
+    std::string out = "check,severity,count,condition,site\n";
+    for (const Entry& e : entries) {
+      out += io::csv_escape(e.id) + ',' + std::string(to_string(e.severity)) +
+             ',' + std::to_string(e.count) + ',' + io::csv_escape(e.expr) +
+             ',' + io::csv_escape(e.file + ":" + std::to_string(e.line)) +
+             '\n';
+    }
+    return out;
+  }
+
+  /// Deterministic JSON array of violation objects.
+  std::string to_json() const {
+    std::vector<io::JsonRecord> records;
+    records.reserve(entries.size());
+    for (const Entry& e : entries) {
+      records.push_back(io::JsonRecord{
+          {"check", '"' + io::json_escape(e.id) + '"'},
+          {"severity", '"' + std::string(to_string(e.severity)) + '"'},
+          {"count", std::to_string(e.count)},
+          {"condition", '"' + io::json_escape(e.expr) + '"'},
+          {"site",
+           '"' + io::json_escape(e.file + ":" + std::to_string(e.line)) + '"'},
+      });
+    }
+    return io::json_records(records);
+  }
+};
+
+/// Captures the current registry state.
+inline Report snapshot() {
+  Report rep;
+  for (const Site* s : Registry::instance().sites()) {
+    const std::uint64_t n = s->count.load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    rep.entries.push_back(
+        Report::Entry{s->id, s->expr, s->file, s->line, s->severity, n});
+  }
+  return rep;
+}
+
+}  // namespace nsp::check

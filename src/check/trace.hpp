@@ -1,0 +1,83 @@
+// Order-independent execution tracing for determinism audits.
+//
+// A TraceHash accumulates FNV-1a record hashes with modular addition,
+// so the digest of a set of records does not depend on the order in
+// which threads contribute them — exactly what a work-stealing pool
+// needs to prove that a parallel sweep computed the same cells, bit for
+// bit, as the serial reference run. Each record is hashed on its own
+// (strings by bytes, doubles by bit pattern, so -0.0 != +0.0 and every
+// NaN payload is distinguished) and then folded into the accumulator.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace nsp::check {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// FNV-1a over raw bytes, continuing from hash state `h`.
+inline std::uint64_t fnv1a(const void* data, std::size_t n,
+                           std::uint64_t h = kFnvOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t k = 0; k < n; ++k) {
+    h ^= p[k];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(std::string_view s,
+                           std::uint64_t h = kFnvOffsetBasis) {
+  return fnv1a(s.data(), s.size(), h);
+}
+
+inline std::uint64_t fnv1a(std::uint64_t v,
+                           std::uint64_t h = kFnvOffsetBasis) {
+  return fnv1a(&v, sizeof(v), h);
+}
+
+/// Hashes the exact bit pattern of a double.
+inline std::uint64_t fnv1a(double v, std::uint64_t h = kFnvOffsetBasis) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return fnv1a(bits, h);
+}
+
+/// Commutative accumulator of record hashes.
+class TraceHash {
+ public:
+  /// Folds in an already-computed record hash.
+  void mix(std::uint64_t record_hash) {
+    acc_ += record_hash;
+    ++count_;
+  }
+
+  /// Hashes one (key, value) record and folds it in.
+  void record(std::string_view key, double value) {
+    mix(fnv1a(value, fnv1a(key)));
+  }
+  void record(std::string_view key, std::uint64_t value) {
+    mix(fnv1a(value, fnv1a(key)));
+  }
+
+  /// Combines another accumulator (associative and commutative).
+  void merge(const TraceHash& other) {
+    acc_ += other.acc_;
+    count_ += other.count_;
+  }
+
+  std::uint64_t count() const { return count_; }
+
+  /// Final digest: the accumulated sum re-mixed with the record count,
+  /// so an empty trace and a trace of one zero-hash record differ.
+  std::uint64_t digest() const { return fnv1a(count_, fnv1a(acc_)); }
+
+ private:
+  std::uint64_t acc_ = 0;    ///< modular sum of record hashes
+  std::uint64_t count_ = 0;  ///< records contributed
+};
+
+}  // namespace nsp::check

@@ -6,9 +6,10 @@
 // accommodate the 2-4 MacCormack stencil (reach +-2).
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <vector>
+
+#include "check/check.hpp"
 
 namespace nsp::core {
 
@@ -23,18 +24,20 @@ class Field2D {
   Field2D(int ni, int nj, double init = 0.0)
       : ni_(ni), nj_(nj), row_(ni + 2 * kGhost),
         data_(static_cast<std::size_t>(ni + 2 * kGhost) * (nj + 2 * kGhost), init) {
-    assert(ni > 0 && nj > 0);
+    NSP_CHECK_FATAL(ni > 0 && nj > 0, "core.field.positive_extents");
   }
 
   int ni() const { return ni_; }
   int nj() const { return nj_; }
 
+  // Index checking is level-2 only: this accessor is the innermost
+  // operation of every kernel loop.
   double& operator()(int i, int j) {
-    assert(in_range(i, j));
+    NSP_CHECK_SLOW_FATAL(in_range(i, j), "core.field.index_range");
     return data_[index(i, j)];
   }
   double operator()(int i, int j) const {
-    assert(in_range(i, j));
+    NSP_CHECK_SLOW_FATAL(in_range(i, j), "core.field.index_range");
     return data_[index(i, j)];
   }
 

@@ -7,8 +7,6 @@
 // symmetry ghosts across r = 0.
 #pragma once
 
-#include <cassert>
-
 namespace nsp::core {
 
 struct Grid {

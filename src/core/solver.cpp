@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/check.hpp"
 #include "core/stability.hpp"
 
 namespace nsp::core {
@@ -22,6 +23,9 @@ Solver::Solver(SolverConfig cfg)
   cfg_.jet.gas.mu = cfg_.viscous ? cfg_.jet.viscosity() : 0.0;
   if (cfg_.rayleigh_inflow) {
     const auto mode = stability::solve(cfg_.jet, cfg_.jet.omega());
+    // to_eigenmode falls back to the analytic mode when the eigensolve
+    // failed; count the silent fallback so it shows up in reports.
+    NSP_CHECK_WARN(mode.converged, "core.solver.rayleigh_converged");
     inflow_ =
         InflowBC(cfg_.grid, cfg_.jet, stability::to_eigenmode(mode, cfg_.jet));
   } else {
@@ -55,6 +59,13 @@ void Solver::initialize() {
   // Headroom for the excitation-driven velocity growth downstream.
   dt_ = cfg_.cfl * std::min(g.dx() / (1.3 * max_x_speed),
                             g.dr() / (1.3 * max_r_speed));
+  NSP_CHECK_FINITE(dt_, "core.solver.dt_finite");
+  NSP_CHECK(dt_ > 0, "core.solver.dt_positive");
+  // The CFL bound the time step was derived from must actually hold for
+  // the initial field's wave speeds (small slack for roundoff).
+  NSP_CHECK(dt_ * max_x_speed <= cfg_.cfl * g.dx() * (1 + 1e-12) &&
+                dt_ * max_r_speed <= cfg_.cfl * g.dr() * (1 + 1e-12),
+            "core.solver.cfl_bound");
   t_ = 0;
   steps_ = 0;
   flops_.reset();
@@ -122,7 +133,6 @@ void Solver::sweep_x(SweepVariant v) {
   const Gas& gas = cfg_.jet.gas;
   FlopCounter* fc =
       (cfg_.count_flops && cfg_.num_threads <= 1) ? &flops_ : nullptr;
-  const Range full{0, g.ni};
   const double lambda = dt_ / (6.0 * g.dx());
 
   for (int stage = 0; stage < 2; ++stage) {
@@ -216,6 +226,31 @@ void Solver::apply_smoothing() {
   std::swap(q_, qn_);
 }
 
+namespace {
+
+#if NSP_CHECK_LEVEL >= 2
+/// Exhaustive per-point scan: every interior value finite, density and
+/// pressure positive. Level-2 only — it touches the whole field.
+bool state_physical(const Gas& gas, const Grid& g, const StateField& q) {
+  for (int j = 0; j < g.nj; ++j) {
+    for (int i = 0; i < g.ni; ++i) {
+      const double rho = q.rho(i, j);
+      if (!std::isfinite(rho) || rho <= 0) return false;
+      if (!std::isfinite(q.mx(i, j)) || !std::isfinite(q.mr(i, j)) ||
+          !std::isfinite(q.e(i, j))) {
+        return false;
+      }
+      const Primitive w =
+          to_primitive(gas, rho, q.mx(i, j), q.mr(i, j), q.e(i, j));
+      if (!std::isfinite(w.p) || w.p <= 0) return false;
+    }
+  }
+  return true;
+}
+#endif
+
+}  // namespace
+
 void Solver::step() {
   if (dt_ <= 0) initialize();
   if (steps_ % 2 == 0) {
@@ -228,6 +263,8 @@ void Solver::step() {
   apply_smoothing();
   ++steps_;
   t_ += dt_;
+  NSP_CHECK_SLOW(state_physical(cfg_.jet.gas, cfg_.grid, q_),
+                 "core.solver.state_physical");
 }
 
 void Solver::run(int n) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/check.hpp"
+
 namespace nsp::core::stability {
 
 namespace {
@@ -136,10 +138,13 @@ Complex farfield_mismatch(const JetConfig& jet, double omega, Complex alpha,
   const State in =
       integrate_between(m, omega, alpha, az, opts.r_max, kMatchRadius, n,
                         State{1.0, -decay_rate(jet, omega, alpha)});
-  if (std::abs(out.p) < 1e-300 || std::abs(in.p) < 1e-300 ||
-      !std::isfinite(std::abs(out.p)) || !std::isfinite(std::abs(in.p))) {
-    return Complex{1e30, 0};
-  }
+  const bool usable = std::abs(out.p) >= 1e-300 && std::abs(in.p) >= 1e-300 &&
+                      std::isfinite(std::abs(out.p)) &&
+                      std::isfinite(std::abs(in.p));
+  // Blow-ups are expected for bad alpha guesses; count them so a run
+  // dominated by degenerate shoots is visible in the check report.
+  NSP_CHECK_WARN(usable, "core.stability.shooting_usable");
+  if (!usable) return Complex{1e30, 0};
   return out.q / out.p - in.q / in.p;
 }
 

@@ -1,0 +1,117 @@
+#include "exec/audit.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "check/trace.hpp"
+#include "exec/engine.hpp"
+#include "io/table.hpp"
+
+namespace nsp::exec {
+
+std::uint64_t trace_hash(const RunResult& r) {
+  std::uint64_t h = check::fnv1a(r.key);
+  h = check::fnv1a(r.label, h);
+  h = check::fnv1a(r.platform, h);
+  h = check::fnv1a(static_cast<std::uint64_t>(r.nprocs), h);
+  h = check::fnv1a(r.seed, h);
+  for (const auto& [name, value] : r.metrics) {
+    h = check::fnv1a(name, h);
+    h = check::fnv1a(value, h);  // exact bit pattern
+  }
+  return h;
+}
+
+std::size_t AuditReport::mismatches() const {
+  std::size_t n = 0;
+  for (const AuditCell& c : cells) {
+    if (!c.match()) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Merge-walks two key-sorted ResultSets into per-cell hash pairs; a
+/// cell missing from one side keeps hash 0 there (always a mismatch).
+std::vector<AuditCell> diff_cells(const ResultSet& a, const ResultSet& b) {
+  std::vector<AuditCell> cells;
+  cells.reserve(a.results.size());
+  std::size_t i = 0, j = 0;
+  while (i < a.results.size() || j < b.results.size()) {
+    const bool only_a = j >= b.results.size() ||
+                        (i < a.results.size() &&
+                         a.results[i].key < b.results[j].key);
+    const bool only_b = !only_a && (i >= a.results.size() ||
+                                    b.results[j].key < a.results[i].key);
+    if (only_a) {
+      cells.push_back({a.results[i].key, trace_hash(a.results[i]), 0});
+      ++i;
+    } else if (only_b) {
+      cells.push_back({b.results[j].key, 0, trace_hash(b.results[j])});
+      ++j;
+    } else {
+      cells.push_back({a.results[i].key, trace_hash(a.results[i]),
+                       trace_hash(b.results[j])});
+      ++i;
+      ++j;
+    }
+  }
+  return cells;
+}
+
+}  // namespace
+
+std::string AuditReport::str() const {
+  io::Table t({"cell", "serial hash",
+               std::to_string(parallel_threads) + "-thread hash", "verdict"});
+  t.title("Determinism audit: 1 vs " + std::to_string(parallel_threads) +
+          " threads, " + std::to_string(cells.size()) + " cells");
+  for (const AuditCell& c : cells) {
+    t.row({c.key, hex64(c.serial_hash), hex64(c.parallel_hash),
+           c.match() ? "ok" : "MISMATCH"});
+  }
+  std::string out = t.str();
+  out += "sweep digest: serial " + hex64(serial_digest) + ", parallel " +
+         hex64(parallel_digest) + "\n";
+  out += clean() ? "audit clean: every cell bit-identical\n"
+                 : "AUDIT FAILED: " + std::to_string(mismatches()) +
+                       " cell(s) diverged\n";
+  return out;
+}
+
+AuditReport audit(const std::vector<Scenario>& sweep, int threads) {
+  EngineOptions serial_opts;
+  serial_opts.threads = 1;
+  serial_opts.cache = false;  // every cell genuinely recomputed
+  Engine serial(serial_opts);
+
+  EngineOptions par_opts;
+  par_opts.threads = threads;
+  par_opts.cache = false;
+  auto parallel = std::make_unique<Engine>(par_opts);
+  if (parallel->counters().threads < 2) {
+    // A 1-wide "parallel" engine would prove nothing; force a real pool.
+    par_opts.threads = 2;
+    parallel = std::make_unique<Engine>(par_opts);
+  }
+
+  const ResultSet a = serial.run(sweep);
+  const ResultSet b = parallel->run(sweep);
+
+  AuditReport rep;
+  rep.parallel_threads = parallel->counters().threads;
+  rep.serial_digest = serial.trace_digest();
+  rep.parallel_digest = parallel->trace_digest();
+  rep.cells = diff_cells(a, b);
+  return rep;
+}
+
+}  // namespace nsp::exec

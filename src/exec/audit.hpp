@@ -1,0 +1,53 @@
+// Engine determinism audit: prove that a parallel sweep computes the
+// same cells, bit for bit, as the serial reference run.
+//
+// audit() executes the sweep twice — once on a 1-thread engine (the
+// serial reference) and once on an N-thread engine — with memoization
+// disabled, hashes every cell's identity and exact metric bits
+// (check::TraceHash / FNV-1a), and diffs the hashes per cell rather
+// than just comparing final serialized bytes: a mismatch names the
+// exact scenario that diverged. The CLI exposes this as
+// `nsplab_cli batch ... --audit`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/run_result.hpp"
+#include "exec/scenario.hpp"
+
+namespace nsp::exec {
+
+/// FNV-1a hash of a result's identity (key, label, platform, nprocs,
+/// seed) and the exact bit patterns of its metrics, in insertion order.
+/// Execution bookkeeping (wall_s, from_cache) is excluded.
+std::uint64_t trace_hash(const RunResult& r);
+
+/// One scenario's serial-vs-parallel comparison.
+struct AuditCell {
+  std::string key;                   ///< scenario key
+  std::uint64_t serial_hash = 0;     ///< 0 = missing from the serial run
+  std::uint64_t parallel_hash = 0;   ///< 0 = missing from the parallel run
+  bool match() const { return serial_hash == parallel_hash; }
+};
+
+struct AuditReport {
+  int parallel_threads = 0;
+  std::vector<AuditCell> cells;  ///< sorted by key
+  std::uint64_t serial_digest = 0;    ///< order-independent sweep digest
+  std::uint64_t parallel_digest = 0;
+
+  std::size_t mismatches() const;
+  bool clean() const { return mismatches() == 0; }
+
+  /// Per-cell table plus a digest summary line.
+  std::string str() const;
+};
+
+/// Runs the 1-thread vs `threads`-thread comparison (threads = 0 picks
+/// the engine default width, forced to at least 2 so the audit always
+/// exercises a real pool).
+AuditReport audit(const std::vector<Scenario>& sweep, int threads = 0);
+
+}  // namespace nsp::exec

@@ -9,7 +9,10 @@
 #include <optional>
 #include <unordered_map>
 
+#include "check/check.hpp"
+#include "check/trace.hpp"
 #include "core/solver.hpp"
+#include "exec/audit.hpp"
 #include "exec/pool.hpp"
 #include "perf/replay.hpp"
 #include "sim/simulator.hpp"
@@ -154,6 +157,7 @@ struct Engine::Impl {
   std::mutex hook_mu;
   std::mutex counters_mu;
   std::uint64_t stolen_before = 0;
+  check::TraceHash trace;  ///< guarded by counters_mu
 
   explicit Impl(EngineOptions o)
       : opts([&o] {
@@ -173,6 +177,16 @@ void Engine::cancel() { impl_->cancel.store(true, std::memory_order_relaxed); }
 
 bool Engine::cancelled() const {
   return impl_->cancel.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Engine::trace_digest() const {
+  std::lock_guard<std::mutex> lock(impl_->counters_mu);
+  return impl_->trace.digest();
+}
+
+std::uint64_t Engine::trace_count() const {
+  std::lock_guard<std::mutex> lock(impl_->counters_mu);
+  return impl_->trace.count();
 }
 
 std::size_t Engine::cache_size() const {
@@ -244,6 +258,12 @@ ResultSet Engine::run(const std::vector<Scenario>& sweep,
           std::lock_guard<std::mutex> lock(im.cache_mu);
           im.cache.emplace(cache_key, *slots[i]);
         }
+      }
+      {
+        // Order-independent accumulation: the digest is the same no
+        // matter which worker delivered which cell.
+        std::lock_guard<std::mutex> lock(im.counters_mu);
+        im.trace.mix(trace_hash(*slots[i]));
       }
       if (hooks.on_result) {
         std::lock_guard<std::mutex> lock(im.hook_mu);

@@ -81,6 +81,16 @@ class Engine {
 
   const EngineCounters& counters() const { return counters_; }
 
+  /// Order-independent FNV digest of every result delivered by this
+  /// engine (check::TraceHash over each result's identity and exact
+  /// metric bits, accumulated across pool threads). Two engines that
+  /// computed the same cells — regardless of thread count, scheduling,
+  /// or completion order — report equal digests; see exec/audit.hpp.
+  std::uint64_t trace_digest() const;
+
+  /// Records folded into the trace so far.
+  std::uint64_t trace_count() const;
+
   std::size_t cache_size() const;
   void clear_cache();
 

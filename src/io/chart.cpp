@@ -7,6 +7,8 @@
 #include <limits>
 #include <sstream>
 
+#include "check/check.hpp"
+
 namespace nsp::io {
 
 namespace {
@@ -21,7 +23,7 @@ bool usable(double v, bool logscale) {
 
 std::string tick_label(double v) {
   char buf[32];
-  if (v != 0.0 && (std::fabs(v) >= 1e5 || std::fabs(v) < 1e-2)) {
+  if (std::fabs(v) > 0.0 && (std::fabs(v) >= 1e5 || std::fabs(v) < 1e-2)) {
     std::snprintf(buf, sizeof(buf), "%.1e", v);
   } else if (std::fabs(v - std::round(v)) < 1e-9) {
     std::snprintf(buf, sizeof(buf), "%g", v);
@@ -36,6 +38,12 @@ std::string tick_label(double v) {
 LineChart::LineChart(ChartOptions opts) : opts_(std::move(opts)) {}
 
 LineChart& LineChart::add(Series s) {
+  // Non-finite points are skipped at render time; count them here (once
+  // per added series) so bad data is visible in the check report.
+  for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+    NSP_CHECK_WARN(std::isfinite(s.x[i]) && std::isfinite(s.y[i]),
+                   "io.chart.point_finite");
+  }
   series_.push_back(std::move(s));
   return *this;
 }

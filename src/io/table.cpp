@@ -1,11 +1,12 @@
 #include "io/table.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <ostream>
 #include <sstream>
+
+#include "check/check.hpp"
 
 namespace nsp::io {
 
@@ -27,7 +28,9 @@ Table& Table::align(std::vector<Align> aligns) {
 }
 
 Table& Table::row(std::vector<std::string> cells) {
-  assert(cells.size() <= headers_.size());
+  // Oversized rows are counted as violations and truncated; short rows
+  // are legitimately padded.
+  NSP_CHECK(cells.size() <= headers_.size(), "io.table.row_width");
   cells.resize(headers_.size());
   rows_.push_back(std::move(cells));
   return *this;

@@ -35,7 +35,8 @@ class Table {
   Table& align(std::vector<Align> aligns);
 
   /// Appends a data row. Rows shorter than the header are padded with
-  /// empty cells; longer rows are an error (asserted in debug builds).
+  /// empty cells; longer rows are counted as a check violation
+  /// ("io.table.row_width") and truncated to the header width.
   Table& row(std::vector<std::string> cells);
 
   /// Appends a separator rule between data rows.

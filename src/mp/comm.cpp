@@ -5,12 +5,17 @@
 #include <stdexcept>
 #include <thread>
 
+#include "check/check.hpp"
+
 namespace nsp::mp {
 
 // ------------------------------------------------------------------ Comm
 
 void Comm::send(int dst, int tag, std::span<const double> data) {
   if (dst < 0 || dst >= size_) throw std::out_of_range("Comm::send: bad rank");
+  // The SPMD solver never talks to itself; a self-send is a decomposition
+  // bug (and would deadlock a synchronous message layer).
+  NSP_CHECK(dst != rank_, "mp.comm.send_to_self");
   Message m;
   m.src = rank_;
   m.tag = tag;
@@ -29,6 +34,7 @@ Message Comm::recv(int src, int tag) {
 
 void Comm::recv_into(int src, int tag, std::span<double> out) {
   Message m = recv(src, tag);
+  NSP_CHECK_WARN(m.data.size() == out.size(), "mp.comm.recv_size_matched");
   if (m.data.size() != out.size()) {
     throw std::runtime_error("Comm::recv_into: length mismatch");
   }
@@ -205,6 +211,18 @@ void Cluster::run(const std::function<void(Comm&)>& fn) {
     });
   }
   for (auto& t : threads) t.join();
+
+  // Matched posts: every send must have been consumed by a receive.
+  // (Only meaningful when the ranks exited cleanly — an exception
+  // legitimately strands in-flight messages.)
+  if (!first_error) {
+    std::size_t unconsumed = 0;
+    for (auto& box : boxes_) {
+      std::lock_guard<std::mutex> lk(box.m);
+      unconsumed += box.queue.size();
+    }
+    NSP_CHECK_WARN(unconsumed == 0, "mp.comm.posts_matched");
+  }
 
   last_counters_.clear();
   for (const auto& c : comms) last_counters_.push_back(c.counters());

@@ -24,10 +24,14 @@
 
 #include "arch/cpu_model.hpp"
 #include "arch/kernel_profile.hpp"
+#include "check/check.hpp"
+#include "check/report.hpp"
+#include "check/trace.hpp"
 #include "arch/msglayer.hpp"
 #include "arch/network.hpp"
 #include "arch/platform.hpp"
 #include "core/solver.hpp"
+#include "exec/audit.hpp"
 #include "exec/engine.hpp"
 #include "exec/registry.hpp"
 #include "exec/run_result.hpp"
@@ -41,6 +45,8 @@
 
 namespace nsp {
 
+using exec::audit;
+using exec::AuditReport;
 using exec::Engine;
 using exec::EngineCounters;
 using exec::EngineOptions;

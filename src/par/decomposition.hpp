@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "check/check.hpp"
 #include "core/kernels.hpp"
 
 namespace nsp::par {
@@ -23,9 +24,13 @@ inline std::vector<core::Range> axial_blocks(int ni, int nprocs) {
   int start = 0;
   for (int r = 0; r < nprocs; ++r) {
     const int w = base + (r < rem ? 1 : 0);
+    NSP_CHECK(w >= 1, "par.decomp.nonempty_block");
     blocks.push_back(core::Range{start, start + w});
     start += w;
   }
+  // Contiguous construction makes the blocks non-overlapping; ending
+  // exactly at ni makes the cover exact.
+  NSP_CHECK(start == ni, "par.decomp.exact_cover");
   return blocks;
 }
 

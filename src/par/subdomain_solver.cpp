@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/check.hpp"
+
 namespace nsp::par {
 
 using core::Field2D;
@@ -37,7 +39,7 @@ SubdomainSolver::SubdomainSolver(const core::SolverConfig& cfg, mp::Comm& comm)
       w_(width_, cfg.grid.nj),
       s_(width_, cfg.grid.nj),
       flux_(width_, cfg.grid.nj) {
-  if (cfg.smoothing != 0.0) {
+  if (std::fabs(cfg.smoothing) > 0.0) {
     throw std::invalid_argument(
         "SubdomainSolver: smoothing is not decomposition-invariant");
   }
@@ -98,6 +100,10 @@ std::vector<double> pack_prim_col(const PrimitiveField& w, int i, int nj) {
 
 void unpack_prim_col(PrimitiveField& w, int i, int nj,
                      const std::vector<double>& buf) {
+  // Halo size consistency: a mangled tag or rank pairing shows up here
+  // as a wrong-sized message long before it corrupts the fields.
+  NSP_CHECK(buf.size() == static_cast<std::size_t>(4) * nj,
+            "par.halo.prim_size");
   for (int j = 0; j < nj; ++j) {
     w.u(i, j) = buf[0 * nj + j];
     w.v(i, j) = buf[1 * nj + j];
@@ -170,6 +176,8 @@ std::vector<double> pack_flux_cols(const StateField& f, int i0, int i1, int nj) 
 
 void unpack_flux_cols(StateField& f, int i0, int i1, int nj,
                       const std::vector<double>& buf) {
+  NSP_CHECK(buf.size() == static_cast<std::size_t>(8) * nj,
+            "par.halo.flux_size");
   std::size_t k = 0;
   for (int c = 0; c < StateField::kComponents; ++c) {
     for (int j = 0; j < nj; ++j) f[c](i0, j) = buf[k++];

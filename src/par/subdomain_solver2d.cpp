@@ -50,7 +50,7 @@ SubdomainSolver2D::SubdomainSolver2D(const core::SolverConfig& cfg,
   if (comm.size() != px * py) {
     throw std::invalid_argument("SubdomainSolver2D: size != px*py");
   }
-  if (cfg.smoothing != 0.0) {
+  if (std::fabs(cfg.smoothing) > 0.0) {
     throw std::invalid_argument(
         "SubdomainSolver2D: smoothing is not decomposition-invariant");
   }

@@ -1,8 +1,9 @@
 #include "sim/resource.hpp"
 
-#include <cassert>
 #include <stdexcept>
 #include <utility>
+
+#include "check/check.hpp"
 
 namespace nsp::sim {
 
@@ -25,14 +26,17 @@ void Resource::acquire(std::function<void()> granted) {
     account();
     ++busy_;
     ++grants_;
+    NSP_CHECK(busy_ <= servers_, "sim.resource.occupancy_bound");
     granted();
   } else {
+    // A waiter may only queue while every server is occupied.
+    NSP_CHECK(busy_ == servers_, "sim.resource.queue_only_when_full");
     waiters_.push_back(Waiter{std::move(granted), sim_.now()});
   }
 }
 
 void Resource::release() {
-  assert(busy_ > 0 && "Resource::release without matching acquire");
+  NSP_CHECK_FATAL(busy_ > 0, "sim.resource.release_matched");
   if (waiters_.empty()) {
     account();
     --busy_;

@@ -1,11 +1,14 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "check/check.hpp"
 
 namespace nsp::sim {
 
 EventId Simulator::at(Time t, std::function<void()> fn) {
+  // No event may be scheduled before the current time.
+  NSP_CHECK_WARN(t >= now_, "sim.schedule_in_past");
   if (t < now_) throw std::invalid_argument("Simulator::at: time in the past");
   const EventId id = next_id_++;
   queue_.push(Event{t, id, std::move(fn)});
@@ -24,7 +27,8 @@ bool Simulator::step() {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     if (live_.erase(ev.id) == 0) continue;  // was cancelled
-    assert(ev.t >= now_);
+    // The clock is monotone: the heap can never deliver a past event.
+    NSP_CHECK(ev.t >= now_, "sim.clock_monotone");
     now_ = ev.t;
     ++executed_;
     ev.fn();

@@ -1,0 +1,274 @@
+// Tests for nsp::check — macro semantics across levels, the violation
+// registry, report serialization, order-independent trace hashing, and
+// the engine determinism audit.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nsp.hpp"
+
+namespace {
+
+using namespace nsp;
+using check::Registry;
+using check::Severity;
+using check::TraceHash;
+using check::Violation;
+
+/// Every test starts from a zeroed registry with throwing disabled, and
+/// leaves it that way for whatever runs next in the binary.
+class CheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::instance().set_throw_on_error(false);
+    Registry::instance().reset();
+  }
+  void TearDown() override {
+    Registry::instance().set_throw_on_error(false);
+    Registry::instance().reset();
+  }
+};
+
+// ---- Macro semantics ---------------------------------------------------
+
+TEST_F(CheckTest, PassingCheckDoesNotCount) {
+  NSP_CHECK(1 + 1 == 2, "test.check.pass");
+  EXPECT_EQ(Registry::instance().count("test.check.pass"), 0u);
+  EXPECT_EQ(Registry::instance().total(), 0u);
+}
+
+TEST_F(CheckTest, FailingCheckCountsPerSite) {
+  for (int k = 0; k < 3; ++k) {
+    NSP_CHECK(k < 0, "test.check.count3");
+  }
+  EXPECT_EQ(Registry::instance().count("test.check.count3"), 3u);
+  EXPECT_EQ(Registry::instance().total(), 3u);
+}
+
+TEST_F(CheckTest, ErrorDoesNotThrowByDefault) {
+  EXPECT_NO_THROW([&] { NSP_CHECK(false, "test.check.error_quiet"); }());
+  EXPECT_EQ(Registry::instance().count("test.check.error_quiet"), 1u);
+}
+
+TEST_F(CheckTest, ErrorThrowsInThrowOnErrorMode) {
+  Registry::instance().set_throw_on_error(true);
+  try {
+    NSP_CHECK(false, "test.check.error_throws");
+    FAIL() << "expected Violation";
+  } catch (const Violation& v) {
+    EXPECT_STREQ(v.id(), "test.check.error_throws");
+    EXPECT_NE(std::string(v.what()).find("test.check.error_throws"),
+              std::string::npos);
+  }
+  // The violation is still counted even though it threw.
+  EXPECT_EQ(Registry::instance().count("test.check.error_throws"), 1u);
+}
+
+TEST_F(CheckTest, WarningNeverThrows) {
+  Registry::instance().set_throw_on_error(true);
+  EXPECT_NO_THROW([&] { NSP_CHECK_WARN(false, "test.check.warn_quiet"); }());
+  EXPECT_EQ(Registry::instance().count("test.check.warn_quiet"), 1u);
+}
+
+TEST_F(CheckTest, FatalAlwaysThrows) {
+  EXPECT_THROW([&] { NSP_CHECK_FATAL(false, "test.check.fatal"); }(), Violation);
+  EXPECT_EQ(Registry::instance().count("test.check.fatal"), 1u);
+}
+
+TEST_F(CheckTest, FiniteCheckCatchesNanAndInf) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  NSP_CHECK_FINITE(1.5, "test.check.finite");
+  EXPECT_EQ(Registry::instance().count("test.check.finite"), 0u);
+  NSP_CHECK_FINITE(nan, "test.check.finite");
+  NSP_CHECK_FINITE(inf, "test.check.finite");
+  EXPECT_EQ(Registry::instance().count("test.check.finite"), 2u);
+}
+
+TEST_F(CheckTest, ResetZeroesCountersButKeepsSites) {
+  NSP_CHECK_WARN(false, "test.check.reset_me");
+  ASSERT_EQ(Registry::instance().count("test.check.reset_me"), 1u);
+  Registry::instance().reset();
+  EXPECT_EQ(Registry::instance().count("test.check.reset_me"), 0u);
+  bool known = false;
+  for (const auto* s : Registry::instance().sites()) {
+    if (std::string(s->id) == "test.check.reset_me") known = true;
+  }
+  EXPECT_TRUE(known) << "reset() must keep the site registered";
+}
+
+// ---- Level gating ------------------------------------------------------
+
+#if NSP_CHECK_LEVEL >= 1
+TEST_F(CheckTest, ConditionEvaluatedExactlyOnce) {
+  int evals = 0;
+  NSP_CHECK((++evals, true), "test.check.eval_once");
+  EXPECT_EQ(evals, 1);
+}
+#endif
+
+#if NSP_CHECK_LEVEL < 2
+TEST_F(CheckTest, SlowChecksCompileOutBelowLevel2) {
+  int evals = 0;
+  NSP_CHECK_SLOW((++evals, false), "test.check.slow_gated");
+  NSP_CHECK_SLOW_FATAL((++evals, false), "test.check.slow_fatal_gated");
+  EXPECT_EQ(evals, 0) << "level-2 checks must not evaluate their condition";
+  EXPECT_EQ(Registry::instance().count("test.check.slow_gated"), 0u);
+}
+#endif
+
+// ---- Report serialization ----------------------------------------------
+
+TEST_F(CheckTest, CleanReport) {
+  const auto rep = check::snapshot();
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.total(), 0u);
+  EXPECT_EQ(rep.str(), "check: all invariants held\n");
+}
+
+TEST_F(CheckTest, ReportListsViolatedSites) {
+  NSP_CHECK_WARN(false, "test.report.alpha");
+  // One site violated twice (each macro expansion is its own site, so a
+  // loop — not two statements — produces a count of 2).
+  for (int k = 0; k < 2; ++k) {
+    NSP_CHECK(false, "test.report.beta");
+  }
+  const auto rep = check::snapshot();
+  ASSERT_FALSE(rep.clean());
+  EXPECT_EQ(rep.total(), 3u);
+
+  bool saw_alpha = false, saw_beta = false;
+  for (const auto& e : rep.entries) {
+    if (e.id == "test.report.alpha") {
+      saw_alpha = true;
+      EXPECT_EQ(e.severity, Severity::Warning);
+      EXPECT_EQ(e.count, 1u);
+    }
+    if (e.id == "test.report.beta") {
+      saw_beta = true;
+      EXPECT_EQ(e.severity, Severity::Error);
+      EXPECT_EQ(e.count, 2u);
+    }
+  }
+  EXPECT_TRUE(saw_alpha);
+  EXPECT_TRUE(saw_beta);
+
+  const std::string table = rep.str();
+  EXPECT_NE(table.find("test.report.alpha"), std::string::npos);
+  EXPECT_NE(table.find("warning"), std::string::npos);
+
+  const std::string csv = rep.to_csv();
+  EXPECT_NE(csv.find("check,severity,count,condition,site\n"),
+            std::string::npos);
+  EXPECT_NE(csv.find("test.report.beta,error,2"), std::string::npos);
+
+  const std::string json = rep.to_json();
+  EXPECT_NE(json.find("\"check\": \"test.report.alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+}
+
+// ---- Instrumented library sites ----------------------------------------
+
+TEST_F(CheckTest, OversizedTableRowCountsViolation) {
+  io::Table t({"a", "b"});
+  t.row({"1", "2", "3"});  // one cell too many: counted and truncated
+  EXPECT_EQ(Registry::instance().count("io.table.row_width"), 1u);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST_F(CheckTest, UnmatchedResourceReleaseIsFatal) {
+  sim::Simulator s;
+  sim::Resource r(s, 1, "disk");
+  EXPECT_THROW(r.release(), Violation);
+  EXPECT_EQ(Registry::instance().count("sim.resource.release_matched"), 1u);
+}
+
+TEST_F(CheckTest, NonFiniteChartPointCountsWarning) {
+  io::Series s;
+  s.label = "bad";
+  s.x = {0.0, 1.0};
+  s.y = {1.0, std::nan("")};
+  io::LineChart chart{{}};
+  chart.add(s);
+  EXPECT_EQ(Registry::instance().count("io.chart.point_finite"), 1u);
+}
+
+// ---- TraceHash ---------------------------------------------------------
+
+TEST(TraceHash, OrderIndependent) {
+  TraceHash ab, ba;
+  ab.record("cell.a", 1.25);
+  ab.record("cell.b", -3.5);
+  ba.record("cell.b", -3.5);
+  ba.record("cell.a", 1.25);
+  EXPECT_EQ(ab.digest(), ba.digest());
+  EXPECT_EQ(ab.count(), 2u);
+}
+
+TEST(TraceHash, MergeMatchesSequentialMixing) {
+  TraceHash whole, left, right;
+  whole.record("x", 1.0);
+  whole.record("y", 2.0);
+  whole.record("z", 3.0);
+  left.record("x", 1.0);
+  right.record("y", 2.0);
+  right.record("z", 3.0);
+  left.merge(right);
+  EXPECT_EQ(whole.digest(), left.digest());
+  EXPECT_EQ(whole.count(), left.count());
+}
+
+TEST(TraceHash, EmptyDiffersFromZeroRecord) {
+  TraceHash empty, one;
+  one.mix(0);  // one record whose hash is zero
+  EXPECT_NE(empty.digest(), one.digest());
+}
+
+TEST(TraceHash, DoubleHashIsBitExact) {
+  TraceHash pos, neg;
+  pos.record("v", 0.0);
+  neg.record("v", -0.0);
+  EXPECT_NE(pos.digest(), neg.digest())
+      << "trace must distinguish -0.0 from +0.0";
+
+  EXPECT_NE(check::fnv1a("abc"), check::fnv1a("abd"));
+  EXPECT_NE(check::fnv1a(std::uint64_t{1}), check::fnv1a(std::uint64_t{2}));
+}
+
+// ---- Determinism audit -------------------------------------------------
+
+TEST(Audit, SerialAndParallelEnginesAgree) {
+  std::vector<Scenario> sweep;
+  for (const char* key : {"t3d", "sp-mpl"}) {
+    for (int p : {1, 4}) {
+      sweep.push_back(
+          Scenario::jet(50, 20, 100).sim_steps(25).platform(key).threads(p));
+    }
+  }
+  const auto rep = exec::audit(sweep, 4);
+  EXPECT_EQ(rep.parallel_threads, 4);
+  ASSERT_EQ(rep.cells.size(), sweep.size());
+  EXPECT_TRUE(rep.clean()) << rep.str();
+  EXPECT_EQ(rep.serial_digest, rep.parallel_digest);
+  for (const auto& c : rep.cells) {
+    EXPECT_NE(c.serial_hash, 0u);
+    EXPECT_TRUE(c.match()) << c.key;
+  }
+  const std::string text = rep.str();
+  EXPECT_NE(text.find("audit clean"), std::string::npos);
+}
+
+TEST(Audit, TraceHashDetectsMetricDivergence) {
+  exec::RunResult a, b;
+  a.key = b.key = "cell";
+  a.platform = b.platform = "p";
+  a.nprocs = b.nprocs = 4;
+  a.set("exec_s", 1.0);
+  b.set("exec_s", 1.0 + 1e-15);  // one ulp-ish wiggle must change the hash
+  EXPECT_NE(exec::trace_hash(a), exec::trace_hash(b));
+  EXPECT_EQ(exec::trace_hash(a), exec::trace_hash(a));
+}
+
+}  // namespace

@@ -30,7 +30,9 @@ TEST(Platform, YmpLimitedToEightProcessors) {
 
 TEST(Platform, MessagePassingPlatformsAllowSixteen) {
   for (const Platform& p : Platform::all()) {
-    if (!p.shared_memory) EXPECT_EQ(p.max_procs, 16) << p.name;
+    if (!p.shared_memory) {
+      EXPECT_EQ(p.max_procs, 16) << p.name;
+    }
   }
 }
 
