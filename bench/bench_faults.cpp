@@ -1,0 +1,93 @@
+// Time-to-solution under faults: failure rate x checkpoint interval.
+//
+// The paper's LACE cluster ran on shared departmental Ethernet — the
+// kind of platform where nodes drop and restarts eat into the scaling
+// curves of Figures 3-10. This harness sweeps per-node crash rate
+// against checkpoint interval on two paper platforms (LACE/560
+// Ethernet and the IBM SP) and reports simulated time-to-solution with
+// detection, restart, and re-decomposition costs folded in.
+//
+// Artifacts: bench_faults.csv (one row per cell) and bench_faults.json
+// (the full ResultSet) in io::results_dir(). Run the binary twice and
+// diff the artifacts to check the fault pipeline's determinism — the
+// CI nightly job does exactly that.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace nsp;
+  bench::banner("Faults: time-to-solution vs failure rate x ckpt interval");
+
+  const std::vector<std::string> platforms = {"lace-ethernet", "sp-mpl"};
+  // Per-node crashes per hour. The engine's timeline model retires a
+  // node per crash, so rates are sized for an 8-proc machine running a
+  // roughly hour-long (simulated) job: 0 .. ~8 expected failures.
+  const std::vector<double> rates = {0.0, 0.25, 0.5, 1.0};
+  const std::vector<int> intervals = {250, 500, 1000};
+  const int procs = 8;
+
+  std::vector<exec::Scenario> cells;
+  for (const auto& plat : platforms) {
+    for (double rate : rates) {
+      for (int k : intervals) {
+        exec::Scenario s = Scenario::jet250x100().platform(plat).threads(procs);
+        if (rate > 0) {
+          s.faults("crash=" + std::to_string(rate) + ",ckpt=" +
+                   std::to_string(k));
+        }
+        cells.push_back(s);
+      }
+    }
+  }
+  const exec::ResultSet rs = bench::engine().run(cells);
+
+  io::Table t({"platform", "crash/hr/node", "ckpt steps", "TTS (s)",
+               "fault-free (s)", "overhead", "crashes", "restarts",
+               "wasted (s)", "done"});
+  t.title("Time-to-solution under faults (" + std::to_string(procs) +
+          " procs, 5000 steps)");
+  std::string csv =
+      "platform,crash_rate_per_hour,ckpt_interval,tts_s,fault_free_s,"
+      "crashes,restarts,wasted_s,ckpt_overhead_s,completed\n";
+  std::size_t i = 0;
+  for (const auto& plat : platforms) {
+    for (double rate : rates) {
+      for (int k : intervals) {
+        const exec::RunResult* r = rs.find(cells[i++].key());
+        if (r == nullptr) continue;  // cancelled cell
+        const double tts = r->metric("exec_s");
+        const bool faulted = r->has("fault_free_s");
+        const double base = faulted ? r->metric("fault_free_s") : tts;
+        const double crashes = faulted ? r->metric("fault_crashes") : 0;
+        const double restarts = faulted ? r->metric("fault_restarts") : 0;
+        const double wasted = faulted ? r->metric("fault_wasted_s") : 0;
+        const double ckpt_s = faulted ? r->metric("fault_ckpt_overhead_s") : 0;
+        const bool done = !faulted || r->metric("fault_completed") > 0;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.2fx", tts / base);
+        t.row({plat, io::format_exact(rate), std::to_string(k),
+               io::format_exact(tts), io::format_exact(base), buf,
+               io::format_exact(crashes), io::format_exact(restarts),
+               io::format_exact(wasted), done ? "yes" : "ABANDONED"});
+        csv += plat + ',' + io::format_exact(rate) + ',' + std::to_string(k) +
+               ',' + io::format_exact(tts) + ',' + io::format_exact(base) +
+               ',' + io::format_exact(crashes) + ',' +
+               io::format_exact(restarts) + ',' + io::format_exact(wasted) +
+               ',' + io::format_exact(ckpt_s) + ',' + (done ? "1" : "0") +
+               '\n';
+      }
+    }
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  const std::string csv_path = io::artifact_path("bench_faults.csv");
+  std::ofstream(csv_path) << csv;
+  std::printf("[data: %s]\n", csv_path.c_str());
+  bench::write_resultset(rs, "bench_faults.json");
+  bench::print_engine_counters();
+  return 0;
+}

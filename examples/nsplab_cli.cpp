@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include "bench/bench_util.hpp"
@@ -29,13 +30,16 @@ int usage() {
       "  nsplab_cli replay <platform> [--euler] [--version N] [--procs P]\n"
       "  nsplab_cli sweep  <platform> [--euler] [--version N]\n"
       "  nsplab_cli batch  <platform> [<platform>...] [--euler] [--version N]"
-      " [--audit]\n"
+      " [--audit] [--faults SPEC]\n"
       "  nsplab_cli solve  [--ni N] [--nj N] [--steps N] [--euler] "
       "[--threads T]\n"
       "\n"
-      "  --audit  determinism audit: run the batch cells through a\n"
-      "           1-thread and an N-thread engine and diff per-cell\n"
-      "           trace hashes (exit 1 on any mismatch)\n");
+      "  --audit   determinism audit: run the batch cells through a\n"
+      "            1-thread and an N-thread engine and diff per-cell\n"
+      "            trace hashes and fault timelines (exit 1 on mismatch)\n"
+      "  --faults  inject faults into the batch replays; SPEC is a\n"
+      "            comma-separated key=value list, e.g.\n"
+      "            crash=0.5,drop=0.01,ckpt=250 (see docs/FAULTS.md)\n");
   return 2;
 }
 
@@ -48,6 +52,7 @@ struct Args {
   int steps = 200;
   int threads = 1;
   bool audit = false;
+  std::string faults;  ///< fault::FaultSpec::parse form ("" = none)
   std::vector<std::string> names;  ///< non-flag positionals
 };
 
@@ -64,16 +69,20 @@ Args parse_flags(int argc, char** argv, int from) {
     else if (flag == "--steps") a.steps = next();
     else if (flag == "--threads") a.threads = next();
     else if (flag == "--audit") a.audit = true;
+    else if (flag == "--faults") a.faults = k + 1 < argc ? argv[++k] : "";
     else if (!flag.empty() && flag[0] != '-') a.names.push_back(flag);
   }
   return a;
 }
 
 Scenario make_base(const Args& a) {
-  return Scenario::jet250x100()
-      .equations(a.euler ? arch::Equations::Euler
-                         : arch::Equations::NavierStokes)
-      .version(static_cast<arch::CodeVersion>(std::clamp(a.version, 1, 7)));
+  Scenario s =
+      Scenario::jet250x100()
+          .equations(a.euler ? arch::Equations::Euler
+                             : arch::Equations::NavierStokes)
+          .version(static_cast<arch::CodeVersion>(std::clamp(a.version, 1, 7)));
+  if (!a.faults.empty()) s.faults(a.faults);
+  return s;
 }
 
 int cmd_list() {
@@ -182,7 +191,7 @@ int cmd_solve(const Args& a) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   if (cmd == "list") return cmd_list();
@@ -200,4 +209,7 @@ int main(int argc, char** argv) {
     return cmd == "replay" ? cmd_replay(key, a) : cmd_sweep(key, a);
   }
   return usage();
+} catch (const std::invalid_argument& e) {
+  std::printf("error: %s\n", e.what());
+  return 2;
 }

@@ -25,7 +25,7 @@ std::uint64_t trace_hash(const RunResult& r) {
 std::size_t AuditReport::mismatches() const {
   std::size_t n = 0;
   for (const AuditCell& c : cells) {
-    if (!c.match()) ++n;
+    if (!c.match() || !c.timeline_match()) ++n;
   }
   return n;
 }
@@ -52,14 +52,17 @@ std::vector<AuditCell> diff_cells(const ResultSet& a, const ResultSet& b) {
     const bool only_b = !only_a && (i >= a.results.size() ||
                                     b.results[j].key < a.results[i].key);
     if (only_a) {
-      cells.push_back({a.results[i].key, trace_hash(a.results[i]), 0});
+      cells.push_back({a.results[i].key, trace_hash(a.results[i]), 0,
+                       fault_digest(a.results[i]), 0});
       ++i;
     } else if (only_b) {
-      cells.push_back({b.results[j].key, 0, trace_hash(b.results[j])});
+      cells.push_back({b.results[j].key, 0, trace_hash(b.results[j]), 0,
+                       fault_digest(b.results[j])});
       ++j;
     } else {
       cells.push_back({a.results[i].key, trace_hash(a.results[i]),
-                       trace_hash(b.results[j])});
+                       trace_hash(b.results[j]), fault_digest(a.results[i]),
+                       fault_digest(b.results[j])});
       ++i;
       ++j;
     }
@@ -70,13 +73,30 @@ std::vector<AuditCell> diff_cells(const ResultSet& a, const ResultSet& b) {
 }  // namespace
 
 std::string AuditReport::str() const {
-  io::Table t({"cell", "serial hash",
-               std::to_string(parallel_threads) + "-thread hash", "verdict"});
+  bool any_timeline = false;
+  for (const AuditCell& c : cells) {
+    if (c.serial_timeline != 0 || c.parallel_timeline != 0) {
+      any_timeline = true;
+      break;
+    }
+  }
+  std::vector<std::string> headers{
+      "cell", "serial hash", std::to_string(parallel_threads) + "-thread hash",
+      "verdict"};
+  if (any_timeline) headers.push_back("fault timeline");
+  io::Table t(headers);
   t.title("Determinism audit: 1 vs " + std::to_string(parallel_threads) +
           " threads, " + std::to_string(cells.size()) + " cells");
   for (const AuditCell& c : cells) {
-    t.row({c.key, hex64(c.serial_hash), hex64(c.parallel_hash),
-           c.match() ? "ok" : "MISMATCH"});
+    std::vector<std::string> row{c.key, hex64(c.serial_hash),
+                                 hex64(c.parallel_hash),
+                                 c.match() ? "ok" : "MISMATCH"};
+    if (any_timeline) {
+      row.push_back(c.serial_timeline == 0 && c.parallel_timeline == 0
+                        ? "-"
+                        : (c.timeline_match() ? "agree" : "DIVERGED"));
+    }
+    t.row(row);
   }
   std::string out = t.str();
   out += "sweep digest: serial " + hex64(serial_digest) + ", parallel " +

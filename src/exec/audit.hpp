@@ -29,7 +29,14 @@ struct AuditCell {
   std::string key;                   ///< scenario key
   std::uint64_t serial_hash = 0;     ///< 0 = missing from the serial run
   std::uint64_t parallel_hash = 0;   ///< 0 = missing from the parallel run
+  /// Fault timeline digests (fault_digest(); 0 = cell ran fault-free).
+  /// Compared separately from the metric hash so a divergence report
+  /// says whether the *injected fault timeline* disagreed, not just
+  /// that some metric bit did.
+  std::uint64_t serial_timeline = 0;
+  std::uint64_t parallel_timeline = 0;
   bool match() const { return serial_hash == parallel_hash; }
+  bool timeline_match() const { return serial_timeline == parallel_timeline; }
 };
 
 struct AuditReport {

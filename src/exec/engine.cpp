@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <ctime>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -14,6 +15,8 @@
 #include "core/solver.hpp"
 #include "exec/audit.hpp"
 #include "exec/pool.hpp"
+#include "fault/injector.hpp"
+#include "fault/recovery.hpp"
 #include "perf/replay.hpp"
 #include "sim/simulator.hpp"
 
@@ -55,11 +58,74 @@ int resolve_threads(int requested) {
 void run_replay(const Scenario& s, RunResult* out) {
   perf::ReplayOptions opts;
   opts.sim_steps = s.sim_step_count();
-  const auto r =
-      perf::replay(s.app_model(), s.platform_model(), s.resolved_procs(), opts);
-  out->platform = r.platform;
-  out->nprocs = r.nprocs;
-  set_replay_metrics(*out, r);
+  const fault::FaultSpec& spec = s.fault_spec();
+  if (!spec.enabled) {
+    const auto r = perf::replay(s.app_model(), s.platform_model(),
+                                s.resolved_procs(), opts);
+    out->platform = r.platform;
+    out->nprocs = r.nprocs;
+    set_replay_metrics(*out, r);
+    return;
+  }
+
+  // Fault-aware replay. Three layers compose:
+  //   1. a fault-free replay fixes the baseline and bounds the DES
+  //      horizon the window schedule must cover;
+  //   2. per live-processor-count replays through the fault injector
+  //      price a step with link faults (drops, corruption, degrade,
+  //      stragglers) folded in;
+  //   3. the recovery timeline model walks crashes, checkpoints,
+  //      detection, and re-decomposition over those step prices.
+  // Everything is a pure function of (scenario axes, derived seed), so
+  // a 1-thread and an N-thread engine produce identical bits.
+  const perf::AppModel app = s.app_model();
+  const arch::Platform plat = s.platform_model();
+  const int procs = s.resolved_procs();
+  const std::uint64_t seed = s.derived_seed();
+
+  const auto baseline = perf::replay(app, plat, procs, opts);
+  // Unscaled DES duration, with headroom for fault-induced slowdown.
+  const double horizon =
+      baseline.exec_time * opts.sim_steps / std::max(1, app.steps) * 4.0 + 1.0;
+
+  fault::FaultStats stats;
+  std::map<int, perf::ReplayResult> by_procs;
+  const auto faulty = [&](int p) -> const perf::ReplayResult& {
+    auto it = by_procs.find(p);
+    if (it == by_procs.end()) {
+      fault::Injector inj(spec, p, horizon, seed);
+      perf::ReplayOptions o = opts;
+      o.injector = &inj;
+      auto r = perf::replay(app, plat, p, o);
+      // Only the launch-width replay contributes injected link faults
+      // to the run's timeline; narrower replays are pricing probes for
+      // the recovery model.
+      if (p == procs) stats.merge(inj.stats());
+      it = by_procs.emplace(p, std::move(r)).first;
+    }
+    return it->second;
+  };
+
+  const perf::ReplayResult& at_launch = faulty(procs);
+
+  fault::TimelineInputs in;
+  in.steps = app.steps;
+  in.nprocs = procs;
+  in.decomposition_min_procs = 1;
+  in.step_time_s = [&](int p) {
+    return faulty(p).exec_time / std::max(1, app.steps);
+  };
+  const auto tl = fault::simulate_timeline(spec, in, seed);
+  stats.merge(tl.stats);
+
+  out->platform = at_launch.platform;
+  out->nprocs = procs;
+  set_replay_metrics(*out, at_launch);
+  out->set("exec_s", tl.time_to_solution_s);  // time-to-solution w/ faults
+  out->set("fault_free_s", baseline.exec_time);
+  out->set("fault_completed", tl.completed ? 1 : 0);
+  out->set("fault_final_procs", tl.final_procs);
+  set_fault_metrics(*out, stats);
 }
 
 /// Runs the live solver in chunks so cancellation can interrupt a long

@@ -160,4 +160,33 @@ void set_replay_metrics(RunResult& out, const perf::ReplayResult& r) {
   out.set("bytes", total_bytes(r));
 }
 
+void set_fault_metrics(RunResult& out, const fault::FaultStats& st) {
+  out.set("fault_crashes", static_cast<double>(st.crashes));
+  out.set("fault_drops", static_cast<double>(st.drops));
+  out.set("fault_corruptions", static_cast<double>(st.corruptions));
+  out.set("fault_retransmits", static_cast<double>(st.retransmits));
+  out.set("fault_give_ups", static_cast<double>(st.give_ups));
+  out.set("fault_degrade_windows", static_cast<double>(st.degrade_windows));
+  out.set("fault_straggler_windows",
+          static_cast<double>(st.straggler_windows));
+  out.set("fault_detections", static_cast<double>(st.detections));
+  out.set("fault_checkpoints", static_cast<double>(st.checkpoints));
+  out.set("fault_restarts", static_cast<double>(st.restarts));
+  out.set("fault_detect_s", st.detect_latency_s);
+  out.set("fault_wasted_s", st.wasted_work_s);
+  out.set("fault_ckpt_overhead_s", st.checkpoint_overhead_s);
+  const std::uint64_t digest = st.timeline_digest();
+  // Both halves are integers < 2^32, hence exact as doubles: the JSON
+  // and CSV serializations round-trip them bit-for-bit.
+  out.set("fault_digest_hi", static_cast<double>(digest >> 32));
+  out.set("fault_digest_lo",
+          static_cast<double>(digest & 0xffffffffull));
+}
+
+std::uint64_t fault_digest(const RunResult& r) {
+  if (!r.has("fault_digest_hi") || !r.has("fault_digest_lo")) return 0;
+  return (static_cast<std::uint64_t>(r.metric("fault_digest_hi")) << 32) |
+         static_cast<std::uint64_t>(r.metric("fault_digest_lo"));
+}
+
 }  // namespace nsp::exec

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "perf/replay.hpp"
 
 namespace nsp::exec {
@@ -94,5 +95,15 @@ double total_bytes(const perf::ReplayResult& r);
 /// Standard metric set for a replay outcome: exec_s, busy_avg_s,
 /// busy_max_s, wait_avg_s, messages, bytes.
 void set_replay_metrics(RunResult& out, const perf::ReplayResult& r);
+
+/// Fault metric set: injection/detection/recovery counters plus the
+/// order-independent timeline digest, split into its exactly-
+/// representable 32-bit halves (fault_digest_hi/lo) so exec::audit's
+/// metric comparison naturally covers the fault timeline.
+void set_fault_metrics(RunResult& out, const fault::FaultStats& st);
+
+/// Reassembles the timeline digest from fault_digest_hi/lo (0 when the
+/// result carries no fault metrics).
+std::uint64_t fault_digest(const RunResult& r);
 
 }  // namespace nsp::exec

@@ -98,6 +98,15 @@ Scenario& Scenario::label(const std::string& text) {
   return *this;
 }
 
+Scenario& Scenario::faults(const fault::FaultSpec& spec) {
+  faults_ = spec;
+  return *this;
+}
+
+Scenario& Scenario::faults(const std::string& spec) {
+  return faults(fault::FaultSpec::parse(spec));
+}
+
 int Scenario::resolved_procs() const {
   if (workload_ == Workload::Solve) return 1;
   if (nprocs_ > 0) return nprocs_;
@@ -112,6 +121,9 @@ std::string Scenario::cache_key() const {
      << (msglayer_.empty() ? "default" : msglayer_) << '|'
      << (net_override_ ? arch::to_string(net_) : "default") << "|p"
      << nprocs_ << "|ss" << sim_steps_ << "|seed" << seed_;
+  // Only an *enabled* fault spec contributes, so pre-fault cache keys
+  // (and every artifact derived from them) are byte-identical.
+  if (faults_.enabled) os << "|faults:" << faults_.str();
   return os.str();
 }
 

@@ -18,6 +18,7 @@
 #include "arch/kernel_profile.hpp"
 #include "arch/platform.hpp"
 #include "core/solver.hpp"
+#include "fault/fault.hpp"
 #include "perf/app_model.hpp"
 
 namespace nsp::exec {
@@ -64,6 +65,12 @@ class Scenario {
   Scenario& sim_steps(int n);  ///< replay fidelity (default 400)
   Scenario& seed(std::uint64_t base_seed);
   Scenario& label(const std::string& text);
+  /// Fault model for the replay (see fault::FaultSpec). A disabled spec
+  /// (the default) leaves the scenario byte-identical to one that never
+  /// heard of faults — the cache key only grows a |faults: segment when
+  /// the spec is enabled.
+  Scenario& faults(const fault::FaultSpec& spec);
+  Scenario& faults(const std::string& spec);  ///< FaultSpec::parse form
 
   // ---- Introspection ----------------------------------------------------
 
@@ -75,6 +82,7 @@ class Scenario {
   int requested_procs() const { return nprocs_; }
   int step_count() const { return steps_; }
   int sim_step_count() const { return sim_steps_; }
+  const fault::FaultSpec& fault_spec() const { return faults_; }
 
   /// Processor count this scenario resolves to (platform max when the
   /// threads axis was left at 0).
@@ -124,6 +132,7 @@ class Scenario {
   int nprocs_ = 0;  ///< 0 = platform max
   std::uint64_t seed_ = 0;
   std::string label_;
+  fault::FaultSpec faults_;  ///< disabled by default
 };
 
 }  // namespace nsp::exec

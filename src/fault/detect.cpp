@@ -1,0 +1,154 @@
+#include "fault/detect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "check/check.hpp"
+#include "check/trace.hpp"
+
+namespace nsp::fault {
+
+// --------------------------------------------------------- CrashDetector
+
+CrashDetector::CrashDetector(int nodes, double period_s, int misses)
+    : period_s_(period_s), misses_(misses), last_beat_(nodes, 0.0) {
+  NSP_CHECK(nodes >= 1 && period_s > 0 && misses >= 1,
+            "fault.detect.config");
+}
+
+void CrashDetector::beat(int node, double t) {
+  auto& last = last_beat_.at(static_cast<std::size_t>(node));
+  last = std::max(last, t);
+}
+
+bool CrashDetector::suspected(int node, double t) const {
+  return t - last_beat_.at(static_cast<std::size_t>(node)) >
+         period_s_ * misses_;
+}
+
+std::vector<int> CrashDetector::suspects(double t) const {
+  std::vector<int> out;
+  for (int n = 0; n < static_cast<int>(last_beat_.size()); ++n) {
+    if (suspected(n, t)) out.push_back(n);
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- DropPlan
+
+void DropPlan::drop_first(int src, int dst, int tag, int n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  rules_[{src, dst, tag}].drop_until = n;
+}
+
+void DropPlan::corrupt_first(int src, int dst, int tag, int n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  rules_[{src, dst, tag}].corrupt_until = n;
+}
+
+mp::DeliveryFilter DropPlan::filter() {
+  return [this](const mp::Message& m, int dst) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto key = std::make_tuple(m.src, dst, m.tag);
+    const int attempt = attempts_[key]++;
+    const auto it = rules_.find(key);
+    if (it == rules_.end()) return mp::Delivery::Deliver;
+    if (attempt < it->second.drop_until) return mp::Delivery::Drop;
+    if (attempt < it->second.corrupt_until) return mp::Delivery::Corrupt;
+    return mp::Delivery::Deliver;
+  };
+}
+
+// ---------------------------------------------------------- ReliableLink
+
+namespace {
+// Tag bases keep protocol traffic clear of application tags and of the
+// negative tags mp::Comm's collectives use internally.
+constexpr int kDataBase = 200000;
+constexpr int kAckBase = 300000;
+}  // namespace
+
+double payload_checksum(std::span<const double> data) {
+  std::uint64_t h = check::kFnvOffsetBasis;
+  for (double v : data) h = check::fnv1a(v, h);
+  // Fold to 48 bits so the value is an exactly-representable integer
+  // double: the checksum survives the vector<double> wire format.
+  return static_cast<double>(h & ((std::uint64_t{1} << 48) - 1));
+}
+
+ReliableLink::ReliableLink(mp::Comm& comm, double rto_s, int max_retries)
+    : comm_(&comm), rto_s_(rto_s), max_retries_(max_retries) {
+  NSP_CHECK(rto_s > 0 && max_retries >= 0, "fault.link.config");
+}
+
+bool ReliableLink::send(int dst, int tag, std::span<const double> data) {
+  const std::uint64_t seq = next_send_seq_[{dst, tag}]++;
+  ++stats_.sent;
+  std::vector<double> frame;
+  frame.reserve(data.size() + 2);
+  frame.push_back(static_cast<double>(seq));
+  frame.push_back(payload_checksum(data));
+  frame.insert(frame.end(), data.begin(), data.end());
+  for (int attempt = 0; attempt <= max_retries_; ++attempt) {
+    if (attempt > 0) ++stats_.retransmits;
+    comm_->send(dst, kDataBase + tag, frame);
+    const double timeout = rto_s_ * std::ldexp(1.0, attempt);
+    while (true) {
+      auto ack = comm_->recv_for(timeout, dst, kAckBase + tag);
+      if (!ack) break;  // timed out: retransmit with backoff
+      if (!ack->data.empty() &&
+          static_cast<std::uint64_t>(ack->data[0]) == seq) {
+        ++stats_.acked;
+        // Drain straggler acks of this seq (a duplicate data message
+        // the receiver re-acked) so nothing is left in the mailbox.
+        while (auto extra = comm_->try_recv(dst, kAckBase + tag)) {
+          if (static_cast<std::uint64_t>(extra->data.at(0)) > seq) {
+            // An ack from a future flow cannot exist (send is
+            // blocking per (dst, tag)); treat defensively as consumed.
+            break;
+          }
+        }
+        return true;
+      }
+      // A stale ack for an earlier seq: ignore it, keep waiting out
+      // the same timeout window (good enough for a bounded protocol).
+    }
+  }
+  ++stats_.failures;
+  return false;
+}
+
+std::optional<std::vector<double>> ReliableLink::recv(int src, int tag,
+                                                      double timeout_s) {
+  const auto key = std::make_pair(src, tag);
+  while (true) {
+    auto m = comm_->recv_for(timeout_s, src, kDataBase + tag);
+    if (!m) return std::nullopt;
+    if (m->data.size() < 2) {
+      ++stats_.rejected;
+      continue;
+    }
+    const std::uint64_t seq = static_cast<std::uint64_t>(m->data[0]);
+    const double sum = m->data[1];
+    const std::span<const double> payload(m->data.data() + 2,
+                                          m->data.size() - 2);
+    if (payload_checksum(payload) != sum) {
+      // Bad checksum: discard without acking; the sender's timeout
+      // drives the retransmission.
+      ++stats_.rejected;
+      continue;
+    }
+    const double ack = static_cast<double>(seq);
+    comm_->send(src, kAckBase + tag, std::span(&ack, 1));
+    std::uint64_t& expected = next_recv_seq_[key];
+    if (seq < expected) {
+      ++stats_.duplicates;  // already delivered; re-acked above
+      continue;
+    }
+    expected = seq + 1;
+    ++stats_.delivered;
+    return std::vector<double>(payload.begin(), payload.end());
+  }
+}
+
+}  // namespace nsp::fault

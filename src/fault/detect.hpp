@@ -1,0 +1,126 @@
+// Failure detection for the message-passing layer.
+//
+//   CrashDetector  heartbeat-based fail-stop detector as a pure
+//                  logical-time state machine: feed it beats, ask it
+//                  for suspects. Works identically for the DES models
+//                  (simulated seconds) and the live mp runtime
+//                  (solver steps as the clock), so detector semantics
+//                  are testable without wall-clock sleeps.
+//   DropPlan       deterministic mp::DeliveryFilter: drops/corrupts
+//                  the Nth transmission on a (src, dst, tag) flow —
+//                  program-order deterministic, thread-safe.
+//   ReliableLink   ack + bounded retransmission + exponential backoff
+//                  over an unreliable mp::Comm: every payload carries a
+//                  sequence number and an FNV checksum; the receiver
+//                  acks what verifies and discards what does not.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "mp/comm.hpp"
+
+namespace nsp::fault {
+
+/// Heartbeat crash detector in logical time. A node is suspected once
+/// `misses` heartbeat periods pass without a beat from it.
+class CrashDetector {
+ public:
+  CrashDetector(int nodes, double period_s, int misses);
+
+  /// Records a heartbeat from `node` at logical time `t`.
+  void beat(int node, double t);
+
+  /// True if `node` has missed `misses` periods as of time `t`.
+  bool suspected(int node, double t) const;
+
+  /// All suspected nodes at time `t`, ascending.
+  std::vector<int> suspects(double t) const;
+
+  /// Worst-case detection latency of this configuration.
+  double detect_latency_s() const { return period_s_ * misses_; }
+
+ private:
+  double period_s_;
+  int misses_;
+  std::vector<double> last_beat_;
+};
+
+/// Deterministic delivery-fault plan for mp::Cluster: drops (or
+/// corrupts) chosen attempt indices of a (src, dst, tag) flow. Attempt
+/// indices are per-flow program order, so the plan's effect does not
+/// depend on thread interleaving across flows.
+class DropPlan {
+ public:
+  /// Lose attempts [0, n) of flow (src, dst, tag).
+  void drop_first(int src, int dst, int tag, int n);
+  /// Corrupt attempts [0, n) of flow (src, dst, tag).
+  void corrupt_first(int src, int dst, int tag, int n);
+
+  /// The mp::Cluster hook. The returned filter references this plan;
+  /// keep the plan alive for the duration of the run.
+  mp::DeliveryFilter filter();
+
+ private:
+  struct Rule {
+    int drop_until = 0;
+    int corrupt_until = 0;
+  };
+  std::mutex mu_;
+  std::map<std::tuple<int, int, int>, Rule> rules_;
+  std::map<std::tuple<int, int, int>, int> attempts_;
+};
+
+/// Outcome counters of one ReliableLink endpoint.
+struct LinkStats {
+  std::uint64_t sent = 0;        ///< distinct payloads offered
+  std::uint64_t retransmits = 0; ///< extra attempts beyond the first
+  std::uint64_t acked = 0;       ///< payloads confirmed delivered
+  std::uint64_t failures = 0;    ///< retry budget exhausted
+  std::uint64_t delivered = 0;   ///< payloads handed to the application
+  std::uint64_t duplicates = 0;  ///< retransmitted copies discarded
+  std::uint64_t rejected = 0;    ///< checksum failures discarded
+};
+
+/// Reliable channel over an unreliable Comm. Wire format of a data
+/// message on tag kData+user_tag: [seq, checksum, payload...]; the ack
+/// on kAck+user_tag carries [seq]. One ReliableLink per rank; use the
+/// same user tag on both ends of a flow.
+class ReliableLink {
+ public:
+  /// `rto_s` is the first retransmission timeout; attempt k waits
+  /// rto_s * 2^k (exponential backoff) up to `max_retries` extra
+  /// attempts.
+  ReliableLink(mp::Comm& comm, double rto_s, int max_retries);
+
+  /// Sends `data` to `dst` and blocks until the ack arrives or the
+  /// retry budget is exhausted. Returns true on ack.
+  bool send(int dst, int tag, std::span<const double> data);
+
+  /// Receives the next in-order payload from `src`, verifying the
+  /// checksum, acking, and discarding duplicates, for up to
+  /// `timeout_s` seconds.
+  std::optional<std::vector<double>> recv(int src, int tag,
+                                          double timeout_s);
+
+  const LinkStats& stats() const { return stats_; }
+
+ private:
+  mp::Comm* comm_;
+  double rto_s_;
+  int max_retries_;
+  LinkStats stats_;
+  std::map<std::pair<int, int>, std::uint64_t> next_send_seq_;
+  std::map<std::pair<int, int>, std::uint64_t> next_recv_seq_;
+};
+
+/// FNV-1a checksum of a payload, folded to a double that survives the
+/// Message wire format exactly (48-bit mantissa slice).
+double payload_checksum(std::span<const double> data);
+
+}  // namespace nsp::fault

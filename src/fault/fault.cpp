@@ -1,0 +1,227 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "check/check.hpp"
+#include "sim/rng.hpp"
+
+namespace nsp::fault {
+
+std::string to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::NodeCrash: return "crash";
+    case FaultKind::LinkDrop: return "drop";
+    case FaultKind::MsgCorrupt: return "corrupt";
+    case FaultKind::LinkDegrade: return "degrade";
+    case FaultKind::Straggler: return "straggler";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Shortest decimal form that round-trips a double (io::format_exact
+/// lives above this library in the dependency order, so the spec
+/// string formats its own numbers).
+std::string num(double v) {
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    // Integer-valued: plain decimal reads better than 2.5e+02.
+    return std::to_string(static_cast<long long>(v));
+  }
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::ostringstream os;
+    os.precision(prec);
+    os << v;
+    if (std::stod(os.str()) == v) return os.str();
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void put(std::ostringstream& os, const char* key, double v, double def) {
+  if (v != def) os << (os.tellp() > 0 ? "," : "") << key << '=' << num(v);
+}
+
+}  // namespace
+
+std::string FaultSpec::str() const {
+  if (!enabled) return "";
+  std::ostringstream os;
+  put(os, "crash", crash_rate_per_hour, 0);
+  put(os, "drop", drop_prob, 0);
+  put(os, "corrupt", corrupt_prob, 0);
+  put(os, "degrade", degrade_rate_per_hour, 0);
+  put(os, "degrade_s", degrade_duration_s, 30);
+  put(os, "degrade_x", degrade_factor, 4);
+  put(os, "straggle", straggler_rate_per_hour, 0);
+  put(os, "straggle_s", straggler_duration_s, 30);
+  put(os, "straggle_x", straggler_factor, 3);
+  put(os, "hb", heartbeat_period_s, 1.0);
+  put(os, "hb_miss", heartbeat_misses, 3);
+  put(os, "rto", rto_s, 50e-3);
+  put(os, "retries", max_retries, 10);
+  put(os, "ckpt", checkpoint_interval_steps, 0);
+  put(os, "ckpt_s", checkpoint_cost_s, 1.0);
+  put(os, "restart_s", restart_cost_s, 5.0);
+  put(os, "min_procs", min_procs, 1);
+  if (os.tellp() == 0) return "on";  // enabled but all defaults
+  return os.str();
+}
+
+FaultSpec FaultSpec::parse(const std::string& spec) {
+  FaultSpec out;
+  if (spec.empty()) return out;
+  out.enabled = true;
+  if (spec == "on") return out;
+  std::istringstream is(spec);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("FaultSpec: expected key=value, got '" +
+                                  item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    double v = 0;
+    try {
+      v = std::stod(item.substr(eq + 1));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("FaultSpec: bad number in '" + item + "'");
+    }
+    if (key == "crash") out.crash_rate_per_hour = v;
+    else if (key == "drop") out.drop_prob = v;
+    else if (key == "corrupt") out.corrupt_prob = v;
+    else if (key == "degrade") out.degrade_rate_per_hour = v;
+    else if (key == "degrade_s") out.degrade_duration_s = v;
+    else if (key == "degrade_x") out.degrade_factor = v;
+    else if (key == "straggle") out.straggler_rate_per_hour = v;
+    else if (key == "straggle_s") out.straggler_duration_s = v;
+    else if (key == "straggle_x") out.straggler_factor = v;
+    else if (key == "hb") out.heartbeat_period_s = v;
+    else if (key == "hb_miss") out.heartbeat_misses = static_cast<int>(v);
+    else if (key == "rto") out.rto_s = v;
+    else if (key == "retries") out.max_retries = static_cast<int>(v);
+    else if (key == "ckpt") out.checkpoint_interval_steps = static_cast<int>(v);
+    else if (key == "ckpt_s") out.checkpoint_cost_s = v;
+    else if (key == "restart_s") out.restart_cost_s = v;
+    else if (key == "min_procs") out.min_procs = static_cast<int>(v);
+    else {
+      throw std::invalid_argument("FaultSpec: unknown key '" + key + "'");
+    }
+  }
+  return out;
+}
+
+bool operator==(const FaultSpec& a, const FaultSpec& b) {
+  return a.enabled == b.enabled && a.str() == b.str();
+}
+
+std::vector<FaultEvent> FaultSchedule::windows(FaultKind kind,
+                                               int node) const {
+  std::vector<FaultEvent> out;
+  for (const FaultEvent& e : events) {
+    if (e.kind == kind && (e.node < 0 || e.node == node)) out.push_back(e);
+  }
+  return out;
+}
+
+namespace {
+double window_factor(const std::vector<FaultEvent>& events, FaultKind kind,
+                     int node, double t) {
+  double f = 1.0;
+  for (const FaultEvent& e : events) {
+    if (e.kind != kind) continue;
+    if (e.node >= 0 && e.node != node) continue;
+    if (t >= e.time && t < e.time + e.duration) f = std::max(f, e.factor);
+  }
+  return f;
+}
+}  // namespace
+
+double FaultSchedule::compute_factor(int node, double t) const {
+  return window_factor(events, FaultKind::Straggler, node, t);
+}
+
+double FaultSchedule::degrade_factor(double t) const {
+  return window_factor(events, FaultKind::LinkDegrade, -1, t);
+}
+
+FaultSchedule FaultSchedule::generate(const FaultSpec& spec, int nprocs,
+                                      double horizon_s, std::uint64_t seed) {
+  NSP_CHECK(nprocs >= 1, "fault.schedule.procs");
+  FaultSchedule sched;
+  if (!spec.enabled || horizon_s <= 0) return sched;
+  sim::Rng rng = sim::Rng::stream(seed, "fault.windows");
+  // Deterministic safety valve: a pathological (rate, horizon) pair
+  // could ask for millions of windows; cap each stream's draws so the
+  // schedule stays a cheap in-memory structure. The cap depends only
+  // on the arguments, so determinism is preserved.
+  constexpr std::size_t kMaxWindowsPerStream = 100000;
+  // Degrade windows affect the whole fabric (node -1).
+  if (spec.degrade_rate_per_hour > 0) {
+    const double mean = 3600.0 / spec.degrade_rate_per_hour;
+    std::size_t drawn = 0;
+    for (double t = rng.exponential(mean);
+         t < horizon_s && drawn < kMaxWindowsPerStream;
+         t += rng.exponential(mean), ++drawn) {
+      sched.events.push_back({FaultKind::LinkDegrade, t, -1,
+                              spec.degrade_duration_s, spec.degrade_factor});
+    }
+    NSP_CHECK(drawn < kMaxWindowsPerStream, "fault.schedule.degrade_cap");
+  }
+  // Straggler windows per node. Draws are consumed in node order, so
+  // the schedule is a pure function of (spec, nprocs, horizon, seed).
+  if (spec.straggler_rate_per_hour > 0) {
+    const double mean = 3600.0 / spec.straggler_rate_per_hour;
+    for (int n = 0; n < nprocs; ++n) {
+      std::size_t drawn = 0;
+      for (double t = rng.exponential(mean);
+           t < horizon_s && drawn < kMaxWindowsPerStream;
+           t += rng.exponential(mean), ++drawn) {
+        sched.events.push_back({FaultKind::Straggler, t, n,
+                                spec.straggler_duration_s,
+                                spec.straggler_factor});
+      }
+      NSP_CHECK(drawn < kMaxWindowsPerStream, "fault.schedule.straggler_cap");
+    }
+  }
+  std::sort(sched.events.begin(), sched.events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.node != b.node) return a.node < b.node;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  return sched;
+}
+
+void FaultStats::record(FaultKind kind, double time, int node) {
+  std::uint64_t h = check::fnv1a(to_string(kind));
+  h = check::fnv1a(time, h);  // exact bit pattern
+  h = check::fnv1a(static_cast<std::uint64_t>(static_cast<std::int64_t>(node)),
+                   h);
+  timeline_.mix(h);
+}
+
+void FaultStats::merge(const FaultStats& other) {
+  crashes += other.crashes;
+  drops += other.drops;
+  corruptions += other.corruptions;
+  retransmits += other.retransmits;
+  give_ups += other.give_ups;
+  degrade_windows += other.degrade_windows;
+  straggler_windows += other.straggler_windows;
+  detections += other.detections;
+  checkpoints += other.checkpoints;
+  restarts += other.restarts;
+  detect_latency_s += other.detect_latency_s;
+  wasted_work_s += other.wasted_work_s;
+  checkpoint_overhead_s += other.checkpoint_overhead_s;
+  timeline_.merge(other.timeline_);
+}
+
+}  // namespace nsp::fault

@@ -1,0 +1,165 @@
+// nsp::fault — deterministic fault injection for the platform laboratory.
+//
+// The paper's headline platform (the LACE cluster on shared Ethernet,
+// FDDI, and ATM) was exactly the kind of environment where nodes drop,
+// links stall, and stragglers dominate time-to-solution. This subsystem
+// lets the reproduction inject that misbehaviour *deterministically*:
+// every fault is drawn from a dedicated sim::Rng sub-stream (see
+// sim::stream_seed), so a fault-free run is byte-identical to a build
+// without the subsystem, and the same (spec, seed) always produces the
+// same fault timeline regardless of engine thread count.
+//
+// Layers:
+//   fault.hpp     FaultSpec (what can go wrong, at which rates),
+//                 FaultSchedule (the drawn timeline), FaultStats
+//                 (counters + an order-independent timeline digest)
+//   injector.hpp  DES-side injection: a NetworkModel decorator that
+//                 drops/corrupts/delays messages with bounded
+//                 retransmission, plus straggler compute dilation
+//   detect.hpp    failure detection: logical-time heartbeat crash
+//                 detector and a reliable (ack + retry + backoff)
+//                 channel over mp::Comm
+//   recovery.hpp  checkpoint/restart: the analytic crash/recovery
+//                 timeline model and the live re-decomposition driver
+//                 over par::SubdomainSolver + io::snapshot
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/trace.hpp"
+
+namespace nsp::fault {
+
+/// Everything the injector can do to a run.
+enum class FaultKind {
+  NodeCrash,    ///< a node dies permanently (fail-stop)
+  LinkDrop,     ///< a message is lost in the network
+  MsgCorrupt,   ///< a message arrives with a bad checksum
+  LinkDegrade,  ///< the fabric slows by a factor for a window
+  Straggler,    ///< one node computes slower for a window
+};
+
+std::string to_string(FaultKind k);
+
+/// One scheduled or observed fault occurrence.
+struct FaultEvent {
+  FaultKind kind = FaultKind::LinkDrop;
+  double time = 0;     ///< simulated seconds
+  int node = -1;       ///< affected rank (-1 = whole fabric)
+  double duration = 0; ///< window length (degrade/straggler)
+  double factor = 1;   ///< slowdown factor (degrade/straggler)
+};
+
+/// Fault model configuration. Rates are per simulated hour; message
+/// probabilities are per transmission attempt. Default-constructed
+/// specs are disabled and cost nothing.
+struct FaultSpec {
+  bool enabled = false;
+
+  // ---- injection -------------------------------------------------------
+  double crash_rate_per_hour = 0;   ///< per-node fail-stop rate
+  double drop_prob = 0;             ///< P(message lost) per attempt
+  double corrupt_prob = 0;          ///< P(bad checksum) per attempt
+  double degrade_rate_per_hour = 0; ///< fabric-wide slowdown windows
+  double degrade_duration_s = 30;
+  double degrade_factor = 4;
+  double straggler_rate_per_hour = 0; ///< per-node slowdown windows
+  double straggler_duration_s = 30;
+  double straggler_factor = 3;
+
+  // ---- detection -------------------------------------------------------
+  double heartbeat_period_s = 1.0; ///< beat interval of the crash detector
+  int heartbeat_misses = 3;        ///< missed beats before suspicion
+  double rto_s = 50e-3;            ///< initial retransmit timeout
+  int max_retries = 10;            ///< bounded retransmission
+
+  // ---- recovery --------------------------------------------------------
+  int checkpoint_interval_steps = 0; ///< 0 = no checkpointing
+  double checkpoint_cost_s = 1.0;    ///< coordinated checkpoint, per write
+  double restart_cost_s = 5.0;       ///< reload + re-decompose + respawn
+  int min_procs = 1;                 ///< below this the run is abandoned
+
+  /// Crash-detection latency of the heartbeat detector.
+  double detect_latency_s() const {
+    return heartbeat_period_s * heartbeat_misses;
+  }
+
+  /// Canonical short form, e.g. "crash=0.5,drop=0.01,ckpt=100". Stable
+  /// across runs — it is what Scenario folds into its cache key. A
+  /// disabled spec stringifies to "".
+  std::string str() const;
+
+  /// Parses the str() form (the CLI's --faults argument). Unknown keys
+  /// throw std::invalid_argument. An empty spec parses to a disabled
+  /// FaultSpec. Keys: crash, drop, corrupt, degrade, degrade_s,
+  /// degrade_x, straggle, straggle_s, straggle_x, hb, hb_miss, rto,
+  /// retries, ckpt, ckpt_s, restart_s, min_procs.
+  static FaultSpec parse(const std::string& spec);
+};
+
+bool operator==(const FaultSpec& a, const FaultSpec& b);
+inline bool operator!=(const FaultSpec& a, const FaultSpec& b) {
+  return !(a == b);
+}
+
+/// The drawn fault timeline: window events (degrade/straggler) over a
+/// fixed horizon, sorted by (time, node, kind). Crash times are drawn
+/// lazily by the recovery timeline model (the horizon of a run with
+/// restarts is not known up front); per-message drop/corrupt draws
+/// happen at transmission time in the injector. All three consume
+/// distinct named sub-streams of the same base seed.
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  /// Events of `kind` affecting `node` (or the whole fabric), sorted.
+  std::vector<FaultEvent> windows(FaultKind kind, int node) const;
+
+  /// Multiplicative slowdown of `node`'s compute at time t (1 = none).
+  double compute_factor(int node, double t) const;
+
+  /// Multiplicative slowdown of the fabric at time t (1 = none).
+  double degrade_factor(double t) const;
+
+  /// Draws the window events for `nprocs` ranks over [0, horizon_s)
+  /// from the "fault.windows" sub-stream of `seed`.
+  static FaultSchedule generate(const FaultSpec& spec, int nprocs,
+                                double horizon_s, std::uint64_t seed);
+};
+
+/// Counters plus an order-independent digest of the fault timeline.
+/// The digest is what exec::audit compares between a 1-thread and an
+/// N-thread engine run: equal digests mean the two runs injected,
+/// detected, and recovered from the exact same faults at the exact
+/// same simulated times.
+struct FaultStats {
+  std::uint64_t crashes = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t give_ups = 0; ///< retransmission budget exhausted
+  std::uint64_t degrade_windows = 0;
+  std::uint64_t straggler_windows = 0;
+  std::uint64_t detections = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t restarts = 0;
+  double detect_latency_s = 0;      ///< summed over detections
+  double wasted_work_s = 0;         ///< recomputed + stalled time
+  double checkpoint_overhead_s = 0; ///< time spent writing checkpoints
+
+  /// Folds one injected/detected/recovered occurrence into the
+  /// timeline digest (kind, exact time bits, node).
+  void record(FaultKind kind, double time, int node);
+
+  /// The timeline digest (order-independent; see check::TraceHash).
+  std::uint64_t timeline_digest() const { return timeline_.digest(); }
+  std::uint64_t timeline_events() const { return timeline_.count(); }
+
+  void merge(const FaultStats& other);
+
+ private:
+  check::TraceHash timeline_;
+};
+
+}  // namespace nsp::fault

@@ -1,0 +1,100 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+#include "check/check.hpp"
+
+namespace nsp::fault {
+
+Injector::Injector(const FaultSpec& spec, int nprocs, double horizon_s,
+                   std::uint64_t seed)
+    : spec_(spec),
+      schedule_(FaultSchedule::generate(spec, nprocs, horizon_s, seed)),
+      msg_rng_(sim::Rng::stream(seed, "fault.msg")) {
+  for (const FaultEvent& e : schedule_.events) {
+    if (e.kind == FaultKind::LinkDegrade) ++stats_.degrade_windows;
+    if (e.kind == FaultKind::Straggler) ++stats_.straggler_windows;
+    stats_.record(e.kind, e.time, e.node);
+  }
+}
+
+std::unique_ptr<arch::NetworkModel> Injector::wrap(
+    sim::Simulator& sim, std::unique_ptr<arch::NetworkModel> inner) {
+  return std::make_unique<FaultyNetwork>(sim, *this, std::move(inner));
+}
+
+FaultyNetwork::FaultyNetwork(sim::Simulator& s, Injector& inj,
+                             std::unique_ptr<arch::NetworkModel> inner)
+    : arch::NetworkModel(s), inj_(inj), inner_(std::move(inner)) {}
+
+void FaultyNetwork::transmit(int src, int dst, std::size_t bytes,
+                             std::function<void()> delivered) {
+  count(bytes);
+  // Fabric degrade window: hold the injection for the extra
+  // serialization time the slowed link would have cost.
+  const double degrade = inj_.schedule_.degrade_factor(sim_.now());
+  if (degrade > 1.0) {
+    const double bw = inner_->link_bandwidth_Bps();
+    const double hold =
+        bw > 0 ? (degrade - 1.0) * static_cast<double>(bytes) / bw : 0.0;
+    sim_.after(hold, [this, src, dst, bytes,
+                      delivered = std::move(delivered)]() mutable {
+      attempt(src, dst, bytes, 0, std::move(delivered));
+    });
+    return;
+  }
+  attempt(src, dst, bytes, 0, std::move(delivered));
+}
+
+void FaultyNetwork::attempt(int src, int dst, std::size_t bytes, int tries,
+                            std::function<void()> delivered) {
+  const FaultSpec& spec = inj_.spec_;
+  FaultStats& stats = inj_.stats_;
+  const double now = sim_.now();
+  const bool budget_left = tries < spec.max_retries;
+  // One uniform draw per attempt partitioned into [drop | corrupt | ok]
+  // keeps the stream consumption independent of which fault fires.
+  const double u = inj_.msg_rng_.uniform();
+  if (budget_left && u < spec.drop_prob) {
+    // Lost on the wire: the sender's timeout fires after the backed-off
+    // RTO and it retransmits. Nothing crossed the network.
+    ++stats.drops;
+    ++stats.retransmits;
+    stats.record(FaultKind::LinkDrop, now, src);
+    const double rto = spec.rto_s * static_cast<double>(1u << std::min(tries, 20));
+    sim_.after(rto, [this, src, dst, bytes, tries,
+                     delivered = std::move(delivered)]() mutable {
+      attempt(src, dst, bytes, tries + 1, std::move(delivered));
+    });
+    return;
+  }
+  if (budget_left && u < spec.drop_prob + spec.corrupt_prob) {
+    // Bad checksum: the payload pays its full transmission time, the
+    // receiver rejects it, and the sender retransmits an RTO later.
+    ++stats.corruptions;
+    ++stats.retransmits;
+    stats.record(FaultKind::MsgCorrupt, now, src);
+    const double rto = spec.rto_s * static_cast<double>(1u << std::min(tries, 20));
+    inner_->transmit(src, dst, bytes,
+                     [this, src, dst, bytes, tries, rto,
+                      delivered = std::move(delivered)]() mutable {
+                       sim_.after(rto, [this, src, dst, bytes, tries,
+                                        delivered =
+                                            std::move(delivered)]() mutable {
+                         attempt(src, dst, bytes, tries + 1,
+                                 std::move(delivered));
+                       });
+                     });
+    return;
+  }
+  if (!budget_left && u < spec.drop_prob + spec.corrupt_prob) {
+    // Retransmission budget exhausted: record the give-up and force the
+    // message through so the replay cannot wedge. (A real system would
+    // have escalated to the crash detector; the recovery timeline model
+    // accounts for that path.)
+    ++stats.give_ups;
+  }
+  inner_->transmit(src, dst, bytes, std::move(delivered));
+}
+
+}  // namespace nsp::fault

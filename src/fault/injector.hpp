@@ -1,0 +1,89 @@
+// DES-side fault injection: decorates an arch::NetworkModel so that
+// transmissions can be dropped, corrupted, or slowed, with the sender's
+// bounded retransmission (exponential backoff, modelled entirely in
+// simulated time) — so retry cost shows up in the paper's communication
+// curves exactly like any other network time. Also dilates per-rank
+// compute segments for straggler windows (consumed by perf::replay).
+//
+// Determinism: per-message draws come from the "fault.msg" sub-stream
+// and the DES delivers events in a stable order, so a given (spec,
+// seed, platform, nprocs) always produces the same fault timeline; the
+// timeline digest in FaultStats proves it across engine thread counts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "arch/network.hpp"
+#include "fault/fault.hpp"
+#include "sim/rng.hpp"
+
+namespace nsp::fault {
+
+/// Per-replay fault state: owns the schedule, the message RNG stream,
+/// and the stats. One Injector serves one simulator/replay; it must
+/// outlive the network model returned by wrap().
+class Injector {
+ public:
+  /// `horizon_s` bounds the window schedule (pass an estimate of the
+  /// simulated duration; windows beyond it never trigger).
+  Injector(const FaultSpec& spec, int nprocs, double horizon_s,
+           std::uint64_t seed);
+
+  /// Wraps `inner` in the fault decorator. `sim` must be the simulator
+  /// `inner` was built on.
+  std::unique_ptr<arch::NetworkModel> wrap(
+      sim::Simulator& sim, std::unique_ptr<arch::NetworkModel> inner);
+
+  /// Multiplicative compute slowdown of `rank` at simulated time t
+  /// (straggler windows; 1 = full speed).
+  double compute_factor(int rank, double t) const {
+    return schedule_.compute_factor(rank, t);
+  }
+
+  const FaultSpec& spec() const { return spec_; }
+  const FaultSchedule& schedule() const { return schedule_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  friend class FaultyNetwork;
+  FaultSpec spec_;
+  FaultSchedule schedule_;
+  sim::Rng msg_rng_;
+  FaultStats stats_;
+};
+
+/// NetworkModel decorator applying the injector's message faults.
+///
+/// Per transmission attempt, in order:
+///   * drop: the payload never reaches the wire; the sender's timeout
+///     fires after rto * 2^attempt and it retransmits (bounded by
+///     max_retries; after that the attempt is recorded as a give-up and
+///     the message is forced through so the replay cannot wedge — a
+///     real run would have escalated to the crash detector by then).
+///   * corrupt: the payload pays its full transmission time, the
+///     receiver's checksum rejects it, and the sender retransmits one
+///     round-trip-timeout later.
+///   * degrade: during a fabric degrade window the injection is held
+///     for the extra serialization time implied by the window's factor.
+class FaultyNetwork final : public arch::NetworkModel {
+ public:
+  FaultyNetwork(sim::Simulator& s, Injector& inj,
+                std::unique_ptr<arch::NetworkModel> inner);
+
+  void transmit(int src, int dst, std::size_t bytes,
+                std::function<void()> delivered) override;
+  std::string name() const override { return inner_->name() + "+faults"; }
+  double link_bandwidth_Bps() const override {
+    return inner_->link_bandwidth_Bps();
+  }
+
+ private:
+  void attempt(int src, int dst, std::size_t bytes, int tries,
+               std::function<void()> delivered);
+
+  Injector& inj_;
+  std::unique_ptr<arch::NetworkModel> inner_;
+};
+
+}  // namespace nsp::fault

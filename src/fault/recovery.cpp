@@ -1,0 +1,265 @@
+#include "fault/recovery.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "check/check.hpp"
+#include "check/trace.hpp"
+#include "io/snapshot.hpp"
+#include "mp/comm.hpp"
+#include "par/decomposition.hpp"
+#include "par/subdomain_solver.hpp"
+#include "sim/rng.hpp"
+
+namespace nsp::fault {
+
+// ------------------------------------------------------ timeline model
+
+TimelineResult simulate_timeline(const FaultSpec& spec,
+                                 const TimelineInputs& inputs,
+                                 std::uint64_t seed) {
+  if (inputs.steps <= 0 || inputs.nprocs <= 0 || !inputs.step_time_s) {
+    throw std::invalid_argument("simulate_timeline: bad inputs");
+  }
+  TimelineResult out;
+  // step_time_s typically runs a full DES replay per processor count;
+  // memoize so repeated rollbacks at the same width are free.
+  std::map<int, double> step_cache;
+  const auto step_time = [&](int procs) {
+    auto it = step_cache.find(procs);
+    if (it == step_cache.end()) {
+      it = step_cache.emplace(procs, inputs.step_time_s(procs)).first;
+    }
+    return it->second;
+  };
+
+  out.fault_free_s =
+      static_cast<double>(inputs.steps) * step_time(inputs.nprocs);
+
+  const int floor_procs = std::max(spec.min_procs,
+                                   inputs.decomposition_min_procs);
+  const int k = spec.checkpoint_interval_steps;
+  const double rate = spec.enabled ? spec.crash_rate_per_hour : 0.0;
+
+  sim::Rng rng = sim::Rng::stream(seed, "fault.crash");
+  int procs = inputs.nprocs;
+  double t = 0;             // simulated seconds elapsed
+  int step = 0;             // next application step to run
+  double t_durable = 0;     // when the last durable state was written
+  int step_durable = 0;     // the step that durable state is at
+  double next_crash = rate > 0
+      ? rng.exponential(3600.0 / (rate * procs))
+      : std::numeric_limits<double>::infinity();
+
+  while (step < inputs.steps) {
+    const double per_step = step_time(procs);
+    double seg_end = t + per_step;
+    const bool ckpt_due = k > 0 && (step + 1) % k == 0 &&
+                          step + 1 < inputs.steps;
+    if (ckpt_due) seg_end += spec.checkpoint_cost_s;
+
+    if (next_crash < seg_end) {
+      // A node dies mid-step (or mid-checkpoint). Everything since the
+      // last durable state is lost; detection and restart stall the
+      // machine before the survivors recompute from the checkpoint.
+      const int victim = static_cast<int>(rng.below(
+          static_cast<std::uint64_t>(procs)));
+      out.stats.crashes += 1;
+      out.stats.record(FaultKind::NodeCrash, next_crash, victim);
+      out.stats.detections += 1;
+      out.stats.detect_latency_s += spec.detect_latency_s();
+      procs -= 1;
+      if (procs < floor_procs) {
+        // Not enough survivors to re-decompose: the run is abandoned
+        // at the moment the failure is detected.
+        t = next_crash + spec.detect_latency_s();
+        out.completed = false;
+        out.time_to_solution_s = t;
+        out.final_procs = procs;
+        return out;
+      }
+      out.stats.restarts += 1;
+      const double resume =
+          next_crash + spec.detect_latency_s() + spec.restart_cost_s;
+      out.stats.wasted_work_s += resume - t_durable;
+      t = resume;
+      step = step_durable;
+      next_crash = t + rng.exponential(3600.0 / (rate * procs));
+      continue;
+    }
+
+    t = seg_end;
+    step += 1;
+    if (ckpt_due) {
+      out.stats.checkpoints += 1;
+      out.stats.checkpoint_overhead_s += spec.checkpoint_cost_s;
+      t_durable = t;
+      step_durable = step;
+    }
+  }
+
+  out.completed = true;
+  out.time_to_solution_s = t;
+  out.final_procs = procs;
+  return out;
+}
+
+// ------------------------------------------------------- live recovery
+
+std::uint64_t state_hash(const core::StateField& q) {
+  check::TraceHash h;
+  for (int c = 0; c < core::StateField::kComponents; ++c) {
+    for (int i = 0; i < q.ni(); ++i) {
+      for (int j = 0; j < q.nj(); ++j) {
+        std::uint64_t rec = check::fnv1a(static_cast<std::uint64_t>(c));
+        rec = check::fnv1a(static_cast<std::uint64_t>(i), rec);
+        rec = check::fnv1a(static_cast<std::uint64_t>(j), rec);
+        rec = check::fnv1a(q[c](i, j), rec);
+        h.mix(rec);
+      }
+    }
+  }
+  return h.digest();
+}
+
+namespace {
+
+/// One full-segment SPMD run: restore (or initialize), advance, gather.
+struct SegmentResult {
+  core::StateField state;
+  double time = 0;
+  int steps = 0;
+};
+
+SegmentResult run_segment(const core::SolverConfig& cfg, int procs,
+                          const core::StateField* from, double from_time,
+                          int from_steps, int nsteps) {
+  mp::Cluster cluster(procs);
+  SegmentResult out;
+  std::mutex m;
+  cluster.run([&](mp::Comm& comm) {
+    par::SubdomainSolver s(cfg, comm);
+    if (from) {
+      s.restore(*from, from_time, from_steps);
+    } else {
+      s.initialize();
+    }
+    s.run(nsteps);
+    auto gathered = s.gather();
+    if (gathered) {
+      std::lock_guard<std::mutex> lk(m);
+      out.state = std::move(*gathered);
+      out.time = s.time();
+      out.steps = s.steps_taken();
+    }
+  });
+  return out;
+}
+
+std::string checkpoint_path(const std::string& dir) {
+  static std::atomic<unsigned> counter{0};
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/nsp_ckpt_%u.bin",
+                counter.fetch_add(1));
+  return dir + buf;
+}
+
+}  // namespace
+
+RecoveryOutcome run_with_recovery(const core::SolverConfig& cfg, int nprocs,
+                                  int nsteps, const RecoveryOptions& opts) {
+  if (nprocs < 2) {
+    throw std::invalid_argument(
+        "run_with_recovery: need at least 2 ranks to lose one");
+  }
+  if (opts.checkpoint_interval <= 0) {
+    throw std::invalid_argument("run_with_recovery: interval must be > 0");
+  }
+  if (opts.crash_step >= 0 && opts.crash_step >= nsteps) {
+    throw std::invalid_argument("run_with_recovery: crash_step out of range");
+  }
+
+  RecoveryOutcome out;
+  const std::string path = checkpoint_path(opts.dir);
+
+  // The last durable state. Null = "restart from initial conditions"
+  // (step 0 needs no file: initialize() regenerates it exactly).
+  core::StateField ckpt_state;
+  io::SnapshotInfo ckpt_info;
+  bool have_ckpt = false;
+
+  int procs = nprocs;
+  int step = 0;           // global steps durably completed
+  bool crash_pending = opts.crash_step >= 0;
+
+  while (step < nsteps) {
+    const int next_stop = std::min(
+        nsteps, (step / opts.checkpoint_interval + 1) *
+                    opts.checkpoint_interval);
+    const core::StateField* from = have_ckpt ? &ckpt_state : nullptr;
+
+    if (crash_pending && opts.crash_step < next_stop) {
+      // The fail-stop hits mid-segment: run honestly up to the crash
+      // point, then throw that work away — it is exactly the work the
+      // survivors must redo from the last checkpoint.
+      const int lost = opts.crash_step - step;
+      if (lost > 0) {
+        run_segment(cfg, procs, from, ckpt_info.time, ckpt_info.steps, lost);
+      }
+      out.wasted_steps += lost;
+      out.restarts += 1;
+      crash_pending = false;
+      procs -= 1;
+      if (procs < 1) {
+        throw std::runtime_error("run_with_recovery: no survivors");
+      }
+      // Reload the checkpoint from disk — the io path is load-bearing.
+      if (have_ckpt) {
+        core::StateField reread;
+        io::SnapshotInfo info;
+        if (!io::read_snapshot(path, reread, info)) {
+          throw std::runtime_error(
+              "run_with_recovery: cannot read checkpoint " + path);
+        }
+        NSP_CHECK(info.steps == ckpt_info.steps, "fault.recovery.ckpt_steps");
+        ckpt_state = std::move(reread);
+        ckpt_info = info;
+      }
+      continue;  // re-decomposed onto the survivors; redo the segment
+    }
+
+    SegmentResult seg = run_segment(cfg, procs, from, ckpt_info.time,
+                                    ckpt_info.steps, next_stop - step);
+    step = next_stop;
+    if (step < nsteps) {
+      io::SnapshotInfo info;
+      info.ni = cfg.grid.ni;
+      info.nj = cfg.grid.nj;
+      info.steps = seg.steps;
+      info.time = seg.time;
+      info.viscous = cfg.viscous;
+      if (!io::write_snapshot(path, seg.state, info)) {
+        throw std::runtime_error(
+            "run_with_recovery: cannot write checkpoint " + path);
+      }
+      out.checkpoints += 1;
+      ckpt_state = std::move(seg.state);
+      ckpt_info = info;
+      have_ckpt = true;
+    } else {
+      out.final_state = std::move(seg.state);
+    }
+  }
+
+  if (!opts.keep_files) std::remove(path.c_str());
+  out.final_procs = procs;
+  out.state_hash = state_hash(out.final_state);
+  return out;
+}
+
+}  // namespace nsp::fault

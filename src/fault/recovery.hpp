@@ -1,0 +1,95 @@
+// Checkpoint/restart recovery.
+//
+// Two halves, one semantics:
+//
+//   simulate_timeline()  the *model*: walks a run's lifetime in
+//     simulated time — coordinated checkpoints every k steps, Poisson
+//     node crashes from the dedicated "fault.crash" RNG stream,
+//     heartbeat detection latency, restart cost, re-decomposition onto
+//     the surviving nodes (the per-step time is a caller-supplied
+//     function of the live processor count, so the model composes with
+//     the DES replay's communication curves). Produces time-to-solution
+//     under faults plus wasted-work accounting.
+//
+//   run_with_recovery()  the *mechanism*, live: runs the SPMD
+//     subdomain solver, writes io::snapshot checkpoints every k steps,
+//     injects a fail-stop crash at a chosen step, reloads the last
+//     checkpoint from disk, re-decomposes onto one fewer rank, and
+//     continues. The final interior state is bit-identical to an
+//     uninterrupted run — state_hash() proves it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/field.hpp"
+#include "core/solver.hpp"
+#include "fault/fault.hpp"
+
+namespace nsp::fault {
+
+/// What simulate_timeline needs to know about the application.
+struct TimelineInputs {
+  int steps = 0;   ///< application time steps to complete
+  int nprocs = 0;  ///< processors at launch
+  /// Seconds one application step takes on `procs` live processors
+  /// (typically perf::replay through the fault injector, so link-level
+  /// fault cost is already inside).
+  std::function<double(int procs)> step_time_s;
+  /// Smallest processor count the decomposition supports (grid width /
+  /// minimum subdomain width); the run is abandoned below
+  /// max(spec.min_procs, this).
+  int decomposition_min_procs = 1;
+};
+
+/// Outcome of the timeline walk.
+struct TimelineResult {
+  bool completed = false;
+  double time_to_solution_s = 0; ///< total, faults and recovery included
+  double fault_free_s = 0;       ///< steps * step_time_s(nprocs), no faults
+  int final_procs = 0;           ///< survivors at the end
+  FaultStats stats;
+};
+
+/// Walks the run. Crash inter-arrivals are exponential with the
+/// aggregate rate procs * crash_rate_per_hour, drawn from the
+/// "fault.crash" sub-stream of `seed` — deterministic for a given
+/// (spec, inputs, seed) regardless of who calls it from where.
+TimelineResult simulate_timeline(const FaultSpec& spec,
+                                 const TimelineInputs& inputs,
+                                 std::uint64_t seed);
+
+/// Options of the live checkpoint/restart driver.
+struct RecoveryOptions {
+  int checkpoint_interval = 50; ///< steps between coordinated checkpoints
+  std::string dir = "/tmp";     ///< where snapshot files are written
+  /// Fail-stop crash injected after this many global steps (-1 = none).
+  int crash_step = -1;
+  bool keep_files = false; ///< leave the snapshot files behind
+};
+
+/// Outcome of a live recovered run.
+struct RecoveryOutcome {
+  core::StateField final_state; ///< gathered global interior state
+  int checkpoints = 0;          ///< snapshots written
+  int restarts = 0;             ///< recoveries performed
+  int wasted_steps = 0;         ///< steps recomputed after the crash
+  int final_procs = 0;          ///< ranks after re-decomposition
+  std::uint64_t state_hash = 0; ///< state_hash(final_state)
+};
+
+/// Runs `nsteps` of the global problem on `nprocs` ranks with
+/// checkpoint/restart. On the injected crash the driver discards the
+/// in-flight segment (that work is *recomputed* — counted in
+/// wasted_steps), reloads the last io::snapshot from disk, re-decomposes
+/// onto nprocs-1 ranks, and continues to completion. Throws
+/// std::runtime_error if a checkpoint cannot be written or read back.
+RecoveryOutcome run_with_recovery(const core::SolverConfig& cfg, int nprocs,
+                                  int nsteps, const RecoveryOptions& opts);
+
+/// Order-independent FNV digest of a state's interior bit patterns
+/// (check::TraceHash over (component, i, j, bits) records).
+std::uint64_t state_hash(const core::StateField& q);
+
+}  // namespace nsp::fault

@@ -1,6 +1,8 @@
 #include "mp/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstring>
 #include <exception>
 #include <stdexcept>
 #include <thread>
@@ -43,6 +45,16 @@ void Comm::recv_into(int src, int tag, std::span<double> out) {
 
 std::optional<Message> Comm::try_recv(int src, int tag) {
   auto m = cluster_->match(rank_, src, tag, /*block=*/false);
+  if (m) {
+    ++counters_.recvs;
+    counters_.bytes_received +=
+        static_cast<double>(m->data.size() * sizeof(double));
+  }
+  return m;
+}
+
+std::optional<Message> Comm::recv_for(double timeout_s, int src, int tag) {
+  auto m = cluster_->match_for(rank_, src, tag, timeout_s);
   if (m) {
     ++counters_.recvs;
     counters_.bytes_received +=
@@ -153,6 +165,25 @@ Cluster::Cluster(int size) : size_(size), boxes_(size) {
 Cluster::~Cluster() = default;
 
 void Cluster::deliver(int dst, Message msg) {
+  if (filter_) {
+    switch (filter_(msg, dst)) {
+      case Delivery::Deliver:
+        break;
+      case Delivery::Drop:
+        return;  // lost: the sender's counters saw it, no mailbox will
+      case Delivery::Corrupt:
+        // Flip one mantissa bit of the middle payload word — enough to
+        // fail any checksum while keeping the value finite.
+        if (!msg.data.empty()) {
+          double& v = msg.data[msg.data.size() / 2];
+          std::uint64_t bits;
+          std::memcpy(&bits, &v, sizeof(bits));
+          bits ^= 1;
+          std::memcpy(&v, &bits, sizeof(bits));
+        }
+        break;
+    }
+  }
   Mailbox& box = boxes_.at(dst);
   {
     std::lock_guard<std::mutex> lk(box.m);
@@ -179,6 +210,35 @@ std::optional<Message> Cluster::match(int dst, int src, int tag, bool block) {
       it = find();
       return it != box.queue.end();
     });
+  }
+  Message m = std::move(*it);
+  box.queue.erase(it);
+  return m;
+}
+
+std::optional<Message> Cluster::match_for(int dst, int src, int tag,
+                                          double timeout_s) {
+  Mailbox& box = boxes_.at(dst);
+  std::unique_lock<std::mutex> lk(box.m);
+  const auto find = [&]() -> std::deque<Message>::iterator {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if ((src == kAny || it->src == src) && (tag == kAny || it->tag == tag)) {
+        return it;
+      }
+    }
+    return box.queue.end();
+  };
+  auto it = find();
+  if (it == box.queue.end()) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(std::max(0.0, timeout_s)));
+    const bool got = box.cv.wait_until(lk, deadline, [&] {
+      it = find();
+      return it != box.queue.end();
+    });
+    if (!got) return std::nullopt;
   }
   Message m = std::move(*it);
   box.queue.erase(it);

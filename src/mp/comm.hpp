@@ -32,6 +32,19 @@ struct Message {
   std::vector<double> data;
 };
 
+/// What a delivery filter decides for one in-flight message.
+enum class Delivery {
+  Deliver,  ///< enqueue unchanged
+  Drop,     ///< silently lose the message
+  Corrupt,  ///< flip one bit of the payload, then enqueue
+};
+
+/// Fault hook consulted for every message a Cluster delivers. Called
+/// from the sending rank's thread with (message, destination rank);
+/// implementations must be thread-safe and should be deterministic in
+/// per-(src,dst,tag) program order (see fault/detect.hpp).
+using DeliveryFilter = std::function<Delivery(const Message&, int dst)>;
+
 class Cluster;
 
 /// Per-rank communication endpoint handed to the SPMD function.
@@ -54,6 +67,13 @@ class Comm {
 
   /// Non-blocking probe-and-receive.
   std::optional<Message> try_recv(int src = kAny, int tag = kAny);
+
+  /// Blocking receive with a timeout: waits up to `timeout_s` seconds
+  /// for a matching message, then gives up with nullopt. The building
+  /// block of the fault layer's retransmission and crash detection
+  /// (fault/detect.hpp).
+  std::optional<Message> recv_for(double timeout_s, int src = kAny,
+                                  int tag = kAny);
 
   /// Synchronizes all ranks of the cluster.
   void barrier();
@@ -110,6 +130,13 @@ class Cluster {
     return last_counters_;
   }
 
+  /// Installs (or clears, with nullptr) the delivery fault filter. Set
+  /// it before run(); the cluster consults it for every send. Dropped
+  /// messages count at the sender but never reach a mailbox.
+  void set_delivery_filter(DeliveryFilter filter) {
+    filter_ = std::move(filter);
+  }
+
  private:
   friend class Comm;
 
@@ -121,9 +148,12 @@ class Cluster {
 
   void deliver(int dst, Message msg);
   std::optional<Message> match(int dst, int src, int tag, bool block);
+  std::optional<Message> match_for(int dst, int src, int tag,
+                                   double timeout_s);
 
   int size_;
   std::vector<Mailbox> boxes_;
+  DeliveryFilter filter_;  ///< set before run(); read-only during it
 
   // barrier state
   std::mutex bar_m_;

@@ -20,6 +20,11 @@
 // The legacy structs (core::SolverConfig, arch::Platform,
 // perf::AppModel) remain fully supported; Scenario builds them via
 // app_model() / platform_model() / solver_config().
+//
+// Fault injection (nsp::fault) rides on top: give a Scenario a
+// FaultSpec (`.faults("crash=0.5,ckpt=250")`) and the engine replays it
+// through the fault injector and the checkpoint/restart timeline model
+// — see docs/FAULTS.md.
 #pragma once
 
 #include "arch/cpu_model.hpp"
@@ -36,6 +41,10 @@
 #include "exec/registry.hpp"
 #include "exec/run_result.hpp"
 #include "exec/scenario.hpp"
+#include "fault/detect.hpp"
+#include "fault/fault.hpp"
+#include "fault/injector.hpp"
+#include "fault/recovery.hpp"
 #include "io/artifacts.hpp"
 #include "io/chart.hpp"
 #include "io/table.hpp"
@@ -55,5 +64,6 @@ using exec::RunHooks;
 using exec::RunResult;
 using exec::Scenario;
 using exec::Workload;
+using fault::FaultSpec;
 
 }  // namespace nsp

@@ -331,6 +331,26 @@ void SubdomainSolver::run(int n) {
   for (int k = 0; k < n; ++k) step();
 }
 
+void SubdomainSolver::restore(const StateField& global, double time,
+                              int steps) {
+  const core::Grid& g = global_cfg_.grid;
+  if (global.ni() != g.ni || global.nj() != g.nj) {
+    throw std::invalid_argument("SubdomainSolver::restore: dimension mismatch");
+  }
+  // initialize() owns dt_ (a pure function of the global config, so
+  // bit-identical across decompositions) and the ghost-column fill.
+  initialize();
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    for (int i = 0; i < width_; ++i) {
+      for (int j = 0; j < g.nj; ++j) {
+        q_[c](i, j) = global[c](range_.begin + i, j);
+      }
+    }
+  }
+  t_ = time;
+  steps_ = steps;
+}
+
 std::optional<StateField> SubdomainSolver::gather() {
   const int nj = global_cfg_.grid.nj;
   if (comm_->rank() != 0) {

@@ -34,7 +34,19 @@ class SubdomainSolver {
   void step();
   void run(int n);
 
+  /// Restores this rank's interior from a *global* state (a gathered
+  /// checkpoint), as of simulated time `time` after `steps` steps.
+  /// Works for any decomposition — in particular one with fewer ranks
+  /// than wrote the checkpoint, which is how post-crash
+  /// re-decomposition onto the survivors happens. Ghost columns are
+  /// left as initialize() set them (the kernels never read the axial
+  /// ghosts of q_ between steps; radial ghosts are refilled from the
+  /// free stream every sweep), so restore(); run(b) is bit-identical
+  /// to an uninterrupted run(a + b) on any rank count.
+  void restore(const core::StateField& global, double time, int steps);
+
   int steps_taken() const { return steps_; }
+  double time() const { return t_; }
   double dt() const { return dt_; }
   core::Range global_range() const { return range_; }
   const core::StateField& local_state() const { return q_; }

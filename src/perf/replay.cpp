@@ -85,9 +85,11 @@ struct Rank {
 class Engine {
  public:
   Engine(const AppModel& app, const arch::Platform& plat, int nprocs,
-         int sim_steps)
-      : app_(app), plat_(plat), nprocs_(nprocs), sim_steps_(sim_steps) {
+         int sim_steps, fault::Injector* injector)
+      : app_(app), plat_(plat), nprocs_(nprocs), sim_steps_(sim_steps),
+        injector_(injector) {
     net_ = plat.make_network(sim_, std::max(2, nprocs));
+    if (injector_) net_ = injector_->wrap(sim_, std::move(net_));
     build_ranks();
   }
 
@@ -199,6 +201,10 @@ class Engine {
       c -= used;
       r.next_phase_reduction -= used;
     }
+    // Straggler dilation: a rank inside a slowdown window takes factor
+    // times longer on its compute segments (the factor is sampled at
+    // segment start — windows are long relative to segments).
+    if (injector_) c *= injector_->compute_factor(r.id, sim_.now());
     sim_.after(c, [this, &r, c]() {
       r.stats.compute += c;
       issue_sends(r, 0);
@@ -319,6 +325,7 @@ class Engine {
   const arch::Platform& plat_;
   int nprocs_;
   int sim_steps_;
+  fault::Injector* injector_;
   sim::Simulator sim_;
   std::unique_ptr<arch::NetworkModel> net_;
   std::vector<Rank> ranks_;
@@ -331,7 +338,7 @@ ReplayResult replay(const AppModel& app, const arch::Platform& platform,
   if (platform.shared_memory) {
     return replay_shared_memory(app, platform, nprocs);
   }
-  Engine engine(app, platform, nprocs, opts.sim_steps);
+  Engine engine(app, platform, nprocs, opts.sim_steps, opts.injector);
   return engine.run();
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "arch/platform.hpp"
+#include "fault/injector.hpp"
 #include "perf/app_model.hpp"
 
 namespace nsp::perf {
@@ -44,6 +45,13 @@ struct ReplayOptions {
   /// state (including sustained network overload, whose cost is linear
   /// in steps).
   int sim_steps = 400;
+  /// Optional fault injection: the network model is wrapped in the
+  /// injector's decorator (drops/corruption/degrade windows with
+  /// retransmission) and compute segments are dilated through straggler
+  /// windows. The injector must outlive the replay; its FaultStats
+  /// accumulate the injected timeline. Null = fault-free, byte-identical
+  /// to a build without the fault subsystem.
+  fault::Injector* injector = nullptr;
 };
 
 /// Runs the model on `nprocs` ranks of the platform. Shared-memory

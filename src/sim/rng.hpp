@@ -2,16 +2,51 @@
 // (xoshiro256** with a splitmix64 seeder). Kept independent of <random>
 // engine implementations so simulated platform results are identical
 // across standard libraries.
+//
+// Consumers that draw for different purposes must use *named
+// sub-streams* (stream_seed / Rng::stream): each (base seed, name)
+// pair yields an independent generator, so adding draws to one
+// purpose — e.g. the fault layer's schedule — cannot perturb the
+// sequence any other consumer sees. Canonical stream names:
+// "solver", "schedule", "fault.windows", "fault.msg", "fault.crash".
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 namespace nsp::sim {
+
+/// 64-bit FNV-1a of a stream name (the stream's identity).
+constexpr std::uint64_t stream_id(std::string_view name) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Seed of the named sub-stream of `base`: the stream id mixed into the
+/// base seed through a splitmix64 finalizer, so sub-streams of one base
+/// are decorrelated from each other and from the base stream itself.
+constexpr std::uint64_t stream_seed(std::uint64_t base,
+                                    std::string_view name) {
+  std::uint64_t z = base ^ stream_id(name);
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
 
 /// xoshiro256** generator; fast, high quality, reproducible everywhere.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Generator for the named sub-stream of `base` (see stream_seed).
+  static Rng stream(std::uint64_t base, std::string_view name) {
+    return Rng(stream_seed(base, name));
+  }
 
   /// Re-initializes the state from a 64-bit seed via splitmix64.
   void reseed(std::uint64_t seed) {

@@ -1,0 +1,462 @@
+// nsp::fault tests: deterministic injection, failure detection,
+// checkpoint/restart recovery, and the fault-free byte-identity
+// guarantee. Run via `ctest -L fault`.
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "arch/network.hpp"
+#include "exec/audit.hpp"
+#include "exec/engine.hpp"
+#include "exec/scenario.hpp"
+#include "fault/detect.hpp"
+#include "fault/injector.hpp"
+#include "fault/recovery.hpp"
+#include "mp/comm.hpp"
+#include "par/subdomain_solver.hpp"
+#include "sim/simulator.hpp"
+
+namespace nsp::fault {
+namespace {
+
+// ---- FaultSpec ---------------------------------------------------------
+
+TEST(FaultSpec, DisabledByDefaultAndStringifiesEmpty) {
+  FaultSpec s;
+  EXPECT_FALSE(s.enabled);
+  EXPECT_EQ(s.str(), "");
+}
+
+TEST(FaultSpec, ParseStrRoundTrip) {
+  FaultSpec s = FaultSpec::parse("crash=0.5,drop=0.01,ckpt=100,rto=0.025");
+  EXPECT_TRUE(s.enabled);
+  EXPECT_DOUBLE_EQ(s.crash_rate_per_hour, 0.5);
+  EXPECT_DOUBLE_EQ(s.drop_prob, 0.01);
+  EXPECT_EQ(s.checkpoint_interval_steps, 100);
+  EXPECT_DOUBLE_EQ(s.rto_s, 0.025);
+  EXPECT_EQ(FaultSpec::parse(s.str()), s);
+  // Defaults are omitted from the canonical form.
+  EXPECT_EQ(s.str(), "crash=0.5,drop=0.01,rto=0.025,ckpt=100");
+}
+
+TEST(FaultSpec, EnabledAllDefaultsRoundTrips) {
+  FaultSpec s;
+  s.enabled = true;
+  EXPECT_EQ(s.str(), "on");
+  EXPECT_EQ(FaultSpec::parse("on"), s);
+}
+
+TEST(FaultSpec, UnknownKeyThrows) {
+  EXPECT_THROW(FaultSpec::parse("warp=9"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("crash"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("crash=banana"), std::invalid_argument);
+}
+
+// ---- FaultSchedule -----------------------------------------------------
+
+TEST(FaultSchedule, DeterministicForSameSeed) {
+  FaultSpec s = FaultSpec::parse("degrade=20,straggle=30");
+  const auto a = FaultSchedule::generate(s, 8, 3600.0, 99);
+  const auto b = FaultSchedule::generate(s, 8, 3600.0, 99);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_GT(a.events.size(), 0u);
+  for (std::size_t k = 0; k < a.events.size(); ++k) {
+    EXPECT_EQ(a.events[k].time, b.events[k].time);
+    EXPECT_EQ(a.events[k].node, b.events[k].node);
+    EXPECT_EQ(a.events[k].kind, b.events[k].kind);
+  }
+  // A different seed gives a different timeline.
+  const auto c = FaultSchedule::generate(s, 8, 3600.0, 100);
+  bool differs = c.events.size() != a.events.size();
+  for (std::size_t k = 0; !differs && k < a.events.size(); ++k) {
+    differs = a.events[k].time != c.events[k].time;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultSchedule, ZeroRatesProduceNoEvents) {
+  FaultSpec s;
+  s.enabled = true;
+  EXPECT_TRUE(FaultSchedule::generate(s, 8, 3600.0, 1).events.empty());
+}
+
+TEST(FaultSchedule, ComputeFactorInsideWindowOnly) {
+  FaultSchedule sched;
+  sched.events.push_back({FaultKind::Straggler, 10.0, 2, 5.0, 3.0});
+  EXPECT_DOUBLE_EQ(sched.compute_factor(2, 9.0), 1.0);
+  EXPECT_DOUBLE_EQ(sched.compute_factor(2, 12.0), 3.0);
+  EXPECT_DOUBLE_EQ(sched.compute_factor(2, 15.5), 1.0);
+  EXPECT_DOUBLE_EQ(sched.compute_factor(1, 12.0), 1.0);  // other node
+}
+
+// ---- Injector on a network model ---------------------------------------
+
+/// Counts deliveries through an injector-wrapped perfect network.
+struct DropStormResult {
+  int delivered = 0;
+  double last_time = 0;
+  FaultStats stats;
+};
+
+DropStormResult drop_storm(double drop_prob, std::uint64_t seed, int n) {
+  sim::Simulator sim;
+  FaultSpec spec = FaultSpec::parse("drop=" + std::to_string(drop_prob));
+  Injector inj(spec, 4, 1e9, seed);
+  auto net = inj.wrap(sim, std::make_unique<arch::EthernetBus>(sim));
+  DropStormResult r;
+  for (int k = 0; k < n; ++k) {
+    sim.after(k * 1e-3, [&, k] {
+      net->transmit(k % 2, 2 + k % 2, 1024, [&] {
+        ++r.delivered;
+        r.last_time = sim.now();
+      });
+    });
+  }
+  sim.run();
+  r.stats = inj.stats();
+  return r;
+}
+
+TEST(Injector, DropStormOnEthernetRetransmitsEverything) {
+  const auto r = drop_storm(0.4, 7, 200);
+  EXPECT_EQ(r.delivered, 200);  // nothing is lost for good
+  EXPECT_GT(r.stats.drops, 20u);
+  EXPECT_EQ(r.stats.retransmits, r.stats.drops + r.stats.corruptions);
+  EXPECT_EQ(r.stats.give_ups, 0u);
+  // Retransmission costs time: slower than the fault-free storm.
+  const auto clean = drop_storm(0.0, 7, 200);
+  EXPECT_EQ(clean.stats.drops, 0u);
+  EXPECT_GT(r.last_time, clean.last_time);
+}
+
+TEST(Injector, DropStormIsDeterministic) {
+  const auto a = drop_storm(0.4, 11, 150);
+  const auto b = drop_storm(0.4, 11, 150);
+  EXPECT_EQ(a.stats.drops, b.stats.drops);
+  EXPECT_EQ(a.stats.timeline_digest(), b.stats.timeline_digest());
+  EXPECT_EQ(a.last_time, b.last_time);
+  const auto c = drop_storm(0.4, 12, 150);
+  EXPECT_NE(a.stats.timeline_digest(), c.stats.timeline_digest());
+}
+
+TEST(Injector, GiveUpForcesDeliveryAfterBudget) {
+  sim::Simulator sim;
+  FaultSpec spec = FaultSpec::parse("drop=1,retries=3");
+  Injector inj(spec, 2, 1e9, 5);
+  auto net = inj.wrap(sim, std::make_unique<arch::PerfectNetwork>(sim));
+  int delivered = 0;
+  net->transmit(0, 1, 256, [&] { ++delivered; });
+  sim.run();
+  // drop=1 loses every attempt; the budget exhausts and the message is
+  // forced through so the replay cannot wedge.
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(inj.stats().give_ups, 1u);
+  EXPECT_EQ(inj.stats().drops, 3u);  // attempts 0..2; attempt 3 forced
+}
+
+// ---- Replay integration ------------------------------------------------
+
+TEST(Injector, FaultyReplayIsDeterministicAndSlower) {
+  const auto app = exec::Scenario::jet250x100()
+                       .platform("lace-ethernet")
+                       .threads(8)
+                       .app_model();
+  const auto plat = exec::Scenario::jet250x100()
+                        .platform("lace-ethernet")
+                        .platform_model();
+  perf::ReplayOptions opts;
+  opts.sim_steps = 60;
+  const auto clean = perf::replay(app, plat, 8, opts);
+
+  FaultSpec spec = FaultSpec::parse("drop=0.02,straggle=40,straggle_x=4");
+  const auto run = [&] {
+    Injector inj(spec, 8, 2e4, 21);
+    perf::ReplayOptions o = opts;
+    o.injector = &inj;
+    auto r = perf::replay(app, plat, 8, o);
+    return std::make_pair(r.exec_time, inj.stats().timeline_digest());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);  // bit-identical, not just close
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_GT(a.first, clean.exec_time);
+}
+
+// ---- CrashDetector -----------------------------------------------------
+
+TEST(CrashDetector, SuspectsAfterMissedBeats) {
+  CrashDetector d(3, 1.0, 3);
+  for (double t = 0; t <= 10.0; t += 1.0) {
+    d.beat(0, t);
+    d.beat(1, t);
+    if (t <= 4.0) d.beat(2, t);  // node 2 dies at t=4
+  }
+  EXPECT_FALSE(d.suspected(0, 10.0));
+  EXPECT_FALSE(d.suspected(1, 10.0));
+  EXPECT_FALSE(d.suspected(2, 6.9));   // within 3 periods of last beat
+  EXPECT_TRUE(d.suspected(2, 7.1));    // 3 periods elapsed
+  EXPECT_EQ(d.suspects(10.0), std::vector<int>{2});
+  EXPECT_DOUBLE_EQ(d.detect_latency_s(), 3.0);
+}
+
+// ---- ReliableLink over a lossy Cluster ---------------------------------
+
+TEST(ReliableLink, DeliversThroughDropsAndCorruption) {
+  mp::Cluster cluster(2);
+  DropPlan plan;
+  plan.drop_first(0, 1, 200007, 2);  // lose the first two data frames
+  cluster.set_delivery_filter(plan.filter());
+  LinkStats sender, receiver;
+  std::vector<double> got;
+  cluster.run([&](mp::Comm& c) {
+    ReliableLink link(c, /*rto_s=*/5e-3, /*max_retries=*/8);
+    if (c.rank() == 0) {
+      const std::vector<double> payload{3.14, 2.71, 1.41};
+      ASSERT_TRUE(link.send(1, 7, payload));
+      sender = link.stats();
+    } else {
+      auto m = link.recv(0, 7, /*timeout_s=*/5.0);
+      ASSERT_TRUE(m.has_value());
+      got = *m;
+      receiver = link.stats();
+    }
+  });
+  EXPECT_EQ(got, (std::vector<double>{3.14, 2.71, 1.41}));
+  EXPECT_EQ(sender.retransmits, 2u);
+  EXPECT_EQ(sender.acked, 1u);
+  EXPECT_EQ(receiver.delivered, 1u);
+}
+
+TEST(ReliableLink, CorruptedFrameIsRejectedThenRetransmitted) {
+  mp::Cluster cluster(2);
+  DropPlan plan;
+  plan.corrupt_first(0, 1, 200003, 1);  // first data frame arrives mangled
+  cluster.set_delivery_filter(plan.filter());
+  LinkStats receiver;
+  bool sent_ok = false;
+  cluster.run([&](mp::Comm& c) {
+    ReliableLink link(c, 5e-3, 8);
+    if (c.rank() == 0) {
+      const std::vector<double> payload{42.0, -1.0};
+      sent_ok = link.send(1, 3, payload);
+    } else {
+      auto m = link.recv(0, 3, 5.0);
+      ASSERT_TRUE(m.has_value());
+      EXPECT_EQ((*m)[0], 42.0);
+      receiver = link.stats();
+    }
+  });
+  EXPECT_TRUE(sent_ok);
+  EXPECT_EQ(receiver.rejected, 1u);   // checksum caught the corruption
+  EXPECT_EQ(receiver.delivered, 1u);
+}
+
+TEST(ReliableLink, GivesUpWhenBudgetExhausted) {
+  mp::Cluster cluster(2);
+  DropPlan plan;
+  plan.drop_first(0, 1, 200001, 100);  // every data frame is lost
+  cluster.set_delivery_filter(plan.filter());
+  bool result = true;
+  cluster.run([&](mp::Comm& c) {
+    ReliableLink link(c, 1e-3, 2);
+    if (c.rank() == 0) {
+      const double v = 1.0;
+      result = link.send(1, 1, std::span(&v, 1));
+    } else {
+      // The receiver times out empty-handed.
+      EXPECT_FALSE(link.recv(0, 1, 50e-3).has_value());
+    }
+  });
+  EXPECT_FALSE(result);
+}
+
+// ---- Timeline model ----------------------------------------------------
+
+TEST(Timeline, NoFaultsMeansBaselinePlusCheckpoints) {
+  FaultSpec spec = FaultSpec::parse("ckpt=10,ckpt_s=2");
+  TimelineInputs in;
+  in.steps = 100;
+  in.nprocs = 8;
+  in.step_time_s = [](int) { return 1.0; };
+  const auto r = simulate_timeline(spec, in, 3);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.final_procs, 8);
+  EXPECT_EQ(r.stats.crashes, 0u);
+  // 9 interior checkpoint boundaries (step 100 is the finish line).
+  EXPECT_EQ(r.stats.checkpoints, 9u);
+  EXPECT_DOUBLE_EQ(r.time_to_solution_s, 100.0 + 9 * 2.0);
+  EXPECT_DOUBLE_EQ(r.fault_free_s, 100.0);
+}
+
+TEST(Timeline, CheckpointingBoundsWastedWork) {
+  // Crashes arrive every ~45 s on aggregate while the run needs ~200 s:
+  // checkpointing every 20 steps must beat running naked (which loses
+  // everything on each crash). Every crash retires a node for good, so
+  // the rate has to leave enough survivors to finish.
+  FaultSpec crashy = FaultSpec::parse("crash=5,ckpt=20");
+  FaultSpec naked = FaultSpec::parse("crash=5");
+  TimelineInputs in;
+  in.steps = 200;
+  in.nprocs = 16;
+  in.step_time_s = [](int p) { return 16.0 / p; };
+  const auto with_ckpt = simulate_timeline(crashy, in, 5);
+  const auto without = simulate_timeline(naked, in, 5);
+  ASSERT_TRUE(with_ckpt.completed);
+  EXPECT_GT(with_ckpt.stats.crashes, 0u);
+  if (without.completed) {
+    EXPECT_LT(with_ckpt.time_to_solution_s, without.time_to_solution_s);
+  }
+  EXPECT_EQ(with_ckpt.stats.restarts, with_ckpt.stats.crashes);
+  EXPECT_GT(with_ckpt.stats.wasted_work_s, 0.0);
+}
+
+TEST(Timeline, AbandonsBelowMinProcs) {
+  FaultSpec spec = FaultSpec::parse("crash=10000,ckpt=5,min_procs=3");
+  TimelineInputs in;
+  in.steps = 1000;
+  in.nprocs = 4;
+  in.step_time_s = [](int) { return 1.0; };
+  const auto r = simulate_timeline(spec, in, 1);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.final_procs, 2);  // died going from 3 to 2
+  EXPECT_EQ(r.stats.crashes, 2u);
+}
+
+TEST(Timeline, DeterministicPerSeed) {
+  FaultSpec spec = FaultSpec::parse("crash=30,ckpt=25");
+  TimelineInputs in;
+  in.steps = 300;
+  in.nprocs = 8;
+  in.step_time_s = [](int p) { return 8.0 / p; };
+  const auto a = simulate_timeline(spec, in, 77);
+  const auto b = simulate_timeline(spec, in, 77);
+  EXPECT_EQ(a.time_to_solution_s, b.time_to_solution_s);
+  EXPECT_EQ(a.stats.timeline_digest(), b.stats.timeline_digest());
+  const auto c = simulate_timeline(spec, in, 78);
+  EXPECT_NE(a.stats.timeline_digest(), c.stats.timeline_digest());
+}
+
+// ---- Live checkpoint/restart recovery ----------------------------------
+
+core::SolverConfig recovery_cfg() {
+  core::SolverConfig cfg;
+  cfg.grid = core::Grid::coarse(48, 16);
+  cfg.viscous = true;
+  return cfg;
+}
+
+TEST(Recovery, CrashMidSweepRecoversBitExact) {
+  // 4 ranks, checkpoint every 10 steps, crash at step 25: the driver
+  // reloads the step-20 checkpoint from disk, re-decomposes onto 3
+  // ranks, and finishes. The acceptance criterion: the final physics
+  // state is bit-identical to the run that never crashed.
+  const auto cfg = recovery_cfg();
+  RecoveryOptions opts;
+  opts.checkpoint_interval = 10;
+  opts.crash_step = 25;
+  const auto out = run_with_recovery(cfg, 4, 40, opts);
+  EXPECT_EQ(out.final_procs, 3);
+  EXPECT_EQ(out.restarts, 1);
+  EXPECT_EQ(out.wasted_steps, 5);  // steps 20..25 recomputed
+  EXPECT_GE(out.checkpoints, 3);
+
+  const auto uninterrupted = par::run_parallel_jet(cfg, 4, 40);
+  EXPECT_EQ(out.state_hash, state_hash(uninterrupted));
+  // And equal to the survivors-only decomposition, i.e. the hash is a
+  // property of the physics, not of who computed it.
+  const auto survivors = par::run_parallel_jet(cfg, 3, 40);
+  EXPECT_EQ(out.state_hash, state_hash(survivors));
+}
+
+TEST(Recovery, NoCrashMatchesDirectRun) {
+  const auto cfg = recovery_cfg();
+  RecoveryOptions opts;
+  opts.checkpoint_interval = 8;
+  const auto out = run_with_recovery(cfg, 3, 20, opts);
+  EXPECT_EQ(out.restarts, 0);
+  EXPECT_EQ(out.wasted_steps, 0);
+  EXPECT_EQ(out.final_procs, 3);
+  EXPECT_EQ(out.checkpoints, 2);  // steps 8 and 16
+  const auto direct = par::run_parallel_jet(cfg, 3, 20);
+  EXPECT_EQ(out.state_hash, state_hash(direct));
+}
+
+TEST(Recovery, CrashBeforeFirstCheckpointRestartsFromScratch) {
+  const auto cfg = recovery_cfg();
+  RecoveryOptions opts;
+  opts.checkpoint_interval = 10;
+  opts.crash_step = 4;
+  const auto out = run_with_recovery(cfg, 2, 12, opts);
+  EXPECT_EQ(out.wasted_steps, 4);
+  EXPECT_EQ(out.final_procs, 1);
+  const auto direct = par::run_parallel_jet(cfg, 2, 12);
+  EXPECT_EQ(out.state_hash, state_hash(direct));
+}
+
+// ---- Engine + audit integration ----------------------------------------
+
+exec::Scenario faulty_scenario() {
+  return exec::Scenario::jet250x100()
+      .platform("lace-ethernet")
+      .threads(8)
+      .sim_steps(40)
+      .faults("crash=2,drop=0.01,ckpt=500");
+}
+
+TEST(EngineFaults, MetricsPresentAndDeterministic) {
+  exec::EngineOptions eo;
+  eo.threads = 1;
+  exec::Engine engine(eo);
+  const auto a = engine.run_scenario(faulty_scenario());
+  const auto b = engine.run_scenario(faulty_scenario());
+  EXPECT_TRUE(a.has("fault_crashes"));
+  EXPECT_TRUE(a.has("fault_wasted_s"));
+  EXPECT_GT(exec::fault_digest(a), 0u);
+  EXPECT_EQ(a, b);  // exact metric bits, including the digest halves
+  // Time-to-solution dominates the fault-free baseline.
+  EXPECT_GE(a.metric("exec_s"), a.metric("fault_free_s"));
+}
+
+TEST(EngineFaults, AuditComparesFaultTimelines) {
+  const auto report = exec::audit({faulty_scenario()}, 2);
+  ASSERT_EQ(report.cells.size(), 1u);
+  EXPECT_NE(report.cells[0].serial_timeline, 0u);
+  EXPECT_TRUE(report.cells[0].timeline_match());
+  EXPECT_TRUE(report.clean());
+  // The report surfaces the timeline verdict.
+  EXPECT_NE(report.str().find("fault timeline"), std::string::npos);
+  EXPECT_NE(report.str().find("agree"), std::string::npos);
+}
+
+TEST(EngineFaults, DisabledSpecKeepsCacheKeyAndResultsByteIdentical) {
+  // The byte-identity guarantee: a default (disabled) FaultSpec changes
+  // nothing — not the cache key, not a single metric bit.
+  const auto plain = exec::Scenario::jet250x100()
+                         .platform("sp-mpl")
+                         .threads(8)
+                         .sim_steps(40);
+  auto with_disabled = plain;
+  with_disabled.faults(FaultSpec{});
+  EXPECT_EQ(plain.cache_key(), with_disabled.cache_key());
+  EXPECT_EQ(plain.cache_key(),
+            "replay|Navier-Stokes|v5|250x100x5000|px0|sp-mpl|default|"
+            "default|p8|ss40|seed0");
+
+  exec::EngineOptions eo;
+  eo.threads = 2;
+  eo.cache = false;
+  exec::Engine engine(eo);
+  const auto a = engine.run({plain});
+  const auto b = engine.run({with_disabled});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_FALSE(a.results.at(0).has("fault_crashes"));
+}
+
+}  // namespace
+}  // namespace nsp::fault

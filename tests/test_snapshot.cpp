@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "core/solver.hpp"
+#include "fault/recovery.hpp"
 
 namespace nsp::io {
 namespace {
@@ -118,6 +119,35 @@ TEST(Snapshot, CheckpointRestartIsBitExact) {
       }
     }
   }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, CheckpointRestartHashEqualsUninterrupted) {
+  // Same property as CheckpointRestartIsBitExact, but through the
+  // order-independent state digest the fault subsystem uses — the
+  // digest equality the recovery driver asserts after a crash is
+  // exactly this.
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(40, 16);
+  Solver a(cfg);
+  a.initialize();
+  a.run(30);
+
+  Solver b(cfg);
+  b.initialize();
+  b.run(18);
+  const std::string path = tmp_path("restart_hash.bin");
+  ASSERT_TRUE(write_snapshot(
+      path, b.state(),
+      SnapshotInfo{40, 16, b.steps_taken(), b.time(), b.dt(), true}));
+  StateField saved;
+  SnapshotInfo info;
+  ASSERT_TRUE(read_snapshot(path, saved, info));
+  Solver c(cfg);
+  c.restore(saved, info.time, info.steps);
+  c.run(12);
+
+  EXPECT_EQ(fault::state_hash(c.state()), fault::state_hash(a.state()));
   std::remove(path.c_str());
 }
 
