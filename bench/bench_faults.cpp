@@ -3,9 +3,12 @@
 // The paper's LACE cluster ran on shared departmental Ethernet — the
 // kind of platform where nodes drop and restarts eat into the scaling
 // curves of Figures 3-10. This harness sweeps per-node crash rate
-// against checkpoint interval on two paper platforms (LACE/560
-// Ethernet and the IBM SP) and reports simulated time-to-solution with
-// detection, restart, and re-decomposition costs folded in.
+// against checkpoint interval on three paper platforms (LACE/560
+// Ethernet, the IBM SP, and the T3D) and reports simulated
+// time-to-solution from the unified DES walk — detection latency
+// observed over wire-priced heartbeats, platform-I/O checkpoint cost,
+// restart, and re-decomposition folded in — next to the analytic
+// cross-check model.
 //
 // Artifacts: bench_faults.csv (one row per cell) and bench_faults.json
 // (the full ResultSet) in io::results_dir(). Run the binary twice and
@@ -22,7 +25,8 @@ int main() {
   using namespace nsp;
   bench::banner("Faults: time-to-solution vs failure rate x ckpt interval");
 
-  const std::vector<std::string> platforms = {"lace-ethernet", "sp-mpl"};
+  const std::vector<std::string> platforms = {"lace-ethernet", "sp-mpl",
+                                              "t3d"};
   // Per-node crashes per hour. The engine's timeline model retires a
   // node per crash, so rates are sized for an 8-proc machine running a
   // roughly hour-long (simulated) job: 0 .. ~8 expected failures.
@@ -46,13 +50,14 @@ int main() {
   const exec::ResultSet rs = bench::engine().run(cells);
 
   io::Table t({"platform", "crash/hr/node", "ckpt steps", "TTS (s)",
-               "fault-free (s)", "overhead", "crashes", "restarts",
+               "fault-free (s)", "overhead", "crashes", "detect (s)",
                "wasted (s)", "done"});
   t.title("Time-to-solution under faults (" + std::to_string(procs) +
           " procs, 5000 steps)");
   std::string csv =
-      "platform,crash_rate_per_hour,ckpt_interval,tts_s,fault_free_s,"
-      "crashes,restarts,wasted_s,ckpt_overhead_s,completed\n";
+      "platform,crash_rate_per_hour,ckpt_interval,tts_s,model_s,"
+      "fault_free_s,crashes,restarts,detect_s,wasted_s,ckpt_overhead_s,"
+      "heartbeats,completed\n";
   std::size_t i = 0;
   for (const auto& plat : platforms) {
     for (double rate : rates) {
@@ -64,21 +69,27 @@ int main() {
         const double base = faulted ? r->metric("fault_free_s") : tts;
         const double crashes = faulted ? r->metric("fault_crashes") : 0;
         const double restarts = faulted ? r->metric("fault_restarts") : 0;
+        const double detect = faulted ? r->metric("fault_detect_s") : 0;
         const double wasted = faulted ? r->metric("fault_wasted_s") : 0;
         const double ckpt_s = faulted ? r->metric("fault_ckpt_overhead_s") : 0;
+        const double beats = faulted ? r->metric("fault_heartbeats") : 0;
+        // The analytic cross-check walk; equals tts when no crashes ran.
+        const double model =
+            r->has("fault_model_s") ? r->metric("fault_model_s") : tts;
         const bool done = !faulted || r->metric("fault_completed") > 0;
         char buf[64];
         std::snprintf(buf, sizeof(buf), "%.2fx", tts / base);
         t.row({plat, io::format_exact(rate), std::to_string(k),
                io::format_exact(tts), io::format_exact(base), buf,
-               io::format_exact(crashes), io::format_exact(restarts),
+               io::format_exact(crashes), io::format_exact(detect),
                io::format_exact(wasted), done ? "yes" : "ABANDONED"});
         csv += plat + ',' + io::format_exact(rate) + ',' + std::to_string(k) +
-               ',' + io::format_exact(tts) + ',' + io::format_exact(base) +
-               ',' + io::format_exact(crashes) + ',' +
-               io::format_exact(restarts) + ',' + io::format_exact(wasted) +
-               ',' + io::format_exact(ckpt_s) + ',' + (done ? "1" : "0") +
-               '\n';
+               ',' + io::format_exact(tts) + ',' + io::format_exact(model) +
+               ',' + io::format_exact(base) + ',' + io::format_exact(crashes) +
+               ',' + io::format_exact(restarts) + ',' +
+               io::format_exact(detect) + ',' + io::format_exact(wasted) +
+               ',' + io::format_exact(ckpt_s) + ',' +
+               io::format_exact(beats) + ',' + (done ? "1" : "0") + '\n';
       }
     }
   }

@@ -53,6 +53,10 @@ Platform Platform::lace560_ethernet() {
   p.msglayer = MsgLayerModel::pvm_lace();
   p.net = NetKind::Ethernet;
   p.max_procs = 16;
+  // NFS home directories over the same shared Ethernet: checkpoints
+  // crawl at well under the wire rate.
+  p.io_bandwidth_Bps = 0.9e6;
+  p.io_latency_s = 0.2;
   return p;
 }
 
@@ -63,6 +67,8 @@ Platform Platform::lace560_allnode_s() {
   p.msglayer = MsgLayerModel::pvm_lace();
   p.net = NetKind::AllnodeS;
   p.max_procs = 16;
+  p.io_bandwidth_Bps = 2.5e6;  // NFS server reached over ALLNODE
+  p.io_latency_s = 0.15;
   return p;
 }
 
@@ -73,6 +79,8 @@ Platform Platform::lace560_fddi() {
   p.msglayer = MsgLayerModel::pvm_lace();
   p.net = NetKind::Fddi;
   p.max_procs = 16;
+  p.io_bandwidth_Bps = 4e6;  // NFS over the 100 Mb/s ring
+  p.io_latency_s = 0.1;
   return p;
 }
 
@@ -84,6 +92,8 @@ Platform Platform::lace590_allnode_f() {
   p.sw_speed_factor = 0.64;  // PVM runs on the faster 590
   p.net = NetKind::AllnodeF;
   p.max_procs = 16;
+  p.io_bandwidth_Bps = 6e6;
+  p.io_latency_s = 0.1;
   return p;
 }
 
@@ -95,6 +105,8 @@ Platform Platform::lace590_atm() {
   p.sw_speed_factor = 0.64;
   p.net = NetKind::Atm;
   p.max_procs = 16;
+  p.io_bandwidth_Bps = 8e6;
+  p.io_latency_s = 0.1;
   return p;
 }
 
@@ -105,6 +117,8 @@ Platform Platform::ibm_sp_mpl() {
   p.msglayer = MsgLayerModel::mpl_sp();
   p.net = NetKind::SpSwitch;
   p.max_procs = 16;
+  p.io_bandwidth_Bps = 10e6;  // per-node SCSI behind the PIOFS layer
+  p.io_latency_s = 0.02;
   return p;
 }
 
@@ -115,6 +129,8 @@ Platform Platform::ibm_sp_pvme() {
   p.msglayer = MsgLayerModel::pvme_sp();
   p.net = NetKind::SpSwitch;
   p.max_procs = 16;
+  p.io_bandwidth_Bps = 10e6;
+  p.io_latency_s = 0.02;
   return p;
 }
 
@@ -125,6 +141,8 @@ Platform Platform::cray_t3d() {
   p.msglayer = MsgLayerModel::pvm_t3d();
   p.net = NetKind::Torus3D;
   p.max_procs = 16;  // 16 of 64 nodes were available in single-user mode
+  p.io_bandwidth_Bps = 30e6;  // checkpoints funnel through the host Y-MP
+  p.io_latency_s = 0.01;
   return p;
 }
 
@@ -145,6 +163,8 @@ Platform Platform::cray_ymp() {
   p.shared_memory = true;
   // Partitioning orthogonal to the sweep keeps full 250-point vectors.
   p.doall_vector_length = 250;
+  p.io_bandwidth_Bps = 200e6;  // the Y-MP I/O subsystem (IOS + SSD)
+  p.io_latency_s = 0.002;
   return p;
 }
 
@@ -173,6 +193,8 @@ Platform Platform::dash() {
   // roughly one line per halo point per live array.
   p.numa_remote_miss_s = 3e-6;
   p.numa_halo_lines_per_point = 20;
+  p.io_bandwidth_Bps = 4e6;  // local SCSI on the cluster node
+  p.io_latency_s = 0.03;
   return p;
 }
 

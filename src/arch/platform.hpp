@@ -74,6 +74,17 @@ struct Platform {
   /// feasibility ablation.
   double link_bandwidth_override_bps = 0;
 
+  /// Stable-storage path of the machine: the bandwidth a coordinated
+  /// checkpoint write (gathered state -> disk/file server) sustains,
+  /// and the fixed per-write latency (open/sync/protocol). The fault
+  /// layer derives checkpoint cost from these and the grid size instead
+  /// of a flat per-spec constant, so the same crash spec prices
+  /// differently on NFS-over-Ethernet workstations than on the Y-MP's
+  /// I/O subsystem — one cost model for compute, communication, and
+  /// recovery overheads alike.
+  double io_bandwidth_Bps = 4e6;
+  double io_latency_s = 0.05;
+
   /// Instantiates this platform's interconnect for `nodes` ranks.
   std::unique_ptr<NetworkModel> make_network(sim::Simulator& s, int nodes) const;
 

@@ -73,9 +73,12 @@ void run_replay(const Scenario& s, RunResult* out) {
   //      horizon the window schedule must cover;
   //   2. per live-processor-count replays through the fault injector
   //      price a step with link faults (drops, corruption, degrade,
-  //      stragglers) folded in;
-  //   3. the recovery timeline model walks crashes, checkpoints,
-  //      detection, and re-decomposition over those step prices.
+  //      stragglers, wire-priced heartbeat traffic) folded in;
+  //   3. the recovery lifetime walk runs crashes, wire-observed
+  //      heartbeat detection, checkpoints (priced on the platform's
+  //      I/O path unless the spec overrides), and re-decomposition as
+  //      discrete events over those step prices, with the analytic
+  //      timeline kept as a cross-check metric.
   // Everything is a pure function of (scenario axes, derived seed), so
   // a 1-thread and an N-thread engine produce identical bits.
   const perf::AppModel app = s.app_model();
@@ -112,10 +115,19 @@ void run_replay(const Scenario& s, RunResult* out) {
   in.steps = app.steps;
   in.nprocs = procs;
   in.decomposition_min_procs = 1;
+  in.checkpoint_cost_s =
+      fault::platform_checkpoint_cost_s(plat, app.ni, app.nj);
   in.step_time_s = [&](int p) {
     return faulty(p).exec_time / std::max(1, app.steps);
   };
-  const auto tl = fault::simulate_timeline(spec, in, seed);
+  // The DES lifetime walk is the primary model whenever crashes are in
+  // play (detection latency is then an observed, wire-priced quantity);
+  // the analytic walk rides along as a cross-check metric. Without a
+  // crash rate the two coincide and the analytic walk is exact.
+  const auto analytic = fault::simulate_timeline(spec, in, seed);
+  const bool crashes = spec.crash_rate_per_hour > 0;
+  const auto tl = crashes ? fault::simulate_timeline_des(spec, in, plat, seed)
+                          : analytic;
   stats.merge(tl.stats);
 
   out->platform = at_launch.platform;
@@ -125,6 +137,10 @@ void run_replay(const Scenario& s, RunResult* out) {
   out->set("fault_free_s", baseline.exec_time);
   out->set("fault_completed", tl.completed ? 1 : 0);
   out->set("fault_final_procs", tl.final_procs);
+  if (crashes) {
+    // Analytic cross-check (closed-form stalls, worst-case detection).
+    out->set("fault_model_s", analytic.time_to_solution_s);
+  }
   set_fault_metrics(*out, stats);
 }
 

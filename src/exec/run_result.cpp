@@ -169,6 +169,7 @@ void set_fault_metrics(RunResult& out, const fault::FaultStats& st) {
   out.set("fault_degrade_windows", static_cast<double>(st.degrade_windows));
   out.set("fault_straggler_windows",
           static_cast<double>(st.straggler_windows));
+  out.set("fault_heartbeats", static_cast<double>(st.heartbeats));
   out.set("fault_detections", static_cast<double>(st.detections));
   out.set("fault_checkpoints", static_cast<double>(st.checkpoints));
   out.set("fault_restarts", static_cast<double>(st.restarts));

@@ -1,6 +1,7 @@
 #include "fault/detect.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "check/check.hpp"
@@ -32,6 +33,65 @@ std::vector<int> CrashDetector::suspects(double t) const {
     if (suspected(n, t)) out.push_back(n);
   }
   return out;
+}
+
+// --------------------------------------------------------- HeartbeatRing
+
+HeartbeatRing::HeartbeatRing(sim::Simulator& sim, arch::NetworkModel& net,
+                             int nodes, double period_s, int misses,
+                             int bytes)
+    : sim_(sim),
+      net_(net),
+      nodes_(nodes),
+      period_s_(period_s),
+      misses_(misses),
+      bytes_(static_cast<std::size_t>(bytes)),
+      detector_(nodes, period_s, misses),
+      alive_(static_cast<std::size_t>(nodes), true),
+      fired_(static_cast<std::size_t>(nodes), false) {
+  NSP_CHECK(nodes >= 2 && bytes > 0, "fault.hbring.config");
+}
+
+void HeartbeatRing::start() {
+  running_ = true;
+  const double t0 = sim_.now();
+  // The suspicion threshold is a strict >; nudge the check past it.
+  const double check_after = period_s_ * misses_ + period_s_ * 1e-6;
+  for (int n = 0; n < nodes_; ++n) {
+    detector_.beat(n, t0);
+    // Initial check covers a node that crashes before its first beat
+    // ever arrives (no arrival means no arrival-scheduled check).
+    sim_.after(check_after, [this, n] { check(n); });
+    sim_.after(period_s_ * n / nodes_, [this, n] { send_beat(n); });
+  }
+}
+
+void HeartbeatRing::crash(int node) {
+  alive_.at(static_cast<std::size_t>(node)) = false;
+}
+
+void HeartbeatRing::stop() { running_ = false; }
+
+void HeartbeatRing::send_beat(int node) {
+  if (!running_ || !alive_[static_cast<std::size_t>(node)]) return;
+  ++beats_;
+  net_.transmit(node, (node + 1) % nodes_, bytes_,
+                [this, node] { arrived(node); });
+  sim_.after(period_s_, [this, node] { send_beat(node); });
+}
+
+void HeartbeatRing::arrived(int node) {
+  if (!running_) return;
+  detector_.beat(node, sim_.now());
+  sim_.after(period_s_ * misses_ + period_s_ * 1e-6,
+             [this, node] { check(node); });
+}
+
+void HeartbeatRing::check(int node) {
+  if (!running_ || fired_[static_cast<std::size_t>(node)]) return;
+  if (!detector_.suspected(node, sim_.now())) return;
+  fired_[static_cast<std::size_t>(node)] = true;
+  if (on_suspect_) on_suspect_(node, sim_.now());
 }
 
 // -------------------------------------------------------------- DropPlan
@@ -92,17 +152,31 @@ bool ReliableLink::send(int dst, int tag, std::span<const double> data) {
   for (int attempt = 0; attempt <= max_retries_; ++attempt) {
     if (attempt > 0) ++stats_.retransmits;
     comm_->send(dst, kDataBase + tag, frame);
-    const double timeout = rto_s_ * std::ldexp(1.0, attempt);
+    // One absolute deadline per attempt: every ack we inspect spends
+    // the *remaining* budget, so a peer flooding stale or malformed
+    // acks cannot stretch the RTO window — attempt k waits exactly
+    // rto_s * 2^k regardless of mailbox noise.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(rto_s_ * std::ldexp(1.0, attempt)));
     while (true) {
-      auto ack = comm_->recv_for(timeout, dst, kAckBase + tag);
-      if (!ack) break;  // timed out: retransmit with backoff
-      if (!ack->data.empty() &&
-          static_cast<std::uint64_t>(ack->data[0]) == seq) {
+      auto ack = comm_->recv_until(deadline, dst, kAckBase + tag);
+      if (!ack) break;  // deadline passed: retransmit with backoff
+      if (ack->data.empty()) {
+        ++stats_.rejected;  // malformed (empty) ack frame: discard
+        continue;
+      }
+      if (static_cast<std::uint64_t>(ack->data[0]) == seq) {
         ++stats_.acked;
         // Drain straggler acks of this seq (a duplicate data message
         // the receiver re-acked) so nothing is left in the mailbox.
         while (auto extra = comm_->try_recv(dst, kAckBase + tag)) {
-          if (static_cast<std::uint64_t>(extra->data.at(0)) > seq) {
+          if (extra->data.empty()) {
+            ++stats_.rejected;  // malformed: consume, keep draining
+            continue;
+          }
+          if (static_cast<std::uint64_t>(extra->data[0]) > seq) {
             // An ack from a future flow cannot exist (send is
             // blocking per (dst, tag)); treat defensively as consumed.
             break;
@@ -110,8 +184,8 @@ bool ReliableLink::send(int dst, int tag, std::span<const double> data) {
         }
         return true;
       }
-      // A stale ack for an earlier seq: ignore it, keep waiting out
-      // the same timeout window (good enough for a bounded protocol).
+      // A stale ack for an earlier seq: ignore it; the attempt's
+      // deadline keeps ticking.
     }
   }
   ++stats_.failures;

@@ -16,12 +16,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "arch/network.hpp"
 #include "fault/fault.hpp"
 #include "mp/comm.hpp"
 
@@ -49,6 +51,61 @@ class CrashDetector {
   double period_s_;
   int misses_;
   std::vector<double> last_beat_;
+};
+
+/// Wire-priced heartbeat traffic inside the DES. Every live node
+/// periodically transmits a small heartbeat frame to its ring successor
+/// through the platform NetworkModel; *arrivals* (not sends) feed a
+/// CrashDetector, so detection latency includes whatever the fabric
+/// charges for the beat — a shared Ethernet detects the same crash
+/// later than the T3D torus. Beats are staggered (node n's first beat
+/// at n*period/nodes) so a shared medium is not hit by synchronized
+/// bursts; everything is scheduled through the one Simulator, so the
+/// timeline stays bit-reproducible.
+class HeartbeatRing {
+ public:
+  /// Called at most once per node, at the simulated detection time.
+  using SuspectFn = std::function<void(int node, double t)>;
+
+  HeartbeatRing(sim::Simulator& sim, arch::NetworkModel& net, int nodes,
+                double period_s, int misses, int bytes);
+
+  /// Registers the suspicion callback. Call before start().
+  void on_suspect(SuspectFn fn) { on_suspect_ = std::move(fn); }
+
+  /// Begins beating at the current simulated time. Launch counts as a
+  /// beat for every node, so nobody is suspected before its first
+  /// frame has had a chance to cross the wire.
+  void start();
+
+  /// Fail-stop at the current simulated time: `node` never beats
+  /// again. Frames already in flight still arrive.
+  void crash(int node);
+
+  /// Ends the protocol: pending beat/check events become no-ops, so
+  /// Simulator::run() drains and terminates.
+  void stop();
+
+  const CrashDetector& detector() const { return detector_; }
+  std::uint64_t beats_sent() const { return beats_; }
+
+ private:
+  void send_beat(int node);
+  void arrived(int node);
+  void check(int node);
+
+  sim::Simulator& sim_;
+  arch::NetworkModel& net_;
+  int nodes_;
+  double period_s_;
+  int misses_;
+  std::size_t bytes_;
+  CrashDetector detector_;
+  SuspectFn on_suspect_;
+  std::vector<bool> alive_;
+  std::vector<bool> fired_;
+  bool running_ = false;
+  std::uint64_t beats_ = 0;
 };
 
 /// Deterministic delivery-fault plan for mp::Cluster: drops (or

@@ -63,10 +63,11 @@ std::string FaultSpec::str() const {
   put(os, "straggle_x", straggler_factor, 3);
   put(os, "hb", heartbeat_period_s, 1.0);
   put(os, "hb_miss", heartbeat_misses, 3);
+  put(os, "hb_bytes", heartbeat_bytes, 64);
   put(os, "rto", rto_s, 50e-3);
   put(os, "retries", max_retries, 10);
   put(os, "ckpt", checkpoint_interval_steps, 0);
-  put(os, "ckpt_s", checkpoint_cost_s, 1.0);
+  put(os, "ckpt_s", checkpoint_cost_s, 0);
   put(os, "restart_s", restart_cost_s, 5.0);
   put(os, "min_procs", min_procs, 1);
   if (os.tellp() == 0) return "on";  // enabled but all defaults
@@ -104,6 +105,7 @@ FaultSpec FaultSpec::parse(const std::string& spec) {
     else if (key == "straggle_x") out.straggler_factor = v;
     else if (key == "hb") out.heartbeat_period_s = v;
     else if (key == "hb_miss") out.heartbeat_misses = static_cast<int>(v);
+    else if (key == "hb_bytes") out.heartbeat_bytes = static_cast<int>(v);
     else if (key == "rto") out.rto_s = v;
     else if (key == "retries") out.max_retries = static_cast<int>(v);
     else if (key == "ckpt") out.checkpoint_interval_steps = static_cast<int>(v);
@@ -215,6 +217,7 @@ void FaultStats::merge(const FaultStats& other) {
   give_ups += other.give_ups;
   degrade_windows += other.degrade_windows;
   straggler_windows += other.straggler_windows;
+  heartbeats += other.heartbeats;
   detections += other.detections;
   checkpoints += other.checkpoints;
   restarts += other.restarts;

@@ -16,11 +16,14 @@
 //   injector.hpp  DES-side injection: a NetworkModel decorator that
 //                 drops/corrupts/delays messages with bounded
 //                 retransmission, plus straggler compute dilation
-//   detect.hpp    failure detection: logical-time heartbeat crash
-//                 detector and a reliable (ack + retry + backoff)
-//                 channel over mp::Comm
-//   recovery.hpp  checkpoint/restart: the analytic crash/recovery
-//                 timeline model and the live re-decomposition driver
+//   detect.hpp    failure detection: the heartbeat crash detector, a
+//                 wire-priced heartbeat ring over arch::NetworkModel,
+//                 and a reliable (ack + retry + backoff) channel over
+//                 mp::Comm
+//   recovery.hpp  checkpoint/restart: the DES crash/recovery lifetime
+//                 walk (simulate_timeline_des), the analytic timeline
+//                 cross-check, platform-derived checkpoint cost, and
+//                 the detector-driven live re-decomposition driver
 //                 over par::SubdomainSolver + io::snapshot
 #pragma once
 
@@ -72,16 +75,24 @@ struct FaultSpec {
   // ---- detection -------------------------------------------------------
   double heartbeat_period_s = 1.0; ///< beat interval of the crash detector
   int heartbeat_misses = 3;        ///< missed beats before suspicion
+  int heartbeat_bytes = 64;        ///< wire size of one heartbeat frame
   double rto_s = 50e-3;            ///< initial retransmit timeout
   int max_retries = 10;            ///< bounded retransmission
 
   // ---- recovery --------------------------------------------------------
   int checkpoint_interval_steps = 0; ///< 0 = no checkpointing
-  double checkpoint_cost_s = 1.0;    ///< coordinated checkpoint, per write
+  /// Coordinated checkpoint cost per write. 0 (the default) means
+  /// "derive from the platform": gathered state bytes over the
+  /// platform's io_bandwidth_Bps plus io_latency_s (see
+  /// fault::platform_checkpoint_cost_s). A positive value is a flat
+  /// override for model studies that want the knob.
+  double checkpoint_cost_s = 0;
   double restart_cost_s = 5.0;       ///< reload + re-decompose + respawn
   int min_procs = 1;                 ///< below this the run is abandoned
 
-  /// Crash-detection latency of the heartbeat detector.
+  /// Worst-case crash-detection latency of the heartbeat detector in
+  /// logical time (period x misses). The DES observes the *actual*
+  /// latency, which adds the wire cost of the surviving beats.
   double detect_latency_s() const {
     return heartbeat_period_s * heartbeat_misses;
   }
@@ -94,8 +105,8 @@ struct FaultSpec {
   /// Parses the str() form (the CLI's --faults argument). Unknown keys
   /// throw std::invalid_argument. An empty spec parses to a disabled
   /// FaultSpec. Keys: crash, drop, corrupt, degrade, degrade_s,
-  /// degrade_x, straggle, straggle_s, straggle_x, hb, hb_miss, rto,
-  /// retries, ckpt, ckpt_s, restart_s, min_procs.
+  /// degrade_x, straggle, straggle_s, straggle_x, hb, hb_miss,
+  /// hb_bytes, rto, retries, ckpt, ckpt_s, restart_s, min_procs.
   static FaultSpec parse(const std::string& spec);
 };
 
@@ -141,6 +152,7 @@ struct FaultStats {
   std::uint64_t give_ups = 0; ///< retransmission budget exhausted
   std::uint64_t degrade_windows = 0;
   std::uint64_t straggler_windows = 0;
+  std::uint64_t heartbeats = 0; ///< beats priced on the wire
   std::uint64_t detections = 0;
   std::uint64_t checkpoints = 0;
   std::uint64_t restarts = 0;

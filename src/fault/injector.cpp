@@ -18,6 +18,18 @@ Injector::Injector(const FaultSpec& spec, int nprocs, double horizon_s,
   }
 }
 
+Injector::Injector(const FaultSpec& spec, FaultSchedule schedule,
+                   std::uint64_t seed)
+    : spec_(spec),
+      schedule_(std::move(schedule)),
+      msg_rng_(sim::Rng::stream(seed, "fault.msg")) {
+  for (const FaultEvent& e : schedule_.events) {
+    if (e.kind == FaultKind::LinkDegrade) ++stats_.degrade_windows;
+    if (e.kind == FaultKind::Straggler) ++stats_.straggler_windows;
+    stats_.record(e.kind, e.time, e.node);
+  }
+}
+
 std::unique_ptr<arch::NetworkModel> Injector::wrap(
     sim::Simulator& sim, std::unique_ptr<arch::NetworkModel> inner) {
   return std::make_unique<FaultyNetwork>(sim, *this, std::move(inner));
@@ -30,8 +42,15 @@ FaultyNetwork::FaultyNetwork(sim::Simulator& s, Injector& inj,
 void FaultyNetwork::transmit(int src, int dst, std::size_t bytes,
                              std::function<void()> delivered) {
   count(bytes);
-  // Fabric degrade window: hold the injection for the extra
-  // serialization time the slowed link would have cost.
+  attempt(src, dst, bytes, 0, std::move(delivered));
+}
+
+void FaultyNetwork::launch(int src, int dst, std::size_t bytes,
+                           std::function<void()> delivered) {
+  // Degrade windows are priced per wire touch: this attempt consults
+  // the schedule at its own injection time, so a retransmission that
+  // backs off into (or out of) a window pays what the fabric charges
+  // *then*, not what it charged when the first attempt was injected.
   const double degrade = inj_.schedule_.degrade_factor(sim_.now());
   if (degrade > 1.0) {
     const double bw = inner_->link_bandwidth_Bps();
@@ -39,11 +58,11 @@ void FaultyNetwork::transmit(int src, int dst, std::size_t bytes,
         bw > 0 ? (degrade - 1.0) * static_cast<double>(bytes) / bw : 0.0;
     sim_.after(hold, [this, src, dst, bytes,
                       delivered = std::move(delivered)]() mutable {
-      attempt(src, dst, bytes, 0, std::move(delivered));
+      inner_->transmit(src, dst, bytes, std::move(delivered));
     });
     return;
   }
-  attempt(src, dst, bytes, 0, std::move(delivered));
+  inner_->transmit(src, dst, bytes, std::move(delivered));
 }
 
 void FaultyNetwork::attempt(int src, int dst, std::size_t bytes, int tries,
@@ -75,16 +94,14 @@ void FaultyNetwork::attempt(int src, int dst, std::size_t bytes, int tries,
     ++stats.retransmits;
     stats.record(FaultKind::MsgCorrupt, now, src);
     const double rto = spec.rto_s * static_cast<double>(1u << std::min(tries, 20));
-    inner_->transmit(src, dst, bytes,
-                     [this, src, dst, bytes, tries, rto,
-                      delivered = std::move(delivered)]() mutable {
-                       sim_.after(rto, [this, src, dst, bytes, tries,
-                                        delivered =
-                                            std::move(delivered)]() mutable {
-                         attempt(src, dst, bytes, tries + 1,
-                                 std::move(delivered));
-                       });
-                     });
+    launch(src, dst, bytes,
+           [this, src, dst, bytes, tries, rto,
+            delivered = std::move(delivered)]() mutable {
+             sim_.after(rto, [this, src, dst, bytes, tries,
+                              delivered = std::move(delivered)]() mutable {
+               attempt(src, dst, bytes, tries + 1, std::move(delivered));
+             });
+           });
     return;
   }
   if (!budget_left && u < spec.drop_prob + spec.corrupt_prob) {
@@ -94,7 +111,7 @@ void FaultyNetwork::attempt(int src, int dst, std::size_t bytes, int tries,
     // accounts for that path.)
     ++stats.give_ups;
   }
-  inner_->transmit(src, dst, bytes, std::move(delivered));
+  launch(src, dst, bytes, std::move(delivered));
 }
 
 }  // namespace nsp::fault

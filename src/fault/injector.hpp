@@ -30,6 +30,16 @@ class Injector {
   Injector(const FaultSpec& spec, int nprocs, double horizon_s,
            std::uint64_t seed);
 
+  /// Test entry point: injects an explicit, hand-built window schedule
+  /// instead of drawing one (deterministic degrade/straggler windows
+  /// for regression tests).
+  Injector(const FaultSpec& spec, FaultSchedule schedule,
+           std::uint64_t seed);
+
+  /// Accounts one wire-priced heartbeat frame (perf::replay and the
+  /// recovery DES both report through the injector's stats).
+  void note_heartbeat() { ++stats_.heartbeats; }
+
   /// Wraps `inner` in the fault decorator. `sim` must be the simulator
   /// `inner` was built on.
   std::unique_ptr<arch::NetworkModel> wrap(
@@ -64,8 +74,12 @@ class Injector {
 ///   * corrupt: the payload pays its full transmission time, the
 ///     receiver's checksum rejects it, and the sender retransmits one
 ///     round-trip-timeout later.
-///   * degrade: during a fabric degrade window the injection is held
-///     for the extra serialization time implied by the window's factor.
+///   * degrade: an attempt injected during a fabric degrade window is
+///     held for the extra serialization time implied by the window's
+///     factor. The window is consulted per wire touch, so a
+///     retransmission that backs off into (or out of) a window pays
+///     what the fabric charges at *its* injection time; a dropped
+///     attempt never reaches the wire and pays nothing.
 class FaultyNetwork final : public arch::NetworkModel {
  public:
   FaultyNetwork(sim::Simulator& s, Injector& inj,
@@ -81,6 +95,10 @@ class FaultyNetwork final : public arch::NetworkModel {
  private:
   void attempt(int src, int dst, std::size_t bytes, int tries,
                std::function<void()> delivered);
+  /// Puts one attempt on the wire, pricing any degrade window active at
+  /// the current simulated time.
+  void launch(int src, int dst, std::size_t bytes,
+              std::function<void()> delivered);
 
   Injector& inj_;
   std::unique_ptr<arch::NetworkModel> inner_;

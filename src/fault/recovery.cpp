@@ -4,17 +4,21 @@
 #include <atomic>
 #include <cstdio>
 #include <limits>
+#include <unistd.h>
+
 #include <map>
 #include <mutex>
 #include <stdexcept>
 
 #include "check/check.hpp"
 #include "check/trace.hpp"
+#include "fault/detect.hpp"
 #include "io/snapshot.hpp"
 #include "mp/comm.hpp"
 #include "par/decomposition.hpp"
 #include "par/subdomain_solver.hpp"
 #include "sim/rng.hpp"
+#include "sim/simulator.hpp"
 
 namespace nsp::fault {
 
@@ -45,6 +49,9 @@ TimelineResult simulate_timeline(const FaultSpec& spec,
                                    inputs.decomposition_min_procs);
   const int k = spec.checkpoint_interval_steps;
   const double rate = spec.enabled ? spec.crash_rate_per_hour : 0.0;
+  const double ckpt_cost = spec.checkpoint_cost_s > 0
+                               ? spec.checkpoint_cost_s
+                               : inputs.checkpoint_cost_s;
 
   sim::Rng rng = sim::Rng::stream(seed, "fault.crash");
   int procs = inputs.nprocs;
@@ -61,7 +68,7 @@ TimelineResult simulate_timeline(const FaultSpec& spec,
     double seg_end = t + per_step;
     const bool ckpt_due = k > 0 && (step + 1) % k == 0 &&
                           step + 1 < inputs.steps;
-    if (ckpt_due) seg_end += spec.checkpoint_cost_s;
+    if (ckpt_due) seg_end += ckpt_cost;
 
     if (next_crash < seg_end) {
       // A node dies mid-step (or mid-checkpoint). Everything since the
@@ -88,6 +95,10 @@ TimelineResult simulate_timeline(const FaultSpec& spec,
           next_crash + spec.detect_latency_s() + spec.restart_cost_s;
       out.stats.wasted_work_s += resume - t_durable;
       t = resume;
+      // The durable state is re-materialized at resume time: a second
+      // crash before the next checkpoint wastes only the work since
+      // *this* restart, not the previous crash's stall again.
+      t_durable = resume;
       step = step_durable;
       next_crash = t + rng.exponential(3600.0 / (rate * procs));
       continue;
@@ -97,7 +108,7 @@ TimelineResult simulate_timeline(const FaultSpec& spec,
     step += 1;
     if (ckpt_due) {
       out.stats.checkpoints += 1;
-      out.stats.checkpoint_overhead_s += spec.checkpoint_cost_s;
+      out.stats.checkpoint_overhead_s += ckpt_cost;
       t_durable = t;
       step_durable = step;
     }
@@ -106,6 +117,168 @@ TimelineResult simulate_timeline(const FaultSpec& spec,
   out.completed = true;
   out.time_to_solution_s = t;
   out.final_procs = procs;
+  return out;
+}
+
+double platform_checkpoint_cost_s(const arch::Platform& plat, int ni,
+                                  int nj) {
+  NSP_CHECK(plat.io_bandwidth_Bps > 0, "fault.recovery.io_bandwidth");
+  const double bytes = static_cast<double>(ni) * nj *
+                       core::StateField::kComponents * sizeof(double);
+  return plat.io_latency_s + bytes / plat.io_bandwidth_Bps;
+}
+
+TimelineResult simulate_timeline_des(const FaultSpec& spec,
+                                     const TimelineInputs& inputs,
+                                     const arch::Platform& plat,
+                                     std::uint64_t seed) {
+  if (inputs.steps <= 0 || inputs.nprocs <= 0 || !inputs.step_time_s) {
+    throw std::invalid_argument("simulate_timeline_des: bad inputs");
+  }
+  if (inputs.nprocs < 2) {
+    // One node has no peer to observe its heartbeats; the analytic
+    // walk is exact for that degenerate cluster.
+    return simulate_timeline(spec, inputs, seed);
+  }
+
+  TimelineResult out;
+  std::map<int, double> step_cache;
+  const auto step_time = [&](int procs) {
+    auto it = step_cache.find(procs);
+    if (it == step_cache.end()) {
+      it = step_cache.emplace(procs, inputs.step_time_s(procs)).first;
+    }
+    return it->second;
+  };
+  out.fault_free_s =
+      static_cast<double>(inputs.steps) * step_time(inputs.nprocs);
+
+  const int floor_procs = std::max(spec.min_procs,
+                                   inputs.decomposition_min_procs);
+  const int k = spec.checkpoint_interval_steps;
+  const double rate = spec.enabled ? spec.crash_rate_per_hour : 0.0;
+  const double ckpt_cost = spec.checkpoint_cost_s > 0
+                               ? spec.checkpoint_cost_s
+                               : inputs.checkpoint_cost_s;
+
+  sim::Simulator des;
+  const auto net = plat.make_network(des, inputs.nprocs);
+  HeartbeatRing ring(des, *net, inputs.nprocs, spec.heartbeat_period_s,
+                     spec.heartbeat_misses, spec.heartbeat_bytes);
+  sim::Rng rng = sim::Rng::stream(seed, "fault.crash");
+
+  struct Walk {
+    int procs = 0;
+    int step = 0;
+    double t_durable = 0;
+    int step_durable = 0;
+    double crash_time = 0;
+    bool crash_outstanding = false;
+    bool done = false;
+    double end_time = 0;
+    std::vector<int> live;        ///< live node ids, ascending
+    sim::EventId step_event = 0;
+    bool step_in_flight = false;
+  } w;
+  w.procs = inputs.nprocs;
+  w.live.resize(static_cast<std::size_t>(inputs.nprocs));
+  for (int n = 0; n < inputs.nprocs; ++n) {
+    w.live[static_cast<std::size_t>(n)] = n;
+  }
+
+  std::function<void()> run_step;
+  std::function<void()> on_crash;
+
+  // Same draw order as the analytic walk: one exponential gap before
+  // each crash (aggregate rate procs x per-node rate), one victim
+  // draw at the crash. The two walks therefore see the same crash
+  // timeline and can be compared within a tolerance.
+  const auto schedule_crash = [&]() {
+    if (rate <= 0) return;
+    const double gap = rng.exponential(3600.0 / (rate * w.procs));
+    des.after(gap, [&] { on_crash(); });
+  };
+
+  on_crash = [&]() {
+    if (w.done || w.crash_outstanding) return;
+    const std::size_t idx = static_cast<std::size_t>(
+        rng.below(static_cast<std::uint64_t>(w.procs)));
+    const int victim = w.live.at(idx);
+    w.live.erase(w.live.begin() + static_cast<std::ptrdiff_t>(idx));
+    out.stats.crashes += 1;
+    out.stats.record(FaultKind::NodeCrash, des.now(), victim);
+    ring.crash(victim);
+    w.crash_time = des.now();
+    w.crash_outstanding = true;
+    w.procs -= 1;
+    // The in-flight step (and any checkpoint riding on it) is lost;
+    // the survivors stall until the detector notices the gap.
+    if (w.step_in_flight) {
+      des.cancel(w.step_event);
+      w.step_in_flight = false;
+    }
+  };
+
+  ring.on_suspect([&](int /*node*/, double td) {
+    if (w.done || !w.crash_outstanding) return;
+    w.crash_outstanding = false;
+    out.stats.detections += 1;
+    out.stats.detect_latency_s += td - w.crash_time;
+    if (w.procs < floor_procs) {
+      // Not enough survivors to re-decompose: abandoned at detection.
+      w.done = true;
+      w.end_time = td;
+      out.completed = false;
+      ring.stop();
+      return;
+    }
+    out.stats.restarts += 1;
+    const double resume = td + spec.restart_cost_s;
+    out.stats.wasted_work_s += resume - w.t_durable;
+    w.step = w.step_durable;
+    w.t_durable = resume;
+    des.at(resume, [&] {
+      if (w.done) return;
+      schedule_crash();
+      run_step();
+    });
+  });
+
+  run_step = [&]() {
+    if (w.done) return;
+    if (w.step >= inputs.steps) {
+      w.done = true;
+      w.end_time = des.now();
+      out.completed = true;
+      ring.stop();
+      return;
+    }
+    const bool ckpt_due = k > 0 && (w.step + 1) % k == 0 &&
+                          w.step + 1 < inputs.steps;
+    const double dur = step_time(w.procs) + (ckpt_due ? ckpt_cost : 0.0);
+    w.step_event = des.after(dur, [&, ckpt_due] {
+      w.step_in_flight = false;
+      w.step += 1;
+      if (ckpt_due) {
+        out.stats.checkpoints += 1;
+        out.stats.checkpoint_overhead_s += ckpt_cost;
+        w.t_durable = des.now();
+        w.step_durable = w.step;
+      }
+      run_step();
+    });
+    w.step_in_flight = true;
+  };
+
+  ring.start();
+  schedule_crash();
+  run_step();
+  des.run();
+
+  NSP_CHECK(w.done, "fault.recovery.des_terminated");
+  out.stats.heartbeats = ring.beats_sent();
+  out.time_to_solution_s = w.end_time;
+  out.final_procs = w.procs;
   return out;
 }
 
@@ -129,16 +302,33 @@ std::uint64_t state_hash(const core::StateField& q) {
 
 namespace {
 
-/// One full-segment SPMD run: restore (or initialize), advance, gather.
+// Heartbeat-protocol tags (ReliableLink data/ack bases keep them clear
+// of application traffic; the verdict rides a plain comm tag).
+constexpr int kBeatTag = 901;
+constexpr int kVerdictTag = 902;
+constexpr double kVerdictGo = 0;
+constexpr double kVerdictRecover = 2;
+
+/// One SPMD segment under the heartbeat protocol: restore (or
+/// initialize), then per round every rank beats to rank 0 over a
+/// ReliableLink and advances one step only on rank 0's "go" verdict.
+/// A scripted victim (rank procs-1) simply stops participating after
+/// `crash_after` local steps; rank 0 discovers that through the
+/// CrashDetector over the missing beats — never from the script — and
+/// broadcasts "recover", upon which the survivors abandon the segment
+/// (crashed = true, nothing gathered). A clean segment gathers as
+/// before.
 struct SegmentResult {
   core::StateField state;
   double time = 0;
   int steps = 0;
+  bool crashed = false;
 };
 
 SegmentResult run_segment(const core::SolverConfig& cfg, int procs,
                           const core::StateField* from, double from_time,
-                          int from_steps, int nsteps) {
+                          int from_steps, int nsteps, int crash_after,
+                          const RecoveryOptions& opts) {
   mp::Cluster cluster(procs);
   SegmentResult out;
   std::mutex m;
@@ -149,7 +339,65 @@ SegmentResult run_segment(const core::SolverConfig& cfg, int procs,
     } else {
       s.initialize();
     }
-    s.run(nsteps);
+    const int rank = comm.rank();
+    const bool victim = crash_after >= 0 && rank == procs - 1;
+    ReliableLink link(comm, opts.heartbeat_rto_s, opts.heartbeat_retries);
+    int done = 0;
+
+    if (rank == 0) {
+      // Rank 0 is the observer: it feeds the detector with round
+      // numbers as logical time (one round = one heartbeat period).
+      CrashDetector det(procs, 1.0, opts.heartbeat_misses);
+      int round = 0;
+      while (done < nsteps) {
+        const double t = static_cast<double>(round);
+        det.beat(0, t);
+        std::vector<int> beaters;
+        for (int r = 1; r < procs; ++r) {
+          if (det.suspected(r, t)) continue;  // stop waiting on the dead
+          if (link.recv(r, kBeatTag, opts.heartbeat_timeout_s)) {
+            det.beat(r, t);
+            beaters.push_back(r);
+          }
+        }
+        const bool suspect = !det.suspects(t).empty();
+        const bool all_beat =
+            static_cast<int>(beaters.size()) == procs - 1;
+        // go: everyone beat, step. recover: the detector fired,
+        // abandon. Otherwise hold this round (a beat is missing but
+        // not yet damning) — the survivors idle, exactly like being
+        // blocked in a halo exchange.
+        const double verdict = suspect      ? kVerdictRecover
+                               : all_beat   ? kVerdictGo
+                                            : 1 /*hold*/;
+        for (int r : beaters) {
+          comm.send(r, kVerdictTag, std::span(&verdict, 1));
+        }
+        ++round;
+        if (verdict == kVerdictRecover) {
+          std::lock_guard<std::mutex> lk(m);
+          out.crashed = true;
+          return;
+        }
+        if (verdict == kVerdictGo) {
+          s.step();
+          ++done;
+        }
+      }
+    } else {
+      while (done < nsteps) {
+        if (victim && done == crash_after) return;  // fail-stop
+        const double beat = static_cast<double>(rank);
+        if (!link.send(0, kBeatTag, std::span(&beat, 1))) return;
+        const double verdict = comm.recv(0, kVerdictTag).data.at(0);
+        if (verdict == kVerdictRecover) return;
+        if (verdict == kVerdictGo) {
+          s.step();
+          ++done;
+        }
+      }
+    }
+
     auto gathered = s.gather();
     if (gathered) {
       std::lock_guard<std::mutex> lk(m);
@@ -162,10 +410,13 @@ SegmentResult run_segment(const core::SolverConfig& cfg, int procs,
 }
 
 std::string checkpoint_path(const std::string& dir) {
+  // Unique per (process, call): the restart path reads this file back,
+  // so concurrent drivers — e.g. parallel test runners sharing /tmp —
+  // must never clobber each other's durable state.
   static std::atomic<unsigned> counter{0};
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "/nsp_ckpt_%u.bin",
-                counter.fetch_add(1));
+  std::snprintf(buf, sizeof(buf), "/nsp_ckpt_%ld_%u.bin",
+                static_cast<long>(::getpid()), counter.fetch_add(1));
   return dir + buf;
 }
 
@@ -202,17 +453,23 @@ RecoveryOutcome run_with_recovery(const core::SolverConfig& cfg, int nprocs,
         nsteps, (step / opts.checkpoint_interval + 1) *
                     opts.checkpoint_interval);
     const core::StateField* from = have_ckpt ? &ckpt_state : nullptr;
+    // The crash script only tells the victim when to die; everyone
+    // else finds out through the heartbeat protocol inside the
+    // segment.
+    const int crash_after = crash_pending && opts.crash_step < next_stop
+                                ? opts.crash_step - step
+                                : -1;
 
-    if (crash_pending && opts.crash_step < next_stop) {
-      // The fail-stop hits mid-segment: run honestly up to the crash
-      // point, then throw that work away — it is exactly the work the
-      // survivors must redo from the last checkpoint.
-      const int lost = opts.crash_step - step;
-      if (lost > 0) {
-        run_segment(cfg, procs, from, ckpt_info.time, ckpt_info.steps, lost);
-      }
-      out.wasted_steps += lost;
+    SegmentResult seg =
+        run_segment(cfg, procs, from, ckpt_info.time, ckpt_info.steps,
+                    next_stop - step, crash_after, opts);
+    if (seg.crashed) {
+      // The detector flagged the victim: the survivors' partial work
+      // (everything since the last durable state) is discarded and
+      // recomputed after re-decomposition.
+      out.wasted_steps += crash_after;
       out.restarts += 1;
+      out.detections += 1;
       crash_pending = false;
       procs -= 1;
       if (procs < 1) {
@@ -232,9 +489,6 @@ RecoveryOutcome run_with_recovery(const core::SolverConfig& cfg, int nprocs,
       }
       continue;  // re-decomposed onto the survivors; redo the segment
     }
-
-    SegmentResult seg = run_segment(cfg, procs, from, ckpt_info.time,
-                                    ckpt_info.steps, next_stop - step);
     step = next_stop;
     if (step < nsteps) {
       io::SnapshotInfo info;

@@ -1,19 +1,28 @@
 // Checkpoint/restart recovery.
 //
-// Two halves, one semantics:
+// Three entry points, one semantics:
 //
-//   simulate_timeline()  the *model*: walks a run's lifetime in
-//     simulated time — coordinated checkpoints every k steps, Poisson
-//     node crashes from the dedicated "fault.crash" RNG stream,
+//   simulate_timeline_des()  the *unified model*: walks a run's
+//     lifetime as discrete events on the platform's own interconnect —
+//     heartbeats are real frames through arch::NetworkModel (so
+//     detection latency includes what the wire charges: a shared
+//     Ethernet detects the same crash later than the T3D torus),
+//     crashes interrupt the in-flight step, and detection, restart and
+//     recompute are simulated events. Checkpoint cost comes from the
+//     platform's I/O path unless the spec overrides it.
+//
+//   simulate_timeline()  the *analytic cross-check*: the closed-form
+//     walk — coordinated checkpoints every k steps, Poisson node
+//     crashes from the dedicated "fault.crash" RNG stream, worst-case
 //     heartbeat detection latency, restart cost, re-decomposition onto
-//     the surviving nodes (the per-step time is a caller-supplied
-//     function of the live processor count, so the model composes with
-//     the DES replay's communication curves). Produces time-to-solution
-//     under faults plus wasted-work accounting.
+//     the surviving nodes. Both walks consume the crash stream in the
+//     same draw order, so they see the same crash timeline and agree
+//     within a documented tolerance (see docs/FAULTS.md).
 //
 //   run_with_recovery()  the *mechanism*, live: runs the SPMD
 //     subdomain solver, writes io::snapshot checkpoints every k steps,
-//     injects a fail-stop crash at a chosen step, reloads the last
+//     detects an injected fail-stop crash through ReliableLink
+//     heartbeats feeding the real CrashDetector, reloads the last
 //     checkpoint from disk, re-decomposes onto one fewer rank, and
 //     continues. The final interior state is bit-identical to an
 //     uninterrupted run — state_hash() proves it.
@@ -23,6 +32,7 @@
 #include <functional>
 #include <string>
 
+#include "arch/platform.hpp"
 #include "core/field.hpp"
 #include "core/solver.hpp"
 #include "fault/fault.hpp"
@@ -41,6 +51,10 @@ struct TimelineInputs {
   /// minimum subdomain width); the run is abandoned below
   /// max(spec.min_procs, this).
   int decomposition_min_procs = 1;
+  /// Coordinated checkpoint cost used when spec.checkpoint_cost_s is 0
+  /// (the "derive it" default). Callers with a platform resolve this
+  /// via platform_checkpoint_cost_s(); direct model studies can set it.
+  double checkpoint_cost_s = 1.0;
 };
 
 /// Outcome of the timeline walk.
@@ -60,13 +74,42 @@ TimelineResult simulate_timeline(const FaultSpec& spec,
                                  const TimelineInputs& inputs,
                                  std::uint64_t seed);
 
+/// The unified DES walk: same crash stream and draw order as
+/// simulate_timeline, but detection happens when a HeartbeatRing over
+/// `plat`'s interconnect actually observes the heartbeat gap — so
+/// stats.detect_latency_s is the *observed* latency (wire cost
+/// included) rather than the worst-case period x misses, and
+/// time-to-solution moves with it. With a one-node launch there is
+/// nobody to observe heartbeats; the analytic walk is exact there and
+/// is returned instead. stats.heartbeats counts the beats priced on
+/// the wire.
+TimelineResult simulate_timeline_des(const FaultSpec& spec,
+                                     const TimelineInputs& inputs,
+                                     const arch::Platform& plat,
+                                     std::uint64_t seed);
+
+/// Coordinated checkpoint cost on `plat`'s stable-storage path: the
+/// gathered state (ni x nj x components doubles) over io_bandwidth_Bps
+/// plus the fixed io_latency_s.
+double platform_checkpoint_cost_s(const arch::Platform& plat, int ni,
+                                  int nj);
+
 /// Options of the live checkpoint/restart driver.
 struct RecoveryOptions {
   int checkpoint_interval = 50; ///< steps between coordinated checkpoints
   std::string dir = "/tmp";     ///< where snapshot files are written
   /// Fail-stop crash injected after this many global steps (-1 = none).
+  /// This only scripts the *failure*; the survivors find out about it
+  /// through the heartbeat protocol, never from this option.
   int crash_step = -1;
   bool keep_files = false; ///< leave the snapshot files behind
+
+  // Heartbeat protocol (ReliableLink beats to rank 0, round-indexed
+  // logical time into the real CrashDetector).
+  int heartbeat_misses = 2;        ///< missed rounds before suspicion
+  double heartbeat_timeout_s = 0.05; ///< per-round wait for one beat
+  double heartbeat_rto_s = 0.02;   ///< ReliableLink retransmit timeout
+  int heartbeat_retries = 3;       ///< ReliableLink retry budget
 };
 
 /// Outcome of a live recovered run.
@@ -74,17 +117,22 @@ struct RecoveryOutcome {
   core::StateField final_state; ///< gathered global interior state
   int checkpoints = 0;          ///< snapshots written
   int restarts = 0;             ///< recoveries performed
+  int detections = 0;           ///< crashes the detector flagged
   int wasted_steps = 0;         ///< steps recomputed after the crash
   int final_procs = 0;          ///< ranks after re-decomposition
   std::uint64_t state_hash = 0; ///< state_hash(final_state)
 };
 
 /// Runs `nsteps` of the global problem on `nprocs` ranks with
-/// checkpoint/restart. On the injected crash the driver discards the
-/// in-flight segment (that work is *recomputed* — counted in
-/// wasted_steps), reloads the last io::snapshot from disk, re-decomposes
-/// onto nprocs-1 ranks, and continues to completion. Throws
-/// std::runtime_error if a checkpoint cannot be written or read back.
+/// checkpoint/restart. Every round, each rank beats to rank 0 over a
+/// ReliableLink and steps only on rank 0's "go" verdict; a crashed
+/// rank's missing beats are what the CrashDetector sees, and its
+/// suspicion — not the crash script — triggers recovery. The driver
+/// then discards the in-flight segment (that work is *recomputed* —
+/// counted in wasted_steps), reloads the last io::snapshot from disk,
+/// re-decomposes onto nprocs-1 ranks, and continues to completion.
+/// Throws std::runtime_error if a checkpoint cannot be written or read
+/// back.
 RecoveryOutcome run_with_recovery(const core::SolverConfig& cfg, int nprocs,
                                   int nsteps, const RecoveryOptions& opts);
 

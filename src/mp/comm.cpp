@@ -63,6 +63,17 @@ std::optional<Message> Comm::recv_for(double timeout_s, int src, int tag) {
   return m;
 }
 
+std::optional<Message> Comm::recv_until(
+    std::chrono::steady_clock::time_point deadline, int src, int tag) {
+  auto m = cluster_->match_until(rank_, src, tag, deadline);
+  if (m) {
+    ++counters_.recvs;
+    counters_.bytes_received +=
+        static_cast<double>(m->data.size() * sizeof(double));
+  }
+  return m;
+}
+
 void Comm::barrier() {
   std::unique_lock<std::mutex> lk(cluster_->bar_m_);
   const std::uint64_t gen = cluster_->bar_generation_;
@@ -218,6 +229,16 @@ std::optional<Message> Cluster::match(int dst, int src, int tag, bool block) {
 
 std::optional<Message> Cluster::match_for(int dst, int src, int tag,
                                           double timeout_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(std::max(0.0, timeout_s)));
+  return match_until(dst, src, tag, deadline);
+}
+
+std::optional<Message> Cluster::match_until(
+    int dst, int src, int tag,
+    std::chrono::steady_clock::time_point deadline) {
   Mailbox& box = boxes_.at(dst);
   std::unique_lock<std::mutex> lk(box.m);
   const auto find = [&]() -> std::deque<Message>::iterator {
@@ -230,10 +251,6 @@ std::optional<Message> Cluster::match_for(int dst, int src, int tag,
   };
   auto it = find();
   if (it == box.queue.end()) {
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-            std::chrono::duration<double>(std::max(0.0, timeout_s)));
     const bool got = box.cv.wait_until(lk, deadline, [&] {
       it = find();
       return it != box.queue.end();

@@ -9,6 +9,7 @@
 // paper's Table 1 quantities.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -74,6 +75,15 @@ class Comm {
   /// (fault/detect.hpp).
   std::optional<Message> recv_for(double timeout_s, int src = kAny,
                                   int tag = kAny);
+
+  /// Blocking receive with an *absolute* deadline: repeated calls
+  /// against the same deadline share one timeout budget, so a chatty
+  /// peer delivering unwanted messages cannot stretch the window the
+  /// way per-call recv_for timeouts can (fault::ReliableLink's
+  /// retransmission attempts are built on this).
+  std::optional<Message> recv_until(
+      std::chrono::steady_clock::time_point deadline, int src = kAny,
+      int tag = kAny);
 
   /// Synchronizes all ranks of the cluster.
   void barrier();
@@ -150,6 +160,9 @@ class Cluster {
   std::optional<Message> match(int dst, int src, int tag, bool block);
   std::optional<Message> match_for(int dst, int src, int tag,
                                    double timeout_s);
+  std::optional<Message> match_until(
+      int dst, int src, int tag,
+      std::chrono::steady_clock::time_point deadline);
 
   int size_;
   std::vector<Mailbox> boxes_;

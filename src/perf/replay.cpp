@@ -95,6 +95,17 @@ class Engine {
 
   ReplayResult run() {
     for (auto& r : ranks_) begin_phase(r);
+    // Crash specs run a heartbeat ring through the same network model,
+    // so detector traffic contends with the halo exchanges (staggered
+    // first beats keep a shared medium from seeing synchronized
+    // bursts). The chain stops once every rank has finished.
+    if (injector_ && injector_->spec().crash_rate_per_hour > 0 &&
+        nprocs_ >= 2) {
+      const double period = injector_->spec().heartbeat_period_s;
+      for (int n = 0; n < nprocs_; ++n) {
+        sim_.after(period * n / nprocs_, [this, n] { beat(n); });
+      }
+    }
     sim_.run();
     ReplayResult res;
     res.platform = plat_.name;
@@ -302,11 +313,22 @@ class Engine {
       ++r.step;
       if (r.step >= sim_steps_) {
         r.done = true;
+        ++done_ranks_;
         r.stats.finish = sim_.now();
         return;
       }
     }
     begin_phase(r);
+  }
+
+  void beat(int n) {
+    if (done_ranks_ >= nprocs_) return;  // run over: the ring winds down
+    injector_->note_heartbeat();
+    net_->transmit(
+        n, (n + 1) % nprocs_,
+        static_cast<std::size_t>(injector_->spec().heartbeat_bytes), [] {});
+    sim_.after(injector_->spec().heartbeat_period_s,
+               [this, n] { beat(n); });
   }
 
   void on_arrival(int dst, long key, std::size_t /*bytes*/) {
@@ -329,6 +351,7 @@ class Engine {
   sim::Simulator sim_;
   std::unique_ptr<arch::NetworkModel> net_;
   std::vector<Rank> ranks_;
+  int done_ranks_ = 0;
 };
 
 }  // namespace

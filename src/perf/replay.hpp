@@ -48,9 +48,14 @@ struct ReplayOptions {
   /// Optional fault injection: the network model is wrapped in the
   /// injector's decorator (drops/corruption/degrade windows with
   /// retransmission) and compute segments are dilated through straggler
-  /// windows. The injector must outlive the replay; its FaultStats
-  /// accumulate the injected timeline. Null = fault-free, byte-identical
-  /// to a build without the fault subsystem.
+  /// windows. When the spec carries a crash rate, each rank additionally
+  /// beats a heartbeat frame to its ring successor every
+  /// heartbeat_period_s *through the same network model*, so detector
+  /// traffic contends with halo exchanges and is priced like any other
+  /// message (stats().heartbeats counts the beats). The injector must
+  /// outlive the replay; its FaultStats accumulate the injected
+  /// timeline. Null = fault-free, byte-identical to a build without the
+  /// fault subsystem.
   fault::Injector* injector = nullptr;
 };
 

@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <memory>
+#include <span>
+#include <thread>
 #include <vector>
 
 #include "arch/network.hpp"
@@ -48,6 +51,19 @@ TEST(FaultSpec, EnabledAllDefaultsRoundTrips) {
   s.enabled = true;
   EXPECT_EQ(s.str(), "on");
   EXPECT_EQ(FaultSpec::parse("on"), s);
+}
+
+TEST(FaultSpec, HeartbeatBytesAndCheckpointCostRoundTrip) {
+  FaultSpec s = FaultSpec::parse("hb_bytes=128,ckpt_s=2.5");
+  EXPECT_TRUE(s.enabled);
+  EXPECT_EQ(s.heartbeat_bytes, 128);
+  EXPECT_DOUBLE_EQ(s.checkpoint_cost_s, 2.5);
+  EXPECT_EQ(s.str(), "hb_bytes=128,ckpt_s=2.5");
+  EXPECT_EQ(FaultSpec::parse(s.str()), s);
+  // ckpt_s defaults to 0 = "derive the cost from the platform's I/O
+  // path"; the default is omitted from the canonical form.
+  EXPECT_DOUBLE_EQ(FaultSpec::parse("on").checkpoint_cost_s, 0.0);
+  EXPECT_EQ(FaultSpec::parse("on").str(), "on");
 }
 
 TEST(FaultSpec, UnknownKeyThrows) {
@@ -158,6 +174,39 @@ TEST(Injector, GiveUpForcesDeliveryAfterBudget) {
   EXPECT_EQ(inj.stats().drops, 3u);  // attempts 0..2; attempt 3 forced
 }
 
+/// Delivery time of one message whose only wire touch is the forced
+/// retry: attempt 0 (t = 0) is dropped before the wire, the retry goes
+/// out at t = rto — inside the degrade window when one is scheduled.
+double degraded_retry_delivery(bool window) {
+  sim::Simulator sim;
+  FaultSpec spec = FaultSpec::parse("drop=1,retries=1,rto=0.1");
+  FaultSchedule sched;
+  if (window) {
+    sched.events.push_back(
+        {FaultKind::LinkDegrade, /*time=*/0.05, /*node=*/-1,
+         /*duration=*/1.0, /*factor=*/10.0});
+  }
+  Injector inj(spec, std::move(sched), 5);
+  auto net = inj.wrap(sim, std::make_unique<arch::EthernetBus>(sim));
+  double delivered_at = -1;
+  net->transmit(0, 1, 125000, [&] { delivered_at = sim.now(); });
+  sim.run();
+  return delivered_at;
+}
+
+TEST(Injector, DegradeWindowPricesEveryWireTouch) {
+  // The window opens at t=0.05, after the first (dropped) attempt was
+  // injected but before the retry touches the wire at t=0.1. Sampling
+  // the degrade factor only at the first attempt would let the retry
+  // cross a degraded fabric at full speed.
+  const double clean = degraded_retry_delivery(false);
+  const double slowed = degraded_retry_delivery(true);
+  EXPECT_GT(clean, 0.1);  // the rto elapsed before any wire touch
+  // The retry pays the window's surcharge: (10-1) x 125 kB at the
+  // Ethernet's ~1.25 MB/s is ~0.9 s of extra serialization.
+  EXPECT_GT(slowed, clean + 0.5);
+}
+
 // ---- Replay integration ------------------------------------------------
 
 TEST(Injector, FaultyReplayIsDeterministicAndSlower) {
@@ -185,6 +234,31 @@ TEST(Injector, FaultyReplayIsDeterministicAndSlower) {
   EXPECT_EQ(a.first, b.first);  // bit-identical, not just close
   EXPECT_EQ(a.second, b.second);
   EXPECT_GT(a.first, clean.exec_time);
+}
+
+TEST(Injector, ReplayBeatsHeartbeatsOnlyUnderACrashSpec) {
+  const auto app = exec::Scenario::jet250x100()
+                       .platform("lace-ethernet")
+                       .threads(8)
+                       .app_model();
+  const auto plat = exec::Scenario::jet250x100()
+                        .platform("lace-ethernet")
+                        .platform_model();
+  perf::ReplayOptions opts;
+  opts.sim_steps = 40;
+  // A crash-bearing spec makes every rank beat its ring successor
+  // through the platform network, so detector traffic is wire-priced.
+  FaultSpec crashy = FaultSpec::parse("crash=2");
+  Injector with(crashy, 8, 2e4, 21);
+  opts.injector = &with;
+  perf::replay(app, plat, 8, opts);
+  EXPECT_GT(with.stats().heartbeats, 0u);
+  // Message faults alone run no detector: no beats, no wire cost.
+  FaultSpec droppy = FaultSpec::parse("drop=0.02");
+  Injector without(droppy, 8, 2e4, 21);
+  opts.injector = &without;
+  perf::replay(app, plat, 8, opts);
+  EXPECT_EQ(without.stats().heartbeats, 0u);
 }
 
 // ---- CrashDetector -----------------------------------------------------
@@ -275,6 +349,63 @@ TEST(ReliableLink, GivesUpWhenBudgetExhausted) {
   EXPECT_FALSE(result);
 }
 
+TEST(ReliableLink, StaleAckFloodCannotStretchTheRtoWindow) {
+  // Rank 1 never runs the protocol: it floods stale acks (wrong seq)
+  // at 10 ms intervals for ~0.6 s. Each send attempt owns one absolute
+  // deadline, so the send must exhaust its 30+60+120 ms budget and
+  // fail long before the flood ends — restarting the timeout on every
+  // inspected ack would keep the first attempt alive for the duration.
+  mp::Cluster cluster(2);
+  bool ok = true;
+  double waited = 0;
+  cluster.run([&](mp::Comm& c) {
+    if (c.rank() == 0) {
+      ReliableLink link(c, /*rto_s=*/0.03, /*max_retries=*/2);
+      const double v = 1.0;
+      const auto t0 = std::chrono::steady_clock::now();
+      ok = link.send(1, 4, std::span(&v, 1));
+      waited = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count();
+    } else {
+      const std::vector<double> stale{999.0};
+      for (int k = 0; k < 60; ++k) {
+        c.send(0, 300004, stale);  // kAckBase + tag 4
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+  });
+  EXPECT_FALSE(ok);  // the real ack never comes
+  EXPECT_LT(waited, 0.45);
+}
+
+TEST(ReliableLink, MalformedEmptyAckIsCountedNotFatal) {
+  // The acks are pre-loaded into rank 0's mailbox before send() runs:
+  // the genuine ack for seq 0 first, then an empty frame. The ack-drain
+  // loop must consume the malformed frame as `rejected` instead of
+  // indexing into it.
+  mp::Cluster cluster(2);
+  bool ok = false;
+  LinkStats sender;
+  cluster.run([&](mp::Comm& c) {
+    if (c.rank() == 1) {
+      const double ack0 = 0.0;
+      c.send(0, 300004, std::span(&ack0, 1));      // acks seq 0
+      c.send(0, 300004, std::span<const double>{});  // malformed: empty
+    }
+    c.barrier();
+    if (c.rank() == 0) {
+      ReliableLink link(c, 0.05, 3);
+      const double v = 2.0;
+      ok = link.send(1, 4, std::span(&v, 1));
+      sender = link.stats();
+    }
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(sender.acked, 1u);
+  EXPECT_EQ(sender.rejected, 1u);  // the empty frame, drained and counted
+}
+
 // ---- Timeline model ----------------------------------------------------
 
 TEST(Timeline, NoFaultsMeansBaselinePlusCheckpoints) {
@@ -315,6 +446,61 @@ TEST(Timeline, CheckpointingBoundsWastedWork) {
   EXPECT_GT(with_ckpt.stats.wasted_work_s, 0.0);
 }
 
+TEST(Timeline, BackToBackCrashesAreWastedOnlyOnce) {
+  // With a constant step time and no checkpointing, every completed
+  // walk satisfies the exact budget identity
+  //     time_to_solution == useful work + wasted work
+  // because each moment between a durable point and the next crash's
+  // resume is wasted exactly once. A walk that fails to advance the
+  // durable clock at resume re-counts every earlier crash's stall when
+  // the next crash lands in the same segment.
+  FaultSpec spec = FaultSpec::parse("crash=15");
+  TimelineInputs in;
+  in.steps = 50;
+  in.nprocs = 8;
+  in.step_time_s = [](int) { return 1.0; };
+  bool saw_multi_crash_completion = false;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const auto r = simulate_timeline(spec, in, seed);
+    if (!r.completed) continue;
+    EXPECT_NEAR(r.time_to_solution_s, 50.0 + r.stats.wasted_work_s, 1e-9)
+        << "seed " << seed << " crashes " << r.stats.crashes;
+    if (r.stats.crashes >= 2) saw_multi_crash_completion = true;
+  }
+  // The identity is only interesting if some seed survives >= 2 crashes.
+  EXPECT_TRUE(saw_multi_crash_completion);
+}
+
+TEST(Timeline, CheckpointCostPrefersSpecOverrideThenInputs) {
+  TimelineInputs in;
+  in.steps = 30;
+  in.nprocs = 4;
+  in.step_time_s = [](int) { return 1.0; };
+  in.checkpoint_cost_s = 3.0;  // what the platform's I/O path charges
+  // ckpt_s unset (0): the platform-derived cost from the inputs wins.
+  const auto derived = simulate_timeline(FaultSpec::parse("ckpt=10"), in, 1);
+  EXPECT_DOUBLE_EQ(derived.time_to_solution_s, 30.0 + 2 * 3.0);
+  // A positive ckpt_s is a flat override for model studies.
+  const auto flat =
+      simulate_timeline(FaultSpec::parse("ckpt=10,ckpt_s=2"), in, 1);
+  EXPECT_DOUBLE_EQ(flat.time_to_solution_s, 30.0 + 2 * 2.0);
+}
+
+TEST(Timeline, PlatformCheckpointCostFollowsTheIoPath) {
+  arch::Platform plat = arch::Platform::lace560_ethernet();
+  plat.io_bandwidth_Bps = 8e6;
+  plat.io_latency_s = 0.05;
+  // 100 x 50 interior points x 4 conserved components x 8 bytes.
+  EXPECT_DOUBLE_EQ(platform_checkpoint_cost_s(plat, 100, 50),
+                   0.05 + 100.0 * 50.0 * 4.0 * 8.0 / 8e6);
+  // The presets order the paper's machines sensibly: the T3D's I/O
+  // subsystem beats checkpointing over the LACE cluster's NFS path.
+  EXPECT_LT(
+      platform_checkpoint_cost_s(arch::Platform::cray_t3d(), 250, 100),
+      platform_checkpoint_cost_s(arch::Platform::lace560_ethernet(), 250,
+                                 100));
+}
+
 TEST(Timeline, AbandonsBelowMinProcs) {
   FaultSpec spec = FaultSpec::parse("crash=10000,ckpt=5,min_procs=3");
   TimelineInputs in;
@@ -341,6 +527,108 @@ TEST(Timeline, DeterministicPerSeed) {
   EXPECT_NE(a.stats.timeline_digest(), c.stats.timeline_digest());
 }
 
+// ---- Unified DES timeline ----------------------------------------------
+
+TEST(TimelineDes, DeterministicPerSeed) {
+  FaultSpec spec = FaultSpec::parse("crash=30,ckpt=25");
+  TimelineInputs in;
+  in.steps = 300;
+  in.nprocs = 8;
+  in.step_time_s = [](int p) { return 8.0 / p; };
+  const auto plat = arch::Platform::ibm_sp_mpl();
+  const auto a = simulate_timeline_des(spec, in, plat, 77);
+  const auto b = simulate_timeline_des(spec, in, plat, 77);
+  EXPECT_EQ(a.time_to_solution_s, b.time_to_solution_s);
+  EXPECT_EQ(a.stats.timeline_digest(), b.stats.timeline_digest());
+  EXPECT_GT(a.stats.crashes, 0u);
+  EXPECT_GT(a.stats.heartbeats, 0u);
+  const auto c = simulate_timeline_des(spec, in, plat, 78);
+  EXPECT_NE(a.stats.timeline_digest(), c.stats.timeline_digest());
+}
+
+TEST(TimelineDes, OneProcFallsBackToAnalyticExactly) {
+  // A one-node launch has no peer to observe its heartbeats; the
+  // analytic walk is exact for that degenerate cluster.
+  FaultSpec spec = FaultSpec::parse("crash=5,ckpt=10");
+  TimelineInputs in;
+  in.steps = 40;
+  in.nprocs = 1;
+  in.step_time_s = [](int) { return 1.0; };
+  const auto des =
+      simulate_timeline_des(spec, in, arch::Platform::lace560_ethernet(), 9);
+  const auto analytic = simulate_timeline(spec, in, 9);
+  EXPECT_EQ(des.time_to_solution_s, analytic.time_to_solution_s);
+  EXPECT_EQ(des.stats.timeline_digest(), analytic.stats.timeline_digest());
+}
+
+TEST(TimelineDes, DetectionLatencyIsWirePriced) {
+  // Same spec, same seed, same crash draw stream: the only thing that
+  // differs between the two runs is the interconnect the heartbeat
+  // frames cross. min_procs equals the launch width, so the first
+  // crash abandons the run on both platforms — at the same simulated
+  // instant, on the same victim — and the two time-to-solutions differ
+  // purely by when the surviving beats' absence was noticed.
+  FaultSpec spec = FaultSpec::parse("crash=200,min_procs=4");
+  TimelineInputs in;
+  in.steps = 10000;
+  in.nprocs = 4;
+  in.step_time_s = [](int) { return 1.0; };
+  const auto eth =
+      simulate_timeline_des(spec, in, arch::Platform::lace560_ethernet(), 3);
+  const auto t3d =
+      simulate_timeline_des(spec, in, arch::Platform::cray_t3d(), 3);
+  ASSERT_EQ(eth.stats.crashes, 1u);
+  ASSERT_EQ(t3d.stats.crashes, 1u);
+  EXPECT_EQ(eth.stats.timeline_digest(), t3d.stats.timeline_digest());
+  EXPECT_FALSE(eth.completed);
+  EXPECT_FALSE(t3d.completed);
+  ASSERT_EQ(eth.stats.detections, 1u);
+  ASSERT_EQ(t3d.stats.detections, 1u);
+  // The shared 10 Mb/s Ethernet charges more per beat than the torus,
+  // so it observes the same crash later — and the stall shows up in
+  // time-to-solution.
+  EXPECT_GT(eth.stats.detect_latency_s, t3d.stats.detect_latency_s);
+  EXPECT_GT(eth.time_to_solution_s, t3d.time_to_solution_s);
+  // Both observed latencies live inside the detector's logical window
+  // ((misses-1) .. misses periods after the last surviving beat) plus
+  // what the wire charged.
+  EXPECT_GT(t3d.stats.detect_latency_s, 2.0);
+  EXPECT_LT(eth.stats.detect_latency_s, 3.1);
+  EXPECT_GT(eth.stats.heartbeats, 0u);
+}
+
+TEST(TimelineDes, AgreesWithAnalyticWithinDocumentedTolerance) {
+  // The two walks consume the identical "fault.crash" stream in the
+  // same draw order, so they see the same crash timeline. What differs
+  // is detection: the analytic walk charges the worst case (period x
+  // misses) while the DES observes the real gap, which lands within
+  // one heartbeat period below that — plus the wire's charge. The
+  // documented tolerance (docs/FAULTS.md): one heartbeat period per
+  // crash, one step of slack for a resume that slides across a step
+  // boundary, and 2% of the analytic walk for compounding.
+  TimelineInputs in;
+  in.steps = 200;
+  in.nprocs = 8;
+  in.step_time_s = [](int p) { return 8.0 / p; };
+  const auto plat = arch::Platform::ibm_sp_mpl();
+  for (double rate : {2.0, 6.0}) {
+    for (int k : {10, 40}) {
+      FaultSpec spec = FaultSpec::parse("crash=" + std::to_string(rate) +
+                                        ",ckpt=" + std::to_string(k));
+      const auto analytic = simulate_timeline(spec, in, 42);
+      const auto des = simulate_timeline_des(spec, in, plat, 42);
+      ASSERT_TRUE(analytic.completed);
+      ASSERT_TRUE(des.completed);
+      EXPECT_EQ(des.stats.crashes, analytic.stats.crashes);
+      const double crashes = static_cast<double>(des.stats.crashes);
+      const double tol = 0.02 * analytic.time_to_solution_s +
+                         crashes * (spec.heartbeat_period_s + 2.0);
+      EXPECT_NEAR(des.time_to_solution_s, analytic.time_to_solution_s, tol)
+          << "rate " << rate << " ckpt " << k;
+    }
+  }
+}
+
 // ---- Live checkpoint/restart recovery ----------------------------------
 
 core::SolverConfig recovery_cfg() {
@@ -362,6 +650,8 @@ TEST(Recovery, CrashMidSweepRecoversBitExact) {
   const auto out = run_with_recovery(cfg, 4, 40, opts);
   EXPECT_EQ(out.final_procs, 3);
   EXPECT_EQ(out.restarts, 1);
+  // The heartbeat protocol — not the crash script — flagged the victim.
+  EXPECT_EQ(out.detections, 1);
   EXPECT_EQ(out.wasted_steps, 5);  // steps 20..25 recomputed
   EXPECT_GE(out.checkpoints, 3);
 
@@ -379,6 +669,7 @@ TEST(Recovery, NoCrashMatchesDirectRun) {
   opts.checkpoint_interval = 8;
   const auto out = run_with_recovery(cfg, 3, 20, opts);
   EXPECT_EQ(out.restarts, 0);
+  EXPECT_EQ(out.detections, 0);
   EXPECT_EQ(out.wasted_steps, 0);
   EXPECT_EQ(out.final_procs, 3);
   EXPECT_EQ(out.checkpoints, 2);  // steps 8 and 16
@@ -416,6 +707,11 @@ TEST(EngineFaults, MetricsPresentAndDeterministic) {
   const auto b = engine.run_scenario(faulty_scenario());
   EXPECT_TRUE(a.has("fault_crashes"));
   EXPECT_TRUE(a.has("fault_wasted_s"));
+  // Detector traffic is wire-priced in both the replay and the DES
+  // lifetime walk; a crash-bearing spec always beats.
+  EXPECT_GT(a.metric("fault_heartbeats"), 0.0);
+  // The analytic walk rides along as a cross-check metric.
+  EXPECT_TRUE(a.has("fault_model_s"));
   EXPECT_GT(exec::fault_digest(a), 0u);
   EXPECT_EQ(a, b);  // exact metric bits, including the digest halves
   // Time-to-solution dominates the fault-free baseline.

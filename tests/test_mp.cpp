@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace nsp::mp {
@@ -111,6 +113,37 @@ TEST(Comm, RecvIntoValidatesLength) {
 TEST(Comm, TryRecvReturnsNulloptWhenEmpty) {
   Cluster c(1);
   c.run([](Comm& comm) { EXPECT_FALSE(comm.try_recv().has_value()); });
+}
+
+TEST(Comm, RecvUntilDeadlineIsNotStretchedByUnwantedTraffic) {
+  // A peer delivering messages on *other* tags wakes the receiver's
+  // condition variable over and over; the absolute deadline must not
+  // restart — the total wait is one budget no matter how chatty the
+  // mailbox is. (fault::ReliableLink's per-attempt RTO depends on this.)
+  Cluster c(2);
+  c.run([](Comm& comm) {
+    using clock = std::chrono::steady_clock;
+    if (comm.rank() == 0) {
+      for (int k = 0; k < 40; ++k) {
+        comm.send(1, /*tag=*/5, std::vector<double>{static_cast<double>(k)});
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    } else {
+      const auto t0 = clock::now();
+      const auto got = comm.recv_until(t0 + std::chrono::milliseconds(60),
+                                       /*src=*/0, /*tag=*/9);
+      const double waited =
+          std::chrono::duration<double>(clock::now() - t0).count();
+      EXPECT_FALSE(got.has_value());  // tag 9 never arrives
+      EXPECT_GE(waited, 0.055);
+      // The chatter lasts ~200 ms; a per-message restart would hold us
+      // for all of it.
+      EXPECT_LT(waited, 0.15);
+      // The unwanted traffic is still there for whoever asks for it.
+      EXPECT_TRUE(comm.recv(0, 5).data.size() == 1);
+      for (int k = 1; k < 40; ++k) comm.recv(0, 5);
+    }
+  });
 }
 
 TEST(Comm, SendToInvalidRankThrows) {
