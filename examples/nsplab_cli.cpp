@@ -6,6 +6,7 @@
 //   nsplab_cli sweep  <platform> [--euler] [--version N]
 //   nsplab_cli batch  <platform> [<platform>...] [--euler] [--version N]
 //   nsplab_cli solve  [--ni N] [--nj N] [--steps N] [--euler] [--threads T]
+//                     [--kernel V]
 //
 // Platform keys come from the exec registry (see `list`); any key takes
 // a "-<procs>" suffix, e.g. "t3d-64". `batch` runs the platforms'
@@ -32,8 +33,10 @@ int usage() {
       "  nsplab_cli batch  <platform> [<platform>...] [--euler] [--version N]"
       " [--audit] [--faults SPEC]\n"
       "  nsplab_cli solve  [--ni N] [--nj N] [--steps N] [--euler] "
-      "[--threads T]\n"
+      "[--threads T] [--kernel V]\n"
       "\n"
+      "  --kernel  live-solver kernel variant 1..5 (the paper's\n"
+      "            optimization ladder; default 5)\n"
       "  --audit   determinism audit: run the batch cells through a\n"
       "            1-thread and an N-thread engine and diff per-cell\n"
       "            trace hashes and fault timelines (exit 1 on mismatch)\n"
@@ -51,6 +54,7 @@ struct Args {
   int nj = 40;
   int steps = 200;
   int threads = 1;
+  int kernel = 5;
   bool audit = false;
   std::string faults;  ///< fault::FaultSpec::parse form ("" = none)
   std::vector<std::string> names;  ///< non-flag positionals
@@ -68,6 +72,7 @@ Args parse_flags(int argc, char** argv, int from) {
     else if (flag == "--nj") a.nj = next();
     else if (flag == "--steps") a.steps = next();
     else if (flag == "--threads") a.threads = next();
+    else if (flag == "--kernel") a.kernel = next();
     else if (flag == "--audit") a.audit = true;
     else if (flag == "--faults") a.faults = k + 1 < argc ? argv[++k] : "";
     else if (!flag.empty() && flag[0] != '-') a.names.push_back(flag);
@@ -174,11 +179,14 @@ int cmd_batch(const Args& a) {
 }
 
 int cmd_solve(const Args& a) {
-  core::SolverConfig cfg;
-  cfg.grid = core::Grid::coarse(a.ni, a.nj);
-  cfg.viscous = !a.euler;
-  cfg.num_threads = std::max(1, a.threads);
-  core::Solver s(cfg);
+  // The scenario's fluent axes are the one place solver settings are
+  // assembled; the CLI no longer pokes SolverConfig fields directly.
+  Scenario sc = Scenario::solve(a.ni, a.nj, a.steps)
+                    .threads(a.threads)
+                    .kernel(static_cast<core::KernelVariant>(
+                        std::clamp(a.kernel, 1, 5)));
+  if (a.euler) sc.euler();
+  core::Solver s(sc.solver_config());
   s.initialize();
   s.run(a.steps);
   std::printf("%s %dx%d, %d steps (t = %.2f): %s, max Mach %.3f\n",

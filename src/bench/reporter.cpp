@@ -1,0 +1,85 @@
+#include "bench/reporter.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "check/check.hpp"
+
+namespace nsp::bench {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+void number(std::ostringstream& os, double v) {
+  // Fixed notation with enough digits for perf comparisons; JSON has no
+  // notion of NaN/Inf, so a failed measurement is clamped to 0.
+  if (!(v == v) || v > 1e300 || v < -1e300) v = 0;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  os << buf;
+}
+
+}  // namespace
+
+Reporter::Reporter(std::string benchmark_name)
+    : name_(std::move(benchmark_name)) {}
+
+void Reporter::add(BenchEntry e) {
+  NSP_CHECK(!e.name.empty(), "bench.reporter.entry_name");
+  entries_.push_back(std::move(e));
+}
+
+void Reporter::add_with_speedup(BenchEntry e, const std::string& baseline_name,
+                                double baseline_ms) {
+  e.baseline = baseline_name;
+  e.speedup = e.ms_per_step > 0 ? baseline_ms / e.ms_per_step : 0;
+  add(std::move(e));
+}
+
+std::string Reporter::json() const {
+  std::ostringstream os;
+  os << "{\n  \"benchmark\": \"" << escape(name_) << "\",\n"
+     << "  \"schema_version\": 1,\n  \"entries\": [";
+  for (std::size_t k = 0; k < entries_.size(); ++k) {
+    const BenchEntry& e = entries_[k];
+    os << (k ? ",\n" : "\n") << "    {\"name\": \"" << escape(e.name)
+       << "\", \"variant\": \"" << escape(e.variant) << "\",\n"
+       << "     \"grid\": {\"ni\": " << e.ni << ", \"nj\": " << e.nj
+       << "},\n     \"ms_per_step\": ";
+    number(os, e.ms_per_step);
+    os << ", \"gflops\": ";
+    number(os, e.gflops);
+    os << ", \"bytes_per_flop\": ";
+    number(os, e.bytes_per_flop);
+    os << ",\n     \"speedup\": ";
+    number(os, e.speedup);
+    os << ", \"baseline\": \"" << escape(e.baseline) << "\"}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+bool Reporter::write_json(const std::string& path) const {
+  if (entries_.empty()) return false;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = json();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace nsp::bench

@@ -1,0 +1,73 @@
+// Machine-readable benchmark reporting.
+//
+// Every perf harness that backs a number quoted in docs/PERF.md records
+// its measurements through a Reporter, which writes one BENCH_*.json
+// artifact per harness. The schema is deliberately small and stable —
+// CI's perf-smoke job validates it and the committed files in results/
+// form the repo's recorded perf trajectory, so a regression shows up as
+// a diff, not an anecdote.
+//
+// Schema (schema_version 1):
+//   {
+//     "benchmark": "<harness name>",
+//     "schema_version": 1,
+//     "entries": [
+//       { "name": "...", "variant": "...",
+//         "grid": {"ni": N, "nj": N},
+//         "ms_per_step": t, "gflops": g, "bytes_per_flop": b,
+//         "speedup": s, "baseline": "<name of the 1.0x entry>" }, ...
+//     ]
+//   }
+//
+// Fields that do not apply to an entry are written as 0 (numbers) or ""
+// (strings) — present but empty, so consumers never need existence
+// checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nsp::bench {
+
+/// One measured (or modelled) configuration.
+struct BenchEntry {
+  std::string name;     ///< unique within the harness, e.g. "step/V5/tiled"
+  std::string variant;  ///< axis value, e.g. "tiled" / "reference"
+  int ni = 0;           ///< grid extent (0 when not grid-shaped)
+  int nj = 0;
+  double ms_per_step = 0;    ///< wall time per step/iteration
+  double gflops = 0;         ///< achieved GF/s (0 = not measured)
+  double bytes_per_flop = 0; ///< arithmetic-intensity denominator
+  double speedup = 0;        ///< vs `baseline` (0 = no baseline)
+  std::string baseline;      ///< name of the entry this speedup is against
+};
+
+/// Collects BenchEntry records and writes the BENCH_*.json artifact.
+class Reporter {
+ public:
+  explicit Reporter(std::string benchmark_name);
+
+  void add(BenchEntry e);
+
+  /// Convenience: derived entry with speedup = baseline_ms / ms.
+  void add_with_speedup(BenchEntry e, const std::string& baseline_name,
+                        double baseline_ms);
+
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<BenchEntry>& entries() const { return entries_; }
+
+  /// The artifact body (pretty-printed, trailing newline).
+  std::string json() const;
+
+  /// Writes json() to `path` (as given — callers route through
+  /// io::artifact_path). Returns false on I/O failure. Refuses to write
+  /// an empty report: an artifact with no entries means the harness
+  /// measured nothing, and CI treats that as a failure.
+  bool write_json(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::vector<BenchEntry> entries_;
+};
+
+}  // namespace nsp::bench

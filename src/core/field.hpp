@@ -6,6 +6,7 @@
 // accommodate the 2-4 MacCormack stencil (reach +-2).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <vector>
 
@@ -31,7 +32,8 @@ class Field2D {
   int nj() const { return nj_; }
 
   // Index checking is level-2 only: this accessor is the innermost
-  // operation of every kernel loop.
+  // operation of the reference kernel loops (the tuned kernels iterate
+  // row_span() pointers instead and hoist the check to one per row).
   double& operator()(int i, int j) {
     NSP_CHECK_SLOW_FATAL(in_range(i, j), "core.field.index_range");
     return data_[index(i, j)];
@@ -44,6 +46,30 @@ class Field2D {
   /// Raw row pointer for the given j (points at i = -kGhost).
   double* row(int j) { return data_.data() + index(-kGhost, j); }
   const double* row(int j) const { return data_.data() + index(-kGhost, j); }
+
+  /// Raw interior row pointer for span-based kernels: points at i = 0 of
+  /// row j, valid for i in [-kGhost, ni + kGhost). The index check is
+  /// hoisted to one level-1 row-range check per call — the replacement
+  /// for operator()'s level-2 per-point scan on the hot path.
+  double* row_span(int j) {
+    NSP_CHECK(row_valid(j), "core.field.row_span_range");
+    return data_.data() + index(0, j);
+  }
+  const double* row_span(int j) const {
+    NSP_CHECK(row_valid(j), "core.field.row_span_range");
+    return data_.data() + index(0, j);
+  }
+
+  /// True when every row index in [jlo, jhi) is addressable (ghosts
+  /// included). Kernels assert this once per tile as the hoisted
+  /// precondition for a run of row_span() accesses.
+  bool rows_valid(int jlo, int jhi) const {
+    return jlo >= -kGhost && jhi <= nj_ + kGhost;
+  }
+  /// True when every column index in [ilo, ihi) is addressable.
+  bool cols_valid(int ilo, int ihi) const {
+    return ilo >= -kGhost && ihi <= ni_ + kGhost;
+  }
 
   /// Distance in doubles between (i, j) and (i, j+1).
   std::size_t jstride() const { return row_; }
@@ -59,8 +85,9 @@ class Field2D {
   }
 
  private:
+  bool row_valid(int j) const { return j >= -kGhost && j < nj_ + kGhost; }
   bool in_range(int i, int j) const {
-    return i >= -kGhost && i < ni_ + kGhost && j >= -kGhost && j < nj_ + kGhost;
+    return i >= -kGhost && i < ni_ + kGhost && row_valid(j);
   }
   std::size_t index(int i, int j) const {
     return static_cast<std::size_t>(j + kGhost) * row_ +
@@ -71,6 +98,37 @@ class Field2D {
   int nj_ = 0;
   std::size_t row_ = 0;
   std::vector<double> data_;
+};
+
+/// A borrowed rectangular view of a Field2D: columns [ilo, ihi) of rows
+/// [jlo, jhi), ghosts allowed. The bounds are validated once at
+/// construction (level 1), after which row(j) hands out raw pointers
+/// with no further checking — the tile-granular alternative to per-point
+/// operator() for diagnostics and tile-structured code.
+class TileView {
+ public:
+  TileView(Field2D& f, int ilo, int ihi, int jlo, int jhi)
+      : base_(&f(0, 0)), jstride_(f.jstride()), ilo_(ilo), ihi_(ihi),
+        jlo_(jlo), jhi_(jhi) {
+    NSP_CHECK_FATAL(f.cols_valid(ilo, ihi) && f.rows_valid(jlo, jhi) &&
+                        ilo <= ihi && jlo <= jhi,
+                    "core.field.tile_bounds");
+  }
+
+  int ilo() const { return ilo_; }
+  int ihi() const { return ihi_; }
+  int jlo() const { return jlo_; }
+  int jhi() const { return jhi_; }
+
+  /// Pointer at (i = 0, j); valid for i in [ilo(), ihi()).
+  double* row(int j) const { return base_ + static_cast<std::ptrdiff_t>(j) *
+                                     static_cast<std::ptrdiff_t>(jstride_); }
+  double& at(int i, int j) const { return row(j)[i]; }
+
+ private:
+  double* base_;  ///< &field(0, 0)
+  std::size_t jstride_;
+  int ilo_, ihi_, jlo_, jhi_;
 };
 
 /// The four conserved variables of the axisymmetric compressible
@@ -86,6 +144,15 @@ struct StateField {
 
   int ni() const { return rho.ni(); }
   int nj() const { return rho.nj(); }
+
+  /// Component-pointer array for hot loops: one switch-free load per
+  /// component instead of operator[]'s branchy switch per access.
+  /// Deprecated in kernel inner loops: use this (or row_span pointers
+  /// derived from it); operator[] remains for tests and diagnostics.
+  std::array<Field2D*, 4> components() { return {&rho, &mx, &mr, &e}; }
+  std::array<const Field2D*, 4> components() const {
+    return {&rho, &mx, &mr, &e};
+  }
 
   Field2D& operator[](int c) {
     switch (c) {

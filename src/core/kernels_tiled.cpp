@@ -1,0 +1,595 @@
+#include "core/kernels_tiled.hpp"
+
+#include "check/check.hpp"
+
+// Contiguous row spans from distinct Field2D objects never alias.
+// GCC only tracks restrict through function PARAMETERS (on local
+// pointer variables the qualifier is accepted but ignored, and the
+// 8-15 stream loops fail alias analysis), so every kernel below
+// outlines its row body into a helper taking restrict pointer
+// parameters — that is what makes the inner loops vectorize.
+#if defined(__GNUC__) || defined(__clang__)
+#define NSP_RESTRICT __restrict__
+#else
+#define NSP_RESTRICT
+#endif
+
+namespace nsp::core::tiled {
+
+namespace {
+
+/// Hoisted span precondition: the reference kernels re-check every
+/// (i, j) at level 2; the span kernels validate the whole rectangle
+/// once per call at level >= 1 and then run unchecked over raw rows.
+inline void check_tile(const Field2D& f, int ilo, int ihi, int jlo, int jhi) {
+  NSP_CHECK(f.cols_valid(ilo, ihi) && f.rows_valid(jlo, jhi),
+            "core.kernels_tiled.tile_range");
+  (void)f;
+  (void)ilo;
+  (void)ihi;
+  (void)jlo;
+  (void)jhi;
+}
+
+// V3 arithmetic: stride-1 loop, fresh division per primitive.
+void prim_row_v3(const double* NSP_RESTRICT rho, const double* NSP_RESTRICT mx,
+                 const double* NSP_RESTRICT mr, const double* NSP_RESTRICT e,
+                 double* NSP_RESTRICT wu, double* NSP_RESTRICT wv,
+                 double* NSP_RESTRICT wt, double* NSP_RESTRICT wp, int ibegin,
+                 int iend, double gm1, double rgas_inv) {
+  for (int i = ibegin; i < iend; ++i) {
+    wu[i] = mx[i] / rho[i];
+    wv[i] = mr[i] / rho[i];
+    const double ke = 0.5 * (mx[i] * mx[i] + mr[i] * mr[i]) / rho[i];
+    wp[i] = gm1 * (e[i] - ke);
+    wt[i] = wp[i] / rho[i] * rgas_inv;
+  }
+}
+
+// V4/V5: reciprocal multiply, fused single pass.
+void prim_row_v45(const double* NSP_RESTRICT rho, const double* NSP_RESTRICT mx,
+                  const double* NSP_RESTRICT mr, const double* NSP_RESTRICT e,
+                  double* NSP_RESTRICT wu, double* NSP_RESTRICT wv,
+                  double* NSP_RESTRICT wt, double* NSP_RESTRICT wp, int ibegin,
+                  int iend, double gm1, double rgas_inv) {
+  for (int i = ibegin; i < iend; ++i) {
+    const double rinv = 1.0 / rho[i];
+    const double u = mx[i] * rinv;
+    const double v = mr[i] * rinv;
+    const double p = gm1 * (e[i] - 0.5 * (mx[i] * u + mr[i] * v));
+    wu[i] = u;
+    wv[i] = v;
+    wp[i] = p;
+    wt[i] = p * rinv * rgas_inv;
+  }
+}
+
+}  // namespace
+
+void compute_primitives(const Gas& gas, const StateField& q,
+                        PrimitiveField& w, Range irange, int jlo, int jhi,
+                        KernelVariant variant, FlopCounter* fc) {
+  if (variant == KernelVariant::V1 || variant == KernelVariant::V2) {
+    core::compute_primitives(gas, q, w, irange, jlo, jhi, variant, fc);
+    return;
+  }
+  const double gm1 = gas.gamma - 1.0;
+  const double rgas_inv = 1.0 / gas.gas_constant();
+  const long pts = static_cast<long>(irange.end - irange.begin) * (jhi - jlo);
+  check_tile(q.rho, irange.begin, irange.end, jlo, jhi);
+  check_tile(w.u, irange.begin, irange.end, jlo, jhi);
+
+  auto* row = (variant == KernelVariant::V3) ? &prim_row_v3 : &prim_row_v45;
+  for (int j = jlo; j < jhi; ++j) {
+    row(q.rho.row_span(j), q.mx.row_span(j), q.mr.row_span(j), q.e.row_span(j),
+        w.u.row_span(j), w.v.row_span(j), w.t.row_span(j), w.p.row_span(j),
+        irange.begin, irange.end, gm1, rgas_inv);
+  }
+  if (fc) {
+    if (variant == KernelVariant::V3) {
+      fc->add(8.0 * pts, 4.0 * pts);
+    } else {
+      fc->add(10.0 * pts, 1.0 * pts);
+    }
+  }
+}
+
+namespace {
+
+/// One stress row over [ibegin, iend) with central x-derivatives: the
+/// vectorizable core of compute_stresses. `kSutherland` hoists the
+/// temperature-dependent-viscosity branch; `kForX` / `kForR` select
+/// which components to compute (each output has an independent
+/// expression tree, so skipping some cannot change the others).
+template <bool kSutherland, bool kForX, bool kForR>
+void stress_row_central(
+    const double* NSP_RESTRICT u0, const double* NSP_RESTRICT um,
+    const double* NSP_RESTRICT up, const double* NSP_RESTRICT v0,
+    const double* NSP_RESTRICT vm, const double* NSP_RESTRICT vp,
+    const double* NSP_RESTRICT t0, const double* NSP_RESTRICT tm,
+    const double* NSP_RESTRICT tp, double* NSP_RESTRICT txx,
+    double* NSP_RESTRICT trr, double* NSP_RESTRICT ttt,
+    double* NSP_RESTRICT txr, double* NSP_RESTRICT qx,
+    double* NSP_RESTRICT qr, int ibegin, int iend, const Gas& gas,
+    double mu_const, double k_const, double k_over_mu, double ddx, double ddr,
+    double rinv) {
+  for (int i = ibegin; i < iend; ++i) {
+    const double ux = (u0[i + 1] - u0[i - 1]) * ddx;
+    const double vx = (v0[i + 1] - v0[i - 1]) * ddx;
+    const double ur = (up[i] - um[i]) * ddr;
+    const double vr = (vp[i] - vm[i]) * ddr;
+    const double vor = v0[i] * rinv;
+    const double dil = ux + vr + vor;
+    const double mu = kSutherland ? gas.viscosity_at(t0[i]) : mu_const;
+    const double k = kSutherland ? mu * k_over_mu : k_const;
+    if (kForX) {
+      const double tx = (t0[i + 1] - t0[i - 1]) * ddx;
+      txx[i] = mu * (2.0 * ux - (2.0 / 3.0) * dil);
+      qx[i] = -k * tx;
+    }
+    if (kForR) {
+      const double tr = (tp[i] - tm[i]) * ddr;
+      trr[i] = mu * (2.0 * vr - (2.0 / 3.0) * dil);
+      ttt[i] = mu * (2.0 * vor - (2.0 / 3.0) * dil);
+      qr[i] = -k * tr;
+    }
+    txr[i] = mu * (ur + vx);
+  }
+}
+
+template <bool kSutherland, bool kForX, bool kForR>
+void compute_stresses_impl(const Gas& gas, const Grid& grid,
+                           const PrimitiveField& w, StressField& s,
+                           Range irange, int jlo, int jhi, int ilo_avail,
+                           int ihi_avail) {
+  const double mu_const = gas.mu;
+  const double k_const = gas.conductivity();
+  const double k_over_mu = gas.cp() / gas.prandtl;
+  const double ddx = 1.0 / (2.0 * grid.dx());
+  const double ddr = 1.0 / (2.0 * grid.dr());
+
+  // Columns whose x-derivative is one-sided (only at physical inflow/
+  // outflow edges): peel them off the central loop. The reference gives
+  // the low one-sided form precedence, mirrored here by the clamps.
+  const int c_lo = std::max(irange.begin, ilo_avail + 1);
+  const int c_hi = std::max(c_lo, std::min(irange.end, ihi_avail - 1));
+  const auto edge_point = [&](int i, int j, double rinv) {
+    const auto dx_of = [&](const Field2D& f) {
+      if (i - 1 >= ilo_avail && i + 1 < ihi_avail) {
+        return (f(i + 1, j) - f(i - 1, j)) * ddx;
+      }
+      if (i - 1 < ilo_avail) {
+        return (-3.0 * f(i, j) + 4.0 * f(i + 1, j) - f(i + 2, j)) * ddx;
+      }
+      return (3.0 * f(i, j) - 4.0 * f(i - 1, j) + f(i - 2, j)) * ddx;
+    };
+    const double ux = dx_of(w.u);
+    const double vx = dx_of(w.v);
+    const double ur = (w.u(i, j + 1) - w.u(i, j - 1)) * ddr;
+    const double vr = (w.v(i, j + 1) - w.v(i, j - 1)) * ddr;
+    const double vor = w.v(i, j) * rinv;
+    const double dil = ux + vr + vor;
+    const double mu = kSutherland ? gas.viscosity_at(w.t(i, j)) : mu_const;
+    const double k = kSutherland ? mu * k_over_mu : k_const;
+    if (kForX) {
+      const double tx = dx_of(w.t);
+      s.txx(i, j) = mu * (2.0 * ux - (2.0 / 3.0) * dil);
+      s.qx(i, j) = -k * tx;
+    }
+    if (kForR) {
+      const double tr = (w.t(i, j + 1) - w.t(i, j - 1)) * ddr;
+      s.trr(i, j) = mu * (2.0 * vr - (2.0 / 3.0) * dil);
+      s.ttt(i, j) = mu * (2.0 * vor - (2.0 / 3.0) * dil);
+      s.qr(i, j) = -k * tr;
+    }
+    s.txr(i, j) = mu * (ur + vx);
+  };
+
+  for (int j = jlo; j < jhi; ++j) {
+    const double rinv = 1.0 / grid.r(j);
+    for (int i = irange.begin; i < c_lo; ++i) edge_point(i, j, rinv);
+    stress_row_central<kSutherland, kForX, kForR>(
+        w.u.row_span(j), w.u.row_span(j - 1), w.u.row_span(j + 1),
+        w.v.row_span(j), w.v.row_span(j - 1), w.v.row_span(j + 1),
+        w.t.row_span(j), w.t.row_span(j - 1), w.t.row_span(j + 1),
+        s.txx.row_span(j), s.trr.row_span(j), s.ttt.row_span(j),
+        s.txr.row_span(j), s.qx.row_span(j), s.qr.row_span(j), c_lo, c_hi,
+        gas, mu_const, k_const, k_over_mu, ddx, ddr, rinv);
+    for (int i = c_hi; i < irange.end; ++i) edge_point(i, j, rinv);
+  }
+}
+
+}  // namespace
+
+void compute_stresses_rows(StressOutputs which, const Gas& gas,
+                           const Grid& grid, const PrimitiveField& w,
+                           StressField& s, Range irange, int jlo, int jhi,
+                           int ilo_avail, int ihi_avail, FlopCounter* fc) {
+  check_tile(w.u, irange.begin - 1, irange.end + 1, jlo - 1, jhi + 1);
+  check_tile(s.txx, irange.begin, irange.end, jlo, jhi);
+  const auto run = [&](auto sutherland) {
+    constexpr bool kS = decltype(sutherland)::value;
+    switch (which) {
+      case StressOutputs::All:
+        compute_stresses_impl<kS, true, true>(gas, grid, w, s, irange, jlo,
+                                              jhi, ilo_avail, ihi_avail);
+        break;
+      case StressOutputs::FluxX:
+        compute_stresses_impl<kS, true, false>(gas, grid, w, s, irange, jlo,
+                                               jhi, ilo_avail, ihi_avail);
+        break;
+      case StressOutputs::FluxR:
+        compute_stresses_impl<kS, false, true>(gas, grid, w, s, irange, jlo,
+                                               jhi, ilo_avail, ihi_avail);
+        break;
+    }
+  };
+  if (gas.sutherland) {
+    run(std::true_type{});
+  } else {
+    run(std::false_type{});
+  }
+  if (fc) {
+    const long pts = static_cast<long>(irange.end - irange.begin) * (jhi - jlo);
+    fc->add(36.0 * pts, 1.0 * pts);
+  }
+}
+
+void compute_stresses_for(StressOutputs which, const Gas& gas,
+                          const Grid& grid, const PrimitiveField& w,
+                          StressField& s, Range irange, int ilo_avail,
+                          int ihi_avail, FlopCounter* fc) {
+  compute_stresses_rows(which, gas, grid, w, s, irange, 0, w.u.nj(),
+                        ilo_avail, ihi_avail, fc);
+}
+
+void compute_stresses(const Gas& gas, const Grid& grid,
+                      const PrimitiveField& w, StressField& s, Range irange,
+                      int ilo_avail, int ihi_avail, FlopCounter* fc) {
+  compute_stresses_for(StressOutputs::All, gas, grid, w, s, irange, ilo_avail,
+                       ihi_avail, fc);
+}
+
+namespace {
+
+template <bool kViscous>
+void flux_x_row(const double* NSP_RESTRICT u, const double* NSP_RESTRICT v,
+                const double* NSP_RESTRICT p, const double* NSP_RESTRICT rho,
+                const double* NSP_RESTRICT mx, const double* NSP_RESTRICT e,
+                const double* NSP_RESTRICT txx, const double* NSP_RESTRICT txr,
+                const double* NSP_RESTRICT qx, double* NSP_RESTRICT f0,
+                double* NSP_RESTRICT f1, double* NSP_RESTRICT f2,
+                double* NSP_RESTRICT f3, int ibegin, int iend) {
+  for (int i = ibegin; i < iend; ++i) {
+    const double rhou = mx[i];
+    const double uu = u[i] * u[i];
+    f0[i] = rhou;
+    double fmx = rho[i] * uu + p[i];
+    double fmr = rhou * v[i];
+    double fe = (e[i] + p[i]) * u[i];
+    if (kViscous) {
+      fmx -= txx[i];
+      fmr -= txr[i];
+      fe += -u[i] * txx[i] - v[i] * txr[i] + qx[i];
+    }
+    f1[i] = fmx;
+    f2[i] = fmr;
+    f3[i] = fe;
+  }
+}
+
+template <bool kViscous>
+void flux_r_row(const double* NSP_RESTRICT u, const double* NSP_RESTRICT v,
+                const double* NSP_RESTRICT p, const double* NSP_RESTRICT rho,
+                const double* NSP_RESTRICT mr, const double* NSP_RESTRICT e,
+                const double* NSP_RESTRICT trr, const double* NSP_RESTRICT txr,
+                const double* NSP_RESTRICT qr, double* NSP_RESTRICT g0,
+                double* NSP_RESTRICT g1, double* NSP_RESTRICT g2,
+                double* NSP_RESTRICT g3, int ibegin, int iend, double r) {
+  for (int i = ibegin; i < iend; ++i) {
+    const double rhov = mr[i];
+    const double vv = v[i] * v[i];
+    double a0 = rhov;
+    double a1 = rhov * u[i];
+    double a2 = rho[i] * vv + p[i];
+    double a3 = (e[i] + p[i]) * v[i];
+    if (kViscous) {
+      a1 -= txr[i];
+      a2 -= trr[i];
+      a3 += -u[i] * txr[i] - v[i] * trr[i] + qr[i];
+    }
+    g0[i] = r * a0;
+    g1[i] = r * a1;
+    g2[i] = r * a2;
+    g3[i] = r * a3;
+  }
+}
+
+}  // namespace
+
+void compute_flux_x(const Gas& gas, const StateField& q,
+                    const PrimitiveField& w, const StressField& s,
+                    bool viscous, StateField& f, Range irange,
+                    KernelVariant variant, FlopCounter* fc) {
+  if (variant == KernelVariant::V1 || variant == KernelVariant::V2) {
+    core::compute_flux_x(gas, q, w, s, viscous, f, irange, variant, fc);
+    return;
+  }
+  (void)gas;  // pressure arrives precomputed in w
+  const int nj = q.rho.nj();
+  check_tile(q.rho, irange.begin, irange.end, 0, nj);
+  check_tile(f.rho, irange.begin, irange.end, 0, nj);
+  auto* row = viscous ? &flux_x_row<true> : &flux_x_row<false>;
+  for (int j = 0; j < nj; ++j) {
+    row(w.u.row_span(j), w.v.row_span(j), w.p.row_span(j), q.rho.row_span(j),
+        q.mx.row_span(j), q.e.row_span(j), s.txx.row_span(j),
+        s.txr.row_span(j), s.qx.row_span(j), f.rho.row_span(j),
+        f.mx.row_span(j), f.mr.row_span(j), f.e.row_span(j), irange.begin,
+        irange.end);
+  }
+  if (fc) {
+    const long pts = static_cast<long>(irange.end - irange.begin) * nj;
+    fc->add((viscous ? 14.0 : 7.0) * pts, 0, 0, 0);
+  }
+}
+
+void compute_flux_r(const Gas& gas, const Grid& grid, const StateField& q,
+                    const PrimitiveField& w, const StressField& s,
+                    bool viscous, StateField& gt, Range irange, int jlo,
+                    int jhi, KernelVariant variant, FlopCounter* fc) {
+  if (variant == KernelVariant::V1 || variant == KernelVariant::V2) {
+    core::compute_flux_r(gas, grid, q, w, s, viscous, gt, irange, jlo, jhi,
+                         variant, fc);
+    return;
+  }
+  (void)gas;
+  check_tile(q.rho, irange.begin, irange.end, jlo, jhi);
+  check_tile(gt.rho, irange.begin, irange.end, jlo, jhi);
+  auto* row = viscous ? &flux_r_row<true> : &flux_r_row<false>;
+  for (int j = jlo; j < jhi; ++j) {
+    row(w.u.row_span(j), w.v.row_span(j), w.p.row_span(j), q.rho.row_span(j),
+        q.mr.row_span(j), q.e.row_span(j), s.trr.row_span(j),
+        s.txr.row_span(j), s.qr.row_span(j), gt.rho.row_span(j),
+        gt.mx.row_span(j), gt.mr.row_span(j), gt.e.row_span(j), irange.begin,
+        irange.end, grid.r(j));
+  }
+  if (fc) {
+    const long pts = static_cast<long>(irange.end - irange.begin) * (jhi - jlo);
+    fc->add((viscous ? 18.0 : 11.0) * pts, 0, 0, 0);
+  }
+}
+
+namespace {
+
+void pred_x_row_fwd(const double* NSP_RESTRICT qa,
+                    const double* NSP_RESTRICT fa, double* NSP_RESTRICT out,
+                    int ibegin, int iend, double lambda) {
+  for (int i = ibegin; i < iend; ++i) {
+    out[i] = qa[i] - lambda * (8.0 * fa[i + 1] - 7.0 * fa[i] - fa[i + 2]);
+  }
+}
+
+void pred_x_row_bwd(const double* NSP_RESTRICT qa,
+                    const double* NSP_RESTRICT fa, double* NSP_RESTRICT out,
+                    int ibegin, int iend, double lambda) {
+  for (int i = ibegin; i < iend; ++i) {
+    out[i] = qa[i] - lambda * (7.0 * fa[i] - 8.0 * fa[i - 1] + fa[i - 2]);
+  }
+}
+
+void corr_x_row_fwd(const double* NSP_RESTRICT qa,
+                    const double* NSP_RESTRICT qpa,
+                    const double* NSP_RESTRICT fpa, double* NSP_RESTRICT out,
+                    int ibegin, int iend, double lambda) {
+  for (int i = ibegin; i < iend; ++i) {
+    out[i] = 0.5 * (qa[i] + qpa[i] -
+                    lambda * (8.0 * fpa[i + 1] - 7.0 * fpa[i] - fpa[i + 2]));
+  }
+}
+
+void corr_x_row_bwd(const double* NSP_RESTRICT qa,
+                    const double* NSP_RESTRICT qpa,
+                    const double* NSP_RESTRICT fpa, double* NSP_RESTRICT out,
+                    int ibegin, int iend, double lambda) {
+  for (int i = ibegin; i < iend; ++i) {
+    out[i] = 0.5 * (qa[i] + qpa[i] -
+                    lambda * (7.0 * fpa[i] - 8.0 * fpa[i - 1] + fpa[i - 2]));
+  }
+}
+
+}  // namespace
+
+void predictor_x(const StateField& q, const StateField& f, StateField& qp,
+                 double lambda, SweepVariant v, Range irange, FlopCounter* fc) {
+  const int nj = q.rho.nj();
+  check_tile(q.rho, irange.begin, irange.end, 0, nj);
+  check_tile(f.rho, irange.begin - kGhost, irange.end + kGhost, 0, nj);
+  const auto qc = q.components();
+  const auto fcmp = f.components();
+  const auto qpc = qp.components();
+  auto* row = (v == SweepVariant::L1) ? &pred_x_row_fwd : &pred_x_row_bwd;
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    for (int j = 0; j < nj; ++j) {
+      row(qc[c]->row_span(j), fcmp[c]->row_span(j), qpc[c]->row_span(j),
+          irange.begin, irange.end, lambda);
+    }
+  }
+  if (fc) {
+    fc->add(6.0 * StateField::kComponents *
+            static_cast<long>(irange.end - irange.begin) * nj);
+  }
+}
+
+void corrector_x(const StateField& q, const StateField& qp,
+                 const StateField& fp, StateField& qn1, double lambda,
+                 SweepVariant v, Range irange, FlopCounter* fc) {
+  const int nj = q.rho.nj();
+  check_tile(q.rho, irange.begin, irange.end, 0, nj);
+  check_tile(fp.rho, irange.begin - kGhost, irange.end + kGhost, 0, nj);
+  const auto qc = q.components();
+  const auto qpc = qp.components();
+  const auto fpc = fp.components();
+  const auto outc = qn1.components();
+  // The corrector's one-sided difference runs opposite the predictor's.
+  auto* row = (v == SweepVariant::L1) ? &corr_x_row_bwd : &corr_x_row_fwd;
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    for (int j = 0; j < nj; ++j) {
+      row(qc[c]->row_span(j), qpc[c]->row_span(j), fpc[c]->row_span(j),
+          outc[c]->row_span(j), irange.begin, irange.end, lambda);
+    }
+  }
+  if (fc) {
+    fc->add(8.0 * StateField::kComponents *
+            static_cast<long>(irange.end - irange.begin) * nj);
+  }
+}
+
+namespace {
+
+/// One radial-update row for one component. `kCorrector` selects the
+/// averaging form, `kForward` the one-sided difference direction,
+/// `kSource` whether this is the radial-momentum component (the only
+/// one with a geometric source term), `kViscous` the source's stress
+/// term. `ps` / `ts` are only read when kSource.
+template <bool kCorrector, bool kForward, bool kViscous, bool kSource>
+void radial_row(const double* NSP_RESTRICT q0, const double* NSP_RESTRICT qp0,
+                const double* NSP_RESTRICT g0, const double* NSP_RESTRICT ga,
+                const double* NSP_RESTRICT gb, const double* NSP_RESTRICT ps,
+                const double* NSP_RESTRICT ts, double* NSP_RESTRICT o,
+                int ibegin, int iend, double dt_r, double inv6dr) {
+  for (int i = ibegin; i < iend; ++i) {
+    const double diff = kForward ? 8.0 * ga[i] - 7.0 * g0[i] - gb[i]
+                                 : 7.0 * g0[i] - 8.0 * ga[i] + gb[i];
+    const double src =
+        kSource ? ps[i] - (kViscous ? ts[i] : 0.0) : 0.0;
+    if (kCorrector) {
+      o[i] = 0.5 * (q0[i] + qp0[i] + dt_r * (src - diff * inv6dr));
+    } else {
+      o[i] = q0[i] + dt_r * (src - diff * inv6dr);
+    }
+  }
+}
+
+/// Shared body of the radial predictor/corrector: the reference loops
+/// j -> i -> c through operator[]'s branchy switch; here the component
+/// loop is unrolled over the component-pointer array with one
+/// vectorized row helper per component (component 2 carries the
+/// geometric source).
+template <bool kCorrector, bool kForward, bool kViscous>
+void radial_update_rows(const Grid& grid, const StateField& q,
+                        const StateField& qp, const StateField& gt,
+                        const Field2D& p, const Field2D& ttt, StateField& out,
+                        double dt, Range irange, int jlo, int jhi) {
+  const double inv6dr = 1.0 / (6.0 * grid.dr());
+  const auto qc = q.components();
+  const auto qpc = qp.components();
+  const auto gc = gt.components();
+  const auto oc = out.components();
+  for (int j = jlo; j < jhi; ++j) {
+    const double dt_r = dt / grid.r(j);
+    const double* ps = p.row_span(j);
+    const double* ts = ttt.row_span(j);
+    // Difference rows: fwd needs j+1, j+2; bwd needs j-1, j-2.
+    const int ja = kForward ? j + 1 : j - 1;
+    const int jb = kForward ? j + 2 : j - 2;
+    for (int c = 0; c < StateField::kComponents; ++c) {
+      auto* row = (c == 2) ? &radial_row<kCorrector, kForward, kViscous, true>
+                           : &radial_row<kCorrector, kForward, kViscous, false>;
+      row(qc[c]->row_span(j), qpc[c]->row_span(j), gc[c]->row_span(j),
+          gc[c]->row_span(ja), gc[c]->row_span(jb), ps, ts,
+          oc[c]->row_span(j), irange.begin, irange.end, dt_r, inv6dr);
+    }
+  }
+}
+
+template <bool kCorrector>
+void radial_update(const Grid& grid, const StateField& q, const StateField& qp,
+                   const StateField& gt, const Field2D& p, const Field2D& ttt,
+                   bool viscous, StateField& out, double dt, bool forward,
+                   Range irange, int jlo, int jhi) {
+  if (forward) {
+    if (viscous) {
+      radial_update_rows<kCorrector, true, true>(grid, q, qp, gt, p, ttt, out,
+                                                 dt, irange, jlo, jhi);
+    } else {
+      radial_update_rows<kCorrector, true, false>(grid, q, qp, gt, p, ttt, out,
+                                                  dt, irange, jlo, jhi);
+    }
+  } else {
+    if (viscous) {
+      radial_update_rows<kCorrector, false, true>(grid, q, qp, gt, p, ttt, out,
+                                                  dt, irange, jlo, jhi);
+    } else {
+      radial_update_rows<kCorrector, false, false>(grid, q, qp, gt, p, ttt,
+                                                   out, dt, irange, jlo, jhi);
+    }
+  }
+}
+
+}  // namespace
+
+void predictor_r_rows(const Grid& grid, const StateField& q,
+                      const StateField& gt, const Field2D& p,
+                      const Field2D& ttt, bool viscous, StateField& qp,
+                      double dt, SweepVariant v, Range irange, int jlo,
+                      int jhi, FlopCounter* fc) {
+  check_tile(q.rho, irange.begin, irange.end, jlo, jhi);
+  // The one-sided difference at row j reaches rows j +- 2.
+  check_tile(gt.rho, irange.begin, irange.end, jlo - kGhost, jhi + kGhost);
+  // The predictor ignores its qp-average slot; pass q twice.
+  radial_update<false>(grid, q, q, gt, p, ttt, viscous, qp, dt,
+                       v == SweepVariant::L1, irange, jlo, jhi);
+  if (fc) {
+    const long pts = static_cast<long>(irange.end - irange.begin) * (jhi - jlo);
+    fc->add(30.0 * pts, 1.0 * pts);
+  }
+}
+
+void corrector_r_rows(const Grid& grid, const StateField& q,
+                      const StateField& qp, const StateField& gtp,
+                      const Field2D& pp, const Field2D& tttp, bool viscous,
+                      StateField& qn1, double dt, SweepVariant v, Range irange,
+                      int jlo, int jhi, FlopCounter* fc) {
+  check_tile(q.rho, irange.begin, irange.end, jlo, jhi);
+  check_tile(gtp.rho, irange.begin, irange.end, jlo - kGhost, jhi + kGhost);
+  radial_update<true>(grid, q, qp, gtp, pp, tttp, viscous, qn1, dt,
+                      v != SweepVariant::L1, irange, jlo, jhi);
+  if (fc) {
+    const long pts = static_cast<long>(irange.end - irange.begin) * (jhi - jlo);
+    fc->add(34.0 * pts, 1.0 * pts);
+  }
+}
+
+void predictor_r(const Grid& grid, const StateField& q, const StateField& gt,
+                 const Field2D& p, const Field2D& ttt, bool viscous,
+                 StateField& qp, double dt, SweepVariant v, Range irange,
+                 FlopCounter* fc) {
+  predictor_r_rows(grid, q, gt, p, ttt, viscous, qp, dt, v, irange, 0,
+                   q.rho.nj(), fc);
+}
+
+void corrector_r(const Grid& grid, const StateField& q, const StateField& qp,
+                 const StateField& gtp, const Field2D& pp, const Field2D& tttp,
+                 bool viscous, StateField& qn1, double dt, SweepVariant v,
+                 Range irange, FlopCounter* fc) {
+  corrector_r_rows(grid, q, qp, gtp, pp, tttp, viscous, qn1, dt, v, irange, 0,
+                   q.rho.nj(), fc);
+}
+
+}  // namespace nsp::core::tiled
+
+namespace nsp::core {
+
+KernelSet select_kernels(bool use_tiled) {
+  if (use_tiled) {
+    return {&tiled::compute_primitives, &tiled::compute_stresses,
+            &tiled::compute_flux_x,     &tiled::compute_flux_r,
+            &tiled::predictor_x,        &tiled::corrector_x,
+            &tiled::predictor_r,        &tiled::corrector_r};
+  }
+  return {&compute_primitives, &compute_stresses, &compute_flux_x,
+          &compute_flux_r,     &predictor_x,      &corrector_x,
+          &predictor_r,        &corrector_r};
+}
+
+}  // namespace nsp::core

@@ -1,0 +1,141 @@
+// Tuned span-based implementations of the hot MacCormack kernels.
+//
+// Every function here is a drop-in replacement for its reference
+// counterpart in core/kernels.hpp — same signature, same per-point
+// arithmetic (bit-for-bit: each output value is computed by the same
+// expression tree as the reference, so the golden state-hash tests in
+// tests/test_tiling.cpp hold exactly) — but the inner loops iterate raw
+// contiguous `double*` row spans (Field2D::row_span) instead of
+// per-point operator():
+//
+//   * index arithmetic is hoisted to one pointer per row, and the
+//     level-2 per-point NSP_CHECK_SLOW index scans become one level-1
+//     range precondition per kernel call plus one per row_span;
+//   * StateField components are walked through the component-pointer
+//     array (StateField::components), not operator[]'s branchy switch;
+//   * data-independent branches (viscous terms, Sutherland viscosity,
+//     one-sided stencils at domain edges) are hoisted out of the inner
+//     loop, which lets the compiler vectorize the contiguous runs.
+//
+// The deliberately pessimized historical variants V1/V2 (radial-hopping
+// loop order, library pow) are museum exhibits of the paper's
+// optimization ladder: for them these functions forward to the
+// reference implementation so the measured V1..V5 ladder keeps its
+// meaning. V3 keeps its division-heavy arithmetic but gains the span
+// loop; V4/V5 share the reciprocal-multiply body.
+#pragma once
+
+#include "core/kernels.hpp"
+
+namespace nsp::core::tiled {
+
+/// See core::compute_primitives. V1/V2 forward to the reference.
+void compute_primitives(const Gas& gas, const StateField& q,
+                        PrimitiveField& w, Range irange, int jlo, int jhi,
+                        KernelVariant variant = KernelVariant::V5,
+                        FlopCounter* fc = nullptr);
+
+/// See core::compute_stresses. Edge columns (one-sided x-derivatives)
+/// are peeled off the vectorized central loop.
+void compute_stresses(const Gas& gas, const Grid& grid,
+                      const PrimitiveField& w, StressField& s, Range irange,
+                      int ilo_avail, int ihi_avail, FlopCounter* fc = nullptr);
+
+/// Which consumer the stress tensor is being computed for. The axial
+/// flux reads only {txx, txr, qx}; the radial flux and source read only
+/// {trr, ttt, txr, qr}. Skipping the unread components cannot change any
+/// used value (each output has its own independent expression tree), so
+/// the fused sweeps ask for just their subset. The unread components
+/// keep whatever values the previous stage left behind.
+enum class StressOutputs { All, FluxX, FluxR };
+
+/// compute_stresses restricted to the components `which` needs.
+void compute_stresses_for(StressOutputs which, const Gas& gas,
+                          const Grid& grid, const PrimitiveField& w,
+                          StressField& s, Range irange, int ilo_avail,
+                          int ihi_avail, FlopCounter* fc = nullptr);
+
+/// Row-range generalization of compute_stresses_for: computes only
+/// interior rows [jlo, jhi) of the column range. The 2-D subdomain
+/// solver's overlapped schedule (Version 6) computes the rows that need
+/// no halo primitives while the halo messages are in flight, then calls
+/// again for the boundary rows.
+void compute_stresses_rows(StressOutputs which, const Gas& gas,
+                           const Grid& grid, const PrimitiveField& w,
+                           StressField& s, Range irange, int jlo, int jhi,
+                           int ilo_avail, int ihi_avail,
+                           FlopCounter* fc = nullptr);
+
+/// See core::compute_flux_x. V1/V2 forward to the reference.
+void compute_flux_x(const Gas& gas, const StateField& q,
+                    const PrimitiveField& w, const StressField& s,
+                    bool viscous, StateField& f, Range irange,
+                    KernelVariant variant = KernelVariant::V5,
+                    FlopCounter* fc = nullptr);
+
+/// See core::compute_flux_r. V1/V2 forward to the reference.
+void compute_flux_r(const Gas& gas, const Grid& grid, const StateField& q,
+                    const PrimitiveField& w, const StressField& s,
+                    bool viscous, StateField& gt, Range irange, int jlo,
+                    int jhi, KernelVariant variant = KernelVariant::V5,
+                    FlopCounter* fc = nullptr);
+
+/// See core::predictor_x / corrector_x (variant-independent).
+void predictor_x(const StateField& q, const StateField& f, StateField& qp,
+                 double lambda, SweepVariant v, Range irange,
+                 FlopCounter* fc = nullptr);
+void corrector_x(const StateField& q, const StateField& qp,
+                 const StateField& fp, StateField& qn1, double lambda,
+                 SweepVariant v, Range irange, FlopCounter* fc = nullptr);
+
+/// See core::predictor_r / corrector_r. The component loop is unrolled
+/// over the component-pointer array.
+void predictor_r(const Grid& grid, const StateField& q, const StateField& gt,
+                 const Field2D& p, const Field2D& ttt, bool viscous,
+                 StateField& qp, double dt, SweepVariant v, Range irange,
+                 FlopCounter* fc = nullptr);
+void corrector_r(const Grid& grid, const StateField& q, const StateField& qp,
+                 const StateField& gtp, const Field2D& pp, const Field2D& tttp,
+                 bool viscous, StateField& qn1, double dt, SweepVariant v,
+                 Range irange, FlopCounter* fc = nullptr);
+
+/// Row-range generalizations of predictor_r / corrector_r: update only
+/// rows [jlo, jhi). The radial difference at row j reaches rows j +- 2,
+/// so the 2-D subdomain solver's overlapped schedule updates the rows
+/// whose flux stencil stays local while the halo flux rows are in
+/// flight, then finishes the boundary rows.
+void predictor_r_rows(const Grid& grid, const StateField& q,
+                      const StateField& gt, const Field2D& p,
+                      const Field2D& ttt, bool viscous, StateField& qp,
+                      double dt, SweepVariant v, Range irange, int jlo,
+                      int jhi, FlopCounter* fc = nullptr);
+void corrector_r_rows(const Grid& grid, const StateField& q,
+                      const StateField& qp, const StateField& gtp,
+                      const Field2D& pp, const Field2D& tttp, bool viscous,
+                      StateField& qn1, double dt, SweepVariant v, Range irange,
+                      int jlo, int jhi, FlopCounter* fc = nullptr);
+
+}  // namespace nsp::core::tiled
+
+namespace nsp::core {
+
+/// The hot-path kernels behind one level of indirection: the reference
+/// and tiled implementations share signatures exactly, so the serial
+/// and subdomain solvers dispatch through plain function pointers
+/// instead of branching per call site.
+struct KernelSet {
+  decltype(&compute_primitives) primitives;
+  decltype(&compute_stresses) stresses;
+  decltype(&compute_flux_x) flux_x;
+  decltype(&compute_flux_r) flux_r;
+  decltype(&predictor_x) pred_x;
+  decltype(&corrector_x) corr_x;
+  decltype(&predictor_r) pred_r;
+  decltype(&corrector_r) corr_r;
+};
+
+/// The tiled set when `use_tiled` (SolverConfig::tiled), else the
+/// reference set. Both compute identical bits for every grid point.
+KernelSet select_kernels(bool use_tiled);
+
+}  // namespace nsp::core

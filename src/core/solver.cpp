@@ -5,7 +5,9 @@
 #include <stdexcept>
 
 #include "check/check.hpp"
+#include "core/kernels_tiled.hpp"
 #include "core/stability.hpp"
+#include "core/tiles.hpp"
 
 namespace nsp::core {
 
@@ -72,22 +74,31 @@ void Solver::initialize() {
 }
 
 void Solver::fill_radial_ghosts(StateField& q_stage) const {
-  const Range full{0, cfg_.grid.ni};
-  fill_q_ghost_rows_axis(q_stage, full);
+  fill_radial_ghosts(q_stage, Range{0, cfg_.grid.ni});
+}
+
+// The ghost-row fills are column-local (each column's ghosts depend only
+// on that column), so the fused tile schedule can fill just the padded
+// tile's columns and still produce bit-identical ghost values.
+void Solver::fill_radial_ghosts(StateField& q_stage, Range irange) const {
+  fill_q_ghost_rows_axis(q_stage, irange);
   if (cfg_.far_field == RBoundary::FreeStream) {
-    fill_q_ghost_rows_far(q_stage, full, far_q_);
+    fill_q_ghost_rows_far(q_stage, irange, far_q_);
   } else {
-    fill_q_ghost_rows_far_zero_gradient(q_stage, full);
+    fill_q_ghost_rows_far_zero_gradient(q_stage, irange);
   }
 }
 
 void Solver::fill_radial_prim_ghosts(PrimitiveField& w) const {
-  const Range full{0, cfg_.grid.ni};
-  fill_primitive_ghost_rows_axis(w, full);
+  fill_radial_prim_ghosts(w, Range{0, cfg_.grid.ni});
+}
+
+void Solver::fill_radial_prim_ghosts(PrimitiveField& w, Range irange) const {
+  fill_primitive_ghost_rows_axis(w, irange);
   if (cfg_.far_field == RBoundary::FreeStream) {
-    fill_primitive_ghost_rows_far(cfg_.jet.gas, w, full, far_w_);
+    fill_primitive_ghost_rows_far(cfg_.jet.gas, w, irange, far_w_);
   } else {
-    fill_primitive_ghost_rows_far_zero_gradient(w, full);
+    fill_primitive_ghost_rows_far_zero_gradient(w, irange);
   }
 }
 
@@ -110,27 +121,32 @@ void Solver::apply_x_boundaries(StateField& q_stage, double stage_dt) {
   }
 }
 
-void Solver::doall(const std::function<void(Range)>& body) const {
-  const int n = cfg_.grid.ni;
-  const int threads = cfg_.num_threads;
-  if (threads <= 1) {
-    body(Range{0, n});
-    return;
+bool Solver::use_fused() const {
+  // The fused schedule needs the span kernels' V3+ bodies (V1/V2 are
+  // museum exhibits of the paper's ladder and keep their pessimized
+  // whole-grid schedule) and a single thread: tiles of one stage share
+  // the scratch pad columns, which partitioned DOALL chunks must not.
+  return cfg_.tiled && cfg_.num_threads <= 1 &&
+         cfg_.variant != KernelVariant::V1 && cfg_.variant != KernelVariant::V2;
+}
+
+int Solver::tile_width() const {
+  if (cfg_.tile_i > 0) {
+    // Floor of 2*kGhost: the first tile must cover the flux columns the
+    // left ghost extrapolation reads.
+    return std::min(std::max(cfg_.tile_i, 2 * kGhost), cfg_.grid.ni);
   }
-  const int chunks = std::min(threads, n);
-#ifdef _OPENMP
-#pragma omp parallel for num_threads(threads) schedule(static)
-#endif
-  for (int c = 0; c < chunks; ++c) {
-    const int lo = n * c / chunks;
-    const int hi = n * (c + 1) / chunks;
-    body(Range{lo, hi});
-  }
+  return choose_tile_width(cfg_.grid.ni, cfg_.grid.nj);
 }
 
 void Solver::sweep_x(SweepVariant v) {
+  if (use_fused()) {
+    sweep_x_fused(v);
+    return;
+  }
   const Grid& g = cfg_.grid;
   const Gas& gas = cfg_.jet.gas;
+  const KernelSet ks = select_kernels(cfg_.tiled);
   FlopCounter* fc =
       (cfg_.count_flops && cfg_.num_threads <= 1) ? &flops_ : nullptr;
   const double lambda = dt_ / (6.0 * g.dx());
@@ -138,24 +154,24 @@ void Solver::sweep_x(SweepVariant v) {
   for (int stage = 0; stage < 2; ++stage) {
     const StateField& qs = stage == 0 ? q_ : qp_;
     doall([&](Range r) {
-      compute_primitives(gas, qs, w_, r, 0, g.nj, cfg_.variant, fc);
+      ks.primitives(gas, qs, w_, r, 0, g.nj, cfg_.variant, fc);
     });
     if (cfg_.viscous) {
       fill_radial_prim_ghosts(w_);
       doall([&](Range r) {
-        compute_stresses(gas, g, w_, s_, r, 0, g.ni, fc);
+        ks.stresses(gas, g, w_, s_, r, 0, g.ni, fc);
       });
     }
     doall([&](Range r) {
-      compute_flux_x(gas, qs, w_, s_, cfg_.viscous, flux_, r, cfg_.variant, fc);
+      ks.flux_x(gas, qs, w_, s_, cfg_.viscous, flux_, r, cfg_.variant, fc);
     });
     extrapolate_flux_ghost_x(flux_, g.ni, -1, fc);
     extrapolate_flux_ghost_x(flux_, g.ni, +1, fc);
     if (stage == 0) {
-      doall([&](Range r) { predictor_x(q_, flux_, qp_, lambda, v, r, fc); });
+      doall([&](Range r) { ks.pred_x(q_, flux_, qp_, lambda, v, r, fc); });
       apply_x_boundaries(qp_, dt_);
     } else {
-      doall([&](Range r) { corrector_x(q_, qp_, flux_, qn_, lambda, v, r, fc); });
+      doall([&](Range r) { ks.corr_x(q_, qp_, flux_, qn_, lambda, v, r, fc); });
       apply_x_boundaries(qn_, dt_);
     }
   }
@@ -163,8 +179,13 @@ void Solver::sweep_x(SweepVariant v) {
 }
 
 void Solver::sweep_r(SweepVariant v) {
+  if (use_fused()) {
+    sweep_r_fused(v);
+    return;
+  }
   const Grid& g = cfg_.grid;
   const Gas& gas = cfg_.jet.gas;
+  const KernelSet ks = select_kernels(cfg_.tiled);
   FlopCounter* fc =
       (cfg_.count_flops && cfg_.num_threads <= 1) ? &flops_ : nullptr;
   const Range full{0, g.ni};
@@ -173,31 +194,151 @@ void Solver::sweep_r(SweepVariant v) {
     StateField& qs = stage == 0 ? q_ : qp_;
     fill_radial_ghosts(qs);
     doall([&](Range r) {
-      compute_primitives(gas, qs, w_, r, -kGhost, g.nj + kGhost, cfg_.variant, fc);
+      ks.primitives(gas, qs, w_, r, -kGhost, g.nj + kGhost, cfg_.variant, fc);
     });
     if (cfg_.viscous) {
       doall([&](Range r) {
-        compute_stresses(gas, g, w_, s_, r, 0, g.ni, fc);
+        ks.stresses(gas, g, w_, s_, r, 0, g.ni, fc);
       });
       fill_stress_ghost_rows(s_, full.begin, full.end);
     }
     doall([&](Range r) {
-      compute_flux_r(gas, g, qs, w_, s_, cfg_.viscous, flux_, r, 0,
-                     g.nj + kGhost, cfg_.variant, fc);
+      ks.flux_r(gas, g, qs, w_, s_, cfg_.viscous, flux_, r, 0,
+                g.nj + kGhost, cfg_.variant, fc);
     });
     reflect_flux_r_axis(flux_, full);
     if (stage == 0) {
       doall([&](Range r) {
-        predictor_r(g, q_, flux_, w_.p, s_.ttt, cfg_.viscous, qp_, dt_, v, r, fc);
+        ks.pred_r(g, q_, flux_, w_.p, s_.ttt, cfg_.viscous, qp_, dt_, v, r, fc);
       });
       apply_x_boundaries(qp_, dt_);
     } else {
       doall([&](Range r) {
-        corrector_r(g, q_, qp_, flux_, w_.p, s_.ttt, cfg_.viscous, qn_, dt_, v,
-                    r, fc);
+        ks.corr_r(g, q_, qp_, flux_, w_.p, s_.ttt, cfg_.viscous, qn_, dt_, v,
+                  r, fc);
       });
       apply_x_boundaries(qn_, dt_);
     }
+  }
+  std::swap(q_, qn_);
+}
+
+void Solver::credit_sweep_x_stage(int stage) {
+  if (!cfg_.count_flops) return;
+  const long ni = cfg_.grid.ni, nj = cfg_.grid.nj;
+  const double pts = static_cast<double>(ni) * nj;
+  if (cfg_.variant == KernelVariant::V3) {
+    flops_.add(8.0 * pts, 4.0 * pts);
+  } else {
+    flops_.add(10.0 * pts, 1.0 * pts);
+  }
+  if (cfg_.viscous) flops_.add(36.0 * pts, 1.0 * pts);
+  flops_.add((cfg_.viscous ? 14.0 : 7.0) * pts);
+  flops_.add(2.0 * 14.0 * nj * StateField::kComponents);  // ghost extrapolation
+  flops_.add((stage == 0 ? 6.0 : 8.0) * StateField::kComponents * pts);
+}
+
+void Solver::credit_sweep_r_stage(int stage) {
+  if (!cfg_.count_flops) return;
+  const long ni = cfg_.grid.ni, nj = cfg_.grid.nj;
+  const double pts = static_cast<double>(ni) * nj;
+  const double pts_prim = static_cast<double>(ni) * (nj + 2 * kGhost);
+  const double pts_flux = static_cast<double>(ni) * (nj + kGhost);
+  if (cfg_.variant == KernelVariant::V3) {
+    flops_.add(8.0 * pts_prim, 4.0 * pts_prim);
+  } else {
+    flops_.add(10.0 * pts_prim, 1.0 * pts_prim);
+  }
+  if (cfg_.viscous) flops_.add(36.0 * pts, 1.0 * pts);
+  flops_.add((cfg_.viscous ? 18.0 : 11.0) * pts_flux);
+  flops_.add((stage == 0 ? 30.0 : 34.0) * pts, 1.0 * pts);
+}
+
+void Solver::sweep_x_fused(SweepVariant v) {
+  const Grid& g = cfg_.grid;
+  const Gas& gas = cfg_.jet.gas;
+  const KernelSet ks = select_kernels(true);
+  const double lambda = dt_ / (6.0 * g.dx());
+  const int w = tile_width();
+
+  for (int stage = 0; stage < 2; ++stage) {
+    const StateField& qs = stage == 0 ? q_ : qp_;
+    for (int lo = 0, hi = 0; lo < g.ni; lo = hi) {
+      // The forward difference at column ni-2 reads the ghost flux the
+      // right-edge extrapolation provides, so that column must belong
+      // to the tile that runs the extrapolation (hi == ni): a 1-column
+      // final tile is absorbed into its neighbour.
+      hi = std::min(lo + w, g.ni);
+      if (g.ni - hi == 1) hi = g.ni;
+      // The update reads flux at i +- kGhost; interior flux columns come
+      // from this tile's padded range, ghost columns (outside the grid)
+      // from the edge extrapolation below. Stresses read primitives two
+      // further columns out.
+      const Range fr{std::max(0, lo - kGhost), std::min(g.ni, hi + kGhost)};
+      const Range pr{std::max(0, fr.begin - 2), std::min(g.ni, fr.end + 2)};
+      ks.primitives(gas, qs, w_, pr, 0, g.nj, cfg_.variant, nullptr);
+      if (cfg_.viscous) {
+        fill_radial_prim_ghosts(w_, pr);
+        // The axial flux reads only {txx, txr, qx}; skip the rest.
+        tiled::compute_stresses_for(tiled::StressOutputs::FluxX, gas, g, w_,
+                                    s_, fr, 0, g.ni, nullptr);
+      }
+      ks.flux_x(gas, qs, w_, s_, cfg_.viscous, flux_, fr, cfg_.variant,
+                nullptr);
+      // Tiles run left to right, so by the time hi == ni every interior
+      // flux column is current and the right extrapolation is valid.
+      if (lo == 0) extrapolate_flux_ghost_x(flux_, g.ni, -1, nullptr);
+      if (hi == g.ni) extrapolate_flux_ghost_x(flux_, g.ni, +1, nullptr);
+      const Range ur{lo, hi};
+      if (stage == 0) {
+        ks.pred_x(q_, flux_, qp_, lambda, v, ur, nullptr);
+      } else {
+        ks.corr_x(q_, qp_, flux_, qn_, lambda, v, ur, nullptr);
+      }
+    }
+    apply_x_boundaries(stage == 0 ? qp_ : qn_, dt_);
+    credit_sweep_x_stage(stage);
+  }
+  std::swap(q_, qn_);
+}
+
+void Solver::sweep_r_fused(SweepVariant v) {
+  const Grid& g = cfg_.grid;
+  const Gas& gas = cfg_.jet.gas;
+  const KernelSet ks = select_kernels(true);
+  const int w = tile_width();
+
+  for (int stage = 0; stage < 2; ++stage) {
+    StateField& qs = stage == 0 ? q_ : qp_;
+    for (int lo = 0; lo < g.ni; lo += w) {
+      const int hi = std::min(lo + w, g.ni);
+      // Radial differences never cross columns: the update needs flux
+      // only on its own columns; only the stresses' x-derivatives reach
+      // two columns beyond the tile.
+      const Range ur{lo, hi};
+      const Range pr{std::max(0, lo - 2), std::min(g.ni, hi + 2)};
+      fill_radial_ghosts(qs, pr);
+      ks.primitives(gas, qs, w_, pr, -kGhost, g.nj + kGhost, cfg_.variant,
+                    nullptr);
+      if (cfg_.viscous) {
+        // The radial flux and source read only {trr, ttt, txr, qr}.
+        tiled::compute_stresses_for(tiled::StressOutputs::FluxR, gas, g, w_,
+                                    s_, ur, 0, g.ni, nullptr);
+        fill_stress_ghost_rows(s_, ur.begin, ur.end);
+      }
+      ks.flux_r(gas, g, qs, w_, s_, cfg_.viscous, flux_, ur, 0,
+                g.nj + kGhost, cfg_.variant, nullptr);
+      reflect_flux_r_axis(flux_, ur);
+      if (stage == 0) {
+        ks.pred_r(g, q_, flux_, w_.p, s_.ttt, cfg_.viscous, qp_, dt_, v, ur,
+                  nullptr);
+      } else {
+        ks.corr_r(g, q_, qp_, flux_, w_.p, s_.ttt, cfg_.viscous, qn_, dt_, v,
+                  ur, nullptr);
+      }
+    }
+    apply_x_boundaries(stage == 0 ? qp_ : qn_, dt_);
+    credit_sweep_r_stage(stage);
   }
   std::swap(q_, qn_);
 }

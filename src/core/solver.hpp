@@ -8,7 +8,7 @@
 // which makes the scheme fourth-order accurate in space.
 #pragma once
 
-#include <functional>
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -53,6 +53,16 @@ struct SolverConfig {
   /// Each kernel call is chunked over the axial index and run under
   /// OpenMP when > 1. Flop counting is disabled in DOALL mode.
   int num_threads = 1;
+  /// Use the span-based kernels (core/kernels_tiled.hpp) and, when
+  /// single-threaded, the fused cache-blocked sweep schedule. Any
+  /// combination of tiled/threads/tile_i is bit-identical to the
+  /// reference path: every grid point's value is a pure function of its
+  /// stencil inputs (docs/NUMERICS.md, "Tiling and bit-exactness"), and
+  /// reported flop totals are credited identically.
+  bool tiled = true;
+  /// Axial tile width for the fused sweeps; 0 picks one from the cache
+  /// model (core/tiles.hpp). Ignored unless tiled && num_threads <= 1.
+  int tile_i = 0;
   /// Excite the inflow with a converged compressible-Rayleigh
   /// eigenmode (core/stability.hpp) instead of the analytic shape —
   /// the paper's actual "eigenfunctions of the linearized equations".
@@ -110,14 +120,53 @@ class Solver {
  private:
   void sweep_x(SweepVariant v);
   void sweep_r(SweepVariant v);
+  /// Fused cache-blocked sweeps: the whole stage pipeline (primitives ->
+  /// stresses -> flux -> update) runs tile by tile over padded axial
+  /// tiles, so one tile's rows of every streamed array stay cache-hot
+  /// across stages. Single-thread only; bit-identical to sweep_x/sweep_r
+  /// because tile pads recompute the same pure per-point expressions.
+  void sweep_x_fused(SweepVariant v);
+  void sweep_r_fused(SweepVariant v);
+  /// True when step() should take the fused tiled schedule.
+  bool use_fused() const;
+  /// Axial tile width for the fused sweeps (cfg_.tile_i or cache model).
+  int tile_width() const;
+  /// Reference-identical flop credit for one fused sweep stage: the
+  /// fused tiles recompute pad columns, so per-kernel counting would
+  /// over-credit; instead each stage credits exactly what the reference
+  /// schedule's kernels would have (metric determinism for the memo
+  /// cache and audit layer).
+  void credit_sweep_x_stage(int stage);
+  void credit_sweep_r_stage(int stage);
   void apply_x_boundaries(StateField& q_stage, double stage_dt);
   void apply_smoothing();
   /// Runs body(Range) over the axial extent: one call when
   /// num_threads <= 1, otherwise chunked under an OpenMP parallel-for.
-  void doall(const std::function<void(Range)>& body) const;
+  /// Templated on the callable so the DOALL path never heap-allocates a
+  /// std::function per kernel call.
+  template <typename Body>
+  void doall(Body&& body) const {
+    const int n = cfg_.grid.ni;
+    const int threads = cfg_.num_threads;
+    if (threads <= 1) {
+      body(Range{0, n});
+      return;
+    }
+    const int chunks = std::min(threads, n);
+#ifdef _OPENMP
+#pragma omp parallel for num_threads(threads) schedule(static)
+#endif
+    for (int c = 0; c < chunks; ++c) {
+      const int lo = n * c / chunks;
+      const int hi = n * (c + 1) / chunks;
+      body(Range{lo, hi});
+    }
+  }
   /// Fills radial ghost rows of a state per cfg_.far_field.
   void fill_radial_ghosts(StateField& q_stage) const;
+  void fill_radial_ghosts(StateField& q_stage, Range irange) const;
   void fill_radial_prim_ghosts(PrimitiveField& w) const;
+  void fill_radial_prim_ghosts(PrimitiveField& w, Range irange) const;
 
   SolverConfig cfg_;
   InflowBC inflow_;

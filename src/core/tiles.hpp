@@ -1,0 +1,67 @@
+// Cache-blocked tile sizing for the MacCormack sweeps.
+//
+// A sweep stage streams a fixed set of double arrays (conserved state,
+// primitives, stresses, fluxes, stage output) through the cache. The
+// fused tiled sweeps in core::Solver process the axial extent in tiles
+// narrow enough that one tile's rows of every streamed array fit a
+// target cache level, so the stage pipeline (primitives -> stresses ->
+// flux -> update) reuses them before eviction instead of re-streaming
+// the whole grid per kernel.
+//
+// The chooser takes plain cache parameters so nsp::core stays below
+// nsp::arch in the layering; callers with an arch::CacheGeometry (the
+// platform zoo, the benches) pass geom.size_bytes / geom.line_bytes.
+// Tile choice NEVER affects results — each grid point's value is a pure
+// function of its stencil inputs, so any partition of the index space
+// computes identical bits (docs/NUMERICS.md, "Tiling and bit-exactness").
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace nsp::core {
+
+/// Stencil reach of the 2-4 MacCormack stage pipeline: a fused tile
+/// computing columns [lo, hi) reads at most [lo - kTilePad, hi + kTilePad)
+/// of its inputs (predictor/corrector difference reach 2, plus 1 for the
+/// central stress derivatives).
+inline constexpr int kTilePad = 3;
+
+/// Default working-set parameters of one fused sweep stage at the
+/// paper's grid sizes: ~22 double arrays are live per stage (4 q, 4 w,
+/// 6 stresses, 4 flux, 4 stage output).
+inline constexpr int kSweepArrays = 22;
+
+/// Default cache budget blocking aims at: the LAST-level cache, not L2.
+/// Blocking a working set that already fits in some cache level buys no
+/// locality but still pays the padded-overlap recompute at every tile
+/// seam — measured on the 502 x 102 paper grid (9 MB working set, large
+/// L3) narrow tiles are strictly slower, monotonically approaching the
+/// un-blocked time as the width grows (docs/PERF.md records the sweep).
+inline constexpr std::size_t kDefaultCacheBytes = 32ull * 1024 * 1024;
+
+/// Picks an axial tile width for an ni x nj sweep so that one tile's
+/// share of `arrays` double arrays (nj rows each, padded by the stencil
+/// reach) fits in `cache_bytes`. If the WHOLE extent fits the budget,
+/// returns ni (no blocking — see kDefaultCacheBytes). Otherwise returns
+/// a width in [2 * kTilePad + 2, ni]: tiles narrower than the stencil
+/// reach would spend more work on the padded overlap than on the tile
+/// itself. `cache_bytes` = 0 also disables blocking.
+inline int choose_tile_width(int ni, int nj, int arrays = kSweepArrays,
+                             std::size_t cache_bytes = kDefaultCacheBytes) {
+  if (ni <= 0) return 1;
+  if (cache_bytes == 0) return ni;
+  const std::size_t rows = static_cast<std::size_t>(std::max(1, nj));
+  const std::size_t per_col = rows * static_cast<std::size_t>(std::max(1, arrays)) *
+                              sizeof(double);
+  if (per_col * static_cast<std::size_t>(ni) <= cache_bytes) return ni;
+  std::size_t w = cache_bytes / per_col;
+  // Leave headroom for the padded overlap columns each neighbour tile
+  // re-reads, then clamp to the useful range.
+  w = (w > 2 * kTilePad) ? w - 2 * kTilePad : 0;
+  const std::size_t min_w = static_cast<std::size_t>(2 * kTilePad + 2);
+  w = std::max(w, min_w);
+  return static_cast<int>(std::min<std::size_t>(w, static_cast<std::size_t>(ni)));
+}
+
+}  // namespace nsp::core

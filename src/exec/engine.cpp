@@ -163,7 +163,7 @@ bool run_solve(const Scenario& s, const std::atomic<bool>* cancel,
     done += n;
   }
   out->platform = "live solver";
-  out->nprocs = 1;
+  out->nprocs = cfg.num_threads;
   out->set("steps", solver.steps_taken());
   out->set("sim_time_s", solver.time());
   out->set("dt_s", solver.dt());

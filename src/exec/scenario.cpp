@@ -73,6 +73,11 @@ Scenario& Scenario::version(arch::CodeVersion v) {
   return *this;
 }
 
+Scenario& Scenario::kernel(core::KernelVariant v) {
+  kernel_ = v;
+  return *this;
+}
+
 Scenario& Scenario::grid2d(int px) {
   proc_grid_px_ = px;
   return *this;
@@ -108,7 +113,7 @@ Scenario& Scenario::faults(const std::string& spec) {
 }
 
 int Scenario::resolved_procs() const {
-  if (workload_ == Workload::Solve) return 1;
+  if (workload_ == Workload::Solve) return std::max(1, nprocs_);
   if (nprocs_ > 0) return nprocs_;
   return make_platform(platform_).max_procs;
 }
@@ -124,6 +129,10 @@ std::string Scenario::cache_key() const {
   // Only an *enabled* fault spec contributes, so pre-fault cache keys
   // (and every artifact derived from them) are byte-identical.
   if (faults_.enabled) os << "|faults:" << faults_.str();
+  // Likewise the kernel axis: V5 is the default, so scenarios that never
+  // touch .kernel() keep their historical cache keys byte-for-byte.
+  if (kernel_ != core::KernelVariant::V5)
+    os << "|k" << static_cast<int>(kernel_);
   return os.str();
 }
 
@@ -172,6 +181,8 @@ core::SolverConfig Scenario::solver_config() const {
   core::SolverConfig cfg;
   cfg.grid = core::Grid::coarse(ni_, nj_);
   cfg.viscous = eq_ == arch::Equations::NavierStokes;
+  cfg.variant = kernel_;
+  cfg.num_threads = std::max(1, nprocs_);
   return cfg;
 }
 

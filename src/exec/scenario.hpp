@@ -60,6 +60,10 @@ class Scenario {
   Scenario& euler() { return equations(arch::Equations::Euler); }
   Scenario& navier_stokes() { return equations(arch::Equations::NavierStokes); }
   Scenario& version(arch::CodeVersion v);
+  /// Kernel variant for Workload::Solve (the live solver's V1..V5
+  /// optimization ladder; V5 is the default and the production path).
+  /// Distinct from version(), which names the replay's code version.
+  Scenario& kernel(core::KernelVariant v);
   Scenario& grid2d(int px);  ///< 2-D process grid, px columns (0 = 1-D)
   Scenario& steps(int n);
   Scenario& sim_steps(int n);  ///< replay fidelity (default 400)
@@ -80,6 +84,7 @@ class Scenario {
   const std::string& label_text() const { return label_; }
   arch::Equations equations() const { return eq_; }
   int requested_procs() const { return nprocs_; }
+  core::KernelVariant kernel_variant() const { return kernel_; }
   int step_count() const { return steps_; }
   int sim_step_count() const { return sim_steps_; }
   const fault::FaultSpec& fault_spec() const { return faults_; }
@@ -120,6 +125,7 @@ class Scenario {
   Workload workload_ = Workload::Replay;
   arch::Equations eq_ = arch::Equations::NavierStokes;
   arch::CodeVersion version_ = arch::CodeVersion::V5_CommonCollapse;
+  core::KernelVariant kernel_ = core::KernelVariant::V5;
   int ni_ = 250;
   int nj_ = 100;
   int steps_ = 5000;

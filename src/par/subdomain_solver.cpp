@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "check/check.hpp"
+#include "core/kernels_tiled.hpp"
 
 namespace nsp::par {
 
@@ -135,12 +136,13 @@ void SubdomainSolver::recv_primitives() {
 
 void SubdomainSolver::compute_stresses_with_halo() {
   const core::Gas& gas = global_cfg_.jet.gas;
+  const core::KernelSet ks = core::select_kernels(global_cfg_.tiled);
   const int ilo_avail = leftmost_ ? 0 : -1;
   const int ihi_avail = rightmost_ ? width_ : width_ + 1;
   if (!global_cfg_.overlap_comm) {
     exchange_primitives();
-    core::compute_stresses(gas, local_grid_, w_, s_, Range{0, width_},
-                           ilo_avail, ihi_avail);
+    ks.stresses(gas, local_grid_, w_, s_, Range{0, width_}, ilo_avail,
+                ihi_avail, nullptr);
     return;
   }
   // Live Version 6: interior stress columns proceed while the halo
@@ -148,16 +150,16 @@ void SubdomainSolver::compute_stresses_with_halo() {
   send_primitives();
   const int a = leftmost_ ? 0 : 1;
   const int b = rightmost_ ? width_ : width_ - 1;
-  core::compute_stresses(gas, local_grid_, w_, s_, Range{a, b}, ilo_avail,
-                         ihi_avail);
+  ks.stresses(gas, local_grid_, w_, s_, Range{a, b}, ilo_avail, ihi_avail,
+              nullptr);
   recv_primitives();
   if (!leftmost_) {
-    core::compute_stresses(gas, local_grid_, w_, s_, Range{0, 1}, ilo_avail,
-                           ihi_avail);
+    ks.stresses(gas, local_grid_, w_, s_, Range{0, 1}, ilo_avail, ihi_avail,
+                nullptr);
   }
   if (!rightmost_) {
-    core::compute_stresses(gas, local_grid_, w_, s_, Range{width_ - 1, width_},
-                           ilo_avail, ihi_avail);
+    ks.stresses(gas, local_grid_, w_, s_, Range{width_ - 1, width_},
+                ilo_avail, ihi_avail, nullptr);
   }
 }
 
@@ -237,6 +239,7 @@ void SubdomainSolver::apply_x_boundaries(StateField& q_stage) {
 
 void SubdomainSolver::sweep_x(SweepVariant v) {
   const core::Gas& gas = global_cfg_.jet.gas;
+  const core::KernelSet ks = core::select_kernels(global_cfg_.tiled);
   const Range full{0, width_};
   const double lambda = dt_ / (6.0 * local_grid_.dx());
   const bool visc = global_cfg_.viscous;
@@ -244,14 +247,14 @@ void SubdomainSolver::sweep_x(SweepVariant v) {
 
   for (int stage = 0; stage < 2; ++stage) {
     const StateField& qs = stage == 0 ? q_ : qp_;
-    core::compute_primitives(gas, qs, w_, full, 0, local_grid_.nj,
-                             global_cfg_.variant);
+    ks.primitives(gas, qs, w_, full, 0, local_grid_.nj, global_cfg_.variant,
+                  nullptr);
     if (visc) {
       core::fill_primitive_ghost_rows(gas, w_, full, far_w_);
       compute_stresses_with_halo();
     }
-    core::compute_flux_x(gas, qs, w_, s_, visc, flux_, full,
-                         global_cfg_.variant);
+    ks.flux_x(gas, qs, w_, s_, visc, flux_, full, global_cfg_.variant,
+              nullptr);
     // L1 predictor and L2 corrector use forward differences.
     const bool forward = (v == SweepVariant::L1) == (stage == 0);
     send_flux(flux_, forward);
@@ -261,9 +264,9 @@ void SubdomainSolver::sweep_x(SweepVariant v) {
     const Range edge = forward ? Range{width_ - 2, width_} : Range{0, 2};
     const auto update = [&](Range r) {
       if (stage == 0) {
-        core::predictor_x(q_, flux_, qp_, lambda, v, r);
+        ks.pred_x(q_, flux_, qp_, lambda, v, r, nullptr);
       } else {
-        core::corrector_x(q_, qp_, flux_, qn_, lambda, v, r);
+        ks.corr_x(q_, qp_, flux_, qn_, lambda, v, r, nullptr);
       }
     };
     if (overlap) {
@@ -281,6 +284,7 @@ void SubdomainSolver::sweep_x(SweepVariant v) {
 
 void SubdomainSolver::sweep_r(SweepVariant v) {
   const core::Gas& gas = global_cfg_.jet.gas;
+  const core::KernelSet ks = core::select_kernels(global_cfg_.tiled);
   const Range full{0, width_};
   const bool visc = global_cfg_.viscous;
   const int nj = local_grid_.nj;
@@ -288,8 +292,8 @@ void SubdomainSolver::sweep_r(SweepVariant v) {
   for (int stage = 0; stage < 2; ++stage) {
     StateField& qs = stage == 0 ? q_ : qp_;
     core::fill_q_ghost_rows(qs, full, far_q_);
-    core::compute_primitives(gas, qs, w_, full, -kGhost, nj + kGhost,
-                             global_cfg_.variant);
+    ks.primitives(gas, qs, w_, full, -kGhost, nj + kGhost, global_cfg_.variant,
+                  nullptr);
     if (visc) {
       // The radial flux's txr needs d(u)/dx: exchange boundary
       // primitives so the x-derivative stays central at interior
@@ -298,16 +302,16 @@ void SubdomainSolver::sweep_r(SweepVariant v) {
       compute_stresses_with_halo();
       core::fill_stress_ghost_rows(s_, full.begin, full.end);
     }
-    core::compute_flux_r(gas, local_grid_, qs, w_, s_, visc, flux_, full, 0,
-                         nj + kGhost, global_cfg_.variant);
+    ks.flux_r(gas, local_grid_, qs, w_, s_, visc, flux_, full, 0, nj + kGhost,
+              global_cfg_.variant, nullptr);
     core::reflect_flux_r_axis(flux_, full);
     if (stage == 0) {
-      core::predictor_r(local_grid_, q_, flux_, w_.p, s_.ttt, visc, qp_, dt_,
-                        v, full);
+      ks.pred_r(local_grid_, q_, flux_, w_.p, s_.ttt, visc, qp_, dt_, v, full,
+                nullptr);
       apply_x_boundaries(qp_);
     } else {
-      core::corrector_r(local_grid_, q_, qp_, flux_, w_.p, s_.ttt, visc, qn_,
-                        dt_, v, full);
+      ks.corr_r(local_grid_, q_, qp_, flux_, w_.p, s_.ttt, visc, qn_, dt_, v,
+                full, nullptr);
       apply_x_boundaries(qn_);
     }
   }

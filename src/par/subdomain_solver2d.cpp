@@ -5,6 +5,9 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "check/check.hpp"
+#include "core/kernels_tiled.hpp"
+
 namespace nsp::par {
 
 using core::Field2D;
@@ -104,87 +107,238 @@ void SubdomainSolver2D::initialize() {
   steps_ = 0;
 }
 
-void SubdomainSolver2D::exchange_primitives() {
-  const int h = height_, w = width_;
-  const auto pack_col = [&](int i) {
-    std::vector<double> buf(static_cast<std::size_t>(4) * h);
-    for (int j = 0; j < h; ++j) {
-      buf[0 * h + j] = w_.u(i, j);
-      buf[1 * h + j] = w_.v(i, j);
-      buf[2 * h + j] = w_.t(i, j);
-      buf[3 * h + j] = w_.p(i, j);
-    }
-    return buf;
-  };
-  const auto unpack_col = [&](int i, const std::vector<double>& buf) {
-    for (int j = 0; j < h; ++j) {
-      w_.u(i, j) = buf[0 * h + j];
-      w_.v(i, j) = buf[1 * h + j];
-      w_.t(i, j) = buf[2 * h + j];
-      w_.p(i, j) = buf[3 * h + j];
-    }
-  };
-  const auto pack_row = [&](int j) {
-    std::vector<double> buf(static_cast<std::size_t>(4) * w);
-    for (int i = 0; i < w; ++i) {
-      buf[0 * w + i] = w_.u(i, j);
-      buf[1 * w + i] = w_.v(i, j);
-      buf[2 * w + i] = w_.t(i, j);
-      buf[3 * w + i] = w_.p(i, j);
-    }
-    return buf;
-  };
-  const auto unpack_row = [&](int j, const std::vector<double>& buf) {
-    for (int i = 0; i < w; ++i) {
-      w_.u(i, j) = buf[0 * w + i];
-      w_.v(i, j) = buf[1 * w + i];
-      w_.t(i, j) = buf[2 * w + i];
-      w_.p(i, j) = buf[3 * w + i];
-    }
-  };
+namespace {
 
-  if (!leftmost_) comm_->send(rank_of(rx_ - 1, ry_), kTagPrimCol, pack_col(0));
-  if (!rightmost_)
-    comm_->send(rank_of(rx_ + 1, ry_), kTagPrimCol, pack_col(w - 1));
-  if (!bottom_) comm_->send(rank_of(rx_, ry_ - 1), kTagPrimRow, pack_row(0));
-  if (!top_) comm_->send(rank_of(rx_, ry_ + 1), kTagPrimRow, pack_row(h - 1));
-  if (!leftmost_) unpack_col(-1, comm_->recv(rank_of(rx_ - 1, ry_), kTagPrimCol).data);
-  if (!rightmost_) unpack_col(w, comm_->recv(rank_of(rx_ + 1, ry_), kTagPrimCol).data);
-  if (!bottom_) unpack_row(-1, comm_->recv(rank_of(rx_, ry_ - 1), kTagPrimRow).data);
-  if (!top_) unpack_row(h, comm_->recv(rank_of(rx_, ry_ + 1), kTagPrimRow).data);
+// Column packs are strided (one value per row), so they go through
+// operator(); row packs cover contiguous row spans and copy them
+// directly, which also hoists the level-2 per-point index checks to
+// one row_span check per field.
+std::vector<double> pack_prim_col(const core::PrimitiveField& w, int i,
+                                  int h) {
+  std::vector<double> buf(static_cast<std::size_t>(4) * h);
+  for (int j = 0; j < h; ++j) {
+    buf[0 * h + j] = w.u(i, j);
+    buf[1 * h + j] = w.v(i, j);
+    buf[2 * h + j] = w.t(i, j);
+    buf[3 * h + j] = w.p(i, j);
+  }
+  return buf;
 }
 
-void SubdomainSolver2D::exchange_flux_x(StateField& f, bool from_right) {
+void unpack_prim_col(core::PrimitiveField& w, int i, int h,
+                     const std::vector<double>& buf) {
+  NSP_CHECK(buf.size() == static_cast<std::size_t>(4) * h,
+            "par2d.halo.prim_col_size");
+  for (int j = 0; j < h; ++j) {
+    w.u(i, j) = buf[0 * h + j];
+    w.v(i, j) = buf[1 * h + j];
+    w.t(i, j) = buf[2 * h + j];
+    w.p(i, j) = buf[3 * h + j];
+  }
+}
+
+std::vector<double> pack_prim_row(const core::PrimitiveField& w, int j,
+                                  int ni) {
+  std::vector<double> buf(static_cast<std::size_t>(4) * ni);
+  const Field2D* f[4] = {&w.u, &w.v, &w.t, &w.p};
+  for (int c = 0; c < 4; ++c) {
+    const double* row = f[c]->row_span(j);
+    std::copy(row, row + ni, buf.begin() + static_cast<std::size_t>(c) * ni);
+  }
+  return buf;
+}
+
+void unpack_prim_row(core::PrimitiveField& w, int j, int ni,
+                     const std::vector<double>& buf) {
+  NSP_CHECK(buf.size() == static_cast<std::size_t>(4) * ni,
+            "par2d.halo.prim_row_size");
+  Field2D* f[4] = {&w.u, &w.v, &w.t, &w.p};
+  for (int c = 0; c < 4; ++c) {
+    std::copy(buf.begin() + static_cast<std::size_t>(c) * ni,
+              buf.begin() + static_cast<std::size_t>(c + 1) * ni,
+              f[c]->row_span(j));
+  }
+}
+
+std::vector<double> pack_flux_cols(const StateField& f, int i0, int i1,
+                                   int h) {
+  std::vector<double> buf(static_cast<std::size_t>(8) * h);
+  std::size_t k = 0;
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    for (int j = 0; j < h; ++j) buf[k++] = f[c](i0, j);
+    for (int j = 0; j < h; ++j) buf[k++] = f[c](i1, j);
+  }
+  return buf;
+}
+
+void unpack_flux_cols(StateField& f, int i0, int i1, int h,
+                      const std::vector<double>& buf) {
+  NSP_CHECK(buf.size() == static_cast<std::size_t>(8) * h,
+            "par2d.halo.flux_col_size");
+  std::size_t k = 0;
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    for (int j = 0; j < h; ++j) f[c](i0, j) = buf[k++];
+    for (int j = 0; j < h; ++j) f[c](i1, j) = buf[k++];
+  }
+}
+
+std::vector<double> pack_flux_rows(const StateField& f, int j0, int j1,
+                                   int ni) {
+  std::vector<double> buf(static_cast<std::size_t>(8) * ni);
+  auto out = buf.begin();
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    const double* r0 = f[c].row_span(j0);
+    const double* r1 = f[c].row_span(j1);
+    out = std::copy(r0, r0 + ni, out);
+    out = std::copy(r1, r1 + ni, out);
+  }
+  return buf;
+}
+
+void unpack_flux_rows(StateField& f, int j0, int j1, int ni,
+                      const std::vector<double>& buf) {
+  NSP_CHECK(buf.size() == static_cast<std::size_t>(8) * ni,
+            "par2d.halo.flux_row_size");
+  auto in = buf.begin();
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    std::copy(in, in + ni, f[c].row_span(j0));
+    in += ni;
+    std::copy(in, in + ni, f[c].row_span(j1));
+    in += ni;
+  }
+}
+
+}  // namespace
+
+void SubdomainSolver2D::send_primitives() {
   const int h = height_, w = width_;
-  const auto pack = [&](int i0, int i1) {
-    std::vector<double> buf(static_cast<std::size_t>(8) * h);
-    std::size_t k = 0;
-    for (int c = 0; c < StateField::kComponents; ++c) {
-      for (int j = 0; j < h; ++j) buf[k++] = f[c](i0, j);
-      for (int j = 0; j < h; ++j) buf[k++] = f[c](i1, j);
-    }
-    return buf;
+  if (!leftmost_) {
+    comm_->send(rank_of(rx_ - 1, ry_), kTagPrimCol, pack_prim_col(w_, 0, h));
+  }
+  if (!rightmost_) {
+    comm_->send(rank_of(rx_ + 1, ry_), kTagPrimCol,
+                pack_prim_col(w_, w - 1, h));
+  }
+  if (!bottom_) {
+    comm_->send(rank_of(rx_, ry_ - 1), kTagPrimRow, pack_prim_row(w_, 0, w));
+  }
+  if (!top_) {
+    comm_->send(rank_of(rx_, ry_ + 1), kTagPrimRow,
+                pack_prim_row(w_, h - 1, w));
+  }
+}
+
+void SubdomainSolver2D::recv_primitives() {
+  const int h = height_, w = width_;
+  if (!leftmost_) {
+    unpack_prim_col(w_, -1, h, comm_->recv(rank_of(rx_ - 1, ry_),
+                                           kTagPrimCol).data);
+  }
+  if (!rightmost_) {
+    unpack_prim_col(w_, w, h, comm_->recv(rank_of(rx_ + 1, ry_),
+                                          kTagPrimCol).data);
+  }
+  if (!bottom_) {
+    unpack_prim_row(w_, -1, w, comm_->recv(rank_of(rx_, ry_ - 1),
+                                           kTagPrimRow).data);
+  }
+  if (!top_) {
+    unpack_prim_row(w_, h, w, comm_->recv(rank_of(rx_, ry_ + 1),
+                                          kTagPrimRow).data);
+  }
+}
+
+void SubdomainSolver2D::compute_stresses_with_halo(bool fill_prim_ghosts) {
+  const core::Gas& gas = global_cfg_.jet.gas;
+  const core::KernelSet ks = core::select_kernels(global_cfg_.tiled);
+  const int h = height_, w = width_;
+  const int ilo_avail = leftmost_ ? 0 : -1;
+  const int ihi_avail = rightmost_ ? w : w + 1;
+  const Range full{0, w};
+  const Range avail{ilo_avail, ihi_avail};
+  const auto fill_ghost_rows = [&](Range cols) {
+    if (cols.begin >= cols.end) return;
+    if (bottom_) core::fill_primitive_ghost_rows_axis(w_, cols);
+    if (top_) core::fill_primitive_ghost_rows_far(gas, w_, cols, far_w_);
   };
-  const auto unpack = [&](int i0, int i1, const std::vector<double>& buf) {
-    std::size_t k = 0;
-    for (int c = 0; c < StateField::kComponents; ++c) {
-      for (int j = 0; j < h; ++j) f[c](i0, j) = buf[k++];
-      for (int j = 0; j < h; ++j) f[c](i1, j) = buf[k++];
-    }
-  };
+  if (!global_cfg_.overlap_comm) {
+    exchange_primitives();
+    if (fill_prim_ghosts) fill_ghost_rows(avail);
+    ks.stresses(gas, local_grid_, w_, s_, full, ilo_avail, ihi_avail,
+                nullptr);
+    return;
+  }
+  // Version 6 schedule: every stress point whose stencil reads only
+  // local primitives proceeds while the halo messages are in flight.
+  // Ghost-row reads are same-column, so the local axis/far fills over
+  // the interior columns unlock the interior's boundary rows too.
+  send_primitives();
+  const int a = leftmost_ ? 0 : 1;
+  const int b = rightmost_ ? w : w - 1;
+  const int rb = bottom_ ? 0 : 1;
+  const int rt = top_ ? h : h - 1;
+  if (fill_prim_ghosts) fill_ghost_rows(Range{a, b});
+  core::tiled::compute_stresses_rows(core::tiled::StressOutputs::All, gas,
+                                     local_grid_, w_, s_, Range{a, b}, rb, rt,
+                                     ilo_avail, ihi_avail);
+  recv_primitives();
+  if (fill_prim_ghosts) {
+    fill_ghost_rows(Range{ilo_avail, a});
+    fill_ghost_rows(Range{b, ihi_avail});
+  }
+  // Boundary strips: left/right columns over all rows, then the top/
+  // bottom rows of the interior columns. Strip points recompute the
+  // same pure per-point expressions, so overlap at corners is exact.
+  if (!leftmost_) {
+    core::tiled::compute_stresses_rows(core::tiled::StressOutputs::All, gas,
+                                       local_grid_, w_, s_, Range{0, 1}, 0, h,
+                                       ilo_avail, ihi_avail);
+  }
+  if (!rightmost_) {
+    core::tiled::compute_stresses_rows(core::tiled::StressOutputs::All, gas,
+                                       local_grid_, w_, s_, Range{w - 1, w},
+                                       0, h, ilo_avail, ihi_avail);
+  }
+  if (!bottom_) {
+    core::tiled::compute_stresses_rows(core::tiled::StressOutputs::All, gas,
+                                       local_grid_, w_, s_, Range{a, b}, 0, 1,
+                                       ilo_avail, ihi_avail);
+  }
+  if (!top_) {
+    core::tiled::compute_stresses_rows(core::tiled::StressOutputs::All, gas,
+                                       local_grid_, w_, s_, Range{a, b},
+                                       h - 1, h, ilo_avail, ihi_avail);
+  }
+}
+
+void SubdomainSolver2D::send_flux_x(const StateField& f, bool from_right) {
+  const int h = height_, w = width_;
   if (from_right) {
-    if (!leftmost_) comm_->send(rank_of(rx_ - 1, ry_), kTagFluxX, pack(0, 1));
+    if (!leftmost_) {
+      comm_->send(rank_of(rx_ - 1, ry_), kTagFluxX, pack_flux_cols(f, 0, 1, h));
+    }
+  } else {
     if (!rightmost_) {
-      unpack(w, w + 1, comm_->recv(rank_of(rx_ + 1, ry_), kTagFluxX).data);
+      comm_->send(rank_of(rx_ + 1, ry_), kTagFluxX,
+                  pack_flux_cols(f, w - 1, w - 2, h));
+    }
+  }
+}
+
+void SubdomainSolver2D::recv_flux_x(StateField& f, bool from_right) {
+  const int h = height_, w = width_;
+  if (from_right) {
+    if (!rightmost_) {
+      unpack_flux_cols(f, w, w + 1, h,
+                       comm_->recv(rank_of(rx_ + 1, ry_), kTagFluxX).data);
     } else {
       core::extrapolate_flux_ghost_x(f, w, +1);
     }
     if (leftmost_) core::extrapolate_flux_ghost_x(f, w, -1);
   } else {
-    if (!rightmost_)
-      comm_->send(rank_of(rx_ + 1, ry_), kTagFluxX, pack(w - 1, w - 2));
     if (!leftmost_) {
-      unpack(-1, -2, comm_->recv(rank_of(rx_ - 1, ry_), kTagFluxX).data);
+      unpack_flux_cols(f, -1, -2, h,
+                       comm_->recv(rank_of(rx_ - 1, ry_), kTagFluxX).data);
     } else {
       core::extrapolate_flux_ghost_x(f, w, -1);
     }
@@ -192,37 +346,35 @@ void SubdomainSolver2D::exchange_flux_x(StateField& f, bool from_right) {
   }
 }
 
-void SubdomainSolver2D::exchange_flux_r(StateField& f, bool from_up) {
+void SubdomainSolver2D::send_flux_r(const StateField& f, bool from_up) {
   const int h = height_, w = width_;
-  const auto pack = [&](int j0, int j1) {
-    std::vector<double> buf(static_cast<std::size_t>(8) * w);
-    std::size_t k = 0;
-    for (int c = 0; c < StateField::kComponents; ++c) {
-      for (int i = 0; i < w; ++i) buf[k++] = f[c](i, j0);
-      for (int i = 0; i < w; ++i) buf[k++] = f[c](i, j1);
-    }
-    return buf;
-  };
-  const auto unpack = [&](int j0, int j1, const std::vector<double>& buf) {
-    std::size_t k = 0;
-    for (int c = 0; c < StateField::kComponents; ++c) {
-      for (int i = 0; i < w; ++i) f[c](i, j0) = buf[k++];
-      for (int i = 0; i < w; ++i) f[c](i, j1) = buf[k++];
-    }
-  };
   if (from_up) {
     // Forward radial differences need rows h, h+1 from above; the top
     // ranks computed their far-field ghost rows locally.
-    if (!bottom_) comm_->send(rank_of(rx_, ry_ - 1), kTagFluxR, pack(0, 1));
-    if (!top_) {
-      unpack(h, h + 1, comm_->recv(rank_of(rx_, ry_ + 1), kTagFluxR).data);
+    if (!bottom_) {
+      comm_->send(rank_of(rx_, ry_ - 1), kTagFluxR, pack_flux_rows(f, 0, 1, w));
     }
   } else {
     // Backward differences need rows -1, -2 from below; the bottom
     // ranks already reflected across the axis.
-    if (!top_) comm_->send(rank_of(rx_, ry_ + 1), kTagFluxR, pack(h - 1, h - 2));
+    if (!top_) {
+      comm_->send(rank_of(rx_, ry_ + 1), kTagFluxR,
+                  pack_flux_rows(f, h - 1, h - 2, w));
+    }
+  }
+}
+
+void SubdomainSolver2D::recv_flux_r(StateField& f, bool from_up) {
+  const int h = height_, w = width_;
+  if (from_up) {
+    if (!top_) {
+      unpack_flux_rows(f, h, h + 1, w,
+                       comm_->recv(rank_of(rx_, ry_ + 1), kTagFluxR).data);
+    }
+  } else {
     if (!bottom_) {
-      unpack(-1, -2, comm_->recv(rank_of(rx_, ry_ - 1), kTagFluxR).data);
+      unpack_flux_rows(f, -1, -2, w,
+                       comm_->recv(rank_of(rx_, ry_ - 1), kTagFluxR).data);
     }
   }
 }
@@ -238,44 +390,54 @@ void SubdomainSolver2D::apply_x_boundaries(StateField& q_stage) {
 
 void SubdomainSolver2D::sweep_x(SweepVariant v) {
   const core::Gas& gas = global_cfg_.jet.gas;
+  const core::KernelSet ks = core::select_kernels(global_cfg_.tiled);
   const Range full{0, width_};
   const double lambda = dt_ / (6.0 * local_grid_.dx());
-  const int ilo_avail = leftmost_ ? 0 : -1;
-  const int ihi_avail = rightmost_ ? width_ : width_ + 1;
   const bool visc = global_cfg_.viscous;
+  const bool overlap = global_cfg_.overlap_comm;
 
   for (int stage = 0; stage < 2; ++stage) {
     const StateField& qs = stage == 0 ? q_ : qp_;
-    core::compute_primitives(gas, qs, w_, full, 0, height_, global_cfg_.variant);
-    if (visc) {
-      exchange_primitives();
-      const Range avail{ilo_avail, ihi_avail};
-      if (bottom_) core::fill_primitive_ghost_rows_axis(w_, avail);
-      if (top_) core::fill_primitive_ghost_rows_far(gas, w_, avail, far_w_);
-      core::compute_stresses(gas, local_grid_, w_, s_, full, ilo_avail,
-                             ihi_avail);
-    }
-    core::compute_flux_x(gas, qs, w_, s_, visc, flux_, full, global_cfg_.variant);
+    ks.primitives(gas, qs, w_, full, 0, height_, global_cfg_.variant,
+                  nullptr);
+    if (visc) compute_stresses_with_halo(/*fill_prim_ghosts=*/true);
+    ks.flux_x(gas, qs, w_, s_, visc, flux_, full, global_cfg_.variant,
+              nullptr);
     // L1 predictor and L2 corrector use forward differences.
     const bool forward = (v == SweepVariant::L1) == (stage == 0);
-    exchange_flux_x(flux_, forward);
-    if (stage == 0) {
-      core::predictor_x(q_, flux_, qp_, lambda, v, full);
-      apply_x_boundaries(qp_);
+    send_flux_x(flux_, forward);
+    const auto update = [&](Range r) {
+      if (r.begin >= r.end) return;
+      if (stage == 0) {
+        ks.pred_x(q_, flux_, qp_, lambda, v, r, nullptr);
+      } else {
+        ks.corr_x(q_, qp_, flux_, qn_, lambda, v, r, nullptr);
+      }
+    };
+    if (overlap) {
+      // Version 6: columns that need no ghost fluxes update while the
+      // halo is in flight; the boundary-adjacent columns follow.
+      const Range interior =
+          forward ? Range{0, width_ - 2} : Range{2, width_};
+      const Range edge = forward ? Range{width_ - 2, width_} : Range{0, 2};
+      update(interior);
+      recv_flux_x(flux_, forward);
+      update(edge);
     } else {
-      core::corrector_x(q_, qp_, flux_, qn_, lambda, v, full);
-      apply_x_boundaries(qn_);
+      recv_flux_x(flux_, forward);
+      update(full);
     }
+    apply_x_boundaries(stage == 0 ? qp_ : qn_);
   }
   std::swap(q_, qn_);
 }
 
 void SubdomainSolver2D::sweep_r(SweepVariant v) {
   const core::Gas& gas = global_cfg_.jet.gas;
+  const core::KernelSet ks = core::select_kernels(global_cfg_.tiled);
   const Range full{0, width_};
-  const int ilo_avail = leftmost_ ? 0 : -1;
-  const int ihi_avail = rightmost_ ? width_ : width_ + 1;
   const bool visc = global_cfg_.viscous;
+  const bool overlap = global_cfg_.overlap_comm;
   const int h = height_;
 
   for (int stage = 0; stage < 2; ++stage) {
@@ -284,29 +446,47 @@ void SubdomainSolver2D::sweep_r(SweepVariant v) {
     if (top_) core::fill_q_ghost_rows_far(qs, full, far_q_);
     const int jlo = bottom_ ? -kGhost : 0;
     const int jhi = top_ ? h + kGhost : h;
-    core::compute_primitives(gas, qs, w_, full, jlo, jhi, global_cfg_.variant);
+    ks.primitives(gas, qs, w_, full, jlo, jhi, global_cfg_.variant, nullptr);
     if (visc) {
-      exchange_primitives();
-      core::compute_stresses(gas, local_grid_, w_, s_, full, ilo_avail,
-                             ihi_avail);
+      // The radial flux's txr needs d(u)/dx: exchange boundary
+      // primitives so the x-derivative stays central at interior
+      // subdomain edges. (Euler radial sweeps need no halo primitives:
+      // the flux rows are exchanged directly.)
+      compute_stresses_with_halo(/*fill_prim_ghosts=*/false);
       if (top_) core::fill_stress_ghost_rows_far(s_, full.begin, full.end);
     }
-    // (Euler radial sweeps need no halo primitives: the flux rows are
-    // exchanged directly and the stresses are absent.)
-    core::compute_flux_r(gas, local_grid_, qs, w_, s_, visc, flux_, full, 0,
-                         top_ ? h + kGhost : h, global_cfg_.variant);
+    ks.flux_r(gas, local_grid_, qs, w_, s_, visc, flux_, full, 0,
+              top_ ? h + kGhost : h, global_cfg_.variant, nullptr);
     if (bottom_) core::reflect_flux_r_axis(flux_, full);
     const bool forward = (v == SweepVariant::L1) == (stage == 0);
-    exchange_flux_r(flux_, forward);
-    if (stage == 0) {
-      core::predictor_r(local_grid_, q_, flux_, w_.p, s_.ttt, visc, qp_, dt_,
-                        v, full);
-      apply_x_boundaries(qp_);
+    send_flux_r(flux_, forward);
+    const auto update = [&](int rlo, int rhi) {
+      if (rlo >= rhi) return;
+      if (stage == 0) {
+        core::tiled::predictor_r_rows(local_grid_, q_, flux_, w_.p, s_.ttt,
+                                      visc, qp_, dt_, v, full, rlo, rhi);
+      } else {
+        core::tiled::corrector_r_rows(local_grid_, q_, qp_, flux_, w_.p,
+                                      s_.ttt, visc, qn_, dt_, v, full, rlo,
+                                      rhi);
+      }
+    };
+    if (overlap) {
+      // Version 6, radial flavour: the difference at row j reaches rows
+      // j +- 2, so all but two boundary rows update while the halo flux
+      // rows are in flight. Ranks owning the axis (bottom) or far field
+      // (top) built those rows locally and have no waiting to hide.
+      const int rb = (!forward && !bottom_) ? 2 : 0;
+      const int rt = (forward && !top_) ? h - 2 : h;
+      update(rb, rt);
+      recv_flux_r(flux_, forward);
+      update(0, rb);
+      update(rt, h);
     } else {
-      core::corrector_r(local_grid_, q_, qp_, flux_, w_.p, s_.ttt, visc, qn_,
-                        dt_, v, full);
-      apply_x_boundaries(qn_);
+      recv_flux_r(flux_, forward);
+      update(0, h);
     }
+    apply_x_boundaries(stage == 0 ? qp_ : qn_);
   }
   std::swap(q_, qn_);
 }

@@ -41,9 +41,26 @@ class SubdomainSolver2D {
  private:
   void sweep_x(core::SweepVariant v);
   void sweep_r(core::SweepVariant v);
-  void exchange_primitives();
-  void exchange_flux_x(core::StateField& f, bool from_right);
-  void exchange_flux_r(core::StateField& f, bool from_up);
+  /// Halo exchanges are split into send and (blocking) receive halves
+  /// so the Version 6 schedule (cfg.overlap_comm) can compute interior
+  /// points while the messages are in flight.
+  void send_primitives();
+  void recv_primitives();
+  void exchange_primitives() {
+    send_primitives();
+    recv_primitives();
+  }
+  /// Viscous stresses with halo primitives. With overlap_comm the
+  /// interior rows and columns (whose stencil never reads a halo value)
+  /// proceed between send and receive; the boundary strips follow.
+  /// `fill_prim_ghosts`: also fill the local radial ghost rows
+  /// (axis reflection / far field) per column range — the x sweep's
+  /// schedule; the r sweep computed its ghost-row primitives already.
+  void compute_stresses_with_halo(bool fill_prim_ghosts);
+  void send_flux_x(const core::StateField& f, bool from_right);
+  void recv_flux_x(core::StateField& f, bool from_right);
+  void send_flux_r(const core::StateField& f, bool from_up);
+  void recv_flux_r(core::StateField& f, bool from_up);
   void apply_x_boundaries(core::StateField& q_stage);
   int rank_of(int rx, int ry) const { return ry * px_ + rx; }
 
