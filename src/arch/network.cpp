@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <stdexcept>
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
 
 namespace nsp::arch {
 

@@ -1,4 +1,5 @@
 #include "arch/platform.hpp"
+#include "sim/simulator.hpp"
 
 namespace nsp::arch {
 

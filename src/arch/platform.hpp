@@ -11,6 +11,7 @@
 #include "arch/cpu_model.hpp"
 #include "arch/msglayer.hpp"
 #include "arch/network.hpp"
+#include "sim/simulator.hpp"
 
 namespace nsp::arch {
 

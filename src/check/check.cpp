@@ -38,7 +38,7 @@ Registry& Registry::instance() {
 void Registry::violate(Site& site) {
   site.count.fetch_add(1, std::memory_order_relaxed);
   if (!site.listed.exchange(true, std::memory_order_acq_rel)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     sites_.push_back(&site);
   }
   if (site.severity == Severity::Fatal ||
@@ -49,14 +49,14 @@ void Registry::violate(Site& site) {
 }
 
 std::uint64_t Registry::total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::uint64_t n = 0;
   for (const Site* s : sites_) n += s->count.load(std::memory_order_relaxed);
   return n;
 }
 
 std::uint64_t Registry::count(std::string_view id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::uint64_t n = 0;
   for (const Site* s : sites_) {
     if (id == s->id) n += s->count.load(std::memory_order_relaxed);
@@ -65,7 +65,7 @@ std::uint64_t Registry::count(std::string_view id) const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (Site* s : sites_) s->count.store(0, std::memory_order_relaxed);
 }
 
@@ -78,7 +78,7 @@ bool Registry::throw_on_error() const {
 }
 
 std::vector<const Site*> Registry::sites() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<const Site*> out(sites_.begin(), sites_.end());
   std::sort(out.begin(), out.end(), [](const Site* a, const Site* b) {
     const int c = std::string_view(a->id).compare(b->id);

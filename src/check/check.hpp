@@ -30,11 +30,12 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "check/thread_safety.hpp"
 
 #ifndef NSP_CHECK_LEVEL
 #define NSP_CHECK_LEVEL 1
@@ -77,7 +78,7 @@ class Registry {
 
   /// Records one violation of `site`. Throws Violation for Fatal sites,
   /// and for Error sites when throw-on-error mode is enabled.
-  void violate(Site& site);
+  void violate(Site& site) NSP_EXCLUDES(mu_);
 
   /// Total violations across all sites (warnings included).
   std::uint64_t total() const;
@@ -99,8 +100,8 @@ class Registry {
 
  private:
   Registry() = default;
-  mutable std::mutex mu_;
-  std::vector<Site*> sites_;
+  mutable Mutex mu_;
+  std::vector<Site*> sites_ NSP_GUARDED_BY(mu_);
   std::atomic<bool> throw_on_error_{false};
 };
 
@@ -120,15 +121,30 @@ inline Site make_site(const char* id, const char* expr, const char* file,
 }  // namespace nsp::check
 
 // ---- Macros ------------------------------------------------------------
+//
+// Evaluation contract (regression-tested in tests/test_check.cpp and
+// tests/test_check_level0.cpp; tools/nsp-analyze rule
+// nsp-check-discipline flags side-effecting arguments at call sites):
+//   * at an enabled level, `cond` is evaluated EXACTLY once;
+//   * at a disabled level, `cond` is evaluated ZERO times, but is still
+//     parsed and type-checked inside an unevaluated sizeof — a check
+//     whose condition stops compiling breaks every build, not just
+//     checked ones. (NSP_CHECK_SLOW* are the exception: their
+//     conditions may call level-2-only helpers, so below level 2 they
+//     are swallowed whole.)
 
 #define NSP_CHECK_SITE_(cond, id_str, sev)                                 \
   do {                                                                     \
-    if (!(cond)) {                                                         \
+    if (!(cond)) { /* cond evaluated exactly once, only here */            \
       static ::nsp::check::Site nsp_check_site_ =                          \
           ::nsp::check::make_site(id_str, #cond, __FILE__, __LINE__, sev); \
       ::nsp::check::fail(nsp_check_site_);                                 \
     }                                                                      \
   } while (0)
+
+// Unevaluated-context expansion for disabled levels: zero runtime cost,
+// zero evaluations, but `cond` must still compile.
+#define NSP_CHECK_UNEVALUATED_(cond) ((void)sizeof(!(cond)))
 
 #if NSP_CHECK_LEVEL >= 1
 #define NSP_CHECK(cond, id) \
@@ -140,16 +156,18 @@ inline Site make_site(const char* id, const char* expr, const char* file,
 #define NSP_CHECK_FINITE(val, id) \
   NSP_CHECK_SITE_(std::isfinite(val), id, ::nsp::check::Severity::Error)
 #else
-#define NSP_CHECK(...) ((void)0)
-#define NSP_CHECK_WARN(...) ((void)0)
-#define NSP_CHECK_FATAL(...) ((void)0)
-#define NSP_CHECK_FINITE(...) ((void)0)
+#define NSP_CHECK(cond, id) NSP_CHECK_UNEVALUATED_(cond)
+#define NSP_CHECK_WARN(cond, id) NSP_CHECK_UNEVALUATED_(cond)
+#define NSP_CHECK_FATAL(cond, id) NSP_CHECK_UNEVALUATED_(cond)
+#define NSP_CHECK_FINITE(val, id) NSP_CHECK_UNEVALUATED_(std::isfinite(val))
 #endif
 
 #if NSP_CHECK_LEVEL >= 2
 #define NSP_CHECK_SLOW(cond, id) NSP_CHECK(cond, id)
 #define NSP_CHECK_SLOW_FATAL(cond, id) NSP_CHECK_FATAL(cond, id)
 #else
+// Fully swallowed (not even parsed): slow-check conditions may name
+// helpers that only exist under #if NSP_CHECK_LEVEL >= 2.
 #define NSP_CHECK_SLOW(...) ((void)0)
 #define NSP_CHECK_SLOW_FATAL(...) ((void)0)
 #endif

@@ -1,0 +1,150 @@
+// nsp::check — Clang thread-safety annotations and annotated lock types.
+//
+// The concurrent core (exec::Engine and its work-stealing pool, the mp
+// mailboxes, the fault detector plans, the check Registry) states its
+// lock discipline through the NSP_* macros below, which expand to
+// Clang's thread-safety-analysis attributes under Clang and to nothing
+// elsewhere. A Clang build with -Wthread-safety (CI promotes it to
+// -Werror=thread-safety) then proves at compile time that every guarded
+// member is only touched with its mutex held — the static complement of
+// the TSan jobs, which can only see the interleavings a run happens to
+// produce.
+//
+// libstdc++'s std::mutex is not an annotated capability, so the
+// analysis cannot see through std::lock_guard<std::mutex>. The wrappers
+// here — check::Mutex, check::MutexLock, check::CondVar — carry the
+// attributes themselves and delegate to the std primitives (zero
+// overhead for Mutex/MutexLock; CondVar is a condition_variable_any so
+// it can wait on the annotated Mutex directly). Use them for any state
+// shared between threads:
+//
+//   class Account {
+//     check::Mutex mu_;
+//     double balance_ NSP_GUARDED_BY(mu_) = 0;
+//    public:
+//     void deposit(double v) NSP_EXCLUDES(mu_) {
+//       check::MutexLock lock(mu_);
+//       balance_ += v;   // OK: mu_ held
+//     }
+//   };
+//
+// Annotation glossary (see docs/CHECKING.md for the full catalog):
+//   NSP_GUARDED_BY(mu)   member may only be read/written with mu held
+//   NSP_REQUIRES(mu)     caller must hold mu to call this function
+//   NSP_ACQUIRE(mu)      function acquires mu and does not release it
+//   NSP_RELEASE(mu)      function releases mu
+//   NSP_EXCLUDES(mu)     caller must NOT hold mu (the function locks it)
+//   NSP_NO_THREAD_SAFETY_ANALYSIS  opt a function out (justify why!)
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define NSP_TS_ATTR_(x) __attribute__((x))
+#else
+#define NSP_TS_ATTR_(x)  // no-op off-Clang (gcc, MSVC)
+#endif
+
+// Type annotations.
+#define NSP_CAPABILITY(name) NSP_TS_ATTR_(capability(name))
+#define NSP_SCOPED_CAPABILITY NSP_TS_ATTR_(scoped_lockable)
+
+// Data-member annotations.
+#define NSP_GUARDED_BY(x) NSP_TS_ATTR_(guarded_by(x))
+#define NSP_PT_GUARDED_BY(x) NSP_TS_ATTR_(pt_guarded_by(x))
+
+// Function annotations.
+#define NSP_REQUIRES(...) NSP_TS_ATTR_(requires_capability(__VA_ARGS__))
+#define NSP_ACQUIRE(...) NSP_TS_ATTR_(acquire_capability(__VA_ARGS__))
+#define NSP_RELEASE(...) NSP_TS_ATTR_(release_capability(__VA_ARGS__))
+#define NSP_TRY_ACQUIRE(...) NSP_TS_ATTR_(try_acquire_capability(__VA_ARGS__))
+#define NSP_EXCLUDES(...) NSP_TS_ATTR_(locks_excluded(__VA_ARGS__))
+#define NSP_ASSERT_CAPABILITY(x) NSP_TS_ATTR_(assert_capability(x))
+#define NSP_RETURN_CAPABILITY(x) NSP_TS_ATTR_(lock_returned(x))
+#define NSP_NO_THREAD_SAFETY_ANALYSIS NSP_TS_ATTR_(no_thread_safety_analysis)
+
+namespace nsp::check {
+
+/// std::mutex as an annotated capability the analysis can track.
+class NSP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() NSP_ACQUIRE() { mu_.lock(); }
+  void unlock() NSP_RELEASE() { mu_.unlock(); }
+  bool try_lock() NSP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard over check::Mutex (the annotated std::lock_guard).
+/// Supports explicit unlock()/lock() so a holder can drop the lock
+/// around a long computation — the work-stealing pool's worker loop —
+/// with the analysis tracking the held/released state across the gap.
+class NSP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) NSP_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() NSP_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() NSP_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+  void lock() NSP_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable that waits on the annotated Mutex directly. The
+/// wait functions carry NSP_REQUIRES(mu): waiting without the lock held
+/// is a compile error under the analysis, exactly mirroring the runtime
+/// precondition. Prefer an explicit `while (!predicate) cv.wait(mu);`
+/// loop over the predicate overloads of std::condition_variable — the
+/// loop body is then analyzed in the scope that visibly holds the lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically releases `mu`, waits, reacquires. Spurious wakeups
+  /// happen: always re-test the predicate.
+  void wait(Mutex& mu) NSP_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      NSP_REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline);
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& dur)
+      NSP_REQUIRES(mu) {
+    return cv_.wait_for(mu, dur);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace nsp::check

@@ -6,12 +6,12 @@
 #include <cstdlib>
 #include <ctime>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
 #include "check/check.hpp"
 #include "check/trace.hpp"
+#include "arch/platform.hpp"
 #include "core/solver.hpp"
 #include "exec/audit.hpp"
 #include "exec/pool.hpp"
@@ -36,6 +36,7 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 double thread_cpu_seconds() {
 #if defined(CLOCK_THREAD_CPUTIME_ID)
   timespec ts;
+  // nsp-analyze: determinism-ok: per-thread CPU time feeds only the speedup metric, never solver state or TraceHash
   if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
     return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
   }
@@ -230,16 +231,21 @@ std::optional<RunResult> run_one(const Scenario& s,
 
 }  // namespace
 
+// Lock discipline (statically checked under Clang -Wthread-safety):
+//   cache_mu     the memo cache (content-hash -> RunResult)
+//   counters_mu  lifetime counters and the order-independent trace hash
+//   hook_mu      serializes user hook callbacks (guards no data)
+// cancel is an atomic flag so solver chunks can poll it lock-free.
 struct Engine::Impl {
   EngineOptions opts;
   WorkStealingPool pool;
-  std::mutex cache_mu;
-  std::unordered_map<std::string, RunResult> cache;
+  check::Mutex cache_mu;
+  std::unordered_map<std::string, RunResult> cache NSP_GUARDED_BY(cache_mu);
   std::atomic<bool> cancel{false};
-  std::mutex hook_mu;
-  std::mutex counters_mu;
-  std::uint64_t stolen_before = 0;
-  check::TraceHash trace;  ///< guarded by counters_mu
+  check::Mutex hook_mu;
+  mutable check::Mutex counters_mu;
+  EngineCounters counters NSP_GUARDED_BY(counters_mu);
+  check::TraceHash trace NSP_GUARDED_BY(counters_mu);
 
   explicit Impl(EngineOptions o)
       : opts([&o] {
@@ -250,7 +256,8 @@ struct Engine::Impl {
 };
 
 Engine::Engine(EngineOptions opts) : impl_(new Impl(opts)) {
-  counters_.threads = impl_->opts.threads;
+  check::MutexLock lock(impl_->counters_mu);
+  impl_->counters.threads = impl_->opts.threads;
 }
 
 Engine::~Engine() { delete impl_; }
@@ -261,23 +268,28 @@ bool Engine::cancelled() const {
   return impl_->cancel.load(std::memory_order_relaxed);
 }
 
+EngineCounters Engine::counters() const {
+  check::MutexLock lock(impl_->counters_mu);
+  return impl_->counters;
+}
+
 std::uint64_t Engine::trace_digest() const {
-  std::lock_guard<std::mutex> lock(impl_->counters_mu);
+  check::MutexLock lock(impl_->counters_mu);
   return impl_->trace.digest();
 }
 
 std::uint64_t Engine::trace_count() const {
-  std::lock_guard<std::mutex> lock(impl_->counters_mu);
+  check::MutexLock lock(impl_->counters_mu);
   return impl_->trace.count();
 }
 
 std::size_t Engine::cache_size() const {
-  std::lock_guard<std::mutex> lock(impl_->cache_mu);
+  check::MutexLock lock(impl_->cache_mu);
   return impl_->cache.size();
 }
 
 void Engine::clear_cache() {
-  std::lock_guard<std::mutex> lock(impl_->cache_mu);
+  check::MutexLock lock(impl_->cache_mu);
   impl_->cache.clear();
 }
 
@@ -290,7 +302,10 @@ ResultSet Engine::run(const std::vector<Scenario>& sweep,
                       const RunHooks& hooks) {
   Impl& im = *impl_;
   im.cancel.store(false, std::memory_order_relaxed);
-  counters_.submitted += sweep.size();
+  {
+    check::MutexLock lock(im.counters_mu);
+    im.counters.submitted += sweep.size();
+  }
 
   const std::size_t total = sweep.size();
   std::vector<std::optional<RunResult>> slots(total);
@@ -298,16 +313,16 @@ ResultSet Engine::run(const std::vector<Scenario>& sweep,
 
   const auto t0 = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < total; ++i) {
-    im.pool.submit([this, &im, &sweep, &slots, &done, &hooks, total, i] {
+    im.pool.submit([&im, &sweep, &slots, &done, &hooks, total, i] {
       const Scenario& s = sweep[i];
       if (im.cancel.load(std::memory_order_relaxed)) {
-        std::lock_guard<std::mutex> lock(im.counters_mu);
-        ++counters_.cancelled;
+        check::MutexLock lock(im.counters_mu);
+        ++im.counters.cancelled;
         return;
       }
       const std::string cache_key = s.cache_key();
       if (im.opts.cache) {
-        std::lock_guard<std::mutex> lock(im.cache_mu);
+        check::MutexLock lock(im.cache_mu);
         const auto it = im.cache.find(cache_key);
         if (it != im.cache.end()) {
           slots[i] = it->second;
@@ -317,8 +332,8 @@ ResultSet Engine::run(const std::vector<Scenario>& sweep,
           slots[i]->label = s.label_text();
           slots[i]->from_cache = true;
           slots[i]->wall_s = 0;
-          std::lock_guard<std::mutex> clock(im.counters_mu);
-          ++counters_.cache_hits;
+          check::MutexLock clock(im.counters_mu);
+          ++im.counters.cache_hits;
         }
       }
       if (!slots[i].has_value()) {
@@ -326,29 +341,29 @@ ResultSet Engine::run(const std::vector<Scenario>& sweep,
         auto r = run_one(s, &im.cancel);
         const double cpu_s = thread_cpu_seconds() - cpu0;
         if (!r.has_value()) {  // cancelled mid-solve
-          std::lock_guard<std::mutex> lock(im.counters_mu);
-          ++counters_.cancelled;
+          check::MutexLock lock(im.counters_mu);
+          ++im.counters.cancelled;
           return;
         }
         slots[i] = std::move(r);
         {
-          std::lock_guard<std::mutex> lock(im.counters_mu);
-          ++counters_.executed;
-          counters_.task_s += cpu_s;
+          check::MutexLock lock(im.counters_mu);
+          ++im.counters.executed;
+          im.counters.task_s += cpu_s;
         }
         if (im.opts.cache) {
-          std::lock_guard<std::mutex> lock(im.cache_mu);
+          check::MutexLock lock(im.cache_mu);
           im.cache.emplace(cache_key, *slots[i]);
         }
       }
       {
         // Order-independent accumulation: the digest is the same no
         // matter which worker delivered which cell.
-        std::lock_guard<std::mutex> lock(im.counters_mu);
+        check::MutexLock lock(im.counters_mu);
         im.trace.mix(trace_hash(*slots[i]));
       }
       if (hooks.on_result) {
-        std::lock_guard<std::mutex> lock(im.hook_mu);
+        check::MutexLock lock(im.hook_mu);
         hooks.on_result(*slots[i], done.fetch_add(1) + 1, total);
       } else {
         done.fetch_add(1);
@@ -356,10 +371,13 @@ ResultSet Engine::run(const std::vector<Scenario>& sweep,
     });
   }
   im.pool.wait_idle();
-  counters_.wall_s += seconds_since(t0);
 
   const auto pool_stats = im.pool.stats();
-  counters_.stolen = pool_stats.stolen;
+  {
+    check::MutexLock lock(im.counters_mu);
+    im.counters.wall_s += seconds_since(t0);
+    im.counters.stolen = pool_stats.stolen;
+  }
 
   ResultSet rs;
   for (auto& slot : slots) {

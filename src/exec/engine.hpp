@@ -79,7 +79,11 @@ class Engine {
   /// True if cancel() has been called during the current run.
   bool cancelled() const;
 
-  const EngineCounters& counters() const { return counters_; }
+  /// Snapshot of the lifetime counters. Returned by value: workers
+  /// update the counters under the engine's internal lock while run()
+  /// is in flight, so handing out a reference would be a data race for
+  /// any caller polling from a hook or another thread.
+  EngineCounters counters() const;
 
   /// Order-independent FNV digest of every result delivered by this
   /// engine (check::TraceHash over each result's identity and exact
@@ -101,7 +105,6 @@ class Engine {
  private:
   struct Impl;
   Impl* impl_;
-  EngineCounters counters_;
 };
 
 }  // namespace nsp::exec

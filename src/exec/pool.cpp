@@ -1,4 +1,5 @@
 #include "exec/pool.hpp"
+#include "check/thread_safety.hpp"
 
 #include <chrono>
 
@@ -18,7 +19,13 @@ WorkStealingPool::WorkStealingPool(int threads) {
   if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
   if (n <= 0) n = 1;
   if (n == 1) return;  // inline mode: no workers, submit() executes
-  queues_.resize(static_cast<std::size_t>(n));
+  {
+    // No worker exists yet, but locking keeps the guarded-member
+    // discipline uniform (the analysis skips constructors; TSan does
+    // not need the lock here either — this is documentation in code).
+    check::MutexLock lock(mu_);
+    queues_.resize(static_cast<std::size_t>(n));
+  }
   workers_.reserve(static_cast<std::size_t>(n));
   for (int w = 0; w < n; ++w) {
     workers_.emplace_back([this, w] { worker_main(static_cast<std::size_t>(w)); });
@@ -28,7 +35,7 @@ WorkStealingPool::WorkStealingPool(int threads) {
 WorkStealingPool::~WorkStealingPool() {
   if (workers_.empty()) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    check::MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -39,18 +46,18 @@ void WorkStealingPool::submit(std::function<void()> task) {
   if (workers_.empty()) {
     // Serial reference mode: run here, count like a worker would.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      check::MutexLock lock(mu_);
       ++stats_.queued;
     }
     const auto t0 = std::chrono::steady_clock::now();
     task();
-    std::lock_guard<std::mutex> lock(mu_);
+    check::MutexLock lock(mu_);
     ++stats_.executed;
     stats_.busy_s += seconds_since(t0);
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    check::MutexLock lock(mu_);
     ++stats_.queued;
     ++pending_;
     queues_[next_queue_].deque.push_back(std::move(task));
@@ -61,16 +68,15 @@ void WorkStealingPool::submit(std::function<void()> task) {
 
 void WorkStealingPool::wait_idle() {
   if (workers_.empty()) return;
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  check::MutexLock lock(mu_);
+  while (pending_ != 0) idle_cv_.wait(mu_);
 }
 
 WorkStealingPool::Stats WorkStealingPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(mu_);
   return stats_;
 }
 
-// Called with mu_ held.
 bool WorkStealingPool::try_get(std::size_t self, std::function<void()>* out) {
   auto& own = queues_[self].deque;
   if (!own.empty()) {
@@ -91,7 +97,7 @@ bool WorkStealingPool::try_get(std::size_t self, std::function<void()>* out) {
 }
 
 void WorkStealingPool::worker_main(std::size_t self) {
-  std::unique_lock<std::mutex> lock(mu_);
+  check::MutexLock lock(mu_);
   for (;;) {
     std::function<void()> task;
     if (try_get(self, &task)) {
@@ -107,7 +113,7 @@ void WorkStealingPool::worker_main(std::size_t self) {
       continue;
     }
     if (stop_) return;
-    work_cv_.wait(lock);
+    work_cv_.wait(mu_);
   }
 }
 

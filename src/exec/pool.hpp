@@ -9,15 +9,20 @@
 // With `threads <= 1` the pool runs tasks inline on the caller's thread
 // at submit() time — the serial reference mode the determinism tests
 // compare against.
+//
+// Lock discipline (statically checked under Clang -Wthread-safety):
+// one mutex `mu_` guards the deques, the pending count, the stop flag,
+// and the counters; `workers_` is written only by the constructor and
+// read by threads()/the destructor, so it needs no lock.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "check/thread_safety.hpp"
 
 namespace nsp::exec {
 
@@ -32,10 +37,10 @@ class WorkStealingPool {
 
   /// Enqueues a task (round-robin across worker deques). Tasks must not
   /// throw; exceptions escaping a task terminate.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) NSP_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished.
-  void wait_idle();
+  void wait_idle() NSP_EXCLUDES(mu_);
 
   /// Worker count (1 when running inline).
   int threads() const { return static_cast<int>(workers_.size() ? workers_.size() : 1); }
@@ -46,25 +51,25 @@ class WorkStealingPool {
     std::uint64_t stolen = 0;    ///< tasks taken from another worker
     double busy_s = 0;           ///< summed task wall time, all workers
   };
-  Stats stats() const;
+  Stats stats() const NSP_EXCLUDES(mu_);
 
  private:
   struct Worker {
     std::deque<std::function<void()>> deque;
   };
 
-  bool try_get(std::size_t self, std::function<void()>* out);
-  void worker_main(std::size_t self);
+  bool try_get(std::size_t self, std::function<void()>* out) NSP_REQUIRES(mu_);
+  void worker_main(std::size_t self) NSP_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::vector<Worker> queues_;
-  std::vector<std::thread> workers_;
-  std::size_t next_queue_ = 0;
-  std::uint64_t pending_ = 0;  ///< queued or running
-  bool stop_ = false;
-  Stats stats_;
+  mutable check::Mutex mu_;
+  check::CondVar work_cv_;
+  check::CondVar idle_cv_;
+  std::vector<Worker> queues_ NSP_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  ///< written by ctor only
+  std::size_t next_queue_ NSP_GUARDED_BY(mu_) = 0;
+  std::uint64_t pending_ NSP_GUARDED_BY(mu_) = 0;  ///< queued or running
+  bool stop_ NSP_GUARDED_BY(mu_) = false;
+  Stats stats_ NSP_GUARDED_BY(mu_);
 };
 
 }  // namespace nsp::exec

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cctype>
 #include <map>
-#include <mutex>
 #include <stdexcept>
+
+#include "check/thread_safety.hpp"
+#include "arch/platform.hpp"
 
 namespace nsp::exec {
 
@@ -29,15 +31,18 @@ const std::map<std::string, Factory>& builtin_platforms() {
   return kBuiltins;
 }
 
-std::mutex& user_mutex() {
-  static std::mutex m;
-  return m;
-}
+/// User-registered platforms. Mutex and map live in one struct so the
+/// guarded_by relation is expressible (the thread-safety analysis
+/// cannot track a capability returned from a function).
+struct UserRegistry {
+  check::Mutex mu;
+  std::map<std::string, arch::Platform> platforms NSP_GUARDED_BY(mu);
 
-std::map<std::string, arch::Platform>& user_platforms() {
-  static std::map<std::string, arch::Platform> reg;
-  return reg;
-}
+  static UserRegistry& instance() {
+    static UserRegistry reg;
+    return reg;
+  }
+};
 
 /// Splits "base-32" into ("base", 32); procs = 0 when no suffix.
 void split_proc_suffix(const std::string& key, std::string* base, int* procs) {
@@ -61,9 +66,9 @@ bool find_base(const std::string& base, arch::Platform* out) {
     if (out != nullptr) *out = it->second();
     return true;
   }
-  std::lock_guard<std::mutex> lock(user_mutex());
-  const auto& users = user_platforms();
-  if (const auto it = users.find(base); it != users.end()) {
+  auto& reg = UserRegistry::instance();
+  check::MutexLock lock(reg.mu);
+  if (const auto it = reg.platforms.find(base); it != reg.platforms.end()) {
     if (out != nullptr) *out = it->second;
     return true;
   }
@@ -76,8 +81,9 @@ std::vector<std::string> platform_names() {
   std::vector<std::string> names;
   for (const auto& kv : builtin_platforms()) names.push_back(kv.first);
   {
-    std::lock_guard<std::mutex> lock(user_mutex());
-    for (const auto& kv : user_platforms()) names.push_back(kv.first);
+    auto& reg = UserRegistry::instance();
+    check::MutexLock lock(reg.mu);
+    for (const auto& kv : reg.platforms) names.push_back(kv.first);
   }
   std::sort(names.begin(), names.end());
   names.erase(std::unique(names.begin(), names.end()), names.end());
@@ -118,8 +124,9 @@ void register_platform(const std::string& key, const arch::Platform& platform) {
     throw std::invalid_argument("platform key '" + key +
                                 "' ends in a proc-count suffix");
   }
-  std::lock_guard<std::mutex> lock(user_mutex());
-  user_platforms()[key] = platform;
+  auto& reg = UserRegistry::instance();
+  check::MutexLock lock(reg.mu);
+  reg.platforms[key] = platform;
 }
 
 namespace {

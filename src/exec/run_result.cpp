@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "io/table.hpp"
+#include "fault/fault.hpp"
+#include "perf/replay.hpp"
 
 namespace nsp::exec {
 

@@ -4,6 +4,11 @@
 #include <sstream>
 
 #include "exec/registry.hpp"
+#include "arch/kernel_profile.hpp"
+#include "arch/platform.hpp"
+#include "core/kernels.hpp"
+#include "fault/fault.hpp"
+#include "perf/app_model.hpp"
 
 namespace nsp::exec {
 

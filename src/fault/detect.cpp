@@ -6,6 +6,9 @@
 
 #include "check/check.hpp"
 #include "check/trace.hpp"
+#include "arch/network.hpp"
+#include "mp/comm.hpp"
+#include "sim/simulator.hpp"
 
 namespace nsp::fault {
 
@@ -97,18 +100,18 @@ void HeartbeatRing::check(int node) {
 // -------------------------------------------------------------- DropPlan
 
 void DropPlan::drop_first(int src, int dst, int tag, int n) {
-  std::lock_guard<std::mutex> lk(mu_);
+  check::MutexLock lk(mu_);
   rules_[{src, dst, tag}].drop_until = n;
 }
 
 void DropPlan::corrupt_first(int src, int dst, int tag, int n) {
-  std::lock_guard<std::mutex> lk(mu_);
+  check::MutexLock lk(mu_);
   rules_[{src, dst, tag}].corrupt_until = n;
 }
 
 mp::DeliveryFilter DropPlan::filter() {
   return [this](const mp::Message& m, int dst) {
-    std::lock_guard<std::mutex> lk(mu_);
+    check::MutexLock lk(mu_);
     const auto key = std::make_tuple(m.src, dst, m.tag);
     const int attempt = attempts_[key]++;
     const auto it = rules_.find(key);

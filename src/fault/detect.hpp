@@ -18,19 +18,25 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "arch/network.hpp"
+#include "check/thread_safety.hpp"
 #include "fault/fault.hpp"
 #include "mp/comm.hpp"
+#include "sim/simulator.hpp"
 
 namespace nsp::fault {
 
 /// Heartbeat crash detector in logical time. A node is suspected once
 /// `misses` heartbeat periods pass without a beat from it.
+///
+/// Thread-compatible, not thread-safe: both users clock it from a
+/// single thread (the DES event loop via HeartbeatRing, or one rank's
+/// solver loop in the live runtime), so it carries no lock. Feeding one
+/// detector from several threads needs external serialization.
 class CrashDetector {
  public:
   CrashDetector(int nodes, double period_s, int misses);
@@ -120,7 +126,8 @@ class DropPlan {
   void corrupt_first(int src, int dst, int tag, int n);
 
   /// The mp::Cluster hook. The returned filter references this plan;
-  /// keep the plan alive for the duration of the run.
+  /// keep the plan alive for the duration of the run. The filter runs
+  /// on every sending rank's thread, so all plan state sits behind mu_.
   mp::DeliveryFilter filter();
 
  private:
@@ -128,9 +135,9 @@ class DropPlan {
     int drop_until = 0;
     int corrupt_until = 0;
   };
-  std::mutex mu_;
-  std::map<std::tuple<int, int, int>, Rule> rules_;
-  std::map<std::tuple<int, int, int>, int> attempts_;
+  check::Mutex mu_;
+  std::map<std::tuple<int, int, int>, Rule> rules_ NSP_GUARDED_BY(mu_);
+  std::map<std::tuple<int, int, int>, int> attempts_ NSP_GUARDED_BY(mu_);
 };
 
 /// Outcome counters of one ReliableLink endpoint.
@@ -148,6 +155,10 @@ struct LinkStats {
 /// message on tag kData+user_tag: [seq, checksum, payload...]; the ack
 /// on kAck+user_tag carries [seq]. One ReliableLink per rank; use the
 /// same user tag on both ends of a flow.
+///
+/// Thread-compatible like its Comm: a link belongs to exactly one rank
+/// thread (mp::Comm itself is per-rank), so sequence state and stats
+/// are unguarded by design.
 class ReliableLink {
  public:
   /// `rto_s` is the first retransmission timeout; attempt k waits

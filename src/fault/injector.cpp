@@ -1,8 +1,10 @@
 #include "fault/injector.hpp"
 
 #include <algorithm>
+#include "arch/network.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
 
-#include "check/check.hpp"
 
 namespace nsp::fault {
 

@@ -7,11 +7,12 @@
 #include <unistd.h>
 
 #include <map>
-#include <mutex>
 #include <stdexcept>
 
 #include "check/check.hpp"
 #include "check/trace.hpp"
+#include "arch/platform.hpp"
+#include "core/field.hpp"
 #include "fault/detect.hpp"
 #include "io/snapshot.hpp"
 #include "mp/comm.hpp"
@@ -331,7 +332,7 @@ SegmentResult run_segment(const core::SolverConfig& cfg, int procs,
                           const RecoveryOptions& opts) {
   mp::Cluster cluster(procs);
   SegmentResult out;
-  std::mutex m;
+  check::Mutex m;
   cluster.run([&](mp::Comm& comm) {
     par::SubdomainSolver s(cfg, comm);
     if (from) {
@@ -375,7 +376,7 @@ SegmentResult run_segment(const core::SolverConfig& cfg, int procs,
         }
         ++round;
         if (verdict == kVerdictRecover) {
-          std::lock_guard<std::mutex> lk(m);
+          check::MutexLock lk(m);
           out.crashed = true;
           return;
         }
@@ -400,7 +401,7 @@ SegmentResult run_segment(const core::SolverConfig& cfg, int procs,
 
     auto gathered = s.gather();
     if (gathered) {
-      std::lock_guard<std::mutex> lk(m);
+      check::MutexLock lk(m);
       out.state = std::move(*gathered);
       out.time = s.time();
       out.steps = s.steps_taken();

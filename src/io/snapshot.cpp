@@ -1,4 +1,5 @@
 #include "io/snapshot.hpp"
+#include "core/field.hpp"
 
 #include <cstdint>
 #include <cstring>

@@ -75,14 +75,16 @@ std::optional<Message> Comm::recv_until(
 }
 
 void Comm::barrier() {
-  std::unique_lock<std::mutex> lk(cluster_->bar_m_);
+  check::MutexLock lk(cluster_->bar_m_);
   const std::uint64_t gen = cluster_->bar_generation_;
   if (++cluster_->bar_count_ == size_) {
     cluster_->bar_count_ = 0;
     ++cluster_->bar_generation_;
     cluster_->bar_cv_.notify_all();
   } else {
-    cluster_->bar_cv_.wait(lk, [&] { return cluster_->bar_generation_ != gen; });
+    while (cluster_->bar_generation_ == gen) {
+      cluster_->bar_cv_.wait(cluster_->bar_m_);
+    }
   }
 }
 
@@ -197,30 +199,39 @@ void Cluster::deliver(int dst, Message msg) {
   }
   Mailbox& box = boxes_.at(dst);
   {
-    std::lock_guard<std::mutex> lk(box.m);
+    check::MutexLock lk(box.m);
     box.queue.push_back(std::move(msg));
   }
   box.cv.notify_all();
 }
 
+namespace {
+
+/// Oldest message in `q` matching (src, tag), or q.end(). Callers pass
+/// the mailbox queue with its mutex held.
+std::deque<Message>::iterator find_match(std::deque<Message>& q, int src,
+                                         int tag) {
+  for (auto it = q.begin(); it != q.end(); ++it) {
+    if ((src == kAny || it->src == src) && (tag == kAny || it->tag == tag)) {
+      return it;
+    }
+  }
+  return q.end();
+}
+
+}  // namespace
+
 std::optional<Message> Cluster::match(int dst, int src, int tag, bool block) {
   Mailbox& box = boxes_.at(dst);
-  std::unique_lock<std::mutex> lk(box.m);
-  const auto find = [&]() -> std::deque<Message>::iterator {
-    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-      if ((src == kAny || it->src == src) && (tag == kAny || it->tag == tag)) {
-        return it;
-      }
-    }
-    return box.queue.end();
-  };
-  auto it = find();
-  if (it == box.queue.end()) {
-    if (!block) return std::nullopt;
-    box.cv.wait(lk, [&] {
-      it = find();
-      return it != box.queue.end();
-    });
+  check::MutexLock lk(box.m);
+  // Explicit wait loop (not the predicate overload of std::condition_
+  // variable): the re-test runs in this scope, where the analysis sees
+  // box.m held around every queue access.
+  auto it = find_match(box.queue, src, tag);
+  if (it == box.queue.end() && !block) return std::nullopt;
+  while (it == box.queue.end()) {
+    box.cv.wait(box.m);
+    it = find_match(box.queue, src, tag);
   }
   Message m = std::move(*it);
   box.queue.erase(it);
@@ -240,22 +251,17 @@ std::optional<Message> Cluster::match_until(
     int dst, int src, int tag,
     std::chrono::steady_clock::time_point deadline) {
   Mailbox& box = boxes_.at(dst);
-  std::unique_lock<std::mutex> lk(box.m);
-  const auto find = [&]() -> std::deque<Message>::iterator {
-    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-      if ((src == kAny || it->src == src) && (tag == kAny || it->tag == tag)) {
-        return it;
-      }
+  check::MutexLock lk(box.m);
+  auto it = find_match(box.queue, src, tag);
+  while (it == box.queue.end()) {
+    if (box.cv.wait_until(box.m, deadline) == std::cv_status::timeout) {
+      // One last scan: the message may have landed between the deadline
+      // passing and the wait returning.
+      it = find_match(box.queue, src, tag);
+      if (it == box.queue.end()) return std::nullopt;
+      break;
     }
-    return box.queue.end();
-  };
-  auto it = find();
-  if (it == box.queue.end()) {
-    const bool got = box.cv.wait_until(lk, deadline, [&] {
-      it = find();
-      return it != box.queue.end();
-    });
-    if (!got) return std::nullopt;
+    it = find_match(box.queue, src, tag);
   }
   Message m = std::move(*it);
   box.queue.erase(it);
@@ -264,17 +270,23 @@ std::optional<Message> Cluster::match_until(
 
 void Cluster::run(const std::function<void(Comm&)>& fn) {
   for (auto& box : boxes_) {
-    std::lock_guard<std::mutex> lk(box.m);
+    check::MutexLock lk(box.m);
     box.queue.clear();
   }
-  bar_count_ = 0;
+  {
+    // Reset under the lock: a previous run() that ended with an
+    // exception thrown out of a rank can leave stragglers parked in
+    // barrier(), and bar_count_ is guarded state like any other.
+    check::MutexLock lk(bar_m_);
+    bar_count_ = 0;
+  }
 
   std::vector<Comm> comms;
   comms.reserve(size_);
   for (int r = 0; r < size_; ++r) comms.push_back(Comm(*this, r, size_));
 
   std::exception_ptr first_error;
-  std::mutex err_m;
+  check::Mutex err_m;
   std::vector<std::thread> threads;
   threads.reserve(size_);
   for (int r = 0; r < size_; ++r) {
@@ -282,7 +294,7 @@ void Cluster::run(const std::function<void(Comm&)>& fn) {
       try {
         fn(comms[static_cast<std::size_t>(r)]);
       } catch (...) {
-        std::lock_guard<std::mutex> lk(err_m);
+        check::MutexLock lk(err_m);
         if (!first_error) first_error = std::current_exception();
       }
     });
@@ -295,7 +307,7 @@ void Cluster::run(const std::function<void(Comm&)>& fn) {
   if (!first_error) {
     std::size_t unconsumed = 0;
     for (auto& box : boxes_) {
-      std::lock_guard<std::mutex> lk(box.m);
+      check::MutexLock lk(box.m);
       unconsumed += box.queue.size();
     }
     NSP_CHECK_WARN(unconsumed == 0, "mp.comm.posts_matched");

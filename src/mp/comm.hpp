@@ -10,15 +10,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "check/thread_safety.hpp"
 #include "core/counters.hpp"
 
 namespace nsp::mp {
@@ -150,10 +149,13 @@ class Cluster {
  private:
   friend class Comm;
 
+  /// One rank's inbox. The queue is only touched with `m` held; every
+  /// sender notifies `cv` after enqueueing (statically checked under
+  /// Clang -Wthread-safety).
   struct Mailbox {
-    std::mutex m;
-    std::condition_variable cv;
-    std::deque<Message> queue;
+    check::Mutex m;
+    check::CondVar cv;
+    std::deque<Message> queue NSP_GUARDED_BY(m);
   };
 
   void deliver(int dst, Message msg);
@@ -168,13 +170,13 @@ class Cluster {
   std::vector<Mailbox> boxes_;
   DeliveryFilter filter_;  ///< set before run(); read-only during it
 
-  // barrier state
-  std::mutex bar_m_;
-  std::condition_variable bar_cv_;
-  int bar_count_ = 0;
-  std::uint64_t bar_generation_ = 0;
+  // barrier state (classic generation-counted barrier)
+  check::Mutex bar_m_;
+  check::CondVar bar_cv_;
+  int bar_count_ NSP_GUARDED_BY(bar_m_) = 0;
+  std::uint64_t bar_generation_ NSP_GUARDED_BY(bar_m_) = 0;
 
-  std::vector<core::CommCounter> last_counters_;
+  std::vector<core::CommCounter> last_counters_;  ///< run() caller only
 };
 
 }  // namespace nsp::mp

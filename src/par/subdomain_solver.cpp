@@ -6,6 +6,7 @@
 
 #include "check/check.hpp"
 #include "core/kernels_tiled.hpp"
+#include "mp/comm.hpp"
 
 namespace nsp::par {
 
@@ -395,14 +396,14 @@ core::StateField run_parallel_jet(const core::SolverConfig& cfg, int nprocs,
                                   std::vector<core::CommCounter>* counters) {
   mp::Cluster cluster(nprocs);
   core::StateField result;
-  std::mutex m;
+  check::Mutex m;
   cluster.run([&](mp::Comm& comm) {
     SubdomainSolver s(cfg, comm);
     s.initialize();
     s.run(nsteps);
     auto gathered = s.gather();
     if (gathered) {
-      std::lock_guard<std::mutex> lk(m);
+      check::MutexLock lk(m);
       result = std::move(*gathered);
     }
   });

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <stdexcept>
 
 #include "check/check.hpp"
 #include "core/kernels_tiled.hpp"
+#include "mp/comm.hpp"
 
 namespace nsp::par {
 
@@ -550,14 +550,14 @@ core::StateField run_parallel_jet_2d(const core::SolverConfig& cfg, int px,
                                      std::vector<core::CommCounter>* counters) {
   mp::Cluster cluster(px * py);
   core::StateField result;
-  std::mutex m;
+  check::Mutex m;
   cluster.run([&](mp::Comm& comm) {
     SubdomainSolver2D s(cfg, comm, px, py);
     s.initialize();
     s.run(nsteps);
     auto gathered = s.gather();
     if (gathered) {
-      std::lock_guard<std::mutex> lk(m);
+      check::MutexLock lk(m);
       result = std::move(*gathered);
     }
   });

@@ -1,4 +1,5 @@
 #include "perf/app_model.hpp"
+#include "arch/kernel_profile.hpp"
 
 #include <cmath>
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "par/subdomain_solver.hpp"
+#include "arch/kernel_profile.hpp"
+#include "core/solver.hpp"
 
 namespace nsp::perf {
 

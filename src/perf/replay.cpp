@@ -6,6 +6,8 @@
 #include <memory>
 
 #include "par/decomposition.hpp"
+#include "arch/platform.hpp"
+#include "fault/injector.hpp"
 #include "sim/simulator.hpp"
 
 namespace nsp::perf {

@@ -1,0 +1,12 @@
+// Fixture: check-discipline violations.
+#include <cassert>
+
+#include "check/check.hpp"
+
+#define NSP_CHECK(cond, site) ((void)0)
+
+int pop(int* stack, int& top) {
+  assert(top > 0);                          // flagged: raw assert in src
+  NSP_CHECK(--top >= 0, "fixture.pop");     // flagged: side effect in check
+  return stack[top];
+}

@@ -1,0 +1,14 @@
+// Fixture: check-discipline clean. static_assert is not assert; lambda
+// capture-defaults are not assignments; conditions are side-effect free.
+#include "check/check.hpp"
+
+#define NSP_CHECK(cond, site) ((void)0)
+
+static_assert(sizeof(int) >= 4, "fixture assumes 32-bit int");
+
+int pop(int* stack, int& top) {
+  NSP_CHECK(top > 0, "fixture.pop");
+  auto read = [=]() { return stack[top - 1]; };
+  --top;
+  return read();
+}

@@ -1,0 +1,10 @@
+// Fixture: determinism violations (analyzed with --as src).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int wall_seed() {
+  std::random_device rd;          // flagged: random_device
+  srand(static_cast<unsigned>(time(nullptr)));  // flagged: srand and time
+  return rand() + static_cast<int>(rd());       // flagged: rand
+}

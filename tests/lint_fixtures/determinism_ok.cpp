@@ -1,0 +1,16 @@
+// Fixture: determinism-clean. Member functions and locals named like the
+// libc calls must not fire; steady_clock durations are allowed.
+#include <chrono>
+
+struct Solver {
+  double time() const { return t_; }
+  double clock() const { return t_ * 2.0; }
+  double t_ = 0.0;
+};
+
+double elapsed(const Solver& s) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const double logical = s.time() + s.clock();
+  const auto t1 = std::chrono::steady_clock::now();
+  return logical + std::chrono::duration<double>(t1 - t0).count();
+}

@@ -1,0 +1,4 @@
+// Fixture: float-equality violations.
+bool converged(double residual, double t) {
+  return residual == 0.0 || t != 1.5;  // flagged twice
+}

@@ -1,0 +1,6 @@
+// Fixture: float-equality clean — tolerances and integer comparisons.
+#include <cmath>
+
+bool converged(double residual, double t, int iter) {
+  return std::abs(residual) < 1e-12 && t < 1.5 && iter == 0;
+}

@@ -1,0 +1,10 @@
+// Fixture: include-hygiene violations — the facade include, a duplicate
+// include, and a namespace use riding a transitive include.
+#include "nsp.hpp"
+#include <vector>
+#include <vector>
+
+int probe() {
+  core::Grid g;             // flagged: no direct #include "core/..."
+  return g.ni + mp::kAnyTag;  // flagged: no direct #include "mp/..."
+}

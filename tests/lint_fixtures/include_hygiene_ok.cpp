@@ -1,0 +1,11 @@
+// Fixture: include-hygiene clean — every namespace named below has a
+// direct include. (Targets don't need to exist: the analyzer never
+// opens them.)
+#include "core/grid.hpp"
+#include "mp/comm.hpp"
+#include <vector>
+
+int probe() {
+  core::Grid g;
+  return g.ni + mp::kAnyTag;
+}

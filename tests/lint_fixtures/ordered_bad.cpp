@@ -1,0 +1,15 @@
+// Fixture: unordered iteration in a file that hashes (mentions fnv1a).
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+std::uint64_t fnv1a(const std::string& s);
+
+std::uint64_t digest_all(const std::unordered_map<std::string, int>& table) {
+  std::unordered_map<std::string, int> cache = table;
+  std::uint64_t h = 0;
+  for (const auto& [k, v] : cache) {  // flagged: nondeterministic order
+    h ^= fnv1a(k) + static_cast<std::uint64_t>(v);
+  }
+  return h;
+}

@@ -1,0 +1,19 @@
+// Fixture: ordered-iteration clean. Unordered lookup is fine; only
+// iteration order leaks into the hash, and this file iterates a std::map.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+std::uint64_t fnv1a(const std::string& s);
+
+std::uint64_t digest_all(const std::unordered_map<std::string, int>& table,
+                         const std::string& key) {
+  std::map<std::string, int> sorted(table.begin(), table.end());
+  std::uint64_t h = 0;
+  for (const auto& [k, v] : sorted) {
+    h ^= fnv1a(k) + static_cast<std::uint64_t>(v);
+  }
+  const auto it = table.find(key);
+  return it == table.end() ? h : h + static_cast<std::uint64_t>(it->second);
+}

@@ -1,0 +1,15 @@
+// Fixture: aliased __restrict__ call site. Passing the same span twice
+// to a restrict-qualified kernel is undefined behavior.
+#include <span>
+
+struct Field {
+  std::span<double> row_span(int j);
+};
+
+void saxpy_row(double* __restrict__ out, const double* __restrict__ a,
+               const double* __restrict__ b, int n);
+
+void step(Field& q, Field& w, int j, int n) {
+  saxpy_row(q.row_span(j).data(), w.row_span(j).data(),
+            w.row_span(j).data(), n);  // flagged: args 2 and 3 alias
+}

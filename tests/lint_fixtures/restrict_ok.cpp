@@ -1,0 +1,15 @@
+// Fixture: restrict-aliasing clean. Same field, different rows — the
+// spans do not overlap, and the analyzer must not confuse them.
+#include <span>
+
+struct Field {
+  std::span<double> row_span(int j);
+};
+
+void saxpy_row(double* __restrict__ out, const double* __restrict__ a,
+               const double* __restrict__ b, int n);
+
+void step(Field& q, Field& w, int j, int n) {
+  saxpy_row(q.row_span(j).data(), w.row_span(j).data(),
+            w.row_span(j - 1).data(), n);
+}

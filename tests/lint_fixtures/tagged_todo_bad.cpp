@@ -1,0 +1,5 @@
+// Fixture: untagged open-end markers.
+// TODO: tighten this bound
+int bound() {
+  return 42;  // FIXME should derive from the grid
+}

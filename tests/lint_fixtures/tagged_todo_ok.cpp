@@ -1,0 +1,6 @@
+// Fixture: tagged markers and near-miss words that must not fire.
+// TODO(jaya): tighten this bound once the 2-D decomposition lands
+int bound() {
+  // The word TODOS here is part of a longer identifier-like word.
+  return 42;  // FIXME(hp-lab): derive from the grid
+}

@@ -1,0 +1,7 @@
+// Fixture: a waiver with no justification is itself a finding.
+#include <cstdlib>
+
+int reporter_stamp() {
+  // nsp-analyze: determinism-ok
+  return rand();
+}

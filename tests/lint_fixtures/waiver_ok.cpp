@@ -1,0 +1,7 @@
+// Fixture: a justified waiver suppresses the finding and is counted.
+#include <cstdlib>
+
+int reporter_stamp() {
+  // nsp-analyze: determinism-ok: fixture exercising the waiver path
+  return rand();
+}

@@ -39,6 +39,12 @@ TEST_F(CheckTest, PassingCheckDoesNotCount) {
   EXPECT_EQ(Registry::instance().total(), 0u);
 }
 
+// Violation counting, throwing, and reporting only exist at levels >= 1
+// (at level 0 every macro is an unevaluated sizeof); the level-0
+// evaluation contract itself is covered below and, independently of the
+// build's own level, in test_check_level0.cpp.
+#if NSP_CHECK_LEVEL >= 1
+
 TEST_F(CheckTest, FailingCheckCountsPerSite) {
   for (int k = 0; k < 3; ++k) {
     NSP_CHECK(k < 0, "test.check.count3");
@@ -99,13 +105,41 @@ TEST_F(CheckTest, ResetZeroesCountersButKeepsSites) {
   EXPECT_TRUE(known) << "reset() must keep the site registered";
 }
 
+#endif  // NSP_CHECK_LEVEL >= 1
+
 // ---- Level gating ------------------------------------------------------
 
 #if NSP_CHECK_LEVEL >= 1
 TEST_F(CheckTest, ConditionEvaluatedExactlyOnce) {
+  // Exactly once whether the check passes or fails, for every severity:
+  // a condition evaluated twice would double side effects; zero times
+  // would skip them. Both have bitten real check layers.
   int evals = 0;
   NSP_CHECK((++evals, true), "test.check.eval_once");
   EXPECT_EQ(evals, 1);
+  NSP_CHECK((++evals, false), "test.check.eval_once_fail");
+  EXPECT_EQ(evals, 2);
+  NSP_CHECK_WARN((++evals, false), "test.check.eval_once_warn");
+  EXPECT_EQ(evals, 3);
+  NSP_CHECK_FINITE((++evals, 1.0), "test.check.eval_once_finite");
+  EXPECT_EQ(evals, 4);
+  EXPECT_THROW(
+      [&] { NSP_CHECK_FATAL((++evals, false), "test.check.eval_once_fatal"); }(),
+      Violation);
+  EXPECT_EQ(evals, 5);
+}
+#else
+TEST_F(CheckTest, DisabledChecksEvaluateZeroTimes) {
+  // Level 0: conditions sit inside an unevaluated sizeof — type-checked
+  // (this TU compiling is that half of the contract) but never run.
+  int evals = 0;
+  NSP_CHECK((++evals, true), "test.check.l0");
+  NSP_CHECK((++evals, false), "test.check.l0_fail");
+  NSP_CHECK_WARN((++evals, false), "test.check.l0_warn");
+  NSP_CHECK_FATAL((++evals, false), "test.check.l0_fatal");
+  NSP_CHECK_FINITE((++evals, 0.0), "test.check.l0_finite");
+  EXPECT_EQ(evals, 0);
+  EXPECT_EQ(Registry::instance().total(), 0u);
 }
 #endif
 
@@ -128,6 +162,7 @@ TEST_F(CheckTest, CleanReport) {
   EXPECT_EQ(rep.str(), "check: all invariants held\n");
 }
 
+#if NSP_CHECK_LEVEL >= 1
 TEST_F(CheckTest, ReportListsViolatedSites) {
   NSP_CHECK_WARN(false, "test.report.alpha");
   // One site violated twice (each macro expansion is its own site, so a
@@ -194,6 +229,7 @@ TEST_F(CheckTest, NonFiniteChartPointCountsWarning) {
   chart.add(s);
   EXPECT_EQ(Registry::instance().count("io.chart.point_finite"), 1u);
 }
+#endif  // NSP_CHECK_LEVEL >= 1
 
 // ---- TraceHash ---------------------------------------------------------
 

@@ -1,0 +1,62 @@
+// The NSP_CHECK evaluation contract at level 0, tested no matter what
+// NSP_CHECK_LEVEL the build itself uses: this TU forces the level to 0
+// before including the macro header, so the disabled expansions are
+// exercised even in the default level-1 test build. (The runtime
+// library underneath — Site, Registry, fail() — is level-independent,
+// so linking next to level-1 TUs is fine.)
+//
+// Contract under test (see the macro section of src/check/check.hpp):
+//   * disabled checks evaluate their condition ZERO times;
+//   * the condition is still parsed and type-checked (this TU compiling
+//     with the static_asserts below is that half of the proof);
+//   * disabled fatal checks never throw;
+//   * nothing is counted in the Registry.
+#undef NSP_CHECK_LEVEL
+#define NSP_CHECK_LEVEL 0
+#include "check/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using nsp::check::Registry;
+
+static_assert(NSP_CHECK_LEVEL == 0, "this TU must compile the disabled macros");
+
+// Type-checking still happens inside the unevaluated sizeof: a
+// condition of the wrong shape would fail to compile. Mirror that with
+// expressions whose validity is all that matters. ([[maybe_unused]]
+// because its only evaluated-code mention is swallowed by a SLOW check.)
+[[maybe_unused]] int type_checked_probe(int x) { return x; }
+
+TEST(CheckLevel0, ConditionsEvaluateZeroTimes) {
+  Registry::instance().reset();
+  int evals = 0;
+  NSP_CHECK(type_checked_probe(++evals) == 0, "test.l0.typecheck");
+  NSP_CHECK((++evals, true), "test.l0.check");
+  NSP_CHECK((++evals, false), "test.l0.check_fail");
+  NSP_CHECK_WARN((++evals, false), "test.l0.warn");
+  NSP_CHECK_FINITE((++evals, 0.0 / 0.0), "test.l0.finite");
+  EXPECT_EQ(evals, 0);
+}
+
+TEST(CheckLevel0, FatalDoesNotThrowOrCount) {
+  Registry::instance().reset();
+  int evals = 0;
+  EXPECT_NO_THROW([&] { NSP_CHECK_FATAL((++evals, false), "test.l0.fatal"); }());
+  EXPECT_EQ(evals, 0);
+  EXPECT_EQ(Registry::instance().count("test.l0.fatal"), 0u);
+}
+
+TEST(CheckLevel0, SlowChecksAreSwallowedWhole) {
+  // NSP_CHECK_SLOW* below level 2 must not even parse their arguments
+  // (conditions may reference level-2-only helpers); calling a function
+  // that does not exist would otherwise fail this TU's compile.
+  int evals = 0;
+  NSP_CHECK_SLOW((++evals, type_checked_probe(1) == 1), "test.l0.slow");
+  NSP_CHECK_SLOW_FATAL(this_function_does_not_exist_anywhere(),
+                       "test.l0.slow_fatal");
+  EXPECT_EQ(evals, 0);
+}
+
+}  // namespace

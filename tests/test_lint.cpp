@@ -1,0 +1,149 @@
+// End-to-end tests for tools/nsp-analyze: each rule has a violating and
+// a clean fixture under tests/lint_fixtures/, and the final tree itself
+// must analyze clean (that last test is the same gate CI enforces).
+//
+// The analyzer is exercised as a subprocess — through the exact
+// interface lint.sh and CI use — not by linking its internals.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+// NSP_ANALYZE_BIN, NSP_LINT_FIXTURES, NSP_REPO_ROOT come from CMake.
+
+struct RunOutput {
+  int exit_code = -1;
+  std::string text;  // stdout + stderr, interleaved
+};
+
+RunOutput run_analyzer(const std::string& args) {
+  const std::string cmd = std::string(NSP_ANALYZE_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  RunOutput out;
+  if (!pipe) return out;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = fread(buf, 1, sizeof buf, pipe)) > 0) {
+    out.text.append(buf, got);
+  }
+  const int status = pclose(pipe);
+  out.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return out;
+}
+
+std::string fixture(const std::string& name) {
+  return std::string(NSP_LINT_FIXTURES) + "/" + name;
+}
+
+/// A violating fixture must exit 1 and name the expected rule; its
+/// clean twin must exit 0 with zero findings.
+void expect_rule_pair(const std::string& stem, const std::string& rule) {
+  const RunOutput bad = run_analyzer("--as src " + fixture(stem + "_bad.cpp"));
+  EXPECT_EQ(bad.exit_code, 1) << bad.text;
+  EXPECT_NE(bad.text.find(rule + ":"), std::string::npos) << bad.text;
+
+  const RunOutput ok = run_analyzer("--as src " + fixture(stem + "_ok.cpp"));
+  EXPECT_EQ(ok.exit_code, 0) << ok.text;
+  EXPECT_NE(ok.text.find("0 finding(s)"), std::string::npos) << ok.text;
+}
+
+TEST(LintRules, Determinism) { expect_rule_pair("determinism", "determinism"); }
+
+TEST(LintRules, OrderedIteration) {
+  expect_rule_pair("ordered", "ordered-iteration");
+}
+
+TEST(LintRules, RestrictAliasing) {
+  expect_rule_pair("restrict", "restrict-aliasing");
+}
+
+TEST(LintRules, CheckDiscipline) {
+  expect_rule_pair("check_discipline", "check-discipline");
+}
+
+TEST(LintRules, IncludeHygiene) {
+  expect_rule_pair("include_hygiene", "include-hygiene");
+}
+
+TEST(LintRules, FloatEquality) {
+  expect_rule_pair("float_equality", "float-equality");
+}
+
+TEST(LintRules, TaggedTodo) { expect_rule_pair("tagged_todo", "tagged-todo"); }
+
+TEST(LintRules, DeterminismFlagsEachCall) {
+  // srand(time(nullptr)) plus rand() plus random_device: one finding per
+  // call site, not one per file.
+  const RunOutput bad =
+      run_analyzer("--as src " + fixture("determinism_bad.cpp"));
+  EXPECT_NE(bad.text.find("random_device"), std::string::npos) << bad.text;
+  EXPECT_NE(bad.text.find("'srand()'"), std::string::npos) << bad.text;
+  EXPECT_NE(bad.text.find("'time()'"), std::string::npos) << bad.text;
+  EXPECT_NE(bad.text.find("'rand()'"), std::string::npos) << bad.text;
+}
+
+TEST(LintWaivers, JustifiedWaiverSuppressesAndCounts) {
+  const RunOutput out = run_analyzer("--as src " + fixture("waiver_ok.cpp"));
+  EXPECT_EQ(out.exit_code, 0) << out.text;
+  EXPECT_NE(out.text.find("1 waiver(s)"), std::string::npos) << out.text;
+}
+
+TEST(LintWaivers, WaiverWithoutJustificationIsItsOwnFinding) {
+  const RunOutput out =
+      run_analyzer("--as src " + fixture("waiver_missing_justification.cpp"));
+  EXPECT_EQ(out.exit_code, 1) << out.text;
+  EXPECT_NE(out.text.find("waiver-justification:"), std::string::npos)
+      << out.text;
+  // The waived-away rule must NOT also fire: the waiver still suppresses,
+  // it just demands a reason.
+  EXPECT_EQ(out.text.find("determinism:"), std::string::npos) << out.text;
+}
+
+TEST(LintDriver, ListRulesNamesEveryRule) {
+  const RunOutput out = run_analyzer("--list-rules");
+  EXPECT_EQ(out.exit_code, 0);
+  for (const char* rule :
+       {"determinism", "ordered-iteration", "restrict-aliasing",
+        "check-discipline", "include-hygiene", "float-equality",
+        "tagged-todo", "waiver-justification"}) {
+    EXPECT_NE(out.text.find(rule), std::string::npos) << rule;
+  }
+}
+
+TEST(LintDriver, JsonReportIsWritten) {
+  const std::string json = testing::TempDir() + "nsp_analyze_report.json";
+  const RunOutput out = run_analyzer("--as src --json " + json + " " +
+                                     fixture("float_equality_bad.cpp"));
+  EXPECT_EQ(out.exit_code, 1) << out.text;
+  std::ifstream f(json);
+  ASSERT_TRUE(f.is_open()) << json;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string report = ss.str();
+  EXPECT_NE(report.find("\"rule\": \"float-equality\""), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("\"findings\""), std::string::npos) << report;
+  std::remove(json.c_str());
+}
+
+TEST(LintDriver, MissingInputIsAUsageError) {
+  const RunOutput out = run_analyzer(fixture("no_such_file.cpp"));
+  EXPECT_EQ(out.exit_code, 2) << out.text;
+}
+
+TEST(LintTree, RepoAnalyzesClean) {
+  // The gate CI enforces: the shipped tree has zero findings. Waivers
+  // are allowed (they carry justifications) — findings are not.
+  const std::string root(NSP_REPO_ROOT);
+  const RunOutput out = run_analyzer(root + "/src " + root + "/tools " +
+                                     root + "/bench " + root + "/examples");
+  EXPECT_EQ(out.exit_code, 0) << out.text;
+}
+
+}  // namespace

@@ -2,22 +2,23 @@
 # Static-analysis driver for nsplab.
 #
 # Runs two layers:
-#   1. clang-tidy over every translation unit in build/compile_commands.json
+#   1. nsp-analyze (tools/nsp-analyze), the project's own rule engine:
+#      determinism, ordered-iteration, restrict-aliasing,
+#      check-discipline, include-hygiene, float-equality, tagged-todo.
+#      The rule catalog and waiver syntax are documented in
+#      docs/CHECKING.md; `nsp-analyze --list-rules` prints the names.
+#      The binary is built on demand if the build tree doesn't have it.
+#   2. clang-tidy over every translation unit in build/compile_commands.json
 #      (skipped with a note when clang-tidy is not installed, as in the
 #      bare gcc container; CI installs it).
-#   2. Grep-based project lints that encode repo conventions:
-#        - no raw assert() in src/ (use NSP_CHECK* from check/check.hpp,
-#          which count, report, and can be compiled out by level)
-#        - no ==/!= against floating-point literals in src/ (use an
-#          epsilon or a < / > formulation; exact-bit tests belong in
-#          tests/, which are exempt)
-#        - no untagged TODOs: write "TODO(name): ..." so every TODO has
-#          an owner
 #
-# A line may opt out of a grep lint with a trailing "NOLINT(nsp-...)"
-# comment naming the rule, mirroring clang-tidy's own NOLINT syntax.
+# The grep lints this script used to carry (no-raw-assert,
+# no-float-equality, tagged-todo) migrated into nsp-analyze; legacy
+# `NOLINT(nsp-...)` comments are still honoured there, and new code
+# should use `// nsp-analyze: <rule>-ok: <justification>`.
 #
-# Usage: tools/lint.sh [--tidy-only|--grep-only]
+# Usage: tools/lint.sh [--tidy-only|--analyze-only|--grep-only]
+#        (--grep-only is a deprecated alias for --analyze-only)
 # Exit status: 0 if clean, 1 if any lint fired.
 
 set -u
@@ -26,11 +27,26 @@ cd "$(dirname "$0")/.."
 MODE="${1:-all}"
 STATUS=0
 
-# ---- layer 1: clang-tidy -------------------------------------------------
+# ---- layer 1: nsp-analyze ------------------------------------------------
+
+run_analyze() {
+  local bin=build/tools/nsp-analyze/nsp-analyze
+  if [ ! -x "$bin" ]; then
+    echo "lint: building nsp-analyze"
+    cmake -B build -S . > /dev/null && \
+      cmake --build build --target nsp-analyze -j > /dev/null || {
+        echo "lint: could not build nsp-analyze"
+        return 1
+      }
+  fi
+  "$bin" src tools bench examples
+}
+
+# ---- layer 2: clang-tidy -------------------------------------------------
 
 run_tidy() {
   if ! command -v clang-tidy > /dev/null 2>&1; then
-    echo "lint: clang-tidy not found; skipping tidy layer (grep lints still run)"
+    echo "lint: clang-tidy not found; skipping tidy layer (nsp-analyze still runs)"
     return 0
   fi
   local db=build/compile_commands.json
@@ -53,64 +69,19 @@ run_tidy() {
   return 0
 }
 
-# ---- layer 2: grep lints -------------------------------------------------
-
-# Reports hits for a rule, honouring NOLINT(rule) suppressions.
-# $1 rule name, $2 description, remaining args: pre-filtered hit lines
-# in "file:line:text" form (may be empty).
-report() {
-  local rule="$1" desc="$2" hits="$3"
-  hits=$(echo "$hits" | grep -v "NOLINT($rule)" | grep -v '^$' || true)
-  if [ -n "$hits" ]; then
-    echo "lint[$rule]: $desc"
-    echo "$hits" | sed 's/^/  /'
-    STATUS=1
-  fi
-}
-
-run_grep_lints() {
-  # Raw assert() in src/. static_assert is fine (compile-time); the
-  # macro definition site in check/check.hpp has no raw assert either.
-  local asserts
-  asserts=$(grep -rn --include='*.hpp' --include='*.cpp' -E '(^|[^_[:alnum:]])assert[[:space:]]*\(' src/ \
-    | grep -v 'static_assert' || true)
-  report nsp-no-raw-assert \
-    "raw assert() in src/ — use NSP_CHECK*/NSP_CHECK_FATAL from check/check.hpp" \
-    "$asserts"
-
-  # ==/!= against a floating-point literal in src/ (comment text is
-  # stripped before matching so prose examples do not count).
-  local floateq
-  floateq=$(find src -name '*.hpp' -o -name '*.cpp' | sort | while read -r f; do
-    sed 's@//.*@@' "$f" | grep -n -E '([=!]=[[:space:]]*[-+]?[0-9]*\.[0-9]+)|([0-9]+\.[0-9]*[[:space:]]*[=!]=)|([=!]=[[:space:]]*[-+]?[0-9]+\.[[:space:]])' \
-      | sed "s|^|$f:|"
-  done || true)
-  report nsp-no-float-equality \
-    "==/!= against a float literal in src/ — compare with a tolerance or </>" \
-    "$floateq"
-
-  # Untagged TODO/FIXME: require an owner, TODO(name): ...
-  local todos
-  todos=$(grep -rn --include='*.hpp' --include='*.cpp' -E 'TODO|FIXME' src/ tools/ \
-    | grep -v -E 'TODO\([[:alnum:]_.-]+\):' || true)
-  report nsp-tagged-todo \
-    "untagged TODO/FIXME — write TODO(owner): so every TODO has an owner" \
-    "$todos"
-}
-
 case "$MODE" in
   --tidy-only)
     run_tidy || STATUS=1
     ;;
-  --grep-only)
-    run_grep_lints
+  --analyze-only | --grep-only)
+    run_analyze || STATUS=1
     ;;
   all)
+    run_analyze || STATUS=1
     run_tidy || STATUS=1
-    run_grep_lints
     ;;
   *)
-    echo "usage: tools/lint.sh [--tidy-only|--grep-only]"
+    echo "usage: tools/lint.sh [--tidy-only|--analyze-only|--grep-only]"
     exit 2
     ;;
 esac

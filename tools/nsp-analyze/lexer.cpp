@@ -1,0 +1,194 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace nsp::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators, longest first so "<<=" beats "<<".
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>",
+    "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^=",  ".*",
+};
+
+}  // namespace
+
+SourceFile lex_file(std::string path, const std::string& text) {
+  SourceFile out;
+  out.path = std::move(path);
+
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the newline
+
+  auto append_comment = [&out](int ln, const std::string& s) {
+    auto& slot = out.comments[ln];
+    if (!slot.empty()) slot += ' ';
+    slot += s;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      std::size_t j = i + 2;
+      while (j < n && text[j] != '\n') ++j;
+      append_comment(line, text.substr(i + 2, j - i - 2));
+      i = j;
+      continue;
+    }
+
+    // Block comment (may span lines; credit the text to each line).
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      std::size_t j = i + 2;
+      std::size_t seg = j;
+      while (j + 1 < n && !(text[j] == '*' && text[j + 1] == '/')) {
+        if (text[j] == '\n') {
+          append_comment(line, text.substr(seg, j - seg));
+          ++line;
+          seg = j + 1;
+        }
+        ++j;
+      }
+      append_comment(line, text.substr(seg, j - seg));
+      i = (j + 1 < n) ? j + 2 : n;
+      at_line_start = false;
+      continue;
+    }
+
+    // Preprocessor directive: record #include targets; everything else
+    // on the directive line is tokenized normally, so macro bodies are
+    // still visible to the rules.
+    if (c == '#' && at_line_start) {
+      std::size_t j = i + 1;
+      while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
+      std::size_t k = j;
+      while (k < n && ident_char(text[k])) ++k;
+      const std::string directive = text.substr(j, k - j);
+      if (directive == "include") {
+        while (k < n && (text[k] == ' ' || text[k] == '\t')) ++k;
+        if (k < n && (text[k] == '"' || text[k] == '<')) {
+          const char close = (text[k] == '<') ? '>' : '"';
+          std::size_t e = k + 1;
+          while (e < n && text[e] != close && text[e] != '\n') ++e;
+          out.includes.push_back(
+              {text.substr(k + 1, e - k - 1), close == '>', line});
+        }
+        while (k < n && text[k] != '\n') ++k;  // nothing else to lex
+        i = k;
+        continue;
+      }
+      at_line_start = false;
+      ++i;  // '#' itself is noise to the rules; keep lexing the line
+      continue;
+    }
+
+    at_line_start = false;
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(') delim += text[j++];
+      const std::string close = ")" + delim + "\"";
+      const std::size_t end = text.find(close, j);
+      out.tokens.push_back({TokKind::Str, "", line});
+      if (end == std::string::npos) break;
+      for (std::size_t k = i; k < end + close.size(); ++k) {
+        if (text[k] == '\n') ++line;
+      }
+      i = end + close.size();
+      continue;
+    }
+
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < n) ++j;
+        if (text[j] == '\n') ++line;  // unterminated; stay line-accurate
+        ++j;
+      }
+      out.tokens.push_back({TokKind::Str, "", line});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(text[j])) ++j;
+      out.tokens.push_back({TokKind::Ident, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    // pp-number: digits, or '.' followed by a digit. Consumes exponent
+    // signs after e/E/p/P so 1.5e-3 is one token.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      std::size_t j = i;
+      while (j < n) {
+        const char d = text[j];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') && j > i &&
+                   (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                    text[j - 1] == 'p' || text[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({TokKind::Number, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const std::size_t len = std::char_traits<char>::length(p);
+      if (text.compare(i, len, p) == 0) {
+        out.tokens.push_back({TokKind::Punct, p, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.tokens.push_back({TokKind::Punct, std::string(1, c), line});
+      ++i;
+    }
+  }
+
+  out.nlines = line;
+  return out;
+}
+
+}  // namespace nsp::lint

@@ -1,0 +1,50 @@
+// nsp-analyze — a C++ token stream good enough for rule checking.
+//
+// The analyzer does not parse C++ (no libclang by design: the lint
+// layer must build in the bare gcc container and in CI in seconds). It
+// lexes: identifiers, numbers, strings, and punctuation, with comments
+// and string *contents* stripped out of the token stream so a banned
+// name in prose or in a log message never fires a rule. Comments are
+// kept per line for the waiver syntax and the tagged-todo rule; #include
+// targets are extracted for the header-hygiene rule.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nsp::lint {
+
+enum class TokKind {
+  Ident,   // identifiers and keywords
+  Number,  // pp-numbers: 12, 1.5e-3, 0xff
+  Str,     // string or char literal (text not retained)
+  Punct,   // operators/punctuation, longest-match ("::", "->", "<<=")
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;  // "" for Str
+  int line;          // 1-based
+};
+
+struct Include {
+  std::string target;  // e.g. "mp/comm.hpp" or "vector"
+  bool angled;         // <vector> vs "mp/comm.hpp"
+  int line;
+};
+
+/// One lexed file. `comments` maps line number to the concatenated
+/// comment text appearing on that line (both // and /* */ styles; a
+/// block comment contributes to every line it spans).
+struct SourceFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::map<int, std::string> comments;
+  std::vector<Include> includes;
+  int nlines = 0;
+};
+
+SourceFile lex_file(std::string path, const std::string& text);
+
+}  // namespace nsp::lint

@@ -1,0 +1,160 @@
+// nsp-analyze — driver.
+//
+//   nsp-analyze [options] <file-or-dir>...
+//
+//   --json FILE    also write a machine-readable report (CI artifact)
+//   --as CAT       treat every input as category CAT (src/tools/bench/
+//                  examples/tests) instead of deriving it from the path;
+//                  used by the test fixtures
+//   --list-rules   print the rule names and exit
+//
+// Directories are recursed for .hpp/.cpp files; inputs are analyzed in
+// sorted path order so output (and the JSON report) is stable. Exit
+// status: 0 clean, 1 findings, 2 usage or I/O error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+using nsp::lint::AnalyzeStats;
+using nsp::lint::Finding;
+
+namespace {
+
+bool has_cxx_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+/// Escapes a string for a JSON value.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_json(const std::string& path, const std::vector<Finding>& findings,
+                const AnalyzeStats& stats) {
+  std::ofstream out(path);
+  out << "{\n  \"files\": " << stats.files
+      << ",\n  \"waived\": " << stats.waived
+      << ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << (i ? ",\n" : "\n")
+        << "    {\"file\": \"" << json_escape(f.file) << "\", \"line\": "
+        << f.line << ", \"rule\": \"" << json_escape(f.rule)
+        << "\", \"message\": \"" << json_escape(f.message) << "\"}";
+  }
+  out << (findings.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string json_path;
+  std::string category;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--list-rules") {
+      for (const std::string& r : nsp::lint::rule_names()) {
+        std::cout << r << '\n';
+      }
+      return 0;
+    }
+    if (arg == "--json" || arg == "--as") {
+      if (a + 1 >= argc) {
+        std::cerr << "nsp-analyze: " << arg << " needs a value\n";
+        return 2;
+      }
+      (arg == "--json" ? json_path : category) = argv[++a];
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "nsp-analyze: unknown option " << arg << '\n';
+      return 2;
+    }
+    inputs.push_back(arg);
+  }
+  if (inputs.empty()) {
+    std::cerr << "usage: nsp-analyze [--json FILE] [--as CATEGORY] "
+                 "[--list-rules] <file-or-dir>...\n";
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& in : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(in, ec)) {
+      for (const auto& e : fs::recursive_directory_iterator(in, ec)) {
+        if (e.is_regular_file() && has_cxx_extension(e.path())) {
+          files.push_back(e.path().generic_string());
+        }
+      }
+      if (ec) {
+        std::cerr << "nsp-analyze: cannot walk " << in << ": " << ec.message()
+                  << '\n';
+        return 2;
+      }
+    } else if (fs::is_regular_file(in, ec)) {
+      files.push_back(fs::path(in).generic_string());
+    } else {
+      std::cerr << "nsp-analyze: no such file or directory: " << in << '\n';
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  AnalyzeStats stats;
+  std::vector<Finding> findings;
+  for (const std::string& path : files) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+      std::cerr << "nsp-analyze: cannot read " << path << '\n';
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    const auto lexed = nsp::lint::lex_file(path, ss.str());
+    auto file_findings = nsp::lint::analyze_file(lexed, category, &stats);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+
+  for (const Finding& f : findings) {
+    std::cout << f.file << ':' << f.line << ": " << f.rule << ": "
+              << f.message << '\n';
+  }
+  if (!json_path.empty()) write_json(json_path, findings, stats);
+
+  std::cout << "nsp-analyze: " << stats.files << " file(s), "
+            << findings.size() << " finding(s), " << stats.waived
+            << " waiver(s)\n";
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,698 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+namespace nsp::lint {
+
+namespace {
+
+// ---- rule names --------------------------------------------------------
+
+const char kDeterminism[] = "determinism";
+const char kOrderedIteration[] = "ordered-iteration";
+const char kRestrictAliasing[] = "restrict-aliasing";
+const char kCheckDiscipline[] = "check-discipline";
+const char kIncludeHygiene[] = "include-hygiene";
+const char kFloatEquality[] = "float-equality";
+const char kTaggedTodo[] = "tagged-todo";
+const char kWaiverJustification[] = "waiver-justification";
+
+/// Legacy lint.sh NOLINT spellings, mapped to their new rule.
+const std::map<std::string, std::string>& legacy_nolint_names() {
+  static const std::map<std::string, std::string> kMap = {
+      {"nsp-no-raw-assert", kCheckDiscipline},
+      {"nsp-no-float-equality", kFloatEquality},
+      {"nsp-tagged-todo", kTaggedTodo},
+  };
+  return kMap;
+}
+
+/// Identifiers that are nondeterministic wherever they appear (their
+/// names are unambiguous enough that no call-position check is needed).
+const std::set<std::string>& banned_idents() {
+  static const std::set<std::string> kSet = {
+      "random_device", "system_clock", "clock_gettime", "gettimeofday",
+      "localtime",     "localtime_r",  "gmtime",        "gmtime_r",
+      "strftime",      "drand48",      "lrand48",       "mrand48",
+      "rand_r",        "random",
+  };
+  return kSet;
+}
+
+/// Short libc names that collide with member functions and locals
+/// ("solver.time()", "double time() const"): these only fire in clear
+/// call position (see determinism()).
+const std::set<std::string>& banned_calls() {
+  static const std::set<std::string> kSet = {"rand", "srand", "time",
+                                             "clock"};
+  return kSet;
+}
+
+/// Identifiers whose presence marks a file as determinism-sensitive for
+/// the ordered-iteration rule: it hashes, serializes, or keys a cache.
+const std::set<std::string>& sensitivity_markers() {
+  static const std::set<std::string> kSet = {
+      "TraceHash", "fnv1a", "to_json", "to_csv", "digest", "serialize",
+  };
+  return kSet;
+}
+
+/// src/ subdirectories that are nsp namespaces, for include-hygiene.
+const std::set<std::string>& nsp_namespaces() {
+  static const std::set<std::string> kSet = {
+      "arch", "bench", "check", "core", "exec", "fault",
+      "io",   "mp",    "par",   "perf", "sim",
+  };
+  return kSet;
+}
+
+bool contains(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+bool ident_tail_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+}
+
+// ---- the per-file engine -----------------------------------------------
+
+class FileAnalysis {
+ public:
+  FileAnalysis(const SourceFile& f, std::string category, AnalyzeStats* stats)
+      : f_(f), category_(std::move(category)), stats_(stats) {}
+
+  std::vector<Finding> run() {
+    determinism();
+    ordered_iteration();
+    restrict_aliasing();
+    check_discipline();
+    include_hygiene();
+    float_equality();
+    tagged_todo();
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                if (a.line != b.line) return a.line < b.line;
+                if (a.rule != b.rule) return a.rule < b.rule;
+                return a.message < b.message;
+              });
+    return std::move(findings_);
+  }
+
+ private:
+  // ---- token helpers ---------------------------------------------------
+
+  const Token* tok(std::size_t k) const {
+    return k < f_.tokens.size() ? &f_.tokens[k] : nullptr;
+  }
+  bool is_punct(std::size_t k, const char* text) const {
+    const Token* t = tok(k);
+    return t && t->kind == TokKind::Punct && t->text == text;
+  }
+  bool is_ident(std::size_t k, const char* text) const {
+    const Token* t = tok(k);
+    return t && t->kind == TokKind::Ident && t->text == text;
+  }
+
+  /// Index just past the matching close for the open bracket at `k`
+  /// (which must be "(", "[", "{", or "<"). For "<" a ">>" token counts
+  /// as two closes (template context). Returns tokens.size() when
+  /// unbalanced.
+  std::size_t skip_balanced(std::size_t k) const {
+    const std::string open = f_.tokens[k].text;
+    const std::string close = open == "(" ? ")"
+                              : open == "[" ? "]"
+                              : open == "{" ? "}"
+                                            : ">";
+    int depth = 0;
+    for (std::size_t j = k; j < f_.tokens.size(); ++j) {
+      const Token& t = f_.tokens[j];
+      if (t.kind != TokKind::Punct) continue;
+      if (t.text == open) {
+        ++depth;
+      } else if (t.text == close) {
+        if (--depth == 0) return j + 1;
+      } else if (open == "<" && t.text == ">>") {
+        depth -= 2;
+        if (depth <= 0) return j + 1;
+      } else if (open == "<" && (t.text == ";" || t.text == "{")) {
+        return j;  // was a comparison, not a template argument list
+      }
+    }
+    return f_.tokens.size();
+  }
+
+  // ---- reporting and waivers -------------------------------------------
+
+  /// True if line (or the line above) carries a waiver for `rule`. A
+  /// `nsp-analyze: <rule>-ok` marker with no justification text still
+  /// suppresses the original finding but files a waiver-justification
+  /// finding in its place, so the run cannot pass.
+  bool waived(int line, const std::string& rule) {
+    for (int ln : {line, line - 1}) {
+      const auto it = f_.comments.find(ln);
+      if (it == f_.comments.end()) continue;
+      const std::string& text = it->second;
+
+      const std::string marker = "nsp-analyze: " + rule + "-ok";
+      const std::size_t pos = text.find(marker);
+      if (pos != std::string::npos) {
+        std::size_t p = pos + marker.size();
+        while (p < text.size() && text[p] == ' ') ++p;
+        bool justified = false;
+        if (p < text.size() && text[p] == ':') {
+          ++p;
+          while (p < text.size() && text[p] == ' ') ++p;
+          justified = p < text.size();
+        }
+        if (justified) {
+          ++stats_->waived;
+        } else {
+          findings_.push_back(
+              {f_.path, ln, kWaiverJustification,
+               "waiver for '" + rule +
+                   "' has no justification; write \"nsp-analyze: " + rule +
+                   "-ok: <why this is safe>\""});
+        }
+        return true;
+      }
+
+      if (contains(text, "NOLINT(" + rule + ")")) {
+        ++stats_->waived;
+        return true;
+      }
+      for (const auto& [legacy, mapped] : legacy_nolint_names()) {
+        if (mapped == rule && contains(text, "NOLINT(" + legacy + ")")) {
+          ++stats_->waived;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  void report(int line, const std::string& rule, std::string msg) {
+    if (waived(line, rule)) return;
+    findings_.push_back({f_.path, line, rule, std::move(msg)});
+  }
+
+  bool in_category(std::initializer_list<const char*> cats) const {
+    for (const char* c : cats) {
+      if (category_ == c) return true;
+    }
+    return false;
+  }
+
+  // ---- R1: determinism -------------------------------------------------
+
+  void determinism() {
+    if (!in_category({"src", "tools", "examples"})) return;
+    if (contains(f_.path, "sim/rng")) return;  // the one sanctioned RNG
+
+    for (std::size_t k = 0; k < f_.tokens.size(); ++k) {
+      const Token& t = f_.tokens[k];
+      if (t.kind != TokKind::Ident) continue;
+
+      if (banned_idents().count(t.text)) {
+        // Member access ("obj.random()") is someone else's random.
+        if (k > 0 && (is_punct(k - 1, ".") || is_punct(k - 1, "->"))) {
+          continue;
+        }
+        report(t.line, kDeterminism,
+               "'" + t.text +
+                   "' is nondeterministic (wall clock / system RNG); use "
+                   "sim::Rng for randomness and steady_clock for durations");
+        continue;
+      }
+
+      if (banned_calls().count(t.text) && is_punct(k + 1, "(")) {
+        // Only clear call position: start of statement/expression, or
+        // std::-qualified. "solver.time()", "double time() const", and
+        // "check::MutexLock clock(mu)" all have a '.'/'->' or an
+        // identifier before the name and are skipped.
+        bool call = false;
+        if (k == 0) {
+          call = true;
+        } else if (is_punct(k - 1, "::")) {
+          call = k >= 2 && is_ident(k - 2, "std");
+        } else if (f_.tokens[k - 1].kind == TokKind::Punct &&
+                   !is_punct(k - 1, ".") && !is_punct(k - 1, "->")) {
+          call = true;
+        } else if (is_ident(k - 1, "return")) {
+          call = true;
+        }
+        if (call) {
+          report(t.line, kDeterminism,
+                 "call to '" + t.text +
+                     "()' is nondeterministic; use sim::Rng / the solver's "
+                     "logical time instead");
+        }
+      }
+    }
+  }
+
+  // ---- R2: ordered-iteration -------------------------------------------
+
+  void ordered_iteration() {
+    if (!in_category({"src", "tools"})) return;
+
+    bool sensitive = false;
+    for (const Token& t : f_.tokens) {
+      if (t.kind == TokKind::Ident && sensitivity_markers().count(t.text)) {
+        sensitive = true;
+        break;
+      }
+    }
+    if (!sensitive) return;
+
+    // Names declared with an unordered type: "std::unordered_map<K, V>
+    // cache ..." binds 'cache'.
+    std::set<std::string> unordered;
+    for (std::size_t k = 0; k < f_.tokens.size(); ++k) {
+      if (!is_ident(k, "unordered_map") && !is_ident(k, "unordered_set")) {
+        continue;
+      }
+      std::size_t j = k + 1;
+      if (is_punct(j, "<")) j = skip_balanced(j);
+      const Token* name = tok(j);
+      if (name && name->kind == TokKind::Ident) unordered.insert(name->text);
+    }
+    if (unordered.empty()) return;
+
+    for (std::size_t k = 0; k < f_.tokens.size(); ++k) {
+      // Range-for whose range expression names an unordered variable.
+      if (is_ident(k, "for") && is_punct(k + 1, "(")) {
+        const std::size_t end = skip_balanced(k + 1);
+        int depth = 0;
+        std::size_t colon = 0;
+        for (std::size_t j = k + 1; j < end; ++j) {
+          if (f_.tokens[j].kind != TokKind::Punct) continue;
+          if (f_.tokens[j].text == "(") ++depth;
+          if (f_.tokens[j].text == ")") --depth;
+          if (depth == 1 && f_.tokens[j].text == ":") {
+            colon = j;
+            break;
+          }
+        }
+        if (colon != 0) {
+          for (std::size_t j = colon + 1; j + 1 < end; ++j) {
+            const Token& t = f_.tokens[j];
+            if (t.kind == TokKind::Ident && unordered.count(t.text)) {
+              report(f_.tokens[k].line, kOrderedIteration,
+                     "iteration over unordered container '" + t.text +
+                         "' in a hashing/serialization file; iterate a "
+                         "sorted copy or switch to std::map");
+              break;
+            }
+          }
+        }
+      }
+      // Explicit iterator walk: cache.begin() etc.
+      if (f_.tokens[k].kind == TokKind::Ident &&
+          unordered.count(f_.tokens[k].text) && is_punct(k + 1, ".") &&
+          (is_ident(k + 2, "begin") || is_ident(k + 2, "cbegin") ||
+           is_ident(k + 2, "rbegin")) &&
+          is_punct(k + 3, "(")) {
+        report(f_.tokens[k].line, kOrderedIteration,
+               "iterator over unordered container '" + f_.tokens[k].text +
+                   "' in a hashing/serialization file; iteration order is "
+                   "not deterministic");
+      }
+    }
+  }
+
+  // ---- R3: restrict-aliasing -------------------------------------------
+
+  void restrict_aliasing() {
+    if (!in_category({"src", "tools", "bench", "examples"})) return;
+
+    // Pass A: functions declared with __restrict__ (or the repo's
+    // NSP_RESTRICT macro) parameters — the name is the identifier
+    // before the innermost open parenthesis enclosing the qualifier.
+    std::set<std::string> kernels;
+    std::vector<std::string> paren_owner;  // ident before each open '('
+    for (std::size_t k = 0; k < f_.tokens.size(); ++k) {
+      const Token& t = f_.tokens[k];
+      if (t.kind == TokKind::Punct && t.text == "(") {
+        std::string owner;
+        if (k > 0 && f_.tokens[k - 1].kind == TokKind::Ident) {
+          owner = f_.tokens[k - 1].text;
+        }
+        paren_owner.push_back(owner);
+      } else if (t.kind == TokKind::Punct && t.text == ")") {
+        if (!paren_owner.empty()) paren_owner.pop_back();
+      } else if (t.kind == TokKind::Ident &&
+                 (t.text == "NSP_RESTRICT" || t.text == "__restrict__" ||
+                  t.text == "__restrict")) {
+        if (!paren_owner.empty() && !paren_owner.back().empty() &&
+            paren_owner.back() != "define") {
+          kernels.insert(paren_owner.back());
+        }
+      }
+    }
+    if (kernels.empty()) return;
+
+    // Pass A': aliases — "auto* row = cond ? &pred_fwd : &pred_bwd;"
+    // makes 'row' a restrict-callable name too.
+    std::set<std::string> callable = kernels;
+    for (std::size_t k = 0; k + 1 < f_.tokens.size(); ++k) {
+      if (!is_punct(k, "&")) continue;
+      const Token* fn = tok(k + 1);
+      if (!fn || fn->kind != TokKind::Ident || !kernels.count(fn->text)) {
+        continue;
+      }
+      for (std::size_t j = k; j-- > 0;) {
+        const Token& b = f_.tokens[j];
+        if (b.kind == TokKind::Punct &&
+            (b.text == ";" || b.text == "{" || b.text == "}")) {
+          break;
+        }
+        if (b.kind == TokKind::Punct && b.text == "=" && j > 0 &&
+            f_.tokens[j - 1].kind == TokKind::Ident) {
+          callable.insert(f_.tokens[j - 1].text);
+          break;
+        }
+      }
+    }
+
+    // Pass B: call sites. An argument is "span-like" if it mentions
+    // row_span/.data()/&...; two identical span expressions in one call
+    // break the kernel's no-aliasing contract.
+    for (std::size_t k = 0; k < f_.tokens.size(); ++k) {
+      const Token& t = f_.tokens[k];
+      if (t.kind != TokKind::Ident || !callable.count(t.text)) continue;
+      if (k > 0 && (f_.tokens[k - 1].kind == TokKind::Ident ||
+                    is_punct(k - 1, "*") || is_punct(k - 1, "&") ||
+                    is_punct(k - 1, "::"))) {
+        continue;  // declaration, address-of, or qualified name
+      }
+      std::size_t j = k + 1;
+      if (is_punct(j, "<")) j = skip_balanced(j);  // explicit template args
+      if (!is_punct(j, "(")) continue;
+      const std::size_t end = skip_balanced(j);
+
+      std::vector<std::string> args;
+      std::string cur;
+      bool span_like = false;
+      std::vector<bool> arg_span;
+      int depth = 0;
+      for (std::size_t a = j; a < end; ++a) {
+        const Token& at = f_.tokens[a];
+        if (at.kind == TokKind::Punct) {
+          if (at.text == "(" || at.text == "[") ++depth;
+          if (at.text == ")" || at.text == "]") --depth;
+          if (depth == 1 && at.text == ",") {
+            args.push_back(cur);
+            arg_span.push_back(span_like);
+            cur.clear();
+            span_like = false;
+            continue;
+          }
+          if (a == j) continue;  // the opening '('
+          if (a + 1 == end) continue;  // the closing ')'
+        }
+        if (at.kind == TokKind::Ident &&
+            (at.text == "row_span" || at.text == "data")) {
+          span_like = true;
+        }
+        if (cur.empty() && at.kind == TokKind::Punct && at.text == "&") {
+          span_like = true;
+        }
+        if (!cur.empty()) cur += ' ';
+        cur += at.kind == TokKind::Str ? std::string("\"\"") : at.text;
+      }
+      if (!cur.empty()) {
+        args.push_back(cur);
+        arg_span.push_back(span_like);
+      }
+
+      for (std::size_t a = 0; a < args.size(); ++a) {
+        if (!arg_span[a]) continue;
+        for (std::size_t b = a + 1; b < args.size(); ++b) {
+          if (arg_span[b] && args[a] == args[b]) {
+            report(t.line, kRestrictAliasing,
+                   "restrict kernel '" + t.text +
+                       "' gets the same span expression for arguments " +
+                       std::to_string(a + 1) + " and " +
+                       std::to_string(b + 1) + " ('" + args[a] +
+                       "'): this aliases __restrict__ pointers (UB)");
+          }
+        }
+      }
+      k = end > k ? end - 1 : k;
+    }
+  }
+
+  // ---- R4: check-discipline --------------------------------------------
+
+  void check_discipline() {
+    for (std::size_t k = 0; k < f_.tokens.size(); ++k) {
+      const Token& t = f_.tokens[k];
+      if (t.kind != TokKind::Ident) continue;
+
+      if (category_ == "src" && (t.text == "assert" || t.text == "abort") &&
+          is_punct(k + 1, "(") && k > 0 && !is_punct(k - 1, ".") &&
+          !is_punct(k - 1, "->")) {
+        report(t.line, kCheckDiscipline,
+               "raw " + t.text +
+                   "() in src/ — use NSP_CHECK* from check/check.hpp "
+                   "(counted, reported, level-gated)");
+        continue;
+      }
+
+      // NSP_CHECK* arguments must be side-effect free: at a disabled
+      // check level they are evaluated zero times, so a ++/= inside
+      // one silently changes behavior across build configurations.
+      if (t.text.rfind("NSP_CHECK", 0) == 0 && is_punct(k + 1, "(")) {
+        static const std::set<std::string> kMutators = {
+            "++", "--", "=",  "+=", "-=",  "*=",
+            "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+        };
+        const std::size_t end = skip_balanced(k + 1);
+        for (std::size_t j = k + 2; j + 1 < end; ++j) {
+          const Token& a = f_.tokens[j];
+          if (a.kind != TokKind::Punct || !kMutators.count(a.text)) continue;
+          if (a.text == "=" && j > 0 && is_punct(j - 1, "[")) {
+            continue;  // lambda capture-default [=]
+          }
+          report(t.line, kCheckDiscipline,
+                 "'" + a.text + "' inside " + t.text +
+                     "(...) arguments: check conditions are evaluated "
+                     "zero times at disabled levels, so side effects "
+                     "change behavior per build");
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- R5: include-hygiene ---------------------------------------------
+
+  void include_hygiene() {
+    // Duplicate includes are sloppy anywhere.
+    std::map<std::string, int> seen;
+    for (const Include& inc : f_.includes) {
+      const auto [it, fresh] = seen.emplace(inc.target, inc.line);
+      if (!fresh) {
+        report(inc.line, kIncludeHygiene,
+               "duplicate #include of '" + inc.target + "' (first at line " +
+                   std::to_string(it->second) + ")");
+      }
+    }
+
+    if (category_ != "src") return;
+    const std::string base = f_.path.substr(f_.path.find_last_of('/') + 1);
+    if (base == "nsp.hpp") return;  // the facade exists to include all
+
+    // Library code must not include its own facade.
+    for (const Include& inc : f_.includes) {
+      if (!inc.angled && inc.target == "nsp.hpp") {
+        report(inc.line, kIncludeHygiene,
+               "src/ must include the specific headers it uses, not the "
+               "nsp.hpp facade (facade is for applications and tests)");
+      }
+    }
+
+    // Directory of this file under src/ is its own namespace.
+    std::string own;
+    {
+      const std::size_t s = f_.path.find("src/");
+      if (s != std::string::npos) {
+        const std::size_t d0 = s + 4;
+        const std::size_t d1 = f_.path.find('/', d0);
+        if (d1 != std::string::npos) own = f_.path.substr(d0, d1 - d0);
+      }
+    }
+
+    // Which nsp namespaces does this file actually name? ("mp ::" in
+    // the token stream, or an NSP_* macro, which check/ provides.)
+    std::map<std::string, int> used;  // namespace -> first-use line
+    for (std::size_t k = 0; k + 1 < f_.tokens.size(); ++k) {
+      const Token& t = f_.tokens[k];
+      if (t.kind != TokKind::Ident) continue;
+      if (nsp_namespaces().count(t.text) && is_punct(k + 1, "::") &&
+          !(k > 0 && is_punct(k - 1, "::"))) {
+        // Skip "namespace nsp::mp {" headers: a namespace (re)opening
+        // is not a cross-namespace use.
+        if (k >= 1 && is_ident(k - 1, "namespace")) continue;
+        if (k >= 2 && is_punct(k - 1, "::") && is_ident(k - 2, "nsp")) {
+          continue;  // unreachable (guarded above) but explicit
+        }
+        used.emplace(t.text, t.line);
+      }
+      if (t.text.rfind("NSP_", 0) == 0) used.emplace("check", t.line);
+    }
+    // Re-scan for fully qualified nsp::X:: uses (nsp :: X :: ...).
+    for (std::size_t k = 0; k + 3 < f_.tokens.size(); ++k) {
+      if (is_ident(k, "nsp") && is_punct(k + 1, "::") &&
+          f_.tokens[k + 2].kind == TokKind::Ident &&
+          nsp_namespaces().count(f_.tokens[k + 2].text) &&
+          is_punct(k + 3, "::")) {
+        used.emplace(f_.tokens[k + 2].text, f_.tokens[k].line);
+      }
+    }
+
+    // Project includes, grouped by first path segment.
+    std::set<std::string> included_dirs;
+    for (const Include& inc : f_.includes) {
+      if (inc.angled) continue;
+      const std::size_t slash = inc.target.find('/');
+      if (slash == std::string::npos) continue;
+      included_dirs.insert(inc.target.substr(0, slash));
+    }
+
+    // Stale: includes a namespace's header but never names it.
+    for (const Include& inc : f_.includes) {
+      if (inc.angled) continue;
+      const std::size_t slash = inc.target.find('/');
+      if (slash == std::string::npos) continue;
+      const std::string dir = inc.target.substr(0, slash);
+      if (!nsp_namespaces().count(dir) || dir == own) continue;
+      if (!used.count(dir)) {
+        report(inc.line, kIncludeHygiene,
+               "#include \"" + inc.target + "\" but nothing from " + dir +
+                   ":: is named in this file (stale include?)");
+      }
+    }
+
+    // Missing: names a namespace with no direct include from it (the
+    // symbol is riding a transitive include).
+    for (const auto& [ns, first_line] : used) {
+      if (ns == own || included_dirs.count(ns)) continue;
+      report(first_line, kIncludeHygiene,
+             "uses " + ns + ":: but has no direct #include \"" + ns +
+                 "/...\" (include what you use; transitive includes break "
+                 "silently)");
+    }
+  }
+
+  // ---- R6: float-equality ----------------------------------------------
+
+  void float_equality() {
+    if (category_ != "src") return;
+    for (std::size_t k = 0; k < f_.tokens.size(); ++k) {
+      if (!is_punct(k, "==") && !is_punct(k, "!=")) continue;
+      const auto is_float = [this](std::size_t j) {
+        const Token* t = tok(j);
+        return t && t->kind == TokKind::Number && contains(t->text, ".");
+      };
+      bool hit = is_float(k + 1) || (k > 0 && is_float(k - 1));
+      if (!hit && (is_punct(k + 1, "-") || is_punct(k + 1, "+"))) {
+        hit = is_float(k + 2);
+      }
+      if (hit) {
+        report(f_.tokens[k].line, kFloatEquality,
+               "'" + f_.tokens[k].text +
+                   "' against a floating-point literal — compare with a "
+                   "tolerance or </> (bit-exact tests belong in tests/)");
+      }
+    }
+  }
+
+  // ---- R7: tagged-todo -------------------------------------------------
+
+  void tagged_todo() {
+    if (!in_category({"src", "tools"})) return;
+    for (const auto& [line, text] : f_.comments) {
+      for (const char* word : {"TODO", "FIXME"}) {
+        std::size_t pos = 0;
+        while ((pos = text.find(word, pos)) != std::string::npos) {
+          const std::size_t after = pos + std::char_traits<char>::length(word);
+          // Word boundaries on both sides, so longer identifiers that
+          // merely contain the marker don't count.
+          if (pos > 0 && ident_tail_char(text[pos - 1])) {
+            ++pos;
+            continue;
+          }
+          if (after < text.size() &&
+              (std::isalnum(static_cast<unsigned char>(text[after])) ||
+               text[after] == '_')) {
+            ++pos;
+            continue;
+          }
+          bool tagged = false;
+          if (after < text.size() && text[after] == '(') {
+            std::size_t p = after + 1;
+            while (p < text.size() && ident_tail_char(text[p])) ++p;
+            tagged = p > after + 1 && p + 1 < text.size() &&
+                     text[p] == ')' && text[p + 1] == ':';
+          }
+          if (!tagged) {
+            report(line, kTaggedTodo,
+                   std::string(word) +
+                       " without an owner — write \"TODO(name): ...\" so "
+                       "every open end has someone attached");
+            break;  // one finding per line is enough
+          }
+          pos = after;
+        }
+      }
+    }
+  }
+
+  const SourceFile& f_;
+  std::string category_;
+  AnalyzeStats* stats_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+std::string path_category(const std::string& path) {
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    const std::size_t end = path.find('/', start);
+    const std::string seg =
+        path.substr(start, end == std::string::npos ? end : end - start);
+    if (seg == "src" || seg == "tools" || seg == "bench" ||
+        seg == "examples" || seg == "tests") {
+      return seg;
+    }
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return "other";
+}
+
+std::vector<Finding> analyze_file(const SourceFile& f,
+                                  const std::string& category_override,
+                                  AnalyzeStats* stats) {
+  const std::string cat =
+      category_override.empty() ? path_category(f.path) : category_override;
+  ++stats->files;
+  return FileAnalysis(f, cat, stats).run();
+}
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kNames = {
+      kDeterminism,    kOrderedIteration, kRestrictAliasing,
+      kCheckDiscipline, kIncludeHygiene,  kFloatEquality,
+      kTaggedTodo,     kWaiverJustification,
+  };
+  return kNames;
+}
+
+}  // namespace nsp::lint

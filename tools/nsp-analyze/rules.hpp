@@ -1,0 +1,57 @@
+// nsp-analyze — the rule engine.
+//
+// Rules encode repo contracts the compiler cannot see (see
+// docs/CHECKING.md for the catalog and the waiver syntax):
+//
+//   determinism          no libc RNG / wall-clock calls outside sim::Rng
+//                        and the bench reporter allowlist
+//   ordered-iteration    no unordered_map/unordered_set iteration in
+//                        files that feed TraceHash / serialization
+//   restrict-aliasing    no duplicate span expressions in one call to a
+//                        __restrict__ row kernel
+//   check-discipline     no raw assert()/abort() in src/; no NSP_CHECK
+//                        with side-effecting arguments
+//   include-hygiene      src/ files include what they use directly (no
+//                        nsp.hpp facade, no stale or missing includes)
+//   float-equality       no ==/!= against floating-point literals in src/
+//   tagged-todo          every open-end marker names an owner, TODO(name):
+//
+// A line opts out with `// nsp-analyze: <rule>-ok: <justification>`;
+// the justification is mandatory (an empty one is its own finding,
+// `waiver-justification`). `NOLINT(<rule>)` is accepted for the rules
+// migrated from the old grep-based lint.sh.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace nsp::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct AnalyzeStats {
+  int files = 0;
+  int waived = 0;
+};
+
+/// First known path segment ("src", "tools", "bench", "examples",
+/// "tests") or "other"; rules scope themselves by category.
+std::string path_category(const std::string& path);
+
+/// Runs every rule over one lexed file. `category_override` (from
+/// --as) replaces the path-derived category when non-empty.
+std::vector<Finding> analyze_file(const SourceFile& f,
+                                  const std::string& category_override,
+                                  AnalyzeStats* stats);
+
+/// All rule names, for --list-rules and the JSON report.
+const std::vector<std::string>& rule_names();
+
+}  // namespace nsp::lint
