@@ -1,0 +1,137 @@
+// Serving-throughput smoke bench: requests/second through the
+// serve::Server stack (parse → admit → batch → Engine → respond) at 1
+// vs N engine threads, memo-miss vs memo-hit. Writes BENCH_serve.json
+// (bench/reporter.hpp schema v1); the copy committed in results/
+// extends the recorded perf trajectory documented in docs/PERF.md.
+//
+//   bench_serve [--quick]
+//
+// --quick: fewer distinct scenarios, one repetition — schema-valid
+// artifact in under a second for CI, numbers are noise.
+//
+// Methodology: each measured pass submits `n` run requests through
+// Server::submit and resolves them with one pump; requests/s is
+// n / wall. The "miss" variants use a fresh Server (empty memo cache,
+// no persistent store) and distinct scenarios, so every request costs
+// an Engine run; the "hit" variant replays the same request set against
+// the warmed server, so every request is a memo hit — its throughput is
+// the protocol + dedup overhead ceiling. The reported speedup column
+// compares N-thread misses against the 1-thread miss baseline; grid
+// and gflops fields do not apply to a serving workload and are 0.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "bench/reporter.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace nsp;
+
+/// One request line per scenario: a small replay cell swept across
+/// processor counts and seeds so cells are distinct but cheap.
+std::vector<std::string> request_lines(int n) {
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    lines.push_back(
+        "{\"id\":\"b" + std::to_string(k) +
+        "\",\"op\":\"run\",\"scenario\":{\"platform\":\"t3d-" +
+        std::to_string(2 + k % 8) +
+        "\",\"ni\":50,\"nj\":20,\"steps\":100,\"sim_steps\":25,\"seed\":\"" +
+        std::to_string(k / 8) + "\"}}");
+  }
+  return lines;
+}
+
+/// Submits every line, pumps, waits; returns the wall seconds spent.
+double run_pass(serve::Server& server, const std::vector<std::string>& lines) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<serve::Server::Ticket> tickets;
+  tickets.reserve(lines.size());
+  for (const std::string& line : lines) tickets.push_back(server.submit(line));
+  while (server.pump()) {
+  }
+  for (serve::Server::Ticket& t : tickets) server.wait(t);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+serve::ServerOptions options(int threads) {
+  serve::ServerOptions o;
+  o.engine_threads = threads;
+  o.auto_pump = false;  // measured pumps, not dispatcher scheduling
+  o.queue_capacity = 1u << 20;
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--quick") == 0) quick = true;
+  }
+  bench::banner(quick ? "Serving throughput (--quick smoke)"
+                      : "Serving throughput");
+
+  const int n = quick ? 64 : 512;
+  const int reps = quick ? 1 : 3;
+  const int nthreads = std::max(2u, std::thread::hardware_concurrency());
+  const std::vector<std::string> lines = request_lines(n);
+
+  bench::Reporter rep("serve");
+  double miss1_s = 0;
+
+  struct Case {
+    const char* name;
+    const char* variant;
+    int threads;
+    bool hit;
+  };
+  const Case cases[] = {
+      {"requests/miss/1t", "memo-miss", 1, false},
+      {"requests/miss/Nt", "memo-miss", nthreads, false},
+      {"requests/hit/1t", "memo-hit", 1, true},
+  };
+  for (const Case& c : cases) {
+    serve::Server server(options(c.threads));
+    if (c.hit) run_pass(server, lines);  // warm the memo cache
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      if (!c.hit) {
+        // A fresh server per rep keeps every request a true miss.
+        serve::Server fresh(options(c.threads));
+        best = std::min(best, run_pass(fresh, lines));
+      } else {
+        best = std::min(best, run_pass(server, lines));
+      }
+    }
+    const double req_per_s = n / best;
+    if (c.threads == 1 && !c.hit) miss1_s = best;
+    bench::BenchEntry e;
+    e.name = c.name;
+    e.variant = c.variant;
+    e.ms_per_step = best * 1e3 / n;  // ms per request
+    if (miss1_s > 0) {
+      e.speedup = miss1_s / best;
+      e.baseline = "requests/miss/1t";
+    }
+    rep.add(e);
+    std::printf("  %-18s %2d thread(s)  %9.0f req/s  (%.3f ms/req)\n",
+                c.name, c.threads, req_per_s, e.ms_per_step);
+  }
+
+  const std::string path = io::artifact_path("BENCH_serve.json");
+  if (!rep.write_json(path)) {
+    std::fprintf(stderr, "bench_serve: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}

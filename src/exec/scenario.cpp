@@ -1,13 +1,17 @@
 #include "exec/scenario.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 
 #include "exec/registry.hpp"
 #include "arch/kernel_profile.hpp"
 #include "arch/platform.hpp"
 #include "core/kernels.hpp"
 #include "fault/fault.hpp"
+#include "io/json.hpp"
+#include "io/table.hpp"
 #include "perf/app_model.hpp"
 
 namespace nsp::exec {
@@ -164,6 +168,230 @@ std::uint64_t Scenario::derived_seed() const {
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
   return z ^ (z >> 31);
+}
+
+namespace {
+
+// ---- Wire tokens ---------------------------------------------------------
+//
+// The wire format uses short lowercase tokens rather than the display
+// names from arch::to_string ("Navier-Stokes", "SP switch"), which
+// contain spaces and punctuation hostile to hand-written requests. The
+// mapping is part of the protocol spec in docs/SERVING.md.
+
+std::string wire_token(Workload w) { return to_string(w); }
+
+bool parse_workload(const std::string& t, Workload* out) {
+  if (t == "replay") *out = Workload::Replay;
+  else if (t == "solve") *out = Workload::Solve;
+  else if (t == "netprobe") *out = Workload::NetProbe;
+  else return false;
+  return true;
+}
+
+const char* wire_token(arch::Equations e) {
+  return e == arch::Equations::Euler ? "euler" : "ns";
+}
+
+bool parse_equations(const std::string& t, arch::Equations* out) {
+  if (t == "ns") *out = arch::Equations::NavierStokes;
+  else if (t == "euler") *out = arch::Equations::Euler;
+  else return false;
+  return true;
+}
+
+const char* wire_token(arch::NetKind k) {
+  switch (k) {
+    case arch::NetKind::Perfect: return "perfect";
+    case arch::NetKind::Ethernet: return "ethernet";
+    case arch::NetKind::Fddi: return "fddi";
+    case arch::NetKind::Atm: return "atm";
+    case arch::NetKind::AllnodeF: return "allnode-f";
+    case arch::NetKind::AllnodeS: return "allnode-s";
+    case arch::NetKind::SpSwitch: return "sp-switch";
+    case arch::NetKind::Torus3D: return "torus3d";
+  }
+  return "?";
+}
+
+bool parse_netkind(const std::string& t, arch::NetKind* out) {
+  for (const arch::NetKind k :
+       {arch::NetKind::Perfect, arch::NetKind::Ethernet, arch::NetKind::Fddi,
+        arch::NetKind::Atm, arch::NetKind::AllnodeF, arch::NetKind::AllnodeS,
+        arch::NetKind::SpSwitch, arch::NetKind::Torus3D}) {
+    if (t == wire_token(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Reads an optional integer member; returns false (setting *err) when
+/// present but not an integral number within [lo, hi].
+bool read_int(const io::JsonValue& doc, const std::string& name, int lo,
+              int hi, int* out, std::string* err) {
+  const io::JsonValue* v = doc.find(name);
+  if (!v) return true;
+  if (!v->is_number() || v->number != static_cast<double>(static_cast<long long>(v->number))) {
+    *err = "field '" + name + "' must be an integer";
+    return false;
+  }
+  const long long n = static_cast<long long>(v->number);
+  if (n < lo || n > hi) {
+    *err = "field '" + name + "' out of range [" + std::to_string(lo) + ", " +
+           std::to_string(hi) + "]";
+    return false;
+  }
+  *out = static_cast<int>(n);
+  return true;
+}
+
+/// Reads an optional string member; returns false when present but not
+/// a string.
+bool read_string(const io::JsonValue& doc, const std::string& name,
+                 std::string* out, std::string* err) {
+  const io::JsonValue* v = doc.find(name);
+  if (!v) return true;
+  if (!v->is_string()) {
+    *err = "field '" + name + "' must be a string";
+    return false;
+  }
+  *out = v->text;
+  return true;
+}
+
+}  // namespace
+
+std::string Scenario::to_json() const {
+  std::ostringstream os;
+  os << "{\"workload\":\"" << wire_token(workload_) << "\""
+     << ",\"equations\":\"" << wire_token(eq_) << "\""
+     << ",\"version\":" << static_cast<int>(version_)
+     << ",\"kernel\":" << static_cast<int>(kernel_)
+     << ",\"ni\":" << ni_ << ",\"nj\":" << nj_
+     << ",\"steps\":" << steps_
+     << ",\"grid2d\":" << proc_grid_px_
+     << ",\"sim_steps\":" << sim_steps_
+     << ",\"platform\":\"" << io::json_escape(platform_) << "\""
+     << ",\"msglayer\":\"" << io::json_escape(msglayer_) << "\""
+     << ",\"network\":\"" << (net_override_ ? wire_token(net_) : "") << "\""
+     << ",\"threads\":" << nprocs_
+     << ",\"seed\":\"" << seed_ << "\""
+     << ",\"label\":\"" << io::json_escape(label_) << "\""
+     << ",\"faults\":\"" << io::json_escape(faults_.str()) << "\"}";
+  return os.str();
+}
+
+bool Scenario::from_json(const io::JsonValue& doc, Scenario* out,
+                         std::string* err) {
+  std::string reason;
+  if (!doc.is_object()) {
+    if (err) *err = "scenario must be a JSON object";
+    return false;
+  }
+  Scenario s;
+  // Reject unknown fields so a typoed axis ("thread": 4) fails loudly
+  // instead of silently running the default scenario.
+  static const char* kFields[] = {
+      "workload", "equations", "version",  "kernel", "ni",     "nj",
+      "steps",    "grid2d",    "sim_steps", "platform", "msglayer",
+      "network",  "threads",   "seed",     "label",  "faults"};
+  for (const auto& [name, value] : doc.members) {
+    bool known = false;
+    for (const char* f : kFields) known = known || name == f;
+    if (!known) {
+      if (err) *err = "unknown field '" + name + "'";
+      return false;
+    }
+  }
+
+  std::string token;
+  if (!read_string(doc, "workload", &token, &reason)) goto bad;
+  if (!token.empty() && !parse_workload(token, &s.workload_)) {
+    reason = "unknown workload '" + token + "' (replay|solve|netprobe)";
+    goto bad;
+  }
+  token.clear();
+  if (!read_string(doc, "equations", &token, &reason)) goto bad;
+  if (!token.empty() && !parse_equations(token, &s.eq_)) {
+    reason = "unknown equations '" + token + "' (ns|euler)";
+    goto bad;
+  }
+  {
+    int version = static_cast<int>(s.version_);
+    int kernel = static_cast<int>(s.kernel_);
+    if (!read_int(doc, "version", 1, 7, &version, &reason)) goto bad;
+    if (!read_int(doc, "kernel", 1, 5, &kernel, &reason)) goto bad;
+    s.version_ = static_cast<arch::CodeVersion>(version);
+    s.kernel_ = static_cast<core::KernelVariant>(kernel);
+  }
+  if (!read_int(doc, "ni", 2, 1 << 20, &s.ni_, &reason)) goto bad;
+  if (!read_int(doc, "nj", 2, 1 << 20, &s.nj_, &reason)) goto bad;
+  if (!read_int(doc, "steps", 1, 1 << 30, &s.steps_, &reason)) goto bad;
+  if (!read_int(doc, "grid2d", 0, 1 << 16, &s.proc_grid_px_, &reason)) goto bad;
+  if (!read_int(doc, "sim_steps", 1, 1 << 30, &s.sim_steps_, &reason)) goto bad;
+  if (!read_string(doc, "platform", &s.platform_, &reason)) goto bad;
+  if (!has_platform(s.platform_)) {
+    reason = "unknown platform '" + s.platform_ + "'";
+    goto bad;
+  }
+  if (!read_string(doc, "msglayer", &s.msglayer_, &reason)) goto bad;
+  if (!s.msglayer_.empty()) {
+    try {
+      make_msglayer(s.msglayer_);
+    } catch (const std::invalid_argument&) {
+      reason = "unknown msglayer '" + s.msglayer_ + "'";
+      goto bad;
+    }
+  }
+  token.clear();
+  if (!read_string(doc, "network", &token, &reason)) goto bad;
+  if (!token.empty()) {
+    if (!parse_netkind(token, &s.net_)) {
+      reason = "unknown network '" + token + "'";
+      goto bad;
+    }
+    s.net_override_ = true;
+  }
+  if (!read_int(doc, "threads", 0, 1 << 20, &s.nprocs_, &reason)) goto bad;
+  {
+    // `seed` is a decimal string (canonical) but a plain JSON integer is
+    // accepted too — the parser kept its raw text, so either form
+    // round-trips the full 64 bits.
+    const io::JsonValue* v = doc.find("seed");
+    if (v) {
+      if (!v->is_string() && !v->is_number()) {
+        reason = "field 'seed' must be a decimal string or integer";
+        goto bad;
+      }
+      // For numbers, `text` is the raw source literal, so the full 64
+      // bits survive either spelling.
+      char* end = nullptr;
+      s.seed_ = std::strtoull(v->text.c_str(), &end, 10);
+      if (v->text.empty() || (end && *end != '\0')) {
+        reason = "field 'seed' is not a decimal integer";
+        goto bad;
+      }
+    }
+  }
+  if (!read_string(doc, "label", &s.label_, &reason)) goto bad;
+  token.clear();
+  if (!read_string(doc, "faults", &token, &reason)) goto bad;
+  if (!token.empty()) {
+    try {
+      s.faults_ = fault::FaultSpec::parse(token);
+    } catch (const std::invalid_argument& e) {
+      reason = std::string("bad faults spec: ") + e.what();
+      goto bad;
+    }
+  }
+  *out = s;
+  return true;
+
+bad:
+  if (err) *err = reason;
+  return false;
 }
 
 arch::Platform Scenario::platform_model() const {

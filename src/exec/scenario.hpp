@@ -19,6 +19,7 @@
 #include "arch/platform.hpp"
 #include "core/solver.hpp"
 #include "fault/fault.hpp"
+#include "io/json.hpp"
 #include "perf/app_model.hpp"
 
 namespace nsp::exec {
@@ -105,6 +106,24 @@ class Scenario {
   /// 64-bit FNV-1a hash of cache_key() — the content hash the cache
   /// indexes.
   std::uint64_t content_hash() const;
+
+  // ---- Wire format (docs/SERVING.md) -------------------------------------
+
+  /// Serializes every axis as a single-line JSON object with a fixed
+  /// field order — the canonical wire form of the serving protocol.
+  /// `seed` is emitted as a decimal *string* so 64-bit values survive
+  /// JSON implementations that store numbers as doubles.
+  std::string to_json() const;
+
+  /// Parses the to_json() form back into a Scenario. Every field is
+  /// optional and defaults to the fluent API's defaults, so a minimal
+  /// request like {"platform":"t3d-16"} is valid. Unknown fields,
+  /// out-of-range enums, unknown platform/msglayer keys, and malformed
+  /// fault specs are rejected: returns false with a one-line reason in
+  /// `err`. Round-trip contract (tested per axis):
+  /// from_json(to_json(s)).cache_key() == s.cache_key().
+  static bool from_json(const io::JsonValue& doc, Scenario* out,
+                        std::string* err);
 
   /// Deterministic per-scenario seed: content hash mixed with the base
   /// seed, so a sweep reseeds reproducibly regardless of worker order.

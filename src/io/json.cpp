@@ -1,0 +1,283 @@
+#include "io/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace nsp::io {
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::string_or(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = find(key);
+  return (v && v->is_string()) ? v->text : fallback;
+}
+
+double JsonValue::number_or(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  return (v && v->is_number()) ? v->number : fallback;
+}
+
+bool JsonValue::bool_or(const std::string& key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return (v && v->is_bool()) ? v->boolean : fallback;
+}
+
+namespace {
+
+/// Recursive-descent parser over a borrowed string. Depth is bounded to
+/// keep hostile wire input from overflowing the stack.
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* err)
+      : text_(text), err_(err) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string& what) {
+    if (err_ && err_->empty()) {
+      *err_ = "json: " + what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (text_.compare(pos_, len, word) != 0) return fail("invalid literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool parse_value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        out->kind = JsonValue::Kind::Null;
+        return literal("null", 4);
+      case 't':
+        out->kind = JsonValue::Kind::Bool;
+        out->boolean = true;
+        return literal("true", 4);
+      case 'f':
+        out->kind = JsonValue::Kind::Bool;
+        out->boolean = false;
+        return literal("false", 5);
+      case '"':
+        out->kind = JsonValue::Kind::String;
+        return parse_string(&out->text);
+      case '[':
+        return parse_array(out, depth);
+      case '{':
+        return parse_object(out, depth);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      if (pos_ + 1 >= text_.size()) return fail("dangling escape");
+      const char esc = text_[pos_ + 1];
+      pos_ += 2;
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<std::size_t>(i)];
+            if (!std::isxdigit(static_cast<unsigned char>(h))) {
+              return fail("bad hex digit in \\u escape");
+            }
+            code = code * 16 +
+                   static_cast<unsigned>(
+                       h <= '9' ? h - '0'
+                                : (std::tolower(static_cast<unsigned char>(h)) -
+                                   'a' + 10));
+          }
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else {
+            // Non-ASCII escapes pass through verbatim; see header.
+            out->append(text_, pos_ - 2, 6);
+          }
+          pos_ += 4;
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const std::size_t digits = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == digits) return fail("invalid number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      const std::size_t frac = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == frac) return fail("digits required after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      const std::size_t expo = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == expo) return fail("digits required in exponent");
+    }
+    out->kind = JsonValue::Kind::Number;
+    out->text = text_.substr(start, pos_ - start);
+    out->number = std::strtod(out->text.c_str(), nullptr);
+    return true;
+  }
+
+  bool parse_array(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->kind = JsonValue::Kind::Array;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue item;
+      skip_ws();
+      if (!parse_value(&item, depth + 1)) return false;
+      out->items.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_object(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->kind = JsonValue::Kind::Object;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected string key in object");
+      }
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':' after object key");
+      }
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value, depth + 1)) return false;
+      // Duplicate keys keep the last value.
+      bool replaced = false;
+      for (auto& [name, existing] : out->members) {
+        if (name == key) {
+          existing = std::move(value);
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) out->members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  std::string* err_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool json_parse(const std::string& text, JsonValue* out, std::string* err) {
+  if (err) err->clear();
+  *out = JsonValue{};
+  Parser p(text, err);
+  return p.parse(out);
+}
+
+}  // namespace nsp::io

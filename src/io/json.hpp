@@ -1,0 +1,75 @@
+// A minimal, dependency-free JSON reader for the serving wire format.
+//
+// The repo's JSON *writers* (json_records, ResultSet::to_json) emit
+// deterministic text and never needed a parser; the serving daemon does:
+// requests arrive as newline-delimited JSON objects. This parser covers
+// exactly RFC 8259 minus two deliberate simplifications:
+//
+//   - numbers keep their raw source text alongside the double value, so
+//     64-bit integers (scenario seeds) round-trip without going through
+//     a double;
+//   - \uXXXX escapes outside the ASCII range are passed through as the
+//     literal six-character sequence rather than encoded to UTF-8 (wire
+//     payloads here are scenario field names and platform keys, all
+//     ASCII).
+//
+// Object members preserve insertion order; duplicate keys keep the last
+// value (matching common parser behaviour).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nsp::io {
+
+/// One parsed JSON value. A small closed variant rather than
+/// std::variant so lookups read naturally at call sites.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  /// Numeric value as double (valid when kind == Number).
+  double number = 0.0;
+  /// For String: the decoded text. For Number: the raw literal as it
+  /// appeared in the source (use with strtoll/strtoull for exact
+  /// integer round-trips).
+  std::string text;
+  /// Array elements, in order (valid when kind == Array).
+  std::vector<JsonValue> items;
+  /// Object members in insertion order (valid when kind == Object).
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_bool() const { return kind == Kind::Bool; }
+  bool is_number() const { return kind == Kind::Number; }
+  bool is_string() const { return kind == Kind::String; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_object() const { return kind == Kind::Object; }
+
+  /// Object member lookup; nullptr when absent or not an object. Linear
+  /// scan — wire objects have a dozen members at most.
+  const JsonValue* find(const std::string& key) const;
+
+  /// find(key), but returns value.text for strings ("" when absent or
+  /// not a string).
+  std::string string_or(const std::string& key,
+                        const std::string& fallback) const;
+
+  /// find(key), but returns the numeric value ("fallback" when absent
+  /// or not a number).
+  double number_or(const std::string& key, double fallback) const;
+
+  /// find(key), but returns the boolean value.
+  bool bool_or(const std::string& key, bool fallback) const;
+};
+
+/// Parses one JSON document from `text`. Returns true and fills `out`
+/// on success; returns false and puts a one-line diagnostic (with a
+/// character offset) in `err` on malformed input. Trailing whitespace
+/// is allowed; trailing non-whitespace is an error.
+bool json_parse(const std::string& text, JsonValue* out, std::string* err);
+
+}  // namespace nsp::io

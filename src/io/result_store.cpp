@@ -1,0 +1,150 @@
+#include "io/result_store.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "check/thread_safety.hpp"
+
+namespace nsp::io {
+
+namespace fs = std::filesystem;
+
+std::string ResultStore::content_hash(const std::string& key) {
+  // FNV-1a, 64-bit — the same construction exec uses for scenario
+  // content hashes; reimplemented here because io sits below exec.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
+ResultStore::ResultStore(const std::string& dir, std::uint64_t max_bytes)
+    : root_((fs::path(dir) / "store").string()), max_bytes_(max_bytes) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);  // best-effort, like results_dir()
+  check::MutexLock lock(mu_);
+  load();
+  evict_to_budget();
+  rewrite_index();
+}
+
+std::string ResultStore::body_path(const std::string& hash) const {
+  return (fs::path(root_) / (hash + ".json")).string();
+}
+
+void ResultStore::load() {
+  std::ifstream in(fs::path(root_) / "store.index");
+  if (!in.is_open()) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string seq_text, hash, bytes_text, key;
+    if (!std::getline(fields, seq_text, '\t') ||
+        !std::getline(fields, hash, '\t') ||
+        !std::getline(fields, bytes_text, '\t') ||
+        !std::getline(fields, key)) {
+      continue;  // malformed line: skip, keep the rest of the index
+    }
+    Entry e;
+    e.hash = hash;
+    e.seq = std::strtoull(seq_text.c_str(), nullptr, 10);
+    e.bytes = std::strtoull(bytes_text.c_str(), nullptr, 10);
+    std::error_code ec;
+    if (!fs::exists(body_path(e.hash), ec)) continue;  // body lost: drop
+    total_bytes_ += e.bytes;
+    if (e.seq >= next_seq_) next_seq_ = e.seq + 1;
+    entries_[key] = e;
+  }
+}
+
+void ResultStore::rewrite_index() {
+  const fs::path index = fs::path(root_) / "store.index";
+  const fs::path tmp = fs::path(root_) / "store.index.tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) return;  // read-only dir: store degrades to RAM
+    for (const auto& [key, e] : entries_) {
+      out << e.seq << '\t' << e.hash << '\t' << e.bytes << '\t' << key
+          << '\n';
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, index, ec);
+}
+
+void ResultStore::evict_to_budget() {
+  if (max_bytes_ == 0) return;
+  while (total_bytes_ > max_bytes_ && !entries_.empty()) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.seq < victim->second.seq) victim = it;
+    }
+    std::error_code ec;
+    fs::remove(body_path(victim->second.hash), ec);
+    total_bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+  }
+}
+
+bool ResultStore::get(const std::string& key, std::string* body) {
+  check::MutexLock lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  std::ifstream in(body_path(it->second.hash), std::ios::binary);
+  if (!in.is_open()) {
+    // Body vanished underneath us (external cleanup): drop the entry.
+    total_bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    rewrite_index();
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *body = ss.str();
+  it->second.seq = next_seq_++;
+  rewrite_index();
+  return true;
+}
+
+void ResultStore::put(const std::string& key, const std::string& body) {
+  check::MutexLock lock(mu_);
+  if (max_bytes_ != 0 && body.size() > max_bytes_) return;  // never fits
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    total_bytes_ -= it->second.bytes;
+    entries_.erase(it);
+  }
+  Entry e;
+  e.hash = content_hash(key);
+  e.bytes = body.size();
+  e.seq = next_seq_++;
+  {
+    std::ofstream out(body_path(e.hash), std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return;  // read-only dir: skip persistence
+    out << body;
+  }
+  total_bytes_ += e.bytes;
+  entries_[key] = e;
+  evict_to_budget();
+  rewrite_index();
+}
+
+std::size_t ResultStore::size() const {
+  check::MutexLock lock(mu_);
+  return entries_.size();
+}
+
+std::uint64_t ResultStore::bytes() const {
+  check::MutexLock lock(mu_);
+  return total_bytes_;
+}
+
+}  // namespace nsp::io

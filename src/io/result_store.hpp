@@ -1,0 +1,83 @@
+// Content-addressed, size-capped result store under NSP_RESULTS_DIR.
+//
+// Before the serving daemon, NSP_RESULTS_DIR was a flat directory of
+// named artifacts (CSV/JSON written through artifact_path()). The store
+// adds a second, managed layer beneath it: completed RunResult bodies
+// keyed by the scenario cache key, persisted across processes, with an
+// LRU eviction policy bounded by a byte budget. The daemon consults it
+// before running a batch; the batch CLI can warm it; a second daemon
+// process started against the same directory serves hits from the first
+// one's work.
+//
+// Layout (all under <dir>/store/):
+//   <hash>.json   one entry body, filename = 16-hex-digit FNV-1a of the
+//                 exact cache key (content addressing: identical keys
+//                 collide to the same file by construction)
+//   store.index   one line per entry: "<seq>\t<hash>\t<bytes>\t<key>",
+//                 rewritten on every mutation. `seq` is a monotonic
+//                 logical counter — recency without wall clocks, so
+//                 eviction order is deterministic and replayable.
+//
+// Thread-safe; every operation takes the store mutex. Crash-safety is
+// best-effort: the index is rewritten atomically (temp file + rename),
+// and entries whose body file is missing at load are dropped.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "check/thread_safety.hpp"
+
+namespace nsp::io {
+
+/// A persistent key → JSON-body cache with LRU byte-capped eviction.
+class ResultStore {
+ public:
+  /// Opens (creating if needed) the store under `dir`/store. Existing
+  /// index and bodies are loaded; `max_bytes` caps the sum of body
+  /// sizes (0 = unlimited). An over-budget existing store is trimmed
+  /// immediately.
+  ResultStore(const std::string& dir, std::uint64_t max_bytes);
+
+  /// Looks up `key`; on a hit fills `*body`, bumps the entry's recency,
+  /// and returns true.
+  bool get(const std::string& key, std::string* body);
+
+  /// Inserts or refreshes `key` with `body`, then evicts
+  /// least-recently-used entries until the byte budget holds. A body
+  /// larger than the whole budget is not admitted (the store would
+  /// immediately evict it).
+  void put(const std::string& key, const std::string& body);
+
+  /// Number of entries currently resident.
+  std::size_t size() const;
+
+  /// Sum of resident body sizes in bytes.
+  std::uint64_t bytes() const;
+
+  /// The FNV-1a content hash used for body filenames, exposed for tests
+  /// and tooling.
+  static std::string content_hash(const std::string& key);
+
+ private:
+  struct Entry {
+    std::string hash;     // body filename stem
+    std::uint64_t bytes = 0;
+    std::uint64_t seq = 0;  // logical recency; larger = more recent
+  };
+
+  void load() NSP_REQUIRES(mu_);
+  void rewrite_index() NSP_REQUIRES(mu_);
+  void evict_to_budget() NSP_REQUIRES(mu_);
+  std::string body_path(const std::string& hash) const;
+
+  std::string root_;             // <dir>/store
+  std::uint64_t max_bytes_ = 0;  // 0 = unlimited
+  mutable check::Mutex mu_;
+  std::map<std::string, Entry> entries_ NSP_GUARDED_BY(mu_);  // key → entry
+  std::uint64_t next_seq_ NSP_GUARDED_BY(mu_) = 1;
+  std::uint64_t total_bytes_ NSP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace nsp::io

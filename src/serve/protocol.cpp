@@ -1,0 +1,133 @@
+#include "serve/protocol.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "exec/run_result.hpp"
+#include "exec/scenario.hpp"
+#include "io/json.hpp"
+#include "io/table.hpp"
+
+namespace nsp::serve {
+
+bool parse_request(const std::string& line, Request* out,
+                   std::string* err_code, std::string* err_msg) {
+  *out = Request{};
+  io::JsonValue doc;
+  std::string parse_err;
+  if (!io::json_parse(line, &doc, &parse_err)) {
+    *err_code = code::kBadRequest;
+    *err_msg = parse_err;
+    return false;
+  }
+  if (!doc.is_object()) {
+    *err_code = code::kBadRequest;
+    *err_msg = "request must be a JSON object";
+    return false;
+  }
+  // Pull the envelope first so error responses can echo the id even
+  // when the payload is bad.
+  const io::JsonValue* id = doc.find("id");
+  if (id && id->is_string()) out->id = id->text;
+  out->client = doc.string_or("client", "");
+  if (out->client.empty()) out->client = "anon";
+
+  if (!id || !id->is_string() || id->text.empty()) {
+    *err_code = code::kBadRequest;
+    *err_msg = "missing request 'id' (non-empty string)";
+    return false;
+  }
+  const std::string op = doc.string_or("op", "run");
+  if (op == "run") {
+    out->op = Op::Run;
+  } else if (op == "stats") {
+    out->op = Op::Stats;
+    return true;
+  } else if (op == "shutdown") {
+    out->op = Op::Shutdown;
+    return true;
+  } else {
+    *err_code = code::kBadRequest;
+    *err_msg = "unknown op '" + op + "' (run|stats|shutdown)";
+    return false;
+  }
+
+  const io::JsonValue* scenario = doc.find("scenario");
+  if (!scenario) {
+    *err_code = code::kBadScenario;
+    *err_msg = "run request needs a 'scenario' object";
+    return false;
+  }
+  std::string reason;
+  if (!exec::Scenario::from_json(*scenario, &out->scenario, &reason)) {
+    *err_code = code::kBadScenario;
+    *err_msg = reason;
+    return false;
+  }
+  return true;
+}
+
+std::string result_body(const exec::RunResult& r) {
+  std::ostringstream os;
+  os << "{\"key\":\"" << io::json_escape(r.key) << "\""
+     << ",\"label\":\"" << io::json_escape(r.label) << "\""
+     << ",\"platform\":\"" << io::json_escape(r.platform) << "\""
+     << ",\"nprocs\":" << r.nprocs << ",\"seed\":\"" << r.seed << "\""
+     << ",\"metrics\":{";
+  bool first = true;
+  for (const auto& [name, value] : r.metrics) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << io::json_escape(name) << "\":" << io::format_exact(value);
+  }
+  os << "}}";
+  return os.str();
+}
+
+bool parse_result_body(const std::string& body, exec::RunResult* out,
+                       std::string* err) {
+  *out = exec::RunResult{};
+  io::JsonValue doc;
+  if (!io::json_parse(body, &doc, err)) return false;
+  if (!doc.is_object()) {
+    if (err) *err = "result body must be a JSON object";
+    return false;
+  }
+  out->key = doc.string_or("key", "");
+  out->label = doc.string_or("label", "");
+  out->platform = doc.string_or("platform", "");
+  out->nprocs = static_cast<int>(doc.number_or("nprocs", 1));
+  out->seed = std::strtoull(doc.string_or("seed", "0").c_str(), nullptr, 10);
+  const io::JsonValue* metrics = doc.find("metrics");
+  if (metrics && metrics->is_object()) {
+    for (const auto& [name, value] : metrics->members) {
+      if (!value.is_number()) {
+        if (err) *err = "metric '" + name + "' is not a number";
+        return false;
+      }
+      out->metrics.emplace_back(name, value.number);
+    }
+  }
+  return true;
+}
+
+std::string result_response(const std::string& id, const exec::RunResult& r) {
+  return "{\"id\":\"" + io::json_escape(id) +
+         "\",\"ok\":true,\"type\":\"result\",\"result\":" + result_body(r) +
+         "}";
+}
+
+std::string error_response(const std::string& id, const std::string& code,
+                           const std::string& message) {
+  return "{\"id\":\"" + io::json_escape(id) +
+         "\",\"ok\":false,\"type\":\"error\",\"error\":{\"code\":\"" +
+         io::json_escape(code) + "\",\"message\":\"" +
+         io::json_escape(message) + "\"}}";
+}
+
+std::string shutdown_response(const std::string& id) {
+  return "{\"id\":\"" + io::json_escape(id) +
+         "\",\"ok\":true,\"type\":\"shutdown\"}";
+}
+
+}  // namespace nsp::serve

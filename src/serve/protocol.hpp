@@ -1,0 +1,79 @@
+// The serving wire protocol: newline-delimited JSON requests and
+// responses (one object per line, UTF-8, '\n'-terminated).
+//
+// This header is the protocol's single source of truth in code; the
+// normative prose spec with worked examples is docs/SERVING.md. A
+// request names an operation ("run", "stats", "shutdown") plus a
+// client-chosen id that is echoed on the response; a "run" request
+// carries a Scenario in the exec::Scenario::to_json() wire form.
+//
+// Responses never include host timing or cache provenance — two runs of
+// the same request line are byte-identical, which is what the CI
+// serve-smoke job replays for. Provenance (memo hits, store hits, shed
+// counts) is observable only through the "stats" operation.
+#pragma once
+
+#include <string>
+
+#include "exec/run_result.hpp"
+#include "exec/scenario.hpp"
+
+namespace nsp::serve {
+
+/// Operations a request can name.
+enum class Op {
+  Run,       ///< execute (or memo-serve) a scenario
+  Stats,     ///< report server + engine counters
+  Shutdown,  ///< stop accepting work; daemon exits when drained
+};
+
+/// One parsed request line.
+struct Request {
+  std::string id;      ///< client-chosen echo token (required)
+  std::string client;  ///< quota principal ("" = "anon")
+  Op op = Op::Run;
+  exec::Scenario scenario;  ///< valid when op == Run
+};
+
+/// Structured error codes (the "code" field of error responses).
+/// Stable strings — clients dispatch on them; see docs/SERVING.md.
+namespace code {
+inline constexpr const char* kBadRequest = "bad-request";
+inline constexpr const char* kBadScenario = "bad-scenario";
+inline constexpr const char* kShed = "shed";
+inline constexpr const char* kQuota = "quota";
+inline constexpr const char* kShuttingDown = "shutting-down";
+inline constexpr const char* kInternal = "internal";
+}  // namespace code
+
+/// Parses one request line. On failure returns false and fills
+/// `err_code` (code::kBadRequest or code::kBadScenario) and a
+/// human-readable `err_msg`; the caller still gets `out->id` / `client`
+/// when the envelope parsed far enough to carry them, so the error
+/// response can echo the id.
+bool parse_request(const std::string& line, Request* out,
+                   std::string* err_code, std::string* err_msg);
+
+/// The result body: `{"key":…,"label":…,"platform":…,"nprocs":N,
+/// "seed":"…","metrics":{…}}`. Metrics keep insertion order; doubles
+/// serialize exactly (io::format_exact). wall_s / from_cache are
+/// deliberately absent (see file comment).
+std::string result_body(const exec::RunResult& r);
+
+/// Parses a result_body() string back into a RunResult (key/label/
+/// platform/nprocs/seed/metrics). Used by the result store to rehydrate
+/// persisted bodies and by client-side tooling.
+bool parse_result_body(const std::string& body, exec::RunResult* out,
+                       std::string* err);
+
+/// `{"id":…,"ok":true,"type":"result","result":<result_body>}`.
+std::string result_response(const std::string& id, const exec::RunResult& r);
+
+/// `{"id":…,"ok":false,"type":"error","error":{"code":…,"message":…}}`.
+std::string error_response(const std::string& id, const std::string& code,
+                           const std::string& message);
+
+/// `{"id":…,"ok":true,"type":"shutdown"}` — acknowledges a shutdown op.
+std::string shutdown_response(const std::string& id);
+
+}  // namespace nsp::serve

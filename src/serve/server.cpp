@@ -1,0 +1,272 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "check/thread_safety.hpp"
+#include "exec/engine.hpp"
+#include "io/table.hpp"
+
+namespace nsp::serve {
+
+Server::Server(ServerOptions opts)
+    : opts_(opts),
+      engine_(exec::EngineOptions{opts.engine_threads, /*cache=*/true}) {
+  if (!opts_.store_dir.empty()) {
+    store_ = std::make_unique<io::ResultStore>(opts_.store_dir,
+                                               opts_.store_max_bytes);
+  }
+  if (opts_.auto_pump) {
+    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  }
+}
+
+Server::~Server() {
+  {
+    check::MutexLock lock(mu_);
+    stopping_ = true;
+    work_cv_.notify_all();
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void Server::dispatcher_loop() {
+  for (;;) {
+    {
+      check::MutexLock lock(mu_);
+      while (queue_.empty() && !stopping_) work_cv_.wait(mu_);
+      if (stopping_ && queue_.empty()) return;
+    }
+    pump();
+  }
+}
+
+Server::Ticket Server::immediate(const std::string& response) {
+  // Caller holds mu_ via its own MutexLock; stats were updated there.
+  Ticket t;
+  t.immediate = true;
+  t.response = response;
+  return t;
+}
+
+Server::Ticket Server::submit(const std::string& line) {
+  Request req;
+  std::string err_code, err_msg;
+  const bool parsed = parse_request(line, &req, &err_code, &err_msg);
+
+  check::MutexLock lock(mu_);
+  ++stats_.received;
+  if (!parsed) {
+    ++stats_.errors;
+    return immediate(error_response(req.id, err_code, err_msg));
+  }
+  if (req.op == Op::Stats) {
+    ++stats_.ok;
+    return immediate(stats_json_locked(req.id));
+  }
+  if (req.op == Op::Shutdown) {
+    shutdown_ = true;
+    ++stats_.ok;
+    work_cv_.notify_all();
+    return immediate(shutdown_response(req.id));
+  }
+  if (shutdown_) {
+    ++stats_.errors;
+    return immediate(error_response(req.id, code::kShuttingDown,
+                                    "server is draining"));
+  }
+  if (opts_.quota_burst > 0) {
+    auto [bucket, inserted] =
+        quota_.try_emplace(req.client, opts_.quota_burst);
+    if (bucket->second < 1.0) {
+      ++stats_.quota_denied;
+      ++stats_.errors;
+      return immediate(
+          error_response(req.id, code::kQuota,
+                         "client '" + req.client + "' is out of tokens"));
+    }
+    bucket->second -= 1.0;
+  }
+  if (queued_waiters_ >= opts_.queue_capacity) {
+    ++stats_.shed;
+    ++stats_.errors;
+    return immediate(error_response(req.id, code::kShed,
+                                    "queue is full, retry later"));
+  }
+
+  const std::string cache_key = req.scenario.cache_key();
+  PendingKey& pending = queue_[cache_key];
+  if (!pending.waiters.empty()) ++stats_.dedup_coalesced;
+  Ticket t;
+  t.id = next_ticket_++;
+  pending.waiters.push_back(Waiter{req.id, req.scenario, t.id});
+  ++queued_waiters_;
+  work_cv_.notify_all();
+  return t;
+}
+
+std::string Server::wait(const Ticket& t) {
+  if (t.immediate) return t.response;
+  check::MutexLock lock(mu_);
+  while (done_.find(t.id) == done_.end()) done_cv_.wait(mu_);
+  auto it = done_.find(t.id);
+  std::string response = std::move(it->second);
+  done_.erase(it);
+  return response;
+}
+
+std::string Server::handle(const std::string& line) {
+  Ticket t = submit(line);
+  return wait(t);
+}
+
+bool Server::pump() {
+  std::map<std::string, PendingKey> batch;
+  {
+    check::MutexLock lock(mu_);
+    // Quota buckets refill once per dispatch cycle — logical time, so
+    // a replayed request trace sees identical accept/deny decisions.
+    for (auto& [client, tokens] : quota_) {
+      tokens = std::min(opts_.quota_burst,
+                        tokens + opts_.quota_tokens_per_tick);
+    }
+    if (queue_.empty()) return false;
+    batch.swap(queue_);
+    for (const auto& [key, pending] : batch) {
+      queued_waiters_ -= pending.waiters.size();
+    }
+    ++stats_.batches;
+  }
+
+  // Serve what the persistent store already has; collect the rest.
+  std::uint64_t store_hits = 0, store_puts = 0, ok = 0, errors = 0;
+  std::map<std::string, exec::RunResult> resolved;  // cache_key → base
+  std::vector<std::pair<std::string, const PendingKey*>> misses;
+  for (const auto& [cache_key, pending] : batch) {
+    exec::RunResult base;
+    std::string body, err;
+    if (store_ && store_->get(cache_key, &body) &&
+        parse_result_body(body, &base, &err)) {
+      ++store_hits;
+      resolved[cache_key] = base;
+    } else {
+      misses.emplace_back(cache_key, &pending);
+    }
+  }
+
+  std::map<std::uint64_t, std::string> responses;  // ticket → line
+  if (!misses.empty()) {
+    std::vector<exec::Scenario> sweep;
+    sweep.reserve(misses.size());
+    for (const auto& [cache_key, pending] : misses) {
+      sweep.push_back(pending->waiters.front().scenario);
+    }
+    try {
+      const exec::ResultSet rs = engine_.run(sweep);
+      for (const auto& [cache_key, pending] : misses) {
+        const exec::RunResult* r =
+            rs.find(pending->waiters.front().scenario.key());
+        if (!r) {
+          for (const Waiter& w : pending->waiters) {
+            responses[w.ticket] = error_response(
+                w.id, code::kInternal, "scenario produced no result");
+            ++errors;
+          }
+          continue;
+        }
+        resolved[cache_key] = *r;
+        if (store_) {
+          // Persist under the cache-key identity (label stripped): a
+          // store entry serves any request with the same content.
+          exec::RunResult canonical = *r;
+          canonical.key = cache_key;
+          canonical.label.clear();
+          store_->put(cache_key, result_body(canonical));
+          ++store_puts;
+        }
+      }
+    } catch (const std::exception& e) {
+      for (const auto& [cache_key, pending] : misses) {
+        for (const Waiter& w : pending->waiters) {
+          responses[w.ticket] =
+              error_response(w.id, code::kInternal, e.what());
+          ++errors;
+        }
+      }
+    }
+  }
+
+  // Fulfil every waiter, restamping key/label per requesting scenario —
+  // coalesced requests may carry different labels than the one that ran.
+  for (const auto& [cache_key, pending] : batch) {
+    auto it = resolved.find(cache_key);
+    if (it == resolved.end()) continue;  // error responses already built
+    for (const Waiter& w : pending.waiters) {
+      exec::RunResult stamped = it->second;
+      stamped.key = w.scenario.key();
+      stamped.label = w.scenario.label_text();
+      responses[w.ticket] = result_response(w.id, stamped);
+      ++ok;
+    }
+  }
+
+  {
+    check::MutexLock lock(mu_);
+    stats_.store_hits += store_hits;
+    stats_.store_puts += store_puts;
+    stats_.ok += ok;
+    stats_.errors += errors;
+    for (auto& [ticket, response] : responses) {
+      done_[ticket] = std::move(response);
+    }
+    done_cv_.notify_all();
+  }
+  return true;
+}
+
+std::size_t Server::pending() const {
+  check::MutexLock lock(mu_);
+  return queued_waiters_;
+}
+
+bool Server::shutdown_requested() const {
+  check::MutexLock lock(mu_);
+  return shutdown_;
+}
+
+ServeStats Server::stats() const {
+  check::MutexLock lock(mu_);
+  ServeStats s = stats_;
+  s.engine = engine_.counters();
+  return s;
+}
+
+std::string Server::stats_json_locked(const std::string& id) const {
+  const exec::EngineCounters ec = engine_.counters();
+  std::ostringstream os;
+  os << "{\"id\":\"" << io::json_escape(id)
+     << "\",\"ok\":true,\"type\":\"stats\",\"stats\":{"
+     << "\"received\":" << stats_.received << ",\"ok\":" << stats_.ok
+     << ",\"errors\":" << stats_.errors << ",\"shed\":" << stats_.shed
+     << ",\"quota_denied\":" << stats_.quota_denied
+     << ",\"dedup_coalesced\":" << stats_.dedup_coalesced
+     << ",\"store_hits\":" << stats_.store_hits
+     << ",\"store_puts\":" << stats_.store_puts
+     << ",\"batches\":" << stats_.batches << ",\"engine\":{"
+     << "\"submitted\":" << ec.submitted << ",\"executed\":" << ec.executed
+     << ",\"cache_hits\":" << ec.cache_hits
+     << ",\"cancelled\":" << ec.cancelled << ",\"stolen\":" << ec.stolen
+     << ",\"threads\":" << ec.threads
+     << ",\"wall_s\":" << io::format_exact(ec.wall_s)
+     << ",\"task_s\":" << io::format_exact(ec.task_s) << "}}}";
+  return os.str();
+}
+
+std::string Server::stats_response(const std::string& id) const {
+  check::MutexLock lock(mu_);
+  return stats_json_locked(id);
+}
+
+}  // namespace nsp::serve

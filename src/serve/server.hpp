@@ -1,0 +1,160 @@
+// The scenario-serving core: accepts protocol request lines, batches
+// and deduplicates them against the exec::Engine, and produces response
+// lines. Transport-agnostic — the Unix-socket and file-queue front ends
+// in tools/serve/ are thin loops over submit()/wait()/pump().
+//
+// Request lifecycle (docs/SERVING.md has the diagram):
+//
+//   submit(line) ──parse──▶ immediate response   (errors, stats,
+//        │                                        shutdown, shed, quota)
+//        └─▶ queue_[cache_key] ── waiter attached (dedup_coalesced++
+//                   │              when the key is already pending)
+//                pump() ── result-store lookup ── Engine.run(misses)
+//                   │
+//                   └─▶ per-waiter restamped responses, wait() returns
+//
+// Admission control and quotas act at submit time: a full queue sheds
+// (code "shed"), an out-of-tokens client is denied (code "quota") —
+// both as structured responses, never dropped connections. Token
+// buckets refill on *logical* pump ticks, not wall clock, so a request
+// trace replays deterministically.
+//
+// Deduplication is two-layered: waiters for the same cache key in one
+// batch share a single Engine submission (counted in dedup_coalesced),
+// and the Engine's memo cache plus the persistent io::ResultStore catch
+// repeats across batches and across daemon restarts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/thread_safety.hpp"
+#include "exec/engine.hpp"
+#include "io/result_store.hpp"
+#include "serve/protocol.hpp"
+
+namespace nsp::serve {
+
+struct ServerOptions {
+  /// Engine pool width (0 = $NSP_EXEC_THREADS / hardware).
+  int engine_threads = 0;
+  /// Maximum queued waiters; submissions beyond it shed. 0 sheds
+  /// everything (useful for testing the path).
+  std::size_t queue_capacity = 1024;
+  /// Token-bucket size per client; 0 disables quotas.
+  double quota_burst = 0;
+  /// Tokens refilled per pump tick (logical time, not wall clock).
+  double quota_tokens_per_tick = 0;
+  /// Directory for the persistent io::ResultStore ("" = in-memory
+  /// only: the Engine memo cache still deduplicates repeats).
+  std::string store_dir;
+  /// Byte budget for the result store (0 = unlimited).
+  std::uint64_t store_max_bytes = 0;
+  /// Run a dispatcher thread that pumps whenever work is queued. Turn
+  /// off for deterministic tests that stage submissions and call
+  /// pump() explicitly.
+  bool auto_pump = true;
+};
+
+/// Serving counters; `engine` is the Engine's own lifetime snapshot.
+struct ServeStats {
+  std::uint64_t received = 0;         ///< request lines submitted
+  std::uint64_t ok = 0;               ///< result/shutdown/stats responses
+  std::uint64_t errors = 0;           ///< error responses (all codes)
+  std::uint64_t shed = 0;             ///< rejected by admission control
+  std::uint64_t quota_denied = 0;     ///< rejected by a token bucket
+  std::uint64_t dedup_coalesced = 0;  ///< waiters attached to a pending key
+  std::uint64_t store_hits = 0;       ///< batches entries served from disk
+  std::uint64_t store_puts = 0;       ///< computed results persisted
+  std::uint64_t batches = 0;          ///< non-empty pump cycles
+  exec::EngineCounters engine;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// A submitted request. `immediate` responses (errors, stats,
+  /// shutdown acks, shed/quota denials) carry their text directly;
+  /// queued runs carry a ticket that wait() blocks on.
+  struct Ticket {
+    std::uint64_t id = 0;
+    bool immediate = false;
+    std::string response;
+  };
+
+  /// Parses and admits one request line; never blocks on computation.
+  Ticket submit(const std::string& line);
+
+  /// Returns the response for `t`, blocking until the batch that
+  /// contains it has been pumped.
+  std::string wait(const Ticket& t);
+
+  /// submit + wait: the blocking one-call interface the socket front
+  /// end uses per connection line.
+  std::string handle(const std::string& line);
+
+  /// Runs one dispatch cycle inline: refills quota buckets, takes the
+  /// current queue as a batch, serves store hits, runs misses through
+  /// the Engine, persists and fulfils. Returns true if a batch ran.
+  /// With auto_pump the dispatcher thread calls this; tests drive it
+  /// manually for exact control over coalescing windows.
+  bool pump();
+
+  /// Queued waiters not yet taken by a pump cycle.
+  std::size_t pending() const;
+
+  /// True once a shutdown request was accepted; front ends drain and
+  /// exit. Further runs are refused with code "shutting-down".
+  bool shutdown_requested() const;
+
+  /// Snapshot of the serving counters (engine counters included).
+  ServeStats stats() const;
+
+  /// The stats-response JSON for `id` — also what the front ends write
+  /// to a --stats file on exit (with a fixed id of "stats").
+  std::string stats_response(const std::string& id) const;
+
+ private:
+  struct Waiter {
+    std::string id;          ///< request id to echo
+    exec::Scenario scenario; ///< for per-waiter key/label restamping
+    std::uint64_t ticket = 0;
+  };
+  struct PendingKey {
+    std::vector<Waiter> waiters;  ///< first waiter's scenario is run
+  };
+
+  Ticket immediate(const std::string& response);
+  std::string stats_json_locked(const std::string& id) const
+      NSP_REQUIRES(mu_);
+  void dispatcher_loop();
+
+  ServerOptions opts_;
+  exec::Engine engine_;
+  std::unique_ptr<io::ResultStore> store_;
+
+  mutable check::Mutex mu_;
+  check::CondVar work_cv_;  ///< signalled on enqueue and shutdown
+  check::CondVar done_cv_;  ///< signalled when a batch fulfils tickets
+  std::map<std::string, PendingKey> queue_ NSP_GUARDED_BY(mu_);
+  std::size_t queued_waiters_ NSP_GUARDED_BY(mu_) = 0;
+  std::map<std::uint64_t, std::string> done_ NSP_GUARDED_BY(mu_);
+  std::map<std::string, double> quota_ NSP_GUARDED_BY(mu_);
+  std::uint64_t next_ticket_ NSP_GUARDED_BY(mu_) = 1;
+  ServeStats stats_ NSP_GUARDED_BY(mu_);
+  bool shutdown_ NSP_GUARDED_BY(mu_) = false;
+  bool stopping_ NSP_GUARDED_BY(mu_) = false;
+
+  std::thread dispatcher_;  ///< running iff opts_.auto_pump
+};
+
+}  // namespace nsp::serve

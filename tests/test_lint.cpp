@@ -77,6 +77,25 @@ TEST(LintRules, FloatEquality) {
 
 TEST(LintRules, TaggedTodo) { expect_rule_pair("tagged_todo", "tagged-todo"); }
 
+TEST(LintRules, DocLink) {
+  // Markdown fixtures: the analyzer routes .md files to the doc-link
+  // engine regardless of --as, so no category flag here.
+  const RunOutput bad = run_analyzer(fixture("doc_link_bad.md"));
+  EXPECT_EQ(bad.exit_code, 1) << bad.text;
+  EXPECT_NE(bad.text.find("doc-link:"), std::string::npos) << bad.text;
+  // One finding per broken reference: two links + two backtick paths.
+  EXPECT_NE(bad.text.find("no_such_doc.md"), std::string::npos) << bad.text;
+  EXPECT_NE(bad.text.find("docs/NO_SUCH.md"), std::string::npos) << bad.text;
+  EXPECT_NE(bad.text.find("src/never/was.hpp"), std::string::npos) << bad.text;
+  EXPECT_NE(bad.text.find("docs/NOT_A_DOC.md:42"), std::string::npos)
+      << bad.text;
+
+  const RunOutput ok = run_analyzer(fixture("doc_link_ok.md"));
+  EXPECT_EQ(ok.exit_code, 0) << ok.text;
+  EXPECT_NE(ok.text.find("0 finding(s)"), std::string::npos) << ok.text;
+  EXPECT_NE(ok.text.find("1 waiver(s)"), std::string::npos) << ok.text;
+}
+
 TEST(LintRules, DeterminismFlagsEachCall) {
   // srand(time(nullptr)) plus rand() plus random_device: one finding per
   // call site, not one per file.
@@ -111,7 +130,7 @@ TEST(LintDriver, ListRulesNamesEveryRule) {
   for (const char* rule :
        {"determinism", "ordered-iteration", "restrict-aliasing",
         "check-discipline", "include-hygiene", "float-equality",
-        "tagged-todo", "waiver-justification"}) {
+        "tagged-todo", "doc-link", "waiver-justification"}) {
     EXPECT_NE(out.text.find(rule), std::string::npos) << rule;
   }
 }
@@ -141,8 +160,9 @@ TEST(LintTree, RepoAnalyzesClean) {
   // The gate CI enforces: the shipped tree has zero findings. Waivers
   // are allowed (they carry justifications) — findings are not.
   const std::string root(NSP_REPO_ROOT);
-  const RunOutput out = run_analyzer(root + "/src " + root + "/tools " +
-                                     root + "/bench " + root + "/examples");
+  const RunOutput out = run_analyzer(
+      root + "/src " + root + "/tools " + root + "/bench " + root +
+      "/examples " + root + "/docs " + root + "/README.md");
   EXPECT_EQ(out.exit_code, 0) << out.text;
 }
 

@@ -1,0 +1,510 @@
+// Serving-layer tests (`ctest -L serve`): the io::json parser, the
+// Scenario wire format's round-trip contract, the protocol builders,
+// the content-addressed result store, and serve::Server end-to-end —
+// dedup, admission control, quotas, stats, and cross-process store
+// reuse, plus a file-queue replay of the daemon binary itself (the CI
+// serve-smoke job's local twin).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/scenario.hpp"
+#include "io/json.hpp"
+#include "io/result_store.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace nsp;
+
+// ---- io::json ----------------------------------------------------------
+
+io::JsonValue parse_ok(const std::string& text) {
+  io::JsonValue v;
+  std::string err;
+  EXPECT_TRUE(io::json_parse(text, &v, &err)) << text << ": " << err;
+  return v;
+}
+
+TEST(JsonParse, CoversEveryValueKind) {
+  const io::JsonValue v = parse_ok(
+      R"({"s":"a\"b","n":-1.5e2,"t":true,"f":false,"z":null,)"
+      R"("a":[1,2,3],"o":{"k":"v"}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.string_or("s", ""), "a\"b");
+  EXPECT_DOUBLE_EQ(v.number_or("n", 0), -150.0);
+  EXPECT_TRUE(v.bool_or("t", false));
+  EXPECT_FALSE(v.bool_or("f", true));
+  EXPECT_TRUE(v.find("z")->is_null());
+  ASSERT_TRUE(v.find("a")->is_array());
+  EXPECT_EQ(v.find("a")->items.size(), 3u);
+  EXPECT_EQ(v.find("o")->string_or("k", ""), "v");
+}
+
+TEST(JsonParse, NumberKeepsRawTextFor64BitRoundTrip) {
+  const io::JsonValue v = parse_ok(R"({"seed":18446744073709551615})");
+  const io::JsonValue* seed = v.find("seed");
+  ASSERT_NE(seed, nullptr);
+  EXPECT_EQ(seed->text, "18446744073709551615");
+  EXPECT_EQ(std::strtoull(seed->text.c_str(), nullptr, 10),
+            18446744073709551615ull);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  io::JsonValue v;
+  std::string err;
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\":1}tail", "\"\\x\"", "01a",
+        "{'a':1}", "nul"}) {
+    EXPECT_FALSE(io::json_parse(bad, &v, &err)) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(JsonParse, ObjectKeepsInsertionOrderAndLastDuplicate) {
+  const io::JsonValue v = parse_ok(R"({"b":1,"a":2,"b":3})");
+  ASSERT_EQ(v.members.size(), 2u);
+  EXPECT_EQ(v.members[0].first, "b");
+  EXPECT_DOUBLE_EQ(v.members[0].second.number, 3.0);
+  EXPECT_EQ(v.members[1].first, "a");
+}
+
+// ---- Scenario wire format ----------------------------------------------
+
+exec::Scenario from_json_ok(const std::string& text) {
+  exec::Scenario s;
+  std::string err;
+  const io::JsonValue doc = parse_ok(text);
+  EXPECT_TRUE(exec::Scenario::from_json(doc, &s, &err)) << text << ": " << err;
+  return s;
+}
+
+void expect_round_trip(const exec::Scenario& s, const std::string& axis) {
+  const exec::Scenario back = from_json_ok(s.to_json());
+  EXPECT_EQ(back.cache_key(), s.cache_key()) << "axis: " << axis;
+  EXPECT_EQ(back.key(), s.key()) << "axis: " << axis;
+  EXPECT_EQ(back.to_json(), s.to_json()) << "axis: " << axis;
+}
+
+TEST(ScenarioWire, RoundTripIsIdentityForEveryAxis) {
+  // One mutation per wire field (docs/SERVING.md scenario schema);
+  // to_json → from_json → cache_key must be the identity on each.
+  using Mutation = std::pair<const char*, std::function<exec::Scenario()>>;
+  const std::vector<Mutation> axes = {
+      {"default", [] { return exec::Scenario::jet250x100(); }},
+      {"workload-solve", [] { return exec::Scenario::solve(40, 16, 10); }},
+      {"workload-netprobe", [] { return exec::Scenario::net_probe("t3d"); }},
+      {"equations", [] { return exec::Scenario::jet250x100().euler(); }},
+      {"version",
+       [] {
+         return exec::Scenario::jet250x100().version(
+             arch::CodeVersion::V7_UnbundledSends);
+       }},
+      {"kernel",
+       [] {
+         return exec::Scenario::solve(40, 16, 10).kernel(
+             core::KernelVariant::V2);
+       }},
+      {"grid", [] { return exec::Scenario::jet(64, 32, 123); }},
+      {"grid2d", [] { return exec::Scenario::jet250x100().grid2d(4); }},
+      {"sim_steps", [] { return exec::Scenario::jet250x100().sim_steps(55); }},
+      {"platform",
+       [] { return exec::Scenario::jet250x100().platform("lace-fddi-8"); }},
+      {"msglayer",
+       [] { return exec::Scenario::jet250x100().msglayer("pvme"); }},
+      {"network",
+       [] {
+         return exec::Scenario::jet250x100().network(arch::NetKind::Atm);
+       }},
+      {"threads", [] { return exec::Scenario::jet250x100().threads(12); }},
+      {"seed",
+       [] { return exec::Scenario::jet250x100().seed(18446744073709551615ull); }},
+      {"label", [] { return exec::Scenario::jet250x100().label("paper run"); }},
+      {"faults",
+       [] {
+         return exec::Scenario::jet250x100().faults(
+             "crash=0.5,drop=0.01,ckpt=250");
+       }},
+  };
+  for (const auto& [axis, make] : axes) {
+    expect_round_trip(make(), axis);
+  }
+}
+
+TEST(ScenarioWire, EveryNetworkKindRoundTrips) {
+  for (const arch::NetKind k :
+       {arch::NetKind::Perfect, arch::NetKind::Ethernet, arch::NetKind::Fddi,
+        arch::NetKind::Atm, arch::NetKind::AllnodeF, arch::NetKind::AllnodeS,
+        arch::NetKind::SpSwitch, arch::NetKind::Torus3D}) {
+    expect_round_trip(exec::Scenario::jet250x100().network(k),
+                      "network:" + arch::to_string(k));
+  }
+}
+
+TEST(ScenarioWire, MinimalRequestTakesDefaults) {
+  const exec::Scenario s = from_json_ok(R"({"platform":"t3d-16"})");
+  EXPECT_EQ(s.cache_key(),
+            exec::Scenario::jet250x100().platform("t3d-16").cache_key());
+}
+
+TEST(ScenarioWire, SeedAcceptsStringAndIntegerSpellings) {
+  const exec::Scenario a = from_json_ok(R"({"seed":"18446744073709551615"})");
+  const exec::Scenario b = from_json_ok(R"({"seed":18446744073709551615})");
+  EXPECT_EQ(a.cache_key(), b.cache_key());
+  EXPECT_EQ(
+      a.cache_key(),
+      exec::Scenario::jet250x100().seed(18446744073709551615ull).cache_key());
+}
+
+TEST(ScenarioWire, RejectsBadFields) {
+  exec::Scenario s;
+  std::string err;
+  const std::vector<std::pair<const char*, const char*>> cases = {
+      {R"({"thread":4})", "unknown field"},          // typo
+      {R"({"workload":"sleep"})", "unknown workload"},
+      {R"({"equations":"mhd"})", "unknown equations"},
+      {R"({"version":9})", "out of range"},
+      {R"({"kernel":0})", "out of range"},
+      {R"({"ni":1.5})", "must be an integer"},
+      {R"({"platform":"cm-5"})", "unknown platform"},
+      {R"({"msglayer":"mpi"})", "unknown msglayer"},
+      {R"({"network":"infiniband"})", "unknown network"},
+      {R"({"seed":"twelve"})", "not a decimal integer"},
+      {R"({"faults":"crash=oops"})", "bad faults spec"},
+      {R"([1,2])", "must be a JSON object"},
+  };
+  for (const auto& [text, expect] : cases) {
+    const io::JsonValue doc = parse_ok(text);
+    ASSERT_FALSE(exec::Scenario::from_json(doc, &s, &err)) << text;
+    EXPECT_NE(err.find(expect), std::string::npos) << text << " → " << err;
+  }
+}
+
+// ---- protocol ----------------------------------------------------------
+
+TEST(Protocol, ParseRequestEchoesIdOnErrors) {
+  serve::Request req;
+  std::string code, msg;
+  EXPECT_FALSE(serve::parse_request(R"({"id":"x9","op":"fly"})", &req, &code,
+                                    &msg));
+  EXPECT_EQ(code, serve::code::kBadRequest);
+  EXPECT_EQ(req.id, "x9");
+
+  EXPECT_FALSE(serve::parse_request(R"({"op":"run"})", &req, &code, &msg));
+  EXPECT_EQ(code, serve::code::kBadRequest);
+
+  EXPECT_FALSE(serve::parse_request(R"({"id":"y","op":"run"})", &req, &code,
+                                    &msg));
+  EXPECT_EQ(code, serve::code::kBadScenario);
+
+  EXPECT_FALSE(serve::parse_request("not json", &req, &code, &msg));
+  EXPECT_EQ(code, serve::code::kBadRequest);
+}
+
+TEST(Protocol, ParseRequestFillsClientAndOps) {
+  serve::Request req;
+  std::string code, msg;
+  ASSERT_TRUE(serve::parse_request(
+      R"({"id":"a","client":"alice","scenario":{"platform":"t3d-8"}})", &req,
+      &code, &msg))
+      << msg;
+  EXPECT_EQ(req.op, serve::Op::Run);
+  EXPECT_EQ(req.client, "alice");
+  ASSERT_TRUE(serve::parse_request(R"({"id":"b","op":"stats"})", &req, &code,
+                                   &msg));
+  EXPECT_EQ(req.op, serve::Op::Stats);
+  EXPECT_EQ(req.client, "anon");
+  ASSERT_TRUE(serve::parse_request(R"({"id":"c","op":"shutdown"})", &req,
+                                   &code, &msg));
+  EXPECT_EQ(req.op, serve::Op::Shutdown);
+}
+
+TEST(Protocol, ResultBodyRoundTrips) {
+  exec::RunResult r;
+  r.key = "some|key";
+  r.label = "lbl";
+  r.platform = "Cray T3D";
+  r.nprocs = 8;
+  r.seed = 18446744073709551615ull;
+  r.set("exec_s", 24.901021851579497);
+  r.set("messages", 28000);
+  exec::RunResult back;
+  std::string err;
+  ASSERT_TRUE(serve::parse_result_body(serve::result_body(r), &back, &err))
+      << err;
+  EXPECT_EQ(back, r);  // identity comparison: exact metric bits
+  EXPECT_EQ(serve::result_body(back), serve::result_body(r));
+}
+
+// ---- io::ResultStore ---------------------------------------------------
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "nsp_serve_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(ResultStore, PutGetAndPersistenceAcrossInstances) {
+  const std::string dir = fresh_dir("persist");
+  {
+    io::ResultStore store(dir, 0);
+    store.put("key-a", "{\"a\":1}");
+    store.put("key-b", "{\"b\":2}");
+    EXPECT_EQ(store.size(), 2u);
+    std::string body;
+    ASSERT_TRUE(store.get("key-a", &body));
+    EXPECT_EQ(body, "{\"a\":1}");
+    EXPECT_FALSE(store.get("key-missing", &body));
+  }
+  io::ResultStore reopened(dir, 0);  // fresh process, same directory
+  EXPECT_EQ(reopened.size(), 2u);
+  std::string body;
+  ASSERT_TRUE(reopened.get("key-b", &body));
+  EXPECT_EQ(body, "{\"b\":2}");
+}
+
+TEST(ResultStore, EvictsLeastRecentlyUsedAtByteBudget) {
+  const std::string dir = fresh_dir("lru");
+  io::ResultStore store(dir, 20);  // room for two 8-byte bodies
+  store.put("k1", "11111111");
+  store.put("k2", "22222222");
+  std::string body;
+  ASSERT_TRUE(store.get("k1", &body));  // bump k1: k2 is now LRU
+  store.put("k3", "33333333");
+  EXPECT_TRUE(store.get("k1", &body));
+  EXPECT_FALSE(store.get("k2", &body)) << "k2 should have been evicted";
+  EXPECT_TRUE(store.get("k3", &body));
+  EXPECT_LE(store.bytes(), 20u);
+}
+
+TEST(ResultStore, OversizedBodyIsNotAdmitted) {
+  const std::string dir = fresh_dir("oversize");
+  io::ResultStore store(dir, 4);
+  store.put("big", "123456789");
+  std::string body;
+  EXPECT_FALSE(store.get("big", &body));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+// ---- serve::Server -----------------------------------------------------
+
+// A cheap replay cell (~milliseconds): the engine tests' small-sweep
+// sizing.
+std::string run_request(const std::string& id, const std::string& extra = "") {
+  return "{\"id\":\"" + id +
+         "\",\"op\":\"run\",\"scenario\":{\"platform\":\"t3d-4\",\"ni\":50,"
+         "\"nj\":20,\"steps\":100,\"sim_steps\":25" + extra + "}}";
+}
+
+serve::ServerOptions manual_options() {
+  serve::ServerOptions o;
+  o.auto_pump = false;
+  o.engine_threads = 1;
+  return o;
+}
+
+TEST(Server, TwoIdenticalConcurrentRequestsRunOnce) {
+  serve::Server server(manual_options());
+  std::string ra, rb;
+  std::thread ta([&] { ra = server.handle(run_request("same-id")); });
+  std::thread tb([&] { rb = server.handle(run_request("same-id")); });
+  while (server.pending() < 2) std::this_thread::yield();
+  EXPECT_TRUE(server.pump());
+  ta.join();
+  tb.join();
+  EXPECT_EQ(ra, rb) << "coalesced waiters must receive identical responses";
+  EXPECT_NE(ra.find("\"ok\":true"), std::string::npos) << ra;
+  const serve::ServeStats st = server.stats();
+  EXPECT_EQ(st.dedup_coalesced, 1u);
+  EXPECT_EQ(st.engine.executed, 1u) << "one Engine run for two requests";
+  EXPECT_EQ(st.ok, 2u);
+}
+
+TEST(Server, CoalescedWaitersKeepTheirOwnLabels) {
+  serve::Server server(manual_options());
+  const auto a = server.submit(run_request("a", ",\"label\":\"mine\""));
+  const auto b = server.submit(run_request("b", ",\"label\":\"yours\""));
+  ASSERT_FALSE(a.immediate);
+  ASSERT_FALSE(b.immediate);
+  EXPECT_TRUE(server.pump());
+  const std::string res_a = server.wait(a);
+  const std::string res_b = server.wait(b);
+  EXPECT_NE(res_a.find("\"label\":\"mine\""), std::string::npos) << res_a;
+  EXPECT_NE(res_b.find("\"label\":\"yours\""), std::string::npos) << res_b;
+  EXPECT_EQ(server.stats().dedup_coalesced, 1u)
+      << "labels differ but cache keys match: still one run";
+}
+
+TEST(Server, OverCapacityRequestsGetStructuredShedResponses) {
+  serve::ServerOptions o = manual_options();
+  o.queue_capacity = 1;
+  serve::Server server(o);
+  const auto ok = server.submit(run_request("fits"));
+  EXPECT_FALSE(ok.immediate);
+  const auto shed = server.submit(run_request("shed-me", ",\"steps\":200"));
+  ASSERT_TRUE(shed.immediate);
+  EXPECT_NE(shed.response.find("\"code\":\"shed\""), std::string::npos)
+      << shed.response;
+  EXPECT_NE(shed.response.find("\"id\":\"shed-me\""), std::string::npos);
+  EXPECT_TRUE(server.pump());
+  EXPECT_NE(server.wait(ok).find("\"ok\":true"), std::string::npos);
+  const serve::ServeStats st = server.stats();
+  EXPECT_EQ(st.shed, 1u);
+  EXPECT_EQ(st.ok, 1u);
+  EXPECT_EQ(st.errors, 1u);
+}
+
+TEST(Server, PerClientTokenBucketsRefillOnPumpTicks) {
+  serve::ServerOptions o = manual_options();
+  o.quota_burst = 2;
+  o.quota_tokens_per_tick = 1;
+  serve::Server server(o);
+  auto t1 = server.submit(run_request("q1"));
+  auto t2 = server.submit(run_request("q2"));
+  auto t3 = server.submit(run_request("q3"));
+  EXPECT_FALSE(t1.immediate);
+  EXPECT_FALSE(t2.immediate);
+  ASSERT_TRUE(t3.immediate) << "burst of 2 exhausted";
+  EXPECT_NE(t3.response.find("\"code\":\"quota\""), std::string::npos)
+      << t3.response;
+  // A different client has its own bucket.
+  auto other = server.submit(
+      "{\"id\":\"o1\",\"op\":\"run\",\"client\":\"other\",\"scenario\":"
+      "{\"platform\":\"t3d-4\",\"ni\":50,\"nj\":20,\"steps\":100,"
+      "\"sim_steps\":25}}");
+  EXPECT_FALSE(other.immediate);
+  EXPECT_TRUE(server.pump());  // refills one token per tick
+  auto t4 = server.submit(run_request("q4"));
+  EXPECT_FALSE(t4.immediate) << "tick refilled the bucket";
+  server.pump();
+  server.wait(t1);
+  server.wait(t2);
+  server.wait(t4);
+  server.wait(other);
+  EXPECT_EQ(server.stats().quota_denied, 1u);
+}
+
+TEST(Server, StatsAndShutdownOps) {
+  serve::Server server(manual_options());
+  const auto stats = server.submit(R"({"id":"s","op":"stats"})");
+  ASSERT_TRUE(stats.immediate);
+  EXPECT_NE(stats.response.find("\"type\":\"stats\""), std::string::npos);
+  EXPECT_NE(stats.response.find("\"dedup_coalesced\":0"), std::string::npos);
+
+  const auto bye = server.submit(R"({"id":"bye","op":"shutdown"})");
+  ASSERT_TRUE(bye.immediate);
+  EXPECT_NE(bye.response.find("\"type\":\"shutdown\""), std::string::npos);
+  EXPECT_TRUE(server.shutdown_requested());
+
+  const auto refused = server.submit(run_request("late"));
+  ASSERT_TRUE(refused.immediate);
+  EXPECT_NE(refused.response.find("\"code\":\"shutting-down\""),
+            std::string::npos)
+      << refused.response;
+}
+
+TEST(Server, BadRequestsAnswerWithoutQueueing) {
+  serve::Server server(manual_options());
+  const auto bad = server.submit("{\"id\":\"b\",\"op\":\"run\","
+                                 "\"scenario\":{\"platform\":\"nope\"}}");
+  ASSERT_TRUE(bad.immediate);
+  EXPECT_NE(bad.response.find("\"code\":\"bad-scenario\""), std::string::npos);
+  const auto garbage = server.submit("}{");
+  ASSERT_TRUE(garbage.immediate);
+  EXPECT_NE(garbage.response.find("\"code\":\"bad-request\""),
+            std::string::npos);
+  EXPECT_EQ(server.pending(), 0u);
+  EXPECT_EQ(server.stats().errors, 2u);
+}
+
+TEST(Server, ResultStoreServesAcrossServerInstances) {
+  const std::string dir = fresh_dir("server_store");
+  std::string first;
+  {
+    serve::ServerOptions o = manual_options();
+    o.store_dir = dir;
+    serve::Server server(o);
+    auto t = server.submit(run_request("gen1"));
+    server.pump();
+    first = server.wait(t);
+    EXPECT_EQ(server.stats().store_puts, 1u);
+  }
+  serve::ServerOptions o = manual_options();
+  o.store_dir = dir;
+  serve::Server server(o);  // fresh engine: memo cache is empty
+  auto t = server.submit(run_request("gen1"));
+  server.pump();
+  EXPECT_EQ(server.wait(t), first)
+      << "store-served response must be byte-identical to the computed one";
+  const serve::ServeStats st = server.stats();
+  EXPECT_EQ(st.store_hits, 1u);
+  EXPECT_EQ(st.engine.executed, 0u) << "no recomputation";
+}
+
+TEST(Server, AutoPumpModeAnswersWithoutManualPumps) {
+  serve::ServerOptions o;
+  o.engine_threads = 1;  // auto_pump defaults to true
+  serve::Server server(o);
+  const std::string res = server.handle(run_request("auto"));
+  EXPECT_NE(res.find("\"ok\":true"), std::string::npos) << res;
+}
+
+// ---- daemon binary, file-queue mode ------------------------------------
+
+TEST(ServeDaemon, FileQueueReplayIsByteIdenticalWithStoreHits) {
+  // NSP_SERVE_BIN comes from CMake. Same request file, fresh daemon
+  // process each pass, shared store: pass 2 must answer byte-identically
+  // and entirely from the store — the CI serve-smoke contract.
+  const std::string dir = fresh_dir("daemon");
+  const std::string requests = dir + "/requests.ndjson";
+  {
+    std::ofstream out(requests);
+    out << run_request("d1") << "\n"
+        << run_request("d2") << "\n"          // dedup of d1
+        << run_request("d3", ",\"platform\":\"lace-ethernet-4\"") << "\n"
+        << "{\"id\":\"d4\",\"op\":\"run\",\"scenario\":{\"platform\":"
+           "\"bogus\"}}\n";
+  }
+  const std::string base = std::string(NSP_SERVE_BIN) + " --queue " +
+                           requests + " --store " + dir + "/cas";
+  ASSERT_EQ(std::system((base + " --out " + dir + "/pass1.ndjson --stats " +
+                         dir + "/stats1.json")
+                            .c_str()),
+            0);
+  ASSERT_EQ(std::system((base + " --out " + dir + "/pass2.ndjson --stats " +
+                         dir + "/stats2.json")
+                            .c_str()),
+            0);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  const std::string pass1 = slurp(dir + "/pass1.ndjson");
+  const std::string pass2 = slurp(dir + "/pass2.ndjson");
+  EXPECT_FALSE(pass1.empty());
+  EXPECT_EQ(pass1, pass2) << "daemon replay must be byte-identical";
+  EXPECT_NE(pass1.find("\"id\":\"d1\",\"ok\":true"), std::string::npos);
+  EXPECT_NE(pass1.find("\"code\":\"bad-scenario\""), std::string::npos);
+
+  const std::string stats1 = slurp(dir + "/stats1.json");
+  const std::string stats2 = slurp(dir + "/stats2.json");
+  EXPECT_NE(stats1.find("\"store_puts\":2"), std::string::npos) << stats1;
+  EXPECT_NE(stats2.find("\"store_hits\":2"), std::string::npos) << stats2;
+  EXPECT_NE(stats2.find("\"executed\":0"), std::string::npos) << stats2;
+  EXPECT_NE(stats2.find("\"dedup_coalesced\":1"), std::string::npos) << stats2;
+}
+
+}  // namespace

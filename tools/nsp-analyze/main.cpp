@@ -8,9 +8,10 @@
 //                  used by the test fixtures
 //   --list-rules   print the rule names and exit
 //
-// Directories are recursed for .hpp/.cpp files; inputs are analyzed in
-// sorted path order so output (and the JSON report) is stable. Exit
-// status: 0 clean, 1 findings, 2 usage or I/O error.
+// Directories are recursed for .hpp/.cpp files (rule engine) and .md
+// files (the doc-link rule); inputs are analyzed in sorted path order
+// so output (and the JSON report) is stable. Exit status: 0 clean,
+// 1 findings, 2 usage or I/O error.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -31,6 +32,10 @@ namespace {
 bool has_cxx_extension(const fs::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+bool has_md_extension(const fs::path& p) {
+  return p.extension().string() == ".md";
 }
 
 /// Escapes a string for a JSON value.
@@ -112,7 +117,8 @@ int main(int argc, char** argv) {
     std::error_code ec;
     if (fs::is_directory(in, ec)) {
       for (const auto& e : fs::recursive_directory_iterator(in, ec)) {
-        if (e.is_regular_file() && has_cxx_extension(e.path())) {
+        if (e.is_regular_file() &&
+            (has_cxx_extension(e.path()) || has_md_extension(e.path()))) {
           files.push_back(e.path().generic_string());
         }
       }
@@ -141,8 +147,13 @@ int main(int argc, char** argv) {
     }
     std::ostringstream ss;
     ss << f.rdbuf();
-    const auto lexed = nsp::lint::lex_file(path, ss.str());
-    auto file_findings = nsp::lint::analyze_file(lexed, category, &stats);
+    std::vector<Finding> file_findings;
+    if (has_md_extension(path)) {
+      file_findings = nsp::lint::analyze_markdown(path, ss.str(), &stats);
+    } else {
+      const auto lexed = nsp::lint::lex_file(path, ss.str());
+      file_findings = nsp::lint::analyze_file(lexed, category, &stats);
+    }
     findings.insert(findings.end(), file_findings.begin(),
                     file_findings.end());
   }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <filesystem>
 #include <map>
 #include <set>
+#include <sstream>
 
 namespace nsp::lint {
 
@@ -18,6 +20,7 @@ const char kCheckDiscipline[] = "check-discipline";
 const char kIncludeHygiene[] = "include-hygiene";
 const char kFloatEquality[] = "float-equality";
 const char kTaggedTodo[] = "tagged-todo";
+const char kDocLink[] = "doc-link";
 const char kWaiverJustification[] = "waiver-justification";
 
 /// Legacy lint.sh NOLINT spellings, mapped to their new rule.
@@ -63,8 +66,8 @@ const std::set<std::string>& sensitivity_markers() {
 /// src/ subdirectories that are nsp namespaces, for include-hygiene.
 const std::set<std::string>& nsp_namespaces() {
   static const std::set<std::string> kSet = {
-      "arch", "bench", "check", "core", "exec", "fault",
-      "io",   "mp",    "par",   "perf", "sim",
+      "arch", "bench", "check", "core",  "exec", "fault",
+      "io",   "mp",    "par",   "perf",  "serve", "sim",
   };
   return kSet;
 }
@@ -659,6 +662,209 @@ class FileAnalysis {
   std::vector<Finding> findings_;
 };
 
+// ---- R8: doc-link (markdown) -------------------------------------------
+//
+// Markdown files are prose, not token streams, so the doc-link rule has
+// its own line-oriented engine: every inline link `[text](target)` and
+// every backtick span shaped like a repo path (`src/...`, `docs/...`,
+// ...) must name a file or directory that exists. Targets resolve
+// against the markdown file's own directory first (how a reader's
+// renderer resolves them), then each ancestor directory, which makes
+// repo-root-relative spellings work from docs/ as well as from the
+// top-level README.
+
+/// Repo path prefixes a backtick span must start with to be treated as
+/// a file reference (plain `foo.hpp` stays prose).
+const std::vector<std::string>& repo_path_prefixes() {
+  static const std::vector<std::string> kPrefixes = {
+      "docs/", "src/", "tools/", "tests/", "bench/", "examples/",
+      "results/",
+  };
+  return kPrefixes;
+}
+
+class MarkdownAnalysis {
+ public:
+  MarkdownAnalysis(std::string path, const std::string& text,
+                   AnalyzeStats* stats)
+      : path_(std::move(path)), stats_(stats) {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) lines_.push_back(line);
+  }
+
+  std::vector<Finding> run() {
+    bool fenced = false;
+    for (std::size_t k = 0; k < lines_.size(); ++k) {
+      const std::string& line = lines_[k];
+      std::size_t first = line.find_first_not_of(" \t");
+      if (first != std::string::npos &&
+          (line.compare(first, 3, "```") == 0 ||
+           line.compare(first, 3, "~~~") == 0)) {
+        fenced = !fenced;
+        continue;
+      }
+      // Fenced blocks hold transcripts and example output whose paths
+      // (temp dirs, hypothetical files) are not tree references.
+      if (fenced) continue;
+      const int ln = static_cast<int>(k) + 1;
+      // Inline code spans are literal text (`[x](target)` is syntax
+      // illustration, not a link) — mask them before link scanning;
+      // the backtick pass reads them from the original line.
+      scan_links(mask_code_spans(line), ln);
+      scan_backtick_paths(line, ln);
+    }
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                if (a.line != b.line) return a.line < b.line;
+                return a.message < b.message;
+              });
+    return std::move(findings_);
+  }
+
+ private:
+  static std::string mask_code_spans(const std::string& line) {
+    std::string out = line;
+    std::size_t pos = 0;
+    while ((pos = out.find('`', pos)) != std::string::npos) {
+      const std::size_t close = out.find('`', pos + 1);
+      if (close == std::string::npos) break;
+      for (std::size_t k = pos; k <= close; ++k) out[k] = ' ';
+      pos = close + 1;
+    }
+    return out;
+  }
+
+  /// `[text](target)` and `![alt](target)`; external schemes, pure
+  /// anchors, and mailto links are out of scope; `#anchor` suffixes on
+  /// file targets are stripped before the existence check.
+  void scan_links(const std::string& line, int ln) {
+    std::size_t pos = 0;
+    while ((pos = line.find("](", pos)) != std::string::npos) {
+      const std::size_t open = pos + 1;
+      const std::size_t close = line.find(')', open);
+      pos = open + 1;
+      if (close == std::string::npos) continue;
+      std::string target = line.substr(open + 1, close - open - 1);
+      // `[x](path "title")`: the title is not part of the target.
+      const std::size_t space = target.find(' ');
+      if (space != std::string::npos) target.resize(space);
+      if (target.empty() || target[0] == '#') continue;
+      if (contains(target, "://") || target.rfind("mailto:", 0) == 0) continue;
+      const std::size_t anchor = target.find('#');
+      if (anchor != std::string::npos) target.resize(anchor);
+      if (target.empty()) continue;
+      if (!exists_anywhere(target)) {
+        report(ln, "link target '" + target +
+                       "' does not exist (checked against this file's "
+                       "directory and its ancestors)");
+      }
+    }
+  }
+
+  /// Inline code spans whose whole content is path-shaped and starts
+  /// with a known repo directory. A trailing `:123` line reference is
+  /// allowed and stripped.
+  void scan_backtick_paths(const std::string& line, int ln) {
+    std::size_t pos = 0;
+    while ((pos = line.find('`', pos)) != std::string::npos) {
+      const std::size_t close = line.find('`', pos + 1);
+      if (close == std::string::npos) break;
+      std::string span = line.substr(pos + 1, close - pos - 1);
+      pos = close + 1;
+      bool prefixed = false;
+      for (const std::string& p : repo_path_prefixes()) {
+        if (span.rfind(p, 0) == 0) prefixed = true;
+      }
+      if (!prefixed || !path_shaped(span)) continue;
+      std::string target = span;
+      const std::size_t colon = target.find(':');
+      if (colon != std::string::npos) target.resize(colon);
+      if (!exists_anywhere(target)) {
+        report(ln, "path reference `" + span +
+                       "` does not exist (checked against this file's "
+                       "directory and its ancestors)");
+      }
+    }
+  }
+
+  /// Path characters only, with at most one trailing `:LINE` reference;
+  /// anything with spaces, globs, punctuation, or an `..` ellipsis /
+  /// parent segment is prose or a pattern, not a tree reference.
+  static bool path_shaped(const std::string& s) {
+    if (contains(s, "..")) return false;
+    bool in_lineref = false;
+    for (std::size_t k = 0; k < s.size(); ++k) {
+      const char c = s[k];
+      if (in_lineref) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+        continue;
+      }
+      if (c == ':') {
+        if (k + 1 >= s.size()) return false;
+        in_lineref = true;
+        continue;
+      }
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '/' ||
+            c == '.' || c == '_' || c == '-')) {
+        return false;
+      }
+    }
+    return !s.empty();
+  }
+
+  bool exists_anywhere(const std::string& target) const {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::path dir = fs::absolute(fs::path(path_), ec).parent_path();
+    while (!dir.empty()) {
+      if (fs::exists(dir / target, ec)) return true;
+      const fs::path parent = dir.parent_path();
+      if (parent == dir) break;
+      dir = parent;
+    }
+    return false;
+  }
+
+  /// Same waiver contract as the C++ rules, spelled as an HTML comment:
+  /// `<!-- nsp-analyze: doc-link-ok: <why> -->` on the line or the line
+  /// above; a marker without a justification suppresses the finding but
+  /// files waiver-justification instead.
+  void report(int ln, std::string msg) {
+    for (int probe : {ln, ln - 1}) {
+      if (probe < 1 || probe > static_cast<int>(lines_.size())) continue;
+      const std::string& text = lines_[static_cast<std::size_t>(probe) - 1];
+      const std::string marker = std::string("nsp-analyze: ") + kDocLink + "-ok";
+      const std::size_t pos = text.find(marker);
+      if (pos == std::string::npos) continue;
+      std::size_t p = pos + marker.size();
+      while (p < text.size() && text[p] == ' ') ++p;
+      bool justified = false;
+      if (p < text.size() && text[p] == ':') {
+        ++p;
+        while (p < text.size() && text[p] == ' ') ++p;
+        justified = p < text.size() && text.compare(p, 3, "-->") != 0;
+      }
+      if (justified) {
+        ++stats_->waived;
+      } else {
+        findings_.push_back(
+            {path_, probe, kWaiverJustification,
+             std::string("waiver for '") + kDocLink +
+                 "' has no justification; write \"nsp-analyze: " + kDocLink +
+                 "-ok: <why this reference is intentional>\""});
+      }
+      return;
+    }
+    findings_.push_back({path_, ln, kDocLink, std::move(msg)});
+  }
+
+  std::string path_;
+  std::vector<std::string> lines_;
+  AnalyzeStats* stats_;
+  std::vector<Finding> findings_;
+};
+
 }  // namespace
 
 std::string path_category(const std::string& path) {
@@ -686,11 +892,18 @@ std::vector<Finding> analyze_file(const SourceFile& f,
   return FileAnalysis(f, cat, stats).run();
 }
 
+std::vector<Finding> analyze_markdown(const std::string& path,
+                                      const std::string& text,
+                                      AnalyzeStats* stats) {
+  ++stats->files;
+  return MarkdownAnalysis(path, text, stats).run();
+}
+
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
-      kDeterminism,    kOrderedIteration, kRestrictAliasing,
-      kCheckDiscipline, kIncludeHygiene,  kFloatEquality,
-      kTaggedTodo,     kWaiverJustification,
+      kDeterminism,    kOrderedIteration,  kRestrictAliasing,
+      kCheckDiscipline, kIncludeHygiene,   kFloatEquality,
+      kTaggedTodo,     kDocLink,           kWaiverJustification,
   };
   return kNames;
 }

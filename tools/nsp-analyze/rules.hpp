@@ -15,6 +15,8 @@
 //                        nsp.hpp facade, no stale or missing includes)
 //   float-equality       no ==/!= against floating-point literals in src/
 //   tagged-todo          every open-end marker names an owner, TODO(name):
+//   doc-link             markdown links and backtick path references
+//                        point at files that exist in the tree
 //
 // A line opts out with `// nsp-analyze: <rule>-ok: <justification>`;
 // the justification is mandatory (an empty one is its own finding,
@@ -50,6 +52,16 @@ std::string path_category(const std::string& path);
 std::vector<Finding> analyze_file(const SourceFile& f,
                                   const std::string& category_override,
                                   AnalyzeStats* stats);
+
+/// Runs the doc-link rule over one markdown file. Link targets resolve
+/// against the file's own directory and then each ancestor directory,
+/// so repo-root-relative references (`docs/EXEC.md`, `src/serve/...`)
+/// work from anywhere in the tree. Waive with
+/// `<!-- nsp-analyze: doc-link-ok: <why> -->` on the line or the line
+/// above.
+std::vector<Finding> analyze_markdown(const std::string& path,
+                                      const std::string& text,
+                                      AnalyzeStats* stats);
 
 /// All rule names, for --list-rules and the JSON report.
 const std::vector<std::string>& rule_names();

@@ -1,0 +1,180 @@
+// nsplab_client: small client for the nsplab_serve protocol
+// (docs/SERVING.md).
+//
+//   nsplab_client --socket PATH [FILE]      send request lines, print
+//                                           responses (FILE or stdin)
+//   nsplab_client --socket PATH --stats     one stats request
+//   nsplab_client --socket PATH --shutdown  one shutdown request
+//   nsplab_client --local [FILE] [--store DIR | --no-store]
+//
+// --local runs the requests through an in-process serve::Server instead
+// of a daemon — the "batch CLI" face of the serving stack. It shares
+// the same content-addressed result store (default $NSP_RESULTS_DIR),
+// so a local batch warms the cache a daemon later serves from, and vice
+// versa.
+//
+// Requests are sent one line at a time, each answered before the next
+// is written, so a session transcript interleaves 1:1 (the worked
+// example in docs/SERVING.md is such a transcript).
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "io/artifacts.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  nsplab_client --socket PATH [FILE|-] [--stats|--shutdown]\n"
+               "  nsplab_client --local [FILE|-] [--store DIR|--no-store]\n"
+               "reads newline-delimited JSON requests (docs/SERVING.md)\n"
+               "from FILE or stdin and prints one response line each\n");
+  return 2;
+}
+
+struct Args {
+  std::string socket_path;
+  std::string file;  ///< "" or "-" = stdin
+  std::string store_dir;
+  bool local = false;
+  bool no_store = false;
+  bool stats = false;
+  bool shutdown = false;
+  bool bad = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int k = 1; k < argc; ++k) {
+    const std::string flag = argv[k];
+    const auto next = [&]() -> std::string {
+      if (k + 1 >= argc) {
+        a.bad = true;
+        return "";
+      }
+      return argv[++k];
+    };
+    if (flag == "--socket") a.socket_path = next();
+    else if (flag == "--local") a.local = true;
+    else if (flag == "--store") a.store_dir = next();
+    else if (flag == "--no-store") a.no_store = true;
+    else if (flag == "--stats") a.stats = true;
+    else if (flag == "--shutdown") a.shutdown = true;
+    else if (!flag.empty() && flag[0] != '-') a.file = flag;
+    else if (flag == "-") a.file = "-";
+    else a.bad = true;
+  }
+  return a;
+}
+
+bool write_all(int fd, const std::string& text) {
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t put = write(fd, text.data() + off, text.size() - off);
+    if (put <= 0) return false;
+    off += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+bool read_line_fd(int fd, std::string* buf, std::string* line) {
+  for (;;) {
+    const std::size_t nl = buf->find('\n');
+    if (nl != std::string::npos) {
+      *line = buf->substr(0, nl);
+      buf->erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t got = read(fd, chunk, sizeof chunk);
+    if (got <= 0) return false;
+    buf->append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+int with_input(const Args& a, const std::function<bool(const std::string&)>& send) {
+  if (a.stats || a.shutdown) {
+    const char* op = a.stats ? "stats" : "shutdown";
+    return send("{\"id\":\"" + std::string(op) + "\",\"op\":\"" + op + "\"}")
+               ? 0
+               : 1;
+  }
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (!a.file.empty() && a.file != "-") {
+    file.open(a.file);
+    if (!file.is_open()) {
+      std::fprintf(stderr, "nsplab_client: cannot open %s\n", a.file.c_str());
+      return 1;
+    }
+    in = &file;
+  }
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (line.empty()) continue;
+    if (!send(line)) return 1;
+  }
+  return 0;
+}
+
+int run_socket(const Args& a) {
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("nsplab_client: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (a.socket_path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "nsplab_client: socket path too long\n");
+    return 1;
+  }
+  std::strncpy(addr.sun_path, a.socket_path.c_str(),
+               sizeof addr.sun_path - 1);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    std::perror("nsplab_client: connect");
+    close(fd);
+    return 1;
+  }
+  std::string buf, response;
+  const int rc = with_input(a, [&](const std::string& request) {
+    if (!write_all(fd, request + "\n")) return false;
+    if (!read_line_fd(fd, &buf, &response)) return false;
+    std::printf("%s\n", response.c_str());
+    return true;
+  });
+  close(fd);
+  return rc;
+}
+
+int run_local(const Args& a) {
+  nsp::serve::ServerOptions o;
+  if (!a.no_store) {
+    o.store_dir = a.store_dir.empty() ? nsp::io::results_dir() : a.store_dir;
+  }
+  nsp::serve::Server server(o);
+  return with_input(a, [&](const std::string& request) {
+    std::printf("%s\n", server.handle(request).c_str());
+    return true;
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse_args(argc, argv);
+  const bool socket_mode = !a.socket_path.empty();
+  if (a.bad || socket_mode == a.local) return usage();
+  return socket_mode ? run_socket(a) : run_local(a);
+}

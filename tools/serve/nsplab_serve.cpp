@@ -1,0 +1,254 @@
+// nsplab_serve: the scenario-serving daemon (docs/SERVING.md).
+//
+//   nsplab_serve --socket PATH [options]     Unix-socket daemon
+//   nsplab_serve --queue IN --out OUT [options]   file-queue mode
+//
+// Socket mode accepts connections on an AF_UNIX stream socket; each
+// connection is a sequence of newline-delimited request lines, answered
+// in order with one response line each. A "shutdown" request drains the
+// daemon and exits.
+//
+// File-queue mode is the deterministic fallback the CI serve-smoke job
+// replays: every request line of IN is submitted up front (maximizing
+// batch coalescing), one pump cycle resolves them, and responses are
+// written to OUT in input order — byte-identical across runs and
+// processes, because responses carry no timing or provenance.
+//
+// Options:
+//   --threads N      engine pool width (0 = $NSP_EXEC_THREADS/hardware)
+//   --capacity N     admission bound on queued waiters (default 1024)
+//   --quota-burst B  per-client token bucket size (0 = quotas off)
+//   --quota-rate R   tokens refilled per dispatch cycle
+//   --store DIR      result-store directory (default $NSP_RESULTS_DIR,
+//                    falling back to "."); --no-store disables
+//   --store-bytes N  store eviction budget in bytes (0 = unlimited)
+//   --stats FILE     write a final stats response to FILE on exit
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/artifacts.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using nsp::serve::Server;
+using nsp::serve::ServerOptions;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  nsplab_serve --socket PATH [options]\n"
+               "  nsplab_serve --queue IN.ndjson --out OUT.ndjson [options]\n"
+               "options: --threads N --capacity N --quota-burst B\n"
+               "         --quota-rate R --store DIR | --no-store\n"
+               "         --store-bytes N --stats FILE\n"
+               "protocol: docs/SERVING.md\n");
+  return 2;
+}
+
+struct Args {
+  std::string socket_path;
+  std::string queue_in;
+  std::string queue_out;
+  std::string stats_file;
+  std::string store_dir;
+  bool no_store = false;
+  std::uint64_t store_bytes = 0;
+  int threads = 0;
+  std::size_t capacity = 1024;
+  double quota_burst = 0;
+  double quota_rate = 0;
+  bool bad = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int k = 1; k < argc; ++k) {
+    const std::string flag = argv[k];
+    const auto next = [&]() -> std::string {
+      if (k + 1 >= argc) {
+        a.bad = true;
+        return "";
+      }
+      return argv[++k];
+    };
+    if (flag == "--socket") a.socket_path = next();
+    else if (flag == "--queue") a.queue_in = next();
+    else if (flag == "--out") a.queue_out = next();
+    else if (flag == "--stats") a.stats_file = next();
+    else if (flag == "--store") a.store_dir = next();
+    else if (flag == "--no-store") a.no_store = true;
+    else if (flag == "--store-bytes") a.store_bytes = std::strtoull(next().c_str(), nullptr, 10);
+    else if (flag == "--threads") a.threads = std::atoi(next().c_str());
+    else if (flag == "--capacity") a.capacity = std::strtoull(next().c_str(), nullptr, 10);
+    else if (flag == "--quota-burst") a.quota_burst = std::atof(next().c_str());
+    else if (flag == "--quota-rate") a.quota_rate = std::atof(next().c_str());
+    else a.bad = true;
+  }
+  return a;
+}
+
+ServerOptions server_options(const Args& a, bool auto_pump) {
+  ServerOptions o;
+  o.engine_threads = a.threads;
+  o.queue_capacity = a.capacity;
+  o.quota_burst = a.quota_burst;
+  o.quota_tokens_per_tick = a.quota_rate;
+  if (!a.no_store) {
+    o.store_dir = a.store_dir.empty() ? nsp::io::results_dir() : a.store_dir;
+  }
+  o.store_max_bytes = a.store_bytes;
+  o.auto_pump = auto_pump;
+  return o;
+}
+
+void write_stats(const Server& server, const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::trunc);
+  out << server.stats_response("stats") << '\n';
+}
+
+// ---- file-queue mode -----------------------------------------------------
+
+int run_queue(const Args& a) {
+  std::ifstream in(a.queue_in);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "nsplab_serve: cannot open %s\n",
+                 a.queue_in.c_str());
+    return 1;
+  }
+  Server server(server_options(a, /*auto_pump=*/false));
+  std::vector<Server::Ticket> tickets;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    tickets.push_back(server.submit(line));
+  }
+  // One dispatch cycle resolves the whole file (every repeated scenario
+  // coalesced); pump again in case capacity maths ever leaves a rest.
+  while (server.pump()) {
+  }
+  std::ofstream out(a.queue_out, std::ios::trunc);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "nsplab_serve: cannot write %s\n",
+                 a.queue_out.c_str());
+    return 1;
+  }
+  for (Server::Ticket& t : tickets) {
+    out << server.wait(t) << '\n';
+  }
+  write_stats(server, a.stats_file);
+  return 0;
+}
+
+// ---- socket mode ---------------------------------------------------------
+
+/// Reads one '\n'-terminated line from fd (buffered). Returns false on
+/// EOF/error with nothing pending.
+struct LineReader {
+  int fd;
+  std::string buf;
+
+  bool next(std::string* line) {
+    for (;;) {
+      const std::size_t nl = buf.find('\n');
+      if (nl != std::string::npos) {
+        *line = buf.substr(0, nl);
+        buf.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t got = read(fd, chunk, sizeof chunk);
+      if (got <= 0) {
+        if (buf.empty()) return false;
+        line->swap(buf);  // final unterminated line
+        buf.clear();
+        return true;
+      }
+      buf.append(chunk, static_cast<std::size_t>(got));
+    }
+  }
+};
+
+bool write_all(int fd, const std::string& text) {
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t put = write(fd, text.data() + off, text.size() - off);
+    if (put <= 0) return false;
+    off += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+void serve_connection(Server* server, int fd) {
+  LineReader reader{fd, {}};
+  std::string line;
+  while (reader.next(&line)) {
+    if (line.empty()) continue;
+    const std::string response = server->handle(line);
+    if (!write_all(fd, response + "\n")) break;
+    if (server->shutdown_requested()) break;
+  }
+  close(fd);
+}
+
+int run_socket(const Args& a) {
+  const int listener = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("nsplab_serve: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (a.socket_path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "nsplab_serve: socket path too long\n");
+    return 1;
+  }
+  std::strncpy(addr.sun_path, a.socket_path.c_str(),
+               sizeof addr.sun_path - 1);
+  unlink(a.socket_path.c_str());  // stale socket from a previous run
+  if (bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      listen(listener, 64) < 0) {
+    std::perror("nsplab_serve: bind/listen");
+    close(listener);
+    return 1;
+  }
+
+  Server server(server_options(a, /*auto_pump=*/true));
+  std::vector<std::thread> connections;
+  while (!server.shutdown_requested()) {
+    // Poll so a shutdown request observed on a connection thread gets
+    // the accept loop out within one tick.
+    pollfd pfd{listener, POLLIN, 0};
+    const int ready = poll(&pfd, 1, 200);
+    if (ready <= 0) continue;
+    const int fd = accept(listener, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections.emplace_back(serve_connection, &server, fd);
+  }
+  for (std::thread& t : connections) t.join();
+  close(listener);
+  unlink(a.socket_path.c_str());
+  write_stats(server, a.stats_file);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse_args(argc, argv);
+  const bool socket_mode = !a.socket_path.empty();
+  const bool queue_mode = !a.queue_in.empty() && !a.queue_out.empty();
+  if (a.bad || socket_mode == queue_mode) return usage();
+  return socket_mode ? run_socket(a) : run_queue(a);
+}
