@@ -1,0 +1,182 @@
+// Model-axis sweep of the live solver: what the nsp::model registry
+// opened, measured. Two discretizations (2-4 vs 2-2 MacCormack) across
+// grid families, an excitation sweep (Strouhal x Reynolds x scheme) at
+// jet conditions, and an end-to-end section timing registered model
+// combinations exactly as the registry configures them. Writes the
+// BENCH_models.json artifact (bench/reporter.hpp schema); the copy in
+// results/ is the recorded model-space trajectory and docs/MODELS.md
+// quotes it.
+//
+//   bench_models [--quick]
+//
+// --quick (CI's perf-smoke job): small grid, few steps, a trimmed
+// sweep — enough to exercise every measured path and emit a
+// schema-valid artifact in seconds, not enough for stable numbers.
+//
+// Methodology matches bench_kernels: best-of-R per-step wall time over
+// blocks of S steps after warmup, flops from the solver's own
+// (scheme-aware) counter, bytes/flop from the streaming lower bound.
+// The 2-2 scheme runs fewer flops per point, so its speedup over the
+// 2-4 baseline on the same grid separates stencil cost from bandwidth.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "bench/reporter.hpp"
+#include "core/tiles.hpp"
+#include "model/registry.hpp"
+
+namespace {
+
+using namespace nsp;
+using core::Scheme;
+using core::Solver;
+using core::SolverConfig;
+
+/// Best-of-`reps` per-step wall time over blocks of `steps` steps.
+double measure_ms(const SolverConfig& cfg, int steps, int reps) {
+  Solver s(cfg);
+  s.initialize();
+  s.run(2);  // warmup: touch every array, settle dt
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    s.run(steps);
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double>(t1 - t0).count() / steps);
+  }
+  return best * 1e3;
+}
+
+/// Flops per step from the scheme-aware solver counter.
+double flops_per_step(SolverConfig cfg) {
+  cfg.count_flops = true;
+  Solver s(cfg);
+  s.initialize();
+  s.run(4);
+  return s.flops().total() / 4.0;
+}
+
+std::string scheme_token(Scheme s) {
+  return s == Scheme::Mac22 ? "mac22" : "mac24";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--quick") == 0) quick = true;
+  }
+  bench::banner(quick ? "Model-axis sweep (--quick smoke)"
+                      : "Model-axis sweep: scheme x grid family, "
+                        "Strouhal x Reynolds, registered combos");
+
+  const int steps = quick ? 3 : 10;
+  const int reps = quick ? 2 : 5;
+
+  bench::Reporter rep("models");
+  io::Table t({"config", "ms/step", "GF/s", "bytes/flop", "speedup"});
+  t.title("Model axes, single thread (registry: see nsplab_cli list-models)");
+
+  const auto record = [&](const std::string& name, const std::string& variant,
+                          const SolverConfig& cfg, const std::string& baseline,
+                          double baseline_ms) {
+    bench::BenchEntry e;
+    e.name = name;
+    e.variant = variant;
+    e.ni = cfg.grid.ni;
+    e.nj = cfg.grid.nj;
+    e.ms_per_step = measure_ms(cfg, steps, reps);
+    const double fps = flops_per_step(cfg);
+    const double bytes_per_step =
+        2.0 * core::kSweepArrays * cfg.grid.ni * cfg.grid.nj * 8.0;
+    e.gflops = fps / (e.ms_per_step * 1e6);
+    e.bytes_per_flop = bytes_per_step / fps;
+    if (baseline.empty()) {
+      rep.add(e);
+    } else {
+      rep.add_with_speedup(e, baseline, baseline_ms);
+    }
+    const auto& r = rep.entries().back();
+    t.row({name, io::format_fixed(r.ms_per_step, 3),
+           io::format_fixed(r.gflops, 3), io::format_fixed(r.bytes_per_flop, 2),
+           r.speedup > 0 ? io::format_fixed(r.speedup, 2) + "x" : "-"});
+    return e.ms_per_step;
+  };
+
+  // Scheme x grid family: the 2-2 difference runs 2 flops per one-sided
+  // difference where the 2-4 runs 4, so its speedup over the same-grid
+  // 2-4 baseline reads out how stencil-bound each family is.
+  struct Family {
+    const char* name;
+    core::Grid grid;
+  };
+  std::vector<Family> families = {{"coarse", core::Grid::coarse(126, 52)}};
+  if (!quick) families.push_back({"paper", core::Grid::paper()});
+  for (const auto& fam : families) {
+    double mac24_ms = 0;
+    for (const Scheme s : {Scheme::Mac24, Scheme::Mac22}) {
+      SolverConfig cfg;
+      cfg.grid = fam.grid;
+      cfg.scheme = s;
+      const std::string name =
+          "step/" + std::string(fam.name) + "/" + scheme_token(s);
+      const std::string base =
+          s == Scheme::Mac22 ? "step/" + std::string(fam.name) + "/mac24" : "";
+      const double ms = record(name, scheme_token(s), cfg, base, mac24_ms);
+      if (s == Scheme::Mac24) mac24_ms = ms;
+    }
+  }
+
+  // Strouhal x Reynolds x scheme at jet conditions: the excitation and
+  // viscosity axes cost nothing per step (same kernels, different
+  // coefficients), which this sweep demonstrates by measurement.
+  const std::vector<double> strouhals =
+      quick ? std::vector<double>{0.125}
+            : std::vector<double>{0.0625, 0.125, 0.25};
+  const std::vector<double> reynolds =
+      quick ? std::vector<double>{1.2e6}
+            : std::vector<double>{1.2e4, 1.2e6};
+  for (const double st : strouhals) {
+    for (const double re : reynolds) {
+      for (const Scheme s : {Scheme::Mac24, Scheme::Mac22}) {
+        SolverConfig cfg;
+        cfg.grid = core::Grid::coarse(quick ? 64 : 126, quick ? 24 : 52);
+        cfg.scheme = s;
+        cfg.jet.strouhal = st;
+        cfg.jet.reynolds_d = re;
+        record("jet/st" + io::format_fixed(st, 4) + "/re" +
+                   io::format_fixed(re / 1e4, 0) + "e4/" + scheme_token(s),
+               scheme_token(s), cfg, "", 0.0);
+      }
+    }
+  }
+
+  // Registered combinations end-to-end: configure solely through the
+  // registry (exactly what exec::Scenario::solver_config does for a
+  // named model) and time the configured pipeline.
+  for (const char* name :
+       {"ns/mac24/mode1", "ns/mac22/mode1", "euler/mac24/quiet",
+        "euler/mac22/quiet", "ns/mac24/multimode"}) {
+    SolverConfig cfg;
+    cfg.grid = core::Grid::coarse(quick ? 64 : 126, quick ? 24 : 52);
+    model::make_model(name).configure(&cfg);
+    record(std::string("model/") + name,
+           model::to_token(cfg.scheme), cfg, "", 0.0);
+  }
+
+  std::printf("%s\n", t.str().c_str());
+  const std::string path = io::artifact_path("BENCH_models.json");
+  if (!rep.write_json(path)) {
+    std::printf("FAILED to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("[artifact: %s, %zu entries]\n", path.c_str(), rep.size());
+  return 0;
+}

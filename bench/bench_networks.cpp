@@ -49,7 +49,7 @@ int main() {
       "Shared media (Ethernet, FDDI) show aggregate == single-stream\n"
       "bandwidth; switches and the torus scale with disjoint pairs. The\n"
       "message-layer software costs (PVM/MPL/PVMe) sit on top of these\n"
-      "wire numbers — see docs/MODELS.md section 3.\n");
+      "wire numbers — see docs/PLATFORMS.md section 3.\n");
   bench::write_resultset(rs, "networks.json");
   bench::print_engine_counters();
   return 0;

@@ -2,14 +2,17 @@
 // built on the nsp:: facade and the exec engine.
 //
 //   nsplab_cli list
+//   nsplab_cli list-models
 //   nsplab_cli replay <platform> [--euler] [--version N] [--procs P]
 //   nsplab_cli sweep  <platform> [--euler] [--version N]
 //   nsplab_cli batch  <platform> [<platform>...] [--euler] [--version N]
 //   nsplab_cli solve  [--ni N] [--nj N] [--steps N] [--euler] [--threads T]
-//                     [--kernel V]
+//                     [--kernel V] [--model KEY]
 //
 // Platform keys come from the exec registry (see `list`); any key takes
-// a "-<procs>" suffix, e.g. "t3d-64". `batch` runs the platforms'
+// a "-<procs>" suffix, e.g. "t3d-64". Model keys come from the model
+// registry (see `list-models`) and select the scheme/physics/excitation
+// combination — see docs/MODELS.md. `batch` runs the platforms'
 // processor sweeps concurrently through the engine and writes a JSON
 // ResultSet into $NSP_RESULTS_DIR (default: the current directory).
 #include <cstdio>
@@ -28,15 +31,20 @@ int usage() {
   std::printf(
       "usage:\n"
       "  nsplab_cli list\n"
-      "  nsplab_cli replay <platform> [--euler] [--version N] [--procs P]\n"
-      "  nsplab_cli sweep  <platform> [--euler] [--version N]\n"
+      "  nsplab_cli list-models\n"
+      "  nsplab_cli replay <platform> [--euler] [--version N] [--procs P]"
+      " [--model KEY]\n"
+      "  nsplab_cli sweep  <platform> [--euler] [--version N] [--model KEY]\n"
       "  nsplab_cli batch  <platform> [<platform>...] [--euler] [--version N]"
-      " [--audit] [--faults SPEC]\n"
+      " [--audit] [--faults SPEC] [--model KEY]\n"
       "  nsplab_cli solve  [--ni N] [--nj N] [--steps N] [--euler] "
-      "[--threads T] [--kernel V]\n"
+      "[--threads T] [--kernel V] [--model KEY]\n"
       "\n"
       "  --kernel  live-solver kernel variant 1..5 (the paper's\n"
       "            optimization ladder; default 5)\n"
+      "  --model   scheme/physics/excitation combination from the model\n"
+      "            registry, e.g. ns/mac22/mode1 (see `list-models` and\n"
+      "            docs/MODELS.md; default ns/mac24/mode1)\n"
       "  --audit   determinism audit: run the batch cells through a\n"
       "            1-thread and an N-thread engine and diff per-cell\n"
       "            trace hashes and fault timelines (exit 1 on mismatch)\n"
@@ -56,6 +64,7 @@ struct Args {
   int threads = 1;
   int kernel = 5;
   bool audit = false;
+  std::string model;   ///< model registry key ("" = registry default)
   std::string faults;  ///< fault::FaultSpec::parse form ("" = none)
   std::vector<std::string> names;  ///< non-flag positionals
 };
@@ -74,6 +83,7 @@ Args parse_flags(int argc, char** argv, int from) {
     else if (flag == "--threads") a.threads = next();
     else if (flag == "--kernel") a.kernel = next();
     else if (flag == "--audit") a.audit = true;
+    else if (flag == "--model") a.model = k + 1 < argc ? argv[++k] : "";
     else if (flag == "--faults") a.faults = k + 1 < argc ? argv[++k] : "";
     else if (!flag.empty() && flag[0] != '-') a.names.push_back(flag);
   }
@@ -87,6 +97,7 @@ Scenario make_base(const Args& a) {
                              : arch::Equations::NavierStokes)
           .version(static_cast<arch::CodeVersion>(std::clamp(a.version, 1, 7)));
   if (!a.faults.empty()) s.faults(a.faults);
+  if (!a.model.empty()) s.model(a.model);
   return s;
 }
 
@@ -97,6 +108,18 @@ int cmd_list() {
     const auto p = exec::make_platform(key);
     t.row({key, p.name, p.cpu.name, to_string(p.net), p.msglayer.name,
            std::to_string(p.max_procs)});
+  }
+  std::printf("%s", t.str().c_str());
+  return 0;
+}
+
+int cmd_list_models() {
+  io::Table t({"model", "scheme", "physics", "excitation", "default"});
+  t.title("Registered models (physics/scheme/excitation; see docs/MODELS.md)");
+  for (const auto& key : model::model_names()) {
+    const auto m = model::make_model(key);
+    t.row({key, model::to_token(m.scheme), model::to_token(m.physics),
+           model::to_token(m.excitation), m.is_default() ? "*" : ""});
   }
   std::printf("%s", t.str().c_str());
   return 0;
@@ -186,11 +209,14 @@ int cmd_solve(const Args& a) {
                     .kernel(static_cast<core::KernelVariant>(
                         std::clamp(a.kernel, 1, 5)));
   if (a.euler) sc.euler();
-  core::Solver s(sc.solver_config());
+  if (!a.model.empty()) sc.model(a.model);
+  const core::SolverConfig cfg = sc.solver_config();
+  core::Solver s(cfg);
   s.initialize();
   s.run(a.steps);
   std::printf("%s %dx%d, %d steps (t = %.2f): %s, max Mach %.3f\n",
-              a.euler ? "Euler" : "Navier-Stokes", a.ni, a.nj, s.steps_taken(),
+              cfg.viscous ? "Navier-Stokes" : "Euler", a.ni, a.nj,
+              s.steps_taken(),
               s.time(), s.finite() ? "finite" : "DIVERGED", s.max_mach());
   const auto mx = s.axial_momentum();
   std::printf("%s", io::contour_map(mx, a.ni, a.nj, 80, 16).c_str());
@@ -203,6 +229,7 @@ int main(int argc, char** argv) try {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   if (cmd == "list") return cmd_list();
+  if (cmd == "list-models") return cmd_list_models();
   if (cmd == "solve") return cmd_solve(parse_flags(argc, argv, 2));
   if (cmd == "batch") return cmd_batch(parse_flags(argc, argv, 2));
   if (cmd == "replay" || cmd == "sweep") {

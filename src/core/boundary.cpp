@@ -5,7 +5,7 @@
 namespace nsp::core {
 
 InflowBC::InflowBC(const Grid& grid, const JetConfig& jet)
-    : InflowBC(grid, jet, jet.analytic_mode()) {}
+    : InflowBC(grid, jet, jet.excitation_mode()) {}
 
 InflowBC::InflowBC(const Grid& grid, const JetConfig& jet, EigenMode mode)
     : grid_(grid), jet_(jet), mode_(std::move(mode)) {

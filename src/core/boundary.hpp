@@ -30,7 +30,8 @@ namespace nsp::core {
 /// Excited-jet inflow condition for the column i = icol (normally 0).
 class InflowBC {
  public:
-  /// Uses the jet's analytic eigenmode for the excitation.
+  /// Uses the mode jet.excitation selects (the analytic eigenmode for
+  /// the default Excitation::Mode1).
   InflowBC(const Grid& grid, const JetConfig& jet);
 
   /// Uses a caller-supplied eigenmode (e.g. a converged Rayleigh mode

@@ -63,4 +63,39 @@ EigenMode JetConfig::analytic_mode() const {
   }};
 }
 
+EigenMode JetConfig::multi_mode() const {
+  // Subharmonic forcing: the same shear-layer mode shape driven at half
+  // the Strouhal number and half the level — the classical seeding of
+  // vortex pairing. The subharmonic's own phase advances at omega/2, so
+  // with the caller handing the fundamental's phi it reads phi/2.
+  JetConfig sub = *this;
+  sub.strouhal = 0.5 * strouhal;
+  sub.eps = 0.5 * eps;
+  const EigenMode fund = analytic_mode();
+  const EigenMode half = sub.analytic_mode();
+  return EigenMode{[fund, half](double r, double phi) -> Primitive {
+    const Primitive a = fund.perturbation(r, phi);
+    const Primitive b = half.perturbation(r, 0.5 * phi);
+    return Primitive{a.rho + b.rho, a.u + b.u, a.v + b.v, a.p + b.p};
+  }};
+}
+
+EigenMode JetConfig::quiet_mode() {
+  return EigenMode{[](double, double) -> Primitive {
+    return Primitive{0.0, 0.0, 0.0, 0.0};
+  }};
+}
+
+EigenMode JetConfig::excitation_mode() const {
+  switch (excitation) {
+    case Excitation::MultiMode:
+      return multi_mode();
+    case Excitation::Quiet:
+      return quiet_mode();
+    case Excitation::Mode1:
+      break;
+  }
+  return analytic_mode();
+}
+
 }  // namespace nsp::core

@@ -32,6 +32,12 @@ struct EigenMode {
   std::function<Primitive(double r, double phi)> perturbation;
 };
 
+/// Which excitation drives the inflow perturbation. Mode1 is the
+/// paper's single eigenmode at Strouhal `strouhal`; MultiMode adds the
+/// subharmonic at St/2 (the vortex-pairing forcing of excited-jet
+/// experiments); Quiet leaves the mean inflow unperturbed.
+enum class Excitation { Mode1, MultiMode, Quiet };
+
 struct JetConfig {
   double mach_c = 1.5;     ///< jet centerline Mach number
   double t_ratio = 0.5;    ///< T_inf / T_c
@@ -40,6 +46,7 @@ struct JetConfig {
   double eps = 1e-4;       ///< excitation level
   double u_coflow = 0.0;   ///< free-stream axial velocity
   double reynolds_d = 1.2e6;  ///< Reynolds number based on jet diameter
+  Excitation excitation = Excitation::Mode1;  ///< inflow forcing family
   Gas gas;                 ///< gamma / Pr; mu derived from reynolds_d
 
   /// Nondimensional viscosity mu = rho_c U_c D / Re_D with D = 2 r_j.
@@ -66,6 +73,20 @@ struct JetConfig {
 
   /// The analytic shear-layer eigenmode used by default.
   EigenMode analytic_mode() const;
+
+  /// Fundamental plus subharmonic: the analytic mode at St (level eps)
+  /// superposed with the same mode shape at St/2 (level eps/2). The
+  /// caller's phase is the fundamental's phi = omega() * t, so the
+  /// subharmonic is evaluated at phi/2.
+  EigenMode multi_mode() const;
+
+  /// The zero perturbation (unexcited inflow).
+  static EigenMode quiet_mode();
+
+  /// The mode `excitation` selects: Mode1 -> analytic_mode() (bitwise
+  /// the default inflow), MultiMode -> multi_mode(), Quiet ->
+  /// quiet_mode().
+  EigenMode excitation_mode() const;
 };
 
 }  // namespace nsp::core

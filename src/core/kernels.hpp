@@ -26,6 +26,25 @@ namespace nsp::core {
 /// Which symmetric variant of the 2-4 scheme a sweep uses.
 enum class SweepVariant { L1, L2 };
 
+/// The MacCormack difference family of the predictor/corrector updates:
+/// Mac24 is the paper's 2-4 (Gottlieb-Turkel) one-sided difference,
+/// fourth-order in space when the L1/L2 variants alternate; Mac22 is the
+/// classical 2-2 form (first-order one-sided differences, second-order
+/// after the predictor/corrector average). Every other stage of the
+/// pipeline (primitives, stresses, fluxes, boundaries) is
+/// scheme-agnostic; kernels_scheme.hpp holds the templated update
+/// kernels and select_kernels(bool, Scheme) picks a set.
+enum class Scheme { Mac24, Mac22 };
+
+/// FP ops in one one-sided difference of scheme `s` (the 2-4 stencil
+/// costs 4, the 2-2 stencil 2): the scheme-dependent term of the sweep
+/// flop credits. kernels_scheme.cpp and Solver::credit_sweep_*_stage
+/// must agree on these so fused and unfused schedules report identical
+/// totals for either scheme.
+constexpr double scheme_diff_flops(Scheme s) {
+  return s == Scheme::Mac24 ? 4.0 : 2.0;
+}
+
 /// The paper's single-processor optimization stages, as real alternative
 /// implementations of the hot kernels (identical mathematics, different
 /// loop order and strength): see arch/kernel_profile.hpp for the story.

@@ -1,0 +1,352 @@
+#include "core/kernels_scheme.hpp"
+
+#include "check/check.hpp"
+
+// Same outlined-restrict-row discipline as kernels_tiled.cpp: GCC only
+// tracks restrict through function parameters, so each scheme's row
+// body is a (templated) helper taking restrict pointer parameters.
+#if defined(__GNUC__) || defined(__clang__)
+#define NSP_RESTRICT __restrict__
+#else
+#define NSP_RESTRICT
+#endif
+
+namespace nsp::core::tiled {
+
+namespace {
+
+/// Hoisted span precondition (mirrors kernels_tiled.cpp).
+inline void check_tile(const Field2D& f, int ilo, int ihi, int jlo, int jhi) {
+  NSP_CHECK(f.cols_valid(ilo, ihi) && f.rows_valid(jlo, jhi),
+            "core.kernels_scheme.tile_range");
+  (void)f;
+  (void)ilo;
+  (void)ihi;
+  (void)jlo;
+  (void)jhi;
+}
+
+/// The one-sided difference policy. `fwd`/`bwd` walk one row in i (the
+/// axial sweeps); `fwd3`/`bwd3` combine three row pointers at the same i
+/// (the radial sweeps, where ga/gb are the rows one/two steps away in
+/// the difference direction). The Mac24 expression trees are written
+/// exactly as the handwritten kernels in kernels_tiled.cpp write them,
+/// which is what makes that instantiation bit-identical.
+template <Scheme S>
+struct Diff;
+
+template <>
+struct Diff<Scheme::Mac24> {
+  static constexpr double kFlops = 4.0;
+  static inline double fwd(const double* NSP_RESTRICT f, int i) {
+    return 8.0 * f[i + 1] - 7.0 * f[i] - f[i + 2];
+  }
+  static inline double bwd(const double* NSP_RESTRICT f, int i) {
+    return 7.0 * f[i] - 8.0 * f[i - 1] + f[i - 2];
+  }
+  static inline double fwd3(const double* NSP_RESTRICT g0,
+                            const double* NSP_RESTRICT ga,
+                            const double* NSP_RESTRICT gb, int i) {
+    return 8.0 * ga[i] - 7.0 * g0[i] - gb[i];
+  }
+  static inline double bwd3(const double* NSP_RESTRICT g0,
+                            const double* NSP_RESTRICT ga,
+                            const double* NSP_RESTRICT gb, int i) {
+    return 7.0 * g0[i] - 8.0 * ga[i] + gb[i];
+  }
+};
+
+// The 2-2 difference is pre-scaled by 6 so the caller's lambda =
+// dt/(6 dx) (and radial 1/(6 dr)) convention is scheme-independent:
+// 6 (f_{i+1} - f_i) * dt/(6 dx) == dt/dx (f_{i+1} - f_i). The second
+// row away (gb) is accepted but unread — the stencil reach shrinks to 1.
+template <>
+struct Diff<Scheme::Mac22> {
+  static constexpr double kFlops = 2.0;
+  static inline double fwd(const double* NSP_RESTRICT f, int i) {
+    return 6.0 * (f[i + 1] - f[i]);
+  }
+  static inline double bwd(const double* NSP_RESTRICT f, int i) {
+    return 6.0 * (f[i] - f[i - 1]);
+  }
+  static inline double fwd3(const double* NSP_RESTRICT g0,
+                            const double* NSP_RESTRICT ga,
+                            const double* NSP_RESTRICT gb, int i) {
+    (void)gb;
+    return 6.0 * (ga[i] - g0[i]);
+  }
+  static inline double bwd3(const double* NSP_RESTRICT g0,
+                            const double* NSP_RESTRICT ga,
+                            const double* NSP_RESTRICT gb, int i) {
+    (void)gb;
+    return 6.0 * (g0[i] - ga[i]);
+  }
+};
+
+template <Scheme S>
+void pred_x_row_fwd(const double* NSP_RESTRICT qa,
+                    const double* NSP_RESTRICT fa, double* NSP_RESTRICT out,
+                    int ibegin, int iend, double lambda) {
+  for (int i = ibegin; i < iend; ++i) {
+    out[i] = qa[i] - lambda * Diff<S>::fwd(fa, i);
+  }
+}
+
+template <Scheme S>
+void pred_x_row_bwd(const double* NSP_RESTRICT qa,
+                    const double* NSP_RESTRICT fa, double* NSP_RESTRICT out,
+                    int ibegin, int iend, double lambda) {
+  for (int i = ibegin; i < iend; ++i) {
+    out[i] = qa[i] - lambda * Diff<S>::bwd(fa, i);
+  }
+}
+
+template <Scheme S>
+void corr_x_row_fwd(const double* NSP_RESTRICT qa,
+                    const double* NSP_RESTRICT qpa,
+                    const double* NSP_RESTRICT fpa, double* NSP_RESTRICT out,
+                    int ibegin, int iend, double lambda) {
+  for (int i = ibegin; i < iend; ++i) {
+    out[i] = 0.5 * (qa[i] + qpa[i] - lambda * Diff<S>::fwd(fpa, i));
+  }
+}
+
+template <Scheme S>
+void corr_x_row_bwd(const double* NSP_RESTRICT qa,
+                    const double* NSP_RESTRICT qpa,
+                    const double* NSP_RESTRICT fpa, double* NSP_RESTRICT out,
+                    int ibegin, int iend, double lambda) {
+  for (int i = ibegin; i < iend; ++i) {
+    out[i] = 0.5 * (qa[i] + qpa[i] - lambda * Diff<S>::bwd(fpa, i));
+  }
+}
+
+/// One radial-update row for one component (see kernels_tiled.cpp's
+/// radial_row; identical template parameters plus the scheme).
+template <Scheme S, bool kCorrector, bool kForward, bool kViscous,
+          bool kSource>
+void radial_row(const double* NSP_RESTRICT q0, const double* NSP_RESTRICT qp0,
+                const double* NSP_RESTRICT g0, const double* NSP_RESTRICT ga,
+                const double* NSP_RESTRICT gb, const double* NSP_RESTRICT ps,
+                const double* NSP_RESTRICT ts, double* NSP_RESTRICT o,
+                int ibegin, int iend, double dt_r, double inv6dr) {
+  for (int i = ibegin; i < iend; ++i) {
+    const double diff = kForward ? Diff<S>::fwd3(g0, ga, gb, i)
+                                 : Diff<S>::bwd3(g0, ga, gb, i);
+    const double src = kSource ? ps[i] - (kViscous ? ts[i] : 0.0) : 0.0;
+    if (kCorrector) {
+      o[i] = 0.5 * (q0[i] + qp0[i] + dt_r * (src - diff * inv6dr));
+    } else {
+      o[i] = q0[i] + dt_r * (src - diff * inv6dr);
+    }
+  }
+}
+
+template <Scheme S, bool kCorrector, bool kForward, bool kViscous>
+void radial_update_rows(const Grid& grid, const StateField& q,
+                        const StateField& qp, const StateField& gt,
+                        const Field2D& p, const Field2D& ttt, StateField& out,
+                        double dt, Range irange, int jlo, int jhi) {
+  const double inv6dr = 1.0 / (6.0 * grid.dr());
+  const auto qc = q.components();
+  const auto qpc = qp.components();
+  const auto gc = gt.components();
+  const auto oc = out.components();
+  for (int j = jlo; j < jhi; ++j) {
+    const double dt_r = dt / grid.r(j);
+    const double* ps = p.row_span(j);
+    const double* ts = ttt.row_span(j);
+    const int ja = kForward ? j + 1 : j - 1;
+    const int jb = kForward ? j + 2 : j - 2;
+    for (int c = 0; c < StateField::kComponents; ++c) {
+      auto* row =
+          (c == 2) ? &radial_row<S, kCorrector, kForward, kViscous, true>
+                   : &radial_row<S, kCorrector, kForward, kViscous, false>;
+      row(qc[c]->row_span(j), qpc[c]->row_span(j), gc[c]->row_span(j),
+          gc[c]->row_span(ja), gc[c]->row_span(jb), ps, ts,
+          oc[c]->row_span(j), irange.begin, irange.end, dt_r, inv6dr);
+    }
+  }
+}
+
+template <Scheme S, bool kCorrector>
+void radial_update(const Grid& grid, const StateField& q, const StateField& qp,
+                   const StateField& gt, const Field2D& p, const Field2D& ttt,
+                   bool viscous, StateField& out, double dt, bool forward,
+                   Range irange, int jlo, int jhi) {
+  if (forward) {
+    if (viscous) {
+      radial_update_rows<S, kCorrector, true, true>(grid, q, qp, gt, p, ttt,
+                                                    out, dt, irange, jlo, jhi);
+    } else {
+      radial_update_rows<S, kCorrector, true, false>(grid, q, qp, gt, p, ttt,
+                                                     out, dt, irange, jlo,
+                                                     jhi);
+    }
+  } else {
+    if (viscous) {
+      radial_update_rows<S, kCorrector, false, true>(grid, q, qp, gt, p, ttt,
+                                                     out, dt, irange, jlo,
+                                                     jhi);
+    } else {
+      radial_update_rows<S, kCorrector, false, false>(grid, q, qp, gt, p, ttt,
+                                                      out, dt, irange, jlo,
+                                                      jhi);
+    }
+  }
+}
+
+}  // namespace
+
+template <Scheme S>
+void predictor_x_s(const StateField& q, const StateField& f, StateField& qp,
+                   double lambda, SweepVariant v, Range irange,
+                   FlopCounter* fc) {
+  const int nj = q.rho.nj();
+  check_tile(q.rho, irange.begin, irange.end, 0, nj);
+  check_tile(f.rho, irange.begin - kGhost, irange.end + kGhost, 0, nj);
+  const auto qc = q.components();
+  const auto fcmp = f.components();
+  const auto qpc = qp.components();
+  auto* row = (v == SweepVariant::L1) ? &pred_x_row_fwd<S> : &pred_x_row_bwd<S>;
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    for (int j = 0; j < nj; ++j) {
+      row(qc[c]->row_span(j), fcmp[c]->row_span(j), qpc[c]->row_span(j),
+          irange.begin, irange.end, lambda);
+    }
+  }
+  if (fc) {
+    fc->add((Diff<S>::kFlops + 2.0) * StateField::kComponents *
+            static_cast<long>(irange.end - irange.begin) * nj);
+  }
+}
+
+template <Scheme S>
+void corrector_x_s(const StateField& q, const StateField& qp,
+                   const StateField& fp, StateField& qn1, double lambda,
+                   SweepVariant v, Range irange, FlopCounter* fc) {
+  const int nj = q.rho.nj();
+  check_tile(q.rho, irange.begin, irange.end, 0, nj);
+  check_tile(fp.rho, irange.begin - kGhost, irange.end + kGhost, 0, nj);
+  const auto qc = q.components();
+  const auto qpc = qp.components();
+  const auto fpc = fp.components();
+  const auto outc = qn1.components();
+  // The corrector's one-sided difference runs opposite the predictor's.
+  auto* row = (v == SweepVariant::L1) ? &corr_x_row_bwd<S> : &corr_x_row_fwd<S>;
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    for (int j = 0; j < nj; ++j) {
+      row(qc[c]->row_span(j), qpc[c]->row_span(j), fpc[c]->row_span(j),
+          outc[c]->row_span(j), irange.begin, irange.end, lambda);
+    }
+  }
+  if (fc) {
+    fc->add((Diff<S>::kFlops + 4.0) * StateField::kComponents *
+            static_cast<long>(irange.end - irange.begin) * nj);
+  }
+}
+
+template <Scheme S>
+void predictor_r_rows_s(const Grid& grid, const StateField& q,
+                        const StateField& gt, const Field2D& p,
+                        const Field2D& ttt, bool viscous, StateField& qp,
+                        double dt, SweepVariant v, Range irange, int jlo,
+                        int jhi, FlopCounter* fc) {
+  check_tile(q.rho, irange.begin, irange.end, jlo, jhi);
+  check_tile(gt.rho, irange.begin, irange.end, jlo - kGhost, jhi + kGhost);
+  radial_update<S, false>(grid, q, q, gt, p, ttt, viscous, qp, dt,
+                          v == SweepVariant::L1, irange, jlo, jhi);
+  if (fc) {
+    const long pts = static_cast<long>(irange.end - irange.begin) * (jhi - jlo);
+    fc->add(((Diff<S>::kFlops + 3.0) * 4.0 + 2.0) * pts, 1.0 * pts);
+  }
+}
+
+template <Scheme S>
+void corrector_r_rows_s(const Grid& grid, const StateField& q,
+                        const StateField& qp, const StateField& gtp,
+                        const Field2D& pp, const Field2D& tttp, bool viscous,
+                        StateField& qn1, double dt, SweepVariant v,
+                        Range irange, int jlo, int jhi, FlopCounter* fc) {
+  check_tile(q.rho, irange.begin, irange.end, jlo, jhi);
+  check_tile(gtp.rho, irange.begin, irange.end, jlo - kGhost, jhi + kGhost);
+  radial_update<S, true>(grid, q, qp, gtp, pp, tttp, viscous, qn1, dt,
+                         v != SweepVariant::L1, irange, jlo, jhi);
+  if (fc) {
+    const long pts = static_cast<long>(irange.end - irange.begin) * (jhi - jlo);
+    fc->add(((Diff<S>::kFlops + 4.0) * 4.0 + 2.0) * pts, 1.0 * pts);
+  }
+}
+
+template <Scheme S>
+void predictor_r_s(const Grid& grid, const StateField& q, const StateField& gt,
+                   const Field2D& p, const Field2D& ttt, bool viscous,
+                   StateField& qp, double dt, SweepVariant v, Range irange,
+                   FlopCounter* fc) {
+  predictor_r_rows_s<S>(grid, q, gt, p, ttt, viscous, qp, dt, v, irange, 0,
+                        q.rho.nj(), fc);
+}
+
+template <Scheme S>
+void corrector_r_s(const Grid& grid, const StateField& q, const StateField& qp,
+                   const StateField& gtp, const Field2D& pp,
+                   const Field2D& tttp, bool viscous, StateField& qn1,
+                   double dt, SweepVariant v, Range irange, FlopCounter* fc) {
+  corrector_r_rows_s<S>(grid, q, qp, gtp, pp, tttp, viscous, qn1, dt, v,
+                        irange, 0, q.rho.nj(), fc);
+}
+
+template void predictor_x_s<Scheme::Mac24>(const StateField&,
+                                           const StateField&, StateField&,
+                                           double, SweepVariant, Range,
+                                           FlopCounter*);
+template void predictor_x_s<Scheme::Mac22>(const StateField&,
+                                           const StateField&, StateField&,
+                                           double, SweepVariant, Range,
+                                           FlopCounter*);
+template void corrector_x_s<Scheme::Mac24>(const StateField&,
+                                           const StateField&,
+                                           const StateField&, StateField&,
+                                           double, SweepVariant, Range,
+                                           FlopCounter*);
+template void corrector_x_s<Scheme::Mac22>(const StateField&,
+                                           const StateField&,
+                                           const StateField&, StateField&,
+                                           double, SweepVariant, Range,
+                                           FlopCounter*);
+template void predictor_r_rows_s<Scheme::Mac24>(
+    const Grid&, const StateField&, const StateField&, const Field2D&,
+    const Field2D&, bool, StateField&, double, SweepVariant, Range, int, int,
+    FlopCounter*);
+template void predictor_r_rows_s<Scheme::Mac22>(
+    const Grid&, const StateField&, const StateField&, const Field2D&,
+    const Field2D&, bool, StateField&, double, SweepVariant, Range, int, int,
+    FlopCounter*);
+template void corrector_r_rows_s<Scheme::Mac24>(
+    const Grid&, const StateField&, const StateField&, const StateField&,
+    const Field2D&, const Field2D&, bool, StateField&, double, SweepVariant,
+    Range, int, int, FlopCounter*);
+template void corrector_r_rows_s<Scheme::Mac22>(
+    const Grid&, const StateField&, const StateField&, const StateField&,
+    const Field2D&, const Field2D&, bool, StateField&, double, SweepVariant,
+    Range, int, int, FlopCounter*);
+template void predictor_r_s<Scheme::Mac24>(const Grid&, const StateField&,
+                                           const StateField&, const Field2D&,
+                                           const Field2D&, bool, StateField&,
+                                           double, SweepVariant, Range,
+                                           FlopCounter*);
+template void predictor_r_s<Scheme::Mac22>(const Grid&, const StateField&,
+                                           const StateField&, const Field2D&,
+                                           const Field2D&, bool, StateField&,
+                                           double, SweepVariant, Range,
+                                           FlopCounter*);
+template void corrector_r_s<Scheme::Mac24>(
+    const Grid&, const StateField&, const StateField&, const StateField&,
+    const Field2D&, const Field2D&, bool, StateField&, double, SweepVariant,
+    Range, FlopCounter*);
+template void corrector_r_s<Scheme::Mac22>(
+    const Grid&, const StateField&, const StateField&, const StateField&,
+    const Field2D&, const Field2D&, bool, StateField&, double, SweepVariant,
+    Range, FlopCounter*);
+
+}  // namespace nsp::core::tiled

@@ -1,0 +1,126 @@
+// Scheme-templated MacCormack update kernels.
+//
+// The handwritten 2-4 kernels in kernels_tiled.cpp stay the production
+// default: they are the measured, golden-hashed hot path and this file
+// never replaces them. What lives here is the same four update kernels
+// (axial/radial predictor/corrector, span-loop bodies, identical
+// signatures) as templates over a one-sided difference policy,
+// explicitly instantiated for both schemes:
+//
+//   * Scheme::Mac24 — the paper's 2-4 (Gottlieb-Turkel) difference.
+//     This instantiation exists to pin the template layer: the model
+//     tests assert it is bit-identical to the handwritten kernels, so
+//     a future scheme can trust the shared body.
+//   * Scheme::Mac22 — the classical 2-2 MacCormack difference. This is
+//     the production path for the 2-2 scheme, selected through
+//     select_kernels(use_tiled, Scheme::Mac22); it exists only in span
+//     form (there is no pessimized reference twin — the V1/V2 museum
+//     ladder is a 2-4 story).
+//
+// Both schemes share the caller's lambda = dt/(6 dx) and radial
+// 1/(6 dr) conventions: the 2-2 difference is pre-scaled by 6, so
+// 6 (F_{i+1} - F_i) * dt/(6 dx) == dt/dx (F_{i+1} - F_i) and no call
+// site changes per scheme.
+#pragma once
+
+#include "core/kernels_tiled.hpp"
+
+namespace nsp::core::tiled {
+
+/// See core::predictor_x; the one-sided difference follows S.
+template <Scheme S>
+void predictor_x_s(const StateField& q, const StateField& f, StateField& qp,
+                   double lambda, SweepVariant v, Range irange,
+                   FlopCounter* fc = nullptr);
+
+/// See core::corrector_x; the one-sided difference follows S.
+template <Scheme S>
+void corrector_x_s(const StateField& q, const StateField& qp,
+                   const StateField& fp, StateField& qn1, double lambda,
+                   SweepVariant v, Range irange, FlopCounter* fc = nullptr);
+
+/// See tiled::predictor_r_rows / corrector_r_rows.
+template <Scheme S>
+void predictor_r_rows_s(const Grid& grid, const StateField& q,
+                        const StateField& gt, const Field2D& p,
+                        const Field2D& ttt, bool viscous, StateField& qp,
+                        double dt, SweepVariant v, Range irange, int jlo,
+                        int jhi, FlopCounter* fc = nullptr);
+template <Scheme S>
+void corrector_r_rows_s(const Grid& grid, const StateField& q,
+                        const StateField& qp, const StateField& gtp,
+                        const Field2D& pp, const Field2D& tttp, bool viscous,
+                        StateField& qn1, double dt, SweepVariant v,
+                        Range irange, int jlo, int jhi,
+                        FlopCounter* fc = nullptr);
+
+/// See core::predictor_r / corrector_r.
+template <Scheme S>
+void predictor_r_s(const Grid& grid, const StateField& q, const StateField& gt,
+                   const Field2D& p, const Field2D& ttt, bool viscous,
+                   StateField& qp, double dt, SweepVariant v, Range irange,
+                   FlopCounter* fc = nullptr);
+template <Scheme S>
+void corrector_r_s(const Grid& grid, const StateField& q, const StateField& qp,
+                   const StateField& gtp, const Field2D& pp,
+                   const Field2D& tttp, bool viscous, StateField& qn1,
+                   double dt, SweepVariant v, Range irange,
+                   FlopCounter* fc = nullptr);
+
+// Both instantiations are compiled once in kernels_scheme.cpp.
+extern template void predictor_x_s<Scheme::Mac24>(const StateField&,
+                                                  const StateField&,
+                                                  StateField&, double,
+                                                  SweepVariant, Range,
+                                                  FlopCounter*);
+extern template void predictor_x_s<Scheme::Mac22>(const StateField&,
+                                                  const StateField&,
+                                                  StateField&, double,
+                                                  SweepVariant, Range,
+                                                  FlopCounter*);
+extern template void corrector_x_s<Scheme::Mac24>(const StateField&,
+                                                  const StateField&,
+                                                  const StateField&,
+                                                  StateField&, double,
+                                                  SweepVariant, Range,
+                                                  FlopCounter*);
+extern template void corrector_x_s<Scheme::Mac22>(const StateField&,
+                                                  const StateField&,
+                                                  const StateField&,
+                                                  StateField&, double,
+                                                  SweepVariant, Range,
+                                                  FlopCounter*);
+extern template void predictor_r_rows_s<Scheme::Mac24>(
+    const Grid&, const StateField&, const StateField&, const Field2D&,
+    const Field2D&, bool, StateField&, double, SweepVariant, Range, int, int,
+    FlopCounter*);
+extern template void predictor_r_rows_s<Scheme::Mac22>(
+    const Grid&, const StateField&, const StateField&, const Field2D&,
+    const Field2D&, bool, StateField&, double, SweepVariant, Range, int, int,
+    FlopCounter*);
+extern template void corrector_r_rows_s<Scheme::Mac24>(
+    const Grid&, const StateField&, const StateField&, const StateField&,
+    const Field2D&, const Field2D&, bool, StateField&, double, SweepVariant,
+    Range, int, int, FlopCounter*);
+extern template void corrector_r_rows_s<Scheme::Mac22>(
+    const Grid&, const StateField&, const StateField&, const StateField&,
+    const Field2D&, const Field2D&, bool, StateField&, double, SweepVariant,
+    Range, int, int, FlopCounter*);
+extern template void predictor_r_s<Scheme::Mac24>(
+    const Grid&, const StateField&, const StateField&, const Field2D&,
+    const Field2D&, bool, StateField&, double, SweepVariant, Range,
+    FlopCounter*);
+extern template void predictor_r_s<Scheme::Mac22>(
+    const Grid&, const StateField&, const StateField&, const Field2D&,
+    const Field2D&, bool, StateField&, double, SweepVariant, Range,
+    FlopCounter*);
+extern template void corrector_r_s<Scheme::Mac24>(
+    const Grid&, const StateField&, const StateField&, const StateField&,
+    const Field2D&, const Field2D&, bool, StateField&, double, SweepVariant,
+    Range, FlopCounter*);
+extern template void corrector_r_s<Scheme::Mac22>(
+    const Grid&, const StateField&, const StateField&, const StateField&,
+    const Field2D&, const Field2D&, bool, StateField&, double, SweepVariant,
+    Range, FlopCounter*);
+
+}  // namespace nsp::core::tiled

@@ -1,6 +1,7 @@
 #include "core/kernels_tiled.hpp"
 
 #include "check/check.hpp"
+#include "core/kernels_scheme.hpp"
 
 // Contiguous row spans from distinct Field2D objects never alias.
 // GCC only tracks restrict through function PARAMETERS (on local
@@ -585,11 +586,26 @@ KernelSet select_kernels(bool use_tiled) {
     return {&tiled::compute_primitives, &tiled::compute_stresses,
             &tiled::compute_flux_x,     &tiled::compute_flux_r,
             &tiled::predictor_x,        &tiled::corrector_x,
-            &tiled::predictor_r,        &tiled::corrector_r};
+            &tiled::predictor_r,        &tiled::corrector_r,
+            &tiled::predictor_r_rows,   &tiled::corrector_r_rows};
   }
-  return {&compute_primitives, &compute_stresses, &compute_flux_x,
-          &compute_flux_r,     &predictor_x,      &corrector_x,
-          &predictor_r,        &corrector_r};
+  return {&compute_primitives,      &compute_stresses, &compute_flux_x,
+          &compute_flux_r,          &predictor_x,      &corrector_x,
+          &predictor_r,             &corrector_r,
+          &tiled::predictor_r_rows, &tiled::corrector_r_rows};
+}
+
+KernelSet select_kernels(bool use_tiled, Scheme scheme) {
+  KernelSet ks = select_kernels(use_tiled);
+  if (scheme == Scheme::Mac22) {
+    ks.pred_x = &tiled::predictor_x_s<Scheme::Mac22>;
+    ks.corr_x = &tiled::corrector_x_s<Scheme::Mac22>;
+    ks.pred_r = &tiled::predictor_r_s<Scheme::Mac22>;
+    ks.corr_r = &tiled::corrector_r_s<Scheme::Mac22>;
+    ks.pred_r_rows = &tiled::predictor_r_rows_s<Scheme::Mac22>;
+    ks.corr_r_rows = &tiled::corrector_r_rows_s<Scheme::Mac22>;
+  }
+  return ks;
 }
 
 }  // namespace nsp::core

@@ -132,10 +132,22 @@ struct KernelSet {
   decltype(&corrector_x) corr_x;
   decltype(&predictor_r) pred_r;
   decltype(&corrector_r) corr_r;
+  /// Row-range radial updates for the overlapped 2-D schedule. Always
+  /// the span implementations (they are bit-identical to the reference
+  /// and the reference set has no row-range twin).
+  decltype(&tiled::predictor_r_rows) pred_r_rows;
+  decltype(&tiled::corrector_r_rows) corr_r_rows;
 };
 
 /// The tiled set when `use_tiled` (SolverConfig::tiled), else the
 /// reference set. Both compute identical bits for every grid point.
 KernelSet select_kernels(bool use_tiled);
+
+/// Scheme-aware selection: Scheme::Mac24 returns select_kernels(
+/// use_tiled) unchanged (the handwritten golden-hashed kernels); for
+/// Scheme::Mac22 the four update kernels are replaced by the 2-2
+/// instantiations from core/kernels_scheme.hpp (span-only — the other
+/// stages are scheme-agnostic and keep the use_tiled choice).
+KernelSet select_kernels(bool use_tiled, Scheme scheme);
 
 }  // namespace nsp::core

@@ -23,7 +23,9 @@ Solver::Solver(SolverConfig cfg)
       flux_(cfg_.grid.ni, cfg_.grid.nj) {
   // Transport properties follow the jet Reynolds number.
   cfg_.jet.gas.mu = cfg_.viscous ? cfg_.jet.viscosity() : 0.0;
-  if (cfg_.rayleigh_inflow) {
+  // The Rayleigh eigensolve refines the single analytic mode only; the
+  // multi-mode and quiet excitations keep their configured shapes.
+  if (cfg_.rayleigh_inflow && cfg_.jet.excitation == Excitation::Mode1) {
     const auto mode = stability::solve(cfg_.jet, cfg_.jet.omega());
     // to_eigenmode falls back to the analytic mode when the eigensolve
     // failed; count the silent fallback so it shows up in reports.
@@ -136,7 +138,8 @@ int Solver::tile_width() const {
     // left ghost extrapolation reads.
     return std::min(std::max(cfg_.tile_i, 2 * kGhost), cfg_.grid.ni);
   }
-  return choose_tile_width(cfg_.grid.ni, cfg_.grid.nj);
+  return choose_tile_width(cfg_.grid.ni, cfg_.grid.nj, kSweepArrays,
+                           host_cache_bytes());
 }
 
 void Solver::sweep_x(SweepVariant v) {
@@ -146,7 +149,7 @@ void Solver::sweep_x(SweepVariant v) {
   }
   const Grid& g = cfg_.grid;
   const Gas& gas = cfg_.jet.gas;
-  const KernelSet ks = select_kernels(cfg_.tiled);
+  const KernelSet ks = select_kernels(cfg_.tiled, cfg_.scheme);
   FlopCounter* fc =
       (cfg_.count_flops && cfg_.num_threads <= 1) ? &flops_ : nullptr;
   const double lambda = dt_ / (6.0 * g.dx());
@@ -185,7 +188,7 @@ void Solver::sweep_r(SweepVariant v) {
   }
   const Grid& g = cfg_.grid;
   const Gas& gas = cfg_.jet.gas;
-  const KernelSet ks = select_kernels(cfg_.tiled);
+  const KernelSet ks = select_kernels(cfg_.tiled, cfg_.scheme);
   FlopCounter* fc =
       (cfg_.count_flops && cfg_.num_threads <= 1) ? &flops_ : nullptr;
   const Range full{0, g.ni};
@@ -235,7 +238,12 @@ void Solver::credit_sweep_x_stage(int stage) {
   if (cfg_.viscous) flops_.add(36.0 * pts, 1.0 * pts);
   flops_.add((cfg_.viscous ? 14.0 : 7.0) * pts);
   flops_.add(2.0 * 14.0 * nj * StateField::kComponents);  // ghost extrapolation
-  flops_.add((stage == 0 ? 6.0 : 8.0) * StateField::kComponents * pts);
+  // Update credit: (diff + 2) predictor, (diff + 4) corrector flops per
+  // point per component; diff is the scheme's one-sided stencil cost
+  // (Mac24: 6/8, exactly the handwritten kernels' constants).
+  const double df = scheme_diff_flops(cfg_.scheme);
+  flops_.add((stage == 0 ? df + 2.0 : df + 4.0) * StateField::kComponents *
+             pts);
 }
 
 void Solver::credit_sweep_r_stage(int stage) {
@@ -251,13 +259,18 @@ void Solver::credit_sweep_r_stage(int stage) {
   }
   if (cfg_.viscous) flops_.add(36.0 * pts, 1.0 * pts);
   flops_.add((cfg_.viscous ? 18.0 : 11.0) * pts_flux);
-  flops_.add((stage == 0 ? 30.0 : 34.0) * pts, 1.0 * pts);
+  // Radial update: ((diff + 3) * 4 + 2) predictor / ((diff + 4) * 4 + 2)
+  // corrector flops plus one divide per point (Mac24: 30/34).
+  const double df = scheme_diff_flops(cfg_.scheme);
+  flops_.add((stage == 0 ? (df + 3.0) * 4.0 + 2.0 : (df + 4.0) * 4.0 + 2.0) *
+                 pts,
+             1.0 * pts);
 }
 
 void Solver::sweep_x_fused(SweepVariant v) {
   const Grid& g = cfg_.grid;
   const Gas& gas = cfg_.jet.gas;
-  const KernelSet ks = select_kernels(true);
+  const KernelSet ks = select_kernels(true, cfg_.scheme);
   const double lambda = dt_ / (6.0 * g.dx());
   const int w = tile_width();
 
@@ -305,7 +318,7 @@ void Solver::sweep_x_fused(SweepVariant v) {
 void Solver::sweep_r_fused(SweepVariant v) {
   const Grid& g = cfg_.grid;
   const Gas& gas = cfg_.jet.gas;
-  const KernelSet ks = select_kernels(true);
+  const KernelSet ks = select_kernels(true, cfg_.scheme);
   const int w = tile_width();
 
   for (int stage = 0; stage < 2; ++stage) {

@@ -39,6 +39,12 @@ struct SolverConfig {
   JetConfig jet;
   bool viscous = true;               ///< Navier-Stokes (true) or Euler
   KernelVariant variant = KernelVariant::V5;
+  /// MacCormack difference family for the predictor/corrector updates
+  /// (core/kernels.hpp). Mac24 is the paper's scheme and the default
+  /// every golden hash pins; Mac22 swaps in the 2-2 span kernels from
+  /// core/kernels_scheme.hpp. All other pipeline stages, boundaries and
+  /// the dt heuristic are scheme-agnostic.
+  Scheme scheme = Scheme::Mac24;
   double cfl = 0.5;
   bool count_flops = false;
   XBoundary left = XBoundary::Inflow;

@@ -1,0 +1,80 @@
+#include "core/tiles.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace nsp::core {
+
+namespace {
+
+/// First line of `path`, stripped of trailing whitespace; "" on error.
+std::string read_line(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::string line;
+  std::getline(in, line);
+  while (!line.empty() &&
+         std::isspace(static_cast<unsigned char>(line.back()))) {
+    line.pop_back();
+  }
+  return line;
+}
+
+/// Parses a sysfs cache size ("32K", "1024K", "8M", "1G", plain bytes);
+/// 0 when unparseable.
+std::size_t parse_cache_size(const std::string& text) {
+  std::size_t value = 0;
+  std::size_t pos = 0;
+  while (pos < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    value = value * 10 + static_cast<std::size_t>(text[pos] - '0');
+    ++pos;
+  }
+  if (pos == 0) return 0;
+  std::size_t scale = 1;
+  if (pos < text.size()) {
+    switch (std::toupper(static_cast<unsigned char>(text[pos]))) {
+      case 'K':
+        scale = 1024;
+        break;
+      case 'M':
+        scale = 1024 * 1024;
+        break;
+      case 'G':
+        scale = 1024ull * 1024 * 1024;
+        break;
+      default:
+        return 0;
+    }
+  }
+  return value * scale;
+}
+
+}  // namespace
+
+std::size_t detect_cache_bytes(const std::string& cache_dir) {
+  // sysfs exposes one index<N> directory per cache level the core sees;
+  // a handful is plenty (Linux tops out around 4-5 levels).
+  constexpr int kMaxIndex = 16;
+  std::size_t best = 0;
+  for (int idx = 0; idx < kMaxIndex; ++idx) {
+    std::ostringstream dir;
+    dir << cache_dir << "/index" << idx;
+    const std::string type = read_line(dir.str() + "/type");
+    if (type.empty()) continue;  // missing index: keep scanning the range
+    if (type == "Instruction") continue;
+    const std::size_t bytes = parse_cache_size(read_line(dir.str() + "/size"));
+    best = std::max(best, bytes);
+  }
+  return best;
+}
+
+std::size_t host_cache_bytes() {
+  // Probed once: the hierarchy cannot change under a running process.
+  static const std::size_t probed =
+      detect_cache_bytes("/sys/devices/system/cpu/cpu0/cache");
+  return probed != 0 ? probed : kDefaultCacheBytes;
+}
+
+}  // namespace nsp::core

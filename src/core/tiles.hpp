@@ -18,6 +18,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <string>
 
 namespace nsp::core {
 
@@ -63,5 +64,20 @@ inline int choose_tile_width(int ni, int nj, int arrays = kSweepArrays,
   w = std::max(w, min_w);
   return static_cast<int>(std::min<std::size_t>(w, static_cast<std::size_t>(ni)));
 }
+
+/// Best-effort probe of the largest data/unified cache one core sees,
+/// reading `cache_dir` laid out like Linux's
+/// /sys/devices/system/cpu/cpu0/cache (index*/{level,type,size}, sizes
+/// like "512K" / "32M"). Instruction-only caches are skipped. Returns 0
+/// when the directory is missing or nothing parses — the caller decides
+/// the fallback. Pure function of the directory contents (tiles.cpp).
+std::size_t detect_cache_bytes(const std::string& cache_dir);
+
+/// The LLC budget Solver::tile_width blocks for: detect_cache_bytes of
+/// the real sysfs tree, or kDefaultCacheBytes when the probe finds
+/// nothing (non-Linux, masked sysfs). Probed once per process and
+/// cached; like every tile-width input it can never affect computed
+/// results, only locality.
+std::size_t host_cache_bytes();
 
 }  // namespace nsp::core

@@ -12,6 +12,7 @@
 #include "fault/fault.hpp"
 #include "io/json.hpp"
 #include "io/table.hpp"
+#include "model/registry.hpp"
 #include "perf/app_model.hpp"
 
 namespace nsp::exec {
@@ -87,6 +88,19 @@ Scenario& Scenario::kernel(core::KernelVariant v) {
   return *this;
 }
 
+Scenario& Scenario::model(const std::string& registry_key) {
+  model_ = registry_key;
+  if (!model_.empty()) {
+    // Validates eagerly (throws on unknown keys) and keeps the replay's
+    // equations axis coherent with the model's physics.
+    const model::ModelSpec spec = model::make_model(model_);
+    eq_ = spec.physics == model::Physics::Euler
+              ? arch::Equations::Euler
+              : arch::Equations::NavierStokes;
+  }
+  return *this;
+}
+
 Scenario& Scenario::grid2d(int px) {
   proc_grid_px_ = px;
   return *this;
@@ -142,6 +156,11 @@ std::string Scenario::cache_key() const {
   // touch .kernel() keep their historical cache keys byte-for-byte.
   if (kernel_ != core::KernelVariant::V5)
     os << "|k" << static_cast<int>(kernel_);
+  // And the model axis: the default model IS the historical pipeline,
+  // so both the unset and explicit-default forms keep pre-model cache
+  // keys (and memo-cache artifacts, and the zero-fault golden md5).
+  if (!model_.empty() && model_ != model::kDefaultModel)
+    os << "|model:" << model_;
   return os.str();
 }
 
@@ -279,7 +298,8 @@ std::string Scenario::to_json() const {
      << ",\"threads\":" << nprocs_
      << ",\"seed\":\"" << seed_ << "\""
      << ",\"label\":\"" << io::json_escape(label_) << "\""
-     << ",\"faults\":\"" << io::json_escape(faults_.str()) << "\"}";
+     << ",\"faults\":\"" << io::json_escape(faults_.str()) << "\""
+     << ",\"model\":\"" << io::json_escape(model_) << "\"}";
   return os.str();
 }
 
@@ -296,7 +316,7 @@ bool Scenario::from_json(const io::JsonValue& doc, Scenario* out,
   static const char* kFields[] = {
       "workload", "equations", "version",  "kernel", "ni",     "nj",
       "steps",    "grid2d",    "sim_steps", "platform", "msglayer",
-      "network",  "threads",   "seed",     "label",  "faults"};
+      "network",  "threads",   "seed",     "label",  "faults", "model"};
   for (const auto& [name, value] : doc.members) {
     bool known = false;
     for (const char* f : kFields) known = known || name == f;
@@ -386,6 +406,17 @@ bool Scenario::from_json(const io::JsonValue& doc, Scenario* out,
       goto bad;
     }
   }
+  token.clear();
+  if (!read_string(doc, "model", &token, &reason)) goto bad;
+  if (!token.empty()) {
+    if (!model::has_model(token)) {
+      reason = "unknown model '" + token + "'";
+      goto bad;
+    }
+    // The fluent setter keeps the equations axis coherent; it runs
+    // after "equations" was parsed, so an explicit model wins.
+    s.model(token);
+  }
   *out = s;
   return true;
 
@@ -416,6 +447,10 @@ core::SolverConfig Scenario::solver_config() const {
   cfg.viscous = eq_ == arch::Equations::NavierStokes;
   cfg.variant = kernel_;
   cfg.num_threads = std::max(1, nprocs_);
+  // The model axis writes scheme/viscous/excitation last; the default
+  // model writes exactly the defaults above, so pre-model scenarios
+  // build bit-identical configurations.
+  if (!model_.empty()) model::make_model(model_).configure(&cfg);
   return cfg;
 }
 

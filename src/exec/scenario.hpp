@@ -65,6 +65,15 @@ class Scenario {
   /// optimization ladder; V5 is the default and the production path).
   /// Distinct from version(), which names the replay's code version.
   Scenario& kernel(core::KernelVariant v);
+  /// Solver model for Workload::Solve: a model-registry key naming the
+  /// (physics, scheme, excitation) combination (src/model/registry.hpp,
+  /// e.g. "euler/mac22/quiet"). Throws std::invalid_argument on an
+  /// unknown key. Setting a model also aligns the equations axis with
+  /// the model's physics, so replay pricing and the live solver agree.
+  /// The empty default (and the explicit default model) leave the
+  /// scenario byte-identical to one that never heard of models — the
+  /// cache key only grows a |model: segment for non-default models.
+  Scenario& model(const std::string& registry_key);
   Scenario& grid2d(int px);  ///< 2-D process grid, px columns (0 = 1-D)
   Scenario& steps(int n);
   Scenario& sim_steps(int n);  ///< replay fidelity (default 400)
@@ -86,6 +95,7 @@ class Scenario {
   arch::Equations equations() const { return eq_; }
   int requested_procs() const { return nprocs_; }
   core::KernelVariant kernel_variant() const { return kernel_; }
+  const std::string& model_key() const { return model_; }
   int step_count() const { return steps_; }
   int sim_step_count() const { return sim_steps_; }
   const fault::FaultSpec& fault_spec() const { return faults_; }
@@ -158,6 +168,7 @@ class Scenario {
   std::uint64_t seed_ = 0;
   std::string label_;
   fault::FaultSpec faults_;  ///< disabled by default
+  std::string model_;  ///< model-registry key; "" = default model
 };
 
 }  // namespace nsp::exec

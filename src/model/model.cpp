@@ -1,0 +1,45 @@
+#include "model/model.hpp"
+
+#include "core/jet.hpp"
+#include "core/kernels.hpp"
+#include "core/solver.hpp"
+
+namespace nsp::model {
+
+const char* to_token(core::Scheme s) {
+  return s == core::Scheme::Mac22 ? "mac22" : "mac24";
+}
+
+const char* to_token(Physics p) {
+  return p == Physics::Euler ? "euler" : "ns";
+}
+
+const char* to_token(core::Excitation e) {
+  switch (e) {
+    case core::Excitation::MultiMode:
+      return "multimode";
+    case core::Excitation::Quiet:
+      return "quiet";
+    case core::Excitation::Mode1:
+      break;
+  }
+  return "mode1";
+}
+
+void ModelSpec::configure(core::SolverConfig* cfg) const {
+  cfg->scheme = scheme;
+  cfg->viscous = physics == Physics::NavierStokes;
+  cfg->jet.excitation = excitation;
+}
+
+bool ModelSpec::is_default() const {
+  return scheme == core::Scheme::Mac24 && physics == Physics::NavierStokes &&
+         excitation == core::Excitation::Mode1;
+}
+
+std::string ModelSpec::canonical_name() const {
+  return std::string(to_token(physics)) + "/" + to_token(scheme) + "/" +
+         to_token(excitation);
+}
+
+}  // namespace nsp::model

@@ -1,0 +1,64 @@
+// nsp::model — the pluggable scheme / physics / excitation space.
+//
+// The paper's solver is one fixed pipeline: 2-4 MacCormack, axisymmetric
+// Navier-Stokes, single-eigenmode excited-jet inflow. This subsystem
+// names points in the three-axis space around that pipeline:
+//
+//   * discretization — core::Scheme (the 2-4 Gottlieb-Turkel difference
+//     or the classical 2-2 MacCormack), selected as compile-time kernel
+//     policies in core/kernels_scheme.hpp so either scheme runs the
+//     tuned span hot path;
+//   * physics — the full Navier-Stokes equations or the inviscid Euler
+//     subset (SolverConfig::viscous; mu = 0, no stress stages);
+//   * inflow excitation — core::Excitation (single mode, fundamental +
+//     subharmonic, or quiet).
+//
+// A ModelSpec is the runtime value; model/traits.hpp is the compile-time
+// mirror (one Traits instantiation per combination, kernels resolved
+// statically); model/registry.hpp is the name-keyed factory the
+// Scenario API, CLI and serving daemon consume. The default model
+// ("ns/mac24/mode1") configures exactly the pre-model pipeline — the
+// golden-hash suites pin it bit-identical. docs/MODELS.md tells the
+// full story.
+#pragma once
+
+#include <string>
+
+#include "core/jet.hpp"
+#include "core/kernels.hpp"
+#include "core/solver.hpp"
+
+namespace nsp::model {
+
+/// Physics axis: the full Navier-Stokes equations or the inviscid Euler
+/// subset. Distinct from arch::Equations (which prices replays); the
+/// Scenario layer keeps the two coherent.
+enum class Physics { NavierStokes, Euler };
+
+/// Wire/registry tokens per axis (lowercase, slash-joined into names).
+const char* to_token(core::Scheme s);       // "mac24" | "mac22"
+const char* to_token(Physics p);            // "ns" | "euler"
+const char* to_token(core::Excitation e);   // "mode1" | "multimode" | "quiet"
+
+/// One named point in the (physics x scheme x excitation) space.
+struct ModelSpec {
+  std::string name;  ///< registry key, "<physics>/<scheme>/<excitation>"
+  core::Scheme scheme = core::Scheme::Mac24;
+  Physics physics = Physics::NavierStokes;
+  core::Excitation excitation = core::Excitation::Mode1;
+
+  /// Applies the three axes to a solver configuration: cfg->scheme,
+  /// cfg->viscous and cfg->jet.excitation. Every other field (grid,
+  /// kernel variant, tiling, boundaries, ...) is left untouched, so a
+  /// model composes with the existing Scenario axes.
+  void configure(core::SolverConfig* cfg) const;
+
+  /// True when the spec's axes equal the default model's (the paper's
+  /// pipeline), whatever its name says.
+  bool is_default() const;
+
+  /// The canonical "<physics>/<scheme>/<excitation>" name of the axes.
+  std::string canonical_name() const;
+};
+
+}  // namespace nsp::model

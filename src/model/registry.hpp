@@ -1,0 +1,38 @@
+// Name-keyed construction of models, mirroring exec's platform registry.
+//
+// Scenarios refer to models by string key ("euler/mac22/quiet") instead
+// of assembling ModelSpec values, so sweeps, wire requests and CLI
+// flags stay data. The twelve builtin names are the full cross product
+// of the three axes, generated from the compile-time Traits layer;
+// user-defined specs join at runtime via register_model().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/model.hpp"
+
+namespace nsp::model {
+
+/// The default model: the paper's pipeline (2-4 MacCormack,
+/// Navier-Stokes, single-eigenmode excitation). Scenarios that never
+/// touch the model axis behave — and cache — exactly as this model.
+inline constexpr const char* kDefaultModel = "ns/mac24/mode1";
+
+/// All registered model names, sorted (builtins plus anything added
+/// with register_model()).
+std::vector<std::string> model_names();
+
+/// True if `key` resolves.
+bool has_model(const std::string& key);
+
+/// The spec registered under `key`; throws std::invalid_argument with
+/// the list of known keys on an unknown name.
+ModelSpec make_model(const std::string& key);
+
+/// Registers (or replaces) a user-defined model under `key` (non-empty;
+/// builtin names cannot be shadowed). The stored spec's `name` is
+/// rewritten to `key`.
+void register_model(const std::string& key, const ModelSpec& spec);
+
+}  // namespace nsp::model

@@ -1,9 +1,10 @@
 // nsp.hpp — the single public facade of the platform laboratory.
 //
 // Include this one header to get the whole stack: the CFD solver
-// (core), the 1995 machine zoo (arch), the discrete-event simulator
-// (sim), the replay performance models (perf), terminal/CSV/JSON output
-// (io), and the batch experiment engine (exec).
+// (core), the pluggable scheme/physics/excitation models (model), the
+// 1995 machine zoo (arch), the discrete-event simulator (sim), the
+// replay performance models (perf), terminal/CSV/JSON output (io), and
+// the batch experiment engine (exec).
 //
 // The experiment-facing types are lifted into the nsp namespace, so a
 // complete sweep reads:
@@ -48,6 +49,8 @@
 #include "io/artifacts.hpp"
 #include "io/chart.hpp"
 #include "io/table.hpp"
+#include "model/model.hpp"
+#include "model/registry.hpp"
 #include "perf/app_model.hpp"
 #include "perf/replay.hpp"
 #include "sim/simulator.hpp"
@@ -65,5 +68,6 @@ using exec::RunResult;
 using exec::Scenario;
 using exec::Workload;
 using fault::FaultSpec;
+using model::ModelSpec;
 
 }  // namespace nsp

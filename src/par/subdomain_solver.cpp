@@ -137,7 +137,7 @@ void SubdomainSolver::recv_primitives() {
 
 void SubdomainSolver::compute_stresses_with_halo() {
   const core::Gas& gas = global_cfg_.jet.gas;
-  const core::KernelSet ks = core::select_kernels(global_cfg_.tiled);
+  const core::KernelSet ks = core::select_kernels(global_cfg_.tiled, global_cfg_.scheme);
   const int ilo_avail = leftmost_ ? 0 : -1;
   const int ihi_avail = rightmost_ ? width_ : width_ + 1;
   if (!global_cfg_.overlap_comm) {
@@ -240,7 +240,7 @@ void SubdomainSolver::apply_x_boundaries(StateField& q_stage) {
 
 void SubdomainSolver::sweep_x(SweepVariant v) {
   const core::Gas& gas = global_cfg_.jet.gas;
-  const core::KernelSet ks = core::select_kernels(global_cfg_.tiled);
+  const core::KernelSet ks = core::select_kernels(global_cfg_.tiled, global_cfg_.scheme);
   const Range full{0, width_};
   const double lambda = dt_ / (6.0 * local_grid_.dx());
   const bool visc = global_cfg_.viscous;
@@ -285,7 +285,7 @@ void SubdomainSolver::sweep_x(SweepVariant v) {
 
 void SubdomainSolver::sweep_r(SweepVariant v) {
   const core::Gas& gas = global_cfg_.jet.gas;
-  const core::KernelSet ks = core::select_kernels(global_cfg_.tiled);
+  const core::KernelSet ks = core::select_kernels(global_cfg_.tiled, global_cfg_.scheme);
   const Range full{0, width_};
   const bool visc = global_cfg_.viscous;
   const int nj = local_grid_.nj;

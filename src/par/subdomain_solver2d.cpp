@@ -250,7 +250,7 @@ void SubdomainSolver2D::recv_primitives() {
 
 void SubdomainSolver2D::compute_stresses_with_halo(bool fill_prim_ghosts) {
   const core::Gas& gas = global_cfg_.jet.gas;
-  const core::KernelSet ks = core::select_kernels(global_cfg_.tiled);
+  const core::KernelSet ks = core::select_kernels(global_cfg_.tiled, global_cfg_.scheme);
   const int h = height_, w = width_;
   const int ilo_avail = leftmost_ ? 0 : -1;
   const int ihi_avail = rightmost_ ? w : w + 1;
@@ -390,7 +390,7 @@ void SubdomainSolver2D::apply_x_boundaries(StateField& q_stage) {
 
 void SubdomainSolver2D::sweep_x(SweepVariant v) {
   const core::Gas& gas = global_cfg_.jet.gas;
-  const core::KernelSet ks = core::select_kernels(global_cfg_.tiled);
+  const core::KernelSet ks = core::select_kernels(global_cfg_.tiled, global_cfg_.scheme);
   const Range full{0, width_};
   const double lambda = dt_ / (6.0 * local_grid_.dx());
   const bool visc = global_cfg_.viscous;
@@ -434,7 +434,7 @@ void SubdomainSolver2D::sweep_x(SweepVariant v) {
 
 void SubdomainSolver2D::sweep_r(SweepVariant v) {
   const core::Gas& gas = global_cfg_.jet.gas;
-  const core::KernelSet ks = core::select_kernels(global_cfg_.tiled);
+  const core::KernelSet ks = core::select_kernels(global_cfg_.tiled, global_cfg_.scheme);
   const Range full{0, width_};
   const bool visc = global_cfg_.viscous;
   const bool overlap = global_cfg_.overlap_comm;
@@ -463,12 +463,11 @@ void SubdomainSolver2D::sweep_r(SweepVariant v) {
     const auto update = [&](int rlo, int rhi) {
       if (rlo >= rhi) return;
       if (stage == 0) {
-        core::tiled::predictor_r_rows(local_grid_, q_, flux_, w_.p, s_.ttt,
-                                      visc, qp_, dt_, v, full, rlo, rhi);
+        ks.pred_r_rows(local_grid_, q_, flux_, w_.p, s_.ttt, visc, qp_, dt_,
+                       v, full, rlo, rhi, nullptr);
       } else {
-        core::tiled::corrector_r_rows(local_grid_, q_, qp_, flux_, w_.p,
-                                      s_.ttt, visc, qn_, dt_, v, full, rlo,
-                                      rhi);
+        ks.corr_r_rows(local_grid_, q_, qp_, flux_, w_.p, s_.ttt, visc, qn_,
+                       dt_, v, full, rlo, rhi, nullptr);
       }
     };
     if (overlap) {

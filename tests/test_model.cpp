@@ -1,0 +1,482 @@
+// nsp::model subsystem tests (ctest -L model): the scheme/physics/
+// excitation registry, the bit-exactness contract of the templated
+// scheme kernels against the handwritten golden-hashed 2-4 path, the
+// 2-2 scheme's schedule/decomposition invariance, the Euler shock-tube
+// validation against the exact Riemann solution, end-to-end model runs
+// through the exec engine, and the sysfs LLC probe behind tile sizing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/kernels_scheme.hpp"
+#include "core/riemann.hpp"
+#include "core/solver.hpp"
+#include "core/tiles.hpp"
+#include "exec/engine.hpp"
+#include "exec/run_result.hpp"
+#include "exec/scenario.hpp"
+#include "model/model.hpp"
+#include "model/registry.hpp"
+#include "model/traits.hpp"
+#include "par/subdomain_solver.hpp"
+#include "par/subdomain_solver2d.hpp"
+
+namespace nsp {
+namespace {
+
+using core::Excitation;
+using core::Grid;
+using core::kGhost;
+using core::RBoundary;
+using core::Scheme;
+using core::Solver;
+using core::SolverConfig;
+using core::StateField;
+using core::SweepVariant;
+using core::XBoundary;
+
+// FNV-1a over the interior state bytes — same construction as
+// tests/test_tiling.cpp, so the golden constants mean the same bits.
+std::uint64_t state_hash(const StateField& q) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    for (int j = 0; j < q.nj(); ++j) {
+      for (int i = 0; i < q.ni(); ++i) {
+        const double v = q[c](i, j);
+        unsigned char bytes[sizeof v];
+        std::memcpy(bytes, &v, sizeof v);
+        for (unsigned char b : bytes) {
+          h ^= b;
+          h *= 0x100000001b3ull;
+        }
+      }
+    }
+  }
+  return h;
+}
+
+void expect_state_equal(const StateField& a, const StateField& b) {
+  ASSERT_EQ(a.ni(), b.ni());
+  ASSERT_EQ(a.nj(), b.nj());
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    for (int j = 0; j < a.nj(); ++j) {
+      for (int i = 0; i < a.ni(); ++i) {
+        ASSERT_EQ(a[c](i, j), b[c](i, j))
+            << "c=" << c << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+SolverConfig jet_cfg() {
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(64, 24);
+  return cfg;
+}
+
+StateField run_serial(SolverConfig cfg, int steps = 20) {
+  Solver s(cfg);
+  s.initialize();
+  s.run(steps);
+  return s.state();
+}
+
+// ---- registry ----------------------------------------------------------
+
+TEST(Registry, BuiltinCrossProductIsComplete) {
+  const auto names = model::model_names();
+  EXPECT_EQ(names.size(), 12u) << "2 schemes x 2 physics x 3 excitations";
+  for (const char* physics : {"ns", "euler"}) {
+    for (const char* scheme : {"mac24", "mac22"}) {
+      for (const char* exc : {"mode1", "multimode", "quiet"}) {
+        const std::string key =
+            std::string(physics) + "/" + scheme + "/" + exc;
+        EXPECT_TRUE(model::has_model(key)) << key;
+      }
+    }
+  }
+  EXPECT_TRUE(model::make_model(model::kDefaultModel).is_default());
+}
+
+TEST(Registry, NamesAreSortedAndDeterministic) {
+  // The CLI `list-models` table and the serving error message both
+  // print model_names() order verbatim; it must be sorted and stable.
+  const auto first = model::model_names();
+  const auto second = model::model_names();
+  EXPECT_EQ(first, second);
+  EXPECT_TRUE(std::is_sorted(first.begin(), first.end()));
+  EXPECT_EQ(std::set<std::string>(first.begin(), first.end()).size(),
+            first.size())
+      << "duplicate registry keys";
+}
+
+TEST(Registry, MakeModelRoundTripsCanonicalNames) {
+  for (const auto& name : model::model_names()) {
+    const model::ModelSpec m = model::make_model(name);
+    EXPECT_EQ(m.name, name);
+    EXPECT_EQ(m.canonical_name(), name)
+        << "builtin key must be its own canonical spelling";
+  }
+}
+
+TEST(Registry, UnknownModelThrowsListingKnownNames) {
+  try {
+    model::make_model("ns/mac99/mode1");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown model 'ns/mac99/mode1'"), std::string::npos);
+    EXPECT_NE(what.find(model::kDefaultModel), std::string::npos)
+        << "error should list the known registry keys";
+  }
+}
+
+TEST(Registry, UserModelsRegisterButCannotShadowBuiltins) {
+  model::ModelSpec custom = model::make_model("ns/mac22/quiet");
+  EXPECT_THROW(model::register_model("", custom), std::invalid_argument);
+  EXPECT_THROW(model::register_model(model::kDefaultModel, custom),
+               std::invalid_argument);
+  model::register_model("lab/cold-jet", custom);
+  ASSERT_TRUE(model::has_model("lab/cold-jet"));
+  EXPECT_EQ(model::make_model("lab/cold-jet").name, "lab/cold-jet")
+      << "registration rewrites the spec name to its key";
+  const auto names = model::model_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "lab/cold-jet"),
+            names.end());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Registry, TraitsSpecBindsTheAxesAtCompileTime) {
+  using T = model::Traits<Scheme::Mac22, model::Physics::Euler,
+                          Excitation::Quiet>;
+  static_assert(T::kScheme == Scheme::Mac22);
+  static_assert(!T::kViscous);
+  EXPECT_EQ(T::spec().canonical_name(), "euler/mac22/quiet");
+  SolverConfig cfg = jet_cfg();
+  T::spec().configure(&cfg);
+  EXPECT_EQ(cfg.scheme, Scheme::Mac22);
+  EXPECT_FALSE(cfg.viscous);
+  EXPECT_EQ(cfg.jet.excitation, Excitation::Quiet);
+}
+
+// ---- scheme kernels: template layer vs handwritten hot path ------------
+
+/// Smooth deterministic fill: the kernels are pure per-point expression
+/// trees, so any finite input exercises the bit-identity claim.
+void fill_fields(StateField* a, StateField* b, core::Field2D* p,
+                 core::Field2D* ttt, int ni, int nj) {
+  for (int c = 0; c < StateField::kComponents; ++c) {
+    for (int j = -kGhost; j < nj + kGhost; ++j) {
+      for (int i = -kGhost; i < ni + kGhost; ++i) {
+        (*a)[c](i, j) = 1.0 + 0.05 * std::sin(0.31 * i + 0.17 * j + c);
+        (*b)[c](i, j) = 0.5 + 0.04 * std::cos(0.23 * i - 0.11 * j + 2 * c);
+      }
+    }
+  }
+  for (int j = -kGhost; j < nj + kGhost; ++j) {
+    for (int i = -kGhost; i < ni + kGhost; ++i) {
+      (*p)(i, j) = 0.7 + 0.03 * std::sin(0.19 * i + 0.29 * j);
+      (*ttt)(i, j) = 0.01 * std::cos(0.13 * i - 0.07 * j);
+    }
+  }
+}
+
+TEST(SchemeKernels, Mac24TemplateMatchesHandwrittenBitwise) {
+  // The Mac24 instantiation of the templated kernels exists to pin the
+  // shared body: it must reproduce the handwritten golden-hashed
+  // kernels bit-for-bit on every update, both sweep variants, viscous
+  // and inviscid.
+  const int ni = 48, nj = 20;
+  const Grid grid = Grid::coarse(ni, nj);
+  StateField q(ni, nj), f(ni, nj), p_state(ni, nj);
+  core::Field2D p(ni, nj), ttt(ni, nj);
+  fill_fields(&q, &f, &p, &ttt, ni, nj);
+  fill_fields(&p_state, &f, &p, &ttt, ni, nj);
+  const core::Range full{0, ni};
+  const double lambda = 0.01, dt = 0.004;
+  for (const SweepVariant v : {SweepVariant::L1, SweepVariant::L2}) {
+    for (const bool viscous : {true, false}) {
+      StateField hand(ni, nj), tmpl(ni, nj);
+      core::tiled::predictor_x(q, f, hand, lambda, v, full);
+      core::tiled::predictor_x_s<Scheme::Mac24>(q, f, tmpl, lambda, v, full);
+      expect_state_equal(hand, tmpl);
+
+      core::tiled::corrector_x(q, p_state, f, hand, lambda, v, full);
+      core::tiled::corrector_x_s<Scheme::Mac24>(q, p_state, f, tmpl, lambda,
+                                                v, full);
+      expect_state_equal(hand, tmpl);
+
+      core::tiled::predictor_r(grid, q, f, p, ttt, viscous, hand, dt, v,
+                               full);
+      core::tiled::predictor_r_s<Scheme::Mac24>(grid, q, f, p, ttt, viscous,
+                                                tmpl, dt, v, full);
+      expect_state_equal(hand, tmpl);
+
+      core::tiled::corrector_r(grid, q, p_state, f, p, ttt, viscous, hand,
+                               dt, v, full);
+      core::tiled::corrector_r_s<Scheme::Mac24>(grid, q, p_state, f, p, ttt,
+                                                viscous, tmpl, dt, v, full);
+      expect_state_equal(hand, tmpl);
+
+      core::tiled::predictor_r_rows(grid, q, f, p, ttt, viscous, hand, dt, v,
+                                    full, 2, nj - 2);
+      core::tiled::predictor_r_rows_s<Scheme::Mac24>(grid, q, f, p, ttt,
+                                                     viscous, tmpl, dt, v,
+                                                     full, 2, nj - 2);
+      expect_state_equal(hand, tmpl);
+
+      core::tiled::corrector_r_rows(grid, q, p_state, f, p, ttt, viscous,
+                                    hand, dt, v, full, 2, nj - 2);
+      core::tiled::corrector_r_rows_s<Scheme::Mac24>(grid, q, p_state, f, p,
+                                                     ttt, viscous, tmpl, dt,
+                                                     v, full, 2, nj - 2);
+      expect_state_equal(hand, tmpl);
+    }
+  }
+}
+
+TEST(SchemeKernels, Mac22SchedulesAgreeBitwise) {
+  // The 2-2 scheme exists only in span form, but every schedule that
+  // runs it (reference stage order, tiled/fused, narrow tiles) must
+  // still compute identical bits — the tiling contract is
+  // scheme-independent.
+  SolverConfig cfg = jet_cfg();
+  cfg.scheme = Scheme::Mac22;
+  cfg.tiled = false;
+  const StateField want = run_serial(cfg);
+  SolverConfig tiled = cfg;
+  tiled.tiled = true;
+  expect_state_equal(want, run_serial(tiled));
+  for (int w : {7, 13}) {
+    SolverConfig narrow = tiled;
+    narrow.tile_i = w;
+    expect_state_equal(want, run_serial(narrow));
+  }
+}
+
+TEST(SchemeKernels, Mac22DecompositionsMatchSerial) {
+  // KernelSet routing: the subdomain solvers must pick up the 2-2
+  // update kernels through select_kernels(use_tiled, scheme) and keep
+  // the paper's serial/parallel bit-identity (FreeStream far field).
+  SolverConfig cfg = jet_cfg();
+  cfg.scheme = Scheme::Mac22;
+  const StateField want = run_serial(cfg, 10);
+  for (int p : {2, 3}) {
+    expect_state_equal(want, par::run_parallel_jet(cfg, p, 10));
+  }
+  expect_state_equal(want, par::run_parallel_jet_2d(cfg, 2, 2, 10));
+  SolverConfig overlap = cfg;
+  overlap.overlap_comm = true;
+  expect_state_equal(want, par::run_parallel_jet_2d(overlap, 2, 2, 10));
+}
+
+TEST(SchemeKernels, Mac22IsADifferentDiscretization) {
+  SolverConfig cfg = jet_cfg();
+  const std::uint64_t mac24 = state_hash(run_serial(cfg));
+  cfg.scheme = Scheme::Mac22;
+  const std::uint64_t mac22 = state_hash(run_serial(cfg));
+  EXPECT_NE(mac24, mac22) << "2-2 must actually change the bits";
+}
+
+// ---- excitation axis ---------------------------------------------------
+
+TEST(ExcitationAxis, ModesProduceDistinctFiniteFlows) {
+  std::set<std::uint64_t> hashes;
+  for (const Excitation e :
+       {Excitation::Mode1, Excitation::MultiMode, Excitation::Quiet}) {
+    SolverConfig cfg = jet_cfg();
+    cfg.jet.excitation = e;
+    Solver s(cfg);
+    s.initialize();
+    s.run(20);
+    EXPECT_TRUE(s.finite()) << static_cast<int>(e);
+    hashes.insert(state_hash(s.state()));
+  }
+  EXPECT_EQ(hashes.size(), 3u) << "each excitation is a distinct flow";
+}
+
+TEST(ExcitationAxis, QuietInflowHasNoPerturbation) {
+  const core::EigenMode quiet = core::JetConfig::quiet_mode();
+  for (double r : {0.0, 0.3, 0.9}) {
+    for (double phi : {0.0, 1.0, 4.0}) {
+      const core::Primitive w = quiet.perturbation(r, phi);
+      EXPECT_EQ(w.rho, 0.0);
+      EXPECT_EQ(w.u, 0.0);
+      EXPECT_EQ(w.v, 0.0);
+      EXPECT_EQ(w.p, 0.0);
+    }
+  }
+}
+
+TEST(ExcitationAxis, Mode1SelectionIsTheAnalyticMode) {
+  // The Mode1 arm of excitation_mode() must evaluate bit-identically to
+  // analytic_mode(): the InflowBC(grid, jet) delegation rides on it.
+  core::JetConfig jet;
+  jet.excitation = Excitation::Mode1;
+  const core::EigenMode a = jet.analytic_mode();
+  const core::EigenMode b = jet.excitation_mode();
+  for (double r : {0.05, 0.4, 0.85}) {
+    for (double phi : {0.0, 0.7, 3.1}) {
+      const core::Primitive wa = a.perturbation(r, phi);
+      const core::Primitive wb = b.perturbation(r, phi);
+      EXPECT_EQ(wa.rho, wb.rho);
+      EXPECT_EQ(wa.u, wb.u);
+      EXPECT_EQ(wa.v, wb.v);
+      EXPECT_EQ(wa.p, wb.p);
+    }
+  }
+}
+
+// ---- defaults: the model layer must not move the golden bits -----------
+
+TEST(ModelDefaults, DefaultModelKeepsTheGoldenHash) {
+  // Routing the default model through ModelSpec::configure must leave
+  // the production pipeline untouched: same golden FNV hash that
+  // tests/test_tiling.cpp pins for the pre-model solver.
+  SolverConfig cfg = jet_cfg();
+  model::make_model(model::kDefaultModel).configure(&cfg);
+  EXPECT_EQ(cfg.scheme, Scheme::Mac24);
+  EXPECT_TRUE(cfg.viscous);
+  EXPECT_EQ(cfg.jet.excitation, Excitation::Mode1);
+  const StateField q = run_serial(cfg);
+  EXPECT_EQ(state_hash(q), 0xf391c7019e0d96d8ull) << std::hex << state_hash(q);
+}
+
+TEST(ModelDefaults, DefaultScenarioSolverConfigIsModelFree) {
+  // A Scenario that never names a model and one naming the default
+  // explicitly build byte-identical solver configs and cache keys.
+  const exec::Scenario plain = exec::Scenario::solve(40, 16, 10);
+  const exec::Scenario named =
+      exec::Scenario::solve(40, 16, 10).model(model::kDefaultModel);
+  EXPECT_EQ(plain.cache_key(), named.cache_key());
+  const SolverConfig a = plain.solver_config();
+  const SolverConfig b = named.solver_config();
+  EXPECT_EQ(a.scheme, b.scheme);
+  EXPECT_EQ(a.viscous, b.viscous);
+  EXPECT_EQ(a.jet.excitation, b.jet.excitation);
+}
+
+// ---- Euler models vs the exact Riemann solution ------------------------
+
+/// Mild shock tube through the full solver under `model_name` (must be
+/// an euler/* model); returns the L1 density error against the exact
+/// solution (the test_riemann.cpp construction).
+double model_shock_tube_l1(const std::string& model_name) {
+  SolverConfig cfg;
+  cfg.grid = Grid::coarse(200, 6);
+  model::make_model(model_name).configure(&cfg);
+  cfg.left = XBoundary::Halo;
+  cfg.right = XBoundary::Halo;
+  cfg.far_field = RBoundary::ZeroGradient;
+  cfg.jet.eps = 0.0;
+  cfg.smoothing = 0.004;
+  Solver s(cfg);
+  s.initialize();
+
+  const core::Gas g = cfg.jet.gas;
+  const double x_mid = 25.0;
+  const core::RiemannState L{1.0, 0.0, 2.0 / g.gamma};
+  const core::RiemannState R{0.8, 0.0, 1.0 / g.gamma};
+  StateField& q = s.mutable_state();
+  for (int j = -kGhost; j < cfg.grid.nj + kGhost; ++j) {
+    for (int i = -kGhost; i < cfg.grid.ni + kGhost; ++i) {
+      const core::RiemannState& w = cfg.grid.x(i) < x_mid ? L : R;
+      q.rho(i, j) = w.rho;
+      q.mx(i, j) = w.rho * w.u;
+      q.mr(i, j) = 0.0;
+      q.e(i, j) = g.total_energy(w.rho, w.u, 0.0, w.p);
+    }
+  }
+  s.run(static_cast<int>(std::ceil(8.0 / s.dt())));
+  const double t = s.time();
+
+  const core::RiemannSolution exact(g, L, R);
+  double err = 0;
+  for (int i = 0; i < cfg.grid.ni; ++i) {
+    const double xi = (cfg.grid.x(i) - x_mid) / t;
+    err += std::fabs(s.state().rho(i, 2) - exact.sample(xi).rho);
+  }
+  return err / cfg.grid.ni;
+}
+
+TEST(EulerModel, Mac24ShockTubeMatchesExactSolution) {
+  EXPECT_LT(model_shock_tube_l1("euler/mac24/quiet"), 0.02);
+}
+
+TEST(EulerModel, Mac22ShockTubeStaysAccurate) {
+  // The 2-2 scheme is more dissipative at the same smoothing; it must
+  // still resolve the mild shock to a few percent mean density error.
+  EXPECT_LT(model_shock_tube_l1("euler/mac22/quiet"), 0.05);
+}
+
+// ---- end-to-end: models through the exec engine ------------------------
+
+TEST(ModelEndToEnd, FourModelsRunThroughTheEngine) {
+  const std::vector<std::string> names = {
+      "ns/mac24/mode1", "ns/mac22/mode1", "euler/mac24/quiet",
+      "ns/mac24/multimode"};
+  std::vector<exec::Scenario> cells;
+  std::set<std::string> cache_keys;
+  for (const auto& m : names) {
+    cells.push_back(exec::Scenario::solve(40, 16, 10).model(m).label(m));
+    cache_keys.insert(cells.back().cache_key());
+  }
+  EXPECT_EQ(cache_keys.size(), names.size())
+      << "non-default models must open distinct memo-cache universes";
+  exec::Engine eng;
+  const exec::ResultSet rs = eng.run(cells);
+  ASSERT_EQ(rs.results.size(), names.size());
+  for (const auto& r : rs.results) {
+    EXPECT_EQ(r.metric("finite"), 1.0) << r.label;
+    EXPECT_EQ(r.metric("steps"), 10.0) << r.label;
+    EXPECT_GT(r.metric("flops"), 0.0) << r.label;
+  }
+}
+
+// ---- sysfs LLC probe ---------------------------------------------------
+
+TEST(CacheProbe, ParsesSysfsLayoutAndSkipsInstructionCaches) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::path(::testing::TempDir()) / "nsp_cache_probe_fixture";
+  fs::remove_all(root);
+  const auto write = [](const fs::path& dir, const char* name,
+                        const std::string& text) {
+    fs::create_directories(dir);
+    std::ofstream(dir / name) << text << "\n";
+  };
+  write(root / "index0", "type", "Data");
+  write(root / "index0", "size", "48K");
+  write(root / "index1", "type", "Instruction");
+  write(root / "index1", "size", "512M");  // must be skipped
+  write(root / "index2", "type", "Unified");
+  write(root / "index2", "size", "2M");
+  write(root / "index3", "type", "Unified");
+  write(root / "index3", "size", "36M");
+  write(root / "index4", "type", "Unified");
+  write(root / "index4", "size", "banana");  // unparseable: ignored
+  write(root / "index5", "type", "Unified");  // no size file: ignored
+  EXPECT_EQ(core::detect_cache_bytes(root.string()), 36ull * 1024 * 1024);
+  fs::remove_all(root);
+}
+
+TEST(CacheProbe, MissingTreeReportsZeroAndHostFallsBack) {
+  EXPECT_EQ(core::detect_cache_bytes("/nonexistent/nsp/cache"), 0u);
+  // Probed LLC or kDefaultCacheBytes — either way a sane blocking
+  // budget, and stable across calls (probed once).
+  const std::size_t host = core::host_cache_bytes();
+  EXPECT_GE(host, 1024u * 1024);
+  EXPECT_EQ(host, core::host_cache_bytes());
+}
+
+}  // namespace
+}  // namespace nsp

@@ -134,6 +134,8 @@ TEST(ScenarioWire, RoundTripIsIdentityForEveryAxis) {
          return exec::Scenario::jet250x100().faults(
              "crash=0.5,drop=0.01,ckpt=250");
        }},
+      {"model",
+       [] { return exec::Scenario::jet250x100().model("euler/mac22/quiet"); }},
   };
   for (const auto& [axis, make] : axes) {
     expect_round_trip(make(), axis);
@@ -154,6 +156,18 @@ TEST(ScenarioWire, MinimalRequestTakesDefaults) {
   const exec::Scenario s = from_json_ok(R"({"platform":"t3d-16"})");
   EXPECT_EQ(s.cache_key(),
             exec::Scenario::jet250x100().platform("t3d-16").cache_key());
+}
+
+TEST(ScenarioWire, DefaultModelSpellingIsCacheKeyNeutral) {
+  // The default model IS the historical pipeline, so naming it
+  // explicitly must not open a new memo-cache universe.
+  EXPECT_EQ(exec::Scenario::jet250x100().model("ns/mac24/mode1").cache_key(),
+            exec::Scenario::jet250x100().cache_key());
+  const exec::Scenario other =
+      exec::Scenario::jet250x100().model("ns/mac22/mode1");
+  EXPECT_NE(other.cache_key(), exec::Scenario::jet250x100().cache_key());
+  EXPECT_NE(other.cache_key().find("|model:ns/mac22/mode1"),
+            std::string::npos);
 }
 
 TEST(ScenarioWire, SeedAcceptsStringAndIntegerSpellings) {
@@ -180,6 +194,7 @@ TEST(ScenarioWire, RejectsBadFields) {
       {R"({"network":"infiniband"})", "unknown network"},
       {R"({"seed":"twelve"})", "not a decimal integer"},
       {R"({"faults":"crash=oops"})", "bad faults spec"},
+      {R"({"model":"ns/mac99/mode1"})", "unknown model"},
       {R"([1,2])", "must be a JSON object"},
   };
   for (const auto& [text, expect] : cases) {
@@ -425,6 +440,27 @@ TEST(Server, BadRequestsAnswerWithoutQueueing) {
             std::string::npos);
   EXPECT_EQ(server.pending(), 0u);
   EXPECT_EQ(server.stats().errors, 2u);
+}
+
+TEST(Server, UnknownModelIsStructuredErrorNotShed) {
+  serve::Server server(manual_options());
+  const auto bad =
+      server.submit(run_request("m-bad", ",\"model\":\"ns/mac99/mode1\""));
+  ASSERT_TRUE(bad.immediate) << "rejected before admission control";
+  EXPECT_NE(bad.response.find("\"code\":\"bad-scenario\""), std::string::npos)
+      << bad.response;
+  EXPECT_NE(bad.response.find("unknown model"), std::string::npos)
+      << bad.response;
+  // A known non-default model runs end-to-end through the same daemon.
+  const auto ok =
+      server.submit(run_request("m-ok", ",\"model\":\"ns/mac22/mode1\""));
+  ASSERT_FALSE(ok.immediate);
+  EXPECT_TRUE(server.pump());
+  EXPECT_NE(server.wait(ok).find("\"ok\":true"), std::string::npos);
+  const serve::ServeStats st = server.stats();
+  EXPECT_EQ(st.shed, 0u) << "bad model must be an error, never a shed";
+  EXPECT_EQ(st.errors, 1u);
+  EXPECT_EQ(st.ok, 1u);
 }
 
 TEST(Server, ResultStoreServesAcrossServerInstances) {

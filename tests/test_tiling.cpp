@@ -11,6 +11,7 @@
 #include "bench/reporter.hpp"
 #include "core/solver.hpp"
 #include "core/tiles.hpp"
+#include "model/registry.hpp"
 #include "par/subdomain_solver.hpp"
 #include "par/subdomain_solver2d.hpp"
 
@@ -145,6 +146,16 @@ TEST(Tiling, GoldenHashFreeStream) {
 TEST(Tiling, GoldenHashZeroGradient) {
   const StateField q = run_serial(base_cfg(RBoundary::ZeroGradient, true));
   EXPECT_EQ(state_hash(q), 0xd648ae650e7c8326ull) << std::hex << state_hash(q);
+}
+
+TEST(Tiling, GoldenHashDefaultModelAgrees) {
+  // The model registry's default (ns/mac24/mode1) IS the production
+  // pipeline: configuring a solver through it must reproduce the same
+  // golden bits. Pins the model layer into the perf contract.
+  SolverConfig cfg = base_cfg(RBoundary::FreeStream, true);
+  model::make_model(model::kDefaultModel).configure(&cfg);
+  const StateField q = run_serial(cfg);
+  EXPECT_EQ(state_hash(q), 0xf391c7019e0d96d8ull) << std::hex << state_hash(q);
 }
 
 TEST(Tiling, GoldenHashSeedScheduleAgrees) {
