@@ -24,12 +24,25 @@ CycleBreakdown CpuModel::cycles(const KernelProfile& p, double points) const {
   }
 
   // Issue cost: FP issue + one cycle per load/store + fixed-point,
-  // address and branch overhead proportional to the FP work.
-  constexpr double kOverheadPerFlop = 0.40;
-  b.flop_cycles =
-      (p.flops / flops_per_cycle + p.mem_accesses + kOverheadPerFlop * p.flops) * points;
+  // address and branch overhead proportional to the FP work. Wide-SIMD
+  // cores amortize the scaffolding (overhead_per_flop) and issue several
+  // loads per cycle alongside the FP pipes, so their load/store issue
+  // rides the same width as the FP issue.
+  const double ls_width = flops_per_cycle > 2.0 ? flops_per_cycle / 2.0 : 1.0;
+  b.flop_cycles = (p.flops / flops_per_cycle + p.mem_accesses / ls_width +
+                   overhead_per_flop * p.flops) *
+                  points;
   b.divide_cycles = p.divides * divide_cycles * points;
   b.pow_cycles = p.pow_calls * pow_cycles * points;
+  // Throughput cores under-fill below ~n_half_points in-flight points
+  // (vector tails, unfilled warps): the issue terms derate by the
+  // occupancy factor points / (points + n_half).
+  if (n_half_points > 0 && points > 0) {
+    const double occupancy = points / (points + n_half_points);
+    b.flop_cycles /= occupancy;
+    b.divide_cycles /= occupancy;
+    b.pow_cycles /= occupancy;
+  }
 
   // Miss model. Unit-stride accesses miss once per cache line of
   // doubles; non-unit-stride accesses open a new line with probability
@@ -51,7 +64,8 @@ CycleBreakdown CpuModel::cycles(const KernelProfile& p, double points) const {
   }
   const double misses = raw_misses * (1.0 - p.temporal_reuse_fraction * fit);
 
-  b.stall_cycles = misses * miss_penalty_cycles() * (1.0 + writeback_fraction) * points;
+  b.stall_cycles = misses * miss_penalty_cycles_for(p.sweep_working_set_bytes) *
+                   (1.0 + writeback_fraction) * points;
   return b;
 }
 
@@ -113,6 +127,83 @@ CpuModel CpuModel::alpha_t3d() {
   m.bus_bytes_per_cycle = 4;
   m.divide_cycles = 61;  // EV4 FDIV
   m.pow_cycles = 160;
+  return m;
+}
+
+CpuModel CpuModel::xeon_core() {
+  CpuModel m;
+  m.name = "Xeon core (AVX-512)";
+  m.clock_hz = 2.1e9;
+  // Two 8-wide FMA pipes at full width; sustained issue on stencil
+  // sweeps is roughly half of the 32-flop peak.
+  m.flops_per_cycle = 16.0;
+  m.overhead_per_flop = 0.05;
+  m.dcache = {1024 * 1024, 64, 16};  // per-core L2 + LLC slice, effective
+  m.memory_latency_cycles = 190;
+  // ~128 GB/s per socket shared by ~24 cores at 2.1 GHz.
+  m.bus_bytes_per_cycle = 2.5;
+  m.divide_cycles = 1.0;  // pipelined vdivpd, 8 lanes
+  m.pow_cycles = 20;
+  m.n_half_points = 400;  // vector tails + OoO window fill
+  return m;
+}
+
+CpuModel CpuModel::knl_core() {
+  CpuModel m;
+  m.name = "Xeon Phi core (KNL)";
+  m.clock_hz = 1.4e9;
+  m.flops_per_cycle = 16.0;  // two AVX-512 VPUs, in-order-ish tile
+  m.overhead_per_flop = 0.10;
+  m.dcache = {512 * 1024, 64, 8};  // half a shared 1 MB tile L2
+  // MCDRAM tier: ~450 GB/s shared by 68 cores; 16 GB per node.
+  m.hbm_bytes_per_cycle = 4.7;
+  m.hbm_latency_cycles = 170;
+  m.hbm_capacity_bytes = 16.0e9 / 68.0;
+  // DDR path past the MCDRAM capacity: ~90 GB/s across the node.
+  m.memory_latency_cycles = 230;
+  m.bus_bytes_per_cycle = 0.95;
+  m.divide_cycles = 2.0;
+  m.pow_cycles = 32;
+  m.n_half_points = 900;  // weaker core needs longer vectors to fill
+  return m;
+}
+
+CpuModel CpuModel::bgq_core() {
+  CpuModel m;
+  m.name = "BlueGene/Q A2 core";
+  m.clock_hz = 1.6e9;
+  m.flops_per_cycle = 8.0;  // 4-wide QPX FMA
+  m.overhead_per_flop = 0.15;
+  m.dcache = {2 * 1024 * 1024, 128, 16};  // 32 MB L2 shared by 16 cores
+  m.memory_latency_cycles = 350;
+  m.bus_bytes_per_cycle = 1.66;  // 42.6 GB/s per node, 16 cores, 1.6 GHz
+  m.divide_cycles = 8.0;
+  m.pow_cycles = 60;
+  m.n_half_points = 250;
+  return m;
+}
+
+CpuModel CpuModel::gpu_device() {
+  CpuModel m;
+  m.name = "GPU accelerator (HBM)";
+  m.clock_hz = 1.4e9;
+  // One rank is the whole device: ~5.6 TF/s sustained FP64 across all
+  // SMs, with per-lane scaffolding amortized by the SIMT front end.
+  m.flops_per_cycle = 4000.0;
+  m.overhead_per_flop = 0.02;
+  m.dcache = {6 * 1024 * 1024, 128, 16};  // device L2
+  // HBM2: ~900 GB/s, 16 GB on package.
+  m.hbm_bytes_per_cycle = 640.0;
+  m.hbm_latency_cycles = 400;
+  m.hbm_capacity_bytes = 16.0e9;
+  // Past device memory the working set pages over the host link.
+  m.memory_latency_cycles = 1400;
+  m.bus_bytes_per_cycle = 11.0;  // ~16 GB/s PCIe
+  m.divide_cycles = 0.02;  // throughput cost across thousands of lanes
+  m.pow_cycles = 0.10;
+  // A device needs hundreds of thousands of points in flight before the
+  // SMs fill — the dominant term in strong-scaling saturation.
+  m.n_half_points = 2.0e5;
   return m;
 }
 

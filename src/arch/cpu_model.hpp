@@ -49,6 +49,26 @@ struct CpuModel {
   double divide_cycles = 19;
   double pow_cycles = 110;             ///< software exponentiation
 
+  /// Integer/address/branch issue overhead per FP op. The 1995 scalar
+  /// cores pay ~0.40; wide-SIMD cores amortize the loop scaffolding over
+  /// a full vector of lanes and pay far less.
+  double overhead_per_flop = 0.40;
+
+  // High-bandwidth-memory tier (many-core / accelerator nodes, e.g.
+  // MCDRAM or on-package HBM stacks): while the sweep working set fits
+  // hbm_capacity_bytes, cache refills stream from this tier instead of
+  // the DDR bus. All three fields zero = no HBM tier (every 1995 preset).
+  double hbm_bytes_per_cycle = 0;      ///< refill bandwidth from HBM
+  double hbm_latency_cycles = 0;       ///< miss latency from HBM
+  double hbm_capacity_bytes = 0;       ///< tier capacity per rank
+
+  /// Occupancy half-point for throughput-oriented cores (0 = off): a
+  /// wide-vector or accelerator rank needs ~n_half_points grid points in
+  /// flight to reach its issue rate; below that the issue terms derate
+  /// by points / (points + n_half_points) — the n-half law applied to
+  /// strong scaling, which is what bends modern speedup curves over.
+  double n_half_points = 0;
+
   // Vector machines (the Cray Y-MP) bypass the cache model entirely:
   // the application vectorizes, so the effective rate is the asymptotic
   // vector rate derated by the n-half startup law for finite vector
@@ -63,10 +83,20 @@ struct CpuModel {
     return length / (length + vector_n_half);
   }
 
-  /// Cycles to refill one line after a miss.
+  /// Cycles to refill one line after a miss (DDR path).
   double miss_penalty_cycles() const {
     return memory_latency_cycles +
            static_cast<double>(dcache.line_bytes) / bus_bytes_per_cycle;
+  }
+
+  /// Refill cost for a sweep whose working set is `working_set_bytes`:
+  /// the HBM tier serves it while it fits, the DDR bus past capacity.
+  double miss_penalty_cycles_for(double working_set_bytes) const {
+    if (hbm_bytes_per_cycle > 0 && working_set_bytes <= hbm_capacity_bytes) {
+      return hbm_latency_cycles +
+             static_cast<double>(dcache.line_bytes) / hbm_bytes_per_cycle;
+    }
+    return miss_penalty_cycles();
   }
 
   /// Effective cache capacity once conflict misses are accounted for:
@@ -90,6 +120,12 @@ struct CpuModel {
   static CpuModel rs6k_370();    ///< IBM SP node: 62.5 MHz, 32 KB
   static CpuModel alpha_t3d();   ///< Cray T3D node: 150 MHz, 8 KB direct-mapped
   static CpuModel ymp_vector();  ///< Cray Y-MP processor (vector)
+
+  // ---- Modern presets (one rank each; see docs/PLATFORMS.md §6) ---------
+  static CpuModel xeon_core();   ///< AVX-512 Xeon core of a cluster node
+  static CpuModel knl_core();    ///< many-core Xeon Phi core + MCDRAM tier
+  static CpuModel bgq_core();    ///< BlueGene/Q A2 core (QPX)
+  static CpuModel gpu_device();  ///< whole GPU accelerator as one rank
 };
 
 }  // namespace nsp::arch

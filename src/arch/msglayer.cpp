@@ -60,6 +60,43 @@ MsgLayerModel MsgLayerModel::shmem_t3d() {
   return m;
 }
 
+MsgLayerModel MsgLayerModel::mpi_modern() {
+  MsgLayerModel m;
+  m.name = "MPI (modern)";
+  m.send_overhead_s = 1.5e-6;   // eager pt2pt software path
+  m.recv_overhead_s = 1.5e-6;
+  m.per_byte_cpu_s = 0.12e-9;   // one memcpy at ~8 GB/s
+  m.inflight_latency_s = 1.0e-6;
+  m.blocking_send = false;
+  return m;
+}
+
+MsgLayerModel MsgLayerModel::mpi_manycore() {
+  MsgLayerModel m;
+  m.name = "MPI (many-core)";
+  // The same MPI stack clocked on a slow in-order-ish core: overheads
+  // roughly double, copies run at the core's modest scalar rate.
+  m.send_overhead_s = 3.5e-6;
+  m.recv_overhead_s = 3.5e-6;
+  m.per_byte_cpu_s = 0.35e-9;
+  m.inflight_latency_s = 1.5e-6;
+  m.blocking_send = false;
+  return m;
+}
+
+MsgLayerModel MsgLayerModel::mpi_gpu() {
+  MsgLayerModel m;
+  m.name = "MPI (GPU-aware)";
+  // Device-buffer sends: stream synchronization and launch overheads
+  // dominate the start-up; the copy itself is DMA-offloaded.
+  m.send_overhead_s = 6.0e-6;
+  m.recv_overhead_s = 6.0e-6;
+  m.per_byte_cpu_s = 0.02e-9;
+  m.inflight_latency_s = 2.0e-6;
+  m.blocking_send = false;
+  return m;
+}
+
 MsgLayerModel MsgLayerModel::shared_memory() {
   MsgLayerModel m;
   m.name = "DOALL (shared memory)";

@@ -55,6 +55,14 @@ struct MsgLayerModel {
   static MsgLayerModel shmem_t3d();
   /// Shared-memory DOALL (Cray Y-MP): no messages at all.
   static MsgLayerModel shared_memory();
+
+  // ---- Modern stacks (docs/PLATFORMS.md §6) -----------------------------
+  /// Tuned MPI on a current cluster: microsecond start-ups, single-copy.
+  static MsgLayerModel mpi_modern();
+  /// The same stack on a slow many-core tile (KNL-class).
+  static MsgLayerModel mpi_manycore();
+  /// GPU-aware MPI on device buffers: launch/sync-dominated start-ups.
+  static MsgLayerModel mpi_gpu();
 };
 
 }  // namespace nsp::arch

@@ -149,6 +149,22 @@ std::unique_ptr<OmegaSwitch> OmegaSwitch::sp_switch(sim::Simulator& s, int nodes
 
 // ------------------------------------------------------------------ Torus
 
+namespace {
+
+/// Lazily constructs the `index`-th resource of a pool. The modern
+/// models are instantiated for up to 10^5 nodes; building every port and
+/// link eagerly costs more than the replay itself, while halo traffic
+/// only ever touches a handful per node.
+sim::Resource& lazy_lane(sim::Simulator& s,
+                         std::vector<std::unique_ptr<sim::Resource>>& pool,
+                         std::size_t index, int servers, const char* tag) {
+  if (index >= pool.size()) pool.resize(index + 1);
+  if (!pool[index]) pool[index] = std::make_unique<sim::Resource>(s, servers, tag);
+  return *pool[index];
+}
+
+}  // namespace
+
 Torus3D::Torus3D(sim::Simulator& s, int dim_x, int dim_y, int dim_z,
                  double bytes_per_second, double hop_latency)
     : NetworkModel(s), dx_(dim_x), dy_(dim_y), dz_(dim_z),
@@ -156,11 +172,26 @@ Torus3D::Torus3D(sim::Simulator& s, int dim_x, int dim_y, int dim_z,
   if (dim_x < 1 || dim_y < 1 || dim_z < 1) {
     throw std::invalid_argument("Torus3D: dimensions must be >= 1");
   }
-  const int nodes = dx_ * dy_ * dz_;
-  links_.reserve(static_cast<std::size_t>(nodes) * 6);
-  for (int i = 0; i < nodes * 6; ++i) {
-    links_.push_back(std::make_unique<sim::Resource>(s, 1, "torus-link"));
+}
+
+std::unique_ptr<Torus3D> Torus3D::sized_for(sim::Simulator& s, int nodes,
+                                            double bytes_per_second,
+                                            double hop_latency) {
+  int dx = 8, dy = 4, dz = 2;  // the paper's machine
+  while (dx * dy * dz < nodes) {
+    // Double the smallest dimension: near-cubic growth, and the 8x4x2
+    // prefix keeps every <= 64-rank path identical to the 1995 model.
+    if (dz <= dy && dz <= dx) dz *= 2;
+    else if (dy <= dx) dy *= 2;
+    else dx *= 2;
   }
+  return std::make_unique<Torus3D>(s, dx, dy, dz, bytes_per_second,
+                                   hop_latency);
+}
+
+sim::Resource& Torus3D::link(int index) {
+  return lazy_lane(sim_, links_, static_cast<std::size_t>(index), 1,
+                   "torus-link");
 }
 
 Torus3D::Coord Torus3D::coord(int rank) const {
@@ -206,10 +237,10 @@ void Torus3D::hop(std::vector<int> path, std::size_t index, std::size_t bytes,
     dim = 2;
     dir = ring_dir(a.z, b.z, dz_);
   }
-  auto& link = *links_.at(link_index(path[index], dim, dir));
+  auto& lnk = link(link_index(path[index], dim, dir));
   const double hold = hop_latency_ + static_cast<double>(bytes) / rate_Bps_;
-  link.use(hold, [this, path = std::move(path), index, bytes,
-                  delivered = std::move(delivered)]() mutable {
+  lnk.use(hold, [this, path = std::move(path), index, bytes,
+                 delivered = std::move(delivered)]() mutable {
     hop(std::move(path), index + 1, bytes, std::move(delivered));
   });
 }
@@ -245,6 +276,269 @@ void Torus3D::transmit(int src, int dst, std::size_t bytes,
     path.push_back(rank_of(cur));
   }
   hop(std::move(path), 0, bytes, std::move(delivered));
+}
+
+// --------------------------------------------------------------- Torus2D
+
+Torus2D::Torus2D(sim::Simulator& s, int dim_x, int dim_y,
+                 double bytes_per_second, double hop_latency)
+    : NetworkModel(s), dx_(dim_x), dy_(dim_y), rate_Bps_(bytes_per_second),
+      hop_latency_(hop_latency) {
+  if (dim_x < 1 || dim_y < 1) {
+    throw std::invalid_argument("Torus2D: dimensions must be >= 1");
+  }
+}
+
+std::unique_ptr<Torus2D> Torus2D::sized_for(sim::Simulator& s, int nodes,
+                                            double bytes_per_second,
+                                            double hop_latency) {
+  int dx = 1;
+  while (dx * dx < nodes) dx *= 2;
+  const int dy = (nodes + dx - 1) / dx;
+  return std::make_unique<Torus2D>(s, dx, std::max(1, dy), bytes_per_second,
+                                   hop_latency);
+}
+
+sim::Resource& Torus2D::link(int index) {
+  return lazy_lane(sim_, links_, static_cast<std::size_t>(index), 1,
+                   "torus2d-link");
+}
+
+int Torus2D::hops(int src, int dst) const {
+  const Coord a = coord(src), b = coord(dst);
+  auto ring = [](int from, int to, int n) {
+    const int fwd = ((to - from) % n + n) % n;
+    return std::min(fwd, n - fwd);
+  };
+  return ring(a.x, b.x, dx_) + ring(a.y, b.y, dy_);
+}
+
+void Torus2D::hop(std::vector<int> path, std::size_t index, std::size_t bytes,
+                  std::function<void()> delivered) {
+  if (index + 1 >= path.size()) {
+    delivered();
+    return;
+  }
+  const Coord a = coord(path[index]);
+  const Coord b = coord(path[index + 1]);
+  auto ring_dir = [](int from, int to, int n) {
+    if (from == to) return 0;
+    const int fwd = ((to - from) % n + n) % n;
+    return fwd <= n - fwd ? +1 : -1;
+  };
+  int dim = 0, dir = 0;
+  if (a.x != b.x) {
+    dim = 0;
+    dir = ring_dir(a.x, b.x, dx_);
+  } else {
+    dim = 1;
+    dir = ring_dir(a.y, b.y, dy_);
+  }
+  // Wormhole: every link advances the head by hop_latency; only the
+  // final (ejection) link streams the whole body, so the uncontended
+  // total is hops * hop_latency + bytes / rate — not hops * (both), the
+  // store-and-forward total the 3-D torus charges.
+  const bool last = index + 2 >= path.size();
+  const double hold =
+      hop_latency_ + (last ? static_cast<double>(bytes) / rate_Bps_ : 0.0);
+  auto& lnk = link(link_index(path[index], dim, dir));
+  lnk.use(hold, [this, path = std::move(path), index, bytes,
+                 delivered = std::move(delivered)]() mutable {
+    hop(std::move(path), index + 1, bytes, std::move(delivered));
+  });
+}
+
+void Torus2D::transmit(int src, int dst, std::size_t bytes,
+                       std::function<void()> delivered) {
+  count(bytes);
+  if (src == dst) {
+    // Zero-hop self-send: delivered at the current time, and no link
+    // occupancy or per-hop latency is ever charged.
+    sim_.after(0.0, std::move(delivered));
+    return;
+  }
+  std::vector<int> path{src};
+  Coord cur = coord(src);
+  const Coord goal = coord(dst);
+  auto step_ring = [](int from, int to, int n) {
+    if (from == to) return from;
+    const int fwd = ((to - from) % n + n) % n;
+    const int dir = fwd <= n - fwd ? +1 : -1;
+    return ((from + dir) % n + n) % n;
+  };
+  while (cur.x != goal.x) {
+    cur.x = step_ring(cur.x, goal.x, dx_);
+    path.push_back(rank_of(cur));
+  }
+  while (cur.y != goal.y) {
+    cur.y = step_ring(cur.y, goal.y, dy_);
+    path.push_back(rank_of(cur));
+  }
+  hop(std::move(path), 0, bytes, std::move(delivered));
+}
+
+// --------------------------------------------------------------- FatTree
+
+FatTree::FatTree(sim::Simulator& s, int nodes, int down_ports,
+                 double oversubscription, double bytes_per_second,
+                 double stage_latency)
+    : NetworkModel(s), nodes_(nodes), down_ports_(std::max(1, down_ports)),
+      rate_Bps_(bytes_per_second), stage_latency_(stage_latency) {
+  if (nodes < 1) throw std::invalid_argument("FatTree: need >= 1 node");
+  if (oversubscription < 1.0) {
+    throw std::invalid_argument("FatTree: oversubscription must be >= 1");
+  }
+  const int leaves = (nodes_ + down_ports_ - 1) / down_ports_;
+  const int up_servers = std::max(
+      1, static_cast<int>(down_ports_ / oversubscription));
+  leaf_up_.reserve(static_cast<std::size_t>(leaves));
+  leaf_down_.reserve(static_cast<std::size_t>(leaves));
+  for (int l = 0; l < leaves; ++l) {
+    leaf_up_.push_back(
+        std::make_unique<sim::Resource>(s, up_servers, "leaf-up"));
+    leaf_down_.push_back(
+        std::make_unique<sim::Resource>(s, up_servers, "leaf-down"));
+  }
+}
+
+int FatTree::switch_hops(int src, int dst) const {
+  if (src == dst) return 0;
+  if (leaf_of(src) == leaf_of(dst)) return 1;
+  // Two-tier within a pod of down_ports^2 nodes, three-tier across.
+  return pod_of(src) == pod_of(dst) ? 3 : 5;
+}
+
+void FatTree::transmit(int src, int dst, std::size_t bytes,
+                       std::function<void()> delivered) {
+  count(bytes);
+  if (src == dst) {
+    sim_.after(0.0, std::move(delivered));
+    return;
+  }
+  const double ser = static_cast<double>(bytes) / rate_Bps_;
+  const double lat = switch_hops(src, dst) * stage_latency_;
+  auto& out = lazy_lane(sim_, nic_out_, static_cast<std::size_t>(src), 1,
+                        "nic-out");
+  auto& in = lazy_lane(sim_, nic_in_, static_cast<std::size_t>(dst), 1,
+                       "nic-in");
+  // Cut-through with nested holds, ordered nic-out < leaf-up < leaf-down
+  // < nic-in; each message holds at most one resource of each class, so
+  // the wait-for graph is acyclic. Same-leaf traffic never touches the
+  // up/down pipes — the taper only taxes traffic that leaves the leaf.
+  if (leaf_of(src) == leaf_of(dst)) {
+    out.acquire([this, &out, &in, lat, ser,
+                 delivered = std::move(delivered)]() mutable {
+      in.acquire([this, &out, &in, lat, ser,
+                  delivered = std::move(delivered)]() mutable {
+        sim_.after(lat + ser, [&out, &in, delivered = std::move(delivered)]() {
+          in.release();
+          out.release();
+          delivered();
+        });
+      });
+    });
+    return;
+  }
+  auto& up = *leaf_up_.at(static_cast<std::size_t>(leaf_of(src)));
+  auto& down = *leaf_down_.at(static_cast<std::size_t>(leaf_of(dst)));
+  out.acquire([this, &out, &in, &up, &down, lat, ser,
+               delivered = std::move(delivered)]() mutable {
+    up.acquire([this, &out, &in, &up, &down, lat, ser,
+                delivered = std::move(delivered)]() mutable {
+      down.acquire([this, &out, &in, &up, &down, lat, ser,
+                    delivered = std::move(delivered)]() mutable {
+        in.acquire([this, &out, &in, &up, &down, lat, ser,
+                    delivered = std::move(delivered)]() mutable {
+          sim_.after(lat + ser, [&out, &in, &up, &down,
+                                 delivered = std::move(delivered)]() {
+            in.release();
+            down.release();
+            up.release();
+            out.release();
+            delivered();
+          });
+        });
+      });
+    });
+  });
+}
+
+// ------------------------------------------------------------- Dragonfly
+
+Dragonfly::Dragonfly(sim::Simulator& s, int nodes, int router_nodes,
+                     int group_routers, int global_links, double local_Bps,
+                     double global_Bps, double router_latency)
+    : NetworkModel(s), nodes_(nodes),
+      router_nodes_(std::max(1, router_nodes)),
+      group_routers_(std::max(1, group_routers)),
+      global_links_(std::max(1, global_links)), local_Bps_(local_Bps),
+      global_Bps_(global_Bps), router_latency_(router_latency) {
+  if (nodes < 1) throw std::invalid_argument("Dragonfly: need >= 1 node");
+}
+
+void Dragonfly::transmit(int src, int dst, std::size_t bytes,
+                         std::function<void()> delivered) {
+  count(bytes);
+  if (src == dst) {
+    sim_.after(0.0, std::move(delivered));
+    return;
+  }
+  const double ser_local = static_cast<double>(bytes) / local_Bps_;
+  const double ser_global = static_cast<double>(bytes) / global_Bps_;
+  // Minimal route, store-and-forward per stage (each use() releases its
+  // resource before the next acquires — no held-while-waiting cycles):
+  //   nic-out -> [src router local pipe] -> [src group global pipe]
+  //           -> [dst router local pipe] -> nic-in.
+  // Same-router traffic skips the pipes; same-group traffic skips the
+  // global pipe. The global pipe pools the group's group_routers *
+  // global_links optical lanes — the resource whose queueing produces
+  // the dragonfly's load-dependent tail.
+  auto& out = lazy_lane(sim_, nic_out_, static_cast<std::size_t>(src), 1,
+                        "nic-out");
+  const bool same_router = router_of(src) == router_of(dst);
+  const bool same_group = group_of(src) == group_of(dst);
+  auto finish = [this, dst, ser_local,
+                 delivered = std::move(delivered)]() mutable {
+    auto& in = lazy_lane(sim_, nic_in_, static_cast<std::size_t>(dst), 1,
+                         "nic-in");
+    in.use(ser_local, std::move(delivered));
+  };
+  auto via_dst_local = [this, dst, ser_local, same_router,
+                        finish = std::move(finish)]() mutable {
+    if (same_router) {
+      finish();
+      return;
+    }
+    auto& local = lazy_lane(sim_, router_local_,
+                            static_cast<std::size_t>(router_of(dst)),
+                            std::max(1, group_routers_ - 1), "router-local");
+    local.use(router_latency_ + ser_local, std::move(finish));
+  };
+  auto via_global = [this, src, same_group, ser_global,
+                     via_dst_local = std::move(via_dst_local)]() mutable {
+    if (same_group) {
+      via_dst_local();
+      return;
+    }
+    auto& global = lazy_lane(sim_, group_global_,
+                             static_cast<std::size_t>(group_of(src)),
+                             group_routers_ * global_links_, "group-global");
+    global.use(router_latency_ + ser_global, std::move(via_dst_local));
+  };
+  auto via_src_local = [this, src, same_group, same_router, ser_local,
+                        via_global = std::move(via_global)]() mutable {
+    if (same_group || same_router) {
+      // Intra-group minimal routes take a single router-router hop,
+      // charged as the destination router's local pipe.
+      via_global();
+      return;
+    }
+    auto& local = lazy_lane(sim_, router_local_,
+                            static_cast<std::size_t>(router_of(src)),
+                            std::max(1, group_routers_ - 1), "router-local");
+    local.use(router_latency_ + ser_local, std::move(via_global));
+  };
+  out.use(router_latency_ + ser_local, std::move(via_src_local));
 }
 
 }  // namespace nsp::arch

@@ -13,6 +13,13 @@
 //   PerfectNetwork zero-latency infinite-bandwidth reference (testing,
 //                  and the shared-memory Y-MP which passes no messages)
 //
+// plus the modern interconnects the 10^3-10^5-rank scaling studies run
+// on (docs/PLATFORMS.md §6):
+//
+//   Torus2D        wormhole-priced 2-D torus/mesh (many-core on-chip)
+//   FatTree        multi-level, oversubscription-aware fat tree
+//   Dragonfly      groups + pooled global optical links (Aries-class)
+//
 // All models are discrete-event: transmit() is called at the simulated
 // injection time and the `delivered` callback fires at the simulated
 // arrival time. Contention emerges from FIFO queueing on sim::Resource
@@ -175,6 +182,14 @@ class Torus3D final : public NetworkModel {
   std::string name() const override { return "T3D torus"; }
   double link_bandwidth_Bps() const override { return rate_Bps_; }
 
+  /// A torus sized to hold `nodes` ranks: the paper's 8 x 4 x 2 while it
+  /// fits (so every historical replay prices identically), then grown by
+  /// doubling the smallest dimension until the volume covers the ranks —
+  /// the BG/Q-style partition shapes used at 10^3-10^5 ranks.
+  static std::unique_ptr<Torus3D> sized_for(sim::Simulator& s, int nodes,
+                                            double bytes_per_second = 150e6,
+                                            double hop_latency = 2e-6);
+
   /// Number of links traversed between two ranks (dimension-order).
   int hops(int src, int dst) const;
 
@@ -186,13 +201,132 @@ class Torus3D final : public NetworkModel {
   int rank_of(Coord c) const;
   /// Resource index for the link leaving `node` along `dim` in `dir`.
   int link_index(int node, int dim, int dir) const;
+  sim::Resource& link(int index);
   void hop(std::vector<int> path, std::size_t index, std::size_t bytes,
            std::function<void()> delivered);
 
   int dx_, dy_, dz_;
   double rate_Bps_;
   double hop_latency_;
+  // Lazily constructed: at 10^5 ranks the halo traffic touches a few
+  // links per node out of the 6 directions, and eager construction of
+  // nodes*6 resources dominates engine start-up.
   std::vector<std::unique_ptr<sim::Resource>> links_;
+};
+
+/// 2-D torus/mesh with wormhole (virtual cut-through) pricing — the
+/// on-chip interconnect of a many-core node and the building block of
+/// several modern machines. The message head pays hop_latency per link
+/// in dimension-order; the body streams behind it, so the serialization
+/// time bytes/rate is paid once, on the final (ejection) link, not per
+/// hop as in the store-and-forward Torus3D. Links are held sequentially
+/// (acquire -> timed hold -> release), so routed cycles cannot deadlock
+/// the simulation. A zero-hop self-send occupies no link at all.
+class Torus2D final : public NetworkModel {
+ public:
+  Torus2D(sim::Simulator& s, int dim_x, int dim_y,
+          double bytes_per_second = 10e9, double hop_latency = 50e-9);
+  void transmit(int src, int dst, std::size_t bytes,
+                std::function<void()> delivered) override;
+  std::string name() const override { return "2-D torus"; }
+  double link_bandwidth_Bps() const override { return rate_Bps_; }
+
+  /// Links traversed between two ranks: dimension-order, taking the
+  /// shorter ring direction on both axes. hops(r, r) == 0.
+  int hops(int src, int dst) const;
+
+  /// A near-square torus covering `nodes` ranks.
+  static std::unique_ptr<Torus2D> sized_for(sim::Simulator& s, int nodes,
+                                            double bytes_per_second = 10e9,
+                                            double hop_latency = 50e-9);
+
+ private:
+  struct Coord {
+    int x, y;
+  };
+  Coord coord(int rank) const { return {rank % dx_, rank / dx_}; }
+  int rank_of(Coord c) const { return c.y * dx_ + c.x; }
+  int link_index(int node, int dim, int dir) const {
+    return node * 4 + dim * 2 + (dir > 0 ? 0 : 1);
+  }
+  sim::Resource& link(int index);
+  void hop(std::vector<int> path, std::size_t index, std::size_t bytes,
+           std::function<void()> delivered);
+
+  int dx_, dy_;
+  double rate_Bps_;
+  double hop_latency_;
+  std::vector<std::unique_ptr<sim::Resource>> links_;  // lazy, 4 per node
+};
+
+/// Multi-level fat tree (the InfiniBand-cluster topology of the modern
+/// strong-scaling studies). Nodes hang off leaf switches in groups of
+/// `down_ports`; each leaf owns an up-pipe whose server count is
+/// down_ports / oversubscription (a 2:1 tapered tree halves it) and a
+/// symmetric down-pipe. The spine is assumed non-blocking beyond that
+/// taper, so contention lives at the node adapters and the leaf up/down
+/// pipes — the fat-tree analogue of the OmegaSwitch adapter model.
+/// Latency counts switch traversals: 1 within a leaf, 3 within a pod
+/// (leaf-spine-leaf), 5 across pods in a 3-tier tree.
+class FatTree final : public NetworkModel {
+ public:
+  FatTree(sim::Simulator& s, int nodes, int down_ports = 24,
+          double oversubscription = 1.0, double bytes_per_second = 12.5e9,
+          double stage_latency = 120e-9);
+  void transmit(int src, int dst, std::size_t bytes,
+                std::function<void()> delivered) override;
+  std::string name() const override { return "fat-tree"; }
+  double link_bandwidth_Bps() const override { return rate_Bps_; }
+
+  /// Switch traversals between two ranks (1, 3, or 5; 0 for self-sends).
+  int switch_hops(int src, int dst) const;
+
+ private:
+  int leaf_of(int node) const { return node / down_ports_; }
+  int pod_of(int node) const { return node / (down_ports_ * down_ports_); }
+
+  int nodes_;
+  int down_ports_;
+  double rate_Bps_;
+  double stage_latency_;
+  std::vector<std::unique_ptr<sim::Resource>> nic_out_, nic_in_;
+  std::vector<std::unique_ptr<sim::Resource>> leaf_up_, leaf_down_;
+};
+
+/// Dragonfly (Aries/Slingshot-class): all-to-all connected groups of
+/// `group_routers` routers with `router_nodes` nodes each; every router
+/// drives `global_links` optical links, pooled per group. Minimal
+/// routing is node -> router -> (global link) -> router -> node, priced
+/// store-and-forward per stage so the simulation cannot deadlock. The
+/// contended resources are the node adapters, each router's local-link
+/// pipe, and the per-group global pipe — tail latency under load comes
+/// from the global pipe, which is the published Aries behaviour the
+/// dragonfly validation curves key on.
+class Dragonfly final : public NetworkModel {
+ public:
+  Dragonfly(sim::Simulator& s, int nodes, int router_nodes = 4,
+            int group_routers = 16, int global_links = 2,
+            double local_Bps = 10e9, double global_Bps = 12e9,
+            double router_latency = 100e-9);
+  void transmit(int src, int dst, std::size_t bytes,
+                std::function<void()> delivered) override;
+  std::string name() const override { return "dragonfly"; }
+  double link_bandwidth_Bps() const override { return global_Bps_; }
+
+ private:
+  int router_of(int node) const { return node / router_nodes_; }
+  int group_of(int node) const { return router_of(node) / group_routers_; }
+
+  int nodes_;
+  int router_nodes_;
+  int group_routers_;
+  int global_links_;
+  double local_Bps_;
+  double global_Bps_;
+  double router_latency_;
+  std::vector<std::unique_ptr<sim::Resource>> nic_out_, nic_in_;
+  std::vector<std::unique_ptr<sim::Resource>> router_local_;  // per router
+  std::vector<std::unique_ptr<sim::Resource>> group_global_;  // per group
 };
 
 }  // namespace nsp::arch

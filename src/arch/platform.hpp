@@ -25,9 +25,26 @@ enum class NetKind {
   AllnodeS,
   SpSwitch,
   Torus3D,
+  Torus2D,    ///< wormhole 2-D torus/mesh (many-core on-chip)
+  FatTree,    ///< multi-level oversubscription-aware fat tree
+  Dragonfly,  ///< Aries-class groups + pooled global links
 };
 
 std::string to_string(NetKind k);
+
+/// Geometry/rate knobs for the modern interconnects (NetKind::FatTree,
+/// Dragonfly, Torus2D, and the sized Torus3D). Zeros mean "the kind's
+/// default", so the 1995 presets carry an all-default NetParams and
+/// price exactly as they always did.
+struct NetParams {
+  double link_Bps = 0;        ///< per-link bandwidth (0 = kind default)
+  double latency_s = 0;       ///< per-stage/hop latency (0 = kind default)
+  double oversubscription = 0;///< fat-tree taper, >= 1 (0 = 1:1)
+  int radix = 0;              ///< fat-tree down-ports per leaf (0 = 24)
+  int router_nodes = 0;       ///< dragonfly nodes per router (0 = 4)
+  int group_routers = 0;      ///< dragonfly routers per group (0 = 16)
+  int global_links = 0;       ///< dragonfly global links per router (0 = 2)
+};
 
 /// A machine configuration the replay engine can execute on.
 struct Platform {
@@ -75,6 +92,9 @@ struct Platform {
   /// feasibility ablation.
   double link_bandwidth_override_bps = 0;
 
+  /// Modern-interconnect geometry (ignored by the 1995 network kinds).
+  NetParams netp;
+
   /// Stable-storage path of the machine: the bandwidth a coordinated
   /// checkpoint write (gathered state -> disk/file server) sustains,
   /// and the fixed per-write latency (open/sync/protocol). The fault
@@ -101,9 +121,19 @@ struct Platform {
   static Platform cray_t3d_shmem();     ///< T3D with one-sided SHMEM puts
   static Platform cray_ymp();           ///< Y-MP/8 shared-memory DOALL
 
+  // ---- Modern presets (docs/PLATFORMS.md §6) ----------------------------
+  static Platform ib_fattree();    ///< Xeon cluster on an EDR fat tree
+  static Platform xc_dragonfly();  ///< Cray XC-style Aries dragonfly
+  static Platform knl_fattree();   ///< many-core KNL nodes, OPA fat tree
+  static Platform gpu_fattree();   ///< GPU-per-rank nodes on a fat tree
+  static Platform bgq_torus();     ///< BlueGene/Q-style big torus
+
   /// The four platforms of the comparative study (Figs 9-10) plus the
   /// LACE network variants (Figs 3-8).
   static std::vector<Platform> all();
+
+  /// The modern platform zoo used by the 10^3-10^5-rank scaling sweeps.
+  static std::vector<Platform> modern();
 };
 
 }  // namespace nsp::arch

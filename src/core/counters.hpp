@@ -43,6 +43,10 @@ struct CommCounter {
   std::uint64_t recvs = 0;
   double bytes_sent = 0;
   double bytes_received = 0;
+  /// Wall-clock seconds this rank spent blocked in receives and
+  /// barriers — the live counterpart of the replay's per-rank wait
+  /// time, and the quantity comm/compute overlap exists to hide.
+  double wait_s = 0;
 
   /// "Start-ups" in the paper's Table 1 sense: sends + receives.
   std::uint64_t startups() const { return sends + recvs; }
@@ -52,6 +56,7 @@ struct CommCounter {
     recvs += o.recvs;
     bytes_sent += o.bytes_sent;
     bytes_received += o.bytes_received;
+    wait_s += o.wait_s;
     return *this;
   }
 

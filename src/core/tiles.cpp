@@ -22,7 +22,9 @@ std::string read_line(const std::string& path) {
 }
 
 /// Parses a sysfs cache size ("32K", "1024K", "8M", "1G", plain bytes);
-/// 0 when unparseable.
+/// 0 when unparseable. Strict: anything after the optional suffix
+/// ("8MB", "32K???") rejects the whole string — a best-effort probe
+/// that half-reads a malformed size would block for a fictitious cache.
 std::size_t parse_cache_size(const std::string& text) {
   std::size_t value = 0;
   std::size_t pos = 0;
@@ -47,7 +49,9 @@ std::size_t parse_cache_size(const std::string& text) {
       default:
         return 0;
     }
+    ++pos;
   }
+  if (pos != text.size()) return 0;
   return value * scale;
 }
 
@@ -64,6 +68,10 @@ std::size_t detect_cache_bytes(const std::string& cache_dir) {
     const std::string type = read_line(dir.str() + "/type");
     if (type.empty()) continue;  // missing index: keep scanning the range
     if (type == "Instruction") continue;
+    // An index without a shared_cpu_list map is not attributable to this
+    // core (seen on masked/virtualised sysfs trees); skip it rather than
+    // size the tile budget off a cache the core may not see.
+    if (!std::ifstream(dir.str() + "/shared_cpu_list")) continue;
     const std::size_t bytes = parse_cache_size(read_line(dir.str() + "/size"));
     best = std::max(best, bytes);
   }

@@ -68,9 +68,11 @@ inline int choose_tile_width(int ni, int nj, int arrays = kSweepArrays,
 /// Best-effort probe of the largest data/unified cache one core sees,
 /// reading `cache_dir` laid out like Linux's
 /// /sys/devices/system/cpu/cpu0/cache (index*/{level,type,size}, sizes
-/// like "512K" / "32M"). Instruction-only caches are skipped. Returns 0
-/// when the directory is missing or nothing parses — the caller decides
-/// the fallback. Pure function of the directory contents (tiles.cpp).
+/// like "512K" / "32M"). Instruction-only caches, entries without a
+/// shared_cpu_list map, and malformed sizes ("8MB") are skipped.
+/// Returns 0 when the directory is missing or nothing parses — the
+/// caller decides the fallback. Pure function of the directory
+/// contents (tiles.cpp).
 std::size_t detect_cache_bytes(const std::string& cache_dir);
 
 /// The LLC budget Solver::tile_width blocks for: detect_cache_bytes of

@@ -27,6 +27,13 @@ const std::map<std::string, Factory>& builtin_platforms() {
       {"t3d-shmem", &arch::Platform::cray_t3d_shmem},
       {"ymp", &arch::Platform::cray_ymp},
       {"dash", &arch::Platform::dash},
+      // The modern zoo (docs/PLATFORMS.md §6); all take the -<procs>
+      // suffix, e.g. "ib-fattree-4096".
+      {"ib-fattree", &arch::Platform::ib_fattree},
+      {"xc-dragonfly", &arch::Platform::xc_dragonfly},
+      {"knl-fattree", &arch::Platform::knl_fattree},
+      {"gpu-fattree", &arch::Platform::gpu_fattree},
+      {"bgq-torus", &arch::Platform::bgq_torus},
   };
   return kBuiltins;
 }
@@ -141,6 +148,9 @@ const std::map<std::string, MsgFactory>& msglayers() {
       {"cray-pvm", &arch::MsgLayerModel::pvm_t3d},
       {"shmem", &arch::MsgLayerModel::shmem_t3d},
       {"shared-memory", &arch::MsgLayerModel::shared_memory},
+      {"mpi", &arch::MsgLayerModel::mpi_modern},
+      {"mpi-manycore", &arch::MsgLayerModel::mpi_manycore},
+      {"mpi-gpu", &arch::MsgLayerModel::mpi_gpu},
   };
   return kLayers;
 }

@@ -106,6 +106,11 @@ Scenario& Scenario::grid2d(int px) {
   return *this;
 }
 
+Scenario& Scenario::overlap_comm(bool on) {
+  overlap_comm_ = on;
+  return *this;
+}
+
 Scenario& Scenario::steps(int n) {
   steps_ = n;
   return *this;
@@ -161,6 +166,8 @@ std::string Scenario::cache_key() const {
   // keys (and memo-cache artifacts, and the zero-fault golden md5).
   if (!model_.empty() && model_ != model::kDefaultModel)
     os << "|model:" << model_;
+  // And the overlap axis: off is the historical behaviour.
+  if (overlap_comm_) os << "|ov";
   return os.str();
 }
 
@@ -229,6 +236,9 @@ const char* wire_token(arch::NetKind k) {
     case arch::NetKind::AllnodeS: return "allnode-s";
     case arch::NetKind::SpSwitch: return "sp-switch";
     case arch::NetKind::Torus3D: return "torus3d";
+    case arch::NetKind::Torus2D: return "torus2d";
+    case arch::NetKind::FatTree: return "fattree";
+    case arch::NetKind::Dragonfly: return "dragonfly";
   }
   return "?";
 }
@@ -237,7 +247,9 @@ bool parse_netkind(const std::string& t, arch::NetKind* out) {
   for (const arch::NetKind k :
        {arch::NetKind::Perfect, arch::NetKind::Ethernet, arch::NetKind::Fddi,
         arch::NetKind::Atm, arch::NetKind::AllnodeF, arch::NetKind::AllnodeS,
-        arch::NetKind::SpSwitch, arch::NetKind::Torus3D}) {
+        arch::NetKind::SpSwitch, arch::NetKind::Torus3D,
+        arch::NetKind::Torus2D, arch::NetKind::FatTree,
+        arch::NetKind::Dragonfly}) {
     if (t == wire_token(k)) {
       *out = k;
       return true;
@@ -299,7 +311,8 @@ std::string Scenario::to_json() const {
      << ",\"seed\":\"" << seed_ << "\""
      << ",\"label\":\"" << io::json_escape(label_) << "\""
      << ",\"faults\":\"" << io::json_escape(faults_.str()) << "\""
-     << ",\"model\":\"" << io::json_escape(model_) << "\"}";
+     << ",\"model\":\"" << io::json_escape(model_) << "\""
+     << ",\"overlap\":" << (overlap_comm_ ? 1 : 0) << "}";
   return os.str();
 }
 
@@ -316,7 +329,8 @@ bool Scenario::from_json(const io::JsonValue& doc, Scenario* out,
   static const char* kFields[] = {
       "workload", "equations", "version",  "kernel", "ni",     "nj",
       "steps",    "grid2d",    "sim_steps", "platform", "msglayer",
-      "network",  "threads",   "seed",     "label",  "faults", "model"};
+      "network",  "threads",   "seed",     "label",  "faults", "model",
+      "overlap"};
   for (const auto& [name, value] : doc.members) {
     bool known = false;
     for (const char* f : kFields) known = known || name == f;
@@ -417,6 +431,11 @@ bool Scenario::from_json(const io::JsonValue& doc, Scenario* out,
     // after "equations" was parsed, so an explicit model wins.
     s.model(token);
   }
+  {
+    int overlap = 0;
+    if (!read_int(doc, "overlap", 0, 1, &overlap, &reason)) goto bad;
+    s.overlap_comm_ = overlap != 0;
+  }
   *out = s;
   return true;
 
@@ -433,12 +452,26 @@ arch::Platform Scenario::platform_model() const {
 }
 
 perf::AppModel Scenario::app_model() const {
-  if (proc_grid_px_ > 0) {
-    const int py = std::max(1, resolved_procs() / proc_grid_px_);
-    return perf::AppModel::paper_grid(eq_, proc_grid_px_, py, version_, ni_,
-                                      nj_, steps_);
+  perf::AppModel m =
+      proc_grid_px_ > 0
+          ? perf::AppModel::paper_grid(
+                eq_, proc_grid_px_,
+                std::max(1, resolved_procs() / proc_grid_px_), version_, ni_,
+                nj_, steps_)
+          : perf::AppModel::paper(eq_, version_, ni_, nj_, steps_);
+  if (overlap_comm_) {
+    // Mirror the live solver's overlapped schedule (SolverConfig::
+    // overlap_comm): the interior sweep of each phase — everything not
+    // touching the halo columns — runs while boundary exchanges are in
+    // flight. About half of a phase's compute is interior work that can
+    // legally start before the halos land, and the tiled span kernels
+    // pay no extra cache penalty for the split, unlike Version 6's 1995
+    // hand-overlapped code (docs/PERF.md). Versions that already model
+    // some overlap keep the larger of the two fractions.
+    m.overlap_fraction = std::max(m.overlap_fraction, 0.5);
+    m.busy_penalty = 0.0;
   }
-  return perf::AppModel::paper(eq_, version_, ni_, nj_, steps_);
+  return m;
 }
 
 core::SolverConfig Scenario::solver_config() const {

@@ -75,6 +75,13 @@ class Scenario {
   /// cache key only grows a |model: segment for non-default models.
   Scenario& model(const std::string& registry_key);
   Scenario& grid2d(int px);  ///< 2-D process grid, px columns (0 = 1-D)
+  /// Comm/compute overlap in the replay cost model, mirroring the live
+  /// solver's SolverConfig::overlap_comm: interior work of the next
+  /// phase proceeds while halos are in flight (both 1-D and 2-D
+  /// decompositions), with none of Version 6's 1995 cache penalty. Off
+  /// by default; the cache key only grows a |ov segment when enabled,
+  /// so historical keys and artifacts are untouched.
+  Scenario& overlap_comm(bool on = true);
   Scenario& steps(int n);
   Scenario& sim_steps(int n);  ///< replay fidelity (default 400)
   Scenario& seed(std::uint64_t base_seed);
@@ -99,6 +106,7 @@ class Scenario {
   int step_count() const { return steps_; }
   int sim_step_count() const { return sim_steps_; }
   const fault::FaultSpec& fault_spec() const { return faults_; }
+  bool overlap_enabled() const { return overlap_comm_; }
 
   /// Processor count this scenario resolves to (platform max when the
   /// threads axis was left at 0).
@@ -169,6 +177,7 @@ class Scenario {
   std::string label_;
   fault::FaultSpec faults_;  ///< disabled by default
   std::string model_;  ///< model-registry key; "" = default model
+  bool overlap_comm_ = false;  ///< replay comm/compute overlap
 };
 
 }  // namespace nsp::exec

@@ -97,6 +97,47 @@ class Parser {
     }
   }
 
+  /// Reads the four hex digits of a \uXXXX escape (pos_ just past the
+  /// "\u") and advances past them.
+  bool read_hex4(unsigned* code) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_ + static_cast<std::size_t>(i)];
+      if (!std::isxdigit(static_cast<unsigned char>(h))) {
+        return fail("bad hex digit in \\u escape");
+      }
+      value = value * 16 +
+              static_cast<unsigned>(
+                  h <= '9' ? h - '0'
+                           : (std::tolower(static_cast<unsigned char>(h)) -
+                              'a' + 10));
+    }
+    pos_ += 4;
+    *code = value;
+    return true;
+  }
+
+  /// Appends the UTF-8 encoding of a code point (valid range ensured by
+  /// the surrogate handling in parse_string).
+  static void append_utf8(std::string* out, unsigned cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
   bool parse_string(std::string* out) {
     ++pos_;  // opening quote
     out->clear();
@@ -127,26 +168,28 @@ class Parser {
         case 'r': out->push_back('\r'); break;
         case 't': out->push_back('\t'); break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
           unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_ + static_cast<std::size_t>(i)];
-            if (!std::isxdigit(static_cast<unsigned char>(h))) {
-              return fail("bad hex digit in \\u escape");
+          if (!read_hex4(&code)) return false;
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            return fail("unpaired low surrogate in \\u escape");
+          }
+          unsigned cp = code;
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // A high surrogate is only meaningful as the first half of
+            // a \uD800-\uDBFF + \uDC00-\uDFFF pair.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return fail("high surrogate not followed by a \\u escape");
             }
-            code = code * 16 +
-                   static_cast<unsigned>(
-                       h <= '9' ? h - '0'
-                                : (std::tolower(static_cast<unsigned char>(h)) -
-                                   'a' + 10));
+            pos_ += 2;
+            unsigned low = 0;
+            if (!read_hex4(&low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return fail("high surrogate not followed by a low surrogate");
+            }
+            cp = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
           }
-          if (code < 0x80) {
-            out->push_back(static_cast<char>(code));
-          } else {
-            // Non-ASCII escapes pass through verbatim; see header.
-            out->append(text_, pos_ - 2, 6);
-          }
-          pos_ += 4;
+          append_utf8(out, cp);
           break;
         }
         default:

@@ -8,10 +8,10 @@
 //   - numbers keep their raw source text alongside the double value, so
 //     64-bit integers (scenario seeds) round-trip without going through
 //     a double;
-//   - \uXXXX escapes outside the ASCII range are passed through as the
-//     literal six-character sequence rather than encoded to UTF-8 (wire
-//     payloads here are scenario field names and platform keys, all
-//     ASCII).
+//   - \uXXXX escapes decode to UTF-8, including astral code points
+//     written as surrogate pairs (\uD83D\uDE00). Lone or malformed
+//     surrogates are a structured parse error, not silent pass-through,
+//     so a request with a mangled label fails loudly at the wire.
 //
 // Object members preserve insertion order; duplicate keys keep the last
 // value (matching common parser behaviour).

@@ -68,6 +68,7 @@ void ResultStore::load() {
 void ResultStore::rewrite_index() {
   const fs::path index = fs::path(root_) / "store.index";
   const fs::path tmp = fs::path(root_) / "store.index.tmp";
+  bool written = false;
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out.is_open()) return;  // read-only dir: store degrades to RAM
@@ -75,8 +76,17 @@ void ResultStore::rewrite_index() {
       out << e.seq << '\t' << e.hash << '\t' << e.bytes << '\t' << key
           << '\n';
     }
+    // Force the buffered lines to disk while the stream can still report
+    // the outcome; renaming an unflushed tmp over the live index would
+    // trade a good index for a truncated one on a full disk.
+    out.flush();
+    written = out.good();
   }
   std::error_code ec;
+  if (!written) {
+    fs::remove(tmp, ec);  // keep the previous index; retry next mutation
+    return;
+  }
   fs::rename(tmp, index, ec);
 }
 

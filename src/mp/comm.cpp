@@ -28,7 +28,11 @@ void Comm::send(int dst, int tag, std::span<const double> data) {
 }
 
 Message Comm::recv(int src, int tag) {
+  const auto t0 = std::chrono::steady_clock::now();
   auto m = cluster_->match(rank_, src, tag, /*block=*/true);
+  counters_.wait_s +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   ++counters_.recvs;
   counters_.bytes_received += static_cast<double>(m->data.size() * sizeof(double));
   return std::move(*m);
@@ -54,7 +58,11 @@ std::optional<Message> Comm::try_recv(int src, int tag) {
 }
 
 std::optional<Message> Comm::recv_for(double timeout_s, int src, int tag) {
+  const auto t0 = std::chrono::steady_clock::now();
   auto m = cluster_->match_for(rank_, src, tag, timeout_s);
+  counters_.wait_s +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   if (m) {
     ++counters_.recvs;
     counters_.bytes_received +=
@@ -65,7 +73,11 @@ std::optional<Message> Comm::recv_for(double timeout_s, int src, int tag) {
 
 std::optional<Message> Comm::recv_until(
     std::chrono::steady_clock::time_point deadline, int src, int tag) {
+  const auto t0 = std::chrono::steady_clock::now();
   auto m = cluster_->match_until(rank_, src, tag, deadline);
+  counters_.wait_s +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   if (m) {
     ++counters_.recvs;
     counters_.bytes_received +=
@@ -82,9 +94,13 @@ void Comm::barrier() {
     ++cluster_->bar_generation_;
     cluster_->bar_cv_.notify_all();
   } else {
+    const auto t0 = std::chrono::steady_clock::now();
     while (cluster_->bar_generation_ == gen) {
       cluster_->bar_cv_.wait(cluster_->bar_m_);
     }
+    counters_.wait_s +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
   }
 }
 

@@ -15,6 +15,10 @@ struct LiveMeasurement {
   double divides_per_point_step = 0;
   int sends_per_step_interior = 0;   ///< interior-rank sends per step
   double bytes_per_step_interior = 0;
+  /// Interior-rank wall-clock seconds per step spent blocked in
+  /// receives during the probe run (core::CommCounter::wait_s) — the
+  /// live quantity comm/compute overlap hides.
+  double wait_s_per_step_interior = 0;
   int probe_steps = 0;
 };
 

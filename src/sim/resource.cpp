@@ -21,7 +21,7 @@ double Resource::busy_time_integral() const {
   return busy_integral_ + busy_ * (sim_.now() - last_change_);
 }
 
-void Resource::acquire(std::function<void()> granted) {
+void Resource::acquire(SmallFn granted) {
   if (busy_ < servers_) {
     account();
     ++busy_;
@@ -50,9 +50,9 @@ void Resource::release() {
   sim_.after(0.0, std::move(w.fn));
 }
 
-void Resource::use(Time hold, std::function<void()> done) {
+void Resource::use(Time hold, SmallFn done) {
   acquire([this, hold, done = std::move(done)]() mutable {
-    sim_.after(hold, [this, done = std::move(done)]() {
+    sim_.after(hold, [this, done = std::move(done)]() mutable {
       release();
       if (done) done();
     });

@@ -6,10 +6,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "sim/simulator.hpp"
+#include "sim/smallfn.hpp"
 
 namespace nsp::sim {
 
@@ -33,14 +33,14 @@ class Resource {
 
   /// Requests a server; `granted` runs synchronously if one is free, or
   /// later (as a simulator event) when it becomes available.
-  void acquire(std::function<void()> granted);
+  void acquire(SmallFn granted);
 
   /// Releases one server (must balance a granted acquire).
   void release();
 
   /// Convenience: acquire a server, hold it for `hold` seconds, release
   /// it, then invoke `done` (may be null).
-  void use(Time hold, std::function<void()> done = nullptr);
+  void use(Time hold, SmallFn done = nullptr);
 
   int servers() const { return servers_; }
   int busy() const { return busy_; }
@@ -59,7 +59,7 @@ class Resource {
 
  private:
   struct Waiter {
-    std::function<void()> fn;
+    SmallFn fn;
     Time enqueued;
   };
 

@@ -1,32 +1,43 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "check/check.hpp"
 
 namespace nsp::sim {
 
-EventId Simulator::at(Time t, std::function<void()> fn) {
+EventId Simulator::at(Time t, SmallFn fn) {
   // No event may be scheduled before the current time.
   NSP_CHECK_WARN(t >= now_, "sim.schedule_in_past");
   if (t < now_) throw std::invalid_argument("Simulator::at: time in the past");
   const EventId id = next_id_++;
+  const std::size_t word = id >> 6;
+  if (word >= live_bits_.size()) {
+    live_bits_.resize(std::max(word + 1, live_bits_.size() * 2), 0);
+  }
+  live_bits_[word] |= std::uint64_t{1} << (id & 63);
+  ++live_count_;
   queue_.push(Event{t, id, std::move(fn)});
-  live_.insert(id);
   return id;
 }
 
 bool Simulator::cancel(EventId id) {
   // Cancelled events stay in the priority queue (removal from the middle
   // of a binary heap is not supported) and are skipped when popped.
-  return live_.erase(id) != 0;
+  if (!is_live(id)) return false;
+  live_bits_[id >> 6] &= ~(std::uint64_t{1} << (id & 63));
+  --live_count_;
+  return true;
 }
 
 bool Simulator::step() {
   while (!queue_.empty()) {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
-    if (live_.erase(ev.id) == 0) continue;  // was cancelled
+    if (!is_live(ev.id)) continue;  // was cancelled
+    live_bits_[ev.id >> 6] &= ~(std::uint64_t{1} << (ev.id & 63));
+    --live_count_;
     // The clock is monotone: the heap can never deliver a past event.
     NSP_CHECK(ev.t >= now_, "sim.clock_monotone");
     now_ = ev.t;
@@ -41,7 +52,7 @@ std::uint64_t Simulator::run(Time until) {
   std::uint64_t n = 0;
   while (!queue_.empty()) {
     // Drop cancelled entries so the time-bound check sees a live event.
-    while (!queue_.empty() && live_.count(queue_.top().id) == 0) queue_.pop();
+    while (!queue_.empty() && !is_live(queue_.top().id)) queue_.pop();
     if (queue_.empty() || queue_.top().t > until) break;
     if (!step()) break;
     ++n;

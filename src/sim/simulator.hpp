@@ -8,10 +8,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
+
+#include "sim/smallfn.hpp"
 
 namespace nsp::sim {
 
@@ -38,10 +38,10 @@ class Simulator {
 
   /// Schedules `fn` at absolute time `t` (must be >= now()). Returns an
   /// id that can be passed to cancel().
-  EventId at(Time t, std::function<void()> fn);
+  EventId at(Time t, SmallFn fn);
 
   /// Schedules `fn` at now() + dt (dt >= 0).
-  EventId after(Time dt, std::function<void()> fn) {
+  EventId after(Time dt, SmallFn fn) {
     return at(now_ + dt, std::move(fn));
   }
 
@@ -57,7 +57,7 @@ class Simulator {
   bool step();
 
   /// Number of events still scheduled (cancelled events excluded).
-  std::size_t pending() const { return live_.size(); }
+  std::size_t pending() const { return live_count_; }
 
   /// Total events executed since construction.
   std::uint64_t executed() const { return executed_; }
@@ -68,7 +68,7 @@ class Simulator {
   struct Event {
     Time t;
     EventId id;  // also provides FIFO order at equal t
-    std::function<void()> fn;
+    SmallFn fn;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -77,11 +77,23 @@ class Simulator {
     }
   };
 
+  // Ids are allocated sequentially from 1, so "scheduled and not yet
+  // run/cancelled" is one bit per id ever issued — O(1) with no hashing
+  // on the schedule/deliver fast path, ~1 bit of memory per event over
+  // the simulator's lifetime (an unordered_set cost ~60 bytes and two
+  // hash probes per event).
+  bool is_live(EventId id) const {
+    const std::size_t word = id >> 6;
+    return word < live_bits_.size() &&
+           (live_bits_[word] >> (id & 63)) & 1u;
+  }
+
   Time now_ = 0.0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> live_;  // scheduled and not yet run/cancelled
+  std::vector<std::uint64_t> live_bits_;
+  std::size_t live_count_ = 0;
 };
 
 }  // namespace nsp::sim

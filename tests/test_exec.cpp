@@ -181,6 +181,42 @@ TEST(Engine, ParallelRunIsBitIdenticalToSerial) {
   EXPECT_EQ(a.to_csv(), b.to_csv());
 }
 
+TEST(Engine, ModernReplayAtTenThousandRanksIsDeterministic) {
+  // The scaling pass (bench_scaling_modern, docs/PLATFORMS.md §6) leans
+  // on replays far past the 1995 machine sizes. The DES must stay
+  // bit-reproducible there: a threaded sweep of 10^4-rank cells on the
+  // modern platforms — overlap on and off — serializes byte-identically
+  // to the serial reference engine.
+  std::vector<Scenario> sweep;
+  for (const char* key : {"ib-fattree", "gpu-fattree"}) {
+    for (const bool ov : {false, true}) {
+      sweep.push_back(Scenario::jet(512, 512, 100)
+                          .sim_steps(4)
+                          .platform(key)
+                          .grid2d(128)
+                          .threads(10240)
+                          .overlap_comm(ov));
+    }
+  }
+
+  EngineOptions serial;
+  serial.threads = 1;
+  Engine ref(serial);
+  const ResultSet a = ref.run(sweep);
+
+  EngineOptions wide;
+  wide.threads = 8;
+  Engine par(wide);
+  const ResultSet b = par.run(sweep);
+
+  ASSERT_EQ(a.results.size(), sweep.size());
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  for (const auto& r : a.results) {
+    EXPECT_GT(r.metric("exec_s"), 0.0) << r.key;
+  }
+}
+
 TEST(Engine, ResultSetIsSortedByKey) {
   Engine eng;
   const ResultSet rs = eng.run(small_sweep());

@@ -456,15 +456,23 @@ TEST(CacheProbe, ParsesSysfsLayoutAndSkipsInstructionCaches) {
   };
   write(root / "index0", "type", "Data");
   write(root / "index0", "size", "48K");
+  write(root / "index0", "shared_cpu_list", "0");
   write(root / "index1", "type", "Instruction");
   write(root / "index1", "size", "512M");  // must be skipped
+  write(root / "index1", "shared_cpu_list", "0");
   write(root / "index2", "type", "Unified");
   write(root / "index2", "size", "2M");
+  write(root / "index2", "shared_cpu_list", "0-3");
   write(root / "index3", "type", "Unified");
   write(root / "index3", "size", "36M");
+  write(root / "index3", "shared_cpu_list", "0-15");
   write(root / "index4", "type", "Unified");
   write(root / "index4", "size", "banana");  // unparseable: ignored
+  write(root / "index4", "shared_cpu_list", "0-15");
   write(root / "index5", "type", "Unified");  // no size file: ignored
+  write(root / "index5", "shared_cpu_list", "0-15");
+  write(root / "index6", "type", "Unified");  // no shared_cpu_list map:
+  write(root / "index6", "size", "512M");     // not attributable, ignored
   EXPECT_EQ(core::detect_cache_bytes(root.string()), 36ull * 1024 * 1024);
   fs::remove_all(root);
 }

@@ -207,6 +207,63 @@ TEST(Torus, PaperMachineIs8x4x2) {
   EXPECT_EQ(t.hops(0, 4 + 2 * 8 + 1 * 32), 7);
 }
 
+TEST(Torus, SizedForGrowsPastThePaperMachine) {
+  // Regression: sized_for used to hand back the fixed 8x4x2 even when
+  // the rank count exceeded its 64 nodes, so coord()/link_index() ran
+  // out of range for rank >= 64. The grown torus must route between
+  // high ranks and keep every <= 64-rank distance identical to the
+  // paper machine.
+  sim::Simulator s;
+  auto t = Torus3D::sized_for(s, 100);  // 8x4x2 doubles to 8x4x4 = 128
+  EXPECT_EQ(t->hops(0, 63), 3);         // paper-prefix distances intact
+  double high = -1;
+  t->transmit(64, 99, 15000, [&] { high = s.now(); });
+  s.run();
+  EXPECT_GT(high, 0.0);
+  sim::Simulator s64;
+  auto paper = Torus3D::sized_for(s64, 64);
+  EXPECT_EQ(paper->hops(0, 4 + 2 * 8 + 1 * 32), 7);  // still exactly 8x4x2
+}
+
+// ---- Torus2D wormhole pricing ------------------------------------------
+
+TEST(Torus2D, WormholePinsUncontendedLatency) {
+  // The head pays hop_latency per link; the body streams once. Two hops
+  // must cost 2 * hop + bytes/rate — not the 2 * (hop + bytes/rate) a
+  // store-and-forward torus charges.
+  const double one = one_transfer<Torus2D>(4096, 0, 1, 8, 8, 10e9, 50e-9);
+  const double two = one_transfer<Torus2D>(4096, 0, 2, 8, 8, 10e9, 50e-9);
+  EXPECT_NEAR(one, 50e-9 + 4096 / 10e9, 1e-15);
+  EXPECT_NEAR(two, 2 * 50e-9 + 4096 / 10e9, 1e-15);
+}
+
+TEST(Torus2D, WrapAroundTakesShorterRing) {
+  // Regression: ranks at opposite ring ends are ONE wrap hop apart, and
+  // the priced latency must equal the single-hop time, not seven
+  // forward hops around the ring.
+  sim::Simulator s;
+  Torus2D t(s, 8, 8, 10e9, 50e-9);
+  EXPECT_EQ(t.hops(0, 7), 1);    // x wrap
+  EXPECT_EQ(t.hops(0, 56), 1);   // y wrap (coord (0,7))
+  EXPECT_EQ(t.hops(0, 63), 2);   // both wraps
+  const double wrap = one_transfer<Torus2D>(4096, 0, 7, 8, 8, 10e9, 50e-9);
+  EXPECT_NEAR(wrap, 50e-9 + 4096 / 10e9, 1e-15);
+}
+
+TEST(Torus2D, SelfSendChargesNothing) {
+  // Regression: a self-send is delivered at the current instant and
+  // must not occupy the sender's outgoing links — a huge rank-local
+  // "message" cannot delay a real neighbour exchange behind it.
+  sim::Simulator s;
+  Torus2D t(s, 8, 8, 10e9, 50e-9);
+  double self = -1, real = -1;
+  t.transmit(2, 2, 1 << 26, [&] { self = s.now(); });
+  t.transmit(2, 3, 4096, [&] { real = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(self, 0.0);
+  EXPECT_NEAR(real, 50e-9 + 4096 / 10e9, 1e-15);
+}
+
 TEST(NetworkStats, MessageAndByteCountersAccumulate) {
   sim::Simulator s;
   auto net = OmegaSwitch::allnode_f(s, 4);

@@ -11,6 +11,7 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <iterator>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -67,6 +68,32 @@ TEST(JsonParse, RejectsMalformedInput) {
         "{'a':1}", "nul"}) {
     EXPECT_FALSE(io::json_parse(bad, &v, &err)) << bad;
     EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(JsonParse, UnicodeEscapesDecodeToUtf8) {
+  // Two-byte, three-byte, and (via a surrogate pair) four-byte UTF-8.
+  const io::JsonValue v =
+      parse_ok(R"({"s":"\u00e9 \u20ac \ud83d\ude00"})");
+  EXPECT_EQ(v.string_or("s", ""),
+            "\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x98\x80");
+  // A hand-escaped ASCII label means the same string as the raw
+  // spelling.
+  EXPECT_EQ(parse_ok(R"("\u0070\u0076\u006d")").text, "pvm");
+}
+
+TEST(JsonParse, RejectsLoneAndMalformedSurrogates) {
+  io::JsonValue v;
+  std::string err;
+  for (const char* bad :
+       {R"("\ud83d")",        // high surrogate at end of string
+        R"("\udc00")",        // low surrogate with no high half
+        R"("\ud83dx")",       // high surrogate followed by a plain char
+        R"("\ud83d\n")",       // ... by a non-\u escape
+        R"("\ud83dA")"}   // ... by a non-surrogate code unit
+  ) {
+    EXPECT_FALSE(io::json_parse(bad, &v, &err)) << bad;
+    EXPECT_NE(err.find("surrogate"), std::string::npos) << bad << " → " << err;
   }
 }
 
@@ -136,6 +163,8 @@ TEST(ScenarioWire, RoundTripIsIdentityForEveryAxis) {
        }},
       {"model",
        [] { return exec::Scenario::jet250x100().model("euler/mac22/quiet"); }},
+      {"overlap",
+       [] { return exec::Scenario::jet250x100().overlap_comm(); }},
   };
   for (const auto& [axis, make] : axes) {
     expect_round_trip(make(), axis);
@@ -146,10 +175,22 @@ TEST(ScenarioWire, EveryNetworkKindRoundTrips) {
   for (const arch::NetKind k :
        {arch::NetKind::Perfect, arch::NetKind::Ethernet, arch::NetKind::Fddi,
         arch::NetKind::Atm, arch::NetKind::AllnodeF, arch::NetKind::AllnodeS,
-        arch::NetKind::SpSwitch, arch::NetKind::Torus3D}) {
+        arch::NetKind::SpSwitch, arch::NetKind::Torus3D,
+        arch::NetKind::Torus2D, arch::NetKind::FatTree,
+        arch::NetKind::Dragonfly}) {
     expect_round_trip(exec::Scenario::jet250x100().network(k),
                       "network:" + arch::to_string(k));
   }
+}
+
+TEST(ScenarioWire, OverlapOffIsCacheKeyNeutral) {
+  // Off is the historical behaviour; only the enabled axis may open a
+  // new cache universe.
+  EXPECT_EQ(exec::Scenario::jet250x100().overlap_comm(false).cache_key(),
+            exec::Scenario::jet250x100().cache_key());
+  const exec::Scenario on = exec::Scenario::jet250x100().overlap_comm();
+  EXPECT_NE(on.cache_key(), exec::Scenario::jet250x100().cache_key());
+  EXPECT_NE(on.cache_key().find("|ov"), std::string::npos);
 }
 
 TEST(ScenarioWire, MinimalRequestTakesDefaults) {
@@ -190,7 +231,8 @@ TEST(ScenarioWire, RejectsBadFields) {
       {R"({"kernel":0})", "out of range"},
       {R"({"ni":1.5})", "must be an integer"},
       {R"({"platform":"cm-5"})", "unknown platform"},
-      {R"({"msglayer":"mpi"})", "unknown msglayer"},
+      {R"({"msglayer":"tcgmsg"})", "unknown msglayer"},
+      {R"({"overlap":2})", "out of range"},
       {R"({"network":"infiniband"})", "unknown network"},
       {R"({"seed":"twelve"})", "not a decimal integer"},
       {R"({"faults":"crash=oops"})", "bad faults spec"},
@@ -309,6 +351,62 @@ TEST(ResultStore, OversizedBodyIsNotAdmitted) {
   std::string body;
   EXPECT_FALSE(store.get("big", &body));
   EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(ResultStore, ExactByteBudgetIsNotOverBudget) {
+  // The budget is inclusive: a store holding exactly max_bytes evicts
+  // nothing — neither on put nor when an existing store reopens.
+  const std::string dir = fresh_dir("boundary");
+  {
+    io::ResultStore store(dir, 16);
+    store.put("k1", "11111111");
+    store.put("k2", "22222222");  // total == budget exactly
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_EQ(store.bytes(), 16u);
+    store.put("k3", "3");  // one byte over: LRU (k1) must go
+    std::string body;
+    EXPECT_FALSE(store.get("k1", &body));
+    EXPECT_TRUE(store.get("k2", &body));
+    EXPECT_TRUE(store.get("k3", &body));
+    EXPECT_LE(store.bytes(), 16u);
+  }
+  io::ResultStore reopened(dir, 9);  // resident 9 bytes == new budget
+  EXPECT_EQ(reopened.size(), 2u) << "exactly-at-budget store must not trim";
+  EXPECT_EQ(reopened.bytes(), 9u);
+}
+
+TEST(ResultStore, FailedIndexRewriteKeepsOldIndex) {
+  // Injected write failure: point store.index.tmp at /dev/full so every
+  // byte of the rewrite is lost at flush. The store must notice and keep
+  // the previous index instead of renaming a corpse over it.
+  if (!std::filesystem::exists("/dev/full")) GTEST_SKIP() << "no /dev/full";
+  const std::string dir = fresh_dir("injected");
+  {
+    io::ResultStore store(dir, 0);
+    store.put("k1", "11111111");
+    store.put("k2", "22222222");
+  }
+  const std::filesystem::path index =
+      std::filesystem::path(dir) / "store" / "store.index";
+  const std::filesystem::path tmp =
+      std::filesystem::path(dir) / "store" / "store.index.tmp";
+  std::filesystem::create_symlink("/dev/full", tmp);
+  {
+    io::ResultStore store(dir, 0);  // ctor rewrites the index through tmp
+    EXPECT_EQ(store.size(), 2u);
+  }
+  EXPECT_FALSE(std::filesystem::is_symlink(index))
+      << "failed rewrite renamed the doomed tmp over the live index";
+  ASSERT_TRUE(std::filesystem::is_regular_file(index));
+  std::ifstream in(index);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("k1"), std::string::npos) << text;
+  EXPECT_NE(text.find("k2"), std::string::npos) << text;
+  // The failure is transient: once the bad tmp is cleared, a reopen sees
+  // every entry.
+  io::ResultStore reopened(dir, 0);
+  EXPECT_EQ(reopened.size(), 2u);
 }
 
 // ---- serve::Server -----------------------------------------------------

@@ -7,10 +7,14 @@
 
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
 
 #include "bench/reporter.hpp"
 #include "core/solver.hpp"
 #include "core/tiles.hpp"
+#include "exec/scenario.hpp"
 #include "model/registry.hpp"
 #include "par/subdomain_solver.hpp"
 #include "par/subdomain_solver2d.hpp"
@@ -116,6 +120,91 @@ TEST(Tiling, TileWidthDoesNotChangeBits) {
   }
 }
 
+// ---- sysfs LLC probe ---------------------------------------------------
+//
+// detect_cache_bytes is a pure function of a directory tree, so the
+// fixtures build throwaway sysfs-shaped trees and assert the probe's
+// hardening: malformed sizes and entries without a shared_cpu_list map
+// must not contribute, and a missing tree yields 0 (host_cache_bytes
+// then falls back to kDefaultCacheBytes).
+
+class CacheProbe : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("nsp_cache_probe_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  /// Writes one index<N> entry. Pass nullptr to omit a file entirely
+  /// (e.g. a sysfs without shared_cpu_list).
+  void add_index(int idx, const char* type, const char* size,
+                 const char* shared = "0-3") {
+    const std::filesystem::path dir = root_ / ("index" + std::to_string(idx));
+    std::filesystem::create_directories(dir);
+    if (type) write(dir / "type", type);
+    if (size) write(dir / "size", size);
+    if (shared) write(dir / "shared_cpu_list", shared);
+  }
+
+  std::string dir() const { return root_.string(); }
+
+ private:
+  static void write(const std::filesystem::path& p, const std::string& text) {
+    std::ofstream out(p);
+    out << text << "\n";
+  }
+  std::filesystem::path root_;
+};
+
+TEST_F(CacheProbe, ReadsLargestDataOrUnifiedCache) {
+  add_index(0, "Data", "32K");
+  add_index(1, "Instruction", "32K");
+  add_index(2, "Unified", "1024K");
+  add_index(3, "Unified", "8M");
+  EXPECT_EQ(detect_cache_bytes(dir()), 8ull * 1024 * 1024);
+}
+
+TEST_F(CacheProbe, MissingTreeYieldsZero) {
+  EXPECT_EQ(detect_cache_bytes(dir() + "/no_such_cache_dir"), 0u);
+  // An empty directory (no index entries) is equally nothing.
+  EXPECT_EQ(detect_cache_bytes(dir()), 0u);
+}
+
+TEST_F(CacheProbe, RejectsMalformedSizeSuffixes) {
+  // Trailing garbage after the K/M/G suffix must not parse as a size:
+  // "8MB" must not be read as eight megabytes.
+  add_index(0, "Unified", "8MB");
+  add_index(1, "Unified", "32K???");
+  add_index(2, "Data", "K");
+  add_index(3, "Data", "");
+  EXPECT_EQ(detect_cache_bytes(dir()), 0u);
+  // With one well-formed entry alongside, only it counts.
+  add_index(4, "Unified", "512K");
+  EXPECT_EQ(detect_cache_bytes(dir()), 512u * 1024);
+}
+
+TEST_F(CacheProbe, SkipsEntriesWithoutSharedCpuList) {
+  // An index with no shared_cpu_list map is not attributable to this
+  // core (seen on some virtualised sysfs trees) — it must not win even
+  // when its size is the largest.
+  add_index(0, "Unified", "1G", nullptr);
+  add_index(1, "Unified", "512K");
+  EXPECT_EQ(detect_cache_bytes(dir()), 512u * 1024);
+}
+
+TEST_F(CacheProbe, PlainByteCountsStillParse) {
+  // Suffix-less sizes are raw bytes (documented in tiles.cpp).
+  add_index(0, "Data", "262144");
+  EXPECT_EQ(detect_cache_bytes(dir()), 262144u);
+}
+
 TEST(Tiling, ChooseTileWidthHonorsCacheBound) {
   // Fits the last-level target -> full width (no blocking).
   EXPECT_EQ(choose_tile_width(502, 102), 502);
@@ -165,6 +254,23 @@ TEST(Tiling, GoldenHashSeedScheduleAgrees) {
   cfg.tiled = false;
   const StateField q = run_serial(cfg);
   EXPECT_EQ(state_hash(q), 0xf391c7019e0d96d8ull) << std::hex << state_hash(q);
+}
+
+TEST(Tiling, GoldenHashPlatformNeutral) {
+  // The platform axis prices time through the replay engine; it must
+  // never reach solver numerics. A solver configured through any
+  // platform key — the 1995 machines or the modern fat-tree/dragonfly
+  // zoo, at any "-<procs>" size — reproduces the FreeStream golden
+  // bits exactly.
+  for (const char* key :
+       {"sp-mpl", "t3d", "ymp", "ib-fattree", "xc-dragonfly", "knl-fattree",
+        "gpu-fattree", "bgq-torus", "gpu-fattree-131072"}) {
+    const SolverConfig cfg =
+        exec::Scenario::solve(64, 24, 20).platform(key).solver_config();
+    const StateField q = run_serial(cfg);
+    EXPECT_EQ(state_hash(q), 0xf391c7019e0d96d8ull)
+        << key << " perturbed solver state: " << std::hex << state_hash(q);
+  }
 }
 
 // ---- Overlapped communication (Version 6) ------------------------------
